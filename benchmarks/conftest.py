@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures (or an
+ablation) from live simulation and asserts its fidelity checks before
+timing, so a bench run doubles as a reproduction run.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):  # pragma: no cover
+    # Nothing custom yet; placeholder for sweep-size knobs.
+    pass
+
+
+@pytest.fixture
+def assert_checks():
+    """Assert that an ExperimentOutput's fidelity checks all pass."""
+
+    def check(output):
+        failing = [name for name, ok in output.checks.items() if not ok]
+        assert not failing, f"failing fidelity checks: {failing}"
+        return output
+
+    return check

@@ -1,0 +1,127 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+
+* acknowledgement policy (per-packet vs group sizes),
+* reorder fraction (the paper's 50 % assumption swept 0-75 %),
+* dev-access weight (on-chip NI ablation, Section 5),
+* deterministic vs adaptive routing on the detailed fat tree.
+"""
+
+import random
+
+import pytest
+
+from repro import GroupAck, quick_setup
+from repro.analysis.cycles import dev_weight_study
+from repro.analysis.overhead import group_ack_sweep, reorder_fraction_sweep
+from repro.experiments.common import measure_indefinite
+from repro.network.fattree import FatTree
+from repro.network.packet import Packet, PacketType
+from repro.network.router import DetailedNetwork
+from repro.network.routing import AdaptiveRouting, DeterministicRouting
+from repro.sim.engine import Simulator
+
+
+class TestAckPolicyAblation:
+    def test_group_ack_model_sweep(self, benchmark):
+        points = benchmark(group_ack_sweep)
+        fracs = [p.overhead_fraction for p in points]
+        assert fracs == sorted(fracs, reverse=True)
+        assert fracs[-1] > 0.40  # still significant at G=32
+
+    @pytest.mark.parametrize("group", [2, 8, 32])
+    def test_group_ack_simulated(self, benchmark, group):
+        result = benchmark(
+            measure_indefinite, 1024, ack_policy=GroupAck(group)
+        )
+        assert result.completed
+        assert result.detail["acks_sent"] == (256 + group - 1) // group
+
+
+class TestReorderFractionAblation:
+    def test_model_sweep(self, benchmark):
+        points = benchmark(reorder_fraction_sweep)
+        fracs = [p.overhead_fraction for p in points]
+        assert fracs == sorted(fracs)
+
+    def test_simulated_extremes(self, benchmark):
+        from repro import FractionReorder, InOrderDelivery, run_indefinite_sequence
+
+        def run_extremes():
+            sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+            ordered = run_indefinite_sequence(sim, src, dst, 1024)
+            sim, src, dst, _net = quick_setup(
+                delivery_factory=lambda: FractionReorder(0.75)
+            )
+            scrambled = run_indefinite_sequence(sim, src, dst, 1024)
+            return ordered, scrambled
+
+        ordered, scrambled = benchmark(run_extremes)
+        assert scrambled.total > ordered.total
+        assert scrambled.detail["ooo_arrivals"] == 192
+
+    def test_stream_cost_monotone_in_measured_ooo(self, benchmark):
+        """Total stream cost rises monotonically with the out-of-order
+        fraction realized by the network."""
+        from repro import FractionReorder, run_indefinite_sequence
+
+        def run_sweep():
+            totals = []
+            for f in (0.0, 0.25, 0.5, 0.75):
+                sim, src, dst, _net = quick_setup(
+                    delivery_factory=lambda f=f: FractionReorder(f)
+                )
+                totals.append(run_indefinite_sequence(sim, src, dst, 1024).total)
+            return totals
+
+        totals = benchmark(run_sweep)
+        assert totals == sorted(totals)
+
+
+class TestDevWeightAblation:
+    def test_onchip_ni_raises_overhead_share(self, benchmark):
+        result = measure_indefinite(1024)
+
+        def study():
+            return dev_weight_study(
+                result.src_costs, result.dst_costs,
+                weights=(20.0, 10.0, 5.0, 2.0, 1.0),
+            )
+
+        points = benchmark(study)
+        fracs = [p.overhead_fraction for p in points]
+        assert fracs == sorted(fracs)  # cheaper NI -> larger overhead share
+
+
+class TestRoutingAblation:
+    @pytest.mark.parametrize(
+        "policy_name,policy_factory",
+        [
+            ("deterministic", lambda: DeterministicRouting()),
+            ("adaptive", lambda: AdaptiveRouting(random.Random(11))),
+        ],
+    )
+    def test_fattree_throughput(self, benchmark, policy_name, policy_factory):
+        """Detailed-network transport benchmark under both routing modes;
+        adaptive reorders, deterministic does not."""
+
+        def run_burst():
+            sim = Simulator()
+            net = DetailedNetwork(
+                sim, FatTree(arity=4, height=3, parents=4),
+                routing=policy_factory(), service_time=2.0,
+            )
+            for flow in range(4):
+                net.attach(63 - flow, lambda p: None)
+            for i in range(60):
+                for flow in range(4):
+                    net.inject(Packet(src=4 * flow, dst=63 - flow,
+                                      ptype=PacketType.STREAM_DATA, seq=i))
+            sim.run()
+            return net
+
+        net = benchmark(run_burst)
+        assert net.counters.get("delivered") == 240
+        if policy_name == "deterministic":
+            assert net.ooo_fraction(0, 63) == 0.0
+        else:
+            assert net.ooo_fraction(0, 63) > 0.3

@@ -1,0 +1,99 @@
+"""Benches for collective operations: the paper's per-transfer economics,
+composed at application scale."""
+
+import pytest
+
+from repro.am.costs import CmamCosts
+from repro.analysis.formulas import CostFormulas
+from repro.collectives import Cluster, barrier, broadcast, gather, reduce_sum
+from repro.network.cm5 import CM5Network
+from repro.network.cr import CRNetwork
+from repro.sim.engine import Simulator
+
+
+def make_cluster(n, network):
+    sim = Simulator()
+    net = CM5Network(sim) if network == "cm5" else CRNetwork(sim)
+    return Cluster(sim, net, n)
+
+
+@pytest.mark.parametrize("network", ["cm5", "cr"])
+def test_barrier_16(benchmark, network):
+    def run():
+        cluster = make_cluster(16, network)
+        handle = barrier(cluster)
+        cluster.run()
+        return handle, cluster
+
+    handle, _cluster = benchmark(run)
+    assert handle.completed
+
+
+@pytest.mark.parametrize("network", ["cm5", "cr"])
+def test_broadcast_16x256(benchmark, network):
+    data = list(range(256))
+
+    def run():
+        cluster = make_cluster(16, network)
+        handle = broadcast(cluster, root=0, data=data)
+        cluster.run()
+        return handle, cluster
+
+    handle, cluster = benchmark(run)
+    assert handle.completed
+    if network == "cm5":
+        per = CostFormulas(CmamCosts(4)).finite_sequence(256).total
+        assert cluster.total_cost() == per * 15
+
+
+def test_broadcast_cost_gap_cm5_vs_cr(benchmark):
+    """The Figure 6 comparison, at collective scale."""
+
+    def run():
+        totals = {}
+        for network in ("cm5", "cr"):
+            cluster = make_cluster(16, network)
+            broadcast(cluster, root=0, data=list(range(256)))
+            cluster.run()
+            totals[network] = cluster.total_cost()
+        return totals
+
+    totals = benchmark(run)
+    assert totals["cr"] < totals["cm5"]
+
+
+@pytest.mark.parametrize("network", ["cm5", "cr"])
+def test_reduce_16x64(benchmark, network):
+    contributions = [[rank + 1] * 64 for rank in range(16)]
+
+    def run():
+        cluster = make_cluster(16, network)
+        handle = reduce_sum(cluster, root=0, contributions=contributions)
+        cluster.run()
+        return handle
+
+    handle = benchmark(run)
+    assert handle.completed
+    assert handle.result == [sum(range(1, 17))] * 64
+
+
+@pytest.mark.parametrize("network", ["cm5", "cr"])
+def test_gather_16x64(benchmark, network):
+    blocks = [[rank] * 64 for rank in range(16)]
+
+    def run():
+        cluster = make_cluster(16, network)
+        handle = gather(cluster, root=0, blocks=blocks)
+        cluster.run()
+        return handle
+
+    handle = benchmark(run)
+    assert handle.completed
+
+
+def test_latency_study_bench(benchmark):
+    """Section 5's cost-vs-latency measurement."""
+    from repro.analysis.latency import handshake_penalty, latency_study
+
+    points = benchmark(latency_study, (16, 256))
+    assert handshake_penalty(points) == pytest.approx(3.0)

@@ -1,0 +1,175 @@
+"""Benches for the extension studies.
+
+These go beyond the paper's published artifacts into its discussion
+sections: NI variants (Section 5), reception disciplines (footnote 2),
+end-to-end flow control (Section 2.3), and multi-node workloads.
+"""
+
+import random
+
+import pytest
+
+from repro import quick_setup
+from repro.analysis.ni_study import ni_variant_study, overhead_share_by_variant
+from repro.analysis.reception import reception_study
+from repro.network.cm5 import CM5Network
+from repro.protocols.windowed import run_windowed_stream
+from repro.sim.engine import Simulator
+from repro.workloads.engine import WorkloadEngine
+from repro.workloads.messages import BimodalSize
+from repro.workloads.traces import SyntheticTrace
+
+
+def test_ni_variant_study(benchmark):
+    """Section 5: improved NIs shrink cycles but grow the overhead share."""
+    points = benchmark(ni_variant_study, 256)
+    table = overhead_share_by_variant(points)
+    assert table["indefinite-sequence"]["coupled"] > (
+        table["indefinite-sequence"]["cm5"]
+    )
+    by_variant = {p.variant: p for p in points if p.protocol == "finite-sequence"}
+    assert by_variant["coupled"].cycles < by_variant["cm5"].cycles
+
+
+def test_reception_discipline_study(benchmark):
+    """Footnote 2: interrupts lose to polling until the channel goes idle."""
+    points = benchmark(reception_study, 256, (1.0, 10.0, 50.0))
+    interrupt = next(p for p in points if p.discipline == "interrupt")
+    busy = next(p for p in points if p.polls_per_packet == 1.0)
+    idle = next(p for p in points if p.polls_per_packet == 50.0)
+    assert busy.total_instructions < interrupt.total_instructions
+    assert idle.total_instructions > interrupt.total_instructions
+
+
+@pytest.mark.parametrize("window", [2, 8, 32])
+def test_windowed_stream(benchmark, window):
+    """Credit flow control: cost falls, buffer bound holds, as the window
+    grows."""
+
+    def run():
+        sim, src, dst, _net = quick_setup()
+        return run_windowed_stream(sim, src, dst, 256, window=window)
+
+    result = benchmark(run)
+    assert result.completed
+    assert result.detail["buffer_peak"] <= window
+
+
+def test_contention_sweep(benchmark):
+    """Section 5's tension, hardware side: adaptive routing buys
+    throughput at saturation; the reordering it causes is the software
+    side's bill."""
+    from repro.analysis.contention import load_sweep
+
+    points = benchmark(
+        load_sweep, loads=(0.05, 0.12), duration=150.0,
+    )
+    det = {p.offered_load: p for p in points if p.policy == "deterministic"}
+    ada = {p.offered_load: p for p in points if p.policy == "adaptive"}
+    assert ada[0.12].throughput > det[0.12].throughput
+    assert det[0.12].ooo_fraction_mean == 0.0
+
+
+def test_reorder_source_comparison(benchmark):
+    """All four of Section 2.2's reordering mechanisms, one harness:
+    adaptive multipath, virtual channels, timesharing, and (as control)
+    none."""
+    import random as _random
+
+    from repro.network.delivery import PairSwapReorder, TimesharingReorder
+    from repro.network.mesh import Mesh2D
+    from repro.network.packet import Packet as _Packet, PacketType
+    from repro.network.router import DetailedNetwork as _DN
+    from repro.sim.engine import Simulator as _Sim
+
+    def run_sources():
+        results = {}
+        # service-level models
+        for name, model in (
+            ("pairswap", PairSwapReorder()),
+            ("timeshare", TimesharingReorder(8)),
+        ):
+            order = []
+            for i in range(64):
+                order.extend(idx for idx, _p in model.on_arrival(i, i))
+            order.extend(idx for idx, _p in model.flush())
+            expected = 0
+            early = set()
+            ooo = 0
+            for idx in order:
+                if idx == expected:
+                    expected += 1
+                    while expected in early:
+                        early.remove(expected)
+                        expected += 1
+                else:
+                    early.add(idx)
+                    ooo += 1
+            results[name] = ooo / 64
+        # detailed model: virtual channels on a single path
+        sim = _Sim()
+        net = _DN(sim, Mesh2D(4, 4), virtual_channels=2,
+                  vc_rng=_random.Random(5), service_time=2.0)
+        net.attach(15, lambda p: None)
+        for i in range(64):
+            net.inject(_Packet(src=0, dst=15,
+                               ptype=PacketType.STREAM_DATA, seq=i))
+        sim.run()
+        results["virtual-channels"] = net.ooo_fraction(0, 15)
+        return results
+
+    results = benchmark(run_sources)
+    assert results["pairswap"] == 0.5
+    assert 0 < results["timeshare"] < 0.2
+    assert results["virtual-channels"] > 0.2
+
+
+@pytest.mark.parametrize("words", [16, 1024])
+def test_eager_vs_rendezvous(benchmark, words):
+    """The eager/rendezvous crossover: eager wins small, loses large."""
+    from repro.network.delivery import InOrderDelivery
+    from repro.protocols.eager import run_eager
+    from repro.protocols.finite_sequence import run_finite_sequence
+
+    def run_both():
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        eager = run_eager(sim, src, dst, words)
+        sim2, s2, d2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+        rendezvous = run_finite_sequence(sim2, s2, d2, words)
+        return eager, rendezvous
+
+    eager, rendezvous = benchmark(run_both)
+    assert eager.completed and rendezvous.completed
+    if words <= 64:
+        assert eager.total < rendezvous.total
+    else:
+        assert eager.total > rendezvous.total
+
+
+def test_fault_rate_sweep(benchmark):
+    """Recovery cost vs corruption rate, with replication CIs."""
+    from repro.analysis.reliability import fault_rate_sweep
+
+    points = benchmark(
+        fault_rate_sweep, rates=(0.0, 0.1), message_words=128, replications=3
+    )
+    assert points[0].total.mean < points[1].total.mean
+
+
+def test_cluster_workload(benchmark):
+    """A 16-node bimodal workload of finite-sequence transfers."""
+
+    def run():
+        sim = Simulator()
+        net = CM5Network(sim)
+        engine = WorkloadEngine(sim, net, n_nodes=16)
+        trace = SyntheticTrace.poisson(
+            16, 60, rate=0.02, rng=random.Random(7),
+            sizes=BimodalSize(small=16, large=1024, large_fraction=0.2),
+        )
+        engine.submit(trace)
+        return engine.run()
+
+    report = benchmark(run)
+    assert report.all_done
+    assert 0.1 < report.overhead_fraction < 0.7

@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 6 (CMAM vs high-level-network comparison)."""
+
+import pytest
+
+from repro.experiments import figure6
+from repro.experiments.common import (
+    measure_cr_finite,
+    measure_cr_indefinite,
+    measure_finite,
+    measure_indefinite,
+)
+
+
+def test_figure6_experiment(benchmark, assert_checks):
+    output = benchmark(figure6.run)
+    assert_checks(output)
+
+
+@pytest.mark.parametrize("words", [16, 1024])
+def test_cr_finite_run(benchmark, words):
+    result = benchmark(measure_cr_finite, words)
+    assert result.completed
+    assert result.overhead_total <= 6  # only the table store
+
+
+@pytest.mark.parametrize("words", [16, 1024])
+def test_cr_indefinite_run(benchmark, words):
+    result = benchmark(measure_cr_indefinite, words)
+    assert result.completed
+    assert result.overhead_total == 0
+
+
+def test_indefinite_comparison_pair(benchmark):
+    """One full CMAM-vs-CR comparison (the right half of Figure 6)."""
+
+    def compare():
+        cmam = measure_indefinite(1024)
+        cr = measure_cr_indefinite(1024)
+        return 1 - cr.total / cmam.total
+
+    reduction = benchmark(compare)
+    assert 0.68 <= reduction <= 0.72

@@ -1,0 +1,35 @@
+"""Bench: regenerate Figure 8 (generalized model + overhead vs packet size)."""
+
+from repro.analysis.overhead import packet_size_sweep
+from repro.experiments import figure8
+from repro.experiments.common import measure_finite, measure_indefinite
+
+
+def test_figure8_experiment(benchmark, assert_checks):
+    output = benchmark(figure8.run)
+    assert_checks(output)
+
+
+def test_model_sweep(benchmark):
+    """The closed-form sweep alone (what the right panel plots)."""
+    points = benchmark(packet_size_sweep)
+    fin = {p.packet_size: p.overhead_fraction for p in points
+           if p.protocol == "finite-sequence"}
+    ind = {p.packet_size: p.overhead_fraction for p in points
+           if p.protocol == "indefinite-sequence"}
+    assert 0.09 <= fin[128] <= fin[4] <= 0.13
+    assert ind[128] > 0.30
+
+
+def test_simulated_sweep_point_n128(benchmark):
+    """The most packet-size-stressed simulation point: n=128, 1024 words."""
+
+    def run_both():
+        return (
+            measure_finite(1024, n=128).overhead_fraction,
+            measure_indefinite(1024, n=128).overhead_fraction,
+        )
+
+    fin_frac, ind_frac = benchmark(run_both)
+    assert 0.08 <= fin_frac <= 0.13
+    assert ind_frac > 0.30

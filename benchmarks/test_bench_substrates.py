@@ -1,0 +1,83 @@
+"""Substrate benches: raw throughput of the simulation layers.
+
+Not paper artifacts — these keep the reproduction's own machinery honest
+(event kernel, service networks, detailed router sim) so regressions in
+the substrate show up independently of the protocol numbers.
+"""
+
+import random
+
+from repro.network.cm5 import CM5Network
+from repro.network.cr import CRNetwork
+from repro.network.fattree import FatTree
+from repro.network.packet import Packet, PacketType
+from repro.network.router import DetailedNetwork
+from repro.network.routing import AdaptiveRouting
+from repro.sim.engine import Simulator
+
+
+def test_event_kernel_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(10_000):
+            sim.schedule(float(i % 97) / 10.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_cm5_service_network_throughput(benchmark):
+    def run_packets():
+        sim = Simulator()
+        net = CM5Network(sim)
+        seen = [0]
+        net.attach(1, lambda p: seen.__setitem__(0, seen[0] + 1))
+        for i in range(2_000):
+            net.inject(Packet(src=0, dst=1, ptype=PacketType.STREAM_DATA,
+                              payload=(i % 97,), seq=i))
+        sim.run()
+        return seen[0]
+
+    assert benchmark(run_packets) == 2_000
+
+
+def test_cr_service_network_throughput(benchmark):
+    def run_packets():
+        sim = Simulator()
+        net = CRNetwork(sim)
+        seen = [0]
+        net.attach(1, lambda p: seen.__setitem__(0, seen[0] + 1))
+        for i in range(2_000):
+            net.inject(Packet(src=0, dst=1, ptype=PacketType.STREAM_DATA,
+                              payload=(i % 97,), seq=i))
+        sim.run()
+        return seen[0]
+
+    assert benchmark(run_packets) == 2_000
+
+
+def test_detailed_fattree_throughput(benchmark):
+    def run_packets():
+        sim = Simulator()
+        net = DetailedNetwork(
+            sim, FatTree(arity=4, height=2, parents=2),
+            routing=AdaptiveRouting(random.Random(0)),
+        )
+        seen = [0]
+        for dst in range(8, 16):
+            net.attach(dst, lambda p: seen.__setitem__(0, seen[0] + 1))
+        rng = random.Random(1)
+        for i in range(1_000):
+            net.inject(Packet(src=rng.randrange(8),
+                              dst=8 + rng.randrange(8),
+                              ptype=PacketType.STREAM_DATA, seq=i))
+        sim.run()
+        return seen[0]
+
+    assert benchmark(run_packets) == 1_000

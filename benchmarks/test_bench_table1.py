@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 1 (single-packet delivery costs)."""
+
+from repro import quick_setup, run_single_packet
+from repro.experiments import table1
+
+
+def run_single():
+    sim, src, dst, _net = quick_setup()
+    return run_single_packet(sim, src, dst)
+
+
+def test_table1_experiment(benchmark, assert_checks):
+    """Full Table 1 regeneration with fidelity checks."""
+    output = benchmark(table1.run)
+    assert_checks(output)
+
+
+def test_single_packet_protocol(benchmark):
+    """The raw protocol run behind Table 1: 20 + 27 instructions."""
+    result = benchmark(run_single)
+    assert (result.src_costs.total, result.dst_costs.total) == (20, 27)

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 2 (multi-packet delivery feature costs)."""
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.common import measure_finite, measure_indefinite
+
+
+def test_table2_experiment(benchmark, assert_checks):
+    output = benchmark(table2.run)
+    assert_checks(output)
+
+
+@pytest.mark.parametrize(
+    "words,expected_total", [(16, 397), (1024, 11737)]
+)
+def test_finite_sequence_run(benchmark, words, expected_total):
+    result = benchmark(measure_finite, words)
+    assert result.total == expected_total
+    assert result.completed
+
+
+@pytest.mark.parametrize(
+    "words,expected_total", [(16, 481), (1024, 29965)]
+)
+def test_indefinite_sequence_run(benchmark, words, expected_total):
+    result = benchmark(measure_indefinite, words)
+    assert result.total == expected_total
+    assert result.completed

@@ -1,0 +1,18 @@
+"""Bench: regenerate Table 3 (reg/mem/dev subcategory split)."""
+
+from repro.analysis import published
+from repro.experiments import table3
+from repro.experiments.common import measure_indefinite
+
+
+def test_table3_experiment(benchmark, assert_checks):
+    output = benchmark(table3.run)
+    assert_checks(output)
+
+
+def test_class_split_of_large_stream(benchmark):
+    """The most complex accounting: 1024-word stream, per-class totals."""
+    result = benchmark(measure_indefinite, 1024)
+    paper_src, paper_dst = published.TABLE3_TOTALS[("indefinite-sequence", 1024)]
+    assert result.src_costs.total_mix == paper_src
+    assert result.dst_costs.total_mix == paper_dst

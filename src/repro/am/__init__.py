@@ -1,0 +1,24 @@
+"""The CMAM active-messages layer.
+
+Reimplements the CM-5 active messages interfaces the paper instruments
+(Section 3.1): ``CMAM_4`` four-word active messages with
+``CMAM_request_poll`` / ``CMAM_handle_left`` / ``CMAM_got_left`` reception,
+and the ``CMAM_xfer`` bulk-transfer interface with
+``CMAM_handle_left_xfer`` reassembly.  Per-operation instruction costs are
+calibrated against the paper's measurements in :mod:`repro.am.costs`.
+"""
+
+from repro.am.costs import CmamCosts, CostBook
+from repro.am.cmam import AMDispatcher, cmam_4, cmam_receive_am
+from repro.am.segments import SegmentTable, Segment, SegmentExhausted
+
+__all__ = [
+    "CmamCosts",
+    "CostBook",
+    "AMDispatcher",
+    "cmam_4",
+    "cmam_receive_am",
+    "SegmentTable",
+    "Segment",
+    "SegmentExhausted",
+]

@@ -1,0 +1,61 @@
+"""Active-message handler utilities.
+
+An active message names a *handler* to run at the destination with the
+message's words as arguments (von Eicken et al., the paper's [26]).  Nodes
+hold a name -> callable table; this module adds the decorator-style
+registration helper and a couple of stock handlers used by examples and
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.node import Node
+
+
+def handler_on(node: Node, name: str) -> Callable[[Callable], Callable]:
+    """Decorator: register the wrapped function as ``name`` on ``node``.
+
+    Handler signature: ``fn(node, *payload_words)``.
+    """
+
+    def register(fn: Callable) -> Callable:
+        node.register_handler(name, fn)
+        return fn
+
+    return register
+
+
+class CollectingHandler:
+    """A stock handler that appends every invocation's payload to a list.
+
+    The workhorse of tests: registering one gives a visible record of what
+    was delivered, in what order.
+    """
+
+    def __init__(self) -> None:
+        self.invocations: List[Tuple[int, ...]] = []
+
+    def __call__(self, node: Node, *words: int) -> None:
+        self.invocations.append(tuple(words))
+
+    @property
+    def count(self) -> int:
+        return len(self.invocations)
+
+    def flat_words(self) -> List[int]:
+        return [w for payload in self.invocations for w in payload]
+
+
+class AccumulateHandler:
+    """A stock handler computing a running sum — models the paper's "small
+    amount of computation" associated with an active message."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.count = 0
+
+    def __call__(self, node: Node, *words: int) -> None:
+        self.total += sum(words)
+        self.count += 1

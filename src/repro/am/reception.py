@@ -1,0 +1,112 @@
+"""Reception disciplines: polling versus interrupts.
+
+CMAM polls the network (Section 3.1, footnote 2: the CM-5 NI also supports
+interrupt-driven reception, "however, the cost for interrupts is very high
+for the SPARC processor").  The paper measures the favourable polling path
+— every poll finds a packet.  This module makes the reception discipline a
+first-class, costed choice so the trade can be studied:
+
+* :class:`PollingReception` — the paper's discipline.  A configurable
+  *poll duty cycle* charges the unsuccessful polls a real application
+  would issue between arrivals.
+* :class:`InterruptReception` — charges a per-packet interrupt
+  entry/exit cost (register save/restore, vectoring) instead of poll
+  overhead.
+
+The crossover — polling wins when messages are frequent relative to the
+polling rate, interrupts win when the node would otherwise poll in vain —
+is exactly the trade the footnote alludes to; ``repro.analysis.reception``
+quantifies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.attribution import Feature
+from repro.arch.isa import InstructionMix, mix
+from repro.node import Node
+
+#: Cost of one unsuccessful poll: status load (dev) + test-and-branch.
+EMPTY_POLL_COST = mix(reg=3, dev=1)
+
+#: SPARC-style interrupt entry/exit: trap, register-window save/restore,
+#: vectoring, return-from-trap.  The paper calls this "very high"; 85
+#: register instructions is a conservative figure for the era.
+SPARC_INTERRUPT_COST = mix(reg=85, mem=16)
+
+
+@dataclass
+class ReceptionStats:
+    """What a reception discipline charged beyond the message paths."""
+
+    packets: int = 0
+    empty_polls: int = 0
+    interrupts: int = 0
+    discipline_cost: InstructionMix = mix()
+
+
+class PollingReception:
+    """The paper's polling discipline with an explicit duty cycle.
+
+    ``polls_per_packet`` is the average number of polls issued per packet
+    *arrival* (1.0 = the paper's favourable path: every poll succeeds;
+    higher values model an application that polls more often than messages
+    arrive).  Fractional values are accumulated exactly.
+    """
+
+    name = "polling"
+
+    def __init__(self, node: Node, polls_per_packet: float = 1.0) -> None:
+        if polls_per_packet < 1.0:
+            raise ValueError("at least one poll per packet is needed to receive it")
+        self.node = node
+        self.polls_per_packet = polls_per_packet
+        self.stats = ReceptionStats()
+        self._carry = 0.0
+
+    def on_packet(self) -> None:
+        """Charge the discipline cost for one packet arrival.
+
+        The successful poll is already part of the calibrated reception
+        path; only the *extra* (empty) polls are charged here.
+        """
+        self.stats.packets += 1
+        self._carry += self.polls_per_packet - 1.0
+        while self._carry >= 1.0:
+            self._carry -= 1.0
+            self.stats.empty_polls += 1
+            with self.node.processor.attribute(Feature.BASE):
+                self.node.processor.charge(EMPTY_POLL_COST)
+            self.stats.discipline_cost = self.stats.discipline_cost + EMPTY_POLL_COST
+
+
+class InterruptReception:
+    """Interrupt-driven reception: per-packet trap cost, no polls."""
+
+    name = "interrupt"
+
+    def __init__(self, node: Node, interrupt_cost: InstructionMix = SPARC_INTERRUPT_COST) -> None:
+        self.node = node
+        self.interrupt_cost = interrupt_cost
+        self.stats = ReceptionStats()
+
+    def on_packet(self) -> None:
+        self.stats.packets += 1
+        self.stats.interrupts += 1
+        with self.node.processor.attribute(Feature.BASE):
+            self.node.processor.charge(self.interrupt_cost)
+        self.stats.discipline_cost = self.stats.discipline_cost + self.interrupt_cost
+
+
+def reception_crossover(
+    interrupt_cost: InstructionMix = SPARC_INTERRUPT_COST,
+) -> float:
+    """Polls-per-packet above which interrupts are cheaper than polling.
+
+    Polling charges ``(polls_per_packet - 1) * EMPTY_POLL_COST`` per packet;
+    interrupts charge ``interrupt_cost`` per packet.  Equality at::
+
+        polls_per_packet = 1 + interrupt_cost / empty_poll_cost
+    """
+    return 1.0 + interrupt_cost.total / EMPTY_POLL_COST.total

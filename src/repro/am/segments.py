@@ -1,0 +1,137 @@
+"""Communication segments.
+
+The finite-sequence protocol preallocates a *communication segment* at the
+destination (Steps 1-3 of Figure 3): a region of destination memory plus a
+countdown of expected packets.  The table is finite — that is the point:
+destination buffering is a scarce resource, which is why the protocol must
+reserve it before injecting data into a network with no acceptance
+guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class SegmentExhausted(RuntimeError):
+    """No free communication segments (destination cannot absorb)."""
+
+
+@dataclass
+class Segment:
+    """One allocated communication segment.
+
+    Distinct packet offsets are tracked so retransmitted duplicates (which
+    overwrite their slot idempotently) never double-count toward
+    completion.
+    """
+
+    segment_id: int
+    base_addr: int
+    size_words: int
+    expected_packets: int
+    received_offsets: set = field(default_factory=set)
+    received_words: int = 0
+    duplicate_packets: int = 0
+    #: Node id of the sender the segment was allocated for.
+    owner: Optional[int] = None
+
+    @property
+    def received_packets(self) -> int:
+        return len(self.received_offsets)
+
+    @property
+    def complete(self) -> bool:
+        return self.received_packets >= self.expected_packets
+
+    def record_packet(self, offset: int, words: int) -> bool:
+        """Record one arriving packet; returns False for a duplicate."""
+        if offset in self.received_offsets:
+            self.duplicate_packets += 1
+            return False
+        self.received_offsets.add(offset)
+        self.received_words += words
+        return True
+
+
+class SegmentTable:
+    """Finite table of communication segments with a bump allocator.
+
+    ``capacity_segments`` bounds concurrent transfers;
+    ``capacity_words`` bounds total reserved destination memory.
+    """
+
+    def __init__(
+        self,
+        capacity_segments: int = 8,
+        capacity_words: int = 1 << 16,
+        base_addr: int = 1 << 16,
+    ) -> None:
+        if capacity_segments < 1:
+            raise ValueError("need at least one segment")
+        self.capacity_segments = capacity_segments
+        self.capacity_words = capacity_words
+        self.base_addr = base_addr
+        self._segments: Dict[int, Segment] = {}
+        self._next_id = 0
+        self._reserved_words = 0
+        self.alloc_failures = 0
+        self.total_allocations = 0
+
+    def allocate(self, size_words: int, expected_packets: int,
+                 owner: Optional[int] = None) -> Segment:
+        """Reserve a segment or raise :class:`SegmentExhausted`."""
+        if len(self._segments) >= self.capacity_segments:
+            self.alloc_failures += 1
+            raise SegmentExhausted(
+                f"all {self.capacity_segments} segments in use"
+            )
+        if self._reserved_words + size_words > self.capacity_words:
+            self.alloc_failures += 1
+            raise SegmentExhausted(
+                f"segment space exhausted ({self._reserved_words}+{size_words} "
+                f"> {self.capacity_words} words)"
+            )
+        segment = Segment(
+            segment_id=self._next_id,
+            base_addr=self.base_addr + self._reserved_words,
+            size_words=size_words,
+            expected_packets=expected_packets,
+            owner=owner,
+        )
+        self._next_id += 1
+        self._reserved_words += size_words
+        self._segments[segment.segment_id] = segment
+        self.total_allocations += 1
+        return segment
+
+    def try_allocate(self, size_words: int, expected_packets: int,
+                     owner: Optional[int] = None) -> Optional[Segment]:
+        try:
+            return self.allocate(size_words, expected_packets, owner=owner)
+        except SegmentExhausted:
+            return None
+
+    def lookup(self, segment_id: int) -> Segment:
+        segment = self._segments.get(segment_id)
+        if segment is None:
+            raise KeyError(f"no such segment {segment_id}")
+        return segment
+
+    def free(self, segment_id: int) -> None:
+        segment = self._segments.pop(segment_id, None)
+        if segment is None:
+            raise KeyError(f"freeing unknown segment {segment_id}")
+        self._reserved_words -= segment.size_words
+
+    @property
+    def in_use(self) -> int:
+        return len(self._segments)
+
+    @property
+    def free_segments(self) -> int:
+        return self.capacity_segments - len(self._segments)
+
+    def __contains__(self, segment_id: int) -> bool:
+        return segment_id in self._segments

@@ -1,0 +1,42 @@
+"""Analysis layer: closed-form cost models, breakdowns, reports.
+
+Composes the same calibrated constants the protocols charge
+(:mod:`repro.am.costs`) into closed-form predictions — the reproduction of
+Figure 8's generalized cost model — plus the machinery to tabulate feature
+breakdowns (Tables 1-3), overhead fractions (Figure 8 right, Section 3.3's
+50-70 % claim), weighted cycle estimates (Appendix A), and ASCII renderings
+of every table and figure.
+"""
+
+from repro.analysis.formulas import CostFormulas, EndpointCosts
+from repro.analysis.breakdown import FeatureBreakdown, breakdown_from_result
+from repro.analysis.overhead import overhead_fraction, packet_size_sweep, SweepPoint
+from repro.analysis.cycles import cycle_breakdown, dev_weight_study
+from repro.analysis.report import render_cost_table, render_bar_chart, render_series
+from repro.analysis.amortization import amortization_curve, finite_vs_stream_crossover
+from repro.analysis.asciiplot import plot_series
+from repro.analysis.latency import latency_study, handshake_penalty
+from repro.analysis.replication import replicate, summarize, MetricSummary
+
+__all__ = [
+    "CostFormulas",
+    "EndpointCosts",
+    "FeatureBreakdown",
+    "breakdown_from_result",
+    "overhead_fraction",
+    "packet_size_sweep",
+    "SweepPoint",
+    "cycle_breakdown",
+    "dev_weight_study",
+    "render_cost_table",
+    "render_bar_chart",
+    "render_series",
+    "amortization_curve",
+    "finite_vs_stream_crossover",
+    "plot_series",
+    "latency_study",
+    "handshake_penalty",
+    "replicate",
+    "summarize",
+    "MetricSummary",
+]

@@ -1,0 +1,81 @@
+"""ASCII line/scatter plots.
+
+The paper's Figure 8 (right) is a plot; :func:`plot_series` renders the
+same shape in plain text so the experiment harness can emit an actual
+*figure*, not just a table: multiple named series over a shared x-axis,
+log-x support (packet sizes and message sizes are naturally dyadic),
+y-axis labels, and a legend keyed by glyph.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+#: Series glyphs, assigned in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    """Map value in [lo, hi] to a cell index in [0, steps-1]."""
+    if hi == lo:
+        return 0
+    if log:
+        value, lo, hi = math.log(value), math.log(lo), math.log(hi)
+    frac = (value - lo) / (hi - lo)
+    return max(0, min(steps - 1, int(round(frac * (steps - 1)))))
+
+
+def plot_series(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render named (x, y) series as an ASCII plot.
+
+    Overlapping points show the later series' glyph.  Returns the plot
+    with a legend; raises if every series is empty.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_x and x_lo <= 0:
+        raise ValueError("log_x requires positive x values")
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for glyph, (name, pts) in zip(GLYPHS, series.items()):
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width, log_x)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, False)
+            grid[row][col] = glyph
+
+    y_hi_label = y_format.format(y_hi)
+    y_lo_label = y_format.format(y_lo)
+    margin = max(len(y_hi_label), len(y_lo_label)) + 1
+
+    lines: List[str] = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - 10) + f"{x_hi:g}".rjust(10)
+    lines.append(" " * (margin + 1) + x_axis)
+    lines.append(" " * (margin + 1) + f"{x_label}" + ("  [log scale]" if log_x else ""))
+    legend = "  ".join(
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series.keys())
+    )
+    lines.append(f"{y_label}:  {legend}")
+    return "\n".join(lines)

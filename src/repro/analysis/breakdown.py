@@ -1,0 +1,129 @@
+"""Feature breakdowns: the shape of Tables 2 and 3.
+
+A :class:`FeatureBreakdown` packages one protocol measurement into the
+paper's table layout — rows per feature, columns for source/destination/
+total — with optional paper-published reference values for side-by-side
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import published
+from repro.arch.attribution import FEATURE_ORDER, FEATURE_LABELS, Feature
+from repro.arch.counters import CostMatrix
+from repro.arch.isa import InstructionMix
+from repro.protocols.base import ProtocolResult
+
+
+@dataclass
+class BreakdownRow:
+    """One feature row."""
+
+    feature: Feature
+    src: InstructionMix
+    dst: InstructionMix
+    paper_src: Optional[int] = None
+    paper_dst: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return FEATURE_LABELS[self.feature]
+
+    @property
+    def total(self) -> int:
+        return self.src.total + self.dst.total
+
+    @property
+    def paper_total(self) -> Optional[int]:
+        if self.paper_src is None or self.paper_dst is None:
+            return None
+        return self.paper_src + self.paper_dst
+
+
+@dataclass
+class FeatureBreakdown:
+    """A full per-feature cost table for one protocol configuration."""
+
+    protocol: str
+    message_words: int
+    rows: List[BreakdownRow] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        protocol: str,
+        message_words: int,
+        src_costs: CostMatrix,
+        dst_costs: CostMatrix,
+        with_paper: bool = True,
+    ) -> "FeatureBreakdown":
+        breakdown = cls(protocol=protocol, message_words=message_words)
+        for feature in FEATURE_ORDER:
+            paper = (
+                published.TABLE2.get((protocol, message_words, feature))
+                if with_paper
+                else None
+            )
+            breakdown.rows.append(
+                BreakdownRow(
+                    feature=feature,
+                    src=src_costs.get(feature),
+                    dst=dst_costs.get(feature),
+                    paper_src=paper[0] if paper else None,
+                    paper_dst=paper[1] if paper else None,
+                )
+            )
+        return breakdown
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def src_total(self) -> int:
+        return sum(row.src.total for row in self.rows)
+
+    @property
+    def dst_total(self) -> int:
+        return sum(row.dst.total for row in self.rows)
+
+    @property
+    def total(self) -> int:
+        return self.src_total + self.dst_total
+
+    @property
+    def overhead_total(self) -> int:
+        return sum(
+            row.total for row in self.rows if row.feature is not Feature.BASE
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_total / self.total if self.total else 0.0
+
+    def matches_paper(self) -> bool:
+        """True when every row with a published value matches it exactly."""
+        for row in self.rows:
+            if row.paper_src is not None and row.src.total != row.paper_src:
+                return False
+            if row.paper_dst is not None and row.dst.total != row.paper_dst:
+                return False
+        return True
+
+    def row(self, feature: Feature) -> BreakdownRow:
+        for candidate in self.rows:
+            if candidate.feature is feature:
+                return candidate
+        raise KeyError(feature)
+
+
+def breakdown_from_result(result: ProtocolResult, with_paper: bool = True) -> FeatureBreakdown:
+    """Build the table for a measured protocol run."""
+    return FeatureBreakdown.build(
+        protocol=result.protocol,
+        message_words=result.message_words,
+        src_costs=result.src_costs,
+        dst_costs=result.dst_costs,
+        with_paper=with_paper,
+    )

@@ -1,0 +1,92 @@
+"""Weighted cycle analyses (Appendix A).
+
+Appendix A motivates the reg/mem/dev split: "a model for the CM-5 hardware
+might assume that reg and mem instructions cost 1 cycle each, while a dev
+instruction costs 5 cycles."  These helpers convert measured matrices into
+such cycle estimates and sweep the dev weight — the ablation quantifying
+Section 5's observation that tighter NI coupling *raises* the relative
+importance of protocol overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.arch.attribution import FEATURE_ORDER, Feature
+from repro.arch.costmodel import CM5_CYCLE_MODEL, CostModel
+from repro.arch.counters import CostMatrix
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Per-feature cycle estimates for one endpoint under one cost model."""
+
+    model_name: str
+    per_feature: Dict[Feature, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.per_feature.values())
+
+    @property
+    def overhead(self) -> float:
+        return sum(
+            cycles
+            for feature, cycles in self.per_feature.items()
+            if feature not in (Feature.BASE, Feature.USER)
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = self.total
+        return self.overhead / total if total else 0.0
+
+
+def cycle_breakdown(matrix: CostMatrix, model: CostModel = CM5_CYCLE_MODEL) -> CycleBreakdown:
+    """Cycle estimate of one endpoint's cost matrix."""
+    per_feature = {
+        feature: model.cycles(matrix.get(feature))
+        for feature in FEATURE_ORDER
+        if matrix.get(feature)
+    }
+    return CycleBreakdown(model_name=model.name, per_feature=per_feature)
+
+
+@dataclass(frozen=True)
+class DevWeightPoint:
+    """One point of the dev-weight ablation."""
+
+    dev_weight: float
+    total_cycles: float
+    overhead_cycles: float
+    overhead_fraction: float
+
+
+def dev_weight_study(
+    src: CostMatrix,
+    dst: CostMatrix,
+    weights: Iterable[float] = (1.0, 2.0, 5.0, 10.0, 20.0),
+) -> List[DevWeightPoint]:
+    """How overhead's share of *cycles* moves as NI accesses get cheaper or
+    dearer.
+
+    A falling dev weight models an on-chip NI (Section 5, "improved
+    network interfaces"): the base cost (dev-heavy) shrinks, so the
+    protocol overhead (reg/mem-heavy) claims a larger share — the paper's
+    "paradoxically, such improvements will only worsen the situation".
+    """
+    points = []
+    combined = src + dst
+    for weight in weights:
+        model = CM5_CYCLE_MODEL.scaled(weight)
+        breakdown = cycle_breakdown(combined, model)
+        points.append(
+            DevWeightPoint(
+                dev_weight=weight,
+                total_cycles=breakdown.total,
+                overhead_cycles=breakdown.overhead,
+                overhead_fraction=breakdown.overhead_fraction,
+            )
+        )
+    return points

@@ -1,0 +1,211 @@
+"""Closed-form protocol cost formulas (Figure 8, left).
+
+The paper parameterizes its measured costs by hardware packet size ``n``
+(words per packet) and ``p`` (packets per message).  This module builds the
+same generalization by *composing the identical calibrated constants the
+protocol implementations charge* (:class:`~repro.am.costs.CmamCosts`) —
+so the property tests' "simulation == formula" assertions close the loop
+between the executable system and the analytical model.
+
+Conventions matching the measurements:
+
+* control packets (request/reply/ack) carry a fixed four-word payload,
+* the out-of-order count defaults to the paper's ``p // 2``,
+* acknowledgements are per-packet unless a group size is given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.am.costs import CmamCosts
+from repro.arch.attribution import Feature
+from repro.arch.counters import CostMatrix
+from repro.arch.isa import InstructionMix, ZERO_MIX, mix
+from repro.protocols.base import packet_payload_sizes
+
+
+@dataclass
+class EndpointCosts:
+    """Predicted source and destination cost matrices for one protocol run."""
+
+    protocol: str
+    src: CostMatrix
+    dst: CostMatrix
+
+    @property
+    def total(self) -> int:
+        return self.src.total + self.dst.total
+
+    @property
+    def overhead_total(self) -> int:
+        return self.src.overhead_total + self.dst.overhead_total
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_total / self.total if self.total else 0.0
+
+
+class CostFormulas:
+    """Closed-form cost model for all five protocol variants."""
+
+    def __init__(self, costs: Optional[CmamCosts] = None, n: Optional[int] = None) -> None:
+        if costs is not None and n is not None and costs.n != n:
+            raise ValueError("costs.n and n disagree")
+        if costs is None:
+            costs = CmamCosts(n=n if n is not None else 4)
+        self.costs = costs
+        self.n = costs.n
+
+    # -- small helpers -----------------------------------------------------------
+
+    def _ctrl_send(self) -> InstructionMix:
+        c = self.costs
+        return c.CTRL_SEND + mix(dev=c.send_dev(c.CTRL_PAYLOAD_WORDS))
+
+    def _ctrl_recv(self) -> InstructionMix:
+        c = self.costs
+        return c.CTRL_RECV + mix(dev=c.recv_dev_generic(c.CTRL_PAYLOAD_WORDS))
+
+    def _sizes(self, message_words: int) -> List[int]:
+        return packet_payload_sizes(message_words, self.n)
+
+    # -- single-packet delivery (Table 1) ---------------------------------------------
+
+    def single_packet(self, payload_words: int = 4) -> EndpointCosts:
+        c = self.costs
+        src = CostMatrix()
+        src.add(Feature.BASE, c.AM_SEND_REG + mix(dev=c.send_dev(payload_words)))
+        dst = CostMatrix()
+        dst.add(Feature.BASE, c.AM_RECV_REG + mix(dev=c.recv_dev_generic(payload_words)))
+        return EndpointCosts("single-packet", src, dst)
+
+    # -- finite sequence, multi-packet (Table 2/3 top) ----------------------------------
+
+    def finite_sequence(self, message_words: int) -> EndpointCosts:
+        c = self.costs
+        sizes = self._sizes(message_words)
+        p = len(sizes)
+
+        src = CostMatrix()
+        base = c.XFER_SEND_CONST
+        for w in sizes:
+            base = base + c.xfer_send_packet(w) + mix(dev=c.send_dev(w))
+        src.add(Feature.BASE, base)
+        src.add(Feature.BUFFER_MGMT, self._ctrl_send() + self._ctrl_recv())
+        src.add(Feature.IN_ORDER, c.XFER_OFFSET_SRC * p)
+        src.add(Feature.FAULT_TOLERANCE, self._ctrl_recv())
+
+        dst = CostMatrix()
+        base = c.XFER_RECV_CONST + mix(dev=1)
+        for w in sizes:
+            base = base + c.xfer_recv_packet(w) + mix(dev=c.recv_dev_stream(w))
+        dst.add(Feature.BASE, base)
+        dst.add(
+            Feature.BUFFER_MGMT,
+            self._ctrl_recv() + c.SEG_ALLOC + self._ctrl_send() + c.SEG_DEALLOC,
+        )
+        dst.add(Feature.IN_ORDER, c.XFER_OFFSET_DST * p + c.XFER_COUNT_INIT)
+        dst.add(Feature.FAULT_TOLERANCE, self._ctrl_send())
+        return EndpointCosts("finite-sequence", src, dst)
+
+    # -- indefinite sequence, multi-packet (Table 2/3 bottom) ------------------------------
+
+    def indefinite_sequence(
+        self,
+        message_words: int,
+        ooo_count: Optional[int] = None,
+        ack_group: Optional[int] = None,
+    ) -> EndpointCosts:
+        """Stream cost model.
+
+        ``ooo_count`` — packets arriving out of order (default: the paper's
+        half).  ``ack_group`` — group-acknowledgement size (default:
+        per-packet acks, the paper's measured configuration).
+        """
+        c = self.costs
+        sizes = self._sizes(message_words)
+        p = len(sizes)
+        if ooo_count is None:
+            ooo_count = p // 2
+        if not 0 <= ooo_count <= max(p - 1, 0):
+            raise ValueError(f"ooo_count {ooo_count} impossible for {p} packets")
+        acks = p if ack_group is None else (p + ack_group - 1) // ack_group
+
+        src = CostMatrix()
+        base = ZERO_MIX
+        buffered = ZERO_MIX
+        for w in sizes:
+            base = base + c.STREAM_SEND + mix(dev=c.send_dev(w))
+            buffered = buffered + c.source_buffer_packet(w)
+        src.add(Feature.BASE, base)
+        src.add(Feature.IN_ORDER, c.STREAM_SEQ_SRC * p)
+        ft = buffered + self._ctrl_recv() * acks
+        if ack_group is not None:
+            ft = ft + c.ACK_RELEASE * p
+        src.add(Feature.FAULT_TOLERANCE, ft)
+
+        dst = CostMatrix()
+        base = c.STREAM_RECV_CONST + mix(dev=1)
+        for w in sizes:
+            base = base + c.STREAM_RECV + mix(dev=c.recv_dev_stream(w))
+        dst.add(Feature.BASE, base)
+        dst.add(
+            Feature.IN_ORDER,
+            c.STREAM_INSEQ * (p - ooo_count)
+            + (c.STREAM_OOO_ENQ + c.STREAM_OOO_DRAIN) * ooo_count,
+        )
+        dst.add(Feature.FAULT_TOLERANCE, self._ctrl_send() * acks)
+        return EndpointCosts("indefinite-sequence", src, dst)
+
+    # -- Section 4: CR-based protocols -------------------------------------------------------
+
+    def cr_finite_sequence(self, message_words: int) -> EndpointCosts:
+        c = self.costs
+        sizes = self._sizes(message_words)
+
+        src = CostMatrix()
+        base = c.XFER_SEND_CONST
+        for w in sizes:
+            base = base + c.xfer_send_packet(w) + mix(dev=c.send_dev(w))
+        src.add(Feature.BASE, base)
+
+        dst = CostMatrix()
+        base = c.CR_RECV_CONST + mix(dev=1)
+        for w in sizes:
+            base = base + c.cr_recv_packet(w) + mix(dev=c.recv_dev_stream(w))
+        dst.add(Feature.BASE, base)
+        dst.add(Feature.BUFFER_MGMT, c.CR_TABLE_STORE)
+        return EndpointCosts("cr-finite-sequence", src, dst)
+
+    def cr_indefinite_sequence(self, message_words: int) -> EndpointCosts:
+        c = self.costs
+        sizes = self._sizes(message_words)
+
+        src = CostMatrix()
+        base = ZERO_MIX
+        for w in sizes:
+            base = base + c.STREAM_SEND + mix(dev=c.send_dev(w))
+        src.add(Feature.BASE, base)
+
+        dst = CostMatrix()
+        base = c.STREAM_RECV_CONST + mix(dev=1)
+        for w in sizes:
+            base = base + c.STREAM_RECV + mix(dev=c.recv_dev_stream(w))
+        dst.add(Feature.BASE, base)
+        return EndpointCosts("cr-indefinite-sequence", src, dst)
+
+    # -- dispatch by name (experiment harness convenience) -------------------------------------
+
+    def by_name(self, protocol: str, message_words: int, **kwargs) -> EndpointCosts:
+        table = {
+            "single-packet": lambda: self.single_packet(),
+            "finite-sequence": lambda: self.finite_sequence(message_words),
+            "indefinite-sequence": lambda: self.indefinite_sequence(message_words, **kwargs),
+            "cr-finite-sequence": lambda: self.cr_finite_sequence(message_words),
+            "cr-indefinite-sequence": lambda: self.cr_indefinite_sequence(message_words),
+        }
+        if protocol not in table:
+            raise KeyError(f"unknown protocol {protocol!r}")
+        return table[protocol]()

@@ -1,0 +1,141 @@
+"""Communication cost versus latency (Section 5's closing discussion).
+
+The paper measures instruction counts and argues that "for cases where
+software overhead dominates, instruction counts are indicative of
+communication latency".  With a discrete-event network under the
+protocols, end-to-end *virtual-time* latency is measurable directly, so
+the relationship can be exhibited rather than asserted:
+
+* the CMAM finite-sequence protocol pays a full allocation round trip
+  before any data moves, plus a trailing acknowledgement — latency
+  ~4 network crossings regardless of size;
+* the CR protocol streams immediately — ~1 crossing.
+
+``latency_study`` measures delivery-completion times (when the last data
+word is placed at the destination, not when trailing bookkeeping ends)
+across message sizes and substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.am.cmam import AMDispatcher
+from repro.am.costs import CmamCosts
+from repro.network.cm5 import CM5Network, CM5NetworkConfig
+from repro.network.cr import CRNetwork, CRNetworkConfig
+from repro.network.delivery import InOrderDelivery
+from repro.node import Node
+from repro.protocols.cr_protocols import CRFiniteReceiver, CRFiniteSender
+from repro.protocols.finite_sequence import (
+    FiniteSequenceReceiver,
+    FiniteSequenceSender,
+)
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One (substrate, size) latency measurement."""
+
+    substrate: str
+    message_words: int
+    data_complete_at: float
+    sender_released_at: float
+    network_latency: float
+    total_instructions: int
+
+    @property
+    def crossings(self) -> float:
+        """Data-completion latency in units of one network crossing."""
+        return self.data_complete_at / self.network_latency
+
+
+def _measure_cmam(words: int, network_latency: float) -> LatencyPoint:
+    sim = Simulator()
+    network = CM5Network(
+        sim, CM5NetworkConfig(latency=network_latency),
+        delivery_factory=InOrderDelivery,
+    )
+    costs = CmamCosts(n=4)
+    src, dst = Node(0, sim, network), Node(1, sim, network)
+    src_dispatcher = AMDispatcher(src, costs=costs)
+    dst_dispatcher = AMDispatcher(dst, costs=costs)
+    src.memory.write_block(0, list(range(1, words + 1)))
+    done = {}
+    FiniteSequenceReceiver(
+        dst, dst_dispatcher, costs=costs,
+        on_complete=lambda segment: done.setdefault("data", sim.now),
+    )
+    sender = FiniteSequenceSender(
+        src, src_dispatcher, dst.node_id, 0, words, costs=costs,
+        on_complete=lambda _s: done.setdefault("released", sim.now),
+    )
+    sender.start()
+    sim.run()
+    if "data" not in done or "released" not in done:
+        raise RuntimeError("CMAM transfer did not complete")
+    total = src.processor.costs.total + dst.processor.costs.total
+    return LatencyPoint(
+        substrate="cmam",
+        message_words=words,
+        data_complete_at=done["data"],
+        sender_released_at=done["released"],
+        network_latency=network_latency,
+        total_instructions=total,
+    )
+
+
+def _measure_cr(words: int, network_latency: float) -> LatencyPoint:
+    sim = Simulator()
+    network = CRNetwork(sim, CRNetworkConfig(latency=network_latency))
+    costs = CmamCosts(n=4)
+    src, dst = Node(0, sim, network), Node(1, sim, network)
+    dst_dispatcher = AMDispatcher(dst, costs=costs)
+    src.memory.write_block(0, list(range(1, words + 1)))
+    done = {}
+    CRFiniteReceiver(
+        dst, dst_dispatcher, costs=costs,
+        on_complete=lambda _src, _addr, _w: done.setdefault("data", sim.now),
+    )
+    CRFiniteSender(src, dst.node_id, 0, words, costs=costs).start()
+    # On CR the sender needs no ack: its buffer is free at injection time.
+    done["released"] = sim.now
+    sim.run()
+    if "data" not in done:
+        raise RuntimeError("CR transfer did not complete")
+    total = src.processor.costs.total + dst.processor.costs.total
+    return LatencyPoint(
+        substrate="cr",
+        message_words=words,
+        data_complete_at=done["data"],
+        sender_released_at=done["released"],
+        network_latency=network_latency,
+        total_instructions=total,
+    )
+
+
+def latency_study(
+    sizes: Iterable[int] = (16, 64, 256, 1024),
+    network_latency: float = 10.0,
+) -> List[LatencyPoint]:
+    """Finite-sequence delivery latency, CMAM vs CR, across sizes."""
+    points: List[LatencyPoint] = []
+    for words in sizes:
+        points.append(_measure_cmam(words, network_latency))
+        points.append(_measure_cr(words, network_latency))
+    return points
+
+
+def handshake_penalty(points: List[LatencyPoint]) -> float:
+    """Mean latency ratio CMAM/CR across the studied sizes."""
+    by_size = {}
+    for point in points:
+        by_size.setdefault(point.message_words, {})[point.substrate] = point
+    ratios = [
+        pair["cmam"].data_complete_at / pair["cr"].data_complete_at
+        for pair in by_size.values()
+        if "cmam" in pair and "cr" in pair
+    ]
+    return sum(ratios) / len(ratios) if ratios else 0.0

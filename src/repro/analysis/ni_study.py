@@ -1,0 +1,97 @@
+"""NI-variant study: does a better interface fix the overhead? (Section 5)
+
+Runs the same protocols over three network interfaces — the memory-mapped
+CM-5 NI, a processor-integrated (coupled) NI, and a DMA-equipped NI — and
+reports total cost and the overhead *share* under a cycle model.  The
+paper's prediction: base cost falls, protocol overhead doesn't, so the
+overhead share rises ("paradoxically, such improvements will only worsen
+the situation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.am.costs import CmamCosts
+from repro.arch.costmodel import CM5_CYCLE_MODEL, CostModel, UNIT_COST_MODEL
+from repro.network.cm5 import CM5Network, CM5NetworkConfig
+from repro.network.delivery import InOrderDelivery, PairSwapReorder
+from repro.ni.variants import ni_factory
+from repro.node import Node
+from repro.protocols.base import ProtocolResult
+from repro.protocols.finite_sequence import run_finite_sequence
+from repro.protocols.indefinite_sequence import run_indefinite_sequence
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class NiStudyPoint:
+    """One (variant, protocol) measurement."""
+
+    variant: str
+    protocol: str
+    message_words: int
+    total_instructions: int
+    cycles: float
+    overhead_cycles: float
+
+    @property
+    def overhead_share(self) -> float:
+        return self.overhead_cycles / self.cycles if self.cycles else 0.0
+
+
+def _run(variant: str, protocol: str, message_words: int) -> ProtocolResult:
+    sim = Simulator()
+    delivery = InOrderDelivery if protocol == "finite-sequence" else PairSwapReorder
+    network = CM5Network(sim, CM5NetworkConfig(), delivery_factory=delivery)
+    ni_class = ni_factory(variant)
+    src = Node(0, sim, network, ni_class=ni_class)
+    dst = Node(1, sim, network, ni_class=ni_class)
+    costs = CmamCosts(n=4)
+    if protocol == "finite-sequence":
+        return run_finite_sequence(sim, src, dst, message_words, costs=costs)
+    return run_indefinite_sequence(sim, src, dst, message_words, costs=costs)
+
+
+def ni_variant_study(
+    message_words: int = 1024,
+    variants: Iterable[str] = ("cm5", "coupled", "dma"),
+    protocols: Iterable[str] = ("finite-sequence", "indefinite-sequence"),
+    model: Optional[CostModel] = None,
+) -> List[NiStudyPoint]:
+    """Measure every (variant, protocol) combination.
+
+    The cycle model defaults to the Appendix A CM-5 weighting so that a
+    coupled NI's conversion of dev accesses into register instructions
+    shows up as a genuine cycle saving.
+    """
+    model = model or CM5_CYCLE_MODEL
+    points: List[NiStudyPoint] = []
+    for variant in variants:
+        for protocol in protocols:
+            result = _run(variant, protocol, message_words)
+            if not result.completed:
+                raise RuntimeError(f"{variant}/{protocol} failed to complete")
+            combined = result.combined()
+            cycles = model.matrix_cycles(combined)
+            overhead_cycles = model.cycles(combined.overhead_mix)
+            points.append(
+                NiStudyPoint(
+                    variant=variant,
+                    protocol=protocol,
+                    message_words=message_words,
+                    total_instructions=result.total,
+                    cycles=cycles,
+                    overhead_cycles=overhead_cycles,
+                )
+            )
+    return points
+
+
+def overhead_share_by_variant(points: List[NiStudyPoint]) -> Dict[str, Dict[str, float]]:
+    """{protocol: {variant: overhead share}} from study points."""
+    table: Dict[str, Dict[str, float]] = {}
+    for point in points:
+        table.setdefault(point.protocol, {})[point.variant] = point.overhead_share
+    return table

@@ -1,0 +1,126 @@
+"""Messaging-layer overhead as a function of packet size (Figure 8, right).
+
+"The plot on the right of Figure 8 shows the messaging overhead for a
+1024-word message as a fraction of the total software communication cost
+as the packet size is varied from 4-128 words."  This module regenerates
+that sweep from the closed-form model, and the experiment harness
+cross-validates selected points against full simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.am.costs import CmamCosts
+from repro.analysis.formulas import CostFormulas, EndpointCosts
+from repro.protocols.base import packets_for
+
+#: The packet sizes of Figure 8's x-axis.
+FIG8_PACKET_SIZES = (4, 8, 16, 32, 64, 128)
+
+#: The message size of Figure 8's sweep.
+FIG8_MESSAGE_WORDS = 1024
+
+
+def overhead_fraction(costs: EndpointCosts) -> float:
+    """Messaging-layer overhead (everything but base) over total cost."""
+    return costs.overhead_fraction
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of the Figure 8 sweep."""
+
+    protocol: str
+    packet_size: int
+    packets: int
+    total: int
+    overhead: int
+    overhead_fraction: float
+
+
+def packet_size_sweep(
+    message_words: int = FIG8_MESSAGE_WORDS,
+    packet_sizes: Iterable[int] = FIG8_PACKET_SIZES,
+    protocols: Iterable[str] = ("finite-sequence", "indefinite-sequence"),
+    ack_group: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Overhead fraction versus hardware packet size, per protocol."""
+    points: List[SweepPoint] = []
+    for n in packet_sizes:
+        formulas = CostFormulas(CmamCosts(n=n))
+        for protocol in protocols:
+            if protocol == "finite-sequence":
+                costs = formulas.finite_sequence(message_words)
+            elif protocol == "indefinite-sequence":
+                costs = formulas.indefinite_sequence(message_words, ack_group=ack_group)
+            elif protocol == "cr-finite-sequence":
+                costs = formulas.cr_finite_sequence(message_words)
+            elif protocol == "cr-indefinite-sequence":
+                costs = formulas.cr_indefinite_sequence(message_words)
+            else:
+                raise KeyError(f"unknown protocol {protocol!r}")
+            points.append(
+                SweepPoint(
+                    protocol=protocol,
+                    packet_size=n,
+                    packets=packets_for(message_words, n),
+                    total=costs.total,
+                    overhead=costs.overhead_total,
+                    overhead_fraction=costs.overhead_fraction,
+                )
+            )
+    return points
+
+
+def reorder_fraction_sweep(
+    message_words: int = FIG8_MESSAGE_WORDS,
+    fractions: Iterable[float] = (0.0, 0.25, 0.5, 0.75),
+    n: int = 4,
+) -> List[SweepPoint]:
+    """Ablation: how the indefinite-sequence overhead depends on the
+    paper's half-out-of-order assumption."""
+    formulas = CostFormulas(CmamCosts(n=n))
+    p = packets_for(message_words, n)
+    points = []
+    for f in fractions:
+        ooo = int(f * p)
+        costs = formulas.indefinite_sequence(message_words, ooo_count=ooo)
+        points.append(
+            SweepPoint(
+                protocol=f"indefinite-sequence(f={f:g})",
+                packet_size=n,
+                packets=p,
+                total=costs.total,
+                overhead=costs.overhead_total,
+                overhead_fraction=costs.overhead_fraction,
+            )
+        )
+    return points
+
+
+def group_ack_sweep(
+    message_words: int = FIG8_MESSAGE_WORDS,
+    groups: Iterable[Optional[int]] = (None, 2, 4, 8, 16, 32),
+    n: int = 4,
+) -> List[SweepPoint]:
+    """The paper's group-acknowledgement aside: overhead versus ack group
+    size (None = per-packet acks)."""
+    formulas = CostFormulas(CmamCosts(n=n))
+    p = packets_for(message_words, n)
+    points = []
+    for group in groups:
+        costs = formulas.indefinite_sequence(message_words, ack_group=group)
+        label = "per-packet" if group is None else f"G={group}"
+        points.append(
+            SweepPoint(
+                protocol=f"indefinite-sequence({label})",
+                packet_size=n,
+                packets=p,
+                total=costs.total,
+                overhead=costs.overhead_total,
+                overhead_fraction=costs.overhead_fraction,
+            )
+        )
+    return points

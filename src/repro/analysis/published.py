@@ -1,0 +1,109 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Used by the experiment harness and EXPERIMENTS.md generation to print
+paper-vs-measured side by side, and by the test suite to pin the
+calibration.  Only numbers legible in the source text are included; the
+16-word finite-sequence sub-table of Table 2 is reconstructed from the
+self-consistent Appendix A (Table 3) values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.attribution import Feature
+from repro.arch.isa import InstructionMix, mix
+
+# -- Table 1: single-packet delivery -------------------------------------------------
+
+TABLE1_SOURCE_TOTAL = 20
+TABLE1_DEST_TOTAL = 27
+
+# -- Table 2: feature totals (source, destination) -----------------------------------
+# Keyed by (protocol, message_words, feature) -> (src_total, dst_total).
+# The 16-word finite rows are from Appendix A (Table 3), which is exactly
+# consistent with every legible Table 2 entry.
+
+TABLE2: Dict[Tuple[str, int, Feature], Tuple[int, int]] = {
+    ("finite-sequence", 16, Feature.BASE): (91, 90),
+    ("finite-sequence", 16, Feature.BUFFER_MGMT): (47, 101),
+    ("finite-sequence", 16, Feature.IN_ORDER): (8, 13),
+    ("finite-sequence", 16, Feature.FAULT_TOLERANCE): (27, 20),
+    ("finite-sequence", 1024, Feature.BASE): (5635, 4626),
+    ("finite-sequence", 1024, Feature.BUFFER_MGMT): (47, 101),
+    ("finite-sequence", 1024, Feature.IN_ORDER): (512, 769),
+    ("finite-sequence", 1024, Feature.FAULT_TOLERANCE): (27, 20),
+    ("indefinite-sequence", 16, Feature.BASE): (80, 69),
+    ("indefinite-sequence", 16, Feature.BUFFER_MGMT): (0, 0),
+    ("indefinite-sequence", 16, Feature.IN_ORDER): (20, 116),
+    ("indefinite-sequence", 16, Feature.FAULT_TOLERANCE): (116, 80),
+    ("indefinite-sequence", 1024, Feature.BASE): (5120, 3597),
+    ("indefinite-sequence", 1024, Feature.BUFFER_MGMT): (0, 0),
+    ("indefinite-sequence", 1024, Feature.IN_ORDER): (1280, 7424),
+    ("indefinite-sequence", 1024, Feature.FAULT_TOLERANCE): (7424, 5120),
+}
+
+#: Grand totals per (protocol, message_words): (src, dst, total).
+TABLE2_TOTALS: Dict[Tuple[str, int], Tuple[int, int, int]] = {
+    ("finite-sequence", 16): (173, 224, 397),
+    ("finite-sequence", 1024): (6221, 5516, 11737),
+    ("indefinite-sequence", 16): (216, 265, 481),
+    ("indefinite-sequence", 1024): (13824, 16141, 29965),
+}
+
+# -- Table 3 / Appendix A: reg/mem/dev splits -------------------------------------------
+# Keyed by (protocol, message_words, feature) -> (src_mix, dst_mix).
+
+TABLE3: Dict[Tuple[str, int, Feature], Tuple[InstructionMix, InstructionMix]] = {
+    ("finite-sequence", 16, Feature.BASE): (mix(62, 9, 20), mix(62, 11, 17)),
+    ("finite-sequence", 16, Feature.BUFFER_MGMT): (mix(36, 1, 10), mix(79, 12, 10)),
+    ("finite-sequence", 16, Feature.IN_ORDER): (mix(8, 0, 0), mix(13, 0, 0)),
+    ("finite-sequence", 16, Feature.FAULT_TOLERANCE): (mix(22, 0, 5), mix(14, 1, 5)),
+    ("finite-sequence", 1024, Feature.BASE): (mix(3842, 513, 1280), mix(3086, 515, 1025)),
+    ("finite-sequence", 1024, Feature.BUFFER_MGMT): (mix(36, 1, 10), mix(79, 12, 10)),
+    ("finite-sequence", 1024, Feature.IN_ORDER): (mix(512, 0, 0), mix(769, 0, 0)),
+    ("finite-sequence", 1024, Feature.FAULT_TOLERANCE): (mix(22, 0, 5), mix(14, 1, 5)),
+    ("indefinite-sequence", 16, Feature.BASE): (mix(56, 4, 20), mix(52, 0, 17)),
+    ("indefinite-sequence", 16, Feature.IN_ORDER): (mix(8, 12, 0), mix(70, 46, 0)),
+    ("indefinite-sequence", 16, Feature.FAULT_TOLERANCE): (mix(88, 8, 20), mix(56, 4, 20)),
+    ("indefinite-sequence", 1024, Feature.BASE): (mix(3584, 256, 1280), mix(2572, 0, 1025)),
+    ("indefinite-sequence", 1024, Feature.IN_ORDER): (mix(512, 768, 0), mix(4480, 2944, 0)),
+    ("indefinite-sequence", 1024, Feature.FAULT_TOLERANCE): (
+        mix(5632, 512, 1280),
+        mix(3584, 256, 1280),
+    ),
+}
+
+#: Table 3 column totals per (protocol, message_words): (src_mix, dst_mix).
+TABLE3_TOTALS: Dict[Tuple[str, int], Tuple[InstructionMix, InstructionMix]] = {
+    ("finite-sequence", 16): (mix(128, 10, 35), mix(168, 24, 32)),
+    ("finite-sequence", 1024): (mix(4412, 514, 1295), mix(3948, 528, 1040)),
+    ("indefinite-sequence", 16): (mix(152, 24, 40), mix(178, 50, 37)),
+    ("indefinite-sequence", 1024): (mix(9728, 1536, 2560), mix(10636, 3200, 2305)),
+}
+
+# -- headline claims --------------------------------------------------------------------
+
+#: Section 3.3: overhead is 50-70 % of total "in all situations except
+#: large finite-sequence multi-packet transfers".
+CLAIM_OVERHEAD_RANGE = (0.50, 0.70)
+
+#: Section 3.2: overhead stays ~40-50 % with group acknowledgements.
+CLAIM_GROUPACK_RANGE = (0.40, 0.50)
+
+#: Section 4.1: CR improves the finite-sequence protocol by 10-50 %
+#: depending on message size.
+CLAIM_CR_FINITE_IMPROVEMENT = (0.10, 0.50)
+
+#: Section 4.1: CR reduces indefinite-sequence messaging cost by ~70 %.
+CLAIM_CR_INDEFINITE_REDUCTION = 0.70
+
+#: Section 5 / Figure 8: finite-sequence messaging overhead is 9-11 % of
+#: total cost for a 1024-word message across packet sizes.
+CLAIM_FIG8_FINITE_RANGE = (0.09, 0.11)
+
+#: Conclusion: a 16-word message costs "between 285 and 481 instructions"
+#: with multi-packet protocols.  481 matches the indefinite-sequence total;
+#: 285 is not derivable from any published sub-table (our reconstructed
+#: finite-sequence total is 397) — recorded here as a known discrepancy.
+CLAIM_16W_RANGE = (285, 481)

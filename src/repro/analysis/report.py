@@ -1,0 +1,134 @@
+"""ASCII rendering of the paper's tables and figures.
+
+The experiment harness prints its regenerated artifacts through these
+helpers: feature-breakdown tables in the layout of Tables 1-3, grouped bar
+charts in the layout of Figure 6, and x/y series in the layout of
+Figure 8 (right).  No plotting dependency — the "figures" are text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.breakdown import FeatureBreakdown
+from repro.arch.isa import INSTR_CLASSES
+
+
+def _hline(widths: Sequence[int]) -> str:
+    return "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    padded = [f" {cell:>{width}} " for cell, width in zip(cells, widths)]
+    return "|" + "|".join(padded) + "|"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Generic boxed table with right-aligned cells."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [_hline(widths), _row(headers, widths), _hline(widths)]
+    for row in rows:
+        lines.append(_row(row, widths))
+    lines.append(_hline(widths))
+    return "\n".join(lines)
+
+
+def render_cost_table(breakdown: FeatureBreakdown, show_paper: bool = True) -> str:
+    """One protocol's feature breakdown in the Table 2 layout, optionally
+    with the paper's published values alongside."""
+    headers = ["Feature", "Source", "Destination", "Total"]
+    if show_paper and any(row.paper_total is not None for row in breakdown.rows):
+        headers += ["Paper Src", "Paper Dst", "Paper Total"]
+    rows: List[List[str]] = []
+    for row in breakdown.rows:
+        cells = [row.label, str(row.src.total or "-"), str(row.dst.total or "-"),
+                 str(row.total or "-")]
+        if len(headers) > 4:
+            cells += [
+                "-" if row.paper_src is None else str(row.paper_src),
+                "-" if row.paper_dst is None else str(row.paper_dst),
+                "-" if row.paper_total is None else str(row.paper_total),
+            ]
+        rows.append(cells)
+    total_cells = [
+        "Total", str(breakdown.src_total), str(breakdown.dst_total), str(breakdown.total)
+    ]
+    if len(headers) > 4:
+        paper_src = sum(r.paper_src or 0 for r in breakdown.rows)
+        paper_dst = sum(r.paper_dst or 0 for r in breakdown.rows)
+        total_cells += [str(paper_src), str(paper_dst), str(paper_src + paper_dst)]
+    rows.append(total_cells)
+    title = (
+        f"{breakdown.protocol}, message = {breakdown.message_words} words "
+        f"(overhead {breakdown.overhead_fraction:.0%})"
+    )
+    return title + "\n" + render_table(headers, rows)
+
+
+def render_class_table(breakdown: FeatureBreakdown) -> str:
+    """The Table 3 layout: reg/mem/dev sub-columns per endpoint."""
+    headers = ["Feature", "src reg", "src mem", "src dev", "dst reg", "dst mem", "dst dev"]
+    rows = []
+    for row in breakdown.rows:
+        rows.append(
+            [row.label]
+            + [str(row.src.count(k) or "-") for k in INSTR_CLASSES]
+            + [str(row.dst.count(k) or "-") for k in INSTR_CLASSES]
+        )
+    src_tot = [sum(r.src.count(k) for r in breakdown.rows) for k in INSTR_CLASSES]
+    dst_tot = [sum(r.dst.count(k) for r in breakdown.rows) for k in INSTR_CLASSES]
+    rows.append(["Total"] + [str(v) for v in src_tot + dst_tot])
+    title = f"{breakdown.protocol}, message = {breakdown.message_words} words"
+    return title + "\n" + render_table(headers, rows)
+
+
+def render_bar_chart(
+    groups: Sequence[Tuple[str, Dict[str, float]]],
+    width: int = 50,
+    unit: str = "instructions",
+) -> str:
+    """Grouped horizontal bars (the Figure 6 layout).
+
+    ``groups`` is a sequence of (group_label, {bar_label: value}).
+    """
+    peak = max(
+        (value for _label, bars in groups for value in bars.values()), default=1.0
+    )
+    lines: List[str] = []
+    label_width = max(
+        (len(bar_label) for _g, bars in groups for bar_label in bars), default=1
+    )
+    for group_label, bars in groups:
+        lines.append(f"{group_label}")
+        for bar_label, value in bars.items():
+            bar = "#" * max(1, int(round(value / peak * width))) if value else ""
+            lines.append(f"  {bar_label:<{label_width}} {value:>10.0f} {bar}")
+        lines.append("")
+    lines.append(f"(bar scale: {peak:.0f} {unit} = {width} chars)")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    series: Dict[str, List[Tuple[float, float]]],
+    y_format: str = "{:.1%}",
+) -> str:
+    """Numeric x/y series side by side (the Figure 8-right layout)."""
+    xs = sorted({x for points in series.values() for x, _y in points})
+    headers = [x_label] + list(series)
+    rows = []
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    for x in xs:
+        row = [f"{x:g}"]
+        for name in series:
+            y = lookup[name].get(x)
+            row.append("-" if y is None else y_format.format(y))
+        rows.append(row)
+    return title + "\n" + render_table(headers, rows)

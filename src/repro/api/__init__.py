@@ -1,0 +1,32 @@
+"""User-facing communication API.
+
+A small, sockets-flavoured façade over the protocol layer — what a
+downstream user of this library actually programs against:
+
+* :class:`~repro.api.endpoint.Endpoint` — a node's communication context
+  (dispatcher + handler registration + active-message send).
+* :class:`~repro.api.channel.Channel` — an ordered, reliable,
+  flow-controlled word stream between two endpoints.
+* :func:`~repro.api.bulk.bulk_put` — a one-shot memory-to-memory transfer.
+
+The API inspects the network's service flags (``provides_in_order``,
+``provides_flow_control``, ``provides_reliability``) and instantiates the
+cheap Section 4 protocols when the hardware provides the services, or the
+full CMAM machinery when it does not — the paper's thesis, operating as a
+dispatch rule.
+"""
+
+from repro.api.endpoint import Endpoint
+from repro.api.channel import Channel, open_channel
+from repro.api.bulk import BulkResult, bulk_put
+from repro.api.framing import FramedChannel, FrameAssembler
+
+__all__ = [
+    "Endpoint",
+    "Channel",
+    "open_channel",
+    "BulkResult",
+    "bulk_put",
+    "FramedChannel",
+    "FrameAssembler",
+]

@@ -1,0 +1,121 @@
+"""One-shot memory-to-memory bulk transfers.
+
+``bulk_put`` moves a block of words from source memory to destination
+memory, picking the finite-sequence machinery the network's services call
+for: the six-step CMAM handshake protocol on a CM-5-class network, or the
+collapsed Section 4 protocol on a CR-class network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.am.segments import SegmentTable
+from repro.api.endpoint import Endpoint
+from repro.protocols.cr_protocols import CRFiniteReceiver, CRFiniteSender
+from repro.protocols.finite_sequence import (
+    FiniteSequenceReceiver,
+    FiniteSequenceSender,
+)
+
+
+@dataclass
+class BulkResult:
+    """Outcome of a bulk transfer."""
+
+    completed: bool
+    words: int
+    dest_addr: int
+    mode: str
+    packets: int
+    data: List[int]
+
+
+class _BulkPlumbing:
+    """Per-destination reusable reception state (bound once per node)."""
+
+    def __init__(self, rx: Endpoint) -> None:
+        self.completions: List = []
+        if getattr(rx.network, "provides_in_order", False) and getattr(
+            rx.network, "provides_reliability", False
+        ):
+            self.mode = "cr"
+            self.receiver = CRFiniteReceiver(
+                rx.node, rx.dispatcher, costs=rx.costs,
+                on_complete=lambda _src, addr, words: self.completions.append(
+                    (addr, words)
+                ),
+            )
+        else:
+            self.mode = "cmam"
+            self.segments = SegmentTable()
+            self.receiver = FiniteSequenceReceiver(
+                rx.node, rx.dispatcher, costs=rx.costs, segments=self.segments,
+                on_complete=lambda segment: self.completions.append(
+                    (segment.base_addr, segment.size_words)
+                ),
+            )
+
+
+def _plumbing(rx: Endpoint) -> _BulkPlumbing:
+    existing = getattr(rx.node, "_bulk_plumbing", None)
+    if existing is None:
+        existing = _BulkPlumbing(rx)
+        rx.node._bulk_plumbing = existing
+    return existing
+
+
+def bulk_put(
+    tx: Endpoint,
+    rx: Endpoint,
+    data: Sequence[int],
+    src_addr: int = 0,
+    run_to_completion: bool = True,
+    rto: Optional[float] = None,
+) -> BulkResult:
+    """Transfer ``data`` from ``tx``'s memory to ``rx``'s memory.
+
+    The data is first written at ``src_addr`` in the source's memory (as
+    an application would have produced it), then moved by the appropriate
+    finite-sequence protocol.  With ``run_to_completion`` the simulator is
+    driven until quiescent and the destination copy is returned.
+    """
+    if tx.network is not rx.network:
+        raise ValueError("endpoints live on different networks")
+    data = list(data)
+    tx.node.memory.write_block(src_addr, data)
+    plumbing = _plumbing(rx)
+    already_done = len(plumbing.completions)
+
+    if plumbing.mode == "cr":
+        sender = CRFiniteSender(
+            tx.node, rx.node_id, src_addr, len(data), costs=tx.costs
+        )
+        sender.start()
+        packets = sender.packets
+    else:
+        sender = FiniteSequenceSender(
+            tx.node, tx.dispatcher, rx.node_id, src_addr, len(data),
+            costs=tx.costs, rto=rto,
+        )
+        sender.start()
+        packets = sender.packets
+
+    if not run_to_completion:
+        return BulkResult(False, len(data), -1, plumbing.mode, packets, [])
+
+    tx.node.sim.run()
+    new = plumbing.completions[already_done:]
+    if not new:
+        return BulkResult(False, len(data), -1, plumbing.mode, packets, [])
+    dest_addr, words = new[-1]
+    received = rx.node.memory.read_block(dest_addr, words)
+    return BulkResult(
+        completed=words == len(data),
+        words=words,
+        dest_addr=dest_addr,
+        mode=plumbing.mode,
+        packets=packets,
+        data=received,
+    )

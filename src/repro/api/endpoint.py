@@ -1,0 +1,53 @@
+"""Endpoints: a node's communication context."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.am.cmam import AMDispatcher, cmam_4
+from repro.am.costs import CmamCosts
+from repro.node import Node
+
+
+class Endpoint:
+    """Wraps a node with a dispatcher and a friendly send/handler surface.
+
+    One endpoint per node; creating a second one would fight over the
+    node's NI notification hook, so the constructor enforces uniqueness.
+    """
+
+    def __init__(self, node: Node, costs: Optional[CmamCosts] = None) -> None:
+        if getattr(node, "_api_endpoint", None) is not None:
+            raise ValueError(f"node {node.node_id} already has an endpoint")
+        node._api_endpoint = self
+        self.node = node
+        self.costs = costs or CmamCosts(n=node.ni.packet_size)
+        self.dispatcher = AMDispatcher(node, costs=self.costs)
+
+    # -- active messages ------------------------------------------------------
+
+    def on(self, handler_name: str) -> Callable[[Callable], Callable]:
+        """Decorator: register an active-message handler."""
+
+        def register(fn: Callable) -> Callable:
+            self.node.register_handler(handler_name, fn)
+            return fn
+
+        return register
+
+    def send_am(self, dst: "Endpoint", handler: str, words: Tuple[int, ...]) -> None:
+        """Fire a four-word active message at a remote handler."""
+        cmam_4(self.node, dst.node.node_id, handler, words, costs=self.costs)
+
+    # -- identity ----------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def network(self):
+        return self.node.network
+
+    def __repr__(self) -> str:
+        return f"Endpoint(node={self.node.node_id})"

@@ -1,0 +1,37 @@
+"""Instruction-level cost accounting substrate.
+
+The paper measures messaging cost as *dynamic instruction counts*, split into
+three subcategories reflecting the cost hierarchy of machines with
+memory-mapped network interfaces (Appendix A):
+
+* ``reg``  -- register-based instructions,
+* ``mem``  -- loads and stores to memory,
+* ``dev``  -- loads and stores to memory-mapped devices (the NI).
+
+This package provides the machinery to perform that accounting while the
+messaging layer actually executes: an instruction taxonomy
+(:mod:`repro.arch.isa`), per-feature attribution of counts
+(:mod:`repro.arch.attribution`), count matrices
+(:mod:`repro.arch.counters`), an abstract processor that messaging-layer
+code charges its work to (:mod:`repro.arch.machine`), and weighted cycle
+models that convert counts into machine-specific cycle estimates
+(:mod:`repro.arch.costmodel`).
+"""
+
+from repro.arch.isa import InstrClass, InstructionMix
+from repro.arch.attribution import Feature, AttributionStack
+from repro.arch.counters import CostMatrix
+from repro.arch.machine import AbstractProcessor
+from repro.arch.costmodel import CostModel, UNIT_COST_MODEL, CM5_CYCLE_MODEL
+
+__all__ = [
+    "InstrClass",
+    "InstructionMix",
+    "Feature",
+    "AttributionStack",
+    "CostMatrix",
+    "AbstractProcessor",
+    "CostModel",
+    "UNIT_COST_MODEL",
+    "CM5_CYCLE_MODEL",
+]

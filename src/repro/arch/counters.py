@@ -1,0 +1,138 @@
+"""Cost matrices: instruction counts indexed by feature and class.
+
+A :class:`CostMatrix` is the reproduction's equivalent of one half (source
+or destination column group) of the paper's Table 2 / Table 3: for each
+:class:`~repro.arch.attribution.Feature` it records an
+:class:`~repro.arch.isa.InstructionMix`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.arch.attribution import FEATURE_ORDER, OVERHEAD_FEATURES, Feature
+from repro.arch.isa import InstrClass, InstructionMix, ZERO_MIX
+
+
+class CostMatrix:
+    """Mutable accumulator of instruction counts per feature.
+
+    The messaging layer charges into it through
+    :class:`~repro.arch.machine.AbstractProcessor`; analysis code reads it
+    back out per feature, per class, or as totals.
+    """
+
+    def __init__(self, initial: Optional[Mapping[Feature, InstructionMix]] = None) -> None:
+        self._counts: Dict[Feature, InstructionMix] = {}
+        if initial:
+            for feature, counts in initial.items():
+                self.add(feature, counts)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, feature: Feature, counts: InstructionMix) -> None:
+        """Accumulate ``counts`` into ``feature``'s bucket."""
+        if not isinstance(counts, InstructionMix):
+            raise TypeError(f"expected InstructionMix, got {counts!r}")
+        self._counts[feature] = self._counts.get(feature, ZERO_MIX) + counts
+
+    def add_one(self, feature: Feature, klass: InstrClass, count: int = 1) -> None:
+        """Accumulate ``count`` instructions of a single class."""
+        self.add(feature, InstructionMix.of(klass, count))
+
+    def merge(self, other: "CostMatrix") -> None:
+        """Accumulate every bucket of ``other`` into this matrix."""
+        for feature, counts in other.items():
+            self.add(feature, counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, feature: Feature) -> InstructionMix:
+        """Counts attributed to one feature (zero mix if never charged)."""
+        return self._counts.get(feature, ZERO_MIX)
+
+    def items(self) -> Iterable:
+        return self._counts.items()
+
+    def features(self) -> Iterable[Feature]:
+        return self._counts.keys()
+
+    @property
+    def total_mix(self) -> InstructionMix:
+        """Sum of all feature buckets as one mix."""
+        total = ZERO_MIX
+        for counts in self._counts.values():
+            total = total + counts
+        return total
+
+    @property
+    def total(self) -> int:
+        """Grand total instruction count (unit-cost model)."""
+        return self.total_mix.total
+
+    @property
+    def overhead_mix(self) -> InstructionMix:
+        """Sum of the paper's "messaging layer overhead" features, i.e.
+        everything except base data movement and user handler work."""
+        total = ZERO_MIX
+        for feature in OVERHEAD_FEATURES:
+            total = total + self.get(feature)
+        return total
+
+    @property
+    def overhead_total(self) -> int:
+        return self.overhead_mix.total
+
+    def overhead_fraction(self) -> float:
+        """Overhead as a fraction of the messaging-layer total.
+
+        User-handler work is excluded from the denominator, mirroring the
+        paper's decision to measure the messaging layer rather than the
+        application.
+        """
+        layer_total = self.total - self.get(Feature.USER).total
+        if layer_total == 0:
+            return 0.0
+        return self.overhead_total / layer_total
+
+    # -- combination --------------------------------------------------------
+
+    def __add__(self, other: "CostMatrix") -> "CostMatrix":
+        if not isinstance(other, CostMatrix):
+            return NotImplemented
+        result = CostMatrix(dict(self._counts))
+        result.merge(other)
+        return result
+
+    def copy(self) -> "CostMatrix":
+        return CostMatrix(dict(self._counts))
+
+    def snapshot(self) -> Dict[Feature, InstructionMix]:
+        """An immutable-ish snapshot for later diffing."""
+        return dict(self._counts)
+
+    def diff(self, baseline: Mapping[Feature, InstructionMix]) -> "CostMatrix":
+        """Counts accumulated since ``baseline`` (a prior :meth:`snapshot`)."""
+        result = CostMatrix()
+        for feature, counts in self._counts.items():
+            delta = counts - baseline.get(feature, ZERO_MIX)
+            if delta:
+                result.add(feature, delta)
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CostMatrix):
+            return NotImplemented
+        features = set(self._counts) | set(other._counts)
+        return all(self.get(f) == other.get(f) for f in features)
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{feature.value}={self.get(feature)}"
+            for feature in FEATURE_ORDER
+            if self.get(feature)
+        )
+        return f"CostMatrix({rows or 'empty'})"

@@ -1,0 +1,117 @@
+"""Instruction taxonomy used throughout the cost accounting.
+
+The paper's Appendix A classifies dynamic instructions into three
+subcategories based on the cost hierarchy prevalent in machines with
+memory-mapped network interfaces.  :class:`InstrClass` names them and
+:class:`InstructionMix` is an immutable (reg, mem, dev) count triple with
+vector arithmetic, which is the currency every other accounting structure
+trades in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Tuple
+
+
+class InstrClass(enum.Enum):
+    """The three instruction subcategories of the paper's Appendix A."""
+
+    REG = "reg"
+    MEM = "mem"
+    DEV = "dev"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical ordering of the instruction classes, used when rendering tables.
+INSTR_CLASSES: Tuple[InstrClass, ...] = (InstrClass.REG, InstrClass.MEM, InstrClass.DEV)
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """An immutable count of instructions per :class:`InstrClass`.
+
+    Supports addition, subtraction, and scalar multiplication so cost
+    formulas read naturally, e.g. ``SEND_PACKET * p + SEND_CONST``.
+    """
+
+    reg: int = 0
+    mem: int = 0
+    dev: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("reg", "mem", "dev"):
+            value = getattr(self, name)
+            if not isinstance(value, int):
+                raise TypeError(f"{name} count must be an int, got {value!r}")
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "InstructionMix") -> "InstructionMix":
+        if not isinstance(other, InstructionMix):
+            return NotImplemented
+        return InstructionMix(self.reg + other.reg, self.mem + other.mem, self.dev + other.dev)
+
+    def __sub__(self, other: "InstructionMix") -> "InstructionMix":
+        if not isinstance(other, InstructionMix):
+            return NotImplemented
+        return InstructionMix(self.reg - other.reg, self.mem - other.mem, self.dev - other.dev)
+
+    def __mul__(self, factor: int) -> "InstructionMix":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return InstructionMix(self.reg * factor, self.mem * factor, self.dev * factor)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "InstructionMix":
+        return InstructionMix(-self.reg, -self.mem, -self.dev)
+
+    def __bool__(self) -> bool:
+        return bool(self.reg or self.mem or self.dev)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total instruction count under the paper's unit-cost model."""
+        return self.reg + self.mem + self.dev
+
+    def count(self, klass: InstrClass) -> int:
+        """Return the count for one instruction class."""
+        return getattr(self, klass.value)
+
+    def as_dict(self) -> Mapping[str, int]:
+        """Return a plain ``{"reg": ..., "mem": ..., "dev": ...}`` mapping."""
+        return {"reg": self.reg, "mem": self.mem, "dev": self.dev}
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.reg
+        yield self.mem
+        yield self.dev
+
+    @classmethod
+    def of(cls, klass: InstrClass, count: int) -> "InstructionMix":
+        """Build a mix with ``count`` instructions of a single class."""
+        return cls(**{klass.value: count})
+
+    @classmethod
+    def zero(cls) -> "InstructionMix":
+        return _ZERO
+
+    def __str__(self) -> str:
+        return f"(reg={self.reg}, mem={self.mem}, dev={self.dev})"
+
+
+_ZERO = InstructionMix(0, 0, 0)
+
+#: Convenience constant: the empty mix.
+ZERO_MIX = _ZERO
+
+
+def mix(reg: int = 0, mem: int = 0, dev: int = 0) -> InstructionMix:
+    """Shorthand constructor used heavily by the calibrated cost tables."""
+    return InstructionMix(reg=reg, mem=mem, dev=dev)

@@ -1,0 +1,126 @@
+"""The abstract processor that messaging-layer code charges work to.
+
+The paper measured CMAM by counting the dynamic instructions of its SPARC
+assembly.  Our messaging layer is Python, so instead of counting interpreted
+bytecodes (which would measure CPython, not CMAM) each messaging-layer
+routine *declares* the instructions its CM-5 counterpart executes, using the
+calibrated per-operation costs in :mod:`repro.am.costs`.  The declarations
+are made against an :class:`AbstractProcessor`, which routes them into a
+:class:`~repro.arch.counters.CostMatrix` under the currently attributed
+feature.
+
+The processor exposes both fine-grained operations (``reg_ops``, ``loads``,
+``stores``, ``dev_loads``, ``dev_stores``) and a bulk ``charge`` for
+pre-composed mixes.  Fine-grained calls are used where the code structure
+mirrors individual instructions (e.g. the NI access layer); bulk charges are
+used for calibrated basic blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.attribution import AttributionStack, Feature, attribution
+from repro.arch.counters import CostMatrix
+from repro.arch.isa import InstrClass, InstructionMix
+
+
+class AbstractProcessor:
+    """Per-node instruction accountant.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and error messages (usually the node id).
+    """
+
+    def __init__(self, name: str = "cpu") -> None:
+        self.name = name
+        self.costs = CostMatrix()
+        self._attribution = AttributionStack()
+        self._frozen = False
+
+    # -- attribution --------------------------------------------------------
+
+    def attribute(self, feature: Feature) -> attribution:
+        """Context manager: charges inside the block go to ``feature``."""
+        return attribution(self._attribution, feature)
+
+    @property
+    def current_feature(self) -> Feature:
+        return self._attribution.current
+
+    # -- freezing (used to assert that "free" paths charge nothing) ---------
+
+    def freeze(self) -> None:
+        """Make any subsequent charge raise.
+
+        Used by tests to prove that hardware-provided services (Section 4)
+        charge zero software instructions.
+        """
+        self._frozen = True
+
+    def thaw(self) -> None:
+        self._frozen = False
+
+    # -- charging -----------------------------------------------------------
+
+    def charge(self, counts: InstructionMix, feature: Optional[Feature] = None) -> None:
+        """Charge a pre-composed instruction mix.
+
+        ``feature`` overrides the attribution stack for this charge only;
+        normally the stack decides.
+        """
+        if not counts:
+            return
+        if self._frozen:
+            raise RuntimeError(
+                f"processor {self.name!r} is frozen but was charged {counts}"
+            )
+        self.costs.add(feature or self._attribution.current, counts)
+
+    def _charge_class(self, klass: InstrClass, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"cannot charge a negative count ({count})")
+        if count:
+            self.charge(InstructionMix.of(klass, count))
+
+    def reg_ops(self, count: int = 1) -> None:
+        """Register-based instructions: ALU, compare, branch, call/return."""
+        self._charge_class(InstrClass.REG, count)
+
+    def loads(self, count: int = 1) -> None:
+        """Loads from memory."""
+        self._charge_class(InstrClass.MEM, count)
+
+    def stores(self, count: int = 1) -> None:
+        """Stores to memory."""
+        self._charge_class(InstrClass.MEM, count)
+
+    def mem_ops(self, count: int = 1) -> None:
+        """Memory instructions where load/store distinction is immaterial."""
+        self._charge_class(InstrClass.MEM, count)
+
+    def dev_loads(self, count: int = 1) -> None:
+        """Loads from a memory-mapped device (the NI)."""
+        self._charge_class(InstrClass.DEV, count)
+
+    def dev_stores(self, count: int = 1) -> None:
+        """Stores to a memory-mapped device (the NI)."""
+        self._charge_class(InstrClass.DEV, count)
+
+    # -- measurement helpers --------------------------------------------------
+
+    def snapshot(self):
+        """Snapshot of accumulated costs, for later :meth:`delta`."""
+        return self.costs.snapshot()
+
+    def delta(self, baseline) -> CostMatrix:
+        """Costs accumulated since ``baseline`` (a prior :meth:`snapshot`)."""
+        return self.costs.diff(baseline)
+
+    def reset(self) -> None:
+        self.costs.reset()
+
+    def __repr__(self) -> str:
+        return f"AbstractProcessor({self.name!r}, total={self.costs.total})"

@@ -1,0 +1,30 @@
+"""Collective communication built on the messaging layer.
+
+The paper's context is parallel programs ("a collection of computing
+nodes work in concert") coordinating through messaging layers like CMMD
+[25] and MPI [10].  This package provides the collectives such programs
+run on — barrier, broadcast, reduce, gather — implemented as binomial /
+dissemination algorithms over the repro protocol stack, so every
+collective's software cost decomposes into the paper's per-transfer
+numbers and the CM-5-versus-CR comparison extends from single transfers
+to whole collective operations.
+"""
+
+from repro.collectives.cluster import Cluster
+from repro.collectives.barrier import barrier
+from repro.collectives.broadcast import broadcast
+from repro.collectives.reduce import reduce_sum
+from repro.collectives.gather import gather
+from repro.collectives.scatter import scatter, alltoall
+from repro.collectives.allreduce import allreduce_sum
+
+__all__ = [
+    "Cluster",
+    "barrier",
+    "broadcast",
+    "reduce_sum",
+    "gather",
+    "scatter",
+    "alltoall",
+    "allreduce_sum",
+]

@@ -1,0 +1,62 @@
+"""All-reduce: every rank ends with the global sum.
+
+Composed as reduce-to-root followed by broadcast-from-root — the textbook
+two-phase algorithm, which also demonstrates collective *composition* on
+this stack: the broadcast must not start until the reduction delivers,
+which the completion callbacks sequence naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collectives.broadcast import BroadcastHandle, broadcast
+from repro.collectives.cluster import Cluster
+from repro.collectives.reduce import ReduceHandle, reduce_sum
+
+
+@dataclass
+class AllReduceHandle:
+    """Observable state of one all-reduce."""
+
+    n: int
+    reduce_handle: Optional[ReduceHandle] = None
+    broadcast_handle: Optional[BroadcastHandle] = None
+
+    @property
+    def completed(self) -> bool:
+        return (
+            self.broadcast_handle is not None
+            and self.broadcast_handle.completed
+        )
+
+    def result_at(self, rank: int) -> Optional[List[int]]:
+        if self.broadcast_handle is None:
+            return None
+        return self.broadcast_handle.data_at(rank)
+
+
+def allreduce_sum(
+    cluster: Cluster, contributions: List[List[int]], root: int = 0
+) -> AllReduceHandle:
+    """Word-wise sum of all contributions, delivered to every rank.
+
+    Drive the cluster until quiescent *twice is not needed*: the
+    broadcast is kicked off from inside the reduction's completion, so a
+    single ``cluster.run()`` finishes the whole collective.
+    """
+    handle = AllReduceHandle(n=cluster.n)
+    handle.reduce_handle = reduce_sum(cluster, root=root, contributions=contributions)
+
+    def watch_reduction() -> None:
+        if handle.reduce_handle.completed:
+            # Rebind the bulk handlers for the broadcast phase.
+            handle.broadcast_handle = broadcast(
+                cluster, root=root, data=handle.reduce_handle.result
+            )
+        else:
+            cluster.sim.schedule(1.0, watch_reduction, label="allreduce.watch")
+
+    cluster.sim.call_now(watch_reduction, label="allreduce.watch")
+    return handle

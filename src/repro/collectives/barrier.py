@@ -1,0 +1,101 @@
+"""Dissemination barrier over active messages.
+
+ceil(log2 N) rounds; in round r every rank sends a four-word active
+message to ``(rank + 2^r) mod N`` and advances once it has received the
+round-r message aimed at it.  Tolerates rounds arriving early (a fast
+neighbour may be a round ahead) by counting per-round receipts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.am.cmam import cmam_4
+from repro.collectives.cluster import Cluster
+
+#: Handler work per barrier message: bump a round counter.
+_HANDLER_REG_COST = 4
+
+
+@dataclass
+class BarrierHandle:
+    """Observable state of one barrier operation."""
+
+    n: int
+    rounds: int
+    done: List[bool] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return all(self.done)
+
+    @property
+    def completed_ranks(self) -> int:
+        return sum(self.done)
+
+
+class _BarrierState:
+    """Per-rank progress through the dissemination rounds."""
+
+    def __init__(self) -> None:
+        self.round = 0
+        self.received: Dict[int, int] = {}
+
+
+_generation_counter = [0]
+
+
+def barrier(cluster: Cluster) -> BarrierHandle:
+    """Start a barrier across all ranks; returns a handle to observe.
+
+    Drive the simulator (``cluster.run()``) to completion; the handle's
+    ``completed`` flips to True only when every rank has finished every
+    round — the defining property that no rank exits before all entered.
+    """
+    n = cluster.n
+    rounds = max(1, math.ceil(math.log2(n))) if n > 1 else 0
+    handle = BarrierHandle(n=n, rounds=rounds, done=[False] * n)
+    if n == 1:
+        handle.done[0] = True
+        return handle
+
+    generation = _generation_counter[0]
+    _generation_counter[0] += 1
+    handler_name = f"coll.barrier.{generation}"
+    states = [_BarrierState() for _ in range(n)]
+
+    def advance(rank: int) -> None:
+        state = states[rank]
+        while state.round < rounds and state.received.get(state.round, 0) > 0:
+            state.received[state.round] -= 1
+            state.round += 1
+            if state.round < rounds:
+                _send(rank, state.round)
+            else:
+                handle.done[rank] = True
+
+    def _send(rank: int, round_no: int) -> None:
+        peer = (rank + (1 << round_no)) % n
+        cmam_4(
+            cluster.nodes[rank], peer, handler_name,
+            (round_no, rank, generation, 0), costs=cluster.costs,
+        )
+
+    def make_handler(rank: int):
+        def on_barrier(node, round_no, _src, _gen, _pad) -> None:
+            node.processor.reg_ops(_HANDLER_REG_COST)
+            state = states[rank]
+            state.received[round_no] = state.received.get(round_no, 0) + 1
+            advance(rank)
+
+        return on_barrier
+
+    for rank in range(n):
+        cluster.nodes[rank].register_handler(handler_name, make_handler(rank))
+
+    # Kick off round 0 everywhere.
+    for rank in range(n):
+        _send(rank, 0)
+    return handle

@@ -1,0 +1,85 @@
+"""Binomial-tree broadcast of a data block.
+
+The root's block fans out along a binomial tree: a rank that holds the
+block forwards it to ranks ``rel + 2^k`` (relative to the root) for every
+``2^k > rel``, largest subtree first.  Each hop is one finite-sequence
+bulk transfer, so the collective's cost is exactly ``N - 1`` transfers'
+worth of the paper's per-transfer numbers — cheap on CR, handshake-laden
+on the CM-5.
+
+Forwarding from one rank is serialized (the xfer interface supports one
+outstanding send), chained on send completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.collectives.cluster import Cluster
+
+
+@dataclass
+class BroadcastHandle:
+    """Observable state of one broadcast."""
+
+    root: int
+    n: int
+    received: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return len(self.received) == self.n
+
+    def data_at(self, rank: int) -> Optional[List[int]]:
+        return self.received.get(rank)
+
+
+def _children(rel: int, n: int) -> List[int]:
+    """Binomial-tree children of relative rank ``rel``, largest first."""
+    kids = []
+    k = 0
+    while (1 << k) < n:
+        if (1 << k) > rel and rel + (1 << k) < n:
+            kids.append(rel + (1 << k))
+        k += 1
+    return list(reversed(kids))
+
+
+def broadcast(cluster: Cluster, root: int, data: List[int]) -> BroadcastHandle:
+    """Broadcast ``data`` from ``root`` to every rank; drive the simulator
+    to completion and check the handle."""
+    n = cluster.n
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    if not data:
+        raise ValueError("cannot broadcast an empty block")
+    handle = BroadcastHandle(root=root, n=n)
+
+    def to_abs(rel: int) -> int:
+        return (rel + root) % n
+
+    def forward_from(rank: int, block: List[int]) -> None:
+        handle.received[rank] = list(block)
+        rel = (rank - root) % n
+        kids = [to_abs(c) for c in _children(rel, n)]
+
+        def send_next(remaining: List[int]) -> None:
+            if not remaining:
+                return
+            target, rest = remaining[0], remaining[1:]
+            cluster.send_bulk(
+                rank, target, block, on_sent=lambda: send_next(rest)
+            )
+
+        send_next(kids)
+
+    for rank in range(n):
+        if rank != root:
+            cluster.on_bulk(
+                rank,
+                lambda _src, block, rank=rank: forward_from(rank, block),
+            )
+
+    forward_from(root, data)
+    return handle

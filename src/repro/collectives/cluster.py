@@ -1,0 +1,132 @@
+"""A cluster of endpoints for collective operations."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.am.cmam import AMDispatcher
+from repro.am.costs import CmamCosts
+from repro.am.segments import Segment, SegmentTable
+from repro.arch.counters import CostMatrix
+from repro.node import Node
+from repro.protocols.cr_protocols import CRFiniteReceiver, CRFiniteSender
+from repro.protocols.finite_sequence import (
+    FiniteSequenceReceiver,
+    FiniteSequenceSender,
+)
+from repro.sim.engine import Simulator
+
+
+class Cluster:
+    """N nodes with dispatchers and reusable bulk-transfer plumbing.
+
+    Collectives address nodes by *rank* (== node id here).  The cluster
+    detects whether the network provides in-order reliable delivery and
+    wires the cheap CR bulk path or the CMAM handshake path accordingly —
+    the same service-flag dispatch the channels API uses.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Any,
+        n_nodes: int,
+        costs: Optional[CmamCosts] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.network = network
+        self.n = n_nodes
+        self.costs = costs or CmamCosts()
+        self.hardware_services = bool(
+            getattr(network, "provides_in_order", False)
+            and getattr(network, "provides_reliability", False)
+        )
+        self.nodes: List[Node] = []
+        self.dispatchers: List[AMDispatcher] = []
+        self._bulk_handlers: Dict[int, Callable[[int, List[int]], None]] = {}
+        self._baselines = []
+        for rank in range(n_nodes):
+            node = Node(rank, sim, network, packet_size=self.costs.n)
+            dispatcher = AMDispatcher(node, costs=self.costs)
+            self.nodes.append(node)
+            self.dispatchers.append(dispatcher)
+            self._wire_bulk_receiver(rank, node, dispatcher)
+        self._baselines = [node.processor.snapshot() for node in self.nodes]
+
+    # -- bulk plumbing ---------------------------------------------------------------
+
+    def _wire_bulk_receiver(self, rank: int, node: Node, dispatcher: AMDispatcher) -> None:
+        if self.hardware_services:
+            def on_cr_complete(src: int, addr: int, words: int,
+                               rank=rank, node=node) -> None:
+                data = node.memory.read_block(addr, words)
+                self._dispatch_bulk(rank, src=src, data=data)
+
+            CRFiniteReceiver(node, dispatcher, costs=self.costs,
+                             on_complete=on_cr_complete)
+        else:
+            def on_complete(segment: Segment, rank=rank, node=node) -> None:
+                data = node.memory.read_block(segment.base_addr, segment.size_words)
+                self._dispatch_bulk(rank, src=segment.owner, data=data)
+
+            FiniteSequenceReceiver(
+                node, dispatcher, costs=self.costs,
+                segments=SegmentTable(capacity_segments=max(8, self.n)),
+                on_complete=on_complete,
+            )
+
+    def _dispatch_bulk(self, rank: int, src: int, data: List[int]) -> None:
+        handler = self._bulk_handlers.get(rank)
+        if handler is None:
+            raise RuntimeError(f"rank {rank} received a bulk block with no handler")
+        handler(src, data)
+
+    def on_bulk(self, rank: int, handler: Callable[[int, List[int]], None]) -> None:
+        """Install rank's handler for arriving bulk blocks:
+        ``handler(src_rank, data)``."""
+        self._bulk_handlers[rank] = handler
+
+    def send_bulk(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        data: List[int],
+        on_sent: Optional[Callable[[], None]] = None,
+        scratch_addr: int = 0,
+    ) -> None:
+        """Start one bulk transfer; ``on_sent`` fires when the source may
+        reuse its send state (ack on CMAM, immediately after injection on
+        CR, where delivery is guaranteed)."""
+        node = self.nodes[src_rank]
+        node.memory.write_block(scratch_addr, data)
+        if self.hardware_services:
+            CRFiniteSender(
+                node, dst_rank, scratch_addr, len(data), costs=self.costs
+            ).start()
+            if on_sent is not None:
+                self.sim.call_now(on_sent, label="collective.sent")
+        else:
+            FiniteSequenceSender(
+                node, self.dispatchers[src_rank], dst_rank,
+                scratch_addr, len(data), costs=self.costs,
+                on_complete=(lambda _sender: on_sent()) if on_sent else None,
+            ).start()
+
+    # -- measurement -------------------------------------------------------------------
+
+    def reset_measurement(self) -> None:
+        self._baselines = [node.processor.snapshot() for node in self.nodes]
+
+    def costs_by_rank(self) -> List[CostMatrix]:
+        return [
+            node.processor.delta(baseline)
+            for node, baseline in zip(self.nodes, self._baselines)
+        ]
+
+    def total_cost(self) -> int:
+        return sum(matrix.total for matrix in self.costs_by_rank())
+
+    def run(self) -> None:
+        self.sim.run()

@@ -1,0 +1,62 @@
+"""Gather: every rank's block collected at the root.
+
+Direct (flat) gather: each non-root rank bulk-sends its block to the root;
+the root identifies contributors by the transfer's source and assembles
+``results[rank]``.  Stresses concurrent inbound transfers at one node —
+the root's segment table (CMAM) or per-source cursor table (CR) keeps the
+interleaved streams apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.collectives.cluster import Cluster
+
+
+@dataclass
+class GatherHandle:
+    """Observable state of one gather."""
+
+    root: int
+    n: int
+    results: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return len(self.results) == self.n
+
+    def assembled(self) -> List[int]:
+        """All blocks concatenated in rank order (requires completion)."""
+        if not self.completed:
+            raise RuntimeError("gather not complete")
+        out: List[int] = []
+        for rank in range(self.n):
+            out.extend(self.results[rank])
+        return out
+
+
+def gather(cluster: Cluster, root: int, blocks: List[List[int]]) -> GatherHandle:
+    """Collect ``blocks[rank]`` from every rank at ``root``."""
+    n = cluster.n
+    if len(blocks) != n:
+        raise ValueError("need exactly one block per rank")
+    if any(not block for block in blocks):
+        raise ValueError("blocks must be non-empty")
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+
+    handle = GatherHandle(root=root, n=n)
+    handle.results[root] = list(blocks[root])
+
+    def on_block(src: int, data: List[int]) -> None:
+        if src in handle.results:
+            raise RuntimeError(f"duplicate gather contribution from {src}")
+        handle.results[src] = list(data)
+
+    cluster.on_bulk(root, on_block)
+    for rank in range(n):
+        if rank != root:
+            cluster.send_bulk(rank, root, blocks[rank])
+    return handle

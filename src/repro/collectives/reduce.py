@@ -1,0 +1,107 @@
+"""Binomial-tree sum reduction.
+
+The mirror image of broadcast: every rank contributes an equal-length
+vector of words; partial sums flow up the binomial tree (children combine
+into parents, word-wise modulo 2^32), and the full sum lands at the root.
+Combination work is charged to the USER feature — it is application
+compute, not messaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.attribution import Feature
+from repro.collectives.cluster import Cluster
+
+_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class ReduceHandle:
+    """Observable state of one reduction."""
+
+    root: int
+    n: int
+    result: Optional[List[int]] = None
+    contributions_combined: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+
+def _parent(rel: int) -> int:
+    """Clear the highest set bit: the binomial parent."""
+    return rel - (1 << (rel.bit_length() - 1))
+
+
+def _expected_children(rel: int, n: int) -> int:
+    count = 0
+    k = 0
+    while (1 << k) < n:
+        if (1 << k) > rel and rel + (1 << k) < n:
+            count += 1
+        k += 1
+    return count
+
+
+def reduce_sum(
+    cluster: Cluster, root: int, contributions: List[List[int]]
+) -> ReduceHandle:
+    """Reduce per-rank vectors to their word-wise sum at ``root``.
+
+    ``contributions[rank]`` is rank's vector; all must share one length.
+    """
+    n = cluster.n
+    if len(contributions) != n:
+        raise ValueError("need exactly one contribution per rank")
+    width = len(contributions[0])
+    if width == 0 or any(len(c) != width for c in contributions):
+        raise ValueError("contributions must share one non-zero length")
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+
+    handle = ReduceHandle(root=root, n=n)
+    partial: Dict[int, List[int]] = {
+        rank: list(contributions[rank]) for rank in range(n)
+    }
+    waiting: Dict[int, int] = {}
+
+    def to_abs(rel: int) -> int:
+        return (rel + root) % n
+
+    def combine(rank: int, incoming: List[int]) -> None:
+        mine = partial[rank]
+        node = cluster.nodes[rank]
+        with node.processor.attribute(Feature.USER):
+            node.processor.reg_ops(len(incoming))  # the adds
+            node.processor.mem_ops((len(incoming) + 1) // 2)  # accumulator traffic
+        for i, word in enumerate(incoming):
+            mine[i] = (mine[i] + word) & _MASK
+        handle.contributions_combined += 1
+        waiting[rank] -= 1
+        maybe_forward(rank)
+
+    def maybe_forward(rank: int) -> None:
+        if waiting[rank] > 0:
+            return
+        rel = (rank - root) % n
+        if rel == 0:
+            handle.result = list(partial[rank])
+            return
+        parent_rank = to_abs(_parent(rel))
+        cluster.send_bulk(rank, parent_rank, partial[rank])
+
+    for rank in range(n):
+        rel = (rank - root) % n
+        waiting[rank] = _expected_children(rel, n)
+        cluster.on_bulk(
+            rank, lambda _src, block, rank=rank: combine(rank, block)
+        )
+
+    # Leaves (no children) fire immediately.
+    for rank in range(n):
+        maybe_forward(rank)
+    return handle

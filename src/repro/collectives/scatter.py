@@ -1,0 +1,120 @@
+"""Scatter and all-to-all personalized communication.
+
+* :func:`scatter` — the root sends a distinct block to every rank
+  (sequential sends from the root: the xfer interface allows one
+  outstanding transfer per sender).
+* :func:`alltoall` — every rank sends a distinct block to every other
+  rank; N·(N-1) simultaneous transfers that exercise concurrent
+  reassembly at every node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.collectives.cluster import Cluster
+
+
+@dataclass
+class ScatterHandle:
+    """Observable state of one scatter."""
+
+    root: int
+    n: int
+    received: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return len(self.received) == self.n
+
+
+def scatter(cluster: Cluster, root: int, blocks: List[List[int]]) -> ScatterHandle:
+    """Deliver ``blocks[rank]`` to each rank from ``root``."""
+    n = cluster.n
+    if len(blocks) != n:
+        raise ValueError("need exactly one block per rank")
+    if any(not block for block in blocks):
+        raise ValueError("blocks must be non-empty")
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+
+    handle = ScatterHandle(root=root, n=n)
+    handle.received[root] = list(blocks[root])
+
+    for rank in range(n):
+        if rank != root:
+            cluster.on_bulk(
+                rank,
+                lambda _src, data, rank=rank: handle.received.__setitem__(
+                    rank, list(data)
+                ),
+            )
+
+    targets = [rank for rank in range(n) if rank != root]
+
+    def send_next(remaining: List[int]) -> None:
+        if not remaining:
+            return
+        target, rest = remaining[0], remaining[1:]
+        cluster.send_bulk(
+            root, target, blocks[target], on_sent=lambda: send_next(rest)
+        )
+
+    send_next(targets)
+    return handle
+
+
+@dataclass
+class AllToAllHandle:
+    """Observable state of one all-to-all exchange."""
+
+    n: int
+    #: received[dst][src] = block
+    received: Dict[int, Dict[int, List[int]]] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> bool:
+        return all(
+            len(self.received.get(rank, {})) == self.n for rank in range(self.n)
+        )
+
+
+def alltoall(cluster: Cluster, blocks: List[List[List[int]]]) -> AllToAllHandle:
+    """Exchange ``blocks[src][dst]`` between every pair of ranks.
+
+    Each source serializes its N-1 outgoing transfers; all sources run
+    concurrently, so every destination reassembles N-1 interleaved
+    inbound transfers at once.
+    """
+    n = cluster.n
+    if len(blocks) != n or any(len(row) != n for row in blocks):
+        raise ValueError("blocks must be an n x n matrix")
+    handle = AllToAllHandle(n=n)
+    for rank in range(n):
+        handle.received[rank] = {rank: list(blocks[rank][rank])}
+
+    for rank in range(n):
+        cluster.on_bulk(
+            rank,
+            lambda src, data, rank=rank: handle.received[rank].__setitem__(
+                src, list(data)
+            ),
+        )
+
+    def make_chain(src: int):
+        def send_next(remaining: List[int]) -> None:
+            if not remaining:
+                return
+            dst, rest = remaining[0], remaining[1:]
+            cluster.send_bulk(
+                src, dst, blocks[src][dst],
+                on_sent=lambda: send_next(rest),
+            )
+
+        return send_next
+
+    for src in range(n):
+        targets = [dst for dst in range(n) if dst != src]
+        make_chain(src)(targets)
+    return handle

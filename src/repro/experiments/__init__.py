@@ -1,0 +1,19 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each module produces one artifact from live simulation runs (not from the
+closed-form model, except where the paper's own artifact *is* the model —
+Figure 8 left), compares against the published values transcribed in
+:mod:`repro.analysis.published`, and renders an ASCII version.
+
+Run them all::
+
+    python -m repro.experiments.runner all
+
+or one::
+
+    python -m repro.experiments.runner table2
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all"]

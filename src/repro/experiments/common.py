@@ -1,0 +1,69 @@
+"""Shared experiment scaffolding."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro import (
+    CmamCosts,
+    InOrderDelivery,
+    quick_cr_setup,
+    quick_setup,
+    run_cr_finite_sequence,
+    run_cr_indefinite_sequence,
+    run_finite_sequence,
+    run_indefinite_sequence,
+)
+from repro.protocols.base import ProtocolResult
+
+
+@dataclass
+class ExperimentOutput:
+    """One regenerated artifact: identifier, rendered text, structured data,
+    and pass/fail of the fidelity checks against the published values."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ===", "", self.rendered, ""]
+        if self.checks:
+            lines.append("Fidelity checks:")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+def measure_finite(message_words: int, n: int = 4) -> ProtocolResult:
+    """One finite-sequence run in the paper's quiet-pair configuration."""
+    costs = CmamCosts(n=n)
+    sim, src, dst, _net = quick_setup(packet_size=n, delivery_factory=InOrderDelivery)
+    return run_finite_sequence(sim, src, dst, message_words, costs=costs)
+
+
+def measure_indefinite(message_words: int, n: int = 4, **kwargs) -> ProtocolResult:
+    """One indefinite-sequence run with the paper's half-out-of-order
+    delivery assumption."""
+    costs = CmamCosts(n=n)
+    sim, src, dst, _net = quick_setup(packet_size=n)
+    return run_indefinite_sequence(sim, src, dst, message_words, costs=costs, **kwargs)
+
+
+def measure_cr_finite(message_words: int, n: int = 4) -> ProtocolResult:
+    costs = CmamCosts(n=n)
+    sim, src, dst, _net = quick_cr_setup(packet_size=n)
+    return run_cr_finite_sequence(sim, src, dst, message_words, costs=costs)
+
+
+def measure_cr_indefinite(message_words: int, n: int = 4) -> ProtocolResult:
+    costs = CmamCosts(n=n)
+    sim, src, dst, _net = quick_cr_setup(packet_size=n)
+    return run_cr_indefinite_sequence(sim, src, dst, message_words, costs=costs)

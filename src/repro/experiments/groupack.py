@@ -1,0 +1,69 @@
+"""Group-acknowledgement study (Section 3.2's aside).
+
+"The overhead remains significant (~40-50%) even if group acknowledgements
+are employed."  We sweep the ack group size for the indefinite-sequence
+protocol (16 and 1024 words) with live simulation and report the overhead
+fractions.  Our reconstruction converges to ~51-56 % rather than 40-50 %:
+even with free acknowledgements, sequencing plus source buffering alone is
+~51 % of the total under the half-out-of-order assumption, so the paper's
+quoted band is not reachable from its own published per-feature costs.
+EXPERIMENTS.md records the discrepancy; the qualitative claim ("remains
+significant") clearly holds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.common import ExperimentOutput, measure_indefinite
+from repro.analysis.report import render_series
+from repro.protocols.acks import make_ack_policy
+
+EXPERIMENT_ID = "groupack"
+TITLE = "Overhead with group acknowledgements (Section 3.2 claim)"
+
+GROUPS: Tuple[Optional[int], ...] = (None, 2, 4, 8, 16, 32)
+
+
+def run() -> ExperimentOutput:
+    checks: Dict[str, bool] = {}
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    data: Dict[str, Dict[str, float]] = {}
+
+    for words in (16, 1024):
+        points: List[Tuple[float, float]] = []
+        for group in GROUPS:
+            result = measure_indefinite(words, ack_policy=make_ack_policy(group))
+            x = 1.0 if group is None else float(group)
+            points.append((x, result.overhead_fraction))
+            data[f"{words}w-G{group or 1}"] = {
+                "total": result.total,
+                "overhead_fraction": round(result.overhead_fraction, 4),
+                "acks": result.detail["acks_sent"],
+            }
+        series[f"{words}-word message"] = points
+
+    rendered = render_series(
+        "Indefinite-sequence overhead fraction vs ack group size "
+        "(G=1 is per-packet)",
+        "ack group",
+        series,
+    )
+
+    large = dict(series["1024-word message"])
+    checks["overhead falls as group size grows"] = (
+        large[1.0] > large[32.0]
+    )
+    checks["overhead remains significant with group acks (>40%)"] = (
+        large[32.0] > 0.40
+    )
+    checks["per-packet overhead ~70% (paper's headline)"] = (
+        0.68 <= large[1.0] <= 0.72
+    )
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered=rendered,
+        data=data,
+        checks=checks,
+    )

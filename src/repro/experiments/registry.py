@@ -1,0 +1,50 @@
+"""Experiment registry and batch runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    amortization_exp,
+    contention_exp,
+    diagrams,
+    extensions,
+    faultrate_exp,
+    figure1,
+    figure6,
+    figure8,
+    groupack,
+    table1,
+    table2,
+    table3,
+)
+from repro.experiments.common import ExperimentOutput
+
+#: All regenerable artifacts: the paper's, in paper order, then extensions.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentOutput]] = {
+    figure1.EXPERIMENT_ID: figure1.run,
+    table1.EXPERIMENT_ID: table1.run,
+    table2.EXPERIMENT_ID: table2.run,
+    table3.EXPERIMENT_ID: table3.run,
+    diagrams.EXPERIMENT_ID: diagrams.run,
+    figure6.EXPERIMENT_ID: figure6.run,
+    figure8.EXPERIMENT_ID: figure8.run,
+    groupack.EXPERIMENT_ID: groupack.run,
+    amortization_exp.EXPERIMENT_ID: amortization_exp.run,
+    extensions.LATENCY_ID: extensions.run_latency,
+    extensions.RECEPTION_ID: extensions.run_reception,
+    extensions.NI_VARIANTS_ID: extensions.run_ni_variants,
+    contention_exp.EXPERIMENT_ID: contention_exp.run,
+    faultrate_exp.EXPERIMENT_ID: faultrate_exp.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentOutput]:
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[experiment_id]
+
+
+def run_all() -> List[ExperimentOutput]:
+    return [run() for run in EXPERIMENTS.values()]

@@ -1,0 +1,114 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner all
+    python -m repro.experiments.runner table2 figure6
+    repro-experiments all            # via the installed console script
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment data to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of Karamcheti & Chien, "
+            "'Software Overhead in Messaging Layers' (ASPLOS 1994)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the fidelity-check summary",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit structured results as JSON instead of rendered tables",
+    )
+    parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="save structured results to DIR (one JSON per experiment)",
+    )
+    parser.add_argument(
+        "--diff", metavar="DIR", default=None,
+        help="compare results against a run saved with --save; "
+             "exit non-zero on regression",
+    )
+    args = parser.parse_args(argv)
+
+    requested = args.experiments or ["all"]
+    if "all" in requested:
+        requested = list(EXPERIMENTS)
+
+    failures = 0
+    json_payload = []
+    outputs = []
+    for experiment_id in requested:
+        output = get_experiment(experiment_id)()
+        outputs.append(output)
+        if args.json:
+            json_payload.append({
+                "experiment": output.experiment_id,
+                "title": output.title,
+                "data": _jsonable(output.data),
+                "checks": output.checks,
+                "pass": output.all_checks_pass,
+            })
+        elif args.quiet:
+            status = "PASS" if output.all_checks_pass else "FAIL"
+            print(f"[{status}] {output.experiment_id}: {output.title}")
+        else:
+            print(output.render())
+            print()
+        if not output.all_checks_pass:
+            failures += 1
+    if args.json:
+        print(json.dumps(json_payload, indent=2))
+    if args.save:
+        from repro.experiments.store import save_outputs
+
+        paths = save_outputs(outputs, args.save)
+        print(f"saved {len(paths)} result file(s) to {args.save}", file=sys.stderr)
+    if args.diff:
+        from repro.experiments.store import diff_runs, load_run, save_outputs
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            save_outputs(outputs, scratch)
+            diff = diff_runs(load_run(args.diff), load_run(scratch))
+        print(diff.render())
+        if diff.is_regression:
+            return 1
+    if failures:
+        print(f"{failures} experiment(s) had failing fidelity checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,130 @@
+"""Experiment-result persistence and regression diffing.
+
+A reproduction is only as good as its repeatability: ``save_outputs``
+writes each experiment's structured data and check results to JSON;
+``diff_runs`` compares two saved runs and reports any drift — newly
+failing checks, changed data values, missing experiments.  CI can pin a
+blessed run and fail on regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+from repro.experiments.common import ExperimentOutput
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_outputs(outputs: Iterable[ExperimentOutput], directory: str) -> List[str]:
+    """Write one ``<experiment_id>.json`` per output; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for output in outputs:
+        payload = {
+            "experiment": output.experiment_id,
+            "title": output.title,
+            "data": _jsonable(output.data),
+            "checks": dict(output.checks),
+            "pass": output.all_checks_pass,
+        }
+        path = os.path.join(directory, f"{output.experiment_id}.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        paths.append(path)
+    return paths
+
+
+def load_run(directory: str) -> Dict[str, Dict[str, Any]]:
+    """Load every saved experiment payload from a run directory."""
+    run: Dict[str, Dict[str, Any]] = {}
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"no such run directory: {directory}")
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            payload = json.load(handle)
+        run[payload["experiment"]] = payload
+    if not run:
+        raise FileNotFoundError(f"no experiment results in {directory}")
+    return run
+
+
+@dataclass
+class RunDiff:
+    """Differences between a baseline run and a candidate run."""
+
+    missing_experiments: List[str] = field(default_factory=list)
+    new_experiments: List[str] = field(default_factory=list)
+    newly_failing_checks: List[str] = field(default_factory=list)
+    data_changes: List[str] = field(default_factory=list)
+
+    @property
+    def is_regression(self) -> bool:
+        """True when the candidate lost experiments or checks, or its data
+        drifted from the baseline."""
+        return bool(
+            self.missing_experiments
+            or self.newly_failing_checks
+            or self.data_changes
+        )
+
+    def render(self) -> str:
+        if not (self.is_regression or self.new_experiments):
+            return "runs identical"
+        lines = []
+        for label, items in (
+            ("missing experiments", self.missing_experiments),
+            ("new experiments", self.new_experiments),
+            ("newly failing checks", self.newly_failing_checks),
+            ("data changes", self.data_changes),
+        ):
+            for item in items:
+                lines.append(f"{label}: {item}")
+        return "\n".join(lines)
+
+
+def _flatten(prefix: str, value: Any, into: Dict[str, Any]) -> None:
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            _flatten(f"{prefix}.{key}", sub, into)
+    elif isinstance(value, list):
+        for index, sub in enumerate(value):
+            _flatten(f"{prefix}[{index}]", sub, into)
+    else:
+        into[prefix] = value
+
+
+def diff_runs(baseline: Dict[str, Dict], candidate: Dict[str, Dict]) -> RunDiff:
+    """Compare two loaded runs."""
+    diff = RunDiff()
+    diff.missing_experiments = sorted(set(baseline) - set(candidate))
+    diff.new_experiments = sorted(set(candidate) - set(baseline))
+    for experiment in sorted(set(baseline) & set(candidate)):
+        base = baseline[experiment]
+        cand = candidate[experiment]
+        for check, passed in base["checks"].items():
+            if passed and not cand["checks"].get(check, False):
+                diff.newly_failing_checks.append(f"{experiment}: {check}")
+        base_flat: Dict[str, Any] = {}
+        cand_flat: Dict[str, Any] = {}
+        _flatten(experiment, base["data"], base_flat)
+        _flatten(experiment, cand["data"], cand_flat)
+        for key in sorted(set(base_flat) | set(cand_flat)):
+            if base_flat.get(key) != cand_flat.get(key):
+                diff.data_changes.append(
+                    f"{key}: {base_flat.get(key)!r} -> {cand_flat.get(key)!r}"
+                )
+    return diff

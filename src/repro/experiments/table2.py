@@ -1,0 +1,78 @@
+"""Table 2: multi-packet delivery costs for 16- and 1024-word messages.
+
+Four sub-tables — {finite, indefinite} x {16, 1024 words} — each measured
+from a live protocol run over the simulated CM-5 network and compared
+feature-by-feature against the published values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis import published
+from repro.analysis.breakdown import breakdown_from_result
+from repro.analysis.report import render_cost_table
+from repro.experiments.common import ExperimentOutput, measure_finite, measure_indefinite
+
+EXPERIMENT_ID = "table2"
+TITLE = "Multi-packet delivery costs, 16/1024 words (Table 2)"
+
+MESSAGE_SIZES = (16, 1024)
+
+
+def run() -> ExperimentOutput:
+    sections: List[str] = []
+    checks: Dict[str, bool] = {}
+    data: Dict[str, Tuple[int, int, int]] = {}
+
+    for protocol, measure in (
+        ("finite-sequence", measure_finite),
+        ("indefinite-sequence", measure_indefinite),
+    ):
+        for words in MESSAGE_SIZES:
+            result = measure(words)
+            breakdown = breakdown_from_result(result)
+            sections.append(render_cost_table(breakdown))
+            key = (protocol, words)
+            paper_src, paper_dst, paper_total = published.TABLE2_TOTALS[key]
+            data[f"{protocol}-{words}"] = (
+                breakdown.src_total, breakdown.dst_total, breakdown.total
+            )
+            checks[f"{protocol} {words}w features match paper"] = breakdown.matches_paper()
+            checks[f"{protocol} {words}w totals == paper {paper_total}"] = (
+                breakdown.src_total == paper_src
+                and breakdown.dst_total == paper_dst
+            )
+            checks[f"{protocol} {words}w data delivered intact"] = (
+                result.completed
+                and result.delivered_words == list(range(1, words + 1))
+            )
+
+    # Section 3.3's headline: 50-70 % overhead everywhere except large
+    # finite-sequence transfers.
+    lo, hi = published.CLAIM_OVERHEAD_RANGE
+    fin16 = measure_finite(16)
+    ind16 = measure_indefinite(16)
+    ind1024 = measure_indefinite(1024)
+    fin1024 = measure_finite(1024)
+    headline = (
+        f"Overhead fractions: finite-16 {fin16.overhead_fraction:.0%}, "
+        f"indefinite-16 {ind16.overhead_fraction:.0%}, "
+        f"finite-1024 {fin1024.overhead_fraction:.0%} (the exception), "
+        f"indefinite-1024 {ind1024.overhead_fraction:.0%}"
+    )
+    sections.append(headline)
+    checks["50-70% overhead claim (except large finite)"] = (
+        lo <= fin16.overhead_fraction <= hi + 0.01
+        and lo <= ind16.overhead_fraction <= hi + 0.01
+        and lo <= ind1024.overhead_fraction <= hi + 0.01
+        and fin1024.overhead_fraction < lo
+    )
+
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered="\n\n".join(sections),
+        data=data,
+        checks=checks,
+    )

@@ -1,0 +1,64 @@
+"""Table 3 / Appendix A: reg/mem/dev subcategory breakdown.
+
+Same four protocol/size configurations as Table 2, but reporting the
+instruction-class split per feature and endpoint, checked cell-by-cell
+against the published appendix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis import published
+from repro.analysis.breakdown import breakdown_from_result
+from repro.analysis.report import render_class_table
+from repro.arch.attribution import FEATURE_ORDER
+from repro.experiments.common import ExperimentOutput, measure_finite, measure_indefinite
+
+EXPERIMENT_ID = "table3"
+TITLE = "Instruction subcategories reg/mem/dev (Table 3, Appendix A)"
+
+
+def run() -> ExperimentOutput:
+    sections: List[str] = []
+    checks: Dict[str, bool] = {}
+    data: Dict[str, Dict[str, int]] = {}
+
+    for protocol, measure in (
+        ("finite-sequence", measure_finite),
+        ("indefinite-sequence", measure_indefinite),
+    ):
+        for words in (16, 1024):
+            result = measure(words)
+            breakdown = breakdown_from_result(result, with_paper=False)
+            sections.append(render_class_table(breakdown))
+
+            cells_ok = True
+            for feature in FEATURE_ORDER:
+                paper = published.TABLE3.get((protocol, words, feature))
+                if paper is None:
+                    continue
+                paper_src, paper_dst = paper
+                row = breakdown.row(feature)
+                if row.src != paper_src or row.dst != paper_dst:
+                    cells_ok = False
+            checks[f"{protocol} {words}w reg/mem/dev cells match paper"] = cells_ok
+
+            paper_src_total, paper_dst_total = published.TABLE3_TOTALS[(protocol, words)]
+            src_mix = result.src_costs.total_mix
+            dst_mix = result.dst_costs.total_mix
+            checks[f"{protocol} {words}w column totals match paper"] = (
+                src_mix == paper_src_total and dst_mix == paper_dst_total
+            )
+            data[f"{protocol}-{words}"] = {
+                "src": src_mix.as_dict(),
+                "dst": dst_mix.as_dict(),
+            }
+
+    return ExperimentOutput(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rendered="\n\n".join(sections),
+        data=data,
+        checks=checks,
+    )

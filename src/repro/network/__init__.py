@@ -1,0 +1,50 @@
+"""Routing-network substrates.
+
+Two levels of modelling coexist:
+
+* **Service-level networks** (:mod:`repro.network.cm5`,
+  :mod:`repro.network.cr`) expose exactly the service features the paper's
+  argument turns on — delivery order, buffering behaviour, fault handling —
+  through a small injection/delivery interface the NI models bind to.  The
+  calibrated cost measurements run on these.
+* **Detailed networks** (:mod:`repro.network.fattree`,
+  :mod:`repro.network.mesh`, :mod:`repro.network.router`,
+  :mod:`repro.network.routing`) simulate hop-by-hop packet movement through
+  finite-buffer routers, demonstrating *where* arbitrary delivery order
+  comes from (adaptive multipath routing) and feeding measured reorder
+  fractions into the service-level models.
+"""
+
+from repro.network.packet import Packet, PacketType, compute_checksum
+from repro.network.cm5 import CM5Network, CM5NetworkConfig
+from repro.network.cr import CRNetwork, CRNetworkConfig
+from repro.network.delivery import (
+    DeliveryModel,
+    InOrderDelivery,
+    PairSwapReorder,
+    HeadDelayReorder,
+    FractionReorder,
+    RandomReorder,
+    TimesharingReorder,
+)
+from repro.network.faults import FaultInjector, FaultPlan, FaultKind
+
+__all__ = [
+    "Packet",
+    "PacketType",
+    "compute_checksum",
+    "CM5Network",
+    "CM5NetworkConfig",
+    "CRNetwork",
+    "CRNetworkConfig",
+    "DeliveryModel",
+    "InOrderDelivery",
+    "PairSwapReorder",
+    "HeadDelayReorder",
+    "FractionReorder",
+    "RandomReorder",
+    "TimesharingReorder",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultKind",
+]

@@ -1,0 +1,180 @@
+"""Service-level model of the CM-5 data network.
+
+Exposes precisely the three feature gaps the paper attributes software
+overhead to (Section 2.2):
+
+* **Arbitrary delivery order** — each (src, dst) channel runs a
+  :class:`~repro.network.delivery.DeliveryModel`; the paper's measurement
+  configuration is ``PairSwapReorder`` ("half the packets arrive out of
+  order").
+* **Finite buffering** — the network offers no acceptance guarantee; it is
+  the messaging layer's job (buffer preallocation, credits) to ensure
+  destinations can absorb what arrives.  The model delivers whatever shows
+  up; nodes with bounded receive space overflow, observably.
+* **Fault detection without correction** — a
+  :class:`~repro.network.faults.FaultInjector` corrupts or drops packets;
+  corrupt packets are delivered and fail their checksum at the NI.
+
+Packets are limited to the configured hardware packet size (four payload
+words on the CM-5, Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.network.delivery import DeliveryModel, InOrderDelivery, PairSwapReorder
+from repro.network.faults import FaultInjector
+from repro.network.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Packet types subject to the channel's reordering model.  Control packets
+#: (requests, replies, acks, plain active messages) are solitary packets —
+#: there is no stream of them to reorder — so they ride an in-order channel.
+DATA_PACKET_TYPES = frozenset({PacketType.XFER_DATA, PacketType.STREAM_DATA})
+
+
+@dataclass
+class CM5NetworkConfig:
+    """Tunables for the service-level CM-5 model."""
+
+    #: Hardware packet payload limit in words (CM-5: 4 data words).
+    packet_size: int = 4
+    #: One-way network latency for a packet (arbitrary virtual time units).
+    latency: float = 10.0
+    #: How long the network may hold a packet for reordering before it must
+    #: emerge (bounds the delivery model's holding stage).
+    hold_timeout: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.packet_size < 1:
+            raise ValueError("packet_size must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+
+class _Channel:
+    """Per-(src, dst) in-flight state."""
+
+    def __init__(self, model: DeliveryModel) -> None:
+        self.model = model
+        self.next_index = 0
+        self.flush_scheduled = False
+
+
+class CM5Network:
+    """The paper's Section 3 network substrate.
+
+    ``delivery_factory`` builds a fresh :class:`DeliveryModel` per channel;
+    it defaults to the paper's half-out-of-order assumption.  Use
+    ``InOrderDelivery`` to model the favourable (no reordering) case used
+    for the finite-sequence measurements.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[CM5NetworkConfig] = None,
+        delivery_factory: Optional[Callable[[], DeliveryModel]] = None,
+        injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or CM5NetworkConfig()
+        self._delivery_factory = delivery_factory or PairSwapReorder
+        self.injector = injector or FaultInjector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.counters = Counter()
+        self._channels: Dict[Tuple[int, int, str], _Channel] = {}
+        self._callbacks: Dict[int, Callable[[Packet], None]] = {}
+
+    # -- hardware service description (queried by messaging layers) -----------
+
+    #: The CM-5 network does not preserve transmission order.
+    provides_in_order = False
+    #: No acceptance guarantee / end-to-end flow control in hardware.
+    provides_flow_control = False
+    #: Errors are detected (checksum) but not corrected.
+    provides_reliability = False
+
+    # -- binding -----------------------------------------------------------------
+
+    def attach(self, node_id: int, deliver: Callable[[Packet], None]) -> None:
+        self._callbacks[node_id] = deliver
+
+    # -- injection ----------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Inject one hardware packet; delivery is scheduled on the sim."""
+        if packet.data_words > self.config.packet_size:
+            raise ValueError(
+                f"packet carries {packet.data_words} words; hardware limit is "
+                f"{self.config.packet_size}"
+            )
+        kind = "data" if packet.ptype in DATA_PACKET_TYPES else "ctrl"
+        channel = self._channel(packet.src, packet.dst, kind)
+        index = channel.next_index
+        channel.next_index += 1
+        self.counters.incr("injected")
+        self.counters.incr("injected_words", packet.data_words)
+        self.tracer.emit(self.sim.now, "cm5.inject", str(packet), index=index)
+        survivor = self.injector.apply(packet, index if kind == "data" else -1 - index)
+        if survivor is None:
+            self.counters.incr("dropped_in_flight")
+            return
+        self.sim.schedule(
+            self.config.latency,
+            lambda: self._raw_arrival(channel, index, survivor),
+            label="cm5.arrival",
+        )
+
+    # -- delivery ------------------------------------------------------------------
+
+    def _raw_arrival(self, channel: _Channel, index: int, packet: Packet) -> None:
+        releases = channel.model.on_arrival(index, packet)
+        for rel_index, rel_packet in releases:
+            self._deliver(rel_index, rel_packet)
+        if channel.model.pending() and not channel.flush_scheduled:
+            channel.flush_scheduled = True
+            self.sim.schedule(
+                self.config.hold_timeout,
+                lambda: self._flush(channel),
+                label="cm5.flush",
+            )
+
+    def _flush(self, channel: _Channel) -> None:
+        channel.flush_scheduled = False
+        for rel_index, rel_packet in channel.model.flush():
+            self.counters.incr("flushed")
+            self._deliver(rel_index, rel_packet)
+
+    def _deliver(self, index: int, packet: Packet) -> None:
+        self.counters.incr("delivered")
+        self.tracer.emit(self.sim.now, "cm5.deliver", str(packet), index=index)
+        callback = self._callbacks.get(packet.dst)
+        if callback is None:
+            self.counters.incr("undeliverable")
+            return
+        callback(packet)
+
+    # -- state ----------------------------------------------------------------------
+
+    def _channel(self, src: int, dst: int, kind: str = "data") -> _Channel:
+        key = (src, dst, kind)
+        channel = self._channels.get(key)
+        if channel is None:
+            model = self._delivery_factory() if kind == "data" else InOrderDelivery()
+            channel = _Channel(model)
+            self._channels[key] = channel
+        return channel
+
+    def channel_model(self, src: int, dst: int) -> DeliveryModel:
+        """The reordering model governing the data channel src -> dst."""
+        return self._channel(src, dst, "data").model
+
+    def expected_ooo(self, src: int, dst: int, p: int) -> int:
+        """Closed-form out-of-order count the data channel will produce."""
+        return self.channel_model(src, dst).expected_ooo(p)

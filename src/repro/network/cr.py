@@ -1,0 +1,196 @@
+"""Service-level model of a Compressionless Routing (CR) network.
+
+Section 4 of the paper rebuilds the messaging layer on a routing substrate
+that provides three services in hardware:
+
+* **Order-preserving transmission** — messages issued in sequence from a
+  sender begin arriving before they fully enter the network, so a channel
+  can never reorder.
+* **Deadlock freedom independent of acceptance guarantees** — if a
+  destination cannot absorb a message, the network tears the message's
+  path down (killing the worm) and the source retransmits later; other
+  traffic keeps flowing.  The messaging layer models this as *header
+  rejection*: a destination may refuse a message's header packet and the
+  "hardware" retries transparently.
+* **Packet-level fault tolerance** — acceptance of the last flit acts as an
+  implicit end-to-end acknowledgement; a damaged packet is killed and
+  retransmitted by hardware, invisibly to software.
+
+All three behaviours happen *without charging any software instructions* —
+that is the entire point of Section 4, and the tests freeze the endpoint
+processors during hardware retries to prove it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.network.faults import FaultInjector
+from repro.network.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class CRNetworkConfig:
+    """Tunables for the CR model."""
+
+    #: Hardware packet payload limit in words (kept at the CM-5's 4 for the
+    #: paper's apples-to-apples comparison, Section 4).
+    packet_size: int = 4
+    #: One-way latency of a successful packet.
+    latency: float = 10.0
+    #: Extra latency for a hardware kill-and-retransmit cycle.
+    retry_latency: float = 20.0
+    #: Backoff before re-offering a header the destination rejected.
+    reject_backoff: float = 50.0
+    #: Give up after this many consecutive rejections of one packet
+    #: (prevents a livelocked simulation from spinning forever).
+    max_rejects: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.packet_size < 1:
+            raise ValueError("packet_size must be positive")
+
+
+class _CRChannel:
+    """Per-(src, dst) FIFO of packets awaiting in-order delivery."""
+
+    def __init__(self) -> None:
+        self.queue: Deque[Tuple[int, Packet]] = deque()
+        self.busy = False
+        self.next_index = 0
+
+
+class CRNetwork:
+    """The paper's Section 4 network substrate."""
+
+    provides_in_order = True
+    provides_flow_control = True
+    provides_reliability = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[CRNetworkConfig] = None,
+        injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or CRNetworkConfig()
+        self.injector = injector or FaultInjector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.counters = Counter()
+        self._channels: Dict[Tuple[int, int], _CRChannel] = {}
+        self._callbacks: Dict[int, Callable[[Packet], None]] = {}
+        self._acceptors: Dict[int, Callable[[Packet], bool]] = {}
+
+    # -- binding -----------------------------------------------------------------
+
+    def attach(self, node_id: int, deliver: Callable[[Packet], None]) -> None:
+        self._callbacks[node_id] = deliver
+
+    def set_acceptor(self, node_id: int, acceptor: Optional[Callable[[Packet], bool]]) -> None:
+        """Install the hardware acceptance check for header packets.
+
+        CR lets a destination that has committed all its resources reject
+        an incoming message at the header without deadlocking the network
+        (Section 4.1).  ``None`` removes the check (accept everything).
+        """
+        if acceptor is None:
+            self._acceptors.pop(node_id, None)
+        else:
+            self._acceptors[node_id] = acceptor
+
+    # -- injection ----------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Inject one packet; hardware guarantees eventual in-order,
+        fault-free delivery (or indefinite rejection by the acceptor)."""
+        if packet.data_words > self.config.packet_size:
+            raise ValueError(
+                f"packet carries {packet.data_words} words; hardware limit is "
+                f"{self.config.packet_size}"
+            )
+        channel = self._channel(packet.src, packet.dst)
+        index = channel.next_index
+        channel.next_index += 1
+        self.counters.incr("injected")
+        self.counters.incr("injected_words", packet.data_words)
+        self.tracer.emit(self.sim.now, "cr.inject", str(packet), index=index)
+        channel.queue.append((index, packet))
+        if not channel.busy:
+            channel.busy = True
+            self.sim.schedule(
+                self.config.latency,
+                lambda: self._attempt(channel, rejects=0),
+                label="cr.head",
+            )
+
+    # -- in-order delivery pump -----------------------------------------------------
+
+    def _attempt(self, channel: _CRChannel, rejects: int) -> None:
+        if not channel.queue:
+            channel.busy = False
+            return
+        index, packet = channel.queue[0]
+
+        # Hardware fault handling: a corrupted or dropped packet is killed
+        # and retransmitted by the routing substrate — software never sees it.
+        survivor = self.injector.apply(packet, index)
+        if survivor is None or not survivor.checksum_ok():
+            self.counters.incr("hardware_retries")
+            self.tracer.emit(self.sim.now, "cr.hw_retry", str(packet), index=index)
+            retry = packet.retransmission()
+            channel.queue[0] = (index, retry)
+            self.sim.schedule(
+                self.config.retry_latency,
+                lambda: self._attempt(channel, rejects),
+                label="cr.retry",
+            )
+            return
+
+        # Hardware acceptance check (header rejection).
+        acceptor = self._acceptors.get(packet.dst)
+        if acceptor is not None and not acceptor(survivor):
+            self.counters.incr("rejections")
+            self.tracer.emit(self.sim.now, "cr.reject", str(packet), index=index)
+            if rejects + 1 >= self.config.max_rejects:
+                raise RuntimeError(
+                    f"packet {packet} rejected {self.config.max_rejects} times; "
+                    "destination never accepted"
+                )
+            self.sim.schedule(
+                self.config.reject_backoff,
+                lambda: self._attempt(channel, rejects + 1),
+                label="cr.reoffer",
+            )
+            return
+
+        channel.queue.popleft()
+        self.counters.incr("delivered")
+        self.tracer.emit(self.sim.now, "cr.deliver", str(survivor), index=index)
+        callback = self._callbacks.get(survivor.dst)
+        if callback is None:
+            self.counters.incr("undeliverable")
+        else:
+            callback(survivor)
+        # Pump the next packet on this channel (back-to-back streaming).
+        self.sim.call_now(lambda: self._attempt(channel, rejects=0), label="cr.next")
+
+    # -- state ------------------------------------------------------------------------
+
+    def _channel(self, src: int, dst: int) -> _CRChannel:
+        key = (src, dst)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = _CRChannel()
+            self._channels[key] = channel
+        return channel
+
+    def in_flight(self) -> int:
+        """Packets still queued inside the network."""
+        return sum(len(c.queue) for c in self._channels.values())

@@ -1,0 +1,297 @@
+"""Delivery-order models.
+
+The paper's central network feature is *arbitrary delivery order*: the CM-5
+(with adaptive multipath routing and network timesharing) does not preserve
+transmission order between a source/destination pair.  For the indefinite-
+sequence measurements the paper "assume[s] that half the packets arrive out
+of order" (Section 3.2).
+
+A :class:`DeliveryModel` is a holding stage on a single (src, dst) channel,
+sitting conceptually inside the network just before the destination NI: raw
+arrivals enter in transmission order and the model decides the release
+order, holding packets to realize overtaking.  The stage is *causal* (a
+packet is never released before it arrived) and deterministic models expose
+``expected_ooo(p)`` — how many of ``p`` packets a reorder-buffering receiver
+will classify as out of order — so closed-form cost formulas can be checked
+against simulation exactly.
+
+A packet counts as out of order when it cannot be consumed immediately,
+i.e. some packet with a smaller channel index arrives after it.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+
+class DeliveryModel:
+    """Base class.  Subclasses override :meth:`on_arrival` and optionally
+    :meth:`flush`, and must implement :meth:`expected_ooo` if deterministic.
+
+    ``on_arrival`` receives the packet's channel index (0-based transmission
+    order) and an opaque packet object, and returns the list of (index,
+    packet) pairs to release *now*, in release order.
+    """
+
+    #: Whether expected_ooo() is meaningful.
+    deterministic = True
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        raise NotImplementedError
+
+    def flush(self) -> List[Tuple[int, object]]:
+        """Release anything still held (end of stream / hold timeout)."""
+        return []
+
+    def pending(self) -> int:
+        """Number of packets currently held inside the network stage."""
+        return 0
+
+    def expected_ooo(self, p: int) -> int:
+        """Number of the first ``p`` packets that arrive out of order."""
+        raise NotImplementedError
+
+    def clone(self) -> "DeliveryModel":
+        """Fresh instance with identical configuration (one per channel)."""
+        raise NotImplementedError
+
+
+class InOrderDelivery(DeliveryModel):
+    """Transmission order preserved (deterministic routing, or CR)."""
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        return [(index, packet)]
+
+    def expected_ooo(self, p: int) -> int:
+        return 0
+
+    def clone(self) -> "InOrderDelivery":
+        return InOrderDelivery()
+
+
+class PairSwapReorder(DeliveryModel):
+    """Adjacent pairs swap: arrival order 1,0,3,2,...
+
+    Exactly ``floor(p/2)`` packets are out of order — the paper's "half the
+    packets arrive out of order" assumption.
+    """
+
+    def __init__(self) -> None:
+        self._held: Optional[Tuple[int, object]] = None
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        if index % 2 == 0:
+            self._held = (index, packet)
+            return []
+        held, self._held = self._held, None
+        releases = [(index, packet)]
+        if held is not None:
+            releases.append(held)
+        return releases
+
+    def flush(self) -> List[Tuple[int, object]]:
+        held, self._held = self._held, None
+        return [held] if held is not None else []
+
+    def pending(self) -> int:
+        return 1 if self._held is not None else 0
+
+    def expected_ooo(self, p: int) -> int:
+        return p // 2
+
+    def clone(self) -> "PairSwapReorder":
+        return PairSwapReorder()
+
+
+class HeadDelayReorder(DeliveryModel):
+    """The first packet of the stream is overtaken by the next ``k``.
+
+    Arrival order: 1, 2, ..., k, 0, k+1, ... — the receiver buffers packets
+    1..k (k out-of-order packets), then drains them all when packet 0 lands.
+    Stresses reorder-buffer depth (window must be >= k).
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.k = k
+        self._held: Optional[Tuple[int, object]] = None
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        if self.k == 0:
+            return [(index, packet)]
+        if index == 0:
+            self._held = (index, packet)
+            return []
+        if index == self.k and self._held is not None:
+            held, self._held = self._held, None
+            return [(index, packet), held]
+        return [(index, packet)]
+
+    def flush(self) -> List[Tuple[int, object]]:
+        held, self._held = self._held, None
+        return [held] if held is not None else []
+
+    def pending(self) -> int:
+        return 1 if self._held is not None else 0
+
+    def expected_ooo(self, p: int) -> int:
+        if p <= 1 or self.k == 0:
+            return 0
+        # Packets 1..min(k, p-1) arrive before packet 0 and get buffered.
+        return min(self.k, p - 1)
+
+    def clone(self) -> "HeadDelayReorder":
+        return HeadDelayReorder(self.k)
+
+
+class FractionReorder(DeliveryModel):
+    """Reorder a target *fraction* of packets, blockwise.
+
+    The fraction is approximated as m/B (limited-denominator rational);
+    within each block of B consecutive packets the first packet is held and
+    released after the following m, making exactly m of each complete block
+    out of order.  ``FractionReorder(0.5)`` degenerates to pair swapping.
+    """
+
+    def __init__(self, fraction: float, max_denominator: int = 16) -> None:
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("fraction must be in [0, 1)")
+        ratio = Fraction(fraction).limit_denominator(max_denominator)
+        self.fraction = fraction
+        self.ooo_per_block = ratio.numerator
+        # Block must contain the held packet plus the m overtakers.
+        self.block = max(ratio.denominator, self.ooo_per_block + 1)
+        self._held: Optional[Tuple[int, object]] = None
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        if self.ooo_per_block == 0:
+            return [(index, packet)]
+        pos = index % self.block
+        if pos == 0:
+            self._held = (index, packet)
+            return []
+        releases = [(index, packet)]
+        if pos == self.ooo_per_block and self._held is not None:
+            held, self._held = self._held, None
+            releases.append(held)
+        return releases
+
+    def flush(self) -> List[Tuple[int, object]]:
+        held, self._held = self._held, None
+        return [held] if held is not None else []
+
+    def pending(self) -> int:
+        return 1 if self._held is not None else 0
+
+    def expected_ooo(self, p: int) -> int:
+        if self.ooo_per_block == 0:
+            return 0
+        full_blocks, tail = divmod(p, self.block)
+        count = full_blocks * self.ooo_per_block
+        if tail:
+            # In a partial block the held head is overtaken by min(tail-1, m)
+            # packets before the flush releases it.
+            count += min(tail - 1, self.ooo_per_block)
+        return count
+
+    def clone(self) -> "FractionReorder":
+        clone = FractionReorder.__new__(FractionReorder)
+        clone.fraction = self.fraction
+        clone.ooo_per_block = self.ooo_per_block
+        clone.block = self.block
+        clone._held = None
+        return clone
+
+
+class TimesharingReorder(DeliveryModel):
+    """Network-state swap reordering (Section 2.2's second mechanism).
+
+    "...when the network state is swapped and resumed in a way that does
+    not preserve delivery order (as with timesharing and process
+    migration)."  Every ``epoch`` arrivals, the in-flight residue (here:
+    the last packet of the epoch) is swapped out and re-injected *after*
+    the next epoch's first packets — packets from consecutive scheduling
+    quanta interleave.
+    """
+
+    def __init__(self, epoch: int = 8) -> None:
+        if epoch < 2:
+            raise ValueError("epoch must be at least 2")
+        self.epoch = epoch
+        self._held: Optional[Tuple[int, object]] = None
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        pos = index % self.epoch
+        if pos == self.epoch - 1:
+            # Last packet of the quantum: swapped out with the network state.
+            self._held = (index, packet)
+            return []
+        releases = [(index, packet)]
+        if pos == 0 and self._held is not None:
+            # Resumed after the next quantum began: the residue re-emerges
+            # behind the new quantum's first packet.
+            held, self._held = self._held, None
+            releases.append(held)
+        return releases
+
+    def flush(self) -> List[Tuple[int, object]]:
+        held, self._held = self._held, None
+        return [held] if held is not None else []
+
+    def pending(self) -> int:
+        return 1 if self._held is not None else 0
+
+    def expected_ooo(self, p: int) -> int:
+        if p == 0:
+            return 0
+        # Each complete epoch's last packet is overtaken by the next
+        # epoch's first packet, iff a next epoch starts.
+        return (p - 1) // self.epoch
+
+    def clone(self) -> "TimesharingReorder":
+        return TimesharingReorder(self.epoch)
+
+
+class RandomReorder(DeliveryModel):
+    """Stochastic overtaking: each packet is held with probability
+    ``hold_prob`` and released after the next arrival.
+
+    Models irregular adaptive-routing variance; the achieved out-of-order
+    fraction is measured rather than prescribed.
+    """
+
+    deterministic = False
+
+    def __init__(self, rng: random.Random, hold_prob: float = 0.5) -> None:
+        if not 0.0 <= hold_prob <= 1.0:
+            raise ValueError("hold_prob must be in [0, 1]")
+        self.rng = rng
+        self.hold_prob = hold_prob
+        self._held: List[Tuple[int, object]] = []
+
+    def on_arrival(self, index: int, packet) -> List[Tuple[int, object]]:
+        releases: List[Tuple[int, object]] = []
+        if self._held and self.rng.random() < 0.5:
+            releases.extend(self._held)
+            self._held = []
+        if self.rng.random() < self.hold_prob:
+            self._held.append((index, packet))
+        else:
+            releases.append((index, packet))
+        return releases
+
+    def flush(self) -> List[Tuple[int, object]]:
+        held, self._held = self._held, []
+        return held
+
+    def pending(self) -> int:
+        return len(self._held)
+
+    def expected_ooo(self, p: int) -> int:
+        raise NotImplementedError("RandomReorder has no closed-form ooo count")
+
+    def clone(self) -> "RandomReorder":
+        return RandomReorder(self.rng, self.hold_prob)

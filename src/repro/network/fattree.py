@@ -1,0 +1,133 @@
+"""CM-5-style fat-tree topology.
+
+The CM-5 data network is a 4-ary fat tree in which each router has several
+parents, so a packet climbing toward the least common ancestor of source
+and destination picks among multiple equivalent up-links.  That multipath
+adaptivity is exactly the hardware feature the paper blames for *arbitrary
+delivery order* — two packets of one message can climb different sub-trees
+and overtake each other.
+
+Construction: ``arity`` children per router, ``parents`` up-links per
+router, ``height`` levels of routers above the leaves.  At level ``l``
+(1-based) each group of ``arity**l`` consecutive leaves is served by
+``parents**(l-1)`` duplicate routers, wired butterfly-style so every
+down-route is uniquely determined while up-routes multiply.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.network.topology import Topology, Vertex
+
+RouterId = Tuple[str, int, int, int]  # ("r", level, group, index)
+
+
+class FatTree(Topology):
+    """A ``arity``-ary fat tree with ``parents``-fold up-link duplication."""
+
+    def __init__(self, arity: int = 4, height: int = 2, parents: int = 2) -> None:
+        if arity < 2:
+            raise ValueError("arity must be >= 2")
+        if height < 1:
+            raise ValueError("height must be >= 1")
+        if parents < 1:
+            raise ValueError("parents must be >= 1")
+        self.arity = arity
+        self.height = height
+        self.parents = parents
+        self.n_leaves = arity**height
+
+    # -- structure queries ----------------------------------------------------
+
+    @property
+    def endpoints(self) -> Sequence[int]:
+        return range(self.n_leaves)
+
+    def routers_at_level(self, level: int) -> int:
+        """Router count at one level: groups x duplicates."""
+        groups = self.arity ** (self.height - level)
+        return groups * self.duplicates(level)
+
+    def duplicates(self, level: int) -> int:
+        """Duplicate routers per leaf-group at ``level``."""
+        return self.parents ** (level - 1)
+
+    def vertices(self):
+        yield from self.endpoints
+        for level in range(1, self.height + 1):
+            groups = self.arity ** (self.height - level)
+            for group in range(groups):
+                for index in range(self.duplicates(level)):
+                    yield ("r", level, group, index)
+
+    def group_of(self, leaf: int, level: int) -> int:
+        """Index of the level-``level`` group containing ``leaf``."""
+        return leaf // (self.arity**level)
+
+    def lca_level(self, src: int, dst: int) -> int:
+        """Lowest level at which src and dst share a group."""
+        if src == dst:
+            return 0
+        level = 1
+        while self.group_of(src, level) != self.group_of(dst, level):
+            level += 1
+        return level
+
+    # -- routing --------------------------------------------------------------
+
+    def next_hops(self, at: Vertex, dst: int) -> List[Vertex]:
+        self._check_endpoint(dst)
+        if at == dst:
+            return []
+        if isinstance(at, int):
+            # Leaf: exactly one level-1 router serves its group... unless
+            # parents-fold duplication starts at level 1 (duplicates(1) == 1
+            # always, so the first hop is deterministic, as on the CM-5).
+            self._check_endpoint(at)
+            return [("r", 1, self.group_of(at, 1), 0)]
+        kind, level, group, index = at
+        if kind != "r":  # pragma: no cover - defensive
+            raise ValueError(f"unknown vertex {at!r}")
+        span = self.arity**level
+        if group == dst // span:
+            return [self._down_hop(level, index, dst)]
+        return self._up_hops(level, group, index)
+
+    def _down_hop(self, level: int, index: int, dst: int) -> Vertex:
+        if level == 1:
+            return dst
+        child_level = level - 1
+        child_group = dst // (self.arity**child_level)
+        child_index = index % self.duplicates(child_level)
+        return ("r", child_level, child_group, child_index)
+
+    def _up_hops(self, level: int, group: int, index: int) -> List[Vertex]:
+        if level >= self.height:
+            raise ValueError(
+                f"cannot route up from the root level (level={level})"
+            )
+        parent_level = level + 1
+        parent_group = group // self.arity
+        dup = self.duplicates(level)
+        return [
+            ("r", parent_level, parent_group, index + j * dup)
+            for j in range(self.parents)
+        ]
+
+    def _check_endpoint(self, node: int) -> None:
+        if not 0 <= node < self.n_leaves:
+            raise ValueError(f"endpoint {node} out of range [0, {self.n_leaves})")
+
+    def up_path_diversity(self, src: int, dst: int) -> int:
+        """Distinct minimal paths between two leaves: parents^(lca_level-1)."""
+        lca = self.lca_level(src, dst)
+        if lca == 0:
+            return 1
+        return self.parents ** (lca - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"FatTree(arity={self.arity}, height={self.height}, "
+            f"parents={self.parents}, leaves={self.n_leaves})"
+        )

@@ -1,0 +1,128 @@
+"""Fault injection and detection.
+
+The CM-5 network *detects* packet errors but cannot correct them
+(Section 2.2); reliable delivery therefore falls to software (source
+buffering + acknowledgements + retransmission).  The injector corrupts or
+drops packets in flight according to a :class:`FaultPlan`; detection happens
+where the paper says it does — at packet extraction, via the checksum.
+
+On the real CM-5 a detected error aborts the computation.  We instead model
+detect-and-drop so that the *software fault-tolerance machinery whose cost
+the paper measures* (source buffers, acks, retransmission) can actually be
+exercised end to end; the cost accounting of the fault-free fast path is
+unaffected by this choice.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.network.packet import Packet
+
+
+class FaultKind(enum.Enum):
+    """What happens to a faulted packet."""
+
+    CORRUPT = "corrupt"  # delivered, fails checksum at the NI
+    DROP = "drop"        # vanishes in the network
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic and/or stochastic fault selection.
+
+    ``targeted`` maps (src, dst, channel_index) to a :class:`FaultKind` —
+    used by tests that need a specific packet to fail exactly once.
+    ``corrupt_prob``/``drop_prob`` apply independently to every packet.
+
+    Channel-index convention on the service-level CM-5 network: data
+    packets (xfer/stream data) count 0, 1, 2, ... per (src, dst) data
+    channel; control packets (requests, replies, acks, plain active
+    messages) are keyed with negative indices -1, -2, ... in their own
+    per-(src, dst) control channel, so a targeted plan can hit either kind
+    unambiguously.
+
+    ``once`` makes each targeted fault fire only on the first transmission
+    of that channel index, so a retransmission succeeds.
+    """
+
+    targeted: Dict[Tuple[int, int, int], FaultKind] = field(default_factory=dict)
+    corrupt_prob: float = 0.0
+    drop_prob: float = 0.0
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        for name, p in (("corrupt_prob", self.corrupt_prob), ("drop_prob", self.drop_prob)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def corrupt_indices(cls, src: int, dst: int, indices, once: bool = True) -> "FaultPlan":
+        """Corrupt specific channel indices on one channel."""
+        return cls(
+            targeted={(src, dst, i): FaultKind.CORRUPT for i in indices},
+            once=once,
+        )
+
+    @classmethod
+    def drop_indices(cls, src: int, dst: int, indices, once: bool = True) -> "FaultPlan":
+        """Drop specific channel indices on one channel."""
+        return cls(
+            targeted={(src, dst, i): FaultKind.DROP for i in indices},
+            once=once,
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.targeted and self.corrupt_prob == 0.0 and self.drop_prob == 0.0
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to packets in flight."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None, rng: Optional[random.Random] = None) -> None:
+        self.plan = plan or FaultPlan.none()
+        self.rng = rng or random.Random(0)
+        self.corrupted_count = 0
+        self.dropped_count = 0
+        self._fired: Set[Tuple[int, int, int]] = set()
+
+    def apply(self, packet: Packet, channel_index: int) -> Optional[Packet]:
+        """Return the (possibly corrupted) packet, or ``None`` if dropped."""
+        kind = self._decide(packet, channel_index)
+        if kind is FaultKind.DROP:
+            self.dropped_count += 1
+            return None
+        if kind is FaultKind.CORRUPT:
+            self.corrupted_count += 1
+            return packet.corrupt()
+        return packet
+
+    def _decide(self, packet: Packet, channel_index: int) -> Optional[FaultKind]:
+        key = (packet.src, packet.dst, channel_index)
+        targeted = self.plan.targeted.get(key)
+        if targeted is not None:
+            if self.plan.once and key in self._fired:
+                targeted = None
+            else:
+                self._fired.add(key)
+                return targeted
+        if self.plan.drop_prob and self.rng.random() < self.plan.drop_prob:
+            return FaultKind.DROP
+        if self.plan.corrupt_prob and self.rng.random() < self.plan.corrupt_prob:
+            return FaultKind.CORRUPT
+        return None
+
+    @property
+    def total_faults(self) -> int:
+        return self.corrupted_count + self.dropped_count

@@ -1,0 +1,117 @@
+"""Finite buffering and flow-control primitives.
+
+"Finite buffering in machines means that flow control is generally
+necessary for correct execution" (Section 2.2).  These primitives give the
+detailed network models real, bounded buffers whose occupancy invariants
+the test suite checks, and give the node models a way to demonstrate what
+goes wrong *without* end-to-end flow control (buffer overflow).
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Generic, Optional, TypeVar
+from collections import deque
+
+T = TypeVar("T")
+
+
+class BufferOverflowError(RuntimeError):
+    """Raised when an unguarded push exceeds capacity."""
+
+
+class FiniteBuffer(Generic[T]):
+    """A bounded FIFO with occupancy accounting.
+
+    ``offer`` is the polite interface (returns False when full, for
+    backpressure); ``push`` is the impolite one (raises on overflow, for
+    demonstrating the failure mode the paper's buffer management exists to
+    prevent).
+    """
+
+    def __init__(self, capacity: int, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.peak_occupancy = 0
+        self.total_accepted = 0
+        self.total_rejected = 0
+
+    # -- insertion -----------------------------------------------------------
+
+    def offer(self, item: T) -> bool:
+        """Try to enqueue; return False (and count a rejection) when full."""
+        if len(self._items) >= self.capacity:
+            self.total_rejected += 1
+            return False
+        self._items.append(item)
+        self.total_accepted += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+        return True
+
+    def push(self, item: T) -> None:
+        """Enqueue or raise :class:`BufferOverflowError`."""
+        if not self.offer(item):
+            raise BufferOverflowError(
+                f"{self.name}: overflow at capacity {self.capacity}"
+            )
+
+    # -- removal -------------------------------------------------------------
+
+    def pop(self) -> T:
+        if not self._items:
+            raise IndexError(f"{self.name}: pop from empty buffer")
+        return self._items.popleft()
+
+    def peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:
+        return f"FiniteBuffer({self.name!r}, {self.occupancy}/{self.capacity})"
+
+
+class CreditCounter:
+    """End-to-end credit-based flow control state.
+
+    Models the software preallocation discipline: a sender holds credits
+    equal to the receiver-side buffer space reserved for it and may only
+    inject while it has credits; acknowledgements return credits.
+    """
+
+    def __init__(self, initial_credits: int) -> None:
+        if initial_credits < 0:
+            raise ValueError("credits must be non-negative")
+        self.credits = initial_credits
+        self.total_consumed = 0
+        self.total_returned = 0
+
+    def try_consume(self, amount: int = 1) -> bool:
+        if self.credits < amount:
+            return False
+        self.credits -= amount
+        self.total_consumed += amount
+        return True
+
+    def refund(self, amount: int = 1) -> None:
+        self.credits += amount
+        self.total_returned += amount
+
+    def __repr__(self) -> str:
+        return f"CreditCounter(credits={self.credits})"

@@ -1,0 +1,87 @@
+"""2-D mesh topology with deterministic (XY) and adaptive-minimal routing.
+
+Included as the contrasting substrate for the network-design ablations
+(Section 5 "Implications for network design"): dimension-order routing on a
+mesh preserves per-channel order, while minimal-adaptive routing (Turn
+model style) introduces the same reordering behaviour the fat tree shows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.network.topology import Topology, Vertex
+
+MeshRouter = Tuple[str, int, int]  # ("m", x, y)
+
+
+class Mesh2D(Topology):
+    """A width x height mesh; endpoint ``i`` lives at router
+    ``(i % width, i // width)``."""
+
+    def __init__(self, width: int, height: int, adaptive: bool = False) -> None:
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.adaptive = adaptive
+
+    # -- structure --------------------------------------------------------------
+
+    @property
+    def endpoints(self) -> Sequence[int]:
+        return range(self.width * self.height)
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.width * self.height:
+            raise ValueError(f"endpoint {node} out of range")
+        return node % self.width, node // self.width
+
+    def router_of(self, node: int) -> MeshRouter:
+        x, y = self.coords(node)
+        return ("m", x, y)
+
+    def vertices(self):
+        yield from self.endpoints
+        for y in range(self.height):
+            for x in range(self.width):
+                yield ("m", x, y)
+
+    # -- routing ---------------------------------------------------------------
+
+    def next_hops(self, at: Vertex, dst: int) -> List[Vertex]:
+        dx, dy = self.coords(dst)
+        if at == dst:
+            return []
+        if isinstance(at, int):
+            return [self.router_of(at)]
+        kind, x, y = at
+        if kind != "m":  # pragma: no cover - defensive
+            raise ValueError(f"unknown vertex {at!r}")
+        if (x, y) == (dx, dy):
+            return [dst]  # eject to the endpoint
+        moves: List[Vertex] = []
+        step_x = ("m", x + (1 if dx > x else -1), y) if x != dx else None
+        step_y = ("m", x, y + (1 if dy > y else -1)) if y != dy else None
+        if self.adaptive:
+            # Minimal adaptive: either productive dimension.
+            if step_x is not None:
+                moves.append(step_x)
+            if step_y is not None:
+                moves.append(step_y)
+        else:
+            # Dimension-order (XY): finish X first.
+            if step_x is not None:
+                moves.append(step_x)
+            elif step_y is not None:
+                moves.append(step_y)
+        return moves
+
+    def manhattan(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def __repr__(self) -> str:
+        mode = "adaptive" if self.adaptive else "xy"
+        return f"Mesh2D({self.width}x{self.height}, {mode})"

@@ -1,0 +1,126 @@
+"""Network packets.
+
+The CM-5 data network carries packets of five 32-bit words: one header word
+(destination + tag) plus four words of user data (Section 3.1).  Our
+:class:`Packet` generalizes the payload size ``n`` so the Figure 8 packet
+size sweeps work, keeps protocol metadata (sequence numbers, buffer
+offsets) in explicit header fields, and carries a software-visible
+checksum so fault *detection* can be modelled without fault *correction*.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+class PacketType(enum.Enum):
+    """Protocol-level packet roles (encoded in the CM-5 tag word)."""
+
+    ACTIVE_MESSAGE = "am"
+    XFER_REQUEST = "xfer_request"
+    XFER_REPLY = "xfer_reply"
+    XFER_DATA = "xfer_data"
+    XFER_ACK = "xfer_ack"
+    STREAM_DATA = "stream_data"
+    STREAM_ACK = "stream_ack"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_packet_ids = itertools.count()
+
+
+def compute_checksum(words: Tuple[int, ...]) -> int:
+    """Packet-level checksum, standing in for the CM-5's CRC.
+
+    The CM-5 network detects (but does not correct) packet errors; our NI
+    models recompute this over the payload on extraction.
+    """
+    data = b"".join(int(w & 0xFFFFFFFF).to_bytes(4, "little") for w in words)
+    return zlib.crc32(data)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single hardware packet.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids.
+    ptype:
+        Protocol role (maps onto the CM-5 tag word).
+    payload:
+        Tuple of data words; at most ``n`` words for packet size ``n``.
+    handler:
+        Active-message handler name dispatched at the destination.
+    seq:
+        Channel sequence number (indefinite-sequence protocol).
+    offset:
+        Destination buffer offset in words (finite-sequence protocol).
+    segment:
+        Communication segment id (finite-sequence protocol).
+    corrupted:
+        Set in flight by the fault injector; checked against ``checksum``.
+    """
+
+    src: int
+    dst: int
+    ptype: PacketType
+    payload: Tuple[int, ...] = ()
+    handler: str = ""
+    seq: Optional[int] = None
+    offset: Optional[int] = None
+    segment: Optional[int] = None
+    size_hint: Optional[int] = None
+    checksum: int = field(default=-1)
+    corrupted: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.checksum == -1:
+            object.__setattr__(self, "checksum", compute_checksum(self.payload))
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def data_words(self) -> int:
+        """Number of payload words carried."""
+        return len(self.payload)
+
+    @property
+    def wire_words(self) -> int:
+        """Total words on the wire: one header word plus the payload
+        (the CM-5's 5-word packet at n = 4)."""
+        return 1 + self.data_words
+
+    def checksum_ok(self) -> bool:
+        """True iff the payload matches the checksum and the packet was not
+        marked corrupt in flight."""
+        return (not self.corrupted) and compute_checksum(self.payload) == self.checksum
+
+    # -- flight mutations -------------------------------------------------------
+
+    def corrupt(self) -> "Packet":
+        """Return a corrupted copy (as the fault injector would produce)."""
+        return replace(self, corrupted=True)
+
+    def retransmission(self) -> "Packet":
+        """A fresh copy for retransmission (new packet identity, clean)."""
+        return replace(self, corrupted=False, packet_id=next(_packet_ids))
+
+    def __str__(self) -> str:
+        bits = [f"{self.ptype}", f"{self.src}->{self.dst}"]
+        if self.seq is not None:
+            bits.append(f"seq={self.seq}")
+        if self.offset is not None:
+            bits.append(f"off={self.offset}")
+        if self.segment is not None:
+            bits.append(f"seg={self.segment}")
+        bits.append(f"{self.data_words}w")
+        return f"Packet({', '.join(bits)})"

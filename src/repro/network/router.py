@@ -1,0 +1,267 @@
+"""Hop-by-hop detailed network simulation.
+
+Packets traverse a :class:`~repro.network.topology.Topology` one router at
+a time on the discrete-event kernel.  Each router has a finite input buffer
+(backpressure stalls the upstream hop when it fills) and a service rate
+(one packet per ``service_time``), so congestion produces queueing delay —
+and queueing delay plus multipath adaptivity produces the emergent
+out-of-order delivery that the service-level CM-5 model abstracts as a
+:class:`~repro.network.delivery.DeliveryModel`.
+
+This detailed backend exposes the same ``attach``/``inject`` interface as
+the service-level networks, so the full messaging protocols can run over
+it unchanged (integration tests and examples do exactly that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.network.faults import FaultInjector
+from repro.network.flowcontrol import FiniteBuffer
+from repro.network.packet import Packet
+from repro.network.routing import DeterministicRouting, RoutingPolicy
+from repro.network.topology import Topology, Vertex
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter, RunningStats
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class RouterState:
+    """Per-router dynamic state: one lane (buffer + service cursor) per
+    virtual channel, plus a FIFO of packets waiting for a free slot.
+
+    Backpressure is fair: a packet refused entry parks in ``waiters`` and
+    is admitted the moment a slot frees, in arrival order — so blocked
+    packets can never be overtaken by later arrivals at the same router
+    (single-path deterministic routing stays order-preserving under any
+    load, as real FIFO wormhole backpressure does)."""
+
+    buffers: List[FiniteBuffer]
+    next_free: List[float]
+    waiters: Deque[Tuple[Packet, "Vertex", int]] = field(default_factory=deque)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(buf.occupancy for buf in self.buffers)
+
+    @property
+    def peak_occupancy(self) -> int:
+        return max(buf.peak_occupancy for buf in self.buffers)
+
+
+@dataclass
+class ChannelOrderTracker:
+    """Classifies deliveries on one (src, dst) channel as in/out of order."""
+
+    expected: int = 0
+    early: set = field(default_factory=set)
+    ooo_count: int = 0
+    delivered: int = 0
+
+    def record(self, index: int) -> bool:
+        """Record a delivery; return True if it was out of order."""
+        self.delivered += 1
+        if index == self.expected:
+            self.expected += 1
+            while self.expected in self.early:
+                self.early.remove(self.expected)
+                self.expected += 1
+            return False
+        self.early.add(index)
+        self.ooo_count += 1
+        return True
+
+    @property
+    def ooo_fraction(self) -> float:
+        return self.ooo_count / self.delivered if self.delivered else 0.0
+
+
+class DetailedNetwork:
+    """Router-level packet transport over a topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        routing: Optional[RoutingPolicy] = None,
+        hop_latency: float = 1.0,
+        service_time: float = 1.0,
+        buffer_capacity: int = 8,
+        stall_delay: float = 0.5,
+        injector: Optional[FaultInjector] = None,
+        tracer: Optional[Tracer] = None,
+        virtual_channels: int = 1,
+        vc_rng=None,
+    ) -> None:
+        """``virtual_channels`` > 1 gives each router independent lanes
+        sharing the physical link bandwidth (per-lane service time scales
+        with the lane count).  Packets pick a lane at random per hop, so a
+        packet on an empty lane overtakes packets queued on a busy one —
+        Section 2.2's virtual-channel reordering, even on a single
+        deterministic path."""
+        if virtual_channels < 1:
+            raise ValueError("need at least one virtual channel")
+        self.sim = sim
+        self.topology = topology
+        self.routing = routing or DeterministicRouting()
+        self.hop_latency = hop_latency
+        self.service_time = service_time
+        self.buffer_capacity = buffer_capacity
+        self.stall_delay = stall_delay
+        self.injector = injector or FaultInjector()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.virtual_channels = virtual_channels
+        import random as _random
+
+        self.vc_rng = vc_rng or _random.Random(0)
+        self.counters = Counter()
+        self.latency_stats = RunningStats()
+        self._routers: Dict[Vertex, RouterState] = {}
+        self._delivery_callbacks: Dict[int, Callable[[Packet], None]] = {}
+        self._channel_counters: Dict[tuple, int] = {}
+        self._order_trackers: Dict[tuple, ChannelOrderTracker] = {}
+        self._inject_times: Dict[int, float] = {}
+
+    # -- endpoint binding --------------------------------------------------------
+
+    def attach(self, node_id: int, deliver: Callable[[Packet], None]) -> None:
+        """Register the destination callback for an endpoint."""
+        if node_id not in set(self.topology.endpoints):
+            raise ValueError(f"node {node_id} is not a topology endpoint")
+        self._delivery_callbacks[node_id] = deliver
+
+    # -- injection -----------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Enter a packet at its source endpoint at the current sim time."""
+        channel = (packet.src, packet.dst)
+        index = self._channel_counters.get(channel, 0)
+        self._channel_counters[channel] = index + 1
+        maybe = self.injector.apply(packet, index)
+        self.counters.incr("injected")
+        self._inject_times[packet.packet_id] = self.sim.now
+        self.tracer.emit(self.sim.now, "net.inject", str(packet))
+        if maybe is None:
+            self.counters.incr("dropped_in_flight")
+            return
+        self._advance(maybe, at=packet.src, order_index=index)
+
+    # -- movement -----------------------------------------------------------------
+
+    def _advance(self, packet: Packet, at: Vertex, order_index: int) -> None:
+        """Move the packet one hop from ``at``."""
+        if at == packet.dst:
+            self._deliver(packet, order_index)
+            return
+        choices = self.topology.next_hops(at, packet.dst)
+        nxt = self.routing.choose(choices, self._occupancy)
+        if isinstance(nxt, int):
+            # Final hop: eject to the endpoint after the link latency.
+            self.sim.schedule(
+                self.hop_latency,
+                lambda: self._deliver(packet, order_index),
+                label="net.eject",
+            )
+            return
+        state = self._router_state(nxt)
+        vc = (
+            self.vc_rng.randrange(self.virtual_channels)
+            if self.virtual_channels > 1
+            else 0
+        )
+        if not self._try_enter(packet, nxt, state, vc, order_index):
+            # Backpressure: park in arrival order until a slot frees.
+            self.counters.incr("stalls")
+            state.waiters.append((packet, nxt, order_index))
+
+    def _try_enter(self, packet: Packet, router: Vertex, state: RouterState,
+                   vc: int, order_index: int) -> bool:
+        if not state.buffers[vc].offer(packet):
+            return False
+        arrive = self.sim.now + self.hop_latency
+        # Lanes share the physical link: per-lane service slows with count.
+        lane_service = self.service_time * self.virtual_channels
+        depart = max(arrive, state.next_free[vc]) + lane_service
+        state.next_free[vc] = depart
+        self.sim.schedule_at(
+            depart,
+            lambda: self._depart(packet, router, vc, order_index),
+            label="net.hop",
+        )
+        return True
+
+    def _depart(self, packet: Packet, router: Vertex, vc: int,
+                order_index: int) -> None:
+        state = self._router_state(router)
+        popped = state.buffers[vc].pop()
+        if popped is not packet:
+            # FIFO service within a lane: the head departs first.  Because
+            # departures are scheduled in arrival order with a monotone
+            # cursor, head==packet holds; anything else is a kernel bug.
+            raise RuntimeError("router service order violated")
+        # A slot just freed on this lane: admit the oldest waiter to it.
+        if state.waiters:
+            waiting_packet, waiting_router, waiting_index = state.waiters.popleft()
+            admitted = self._try_enter(
+                waiting_packet, waiting_router, state, vc, waiting_index
+            )
+            if not admitted:  # pragma: no cover - the freed slot was on vc
+                state.waiters.appendleft(
+                    (waiting_packet, waiting_router, waiting_index)
+                )
+        self._advance(packet, router, order_index)
+
+    def _deliver(self, packet: Packet, order_index: int) -> None:
+        tracker = self._order_trackers.setdefault(
+            (packet.src, packet.dst), ChannelOrderTracker()
+        )
+        was_ooo = tracker.record(order_index)
+        self.counters.incr("delivered")
+        if was_ooo:
+            self.counters.incr("delivered_ooo")
+        injected_at = self._inject_times.pop(packet.packet_id, self.sim.now)
+        self.latency_stats.add(self.sim.now - injected_at)
+        self.tracer.emit(
+            self.sim.now, "net.deliver", str(packet), ooo=was_ooo
+        )
+        callback = self._delivery_callbacks.get(packet.dst)
+        if callback is None:
+            self.counters.incr("undeliverable")
+            return
+        callback(packet)
+
+    # -- state ---------------------------------------------------------------------
+
+    def _router_state(self, vertex: Vertex) -> RouterState:
+        state = self._routers.get(vertex)
+        if state is None:
+            state = RouterState(
+                buffers=[
+                    FiniteBuffer(
+                        self.buffer_capacity, name=f"router{vertex}.vc{vc}"
+                    )
+                    for vc in range(self.virtual_channels)
+                ],
+                next_free=[0.0] * self.virtual_channels,
+            )
+            self._routers[vertex] = state
+        return state
+
+    def _occupancy(self, vertex: Vertex) -> int:
+        state = self._routers.get(vertex)
+        return state.occupancy if state else 0
+
+    def ooo_fraction(self, src: int, dst: int) -> float:
+        """Measured out-of-order fraction on one channel."""
+        tracker = self._order_trackers.get((src, dst))
+        return tracker.ooo_fraction if tracker else 0.0
+
+    def peak_buffer_occupancy(self) -> int:
+        return max(
+            (state.peak_occupancy for state in self._routers.values()),
+            default=0,
+        )

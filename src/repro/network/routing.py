@@ -1,0 +1,74 @@
+"""Hop-selection policies for the detailed network models.
+
+A policy picks one hop from the legal choices a topology offers.  One
+choice list entry means the decision is forced; several entries are where
+routing *features* live:
+
+* :class:`DeterministicRouting` — always the first choice; per-channel
+  order is preserved (the baseline the paper's Section 4 networks match).
+* :class:`AdaptiveRouting` — uniform random choice; models the multipath
+  adaptivity that produces arbitrary delivery order (Section 2.2).
+* :class:`CongestionAwareRouting` — least-occupied choice; an ablation
+  showing that smarter adaptivity still reorders.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.network.topology import Vertex
+
+
+class RoutingPolicy:
+    """Base class for hop selection."""
+
+    #: True when the policy can reorder packets of one channel.
+    reorders = False
+
+    def choose(self, choices: List[Vertex], occupancy: Callable[[Vertex], int]) -> Vertex:
+        """Pick the next hop.  ``occupancy`` maps a router vertex to its
+        current input-buffer occupancy (for load-aware policies)."""
+        raise NotImplementedError
+
+
+class DeterministicRouting(RoutingPolicy):
+    """Always the first legal hop: single path, order preserving."""
+
+    reorders = False
+
+    def choose(self, choices: List[Vertex], occupancy) -> Vertex:
+        return choices[0]
+
+
+class AdaptiveRouting(RoutingPolicy):
+    """Uniform random choice among legal hops (oblivious adaptivity)."""
+
+    reorders = True
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    def choose(self, choices: List[Vertex], occupancy) -> Vertex:
+        if len(choices) == 1:
+            return choices[0]
+        return self.rng.choice(choices)
+
+
+class CongestionAwareRouting(RoutingPolicy):
+    """Pick the least-occupied next router, random tie-break."""
+
+    reorders = True
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self.rng = rng or random.Random(0)
+
+    def choose(self, choices: List[Vertex], occupancy) -> Vertex:
+        if len(choices) == 1:
+            return choices[0]
+        loads = [(occupancy(v), i) for i, v in enumerate(choices)]
+        best = min(load for load, _ in loads)
+        candidates = [choices[i] for load, i in loads if load == best]
+        if len(candidates) == 1:
+            return candidates[0]
+        return self.rng.choice(candidates)

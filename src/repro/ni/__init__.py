@@ -1,0 +1,27 @@
+"""Memory-mapped network interface models.
+
+The CM-5 NI is a set of control registers and FIFOs on the processor-memory
+bus (Section 3.1, Figure 2): packets are injected by storing a destination
+word and data words into the send FIFO, extracted by loading from the
+receive FIFO, and status is queried by loading control registers.
+
+Every operation on the NI costs a ``dev`` instruction — that is the whole
+point of the paper's third instruction subcategory — so the accounting for
+the ``dev`` column happens *here*, inside the NI access methods, while the
+messaging layer charges only its ``reg``/``mem`` work.  This split keeps
+each calibrated count attached to the operation that physically causes it
+and makes double-counting structurally impossible.
+"""
+
+from repro.ni.registers import RegisterFile, StatusFlag
+from repro.ni.fifo import NiFifo
+from repro.ni.interface import NetworkInterface
+from repro.ni.cm5ni import CM5NetworkInterface
+
+__all__ = [
+    "RegisterFile",
+    "StatusFlag",
+    "NiFifo",
+    "NetworkInterface",
+    "CM5NetworkInterface",
+]

@@ -1,0 +1,50 @@
+"""The CM-5 network interface.
+
+A thin specialization of :class:`~repro.ni.interface.NetworkInterface`
+fixing the CM-5's hardware parameters: packets carry at most four data
+words (five words on the wire including the header, Section 3.1), and the
+interface supports the combined status poll CMAM relies on — one register
+load answers both "did my send go out?" and "is anything waiting?"
+(Table 1 charges that poll to the source's *Check NI status* row).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.arch.machine import AbstractProcessor
+from repro.ni.interface import NetworkInterface
+from repro.ni.registers import StatusFlag
+
+#: CM-5 hardware packet payload, in 32-bit words.
+CM5_PACKET_WORDS = 4
+
+
+class CM5NetworkInterface(NetworkInterface):
+    """NI with CM-5 defaults and the combined send/recv status poll."""
+
+    def __init__(
+        self,
+        node_id: int,
+        processor: AbstractProcessor,
+        network: Any,
+        packet_size: int = CM5_PACKET_WORDS,
+        recv_capacity: int = 64,
+    ) -> None:
+        super().__init__(
+            node_id=node_id,
+            processor=processor,
+            network=network,
+            packet_size=packet_size,
+            recv_capacity=recv_capacity,
+        )
+
+    def poll_send_and_recv(self) -> StatusFlag:
+        """The CMAM source-side status poll: confirms the send and tests
+        for incoming packets in a single register load (1 dev)."""
+        return self.load_status()
+
+    @property
+    def wire_packet_words(self) -> int:
+        """Words per packet on the wire (header + payload)."""
+        return 1 + self.packet_size

@@ -1,0 +1,62 @@
+"""NI send/receive FIFOs.
+
+Pure state: the interface layer charges ``dev`` accesses.  The receive FIFO
+is bounded (the NI has finite buffering, Section 2.2); overflow counts are
+tracked so tests can demonstrate loss when software fails to drain fast
+enough or to preallocate destination space.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.network.packet import Packet
+
+
+class NiFifo:
+    """A bounded packet FIFO inside the NI."""
+
+    def __init__(self, capacity: int = 16, name: str = "fifo") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._queue: Deque[Packet] = deque()
+        self.overflow_count = 0
+        self.peak_occupancy = 0
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue if space; otherwise count an overflow and drop."""
+        if len(self._queue) >= self.capacity:
+            self.overflow_count += 1
+            return False
+        self._queue.append(packet)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+        return True
+
+    def pop(self) -> Packet:
+        if not self._queue:
+            raise IndexError(f"{self.name}: pop from empty NI FIFO")
+        return self._queue.popleft()
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    def drain(self) -> List[Packet]:
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"NiFifo({self.name!r}, {self.occupancy}/{self.capacity})"

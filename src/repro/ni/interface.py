@@ -1,0 +1,182 @@
+"""The memory-mapped network interface.
+
+This is the accounting boundary for the paper's ``dev`` instruction class:
+every method that models a processor load/store to the NI charges exactly
+one ``dev`` instruction per bus transaction on the owning processor.  Data
+words move in double-word transactions (two 32-bit words per load/store),
+matching the SPARC access pattern implicit in the paper's counts
+(4 data words = 2 device stores on the send side).
+
+Functionally the NI stages outgoing packets, injects them into whichever
+network it is bound to (service-level CM-5, CR, or the detailed router
+model — they share the ``attach``/``inject`` interface), verifies checksums
+on arrival (fault *detection*), and queues good packets in a bounded
+receive FIFO.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.arch.machine import AbstractProcessor
+from repro.network.packet import Packet, PacketType
+from repro.ni.fifo import NiFifo
+from repro.ni.registers import RegisterFile, StatusFlag
+
+
+class NetworkInterface:
+    """Base NI bound to one node and one network."""
+
+    def __init__(
+        self,
+        node_id: int,
+        processor: AbstractProcessor,
+        network: Any,
+        packet_size: int = 4,
+        recv_capacity: int = 64,
+    ) -> None:
+        self.node_id = node_id
+        self.processor = processor
+        self.network = network
+        self.packet_size = packet_size
+        self.registers = RegisterFile()
+        self.recv_fifo = NiFifo(capacity=recv_capacity, name=f"ni{node_id}.recv")
+        self.detected_errors = 0
+        self.sent_packets = 0
+        self.received_packets = 0
+        self._staged: Optional[Dict[str, Any]] = None
+        self._notify: Optional[Callable[[], None]] = None
+        network.attach(node_id, self._on_delivery)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def set_notify(self, callback: Optional[Callable[[], None]]) -> None:
+        """Called whenever a good packet lands in the receive FIFO.
+
+        The messaging layer uses this to run its reception path at the
+        moment a poll would succeed — the paper's favourable execution path
+        (no wasted polls)."""
+        self._notify = callback
+
+    # -- send side (each call = processor <-> NI bus transactions) --------------
+
+    def store_header(
+        self,
+        dst: int,
+        ptype: PacketType,
+        handler: str = "",
+        seq: Optional[int] = None,
+        offset: Optional[int] = None,
+        segment: Optional[int] = None,
+        size_hint: Optional[int] = None,
+    ) -> None:
+        """Store the destination/tag word into the send FIFO (1 dev)."""
+        self.processor.dev_stores(1)
+        self._staged = {
+            "dst": dst,
+            "ptype": ptype,
+            "handler": handler,
+            "seq": seq,
+            "offset": offset,
+            "segment": segment,
+            "size_hint": size_hint,
+            "payload": [],
+        }
+
+    def store_payload(self, words: Tuple[int, ...]) -> None:
+        """Store data words into the send FIFO (1 dev per double word)."""
+        if self._staged is None:
+            raise RuntimeError("store_header must precede store_payload")
+        if words:
+            self.processor.dev_stores(math.ceil(len(words) / 2))
+            self._staged["payload"].extend(words)
+        if len(self._staged["payload"]) > self.packet_size:
+            raise ValueError(
+                f"staged payload of {len(self._staged['payload'])} words exceeds "
+                f"hardware packet size {self.packet_size}"
+            )
+
+    def launch(self) -> Packet:
+        """Commit the staged packet to the network.
+
+        On the CM-5 the final store triggers injection, so launching itself
+        costs nothing beyond the stores already charged.
+        """
+        if self._staged is None:
+            raise RuntimeError("nothing staged to launch")
+        staged, self._staged = self._staged, None
+        packet = Packet(
+            src=self.node_id,
+            dst=staged["dst"],
+            ptype=staged["ptype"],
+            payload=tuple(staged["payload"]),
+            handler=staged["handler"],
+            seq=staged["seq"],
+            offset=staged["offset"],
+            segment=staged["segment"],
+            size_hint=staged["size_hint"],
+        )
+        self.registers.set_flag(StatusFlag.SEND_OK, True)
+        self.sent_packets += 1
+        self.network.inject(packet)
+        return packet
+
+    # -- status ------------------------------------------------------------------
+
+    def load_status(self) -> StatusFlag:
+        """Load the NI status register (1 dev)."""
+        self.processor.dev_loads(1)
+        self.registers.set_flag(StatusFlag.RECV_READY, bool(self.recv_fifo))
+        return self.registers.status
+
+    # -- receive side ---------------------------------------------------------------
+
+    def load_envelope(self) -> Packet:
+        """Load the head packet's header word — tag and routing metadata —
+        without consuming it (1 dev)."""
+        self.processor.dev_loads(1)
+        head = self.recv_fifo.peek()
+        if head is None:
+            raise RuntimeError("load_envelope with empty receive FIFO")
+        return head
+
+    def load_payload(self) -> Tuple[int, ...]:
+        """Load the head packet's data words and consume the packet
+        (1 dev per double word)."""
+        head = self.recv_fifo.peek()
+        if head is None:
+            raise RuntimeError("load_payload with empty receive FIFO")
+        if head.payload:
+            self.processor.dev_loads(math.ceil(len(head.payload) / 2))
+        packet = self.recv_fifo.pop()
+        self.received_packets += 1
+        return packet.payload
+
+    def discard_head(self) -> Packet:
+        """Consume the head packet without reading its payload (no dev).
+
+        Used when the envelope alone decides the packet is unwanted."""
+        return self.recv_fifo.pop()
+
+    # -- hardware behaviour (no instruction charges) -----------------------------------
+
+    def _on_delivery(self, packet: Packet) -> None:
+        """Network-side arrival: CRC check, then FIFO admission."""
+        if not packet.checksum_ok():
+            # Fault DETECTION in hardware; no correction (Section 2.2).
+            self.detected_errors += 1
+            self.registers.set_flag(StatusFlag.RECV_ERROR, True)
+            return
+        if not self.recv_fifo.offer(packet):
+            # NI buffering is finite; unabsorbed packets are lost.  The
+            # messaging layer's buffer management exists to prevent this.
+            return
+        self.registers.set_flag(StatusFlag.RECV_READY, True)
+        if self._notify is not None:
+            self._notify()
+
+    @property
+    def recv_ready(self) -> bool:
+        """Internal (uncharged) view of receive-FIFO state, for tests."""
+        return bool(self.recv_fifo)

@@ -1,0 +1,53 @@
+"""NI control registers.
+
+A tiny named register file modelling the CM-5 NI's memory-mapped control
+registers.  Pure state: the owning :class:`~repro.ni.interface.NetworkInterface`
+charges the ``dev`` instruction when the processor touches a register.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class StatusFlag(enum.IntFlag):
+    """Bits of the NI status register."""
+
+    SEND_OK = 0x1       # send FIFO accepted the last packet
+    RECV_READY = 0x2    # a packet is waiting in the receive FIFO
+    SEND_SPACE = 0x4    # room to compose another outgoing packet
+    RECV_ERROR = 0x8    # the waiting packet failed its CRC
+
+
+class RegisterFile:
+    """Named 32-bit registers."""
+
+    def __init__(self) -> None:
+        self._registers: Dict[str, int] = {"status": int(StatusFlag.SEND_SPACE)}
+
+    def read(self, name: str) -> int:
+        return self._registers.get(name, 0)
+
+    def write(self, name: str, value: int) -> None:
+        self._registers[name] = value & 0xFFFFFFFF
+
+    # -- status convenience ------------------------------------------------------
+
+    @property
+    def status(self) -> StatusFlag:
+        return StatusFlag(self._registers.get("status", 0))
+
+    def set_flag(self, flag: StatusFlag, on: bool = True) -> None:
+        current = self._registers.get("status", 0)
+        if on:
+            current |= int(flag)
+        else:
+            current &= ~int(flag)
+        self._registers["status"] = current
+
+    def test_flag(self, flag: StatusFlag) -> bool:
+        return bool(self._registers.get("status", 0) & int(flag))
+
+    def __repr__(self) -> str:
+        return f"RegisterFile(status={self.status!r})"

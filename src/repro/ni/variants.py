@@ -1,0 +1,143 @@
+"""Improved network-interface variants (Section 5's discussion).
+
+The paper argues that improvements to the *basic* communication cost —
+tighter NI coupling [12, 6] or DMA hardware — do not touch the protocol
+overhead, and therefore make it relatively *more* important.  These
+variants let that argument run as an experiment rather than a paragraph:
+
+* :class:`CoupledNI` — an on-chip / register-mapped interface: every
+  access that the memory-mapped NI charges as a ``dev`` instruction
+  becomes a plain register instruction (the J-machine / *T-style design
+  point).
+* :class:`DMANI` — block-transfer hardware for the payload: per-packet
+  payload movement through the NI is replaced by a fixed descriptor
+  setup (a few dev stores) per *message*, while header and status traffic
+  stays memory-mapped.
+
+Both preserve the NI's functional contract, so the full protocol stack
+runs on them unchanged; only the accounting shifts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Tuple
+
+from repro.arch.isa import InstrClass
+from repro.arch.machine import AbstractProcessor
+from repro.ni.cm5ni import CM5NetworkInterface
+
+
+class CoupledNI(CM5NetworkInterface):
+    """Processor-integrated NI: device accesses cost register instructions.
+
+    Models the tightly-coupled interfaces of Henry & Joerg [12] and the
+    J-machine [6]: the FIFOs sit in the register space, so the ``dev``
+    class disappears.  Functionality is identical to the CM-5 NI.
+    """
+
+    variant_name = "coupled"
+
+    class _RegisterChargingProxy:
+        """Redirects the NI's dev charges onto the reg class."""
+
+        def __init__(self, processor: AbstractProcessor) -> None:
+            self._processor = processor
+
+        def dev_loads(self, count: int = 1) -> None:
+            self._processor.reg_ops(count)
+
+        def dev_stores(self, count: int = 1) -> None:
+            self._processor.reg_ops(count)
+
+        def __getattr__(self, name: str) -> Any:
+            return getattr(self._processor, name)
+
+    def __init__(self, node_id: int, processor: AbstractProcessor, network: Any,
+                 packet_size: int = 4, recv_capacity: int = 64) -> None:
+        super().__init__(
+            node_id=node_id,
+            processor=self._RegisterChargingProxy(processor),
+            network=network,
+            packet_size=packet_size,
+            recv_capacity=recv_capacity,
+        )
+
+
+class DMANI(CM5NetworkInterface):
+    """DMA block engine for payload movement.
+
+    A message's payload words no longer pass through the processor: the
+    send side stores a descriptor (address, length, destination — 3 dev
+    stores) once per *block* of up to ``dma_block_packets`` packets, and
+    the engine streams the data.  Header/status traffic is unchanged.
+
+    Per Section 5: "while DMA hardware can reduce the cost of moving large
+    amounts of data, it is unlikely that it would give much benefit for
+    the packet sizes we have considered" — the experiment in
+    ``repro.analysis.ni_study`` measures exactly that.
+    """
+
+    variant_name = "dma"
+
+    #: dev stores to program one DMA descriptor.
+    DESCRIPTOR_STORES = 3
+
+    def __init__(self, node_id: int, processor: AbstractProcessor, network: Any,
+                 packet_size: int = 4, recv_capacity: int = 64,
+                 dma_block_packets: int = 16) -> None:
+        if dma_block_packets < 1:
+            raise ValueError("dma_block_packets must be positive")
+        super().__init__(
+            node_id=node_id,
+            processor=processor,
+            network=network,
+            packet_size=packet_size,
+            recv_capacity=recv_capacity,
+        )
+        self.dma_block_packets = dma_block_packets
+        self._block_remaining = 0
+        self.descriptors_programmed = 0
+
+    # -- send side: payload stores become descriptor programming ---------------
+
+    def store_payload(self, words: Tuple[int, ...]) -> None:
+        if self._staged is None:
+            raise RuntimeError("store_header must precede store_payload")
+        if words:
+            if self._block_remaining == 0:
+                # Program a descriptor covering the next block of packets.
+                self.processor.dev_stores(self.DESCRIPTOR_STORES)
+                self.descriptors_programmed += 1
+                self._block_remaining = self.dma_block_packets
+            self._block_remaining -= 1
+            self._staged["payload"].extend(words)
+        if len(self._staged["payload"]) > self.packet_size:
+            raise ValueError(
+                f"staged payload of {len(self._staged['payload'])} words exceeds "
+                f"hardware packet size {self.packet_size}"
+            )
+
+    # -- receive side: payload loads land by DMA -------------------------------------
+
+    def load_payload(self) -> Tuple[int, ...]:
+        head = self.recv_fifo.peek()
+        if head is None:
+            raise RuntimeError("load_payload with empty receive FIFO")
+        # Data is deposited by the engine; the processor only consumes the
+        # completion (no per-word loads).
+        packet = self.recv_fifo.pop()
+        self.received_packets += 1
+        return packet.payload
+
+
+def ni_factory(variant: str):
+    """Return the NI class for a variant name: 'cm5', 'coupled' or 'dma'."""
+    table = {
+        "cm5": CM5NetworkInterface,
+        "coupled": CoupledNI,
+        "dma": DMANI,
+    }
+    if variant not in table:
+        raise KeyError(f"unknown NI variant {variant!r}; known: {sorted(table)}")
+    return table[variant]

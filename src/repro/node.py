@@ -1,0 +1,114 @@
+"""Simulated processing nodes.
+
+A :class:`Node` bundles what a CM-5 node contributes to the study: a
+processor (the instruction accountant), a word-addressed memory, a CM-5
+style network interface, and an active-message handler table.  Protocol
+endpoints and the CMAM layer operate on nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.arch.machine import AbstractProcessor
+from repro.ni.cm5ni import CM5NetworkInterface
+from repro.sim.engine import Simulator
+
+
+class Memory:
+    """Word-addressed node memory.
+
+    Pure state: instruction charges for loads/stores are made by the
+    messaging-layer code that performs them (it knows the double-word
+    access granularity); the memory just holds values.
+    """
+
+    def __init__(self, size_words: int = 1 << 20) -> None:
+        if size_words < 1:
+            raise ValueError("memory size must be positive")
+        self.size_words = size_words
+        self._words: Dict[int, int] = {}
+
+    def _check(self, addr: int, count: int = 1) -> None:
+        if addr < 0 or addr + count > self.size_words:
+            raise IndexError(
+                f"access [{addr}, {addr + count}) outside memory of {self.size_words} words"
+            )
+
+    def read_word(self, addr: int) -> int:
+        self._check(addr)
+        return self._words.get(addr, 0)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check(addr)
+        self._words[addr] = value & 0xFFFFFFFF
+
+    def read_block(self, addr: int, count: int) -> List[int]:
+        self._check(addr, count)
+        return [self._words.get(addr + i, 0) for i in range(count)]
+
+    def write_block(self, addr: int, values: Sequence[int]) -> None:
+        self._check(addr, len(values))
+        for i, value in enumerate(values):
+            self._words[addr + i] = value & 0xFFFFFFFF
+
+
+class Node:
+    """One processing node attached to a network."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        network: Any,
+        packet_size: int = 4,
+        memory_words: int = 1 << 20,
+        recv_capacity: int = 64,
+        ni_class: type = CM5NetworkInterface,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.processor = AbstractProcessor(name=f"node{node_id}")
+        self.memory = Memory(memory_words)
+        self.ni = ni_class(
+            node_id=node_id,
+            processor=self.processor,
+            network=network,
+            packet_size=packet_size,
+            recv_capacity=recv_capacity,
+        )
+        self.handlers: Dict[str, Callable] = {}
+
+    # -- handler table -----------------------------------------------------------
+
+    def register_handler(self, name: str, fn: Callable) -> None:
+        """Register an active-message handler (the paper's "small amount of
+        computation at the receiving end")."""
+        if name in self.handlers:
+            raise ValueError(f"handler {name!r} already registered on node {self.node_id}")
+        self.handlers[name] = fn
+
+    def handler(self, name: str) -> Callable:
+        fn = self.handlers.get(name)
+        if fn is None:
+            raise KeyError(f"node {self.node_id} has no handler {name!r}")
+        return fn
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id}, sent={self.ni.sent_packets}, recv={self.ni.received_packets})"
+
+
+def make_node_pair(
+    sim: Simulator,
+    network: Any,
+    packet_size: int = 4,
+    src_id: int = 0,
+    dst_id: int = 1,
+) -> tuple:
+    """Convenience: the two-node configuration every paper measurement uses
+    ("no other communication going on at the source and destination")."""
+    return (
+        Node(src_id, sim, network, packet_size=packet_size),
+        Node(dst_id, sim, network, packet_size=packet_size),
+    )

@@ -1,0 +1,67 @@
+"""The paper's communication protocols.
+
+Three protocols over the CMAM layer (Section 3.2) — single-packet, finite
+sequence, and indefinite sequence — and their drastically simplified
+counterparts over a Compressionless Routing substrate (Section 4).
+"""
+
+from repro.protocols.base import (
+    ProtocolResult,
+    ProtocolRun,
+    packets_for,
+    packet_payload_sizes,
+)
+from repro.protocols.acks import AckPolicy, PerPacketAck, GroupAck, NoAck, make_ack_policy
+from repro.protocols.sequencing import ReorderWindow, SequenceGenerator, SequenceError
+from repro.protocols.retransmit import RetransmitBuffer, SendRecord
+from repro.protocols.single_packet import run_single_packet, TABLE1_ROWS, table1_totals
+from repro.protocols.finite_sequence import (
+    FiniteSequenceSender,
+    FiniteSequenceReceiver,
+    run_finite_sequence,
+)
+from repro.protocols.indefinite_sequence import (
+    StreamSender,
+    StreamReceiver,
+    run_indefinite_sequence,
+)
+from repro.protocols.cr_protocols import (
+    CRFiniteSender,
+    CRFiniteReceiver,
+    CRStreamSender,
+    CRStreamReceiver,
+    run_cr_finite_sequence,
+    run_cr_indefinite_sequence,
+)
+
+__all__ = [
+    "ProtocolResult",
+    "ProtocolRun",
+    "packets_for",
+    "packet_payload_sizes",
+    "AckPolicy",
+    "PerPacketAck",
+    "GroupAck",
+    "NoAck",
+    "make_ack_policy",
+    "ReorderWindow",
+    "SequenceGenerator",
+    "SequenceError",
+    "RetransmitBuffer",
+    "SendRecord",
+    "run_single_packet",
+    "TABLE1_ROWS",
+    "table1_totals",
+    "FiniteSequenceSender",
+    "FiniteSequenceReceiver",
+    "run_finite_sequence",
+    "StreamSender",
+    "StreamReceiver",
+    "run_indefinite_sequence",
+    "CRFiniteSender",
+    "CRFiniteReceiver",
+    "CRStreamSender",
+    "CRStreamReceiver",
+    "run_cr_finite_sequence",
+    "run_cr_indefinite_sequence",
+]

@@ -1,0 +1,99 @@
+"""Acknowledgement policies for the indefinite-sequence protocol.
+
+The paper's measured configuration acknowledges every packet ("each packet
+has its own acknowledgement ... allowing source storage to be released",
+Figure 4, Step 4) and notes that "for larger (and more predictable)
+messages, this per-packet cost can be reduced by employing group
+acknowledgements (at the cost of reserving source buffers for a longer
+period of time)".  Both policies live here, plus a no-ack policy for the
+CR-based layer where hardware makes acknowledgements unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class AckPolicy:
+    """Decides, at the receiver, when an acknowledgement packet goes out.
+
+    ``ack_after(received)`` is consulted after the ``received``-th packet
+    (1-based) has been accepted; it returns the number of packets the ack
+    should cover (0 = no ack now).
+    """
+
+    name = "ack"
+
+    #: Whether acks cover a cumulative prefix (group acks) or a single
+    #: packet.  Decides the sender's record-release bookkeeping.
+    cumulative = False
+
+    def ack_after(self, received: int) -> int:
+        raise NotImplementedError
+
+    def final_ack(self, received: int) -> int:
+        """Packets still unacknowledged when the stream closes."""
+        raise NotImplementedError
+
+    def acks_for(self, p: int) -> int:
+        """Total acknowledgement packets a p-packet stream generates."""
+        raise NotImplementedError
+
+
+class PerPacketAck(AckPolicy):
+    """One acknowledgement per data packet — the paper's measured setup."""
+
+    name = "per-packet"
+
+    def ack_after(self, received: int) -> int:
+        return 1
+
+    def final_ack(self, received: int) -> int:
+        return 0
+
+    def acks_for(self, p: int) -> int:
+        return p
+
+
+class GroupAck(AckPolicy):
+    """One acknowledgement per ``group`` packets, plus a closing ack for
+    any remainder."""
+
+    name = "group"
+    cumulative = True
+
+    def __init__(self, group: int) -> None:
+        if group < 1:
+            raise ValueError("group size must be positive")
+        self.group = group
+
+    def ack_after(self, received: int) -> int:
+        return self.group if received % self.group == 0 else 0
+
+    def final_ack(self, received: int) -> int:
+        return received % self.group
+
+    def acks_for(self, p: int) -> int:
+        return (p + self.group - 1) // self.group
+
+
+class NoAck(AckPolicy):
+    """No software acknowledgements (hardware-reliable networks)."""
+
+    name = "none"
+
+    def ack_after(self, received: int) -> int:
+        return 0
+
+    def final_ack(self, received: int) -> int:
+        return 0
+
+    def acks_for(self, p: int) -> int:
+        return 0
+
+
+def make_ack_policy(group: Optional[int]) -> AckPolicy:
+    """``None`` -> per-packet; ``G`` -> group acks of size G."""
+    if group is None:
+        return PerPacketAck()
+    return GroupAck(group)

@@ -1,0 +1,334 @@
+"""Messaging protocols atop Compressionless Routing (Section 4).
+
+With in-order delivery, acceptance-independent deadlock freedom, and
+packet-level fault tolerance provided by the network, both multi-packet
+protocols collapse to little more than their base data movement:
+
+* **Finite sequence** (Figure 5): the sender streams packets immediately —
+  no allocation handshake (a destination out of resources rejects the
+  header packet in hardware and the message retries), no offsets (order is
+  preserved), no final ack (each packet is reliably delivered).  The only
+  buffer-management software left is storing the allocated buffer's
+  pointer in a table when the header arrives.
+* **Indefinite sequence** (Figure 7): "implemented essentially for free on
+  top of multiple single-packet transmissions" — no sequence numbers, no
+  reorder buffering, no source buffering, no acknowledgements.
+
+Every instruction these endpoints charge lands in the *base* bucket except
+the CR table store, which is the residual buffer-management cost the paper
+describes in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.am.cmam import AMDispatcher
+from repro.am.costs import CmamCosts
+from repro.arch.attribution import Feature
+from repro.network.packet import PacketType
+from repro.node import Node
+from repro.protocols.base import ProtocolResult, ProtocolRun, packet_payload_sizes
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class CRFiniteSender:
+    """Source endpoint of the CR finite-sequence protocol (Figure 5)."""
+
+    def __init__(
+        self,
+        node: Node,
+        dst_id: int,
+        message_addr: int,
+        message_words: int,
+        costs: Optional[CmamCosts] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.dst_id = dst_id
+        self.message_addr = message_addr
+        self.message_words = message_words
+        self.costs = costs or CmamCosts()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.payload_sizes = packet_payload_sizes(message_words, self.costs.n)
+        self.packets = len(self.payload_sizes)
+
+    def start(self) -> None:
+        """Step 1 of Figure 5: break the message up and inject.
+
+        Identical charging to the CMAM base send path; note there is no
+        source buffering — once a packet is successfully injected, the
+        network delivers it reliably.
+        """
+        proc = self.node.processor
+        with proc.attribute(Feature.BASE):
+            proc.charge(self.costs.XFER_SEND_CONST)
+        offset = 0
+        for index, words in enumerate(self.payload_sizes):
+            payload = tuple(
+                self.node.memory.read_block(self.message_addr + offset, words)
+            )
+            with proc.attribute(Feature.BASE):
+                proc.charge(self.costs.xfer_send_packet(words))
+                self.node.ni.store_header(
+                    self.dst_id,
+                    PacketType.XFER_DATA,
+                    # The header (first) packet tells the destination how
+                    # big a buffer to allocate (Figure 5, Step 2).
+                    size_hint=self.message_words if index == 0 else None,
+                )
+                self.node.ni.store_payload(payload)
+                self.node.ni.poll_send_and_recv()
+                self.node.ni.poll_send_and_recv()
+                self.node.ni.launch()
+            offset += words
+        self.tracer.emit(
+            self.node.sim.now, "cr.xfer.sent",
+            f"{self.message_words}w in {self.packets} pkts to {self.dst_id}",
+        )
+
+
+class _CRTransferState:
+    """Per-source reassembly cursor for one in-flight CR transfer."""
+
+    def __init__(self, base_addr: int, expected_words: int) -> None:
+        self.base_addr = base_addr
+        self.expected_words = expected_words
+        self.cursor = 0
+
+
+class CRFiniteReceiver:
+    """Destination endpoint of the CR finite-sequence protocol.
+
+    Transfers from different sources interleave at the destination, so the
+    receiver keeps one cursor per source — exactly the buffer-pointer
+    table Section 4.1 describes ("storing the pointer to the allocated
+    buffer in a table, associating it with the incoming message").
+    ``on_complete`` receives ``(src, addr, words)``.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        dispatcher: AMDispatcher,
+        costs: Optional[CmamCosts] = None,
+        buffer_addr: int = 1 << 16,
+        tracer: Optional[Tracer] = None,
+        on_complete: Optional[Callable[[int, int, int], None]] = None,
+    ) -> None:
+        self.node = node
+        self.costs = costs or CmamCosts()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.on_complete = on_complete
+        self._next_addr = buffer_addr
+        self._active: dict = {}
+        self.completed_transfers: List[Tuple[int, int, int]] = []  # (src, addr, words)
+        dispatcher.bind(PacketType.XFER_DATA, self._on_data)
+
+    def _on_data(self) -> None:
+        proc = self.node.processor
+        with proc.attribute(Feature.BASE):
+            self.node.ni.load_status()
+            envelope = self.node.ni.load_envelope()
+        state = self._active.get(envelope.src)
+        if state is None:
+            if envelope.size_hint is None:
+                raise RuntimeError(
+                    f"CR data from {envelope.src} with no preceding header"
+                )
+            # Header packet: allocate the whole destination buffer (the
+            # allocation itself is excluded from protocol cost, as in the
+            # paper) and remember where it lives — the residual
+            # buffer-management software of Section 4.1.
+            state = _CRTransferState(self._next_addr, envelope.size_hint)
+            self._next_addr += envelope.size_hint
+            self._active[envelope.src] = state
+            with proc.attribute(Feature.BUFFER_MGMT):
+                proc.charge(self.costs.CR_TABLE_STORE)
+            self.tracer.emit(
+                self.node.sim.now, "cr.xfer.alloc",
+                f"{state.expected_words}w from {envelope.src}",
+            )
+        with proc.attribute(Feature.BASE):
+            payload = self.node.ni.load_payload()
+            proc.charge(self.costs.cr_recv_packet(len(payload)))
+        # In-order hardware delivery: placement is a running cursor, no
+        # offsets, no counts.
+        self.node.memory.write_block(state.base_addr + state.cursor, payload)
+        state.cursor += len(payload)
+        if state.cursor >= state.expected_words:
+            self._complete(envelope.src, state)
+
+    def _complete(self, src: int, state: _CRTransferState) -> None:
+        proc = self.node.processor
+        with proc.attribute(Feature.BASE):
+            # Specialized last-packet handler (slightly cheaper than CMAM's
+            # completion path, Section 4.1).
+            proc.charge(self.costs.CR_RECV_CONST)
+            self.node.ni.load_status()
+        del self._active[src]
+        self.completed_transfers.append((src, state.base_addr, state.cursor))
+        self.tracer.emit(
+            self.node.sim.now, "cr.xfer.complete", f"{state.cursor}w from {src}"
+        )
+        if self.on_complete is not None:
+            self.on_complete(src, state.base_addr, state.cursor)
+
+
+class CRStreamSender:
+    """Source endpoint of the CR indefinite-sequence protocol (Figure 7)."""
+
+    def __init__(
+        self,
+        node: Node,
+        dst_id: int,
+        costs: Optional[CmamCosts] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.dst_id = dst_id
+        self.costs = costs or CmamCosts()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.sent = 0
+
+    def send(self, words: Tuple[int, ...]) -> None:
+        """One packet, no sequencing, no buffering, no acks."""
+        if len(words) > self.costs.n:
+            raise ValueError(
+                f"{len(words)} words exceed the packet payload of {self.costs.n}"
+            )
+        proc = self.node.processor
+        with proc.attribute(Feature.BASE):
+            proc.charge(self.costs.STREAM_SEND)
+            self.node.ni.store_header(self.dst_id, PacketType.STREAM_DATA, seq=self.sent)
+            self.node.ni.store_payload(tuple(words))
+            self.node.ni.poll_send_and_recv()
+            self.node.ni.poll_send_and_recv()
+            self.node.ni.launch()
+        self.sent += 1
+
+
+class CRStreamReceiver:
+    """Destination endpoint: hardware order means deliver-as-they-come."""
+
+    def __init__(
+        self,
+        node: Node,
+        dispatcher: AMDispatcher,
+        costs: Optional[CmamCosts] = None,
+        deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.costs = costs or CmamCosts()
+        self.user_deliver = deliver
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
+        self._channel_open = False
+        dispatcher.bind(PacketType.STREAM_DATA, self._on_data)
+
+    def _on_data(self) -> None:
+        proc = self.node.processor
+        if not self._channel_open:
+            with proc.attribute(Feature.BASE):
+                proc.charge(self.costs.STREAM_RECV_CONST)
+                self.node.ni.load_status()
+            self._channel_open = True
+        with proc.attribute(Feature.BASE):
+            self.node.ni.load_status()
+            envelope = self.node.ni.load_envelope()
+            payload = self.node.ni.load_payload()
+            proc.charge(self.costs.STREAM_RECV)
+        self.delivered.append((envelope.seq, payload))
+        if self.user_deliver is not None:
+            with proc.attribute(Feature.USER):
+                self.user_deliver(envelope.seq, payload)
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+    def delivered_words(self) -> List[int]:
+        return [w for _seq, payload in self.delivered for w in payload]
+
+
+def run_cr_finite_sequence(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    message_words: int,
+    costs: Optional[CmamCosts] = None,
+    message: Optional[List[int]] = None,
+    message_addr: int = 0,
+    tracer: Optional[Tracer] = None,
+) -> ProtocolResult:
+    """Run one CR finite-sequence transfer and measure it."""
+    costs = costs or CmamCosts(n=src.ni.packet_size)
+    message = message if message is not None else list(range(1, message_words + 1))
+    if len(message) != message_words:
+        raise ValueError("message length disagrees with message_words")
+    src.memory.write_block(message_addr, message)
+
+    dst_dispatcher = AMDispatcher(dst, costs=costs)
+    receiver = CRFiniteReceiver(dst, dst_dispatcher, costs=costs, tracer=tracer)
+    sender = CRFiniteSender(
+        src, dst.node_id, message_addr, message_words, costs=costs, tracer=tracer
+    )
+
+    run = ProtocolRun(sim, src, dst)
+    sender.start()
+    sim.run()
+
+    delivered: List[int] = []
+    completed = bool(receiver.completed_transfers)
+    if completed:
+        _src, addr, words = receiver.completed_transfers[-1]
+        delivered = dst.memory.read_block(addr, words)
+    return run.finish(
+        protocol="cr-finite-sequence",
+        message_words=message_words,
+        packet_size=costs.n,
+        packets_sent=sender.packets,
+        completed=completed,
+        delivered_words=delivered,
+        hardware_retries=getattr(dst.network, "counters", None)
+        and dst.network.counters.get("hardware_retries"),
+    )
+
+
+def run_cr_indefinite_sequence(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    message_words: int,
+    costs: Optional[CmamCosts] = None,
+    message: Optional[List[int]] = None,
+    tracer: Optional[Tracer] = None,
+) -> ProtocolResult:
+    """Stream data through a CR channel and measure both endpoints."""
+    costs = costs or CmamCosts(n=src.ni.packet_size)
+    message = message if message is not None else list(range(1, message_words + 1))
+    if len(message) != message_words:
+        raise ValueError("message length disagrees with message_words")
+    sizes = packet_payload_sizes(message_words, costs.n)
+
+    dst_dispatcher = AMDispatcher(dst, costs=costs)
+    receiver = CRStreamReceiver(dst, dst_dispatcher, costs=costs, tracer=tracer)
+    sender = CRStreamSender(src, dst.node_id, costs=costs, tracer=tracer)
+
+    run = ProtocolRun(sim, src, dst)
+    cursor = 0
+    for words in sizes:
+        sender.send(tuple(message[cursor:cursor + words]))
+        cursor += words
+    sim.run()
+
+    return run.finish(
+        protocol="cr-indefinite-sequence",
+        message_words=message_words,
+        packet_size=costs.n,
+        packets_sent=len(sizes),
+        completed=receiver.delivered_count == len(sizes),
+        delivered_words=receiver.delivered_words(),
+    )

@@ -1,0 +1,291 @@
+"""Eager bulk transfer: the classic alternative to the paper's rendezvous.
+
+**Extension beyond the paper's measurements.**  The paper's finite-
+sequence protocol is a *rendezvous*: no data moves until the destination
+has reserved a segment (Figure 3's round trip).  The classic alternative —
+eager transfer, as in MPI's eager mode — sends the data immediately and
+lets the destination sort out placement:
+
+* data packets carry offsets exactly as in the rendezvous protocol, but
+  land in a preallocated *bounce buffer* pool at the destination;
+* when the application's receive is matched (here: on the header packet),
+  the payload is copied from the bounce buffer to its final home — an
+  extra pass over the data that rendezvous avoids;
+* a final acknowledgement still provides fault tolerance;
+* if no bounce buffer is free the transfer is refused and retried, so
+  overflow safety degrades from *guaranteed* to *probabilistic* — the
+  trade the paper's Section 2.3 discipline exists to avoid.
+
+The crossover is the textbook one, now measurable: eager saves the
+round-trip's 94 instructions of handshake but pays one memory copy
+(~words/2 loads + words/2 stores); rendezvous wins once messages exceed
+~2x the handshake cost in copy traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.am.cmam import AMDispatcher, recv_ctrl, send_ctrl
+from repro.am.costs import CmamCosts
+from repro.arch.attribution import Feature
+from repro.arch.isa import mix
+from repro.network.packet import PacketType
+from repro.node import Node
+from repro.protocols.base import (
+    ProtocolResult,
+    ProtocolRun,
+    packet_payload_sizes,
+)
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Bookkeeping to claim / release a bounce buffer (our calibration-style
+#: estimate, marked as extension cost — charged to buffer management).
+BOUNCE_CLAIM = mix(reg=6, mem=2)
+BOUNCE_RELEASE = mix(reg=4, mem=1)
+
+
+class BounceBufferPool:
+    """Fixed pool of eager-receive buffers at a destination."""
+
+    def __init__(self, buffers: int = 4, buffer_words: int = 1024,
+                 base_addr: int = 1 << 18) -> None:
+        if buffers < 1 or buffer_words < 1:
+            raise ValueError("pool needs at least one non-empty buffer")
+        self.buffer_words = buffer_words
+        self._free: List[int] = [
+            base_addr + i * buffer_words for i in range(buffers)
+        ]
+        self.claims = 0
+        self.refusals = 0
+
+    def claim(self, words: int) -> Optional[int]:
+        if words > self.buffer_words or not self._free:
+            self.refusals += 1
+            return None
+        self.claims += 1
+        return self._free.pop()
+
+    def release(self, addr: int) -> None:
+        self._free.append(addr)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+
+class EagerReceiver:
+    """Destination endpoint of the eager protocol."""
+
+    def __init__(
+        self,
+        node: Node,
+        dispatcher: AMDispatcher,
+        costs: Optional[CmamCosts] = None,
+        pool: Optional[BounceBufferPool] = None,
+        final_addr: int = 1 << 17,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.costs = costs or CmamCosts()
+        self.pool = pool or BounceBufferPool()
+        self.final_addr = final_addr
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.refused = 0
+        self.completed: List[List[int]] = []
+        self._active: Dict[int, dict] = {}  # keyed by src
+        dispatcher.bind(PacketType.XFER_REQUEST, self._on_header)
+        dispatcher.bind(PacketType.XFER_DATA, self._on_data)
+
+    # The eager header races ahead of (or with) the data; it claims the
+    # bounce buffer and declares the expected size.
+    def _on_header(self) -> None:
+        envelope, payload = recv_ctrl(self.node, Feature.BUFFER_MGMT, self.costs)
+        words, packets = payload[0], payload[1]
+        proc = self.node.processor
+        with proc.attribute(Feature.BUFFER_MGMT):
+            proc.charge(BOUNCE_CLAIM)
+            addr = self.pool.claim(words)
+        if addr is None:
+            # No eager space: refuse; the sender falls back to retrying.
+            self.refused += 1
+            send_ctrl(self.node, envelope.src, PacketType.XFER_REPLY,
+                      (0,), Feature.BUFFER_MGMT, self.costs)
+            return
+        state = self._active.setdefault(
+            envelope.src,
+            {"addr": None, "words": None, "expected": None, "got": 0,
+             "offsets": set(), "early": []},
+        )
+        state["addr"] = addr
+        state["words"] = words
+        state["expected"] = packets
+        # Data that raced ahead of the header was parked; place it now.
+        for offset, data in state["early"]:
+            self._place(envelope.src, state, offset, data)
+        state["early"] = []
+        self._maybe_complete(envelope.src, state)
+
+    def _on_data(self) -> None:
+        proc = self.node.processor
+        with proc.attribute(Feature.BASE):
+            self.node.ni.load_status()
+            envelope = self.node.ni.load_envelope()
+        with proc.attribute(Feature.IN_ORDER):
+            proc.charge(self.costs.XFER_OFFSET_DST)
+        with proc.attribute(Feature.BASE):
+            payload = self.node.ni.load_payload()
+            proc.charge(self.costs.xfer_recv_packet(len(payload)))
+        state = self._active.setdefault(
+            envelope.src,
+            {"addr": None, "words": None, "expected": None, "got": 0,
+             "offsets": set(), "early": []},
+        )
+        if state["addr"] is None:
+            # Data before the header: park it (uncounted scratch space).
+            state["early"].append((envelope.offset, list(payload)))
+            return
+        self._place(envelope.src, state, envelope.offset, list(payload))
+        self._maybe_complete(envelope.src, state)
+
+    def _place(self, src: int, state: dict, offset: int, data: List[int]) -> None:
+        if offset in state["offsets"]:
+            return
+        state["offsets"].add(offset)
+        state["got"] += 1
+        self.node.memory.write_block(state["addr"] + offset, data)
+
+    def _maybe_complete(self, src: int, state: dict) -> None:
+        if state["expected"] is None or state["got"] < state["expected"]:
+            return
+        proc = self.node.processor
+        words = state["words"]
+        # The eager copy: bounce buffer -> final destination.  This is the
+        # pass over the data that rendezvous never pays.
+        with proc.attribute(Feature.BUFFER_MGMT):
+            proc.charge(mix(mem=(words + 1) // 2))  # loads
+            proc.charge(mix(mem=(words + 1) // 2))  # stores
+            data = self.node.memory.read_block(state["addr"], words)
+            self.node.memory.write_block(self.final_addr, data)
+            proc.charge(BOUNCE_RELEASE)
+            self.pool.release(state["addr"])
+        with proc.attribute(Feature.BASE):
+            proc.charge(self.costs.XFER_RECV_CONST)
+            self.node.ni.load_status()
+        self.completed.append(data)
+        self.tracer.emit(self.node.sim.now, "eager.complete", f"{words}w from {src}")
+        send_ctrl(self.node, src, PacketType.XFER_ACK, (0,),
+                  Feature.FAULT_TOLERANCE, self.costs)
+        del self._active[src]
+
+
+class EagerSender:
+    """Source endpoint: header and data leave together, no waiting."""
+
+    def __init__(
+        self,
+        node: Node,
+        dispatcher: AMDispatcher,
+        dst_id: int,
+        message_addr: int,
+        message_words: int,
+        costs: Optional[CmamCosts] = None,
+        retry_backoff: float = 200.0,
+        max_retries: int = 32,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.dst_id = dst_id
+        self.message_addr = message_addr
+        self.message_words = message_words
+        self.costs = costs or CmamCosts()
+        self.retry_backoff = retry_backoff
+        self.max_retries = max_retries
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.payload_sizes = packet_payload_sizes(message_words, self.costs.n)
+        self.packets = len(self.payload_sizes)
+        self.completed = False
+        self.refusals = 0
+        dispatcher.bind(PacketType.XFER_REPLY, self._on_refusal)
+        dispatcher.bind(PacketType.XFER_ACK, self._on_ack)
+
+    def start(self) -> None:
+        # Header (the would-be request) goes out...
+        send_ctrl(
+            self.node, self.dst_id, PacketType.XFER_REQUEST,
+            (self.message_words, self.packets),
+            Feature.BUFFER_MGMT, self.costs,
+            size_hint=self.message_words,
+        )
+        # ...and the data follows immediately — no round trip.
+        proc = self.node.processor
+        with proc.attribute(Feature.BASE):
+            proc.charge(self.costs.XFER_SEND_CONST)
+        offset = 0
+        for words in self.payload_sizes:
+            payload = tuple(
+                self.node.memory.read_block(self.message_addr + offset, words)
+            )
+            with proc.attribute(Feature.IN_ORDER):
+                proc.charge(self.costs.XFER_OFFSET_SRC)
+            with proc.attribute(Feature.BASE):
+                proc.charge(self.costs.xfer_send_packet(words))
+                self.node.ni.store_header(
+                    self.dst_id, PacketType.XFER_DATA, offset=offset
+                )
+                self.node.ni.store_payload(payload)
+                self.node.ni.poll_send_and_recv()
+                self.node.ni.poll_send_and_recv()
+                self.node.ni.launch()
+            offset += words
+
+    def _on_refusal(self) -> None:
+        recv_ctrl(self.node, Feature.BUFFER_MGMT, self.costs)
+        self.refusals += 1
+        if self.refusals > self.max_retries:
+            raise RuntimeError("eager transfer refused too many times")
+        self.node.sim.schedule(self.retry_backoff, self.start,
+                               label="eager.retry")
+
+    def _on_ack(self) -> None:
+        recv_ctrl(self.node, Feature.FAULT_TOLERANCE, self.costs)
+        self.completed = True
+
+
+def run_eager(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    message_words: int,
+    costs: Optional[CmamCosts] = None,
+    message: Optional[List[int]] = None,
+    pool: Optional[BounceBufferPool] = None,
+    tracer: Optional[Tracer] = None,
+) -> ProtocolResult:
+    """Run one eager transfer and measure it."""
+    costs = costs or CmamCosts(n=src.ni.packet_size)
+    message = message if message is not None else list(range(1, message_words + 1))
+    if len(message) != message_words:
+        raise ValueError("message length disagrees with message_words")
+    src.memory.write_block(0, message)
+
+    src_dispatcher = AMDispatcher(src, costs=costs)
+    dst_dispatcher = AMDispatcher(dst, costs=costs)
+    receiver = EagerReceiver(dst, dst_dispatcher, costs=costs, pool=pool,
+                             tracer=tracer)
+    sender = EagerSender(src, src_dispatcher, dst.node_id, 0, message_words,
+                         costs=costs, tracer=tracer)
+    run = ProtocolRun(sim, src, dst)
+    sender.start()
+    sim.run()
+    completed = sender.completed and bool(receiver.completed)
+    return run.finish(
+        protocol="eager",
+        message_words=message_words,
+        packet_size=costs.n,
+        packets_sent=sender.packets,
+        completed=completed,
+        delivered_words=receiver.completed[-1] if receiver.completed else [],
+        refusals=sender.refusals,
+    )

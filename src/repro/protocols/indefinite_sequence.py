@@ -1,0 +1,303 @@
+"""Indefinite sequence, multi-packet delivery (Section 3.2, Figure 4).
+
+An ordered stream between a pair of nodes (the socket/static-channel
+pattern): the sender buffers each packet for retransmission (Step 1) and
+sends it (Step 2); the receiver buffers out-of-order arrivals, invoking
+the user handler for each packet in transmission order (Step 3); each
+packet is acknowledged so source storage can be released (Step 4).
+
+Cost attribution (the paper's choices, Section 3.2):
+
+* base — per-packet send/receive paths (register-to-register user view,
+  so no separate receive buffer),
+* buffer management — nil (source buffering is accounted under fault
+  tolerance, out-of-order buffering under in-order delivery),
+* in-order delivery — sequence numbers at the source; parking and draining
+  out-of-order packets at the receiver,
+* fault tolerance — source buffering plus acknowledgements (per packet by
+  default; group acknowledgements supported).
+
+Retransmission from the source buffer (driven by per-record timeouts)
+recovers from injected faults; on the fault-free path the timers are
+cancelled without charging anything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.am.cmam import AMDispatcher, recv_ctrl, send_ctrl
+from repro.am.costs import CmamCosts
+from repro.arch.attribution import Feature
+from repro.node import Node
+from repro.protocols.acks import AckPolicy, PerPacketAck
+from repro.protocols.base import ProtocolResult, ProtocolRun, packet_payload_sizes
+from repro.protocols.retransmit import RetransmitBuffer, SendRecord
+from repro.protocols.sequencing import ReorderWindow, SequenceGenerator
+from repro.network.packet import PacketType
+from repro.sim.engine import Simulator
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class StreamSender:
+    """Source endpoint of an indefinite-sequence channel."""
+
+    def __init__(
+        self,
+        node: Node,
+        dispatcher: AMDispatcher,
+        dst_id: int,
+        costs: Optional[CmamCosts] = None,
+        reliable: bool = True,
+        rto: float = 5000.0,
+        tracer: Optional[Tracer] = None,
+        group_acks: bool = False,
+    ) -> None:
+        self.node = node
+        self.dst_id = dst_id
+        self.costs = costs or CmamCosts()
+        self.reliable = reliable
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.group_acks = group_acks
+        self._seq = SequenceGenerator()
+        self.retransmit = RetransmitBuffer(
+            node.sim, resend=self._resend, timeout=rto
+        )
+        self.acks_received = 0
+        dispatcher.bind(PacketType.STREAM_ACK, self._on_ack)
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, words: Tuple[int, ...]) -> int:
+        """Send one packet's worth of user data; returns its sequence number."""
+        if len(words) > self.costs.n:
+            raise ValueError(
+                f"{len(words)} words exceed the packet payload of {self.costs.n}"
+            )
+        proc = self.node.processor
+        seq = None
+        with proc.attribute(Feature.IN_ORDER):
+            proc.charge(self.costs.STREAM_SEQ_SRC)
+            seq = self._seq.next()
+        if self.reliable:
+            with proc.attribute(Feature.FAULT_TOLERANCE):
+                proc.charge(self.costs.source_buffer_packet(len(words)))
+                self.retransmit.buffer(seq, tuple(words))
+        self._transmit(seq, tuple(words), Feature.BASE)
+        return seq
+
+    def _transmit(self, seq: int, words: Tuple[int, ...], feature: Feature) -> None:
+        proc = self.node.processor
+        with proc.attribute(feature):
+            proc.charge(self.costs.STREAM_SEND)
+            self.node.ni.store_header(self.dst_id, PacketType.STREAM_DATA, seq=seq)
+            self.node.ni.store_payload(words)
+            self.node.ni.poll_send_and_recv()
+            self.node.ni.poll_send_and_recv()
+            self.node.ni.launch()
+
+    def _resend(self, record: SendRecord) -> None:
+        """Timeout-driven retransmission (fault recovery, Step 1's purpose)."""
+        self.tracer.emit(
+            self.node.sim.now, "stream.retransmit", f"seq {record.seq}",
+            retries=record.retries,
+        )
+        self._transmit(record.seq, record.payload, Feature.FAULT_TOLERANCE)
+
+    # -- acknowledgements ------------------------------------------------------------
+
+    def _on_ack(self) -> None:
+        envelope, payload = recv_ctrl(self.node, Feature.FAULT_TOLERANCE, self.costs)
+        ack_seq, cumulative = payload[0], payload[1]
+        self.acks_received += 1
+        if not cumulative:
+            # Per-packet ack: the record release is folded into the
+            # calibrated control-receive cost.
+            self.retransmit.ack(ack_seq)
+        else:
+            # Cumulative (group) ack: walk and release every covered record.
+            released = self.retransmit.ack_up_to(ack_seq)
+            with self.node.processor.attribute(Feature.FAULT_TOLERANCE):
+                self.node.processor.charge(self.costs.ACK_RELEASE * released)
+
+    # -- state --------------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return self.retransmit.outstanding
+
+    @property
+    def sent(self) -> int:
+        return self._seq.issued
+
+    def close(self) -> None:
+        """Tear down the channel (cancels any armed timers)."""
+        self.retransmit.cancel_all()
+
+
+class StreamReceiver:
+    """Destination endpoint: reorders, delivers in order, acknowledges."""
+
+    def __init__(
+        self,
+        node: Node,
+        dispatcher: AMDispatcher,
+        costs: Optional[CmamCosts] = None,
+        ack_policy: Optional[AckPolicy] = None,
+        deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None,
+        window: int = 1024,
+        expected_total: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.node = node
+        self.costs = costs or CmamCosts()
+        self.ack_policy = ack_policy or PerPacketAck()
+        self.user_deliver = deliver
+        self.window = ReorderWindow(window=window)
+        self.expected_total = expected_total
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
+        self.arrivals = 0
+        self.ooo_arrivals = 0
+        self.duplicates = 0
+        self.acks_sent = 0
+        self._channel_open = False
+        self._last_src: Optional[int] = None
+        dispatcher.bind(PacketType.STREAM_DATA, self._on_data)
+
+    # -- reception ---------------------------------------------------------------------
+
+    def _on_data(self) -> None:
+        proc = self.node.processor
+        if not self._channel_open:
+            # One-time channel reception setup.
+            with proc.attribute(Feature.BASE):
+                proc.charge(self.costs.STREAM_RECV_CONST)
+                self.node.ni.load_status()
+            self._channel_open = True
+        with proc.attribute(Feature.BASE):
+            self.node.ni.load_status()
+            envelope = self.node.ni.load_envelope()
+            payload = self.node.ni.load_payload()
+            proc.charge(self.costs.STREAM_RECV)
+        self._last_src = envelope.src
+        seq = envelope.seq
+        self.arrivals += 1
+
+        with proc.attribute(Feature.IN_ORDER):
+            if seq < self.window.expected:
+                # Duplicate of an already-delivered packet (retransmission).
+                self.duplicates += 1
+                with proc.attribute(Feature.FAULT_TOLERANCE):
+                    proc.charge(self.costs.STREAM_DUP)
+                self._ack(envelope.src, seq)
+                return
+            in_sequence = seq == self.window.expected
+            if in_sequence:
+                proc.charge(self.costs.STREAM_INSEQ)
+            else:
+                proc.charge(self.costs.STREAM_OOO_ENQ)
+                self.ooo_arrivals += 1
+            run = self.window.accept(seq, payload)
+            for index, (run_seq, run_payload) in enumerate(run):
+                if index > 0:
+                    # Draining a previously parked packet.
+                    proc.charge(self.costs.STREAM_OOO_DRAIN)
+                self._deliver(run_seq, run_payload)
+
+        self._ack(envelope.src, seq)
+
+    def _deliver(self, seq: int, payload: Tuple[int, ...]) -> None:
+        self.delivered.append((seq, payload))
+        if self.user_deliver is not None:
+            with self.node.processor.attribute(Feature.USER):
+                self.user_deliver(seq, payload)
+
+    # -- acknowledgements -------------------------------------------------------------------
+
+    def _ack(self, src: int, seq: int) -> None:
+        covered = self.ack_policy.ack_after(self.arrivals)
+        if covered >= 1:
+            if self.ack_policy.cumulative:
+                # Group ack: cover everything in-order-delivered so far.
+                self._send_ack(src, self.window.expected - 1, cumulative=True)
+            else:
+                self._send_ack(src, seq, cumulative=False)
+        if (
+            self.expected_total is not None
+            and self.window.expected >= self.expected_total
+            and self.ack_policy.final_ack(self.arrivals) > 0
+        ):
+            self._send_ack(src, self.window.expected - 1, cumulative=True)
+
+    def _send_ack(self, src: int, seq: int, cumulative: bool) -> None:
+        self.acks_sent += 1
+        send_ctrl(
+            self.node, src, PacketType.STREAM_ACK,
+            (seq, 1 if cumulative else 0), Feature.FAULT_TOLERANCE, self.costs,
+        )
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+    def delivered_words(self) -> List[int]:
+        return [w for _seq, payload in self.delivered for w in payload]
+
+
+def run_indefinite_sequence(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    message_words: int,
+    costs: Optional[CmamCosts] = None,
+    ack_policy: Optional[AckPolicy] = None,
+    message: Optional[List[int]] = None,
+    tracer: Optional[Tracer] = None,
+    reliable: bool = True,
+    rto: float = 5000.0,
+    window: int = 4096,
+) -> ProtocolResult:
+    """Stream ``message_words`` of data through an indefinite-sequence
+    channel and measure both endpoints."""
+    costs = costs or CmamCosts(n=src.ni.packet_size)
+    message = message if message is not None else list(range(1, message_words + 1))
+    if len(message) != message_words:
+        raise ValueError("message length disagrees with message_words")
+    sizes = packet_payload_sizes(message_words, costs.n)
+
+    src_dispatcher = AMDispatcher(src, costs=costs)
+    dst_dispatcher = AMDispatcher(dst, costs=costs)
+    sender = StreamSender(
+        src, src_dispatcher, dst.node_id, costs=costs,
+        reliable=reliable, rto=rto, tracer=tracer,
+    )
+    receiver = StreamReceiver(
+        dst, dst_dispatcher, costs=costs, ack_policy=ack_policy,
+        window=window, expected_total=len(sizes), tracer=tracer,
+    )
+
+    run = ProtocolRun(sim, src, dst)
+    cursor = 0
+    for words in sizes:
+        sender.send(tuple(message[cursor:cursor + words]))
+        cursor += words
+    sim.run()
+    sender.close()
+
+    completed = (
+        receiver.delivered_count == len(sizes)
+        and (not reliable or sender.outstanding == 0)
+    )
+    return run.finish(
+        protocol="indefinite-sequence",
+        message_words=message_words,
+        packet_size=costs.n,
+        packets_sent=len(sizes),
+        completed=completed,
+        delivered_words=receiver.delivered_words(),
+        ooo_arrivals=receiver.ooo_arrivals,
+        duplicates=receiver.duplicates,
+        acks_sent=receiver.acks_sent,
+        retransmissions=sender.retransmit.retransmissions,
+    )

@@ -1,0 +1,78 @@
+"""Single-packet delivery (Section 3.2, Table 1).
+
+"The cheapest communication possible in CMAM -- a four word datagram
+packet."  One ``cmam_4`` at the source, one reception chain at the
+destination.  47 instructions end to end, 34 of them NI access -- and none
+of the communication-service requirements met: not ordered, not
+deadlock/overflow safe, not reliable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.am.cmam import AMDispatcher, cmam_4
+from repro.am.costs import CmamCosts
+from repro.am.handlers import CollectingHandler
+from repro.arch.isa import InstructionMix, mix
+from repro.node import Node
+from repro.protocols.base import ProtocolResult, ProtocolRun
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1, by endpoint."""
+
+    description: str
+    source: Optional[int]
+    destination: Optional[int]
+
+
+#: The paper's Table 1, as produced by the calibrated code paths.  The
+#: experiment harness cross-checks the column totals against a measured run.
+TABLE1_ROWS: Tuple[Table1Row, ...] = (
+    Table1Row("Call/Return", 3, 10),
+    Table1Row("NI setup", 5, None),
+    Table1Row("Write to NI", 2, None),
+    Table1Row("Read from NI", None, 3),
+    Table1Row("Check NI status", 7, 12),
+    Table1Row("Control flow", 3, 2),
+)
+
+
+def table1_totals() -> Tuple[int, int]:
+    src = sum(row.source or 0 for row in TABLE1_ROWS)
+    dst = sum(row.destination or 0 for row in TABLE1_ROWS)
+    return src, dst
+
+
+def run_single_packet(
+    sim: Simulator,
+    src: Node,
+    dst: Node,
+    payload: Tuple[int, ...] = (1, 2, 3, 4),
+    costs: Optional[CmamCosts] = None,
+    handler_name: str = "single.sink",
+) -> ProtocolResult:
+    """Send one four-word active message and run the simulation to
+    completion; returns the measured per-endpoint costs."""
+    costs = costs or CmamCosts()
+    collector = CollectingHandler()
+    if handler_name not in dst.handlers:
+        dst.register_handler(handler_name, collector)
+    AMDispatcher(dst, costs=costs)
+    run = ProtocolRun(sim, src, dst)
+    cmam_4(src, dst.node_id, handler_name, payload, costs=costs)
+    sim.run()
+    delivered = collector.flat_words()
+    return run.finish(
+        protocol="single-packet",
+        message_words=len(payload),
+        packet_size=src.ni.packet_size,
+        packets_sent=1,
+        completed=collector.count == 1,
+        delivered_words=delivered,
+        handler_invocations=collector.count,
+    )

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate.
+
+Provides the event-driven kernel the network models and protocol endpoints
+run on: a deterministic event queue (:mod:`repro.sim.engine`),
+generator-based cooperative processes (:mod:`repro.sim.process`), seeded
+per-purpose random streams (:mod:`repro.sim.rng`), structured tracing
+(:mod:`repro.sim.trace`), and summary statistics (:mod:`repro.sim.stats`).
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.process import Process, Delay, WaitEvent, Signal
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer, TraceRecord
+from repro.sim.stats import Counter, RunningStats, Histogram
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Delay",
+    "WaitEvent",
+    "Signal",
+    "RngStreams",
+    "Tracer",
+    "TraceRecord",
+    "Counter",
+    "RunningStats",
+    "Histogram",
+]

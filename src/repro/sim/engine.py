@@ -1,0 +1,131 @@
+"""Deterministic discrete-event simulation kernel.
+
+A :class:`Simulator` owns virtual time and a priority queue of events.
+Determinism matters here: two events at the same timestamp fire in the
+order they were scheduled (FIFO tie-break via a monotone sequence number),
+so simulation results are exactly reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by (time, seq) so the heap pops them deterministically.
+    ``cancelled`` events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, exhausted run limits)."""
+
+
+class Simulator:
+    """Event queue + virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("hello at t=1"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, action, label)
+
+    def schedule_at(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at an absolute virtual time."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
+        event = Event(time=time, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_now(self, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at the current time (runs after the current
+        event completes, before time advances past ``now``)."""
+        return self.schedule(0.0, action, label)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> Optional[Event]:
+        """Run the single next event; return it, or None if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.action()
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget is exhausted (which raises, as it indicates a livelock)."""
+        budget = max_events
+        while self._queue:
+            if budget == 0:
+                raise SimulationError(f"exceeded event budget of {max_events}")
+            next_event = self._peek()
+            if next_event is None:
+                break
+            if until is not None and next_event.time > until:
+                self._now = until
+                return
+            self.step()
+            budget -= 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now}, pending={self.pending})"

@@ -1,0 +1,130 @@
+"""Generator-based cooperative processes on top of the event kernel.
+
+A process is a Python generator that yields *scheduling directives*:
+
+* ``Delay(t)`` -- resume after ``t`` virtual time units,
+* ``WaitEvent(signal)`` -- resume when a :class:`Signal` fires (the fired
+  value is sent back into the generator),
+* another :class:`Process` -- resume when that process finishes.
+
+This gives protocol senders a linear, readable control flow ("send request,
+wait for reply, stream packets, wait for ack") while staying on the same
+deterministic event queue as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Directive: sleep for ``duration`` virtual time units."""
+
+    duration: float
+
+
+class Signal:
+    """A one-to-many wakeup primitive.
+
+    Processes ``yield WaitEvent(signal)``; other code calls
+    :meth:`fire`, optionally with a value delivered to each waiter.
+    Signals are level-less: only waiters registered at fire time wake.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fire_count = 0
+
+    def add_waiter(self, callback: Callable[[Any], None]) -> None:
+        self._waiters.append(callback)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake every currently-registered waiter with ``value``."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            callback(value)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Directive: block until ``signal`` fires."""
+
+    signal: Signal
+
+
+class Process:
+    """Drives a generator over a :class:`Simulator`.
+
+    The process starts on the first event at ``start_delay`` after creation
+    and runs each resumption as a simulator event, so interleaving with
+    other processes and network events is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator,
+        name: str = "process",
+        start_delay: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done_signal = Signal(f"{name}.done")
+        sim.schedule(start_delay, lambda: self._advance(None), label=f"{name}.start")
+
+    @property
+    def done_signal(self) -> Signal:
+        return self._done_signal
+
+    def _advance(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            directive = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # surface errors via .error, re-raise
+            self.error = exc
+            self.finished = True
+            self._done_signal.fire(None)
+            raise
+        self._dispatch(directive)
+
+    def _dispatch(self, directive: Any) -> None:
+        if isinstance(directive, Delay):
+            self.sim.schedule(directive.duration, lambda: self._advance(None), label=f"{self.name}.delay")
+        elif isinstance(directive, WaitEvent):
+            directive.signal.add_waiter(lambda value: self._advance(value))
+        elif isinstance(directive, Process):
+            if directive.finished:
+                self.sim.call_now(lambda: self._advance(directive.result))
+            else:
+                directive.done_signal.add_waiter(lambda _val: self._advance(directive.result))
+        elif directive is None:
+            # Bare ``yield``: reschedule at the current time (yield the CPU).
+            self.sim.call_now(lambda: self._advance(None), label=f"{self.name}.yield")
+        else:
+            raise TypeError(f"process {self.name!r} yielded unsupported directive {directive!r}")
+
+    def _finish(self, value: Any) -> None:
+        self.finished = True
+        self.result = value
+        self._done_signal.fire(value)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,128 @@
+"""Summary statistics for simulation outputs.
+
+Small, dependency-light accumulators: exact counters, Welford running
+moments, and fixed-bin histograms.  Benchmarks and experiments use these to
+summarize latency/occupancy distributions from detailed network runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+class Counter:
+    """Named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, by: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        return f"Counter({self._counts})"
+
+
+class RunningStats:
+    """Welford online mean/variance plus min/max."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"RunningStats(n={self.n}, mean={self.mean:.3f}, stdev={self.stdev:.3f})"
+
+
+@dataclass
+class Histogram:
+    """Fixed-width-bin histogram over [lo, hi); out-of-range goes to edge bins."""
+
+    lo: float
+    hi: float
+    bins: int
+    counts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError("hi must exceed lo")
+        if self.bins < 1:
+            raise ValueError("need at least one bin")
+        if not self.counts:
+            self.counts = [0] * self.bins
+
+    def add(self, value: float) -> None:
+        span = self.hi - self.lo
+        index = int((value - self.lo) / span * self.bins)
+        index = max(0, min(self.bins - 1, index))
+        self.counts[index] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def bin_edges(self) -> List[float]:
+        width = (self.hi - self.lo) / self.bins
+        return [self.lo + i * width for i in range(self.bins + 1)]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bar rendering."""
+        peak = max(self.counts) or 1
+        edges = self.bin_edges()
+        lines = []
+        for i, count in enumerate(self.counts):
+            bar = "#" * int(round(count / peak * width))
+            lines.append(f"[{edges[i]:8.2f},{edges[i+1]:8.2f}) {count:6d} {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Structured event tracing.
+
+Network models and protocol endpoints emit :class:`TraceRecord` entries
+into a :class:`Tracer`.  Tests and experiments use the trace both to assert
+behaviour (e.g. "the ack was sent after the last data packet") and to render
+protocol timelines like the paper's Figures 3-5 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    category: str
+    label: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.3f}] {self.category:12s} {self.label} {extra}".rstrip()
+
+
+class Tracer:
+    """Collects trace records; optionally filtered by category."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._category_filter: Optional[Callable[[str], bool]] = None
+
+    def set_filter(self, predicate: Optional[Callable[[str], bool]]) -> None:
+        """Only record categories for which ``predicate`` returns True."""
+        self._category_filter = predicate
+
+    def emit(self, time: float, category: str, label: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self._category_filter is not None and not self._category_filter(category):
+            return
+        self.records.append(TraceRecord(time=time, category=category, label=label, detail=detail))
+
+    # -- queries -------------------------------------------------------------
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def labels(self, category: Optional[str] = None) -> List[str]:
+        return [r.label for r in self.records if category is None or r.category == category]
+
+    def count(self, category: str) -> int:
+        return sum(1 for r in self.records if r.category == category)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable timeline (used by examples)."""
+        records = self.records if limit is None else self.records[:limit]
+        return "\n".join(str(r) for r in records)
+
+
+#: A tracer that drops everything; handy default for cost-only runs.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,30 @@
+"""Workload generation: traffic patterns, message sizes, traces."""
+
+from repro.workloads.messages import (
+    FixedSize,
+    UniformSize,
+    BimodalSize,
+    PAPER_SMALL_WORDS,
+    PAPER_LARGE_WORDS,
+)
+from repro.workloads.patterns import (
+    pairwise,
+    uniform_random_pairs,
+    permutation_pairs,
+    hotspot_pairs,
+)
+from repro.workloads.traces import TraceEvent, SyntheticTrace
+
+__all__ = [
+    "FixedSize",
+    "UniformSize",
+    "BimodalSize",
+    "PAPER_SMALL_WORDS",
+    "PAPER_LARGE_WORDS",
+    "pairwise",
+    "uniform_random_pairs",
+    "permutation_pairs",
+    "hotspot_pairs",
+    "TraceEvent",
+    "SyntheticTrace",
+]

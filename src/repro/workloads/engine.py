@@ -1,0 +1,282 @@
+"""Multi-node workload engine.
+
+The paper measures an isolated pair; this engine runs whole *workloads* —
+timestamped traces of bulk transfers between many nodes — over a shared
+network, serializing transfers per source (one outstanding transfer per
+sender, as the CMAM xfer interface implies) and aggregating the
+instruction-cost and latency picture across the machine.
+
+Used by the contention experiments and the ``cluster_workload`` example to
+show that the paper's per-transfer cost structure is additive: a node's
+total messaging bill is the sum of its transfers' costs, independent of
+what the rest of the machine is doing (software cost is a local quantity —
+only *latency* feels contention).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.am.costs import CmamCosts
+from repro.am.cmam import AMDispatcher
+from repro.am.segments import SegmentTable
+from repro.arch.counters import CostMatrix
+from repro.node import Node
+from repro.protocols.base import packet_payload_sizes
+from repro.protocols.finite_sequence import (
+    FiniteSequenceReceiver,
+    FiniteSequenceSender,
+)
+from repro.protocols.indefinite_sequence import StreamReceiver, StreamSender
+from repro.sim.engine import Simulator
+from repro.sim.stats import RunningStats
+from repro.workloads.traces import SyntheticTrace, TraceEvent
+
+
+@dataclass
+class TransferRecord:
+    """One workload transfer's lifecycle."""
+
+    event: TraceEvent
+    submitted_at: float
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class StreamSession:
+    """One long-lived stream flow in the workload."""
+
+    src: int
+    dst: int
+    total_words: int
+    started_at: float
+    delivered_words: int = 0
+    completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+
+@dataclass
+class WorkloadReport:
+    """Aggregate outcome of a workload run."""
+
+    transfers: List[TransferRecord]
+    node_costs: Dict[int, CostMatrix]
+    latency: RunningStats
+    duration: float
+    streams: List[StreamSession] = None
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for t in self.transfers if t.done)
+
+    @property
+    def streams_completed(self) -> int:
+        return sum(1 for s in (self.streams or []) if s.done)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(matrix.total for matrix in self.node_costs.values())
+
+    @property
+    def overhead_instructions(self) -> int:
+        return sum(matrix.overhead_total for matrix in self.node_costs.values())
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = self.total_instructions
+        return self.overhead_instructions / total if total else 0.0
+
+    @property
+    def all_done(self) -> bool:
+        return self.completed == len(self.transfers) and (
+            self.streams_completed == len(self.streams or [])
+        )
+
+
+class WorkloadEngine:
+    """Drives a trace of finite-sequence transfers over N nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network,
+        n_nodes: int,
+        costs: Optional[CmamCosts] = None,
+        segments_per_node: int = 16,
+        segment_words: int = 1 << 16,
+    ) -> None:
+        if n_nodes < 2:
+            raise ValueError("need at least two nodes")
+        self.sim = sim
+        self.network = network
+        self.costs = costs or CmamCosts()
+        self.nodes: Dict[int, Node] = {}
+        self.dispatchers: Dict[int, AMDispatcher] = {}
+        self.receivers: Dict[int, FiniteSequenceReceiver] = {}
+        for node_id in range(n_nodes):
+            node = Node(node_id, sim, network, packet_size=self.costs.n)
+            self.nodes[node_id] = node
+            dispatcher = AMDispatcher(node, costs=self.costs)
+            self.dispatchers[node_id] = dispatcher
+            self.receivers[node_id] = FiniteSequenceReceiver(
+                node, dispatcher, costs=self.costs,
+                segments=SegmentTable(
+                    capacity_segments=segments_per_node,
+                    capacity_words=segment_words,
+                ),
+            )
+        self._queues: Dict[int, Deque[TransferRecord]] = {
+            node_id: deque() for node_id in range(n_nodes)
+        }
+        self._busy: Dict[int, bool] = {node_id: False for node_id in range(n_nodes)}
+        self._records: List[TransferRecord] = []
+        self._streams: List[StreamSession] = []
+        self._stream_sources: set = set()
+        self._stream_sinks: set = set()
+        self._baselines = {
+            node_id: node.processor.snapshot() for node_id, node in self.nodes.items()
+        }
+
+    # -- submission -----------------------------------------------------------------
+
+    def submit(self, trace: SyntheticTrace) -> None:
+        """Schedule every trace event for its timestamp."""
+        for event in trace:
+            if event.src not in self.nodes or event.dst not in self.nodes:
+                raise ValueError(f"trace event references unknown node: {event}")
+            if event.src == event.dst:
+                raise ValueError("self-transfers are not meaningful")
+            record = TransferRecord(event=event, submitted_at=event.time)
+            self._records.append(record)
+            self.sim.schedule_at(
+                event.time, lambda r=record: self._enqueue(r), label="workload.submit"
+            )
+
+    def _enqueue(self, record: TransferRecord) -> None:
+        queue = self._queues[record.event.src]
+        queue.append(record)
+        if not self._busy[record.event.src]:
+            self._start_next(record.event.src)
+
+    def _start_next(self, src_id: int) -> None:
+        queue = self._queues[src_id]
+        if not queue:
+            self._busy[src_id] = False
+            return
+        self._busy[src_id] = True
+        record = queue.popleft()
+        record.started_at = self.sim.now
+        node = self.nodes[src_id]
+        words = record.event.words
+        message = [(src_id * 131 + i) & 0xFFFFFFFF for i in range(words)]
+        node.memory.write_block(0, message)
+        FiniteSequenceSender(
+            node,
+            self.dispatchers[src_id],
+            record.event.dst,
+            message_addr=0,
+            message_words=words,
+            costs=self.costs,
+            on_complete=lambda _sender, r=record, s=src_id: self._finish(r, s),
+        ).start()
+
+    def _finish(self, record: TransferRecord, src_id: int) -> None:
+        record.completed_at = self.sim.now
+        # Start the next queued transfer from this source.
+        self.sim.call_now(lambda: self._start_next(src_id), label="workload.next")
+
+    # -- stream sessions --------------------------------------------------------------
+
+    def submit_stream(
+        self,
+        src: int,
+        dst: int,
+        total_words: int,
+        start_time: float = 0.0,
+        record_gap: float = 2.0,
+    ) -> StreamSession:
+        """Open a stream channel at ``start_time`` and push ``total_words``
+        through it, one packet every ``record_gap`` time units.
+
+        One outgoing and one incoming stream per node: the stream protocol
+        owns a node's STREAM_DATA/STREAM_ACK bindings.
+        """
+        if src == dst or src not in self.nodes or dst not in self.nodes:
+            raise ValueError(f"invalid stream endpoints {src}->{dst}")
+        if src in self._stream_sources:
+            raise ValueError(f"node {src} already sources a stream")
+        if dst in self._stream_sinks:
+            raise ValueError(f"node {dst} already sinks a stream")
+        self._stream_sources.add(src)
+        self._stream_sinks.add(dst)
+        session = StreamSession(
+            src=src, dst=dst, total_words=total_words, started_at=start_time
+        )
+        self._streams.append(session)
+        sizes = packet_payload_sizes(total_words, self.costs.n)
+
+        def start() -> None:
+            sender = StreamSender(
+                self.nodes[src], self.dispatchers[src], dst, costs=self.costs
+            )
+
+            def on_deliver(_seq, payload) -> None:
+                session.delivered_words += len(payload)
+                if session.delivered_words >= total_words:
+                    session.completed_at = self.sim.now
+                    sender.close()
+
+            StreamReceiver(
+                self.nodes[dst], self.dispatchers[dst], costs=self.costs,
+                deliver=on_deliver, expected_total=len(sizes),
+            )
+            cursor = 0
+            for index, take in enumerate(sizes):
+                payload = tuple(
+                    (src * 977 + cursor + i) & 0xFFFFFFFF for i in range(take)
+                )
+                self.sim.schedule(
+                    index * record_gap,
+                    lambda p=payload: sender.send(p),
+                    label="workload.stream",
+                )
+                cursor += take
+
+        self.sim.schedule_at(start_time, start, label="workload.stream_open")
+        return session
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self) -> WorkloadReport:
+        self.sim.run()
+        latency = RunningStats()
+        for record in self._records:
+            if record.latency is not None:
+                latency.add(record.latency)
+        node_costs = {
+            node_id: node.processor.delta(self._baselines[node_id])
+            for node_id, node in self.nodes.items()
+        }
+        return WorkloadReport(
+            transfers=list(self._records),
+            node_costs=node_costs,
+            latency=latency,
+            duration=self.sim.now,
+            streams=list(self._streams),
+        )

@@ -1,0 +1,70 @@
+"""Message-size distributions.
+
+The paper measures two sizes — 16 words ("small") and 1024 words
+("large") — chosen to expose the fixed-versus-per-packet cost structure.
+These generators feed the sweeps and the multi-node workload experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+#: The paper's measured message sizes (32-bit words).
+PAPER_SMALL_WORDS = 16
+PAPER_LARGE_WORDS = 1024
+
+
+class SizeDistribution:
+    """Base class: yields message sizes in words."""
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def stream(self, rng: random.Random, count: int) -> List[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+class FixedSize(SizeDistribution):
+    """Every message the same size (the paper's configuration)."""
+
+    def __init__(self, words: int) -> None:
+        if words < 1:
+            raise ValueError("message size must be positive")
+        self.words = words
+
+    def sample(self, rng: random.Random) -> int:
+        return self.words
+
+
+class UniformSize(SizeDistribution):
+    """Uniform over [lo, hi] words."""
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if not 1 <= lo <= hi:
+            raise ValueError("need 1 <= lo <= hi")
+        self.lo = lo
+        self.hi = hi
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.lo, self.hi)
+
+
+class BimodalSize(SizeDistribution):
+    """Small-or-large mix — the classic messaging workload shape (mostly
+    short control messages, occasional bulk transfers)."""
+
+    def __init__(
+        self,
+        small: int = PAPER_SMALL_WORDS,
+        large: int = PAPER_LARGE_WORDS,
+        large_fraction: float = 0.1,
+    ) -> None:
+        if not 0.0 <= large_fraction <= 1.0:
+            raise ValueError("large_fraction must be a probability")
+        self.small = small
+        self.large = large
+        self.large_fraction = large_fraction
+
+    def sample(self, rng: random.Random) -> int:
+        return self.large if rng.random() < self.large_fraction else self.small

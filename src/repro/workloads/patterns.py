@@ -1,0 +1,68 @@
+"""Communication patterns: who talks to whom.
+
+The paper measures an isolated pair ("no other communication going on");
+these generators provide that pair plus the standard multi-node patterns
+used by the detailed-network experiments (uniform random, permutations,
+hotspot) to show how congestion and adaptivity interact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+Pair = Tuple[int, int]
+
+
+def pairwise(src: int = 0, dst: int = 1) -> List[Pair]:
+    """The paper's quiet two-node configuration."""
+    if src == dst:
+        raise ValueError("source and destination must differ")
+    return [(src, dst)]
+
+
+def uniform_random_pairs(n_nodes: int, count: int, rng: random.Random) -> List[Pair]:
+    """``count`` (src, dst) pairs drawn uniformly, src != dst."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    pairs = []
+    for _ in range(count):
+        src = rng.randrange(n_nodes)
+        dst = rng.randrange(n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        pairs.append((src, dst))
+    return pairs
+
+
+def permutation_pairs(n_nodes: int, rng: random.Random) -> List[Pair]:
+    """A random permutation: every node sends to a distinct partner."""
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    targets = list(range(n_nodes))
+    while True:
+        rng.shuffle(targets)
+        if all(i != t for i, t in enumerate(targets)):
+            break
+    return list(enumerate(targets))
+
+
+def hotspot_pairs(
+    n_nodes: int, count: int, rng: random.Random, hotspot: int = 0, heat: float = 0.5
+) -> List[Pair]:
+    """Pairs where a ``heat`` fraction of traffic targets one node."""
+    if not 0.0 <= heat <= 1.0:
+        raise ValueError("heat must be a probability")
+    if not 0 <= hotspot < n_nodes:
+        raise ValueError("hotspot out of range")
+    pairs = []
+    for _ in range(count):
+        src = rng.randrange(n_nodes)
+        if rng.random() < heat and src != hotspot:
+            dst = hotspot
+        else:
+            dst = rng.randrange(n_nodes - 1)
+            if dst >= src:
+                dst += 1
+        pairs.append((src, dst))
+    return pairs

@@ -1,0 +1,89 @@
+"""Synthetic communication traces.
+
+A trace is a timestamped list of (src, dst, words) send events.  Traces
+stand in for the application-driven communication the paper's CM-5 runs
+would have produced; they drive the multi-node experiments and can be
+replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.workloads.messages import SizeDistribution, FixedSize
+from repro.workloads.patterns import uniform_random_pairs
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One send: at ``time``, ``src`` transmits ``words`` to ``dst``."""
+
+    time: float
+    src: int
+    dst: int
+    words: int
+
+
+class SyntheticTrace:
+    """A deterministic synthetic trace."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        self.events: List[TraceEvent] = sorted(events, key=lambda e: e.time)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_words(self) -> int:
+        return sum(e.words for e in self.events)
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+    @classmethod
+    def poisson(
+        cls,
+        n_nodes: int,
+        count: int,
+        rate: float,
+        rng: random.Random,
+        sizes: SizeDistribution = FixedSize(16),
+    ) -> "SyntheticTrace":
+        """Poisson arrivals at ``rate`` events per time unit, uniform pairs."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        pairs = uniform_random_pairs(n_nodes, count, rng)
+        time = 0.0
+        events = []
+        for src, dst in pairs:
+            time += rng.expovariate(rate)
+            events.append(TraceEvent(time=time, src=src, dst=dst, words=sizes.sample(rng)))
+        return cls(events)
+
+    @classmethod
+    def bursty(
+        cls,
+        n_nodes: int,
+        bursts: int,
+        burst_len: int,
+        gap: float,
+        rng: random.Random,
+        sizes: SizeDistribution = FixedSize(16),
+    ) -> "SyntheticTrace":
+        """Back-to-back bursts separated by idle gaps."""
+        events = []
+        time = 0.0
+        for _ in range(bursts):
+            pairs = uniform_random_pairs(n_nodes, burst_len, rng)
+            for src, dst in pairs:
+                events.append(
+                    TraceEvent(time=time, src=src, dst=dst, words=sizes.sample(rng))
+                )
+            time += gap
+        return cls(events)

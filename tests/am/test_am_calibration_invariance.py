@@ -1,0 +1,81 @@
+"""Calibration-split invariance.
+
+The paper's tables pin down *sums* of some cost components, not their
+splits: the out-of-order enqueue/drain pair is only constrained to
+(reg 27, mem 22) combined, and the segment alloc/dealloc pair to
+(reg 43, mem 11) combined.  Our chosen splits are documented in
+``repro.am.costs``; these tests prove the published numbers — and thus
+every headline claim — are invariant to re-splitting, so the choice
+cannot have biased the reproduction.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import quick_setup, run_finite_sequence, run_indefinite_sequence
+from repro.am.costs import CmamCosts
+from repro.arch.isa import mix
+from repro.network.delivery import InOrderDelivery
+
+
+def _resplit_ooo(costs: CmamCosts, enq_reg: int, enq_mem: int) -> CmamCosts:
+    """Move the ooo budget between enqueue and drain, preserving the sum."""
+    total = costs.STREAM_OOO_ENQ + costs.STREAM_OOO_DRAIN
+    enq = mix(reg=enq_reg, mem=enq_mem)
+    drain = total - enq
+    assert drain.reg >= 0 and drain.mem >= 0
+    return dataclasses.replace(costs, STREAM_OOO_ENQ=enq, STREAM_OOO_DRAIN=drain)
+
+
+def _resplit_segments(costs: CmamCosts, alloc_reg: int, alloc_mem: int) -> CmamCosts:
+    total = costs.SEG_ALLOC + costs.SEG_DEALLOC
+    alloc = mix(reg=alloc_reg, mem=alloc_mem)
+    dealloc = total - alloc
+    assert dealloc.reg >= 0 and dealloc.mem >= 0
+    return dataclasses.replace(costs, SEG_ALLOC=alloc, SEG_DEALLOC=dealloc)
+
+
+class TestOooSplitInvariance:
+    @pytest.mark.parametrize("enq_reg,enq_mem", [(0, 0), (10, 5), (27, 22)])
+    def test_stream_totals_unchanged(self, enq_reg, enq_mem):
+        """Every complete run drains exactly what it enqueued, so any
+        enqueue/drain split with the published sum gives the same totals."""
+        costs = _resplit_ooo(CmamCosts(n=4), enq_reg, enq_mem)
+        for words, expected in ((16, 481), (1024, 29965)):
+            sim, src, dst, _net = quick_setup()
+            result = run_indefinite_sequence(sim, src, dst, words, costs=costs)
+            assert result.total == expected
+
+    def test_split_does_shift_transient_accounting(self):
+        """The split is not *observable* in totals, but it is real: a
+        stream with parked packets mid-flight attributes differently."""
+        heavy_enq = _resplit_ooo(CmamCosts(n=4), 27, 22)
+        light_enq = _resplit_ooo(CmamCosts(n=4), 0, 0)
+        assert heavy_enq.STREAM_OOO_ENQ != light_enq.STREAM_OOO_ENQ
+        assert (
+            heavy_enq.STREAM_OOO_ENQ + heavy_enq.STREAM_OOO_DRAIN
+            == light_enq.STREAM_OOO_ENQ + light_enq.STREAM_OOO_DRAIN
+        )
+
+
+class TestSegmentSplitInvariance:
+    @pytest.mark.parametrize("alloc_reg,alloc_mem", [(0, 0), (20, 11), (43, 0)])
+    def test_finite_totals_unchanged(self, alloc_reg, alloc_mem):
+        """Every completed transfer both allocates and deallocates, so any
+        alloc/dealloc split with the published sum gives the same totals."""
+        costs = _resplit_segments(CmamCosts(n=4), alloc_reg, alloc_mem)
+        for words, expected in ((16, 397), (1024, 11737)):
+            sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+            result = run_finite_sequence(sim, src, dst, words, costs=costs)
+            assert result.total == expected
+
+
+class TestPublishedSumsPinned:
+    def test_ooo_sum_is_published_value(self):
+        costs = CmamCosts(n=4)
+        assert costs.STREAM_OOO_ENQ + costs.STREAM_OOO_DRAIN == mix(reg=27, mem=22)
+
+    def test_segment_sum_is_published_value(self):
+        costs = CmamCosts(n=4)
+        assert costs.SEG_ALLOC + costs.SEG_DEALLOC == mix(reg=43, mem=11)

@@ -1,0 +1,148 @@
+"""Unit tests for the CMAM primitives and dispatcher."""
+
+import pytest
+
+from repro.am.cmam import AMDispatcher, cmam_4, cmam_receive_am, recv_ctrl, send_ctrl
+from repro.am.handlers import CollectingHandler
+from repro.arch.attribution import Feature
+from repro.arch.isa import mix
+from repro.network.cm5 import CM5Network
+from repro.network.delivery import InOrderDelivery
+from repro.network.packet import PacketType
+from repro.node import Node
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator()
+    net = CM5Network(sim, delivery_factory=InOrderDelivery)
+    return sim, Node(0, sim, net), Node(1, sim, net)
+
+
+class TestCmam4:
+    def test_source_cost_is_table1(self, pair):
+        _sim, src, _dst = pair
+        cmam_4(src, 1, "h", (1, 2, 3, 4))
+        assert src.processor.costs.get(Feature.BASE) == mix(reg=15, dev=5)
+
+    def test_payload_padded_to_four_words(self, pair):
+        sim, src, dst = pair
+        collector = CollectingHandler()
+        dst.register_handler("h", collector)
+        AMDispatcher(dst)
+        cmam_4(src, 1, "h", (7,))
+        sim.run()
+        assert collector.invocations == [(7, 0, 0, 0)]
+
+    def test_oversized_payload_rejected(self, pair):
+        _sim, src, _dst = pair
+        with pytest.raises(ValueError):
+            cmam_4(src, 1, "h", (1, 2, 3, 4, 5))
+
+    def test_feature_override(self, pair):
+        _sim, src, _dst = pair
+        cmam_4(src, 1, "h", (1,), feature=Feature.BUFFER_MGMT)
+        assert src.processor.costs.get(Feature.BUFFER_MGMT).total == 20
+
+
+class TestReceivePath:
+    def test_destination_cost_is_table1(self, pair):
+        sim, src, dst = pair
+        dst.register_handler("h", CollectingHandler())
+        cmam_4(src, 1, "h", (1, 2, 3, 4))
+        sim.run()
+        cmam_receive_am(dst)
+        assert dst.processor.costs.get(Feature.BASE) == mix(reg=22, dev=5)
+
+    def test_handler_work_charged_to_user(self, pair):
+        sim, src, dst = pair
+
+        def heavy_handler(node, *words):
+            node.processor.reg_ops(100)
+
+        dst.register_handler("h", heavy_handler)
+        cmam_4(src, 1, "h", (1,))
+        sim.run()
+        cmam_receive_am(dst)
+        assert dst.processor.costs.get(Feature.USER) == mix(reg=100)
+        assert dst.processor.costs.get(Feature.BASE).total == 27
+
+    def test_invoke_handler_false_skips_user_code(self, pair):
+        sim, src, dst = pair
+        collector = CollectingHandler()
+        dst.register_handler("h", collector)
+        cmam_4(src, 1, "h", (1,))
+        sim.run()
+        name, payload = cmam_receive_am(dst, invoke_handler=False)
+        assert name == "h"
+        assert collector.count == 0
+
+
+class TestControlPackets:
+    def test_ctrl_roundtrip_costs(self, pair):
+        sim, src, dst = pair
+        send_ctrl(src, 1, PacketType.XFER_REQUEST, (16, 4), Feature.BUFFER_MGMT)
+        sim.run()
+        envelope, payload = recv_ctrl(dst, Feature.BUFFER_MGMT)
+        assert payload == (16, 4, 0, 0)
+        assert src.processor.costs.get(Feature.BUFFER_MGMT) == mix(reg=14, mem=1, dev=5)
+        assert dst.processor.costs.get(Feature.BUFFER_MGMT) == mix(reg=22, dev=5)
+
+    def test_ctrl_metadata_travels(self, pair):
+        sim, src, dst = pair
+        send_ctrl(
+            src, 1, PacketType.XFER_REQUEST, (1,), Feature.BUFFER_MGMT,
+            seq=9, segment=2, size_hint=64,
+        )
+        sim.run()
+        envelope, _payload = recv_ctrl(dst, Feature.BUFFER_MGMT)
+        assert (envelope.seq, envelope.segment, envelope.size_hint) == (9, 2, 64)
+
+
+class TestDispatcher:
+    def test_routes_by_packet_type(self, pair):
+        sim, src, dst = pair
+        seen = []
+        dispatcher = AMDispatcher(dst)
+
+        def on_ack():
+            recv_ctrl(dst, Feature.FAULT_TOLERANCE)
+            seen.append("ack")
+
+        dispatcher.bind(PacketType.STREAM_ACK, on_ack)
+        dst.register_handler("h", lambda node, *w: seen.append("am"))
+        send_ctrl(src, 1, PacketType.STREAM_ACK, (0,), Feature.FAULT_TOLERANCE)
+        cmam_4(src, 1, "h", (1,))
+        sim.run()
+        assert seen == ["ack", "am"]
+
+    def test_unbound_type_raises(self, pair):
+        sim, src, dst = pair
+        AMDispatcher(dst)
+        send_ctrl(src, 1, PacketType.XFER_DATA, (), Feature.BASE)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_nonconsuming_reception_detected(self, pair):
+        sim, src, dst = pair
+        dispatcher = AMDispatcher(dst)
+        dispatcher.bind(PacketType.STREAM_ACK, lambda: None)  # consumes nothing
+        send_ctrl(src, 1, PacketType.STREAM_ACK, (0,), Feature.FAULT_TOLERANCE)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_empty_poll_cost(self, pair):
+        _sim, _src, dst = pair
+        dispatcher = AMDispatcher(dst)
+        dispatcher.charge_empty_poll()
+        assert dst.processor.costs.get(Feature.BASE) == mix(reg=3, dev=1)
+
+    def test_unbind(self, pair):
+        sim, src, dst = pair
+        dispatcher = AMDispatcher(dst)
+        dispatcher.bind(PacketType.STREAM_ACK, lambda: dst.ni.discard_head())
+        dispatcher.unbind(PacketType.STREAM_ACK)
+        send_ctrl(src, 1, PacketType.STREAM_ACK, (0,), Feature.FAULT_TOLERANCE)
+        with pytest.raises(RuntimeError):
+            sim.run()

@@ -1,0 +1,113 @@
+"""Unit tests for the calibrated cost book.
+
+These pin the calibration: the whole-path totals must equal the paper's
+Table 1 values and the fitted per-packet/constant components derived from
+Tables 2-3 (see the derivation in the module docstring of
+:mod:`repro.am.costs`).
+"""
+
+import pytest
+
+from repro.am.costs import CmamCosts, CostBook
+from repro.arch.isa import mix
+
+
+class TestCalibrationAtN4:
+    """The paper's configuration: four data words per packet."""
+
+    @pytest.fixture
+    def book(self):
+        return CostBook(n=4)
+
+    def test_am_send_is_20(self, book):
+        assert book.am_send_total() == mix(reg=15, dev=5)
+        assert book.am_send_total().total == 20
+
+    def test_am_recv_is_27(self, book):
+        assert book.am_recv_total() == mix(reg=22, dev=5)
+        assert book.am_recv_total().total == 27
+
+    def test_ctrl_send_is_20(self, book):
+        assert book.ctrl_send_total() == mix(reg=14, mem=1, dev=5)
+
+    def test_ctrl_recv_is_27(self, book):
+        assert book.ctrl_recv_total() == mix(reg=22, dev=5)
+
+    def test_xfer_send_packet(self, book):
+        assert book.xfer_send_packet_total() == mix(reg=15, mem=2, dev=5)
+
+    def test_xfer_recv_packet(self, book):
+        assert book.xfer_recv_packet_total() == mix(reg=12, mem=2, dev=4)
+
+    def test_stream_send_packet(self, book):
+        assert book.stream_send_packet_total() == mix(reg=14, mem=1, dev=5)
+
+    def test_stream_recv_packet(self, book):
+        assert book.stream_recv_packet_total() == mix(reg=10, dev=4)
+
+    def test_buffer_mgmt_components_sum_to_paper(self, book):
+        c = book.costs
+        src = book.ctrl_send_total() + book.ctrl_recv_total()
+        assert src == mix(reg=36, mem=1, dev=10)  # paper: 47 at the source
+        dst = (
+            book.ctrl_recv_total() + c.SEG_ALLOC + book.ctrl_send_total() + c.SEG_DEALLOC
+        )
+        assert dst == mix(reg=79, mem=12, dev=10)  # paper: 101 at the dest
+
+    def test_stream_inorder_average_is_29_per_packet(self, book):
+        c = book.costs
+        two_packets = c.STREAM_INSEQ + c.STREAM_OOO_ENQ + c.STREAM_OOO_DRAIN
+        assert two_packets.total == 58  # 29/packet with half out of order
+        assert two_packets == mix(reg=35, mem=23)
+
+    def test_stream_ft_per_packet_is_29(self, book):
+        c = book.costs
+        per_packet = c.source_buffer_packet() + book.ctrl_recv_total()
+        assert per_packet.total == 29
+        assert per_packet == mix(reg=22, mem=2, dev=5)
+
+
+class TestPacketSizeScaling:
+    def test_dev_profile_scales_with_n(self):
+        c = CmamCosts(n=8)
+        assert c.send_dev(8) == 1 + 4 + 2
+        assert c.recv_dev_stream(8) == 1 + 1 + 4
+        assert c.recv_dev_generic(8) == 2 + 1 + 4
+
+    def test_partial_packet_mem(self):
+        c = CmamCosts(n=8)
+        assert c.xfer_send_packet(3) == mix(reg=15, mem=2)
+        assert c.xfer_recv_packet(1) == mix(reg=12, mem=1)
+        assert c.source_buffer_packet(5) == mix(mem=3)
+
+    def test_control_payload_fixed_regardless_of_n(self):
+        for n in (4, 16, 128):
+            book = CostBook(n=n)
+            assert book.ctrl_send_total().dev == 5
+            assert book.ctrl_recv_total().dev == 5
+
+    def test_odd_packet_size_rejected(self):
+        with pytest.raises(ValueError):
+            CmamCosts(n=5)
+        with pytest.raises(ValueError):
+            CmamCosts(n=0)
+
+    def test_costbook_n_mismatch_guard(self):
+        from repro.analysis.formulas import CostFormulas
+
+        with pytest.raises(ValueError):
+            CostFormulas(CmamCosts(n=4), n=8)
+
+
+class TestCRCalibration:
+    def test_cr_recv_one_reg_cheaper(self):
+        c = CmamCosts(n=4)
+        assert c.cr_recv_packet() == c.xfer_recv_packet() - mix(reg=1)
+
+    def test_cr_const_two_cheaper(self):
+        c = CmamCosts(n=4)
+        assert c.CR_RECV_CONST == c.XFER_RECV_CONST - mix(reg=2)
+
+    def test_cr_table_store_is_small(self):
+        c = CmamCosts(n=4)
+        assert c.CR_TABLE_STORE.total == 6

@@ -1,0 +1,123 @@
+"""Tests for reception disciplines (polling vs interrupts, footnote 2)."""
+
+import pytest
+
+from repro.am.cmam import AMDispatcher, cmam_4
+from repro.am.handlers import CollectingHandler
+from repro.am.reception import (
+    EMPTY_POLL_COST,
+    InterruptReception,
+    PollingReception,
+    SPARC_INTERRUPT_COST,
+    reception_crossover,
+)
+from repro.arch.isa import mix
+from repro.network.cm5 import CM5Network
+from repro.network.delivery import InOrderDelivery
+from repro.node import Node
+from repro.sim.engine import Simulator
+
+
+def pair_with_reception(reception_factory):
+    sim = Simulator()
+    net = CM5Network(sim, delivery_factory=InOrderDelivery)
+    src, dst = Node(0, sim, net), Node(1, sim, net)
+    dispatcher = AMDispatcher(dst)
+    reception = reception_factory(dst)
+    dispatcher.set_reception(reception)
+    collector = CollectingHandler()
+    dst.register_handler("h", collector)
+    return sim, src, dst, reception, collector
+
+
+def send_n(sim, src, n):
+    for i in range(n):
+        cmam_4(src, 1, "h", (i,))
+    sim.run()
+
+
+class TestPollingReception:
+    def test_favourable_path_charges_nothing(self):
+        sim, src, dst, reception, collector = pair_with_reception(
+            lambda node: PollingReception(node, polls_per_packet=1.0)
+        )
+        before = dst.processor.costs.total
+        send_n(sim, src, 4)
+        assert collector.count == 4
+        assert reception.stats.empty_polls == 0
+        # Only the calibrated reception paths were charged (27 each).
+        assert dst.processor.costs.total - before == 4 * 27
+
+    def test_duty_cycle_charges_empty_polls(self):
+        sim, src, dst, reception, collector = pair_with_reception(
+            lambda node: PollingReception(node, polls_per_packet=3.0)
+        )
+        send_n(sim, src, 10)
+        assert reception.stats.empty_polls == 20  # 2 extra per packet
+        assert reception.stats.discipline_cost == EMPTY_POLL_COST * 20
+
+    def test_fractional_duty_accumulates_exactly(self):
+        sim, src, dst, reception, _c = pair_with_reception(
+            lambda node: PollingReception(node, polls_per_packet=1.5)
+        )
+        send_n(sim, src, 10)
+        assert reception.stats.empty_polls == 5
+
+    def test_sub_unity_duty_rejected(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        node = Node(0, sim, net)
+        with pytest.raises(ValueError):
+            PollingReception(node, polls_per_packet=0.5)
+
+
+class TestInterruptReception:
+    def test_per_packet_interrupt_cost(self):
+        sim, src, dst, reception, collector = pair_with_reception(
+            InterruptReception
+        )
+        send_n(sim, src, 6)
+        assert collector.count == 6
+        assert reception.stats.interrupts == 6
+        assert reception.stats.discipline_cost == SPARC_INTERRUPT_COST * 6
+
+    def test_custom_interrupt_cost(self):
+        sim, src, dst, reception, _c = pair_with_reception(
+            lambda node: InterruptReception(node, interrupt_cost=mix(reg=10))
+        )
+        send_n(sim, src, 2)
+        assert reception.stats.discipline_cost == mix(reg=20)
+
+
+class TestCrossover:
+    def test_analytic_crossover(self):
+        # 1 + 101/4 = 26.25 with the default costs.
+        assert reception_crossover() == pytest.approx(26.25)
+
+    def test_crossover_matches_measurement(self):
+        """Measured totals agree with the analytic crossover: polling is
+        cheaper below it, dearer above it."""
+        from repro.analysis.reception import _run_stream
+
+        crossover = reception_crossover()
+        interrupt = _run_stream("interrupt", 0.0, 256)
+        below = _run_stream("polling", crossover - 10, 256)
+        above = _run_stream("polling", crossover + 10, 256)
+        assert below.total_instructions < interrupt.total_instructions
+        assert above.total_instructions > interrupt.total_instructions
+
+
+class TestReceptionStudy:
+    def test_study_shape(self):
+        from repro.analysis.reception import reception_study
+
+        points = reception_study(64, duty_cycles=(1.0, 5.0))
+        assert [p.discipline for p in points] == ["interrupt", "polling", "polling"]
+        polling = [p for p in points if p.discipline == "polling"]
+        assert polling[0].total_instructions < polling[1].total_instructions
+
+    def test_unknown_discipline(self):
+        from repro.analysis.reception import _run_stream
+
+        with pytest.raises(KeyError):
+            _run_stream("psychic", 1.0, 16)

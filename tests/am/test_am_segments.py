@@ -1,0 +1,81 @@
+"""Unit tests for communication segments."""
+
+import pytest
+
+from repro.am.segments import SegmentExhausted, SegmentTable
+
+
+class TestAllocation:
+    def test_allocate_assigns_distinct_ids_and_addresses(self):
+        table = SegmentTable()
+        a = table.allocate(64, 16)
+        b = table.allocate(32, 8)
+        assert a.segment_id != b.segment_id
+        assert b.base_addr >= a.base_addr + 64
+
+    def test_segment_limit(self):
+        table = SegmentTable(capacity_segments=2)
+        table.allocate(8, 2)
+        table.allocate(8, 2)
+        with pytest.raises(SegmentExhausted):
+            table.allocate(8, 2)
+        assert table.alloc_failures == 1
+
+    def test_word_limit(self):
+        table = SegmentTable(capacity_words=100)
+        table.allocate(80, 20)
+        with pytest.raises(SegmentExhausted):
+            table.allocate(40, 10)
+
+    def test_try_allocate_returns_none(self):
+        table = SegmentTable(capacity_segments=1)
+        assert table.try_allocate(8, 2) is not None
+        assert table.try_allocate(8, 2) is None
+
+    def test_free_releases_capacity(self):
+        table = SegmentTable(capacity_segments=1)
+        seg = table.allocate(8, 2)
+        table.free(seg.segment_id)
+        assert table.try_allocate(8, 2) is not None
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SegmentTable().free(99)
+
+    def test_lookup_and_contains(self):
+        table = SegmentTable()
+        seg = table.allocate(8, 2)
+        assert table.lookup(seg.segment_id) is seg
+        assert seg.segment_id in table
+        table.free(seg.segment_id)
+        assert seg.segment_id not in table
+        with pytest.raises(KeyError):
+            table.lookup(seg.segment_id)
+
+    def test_counters(self):
+        table = SegmentTable(capacity_segments=4)
+        table.allocate(8, 2)
+        table.allocate(8, 2)
+        assert table.in_use == 2
+        assert table.free_segments == 2
+        assert table.total_allocations == 2
+
+
+class TestSegmentCompletion:
+    def test_completion_by_distinct_offsets(self):
+        table = SegmentTable()
+        seg = table.allocate(8, 2)
+        assert seg.record_packet(0, 4)
+        assert not seg.complete
+        assert seg.record_packet(4, 4)
+        assert seg.complete
+        assert seg.received_words == 8
+
+    def test_duplicates_do_not_advance(self):
+        table = SegmentTable()
+        seg = table.allocate(8, 2)
+        seg.record_packet(0, 4)
+        assert not seg.record_packet(0, 4)  # duplicate
+        assert not seg.complete
+        assert seg.duplicate_packets == 1
+        assert seg.received_words == 4

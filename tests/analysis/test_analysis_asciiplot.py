@@ -1,0 +1,68 @@
+"""Tests for the ASCII plotter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.asciiplot import GLYPHS, plot_series
+
+
+class TestPlotSeries:
+    def test_renders_all_series_glyphs(self):
+        text = plot_series({
+            "a": [(1, 1.0), (2, 2.0)],
+            "b": [(1, 2.0), (2, 1.0)],
+        })
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_extremes_on_axis_labels(self):
+        text = plot_series({"s": [(0, 0.0), (10, 5.0)]}, y_format="{:.1f}")
+        assert "5.0" in text and "0.0" in text
+        assert "10" in text
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y lands on an earlier (higher) row as x advances."""
+        text = plot_series({"s": [(1, 1.0), (2, 2.0), (3, 3.0)]},
+                           width=30, height=9)
+        marks = []
+        for row_index, line in enumerate(text.splitlines()):
+            if "|" not in line:
+                continue
+            plot_area = line.split("|", 1)[1]
+            for col_index, char in enumerate(plot_area):
+                if char == "o":
+                    marks.append((col_index, row_index))
+        marks.sort()
+        rows_by_x = [row for _col, row in marks]
+        assert len(marks) == 3
+        assert rows_by_x == sorted(rows_by_x, reverse=True)
+
+    def test_log_x(self):
+        text = plot_series({"s": [(4, 1.0), (128, 2.0)]}, log_x=True)
+        assert "[log scale]" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            plot_series({"s": [(0, 1.0)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series({"s": []})
+
+    def test_single_point(self):
+        text = plot_series({"s": [(5, 5.0)]})
+        assert "o" in text
+
+    @given(
+        pts=st.lists(
+            st.tuples(st.floats(0.1, 1e3), st.floats(-1e3, 1e3)),
+            min_size=1, max_size=50,
+        ),
+        width=st.integers(10, 80),
+        height=st.integers(4, 30),
+    )
+    def test_never_crashes_and_stays_rectangular(self, pts, width, height):
+        text = plot_series({"s": pts}, width=width, height=height)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == height
+        assert all(len(l) == len(plot_lines[0]) for l in plot_lines)

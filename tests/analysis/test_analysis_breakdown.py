@@ -1,0 +1,98 @@
+"""Tests for feature breakdowns and the published-values comparison."""
+
+import pytest
+
+from repro import InOrderDelivery, quick_setup, run_finite_sequence
+from repro.analysis.breakdown import FeatureBreakdown, breakdown_from_result
+from repro.arch.attribution import Feature
+from repro.arch.counters import CostMatrix
+from repro.arch.isa import mix
+
+
+def measured_16w():
+    sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+    return run_finite_sequence(sim, src, dst, 16)
+
+
+class TestBreakdown:
+    def test_from_result_matches_paper(self):
+        breakdown = breakdown_from_result(measured_16w())
+        assert breakdown.matches_paper()
+        assert breakdown.src_total == 173
+        assert breakdown.dst_total == 224
+        assert breakdown.total == 397
+
+    def test_rows_ordered_like_the_paper(self):
+        breakdown = breakdown_from_result(measured_16w())
+        assert [row.feature for row in breakdown.rows] == [
+            Feature.BASE, Feature.BUFFER_MGMT, Feature.IN_ORDER,
+            Feature.FAULT_TOLERANCE,
+        ]
+
+    def test_overhead_aggregates(self):
+        breakdown = breakdown_from_result(measured_16w())
+        assert breakdown.overhead_total == 397 - 181
+        assert breakdown.overhead_fraction == pytest.approx((397 - 181) / 397)
+
+    def test_paper_columns_populated(self):
+        breakdown = breakdown_from_result(measured_16w())
+        base = breakdown.row(Feature.BASE)
+        assert (base.paper_src, base.paper_dst, base.paper_total) == (91, 90, 181)
+
+    def test_without_paper(self):
+        breakdown = breakdown_from_result(measured_16w(), with_paper=False)
+        assert all(row.paper_src is None for row in breakdown.rows)
+        assert breakdown.matches_paper()  # vacuously
+
+    def test_mismatch_detected(self):
+        src = CostMatrix({Feature.BASE: mix(reg=1)})
+        dst = CostMatrix({Feature.BASE: mix(reg=1)})
+        breakdown = FeatureBreakdown.build("finite-sequence", 16, src, dst)
+        assert not breakdown.matches_paper()
+
+    def test_row_lookup_missing(self):
+        breakdown = breakdown_from_result(measured_16w())
+        with pytest.raises(KeyError):
+            breakdown.row(Feature.USER)
+
+
+class TestPublishedConsistency:
+    """The transcribed paper tables must be internally consistent."""
+
+    def test_table2_feature_rows_sum_to_totals(self):
+        from repro.analysis import published
+
+        for (protocol, words), (src, dst, total) in published.TABLE2_TOTALS.items():
+            src_sum = sum(
+                published.TABLE2[(protocol, words, f)][0]
+                for f in (Feature.BASE, Feature.BUFFER_MGMT, Feature.IN_ORDER,
+                          Feature.FAULT_TOLERANCE)
+            )
+            dst_sum = sum(
+                published.TABLE2[(protocol, words, f)][1]
+                for f in (Feature.BASE, Feature.BUFFER_MGMT, Feature.IN_ORDER,
+                          Feature.FAULT_TOLERANCE)
+            )
+            assert (src_sum, dst_sum) == (src, dst)
+            assert src + dst == total
+
+    def test_table3_cells_sum_to_table2(self):
+        from repro.analysis import published
+
+        for (protocol, words, feature), (src_mix, dst_mix) in published.TABLE3.items():
+            src_total, dst_total = published.TABLE2[(protocol, words, feature)]
+            assert src_mix.total == src_total
+            assert dst_mix.total == dst_total
+
+    def test_table3_totals_consistent(self):
+        from repro.analysis import published
+
+        for (protocol, words), (src_mix, dst_mix) in published.TABLE3_TOTALS.items():
+            by_feature_src = [
+                m for (p, w, _f), (m, _d) in published.TABLE3.items()
+                if p == protocol and w == words
+            ]
+            total = by_feature_src[0]
+            for m in by_feature_src[1:]:
+                total = total + m
+            assert total == src_mix

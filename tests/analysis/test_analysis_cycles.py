@@ -1,0 +1,64 @@
+"""Tests for the weighted cycle analyses."""
+
+import pytest
+
+from repro import InOrderDelivery, quick_setup, run_finite_sequence
+from repro.analysis.cycles import cycle_breakdown, dev_weight_study
+from repro.arch.attribution import Feature
+from repro.arch.costmodel import CM5_CYCLE_MODEL, UNIT_COST_MODEL
+from repro.arch.counters import CostMatrix
+from repro.arch.isa import mix
+
+
+def measured():
+    sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+    return run_finite_sequence(sim, src, dst, 16)
+
+
+class TestCycleBreakdown:
+    def test_unit_model_equals_instruction_counts(self):
+        result = measured()
+        breakdown = cycle_breakdown(result.src_costs, UNIT_COST_MODEL)
+        assert breakdown.total == result.src_costs.total
+
+    def test_cm5_model_weights_dev(self):
+        result = measured()
+        breakdown = cycle_breakdown(result.src_costs, CM5_CYCLE_MODEL)
+        # src = (128, 10, 35) -> 128 + 10 + 175
+        assert breakdown.total == 313.0
+
+    def test_overhead_fraction(self):
+        matrix = CostMatrix({
+            Feature.BASE: mix(reg=60),
+            Feature.IN_ORDER: mix(reg=40),
+        })
+        breakdown = cycle_breakdown(matrix)
+        assert breakdown.overhead_fraction == pytest.approx(0.4)
+
+    def test_user_feature_not_in_overhead(self):
+        matrix = CostMatrix({
+            Feature.BASE: mix(reg=50),
+            Feature.USER: mix(reg=50),
+        })
+        breakdown = cycle_breakdown(matrix)
+        assert breakdown.overhead == 0.0
+
+
+class TestDevWeightStudy:
+    def test_cheaper_ni_raises_overhead_share(self):
+        """Section 5's paradox: improved (cheaper) NI access makes protocol
+        overhead a *larger* share of the cycles."""
+        result = measured()
+        points = dev_weight_study(
+            result.src_costs, result.dst_costs, weights=(20.0, 5.0, 1.0)
+        )
+        fracs = [p.overhead_fraction for p in points]
+        assert fracs == sorted(fracs)  # overhead share rises as dev gets cheap
+
+    def test_total_cycles_monotone_in_weight(self):
+        result = measured()
+        points = dev_weight_study(
+            result.src_costs, result.dst_costs, weights=(1.0, 5.0, 10.0)
+        )
+        totals = [p.total_cycles for p in points]
+        assert totals == sorted(totals)

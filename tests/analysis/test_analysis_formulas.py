@@ -1,0 +1,165 @@
+"""Tests for the closed-form cost model, including the paper pins."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.am.costs import CmamCosts
+from repro.analysis.formulas import CostFormulas
+from repro.arch.attribution import Feature
+
+
+@pytest.fixture
+def f4():
+    return CostFormulas(CmamCosts(n=4))
+
+
+class TestPaperPins:
+    def test_single_packet(self, f4):
+        costs = f4.single_packet()
+        assert (costs.src.total, costs.dst.total) == (20, 27)
+
+    @pytest.mark.parametrize(
+        "words,src,dst", [(16, 173, 224), (1024, 6221, 5516)]
+    )
+    def test_finite(self, f4, words, src, dst):
+        costs = f4.finite_sequence(words)
+        assert (costs.src.total, costs.dst.total) == (src, dst)
+
+    @pytest.mark.parametrize(
+        "words,src,dst", [(16, 216, 265), (1024, 13824, 16141)]
+    )
+    def test_indefinite(self, f4, words, src, dst):
+        costs = f4.indefinite_sequence(words)
+        assert (costs.src.total, costs.dst.total) == (src, dst)
+
+    def test_cr_indefinite_equals_base(self, f4):
+        for words in (16, 1024):
+            cr = f4.cr_indefinite_sequence(words)
+            cmam = f4.indefinite_sequence(words)
+            assert cr.total == (
+                cmam.src.get(Feature.BASE).total + cmam.dst.get(Feature.BASE).total
+            )
+
+    def test_overhead_fraction_claims(self, f4):
+        assert 0.5 <= f4.finite_sequence(16).overhead_fraction <= 0.71
+        assert f4.finite_sequence(1024).overhead_fraction < 0.5
+        assert 0.5 <= f4.indefinite_sequence(16).overhead_fraction <= 0.71
+        assert 0.5 <= f4.indefinite_sequence(1024).overhead_fraction <= 0.71
+
+
+class TestParameters:
+    def test_ooo_count_affects_in_order_only(self, f4):
+        all_in_order = f4.indefinite_sequence(1024, ooo_count=0)
+        half = f4.indefinite_sequence(1024, ooo_count=128)
+        assert all_in_order.src.total == half.src.total
+        assert (
+            all_in_order.dst.get(Feature.BASE)
+            == half.dst.get(Feature.BASE)
+        )
+        assert (
+            all_in_order.dst.get(Feature.IN_ORDER).total
+            < half.dst.get(Feature.IN_ORDER).total
+        )
+
+    def test_impossible_ooo_rejected(self, f4):
+        with pytest.raises(ValueError):
+            f4.indefinite_sequence(16, ooo_count=4)  # p-1 == 3 max
+
+    def test_group_acks_cut_ft_cost(self, f4):
+        per = f4.indefinite_sequence(1024)
+        grouped = f4.indefinite_sequence(1024, ack_group=16)
+        assert grouped.total < per.total
+        assert (
+            grouped.src.get(Feature.FAULT_TOLERANCE).total
+            < per.src.get(Feature.FAULT_TOLERANCE).total
+        )
+
+    def test_by_name_dispatch(self, f4):
+        assert f4.by_name("single-packet", 0).protocol == "single-packet"
+        assert f4.by_name("finite-sequence", 16).total == 397
+        with pytest.raises(KeyError):
+            f4.by_name("nonsense", 16)
+
+
+class TestFormulaMatchesSimulation:
+    """The keystone property: the analytical model and the executable
+    system agree exactly, feature by feature, for arbitrary parameters."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        words=st.integers(1, 400),
+        n=st.sampled_from([4, 8, 16, 32]),
+    )
+    def test_finite(self, words, n):
+        from repro import InOrderDelivery, quick_setup, run_finite_sequence
+
+        costs = CmamCosts(n=n)
+        sim, src, dst, _net = quick_setup(
+            packet_size=n, delivery_factory=InOrderDelivery
+        )
+        result = run_finite_sequence(sim, src, dst, words, costs=costs)
+        predicted = CostFormulas(costs).finite_sequence(words)
+        assert result.src_costs == predicted.src
+        assert result.dst_costs == predicted.dst
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        words=st.integers(1, 400),
+        n=st.sampled_from([4, 8, 16]),
+        fraction=st.sampled_from([0.0, 0.25, 0.5]),
+    )
+    def test_indefinite(self, words, n, fraction):
+        from repro import FractionReorder, quick_setup, run_indefinite_sequence
+        from repro.protocols.base import packets_for
+
+        costs = CmamCosts(n=n)
+        model_factory = lambda: FractionReorder(fraction)
+        sim, src, dst, _net = quick_setup(
+            packet_size=n, delivery_factory=model_factory
+        )
+        result = run_indefinite_sequence(sim, src, dst, words, costs=costs)
+        p = packets_for(words, n)
+        ooo = FractionReorder(fraction).expected_ooo(p)
+        predicted = CostFormulas(costs).indefinite_sequence(words, ooo_count=ooo)
+        assert result.src_costs == predicted.src
+        assert result.dst_costs == predicted.dst
+
+    @settings(max_examples=15, deadline=None)
+    @given(words=st.integers(1, 300), n=st.sampled_from([4, 8]))
+    def test_cr_protocols(self, words, n):
+        from repro import (
+            quick_cr_setup,
+            run_cr_finite_sequence,
+            run_cr_indefinite_sequence,
+        )
+
+        costs = CmamCosts(n=n)
+        formulas = CostFormulas(costs)
+        sim, src, dst, _net = quick_cr_setup(packet_size=n)
+        fin = run_cr_finite_sequence(sim, src, dst, words, costs=costs)
+        pred_fin = formulas.cr_finite_sequence(words)
+        assert fin.src_costs == pred_fin.src
+        assert fin.dst_costs == pred_fin.dst
+
+        sim2, src2, dst2, _net2 = quick_cr_setup(packet_size=n)
+        ind = run_cr_indefinite_sequence(sim2, src2, dst2, words, costs=costs)
+        pred_ind = formulas.cr_indefinite_sequence(words)
+        assert ind.src_costs == pred_ind.src
+        assert ind.dst_costs == pred_ind.dst
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        words=st.integers(1, 300),
+        group=st.sampled_from([2, 4, 16]),
+    )
+    def test_group_acks(self, words, group):
+        from repro import GroupAck, quick_setup, run_indefinite_sequence
+
+        costs = CmamCosts(n=4)
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(
+            sim, src, dst, words, costs=costs, ack_policy=GroupAck(group)
+        )
+        predicted = CostFormulas(costs).indefinite_sequence(words, ack_group=group)
+        assert result.src_costs == predicted.src
+        assert result.dst_costs == predicted.dst

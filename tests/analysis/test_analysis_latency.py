@@ -1,0 +1,44 @@
+"""Tests for the latency study (Section 5's cost-vs-latency discussion)."""
+
+import pytest
+
+from repro.analysis.latency import handshake_penalty, latency_study
+
+
+class TestLatencyStudy:
+    def test_cmam_pays_three_crossings_for_data(self):
+        """Request + reply + data: the first data word cannot complete
+        before three network crossings; sender release waits a fourth."""
+        points = latency_study(sizes=(16,))
+        cmam = next(p for p in points if p.substrate == "cmam")
+        assert cmam.crossings == pytest.approx(3.0)
+        assert cmam.sender_released_at == pytest.approx(4 * cmam.network_latency)
+
+    def test_cr_streams_in_one_crossing(self):
+        points = latency_study(sizes=(16,))
+        cr = next(p for p in points if p.substrate == "cr")
+        assert cr.crossings == pytest.approx(1.0)
+        assert cr.sender_released_at == 0.0  # no source buffering to free
+
+    def test_handshake_penalty_constant_in_size(self):
+        points = latency_study(sizes=(16, 256, 1024))
+        assert handshake_penalty(points) == pytest.approx(3.0)
+
+    def test_latency_scales_with_network_latency(self):
+        fast = latency_study(sizes=(16,), network_latency=5.0)
+        slow = latency_study(sizes=(16,), network_latency=50.0)
+        cmam_fast = next(p for p in fast if p.substrate == "cmam")
+        cmam_slow = next(p for p in slow if p.substrate == "cmam")
+        assert cmam_slow.data_complete_at == 10 * cmam_fast.data_complete_at
+
+    def test_instructions_match_calibration(self):
+        """The latency runs reuse the calibrated protocols: counts agree
+        with the paper."""
+        points = latency_study(sizes=(1024,))
+        cmam = next(p for p in points if p.substrate == "cmam")
+        cr = next(p for p in points if p.substrate == "cr")
+        assert cmam.total_instructions == 11737
+        assert cr.total_instructions == 10009
+
+    def test_empty_penalty(self):
+        assert handshake_penalty([]) == 0.0

@@ -1,0 +1,43 @@
+"""Tests for LogP parameter extraction."""
+
+import pytest
+
+from repro.am.costs import CmamCosts
+from repro.analysis.logp import LogPParameters, extract_logp
+from repro.arch.costmodel import CM5_CYCLE_MODEL, UNIT_COST_MODEL
+
+
+class TestExtraction:
+    def test_overheads_recover_table1(self):
+        """The ping-pong measurement recovers the paper's 20/27 split."""
+        params = extract_logp()
+        assert params.o_send == 20.0
+        assert params.o_recv == 27.0
+        assert params.o == 23.5
+
+    def test_latency_recovers_configured_value(self):
+        for latency in (5.0, 10.0, 40.0):
+            params = extract_logp(network_latency=latency, round_trips=8)
+            assert params.latency == pytest.approx(latency)
+
+    def test_round_trip_count_respected(self):
+        params = extract_logp(round_trips=4)
+        assert params.round_trips == 4
+
+    def test_invalid_round_trips(self):
+        with pytest.raises(ValueError):
+            extract_logp(round_trips=0)
+
+    def test_cycle_conversion(self):
+        params = extract_logp(round_trips=2)
+        unit = params.overhead_cycles(UNIT_COST_MODEL, CmamCosts())
+        cm5 = params.overhead_cycles(CM5_CYCLE_MODEL, CmamCosts())
+        assert unit == 23.5
+        # dev accesses (5 on each path) cost 4 extra cycles each: +20.
+        assert cm5 == 43.5
+
+    def test_parameters_dataclass(self):
+        params = LogPParameters(
+            o_send=20, o_recv=27, latency=10.0, gap=0.5, round_trips=1
+        )
+        assert params.o == 23.5

@@ -1,0 +1,67 @@
+"""Tests for the fault-rate study."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    expected_retransmissions,
+    expected_transmissions,
+    fault_rate_sweep,
+)
+
+
+class TestAnalytic:
+    def test_fault_free_is_one_transmission(self):
+        assert expected_transmissions(0.0) == 1.0
+        assert expected_retransmissions(0.0, 100) == 0.0
+
+    def test_half_loss_doubles_transmissions(self):
+        assert expected_transmissions(0.5) == 2.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            expected_transmissions(1.0)
+        with pytest.raises(ValueError):
+            expected_transmissions(-0.1)
+
+
+class TestMeasuredSweep:
+    def test_cost_grows_with_fault_rate(self):
+        points = fault_rate_sweep(
+            rates=(0.0, 0.05, 0.15), message_words=128, replications=4
+        )
+        totals = [p.total.mean for p in points]
+        assert totals == sorted(totals)
+        assert points[0].retransmissions.mean == 0.0
+        assert points[-1].retransmissions.mean > 0.0
+
+    def test_fault_free_point_is_deterministic_and_calibrated(self):
+        from repro.am.costs import CmamCosts
+        from repro.analysis.formulas import CostFormulas
+
+        points = fault_rate_sweep(rates=(0.0,), message_words=64,
+                                  replications=3)
+        point = points[0]
+        assert point.total.half_width == 0.0
+        expected = CostFormulas(CmamCosts(4)).indefinite_sequence(
+            64, ooo_count=0
+        ).total
+        assert point.total.mean == expected
+
+    def test_retransmissions_near_first_order_bound(self):
+        """Measured retransmissions sit at or above the data-path-only
+        analytic expectation (ack losses add more), same order of
+        magnitude."""
+        eps = 0.1
+        packets = 64
+        points = fault_rate_sweep(rates=(eps,), message_words=packets * 4,
+                                  replications=6)
+        bound = expected_retransmissions(eps, packets)
+        measured = points[0].retransmissions.mean
+        assert measured >= bound * 0.5
+        assert measured <= bound * 4.0
+
+    def test_every_replication_recovers_all_data(self):
+        # fault_rate_sweep raises if any replication fails to recover.
+        points = fault_rate_sweep(rates=(0.2,), message_words=64,
+                                  replications=3)
+        assert points[0].duplicates.mean >= 0.0

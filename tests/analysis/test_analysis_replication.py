@@ -1,0 +1,117 @@
+"""Tests for replication statistics and the amortization study."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.amortization import (
+    amortization_curve,
+    asymptotic_per_word,
+    finite_vs_stream_crossover,
+    per_word_table,
+)
+from repro.analysis.replication import (
+    MetricSummary,
+    replicate,
+    summarize,
+    t_critical_95,
+)
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize("x", [2.0, 4.0, 6.0])
+        assert summary.mean == pytest.approx(4.0)
+        assert summary.stdev == pytest.approx(2.0)
+        assert summary.half_width == pytest.approx(4.303 * 2.0 / 3**0.5)
+        assert summary.contains(4.0)
+        assert not summary.contains(100.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            summarize("x", [1.0])
+
+    def test_t_table(self):
+        assert t_critical_95(1) == 12.706
+        assert t_critical_95(100) == 1.96
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    def test_interval_contains_mean(self, samples):
+        summary = summarize("x", samples)
+        assert summary.contains(summary.mean)
+        assert summary.half_width >= 0
+
+
+class TestReplicate:
+    def test_deterministic_experiment_zero_width(self):
+        results = replicate(lambda seed: {"value": 7.0}, seeds=range(5))
+        assert results["value"].mean == 7.0
+        assert results["value"].half_width == 0.0
+
+    def test_stochastic_experiment(self):
+        def experiment(seed):
+            rng = random.Random(seed)
+            return {"ooo": rng.random()}
+
+        results = replicate(experiment, seeds=range(20))
+        assert 0.2 < results["ooo"].mean < 0.8
+        assert results["ooo"].half_width > 0
+
+    def test_real_stream_replication(self):
+        """Random-reorder streams: ooo fraction across seeds, with CI."""
+        from repro import quick_setup, run_indefinite_sequence
+        from repro.network.delivery import RandomReorder
+
+        def experiment(seed):
+            rng = random.Random(seed)
+            sim, src, dst, _net = quick_setup(
+                delivery_factory=lambda: RandomReorder(rng, hold_prob=0.5)
+            )
+            result = run_indefinite_sequence(sim, src, dst, 256)
+            return {
+                "ooo_fraction": result.detail["ooo_arrivals"] / 64,
+                "total": result.total,
+            }
+
+        results = replicate(experiment, seeds=range(8))
+        assert 0.0 < results["ooo_fraction"].mean < 1.0
+        assert results["total"].mean > 0
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = [0]
+
+        def experiment(seed):
+            calls[0] += 1
+            return {"a": 1.0} if calls[0] == 1 else {"b": 1.0}
+
+        with pytest.raises(ValueError):
+            replicate(experiment, seeds=range(2))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"x": 1.0}, seeds=[])
+
+
+class TestAmortization:
+    def test_crossover_at_16_words(self):
+        """The handshake pays for itself from 16 words on — which is why
+        the paper's 16-word row is the interesting one."""
+        assert finite_vs_stream_crossover() == 16
+
+    def test_asymptotes_ordered(self):
+        assert asymptotic_per_word("cr-indefinite-sequence") < (
+            asymptotic_per_word("cr-finite-sequence")
+        ) < asymptotic_per_word("finite-sequence") < (
+            asymptotic_per_word("indefinite-sequence")
+        )
+
+    def test_finite_per_word_monotone_decreasing(self):
+        table = per_word_table(amortization_curve())
+        curve = [v for _w, v in sorted(table["finite-sequence"].items())]
+        assert curve == sorted(curve, reverse=True)
+
+    def test_no_crossover_when_stream_padded_free(self):
+        assert finite_vs_stream_crossover(limit=8) is None

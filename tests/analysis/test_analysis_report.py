@@ -1,0 +1,81 @@
+"""Tests for ASCII table/figure rendering."""
+
+from repro import InOrderDelivery, quick_setup, run_finite_sequence
+from repro.analysis.breakdown import breakdown_from_result
+from repro.analysis.report import (
+    render_bar_chart,
+    render_class_table,
+    render_cost_table,
+    render_series,
+    render_table,
+)
+
+
+def breakdown():
+    sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+    return breakdown_from_result(run_finite_sequence(sim, src, dst, 16))
+
+
+class TestGenericTable:
+    def test_aligned_box(self):
+        text = render_table(["a", "bb"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+
+    def test_cells_present(self):
+        text = render_table(["h1", "h2"], [["x", "y"]])
+        assert "h1" in text and "x" in text and "y" in text
+
+
+class TestCostTable:
+    def test_contains_feature_rows_and_totals(self):
+        text = render_cost_table(breakdown())
+        for label in ("Base Cost", "Buffer Mgmt.", "In-order Del.", "Fault-toler."):
+            assert label in text
+        assert "397" in text
+        assert "Paper Total" in text
+
+    def test_without_paper_columns(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        from repro import run_finite_sequence as run
+
+        result = run(sim, src, dst, 16)
+        bd = breakdown_from_result(result, with_paper=False)
+        text = render_cost_table(bd)
+        assert "Paper" not in text
+
+
+class TestClassTable:
+    def test_reg_mem_dev_columns(self):
+        text = render_class_table(breakdown())
+        for header in ("src reg", "src mem", "src dev", "dst reg"):
+            assert header in text
+        assert "128" in text and "168" in text  # Table 3 totals
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = render_bar_chart(
+            [("group", {"big": 100.0, "small": 10.0})], width=20
+        )
+        lines = [l for l in text.splitlines() if "#" in l]
+        big_bar = next(l for l in lines if "big" in l)
+        small_bar = next(l for l in lines if "small" in l)
+        assert big_bar.count("#") > small_bar.count("#")
+
+    def test_zero_value_no_bar(self):
+        text = render_bar_chart([("g", {"none": 0.0})])
+        line = next(l for l in text.splitlines() if "none" in l)
+        assert "#" not in line
+
+
+class TestSeries:
+    def test_xy_table(self):
+        text = render_series(
+            "title", "n",
+            {"a": [(4, 0.5), (8, 0.25)], "b": [(4, 0.1)]},
+        )
+        assert "title" in text
+        assert "50.0%" in text and "25.0%" in text
+        assert "-" in text  # missing b at x=8

@@ -1,0 +1,74 @@
+"""Unit tests for feature attribution."""
+
+import pytest
+
+from repro.arch.attribution import (
+    AttributionStack,
+    Feature,
+    FEATURE_ORDER,
+    OVERHEAD_FEATURES,
+    attribution,
+)
+
+
+class TestAttributionStack:
+    def test_default_is_base(self):
+        assert AttributionStack().current is Feature.BASE
+
+    def test_push_pop(self):
+        stack = AttributionStack()
+        stack.push(Feature.IN_ORDER)
+        assert stack.current is Feature.IN_ORDER
+        assert stack.pop() is Feature.IN_ORDER
+        assert stack.current is Feature.BASE
+
+    def test_nesting(self):
+        stack = AttributionStack()
+        stack.push(Feature.IN_ORDER)
+        stack.push(Feature.FAULT_TOLERANCE)
+        assert stack.current is Feature.FAULT_TOLERANCE
+        stack.pop()
+        assert stack.current is Feature.IN_ORDER
+
+    def test_cannot_pop_default(self):
+        with pytest.raises(RuntimeError):
+            AttributionStack().pop()
+
+    def test_push_requires_feature(self):
+        with pytest.raises(TypeError):
+            AttributionStack().push("base")
+
+
+class TestAttributionContext:
+    def test_context_manager(self):
+        stack = AttributionStack()
+        with attribution(stack, Feature.BUFFER_MGMT):
+            assert stack.current is Feature.BUFFER_MGMT
+        assert stack.current is Feature.BASE
+
+    def test_exception_safety(self):
+        stack = AttributionStack()
+        with pytest.raises(ValueError):
+            with attribution(stack, Feature.BUFFER_MGMT):
+                raise ValueError("boom")
+        assert stack.current is Feature.BASE
+        assert stack.depth == 1
+
+    def test_reentrant_same_feature(self):
+        stack = AttributionStack()
+        with attribution(stack, Feature.IN_ORDER):
+            with attribution(stack, Feature.IN_ORDER):
+                assert stack.current is Feature.IN_ORDER
+            assert stack.current is Feature.IN_ORDER
+
+
+def test_feature_order_excludes_user():
+    assert Feature.USER not in FEATURE_ORDER
+    assert len(FEATURE_ORDER) == 4
+
+
+def test_overhead_features_exclude_base():
+    assert Feature.BASE not in OVERHEAD_FEATURES
+    assert set(OVERHEAD_FEATURES) == {
+        Feature.BUFFER_MGMT, Feature.IN_ORDER, Feature.FAULT_TOLERANCE
+    }

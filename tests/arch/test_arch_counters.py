@@ -1,0 +1,127 @@
+"""Unit tests for cost matrices."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.attribution import Feature
+from repro.arch.counters import CostMatrix
+from repro.arch.isa import InstrClass, ZERO_MIX, mix
+
+
+class TestCostMatrix:
+    def test_empty(self):
+        matrix = CostMatrix()
+        assert matrix.total == 0
+        assert matrix.get(Feature.BASE) == ZERO_MIX
+
+    def test_add_accumulates(self):
+        matrix = CostMatrix()
+        matrix.add(Feature.BASE, mix(reg=5))
+        matrix.add(Feature.BASE, mix(reg=3, dev=1))
+        assert matrix.get(Feature.BASE) == mix(reg=8, dev=1)
+
+    def test_add_one(self):
+        matrix = CostMatrix()
+        matrix.add_one(Feature.IN_ORDER, InstrClass.MEM, 4)
+        assert matrix.get(Feature.IN_ORDER) == mix(mem=4)
+
+    def test_add_rejects_non_mix(self):
+        with pytest.raises(TypeError):
+            CostMatrix().add(Feature.BASE, 5)
+
+    def test_total_mix(self):
+        matrix = CostMatrix()
+        matrix.add(Feature.BASE, mix(reg=5))
+        matrix.add(Feature.IN_ORDER, mix(mem=2))
+        assert matrix.total_mix == mix(reg=5, mem=2)
+        assert matrix.total == 7
+
+    def test_overhead_excludes_base_and_user(self):
+        matrix = CostMatrix()
+        matrix.add(Feature.BASE, mix(reg=100))
+        matrix.add(Feature.USER, mix(reg=50))
+        matrix.add(Feature.IN_ORDER, mix(reg=20))
+        matrix.add(Feature.FAULT_TOLERANCE, mix(reg=30))
+        assert matrix.overhead_total == 50
+
+    def test_overhead_fraction_excludes_user_from_denominator(self):
+        matrix = CostMatrix()
+        matrix.add(Feature.BASE, mix(reg=50))
+        matrix.add(Feature.IN_ORDER, mix(reg=50))
+        matrix.add(Feature.USER, mix(reg=1000))
+        assert matrix.overhead_fraction() == pytest.approx(0.5)
+
+    def test_overhead_fraction_empty(self):
+        assert CostMatrix().overhead_fraction() == 0.0
+
+    def test_merge(self):
+        a = CostMatrix()
+        a.add(Feature.BASE, mix(reg=1))
+        b = CostMatrix()
+        b.add(Feature.BASE, mix(mem=2))
+        b.add(Feature.IN_ORDER, mix(dev=3))
+        a.merge(b)
+        assert a.get(Feature.BASE) == mix(reg=1, mem=2)
+        assert a.get(Feature.IN_ORDER) == mix(dev=3)
+
+    def test_addition_operator(self):
+        a = CostMatrix({Feature.BASE: mix(reg=1)})
+        b = CostMatrix({Feature.BASE: mix(reg=2)})
+        combined = a + b
+        assert combined.get(Feature.BASE) == mix(reg=3)
+        # operands unchanged
+        assert a.get(Feature.BASE) == mix(reg=1)
+
+    def test_snapshot_diff(self):
+        matrix = CostMatrix()
+        matrix.add(Feature.BASE, mix(reg=5))
+        snap = matrix.snapshot()
+        matrix.add(Feature.BASE, mix(reg=2))
+        matrix.add(Feature.IN_ORDER, mix(mem=1))
+        delta = matrix.diff(snap)
+        assert delta.get(Feature.BASE) == mix(reg=2)
+        assert delta.get(Feature.IN_ORDER) == mix(mem=1)
+
+    def test_diff_drops_zero_deltas(self):
+        matrix = CostMatrix()
+        matrix.add(Feature.BASE, mix(reg=5))
+        delta = matrix.diff(matrix.snapshot())
+        assert list(delta.features()) == []
+
+    def test_equality(self):
+        a = CostMatrix({Feature.BASE: mix(reg=1)})
+        b = CostMatrix({Feature.BASE: mix(reg=1)})
+        assert a == b
+        b.add(Feature.BASE, mix(reg=1))
+        assert a != b
+
+    def test_equality_treats_missing_as_zero(self):
+        a = CostMatrix()
+        b = CostMatrix({Feature.BASE: mix()})
+        assert a == b
+
+    def test_reset(self):
+        matrix = CostMatrix({Feature.BASE: mix(reg=1)})
+        matrix.reset()
+        assert matrix.total == 0
+
+
+@given(
+    charges=st.lists(
+        st.tuples(
+            st.sampled_from(list(Feature)),
+            st.integers(0, 50),
+            st.integers(0, 50),
+            st.integers(0, 50),
+        ),
+        max_size=30,
+    )
+)
+def test_matrix_total_equals_sum_of_charges(charges):
+    matrix = CostMatrix()
+    expected = 0
+    for feature, r, m, d in charges:
+        matrix.add(feature, mix(r, m, d))
+        expected += r + m + d
+    assert matrix.total == expected
+    assert matrix.overhead_total <= matrix.total

@@ -1,0 +1,80 @@
+"""Unit tests for the instruction taxonomy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.isa import InstrClass, InstructionMix, ZERO_MIX, mix
+
+
+class TestInstructionMix:
+    def test_default_is_zero(self):
+        assert InstructionMix() == ZERO_MIX
+        assert not InstructionMix()
+
+    def test_total(self):
+        assert mix(reg=3, mem=2, dev=5).total == 10
+
+    def test_addition(self):
+        assert mix(1, 2, 3) + mix(4, 5, 6) == mix(5, 7, 9)
+
+    def test_subtraction(self):
+        assert mix(5, 7, 9) - mix(4, 5, 6) == mix(1, 2, 3)
+
+    def test_scalar_multiplication(self):
+        assert mix(1, 2, 3) * 4 == mix(4, 8, 12)
+        assert 4 * mix(1, 2, 3) == mix(4, 8, 12)
+
+    def test_multiplication_by_zero(self):
+        assert mix(1, 2, 3) * 0 == ZERO_MIX
+
+    def test_negation(self):
+        assert -mix(1, 2, 3) == mix(-1, -2, -3)
+
+    def test_truthiness(self):
+        assert mix(reg=1)
+        assert mix(dev=1)
+        assert not mix()
+
+    def test_count_per_class(self):
+        m = mix(reg=7, mem=8, dev=9)
+        assert m.count(InstrClass.REG) == 7
+        assert m.count(InstrClass.MEM) == 8
+        assert m.count(InstrClass.DEV) == 9
+
+    def test_of_single_class(self):
+        assert InstructionMix.of(InstrClass.DEV, 5) == mix(dev=5)
+
+    def test_as_dict(self):
+        assert mix(1, 2, 3).as_dict() == {"reg": 1, "mem": 2, "dev": 3}
+
+    def test_iter_order(self):
+        assert list(mix(1, 2, 3)) == [1, 2, 3]
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            InstructionMix(reg=1.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            mix(1, 2, 3).reg = 5
+
+    def test_add_non_mix_not_supported(self):
+        with pytest.raises(TypeError):
+            mix(1) + 3
+
+    def test_str(self):
+        assert str(mix(1, 2, 3)) == "(reg=1, mem=2, dev=3)"
+
+
+@given(
+    a=st.tuples(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000)),
+    b=st.tuples(st.integers(0, 1000), st.integers(0, 1000), st.integers(0, 1000)),
+    k=st.integers(0, 100),
+)
+def test_mix_vector_space_properties(a, b, k):
+    """Addition commutes, total is linear, scalar mult distributes."""
+    ma, mb = mix(*a), mix(*b)
+    assert ma + mb == mb + ma
+    assert (ma + mb).total == ma.total + mb.total
+    assert (ma + mb) * k == ma * k + mb * k
+    assert (ma * k).total == ma.total * k

@@ -1,0 +1,101 @@
+"""Unit tests for the abstract processor."""
+
+import pytest
+
+from repro.arch.attribution import Feature
+from repro.arch.isa import mix
+from repro.arch.machine import AbstractProcessor
+
+
+@pytest.fixture
+def proc():
+    return AbstractProcessor("test")
+
+
+class TestCharging:
+    def test_default_attribution_is_base(self, proc):
+        proc.reg_ops(3)
+        assert proc.costs.get(Feature.BASE) == mix(reg=3)
+
+    def test_fine_grained_classes(self, proc):
+        proc.reg_ops(1)
+        proc.loads(2)
+        proc.stores(3)
+        proc.dev_loads(4)
+        proc.dev_stores(5)
+        assert proc.costs.total_mix == mix(reg=1, mem=5, dev=9)
+
+    def test_bulk_charge(self, proc):
+        proc.charge(mix(reg=10, mem=2, dev=1))
+        assert proc.costs.get(Feature.BASE) == mix(reg=10, mem=2, dev=1)
+
+    def test_zero_charge_is_noop(self, proc):
+        proc.charge(mix())
+        proc.reg_ops(0)
+        assert proc.costs.total == 0
+        assert list(proc.costs.features()) == []
+
+    def test_negative_count_rejected(self, proc):
+        with pytest.raises(ValueError):
+            proc.reg_ops(-1)
+
+    def test_explicit_feature_override(self, proc):
+        proc.charge(mix(reg=1), feature=Feature.FAULT_TOLERANCE)
+        assert proc.costs.get(Feature.FAULT_TOLERANCE) == mix(reg=1)
+        assert proc.costs.get(Feature.BASE) == mix()
+
+
+class TestAttributionIntegration:
+    def test_attribute_context(self, proc):
+        with proc.attribute(Feature.IN_ORDER):
+            proc.reg_ops(5)
+        proc.reg_ops(1)
+        assert proc.costs.get(Feature.IN_ORDER) == mix(reg=5)
+        assert proc.costs.get(Feature.BASE) == mix(reg=1)
+
+    def test_nested_attribution_innermost_wins(self, proc):
+        with proc.attribute(Feature.IN_ORDER):
+            with proc.attribute(Feature.FAULT_TOLERANCE):
+                proc.mem_ops(2)
+            proc.mem_ops(1)
+        assert proc.costs.get(Feature.FAULT_TOLERANCE) == mix(mem=2)
+        assert proc.costs.get(Feature.IN_ORDER) == mix(mem=1)
+
+    def test_current_feature(self, proc):
+        assert proc.current_feature is Feature.BASE
+        with proc.attribute(Feature.USER):
+            assert proc.current_feature is Feature.USER
+
+
+class TestFreeze:
+    def test_frozen_processor_rejects_charges(self, proc):
+        proc.freeze()
+        with pytest.raises(RuntimeError):
+            proc.reg_ops(1)
+
+    def test_thaw(self, proc):
+        proc.freeze()
+        proc.thaw()
+        proc.reg_ops(1)
+        assert proc.costs.total == 1
+
+    def test_frozen_allows_zero_charge(self, proc):
+        proc.freeze()
+        proc.charge(mix())  # nothing charged, nothing raised
+
+
+class TestMeasurement:
+    def test_snapshot_delta(self, proc):
+        proc.reg_ops(10)
+        snap = proc.snapshot()
+        with proc.attribute(Feature.IN_ORDER):
+            proc.reg_ops(5)
+        delta = proc.delta(snap)
+        assert delta.total == 5
+        assert delta.get(Feature.IN_ORDER) == mix(reg=5)
+        assert delta.get(Feature.BASE) == mix()
+
+    def test_reset(self, proc):
+        proc.reg_ops(10)
+        proc.reset()
+        assert proc.costs.total == 0

@@ -1,0 +1,205 @@
+"""Tests for the collective operations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives import Cluster, barrier, broadcast, gather, reduce_sum
+from repro.collectives.broadcast import _children
+from repro.collectives.reduce import _expected_children, _parent
+from repro.network.cm5 import CM5Network
+from repro.network.cr import CRNetwork
+from repro.sim.engine import Simulator
+
+
+def make_cluster(n, network="cm5"):
+    sim = Simulator()
+    net = CM5Network(sim) if network == "cm5" else CRNetwork(sim)
+    return Cluster(sim, net, n)
+
+
+class TestTreeStructure:
+    def test_children_of_root(self):
+        assert _children(0, 8) == [4, 2, 1]
+        assert _children(0, 5) == [4, 2, 1]
+
+    def test_children_parent_inverse(self):
+        n = 16
+        for rel in range(n):
+            for child in _children(rel, n):
+                assert _parent(child) == rel
+
+    def test_every_nonroot_has_exactly_one_parent(self):
+        n = 13
+        seen = {}
+        for rel in range(n):
+            for child in _children(rel, n):
+                assert child not in seen
+                seen[child] = rel
+        assert sorted(seen) == list(range(1, n))
+
+    def test_expected_children_consistent(self):
+        n = 11
+        for rel in range(n):
+            assert _expected_children(rel, n) == len(_children(rel, n))
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 16, 17])
+    def test_barrier_completes(self, n, network):
+        cluster = make_cluster(n, network)
+        handle = barrier(cluster)
+        cluster.run()
+        assert handle.completed
+        assert handle.completed_ranks == n
+
+    def test_two_sequential_barriers(self):
+        cluster = make_cluster(8)
+        first = barrier(cluster)
+        cluster.run()
+        assert first.completed
+        second = barrier(cluster)
+        cluster.run()
+        assert second.completed
+
+    def test_barrier_cost_scales_n_log_n(self):
+        costs = {}
+        for n in (4, 16):
+            cluster = make_cluster(n)
+            barrier(cluster)
+            cluster.run()
+            costs[n] = cluster.total_cost()
+        # messages: n*log2(n); 16*4 = 64 vs 4*2 = 8 -> 8x cost.
+        assert costs[16] == pytest.approx(costs[4] * 8, rel=0.2)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n,root", [(2, 0), (5, 3), (8, 0), (13, 7)])
+    def test_everyone_gets_the_block(self, n, root, network):
+        cluster = make_cluster(n, network)
+        data = list(range(100, 132))
+        handle = broadcast(cluster, root=root, data=data)
+        cluster.run()
+        assert handle.completed
+        assert all(handle.data_at(rank) == data for rank in range(n))
+
+    def test_cost_is_n_minus_1_transfers(self):
+        from repro.am.costs import CmamCosts
+        from repro.analysis.formulas import CostFormulas
+
+        n, words = 8, 64
+        cluster = make_cluster(n)
+        broadcast(cluster, root=0, data=list(range(words)))
+        cluster.run()
+        per_transfer = CostFormulas(CmamCosts(4)).finite_sequence(words).total
+        assert cluster.total_cost() == per_transfer * (n - 1)
+
+    def test_cr_broadcast_cheaper(self):
+        totals = {}
+        for network in ("cm5", "cr"):
+            cluster = make_cluster(8, network)
+            broadcast(cluster, root=0, data=list(range(64)))
+            cluster.run()
+            totals[network] = cluster.total_cost()
+        assert totals["cr"] < totals["cm5"]
+
+    def test_validation(self):
+        cluster = make_cluster(4)
+        with pytest.raises(ValueError):
+            broadcast(cluster, root=9, data=[1])
+        with pytest.raises(ValueError):
+            broadcast(cluster, root=0, data=[])
+
+
+class TestReduce:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n,root", [(2, 0), (4, 1), (7, 0), (16, 5)])
+    def test_sum_lands_at_root(self, n, root, network):
+        cluster = make_cluster(n, network)
+        contributions = [[(rank + 1) * 3, rank] for rank in range(n)]
+        handle = reduce_sum(cluster, root=root, contributions=contributions)
+        cluster.run()
+        assert handle.completed
+        assert handle.result == [
+            sum((r + 1) * 3 for r in range(n)),
+            sum(range(n)),
+        ]
+        assert handle.contributions_combined == n - 1
+
+    def test_modular_arithmetic(self):
+        cluster = make_cluster(2)
+        handle = reduce_sum(
+            cluster, root=0, contributions=[[0xFFFFFFFF], [2]]
+        )
+        cluster.run()
+        assert handle.result == [1]  # wraps modulo 2^32
+
+    def test_validation(self):
+        cluster = make_cluster(4)
+        with pytest.raises(ValueError):
+            reduce_sum(cluster, root=0, contributions=[[1]] * 3)
+        with pytest.raises(ValueError):
+            reduce_sum(cluster, root=0, contributions=[[1], [1], [1, 2], [1]])
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(2, 12),
+        width=st.integers(1, 16),
+        seed=st.integers(0, 10_000),
+    )
+    def test_reduce_property(self, n, width, seed):
+        import random
+
+        rng = random.Random(seed)
+        contributions = [
+            [rng.randrange(1 << 16) for _ in range(width)] for _ in range(n)
+        ]
+        cluster = make_cluster(n)
+        handle = reduce_sum(cluster, root=rng.randrange(n),
+                            contributions=contributions)
+        cluster.run()
+        assert handle.completed
+        expected = [
+            sum(c[i] for c in contributions) & 0xFFFFFFFF for i in range(width)
+        ]
+        assert handle.result == expected
+
+
+class TestGather:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n,root", [(2, 0), (5, 2), (9, 0)])
+    def test_gather_assembles_in_rank_order(self, n, root, network):
+        cluster = make_cluster(n, network)
+        blocks = [[rank * 100 + i for i in range(4)] for rank in range(n)]
+        handle = gather(cluster, root=root, blocks=blocks)
+        cluster.run()
+        assert handle.completed
+        assert handle.assembled() == [w for b in blocks for w in b]
+
+    def test_concurrent_inbound_transfers_kept_apart(self):
+        """All N-1 senders transmit simultaneously; the root's segment /
+        cursor tables must demultiplex them correctly."""
+        n = 8
+        cluster = make_cluster(n, "cr")
+        blocks = [[rank] * 16 for rank in range(n)]
+        handle = gather(cluster, root=0, blocks=blocks)
+        cluster.run()
+        for rank in range(n):
+            assert handle.results[rank] == [rank] * 16
+
+    def test_assembled_before_completion_raises(self):
+        cluster = make_cluster(4)
+        handle = gather(cluster, root=0,
+                        blocks=[[1], [2], [3], [4]])
+        with pytest.raises(RuntimeError):
+            handle.assembled()
+        cluster.run()
+        assert handle.assembled() == [1, 2, 3, 4]
+
+    def test_validation(self):
+        cluster = make_cluster(3)
+        with pytest.raises(ValueError):
+            gather(cluster, root=0, blocks=[[1], [2]])
+        with pytest.raises(ValueError):
+            gather(cluster, root=0, blocks=[[1], [], [3]])

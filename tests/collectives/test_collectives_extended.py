@@ -1,0 +1,105 @@
+"""Tests for scatter, all-to-all, and all-reduce."""
+
+import pytest
+
+from repro.collectives import Cluster, allreduce_sum, alltoall, scatter
+from repro.network.cm5 import CM5Network
+from repro.network.cr import CRNetwork
+from repro.sim.engine import Simulator
+
+
+def make_cluster(n, network="cm5"):
+    sim = Simulator()
+    net = CM5Network(sim) if network == "cm5" else CRNetwork(sim)
+    return Cluster(sim, net, n)
+
+
+class TestScatter:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n,root", [(2, 0), (6, 2), (9, 8)])
+    def test_each_rank_gets_its_block(self, n, root, network):
+        cluster = make_cluster(n, network)
+        blocks = [[rank * 10 + i for i in range(5)] for rank in range(n)]
+        handle = scatter(cluster, root=root, blocks=blocks)
+        cluster.run()
+        assert handle.completed
+        for rank in range(n):
+            assert handle.received[rank] == blocks[rank]
+
+    def test_validation(self):
+        cluster = make_cluster(3)
+        with pytest.raises(ValueError):
+            scatter(cluster, root=0, blocks=[[1], [2]])
+        with pytest.raises(ValueError):
+            scatter(cluster, root=5, blocks=[[1], [2], [3]])
+        with pytest.raises(ValueError):
+            scatter(cluster, root=0, blocks=[[1], [], [3]])
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_full_exchange(self, n, network):
+        cluster = make_cluster(n, network)
+        blocks = [
+            [[src * 100 + dst, src, dst, 0] for dst in range(n)]
+            for src in range(n)
+        ]
+        handle = alltoall(cluster, blocks)
+        cluster.run()
+        assert handle.completed
+        for dst in range(n):
+            for src in range(n):
+                assert handle.received[dst][src] == blocks[src][dst]
+
+    def test_each_source_chain_is_serialized(self):
+        """Every source issues its transfers one at a time: the total
+        instruction bill equals n*(n-1) single transfers exactly."""
+        from repro.am.costs import CmamCosts
+        from repro.analysis.formulas import CostFormulas
+
+        n = 4
+        cluster = make_cluster(n)
+        blocks = [[[1, 2, 3, 4] for _dst in range(n)] for _src in range(n)]
+        alltoall(cluster, blocks)
+        cluster.run()
+        per = CostFormulas(CmamCosts(4)).finite_sequence(4).total
+        assert cluster.total_cost() == per * n * (n - 1)
+
+    def test_validation(self):
+        cluster = make_cluster(3)
+        with pytest.raises(ValueError):
+            alltoall(cluster, [[[1]] * 2] * 3)
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("network", ["cm5", "cr"])
+    @pytest.mark.parametrize("n", [2, 7, 8])
+    def test_everyone_gets_the_sum(self, n, network):
+        cluster = make_cluster(n, network)
+        contributions = [[rank + 1, rank * rank] for rank in range(n)]
+        handle = allreduce_sum(cluster, contributions)
+        cluster.run()
+        assert handle.completed
+        expected = [
+            sum(r + 1 for r in range(n)),
+            sum(r * r for r in range(n)),
+        ]
+        for rank in range(n):
+            assert handle.result_at(rank) == expected
+
+    def test_phases_sequence_correctly(self):
+        """The broadcast must not begin before the reduction completes."""
+        cluster = make_cluster(6)
+        handle = allreduce_sum(cluster, [[1]] * 6)
+        assert handle.broadcast_handle is None  # nothing ran yet
+        cluster.run()
+        assert handle.reduce_handle.completed
+        assert handle.broadcast_handle.completed
+
+    def test_incomplete_result_is_none(self):
+        cluster = make_cluster(4)
+        handle = allreduce_sum(cluster, [[1]] * 4)
+        assert handle.result_at(0) is None
+        cluster.run()
+        assert handle.result_at(0) == [4]

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CmamCosts,
+    CM5Network,
+    CM5NetworkConfig,
+    CRNetwork,
+    CRNetworkConfig,
+    InOrderDelivery,
+    Simulator,
+    make_node_pair,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def costs():
+    return CmamCosts(n=4)
+
+
+@pytest.fixture
+def cm5_pair(sim):
+    """Quiet two-node pair on the CM-5 model with the paper's half-out-of-
+    order data channels."""
+    network = CM5Network(sim, CM5NetworkConfig())
+    src, dst = make_node_pair(sim, network)
+    return sim, src, dst, network
+
+
+@pytest.fixture
+def cm5_inorder_pair(sim):
+    """Quiet two-node pair on the CM-5 model with order-preserving channels."""
+    network = CM5Network(sim, CM5NetworkConfig(), delivery_factory=InOrderDelivery)
+    src, dst = make_node_pair(sim, network)
+    return sim, src, dst, network
+
+
+@pytest.fixture
+def cr_pair(sim):
+    """Quiet two-node pair on the Compressionless Routing model."""
+    network = CRNetwork(sim, CRNetworkConfig())
+    src, dst = make_node_pair(sim, network)
+    return sim, src, dst, network

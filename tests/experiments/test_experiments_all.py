@@ -1,0 +1,52 @@
+"""Tests for the experiment harness: every artifact regenerates and its
+fidelity checks pass."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_passes_fidelity_checks(experiment_id):
+    output = get_experiment(experiment_id)()
+    assert output.experiment_id == experiment_id
+    assert output.rendered  # produced something
+    failing = [name for name, ok in output.checks.items() if not ok]
+    assert not failing, f"failing checks: {failing}"
+
+
+def test_registry_covers_every_paper_artifact():
+    assert {"table1", "table2", "table3", "figure6", "figure8"} <= set(EXPERIMENTS)
+
+
+def test_unknown_experiment():
+    with pytest.raises(KeyError):
+        get_experiment("table99")
+
+
+def test_render_contains_title_and_checks():
+    output = get_experiment("table1")()
+    text = output.render()
+    assert "table1" in text
+    assert "[PASS]" in text
+
+
+class TestRunnerCli:
+    def test_quiet_all(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert "[PASS] table1" in captured.out
+
+    def test_full_output(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Source" in captured.out
+
+    def test_specific_tables_data(self):
+        output = get_experiment("table2")()
+        assert output.data["finite-sequence-16"] == (173, 224, 397)
+        assert output.data["indefinite-sequence-1024"] == (13824, 16141, 29965)

@@ -1,0 +1,104 @@
+"""Tests for experiment persistence and regression diffing."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentOutput
+from repro.experiments.store import diff_runs, load_run, save_outputs
+
+
+def make_output(experiment_id="exp1", data=None, checks=None):
+    return ExperimentOutput(
+        experiment_id=experiment_id,
+        title="A test experiment",
+        rendered="(table)",
+        data=data if data is not None else {"total": 397, "nested": {"a": 1}},
+        checks=checks if checks is not None else {"matches paper": True},
+    )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        paths = save_outputs([make_output()], str(tmp_path))
+        assert len(paths) == 1
+        run = load_run(str(tmp_path))
+        assert run["exp1"]["data"]["total"] == 397
+        assert run["exp1"]["checks"]["matches paper"] is True
+        assert run["exp1"]["pass"] is True
+
+    def test_files_are_valid_json(self, tmp_path):
+        save_outputs([make_output("a"), make_output("b")], str(tmp_path))
+        for name in os.listdir(tmp_path):
+            with open(tmp_path / name) as handle:
+                json.load(handle)
+
+    def test_missing_directory(self):
+        with pytest.raises(FileNotFoundError):
+            load_run("/nonexistent/run/dir")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_run(str(tmp_path))
+
+
+class TestDiff:
+    def _run(self, tmp_path, name, outputs):
+        directory = str(tmp_path / name)
+        save_outputs(outputs, directory)
+        return load_run(directory)
+
+    def test_identical_runs(self, tmp_path):
+        a = self._run(tmp_path, "a", [make_output()])
+        b = self._run(tmp_path, "b", [make_output()])
+        diff = diff_runs(a, b)
+        assert not diff.is_regression
+        assert diff.render() == "runs identical"
+
+    def test_data_drift_detected(self, tmp_path):
+        a = self._run(tmp_path, "a", [make_output(data={"total": 397})])
+        b = self._run(tmp_path, "b", [make_output(data={"total": 398})])
+        diff = diff_runs(a, b)
+        assert diff.is_regression
+        assert any("397" in change and "398" in change for change in diff.data_changes)
+
+    def test_newly_failing_check_detected(self, tmp_path):
+        a = self._run(tmp_path, "a", [make_output(checks={"c": True})])
+        b = self._run(tmp_path, "b", [make_output(checks={"c": False})])
+        diff = diff_runs(a, b)
+        assert diff.is_regression
+        assert diff.newly_failing_checks == ["exp1: c"]
+
+    def test_missing_experiment_is_regression(self, tmp_path):
+        a = self._run(tmp_path, "a", [make_output("x"), make_output("y")])
+        b = self._run(tmp_path, "b", [make_output("x")])
+        diff = diff_runs(a, b)
+        assert diff.missing_experiments == ["y"]
+        assert diff.is_regression
+
+    def test_new_experiment_is_not_regression(self, tmp_path):
+        a = self._run(tmp_path, "a", [make_output("x")])
+        b = self._run(tmp_path, "b", [make_output("x"), make_output("z")])
+        diff = diff_runs(a, b)
+        assert diff.new_experiments == ["z"]
+        assert not diff.is_regression
+
+    def test_nested_data_flattening(self, tmp_path):
+        a = self._run(tmp_path, "a", [make_output(data={"n": {"deep": [1, 2]}})])
+        b = self._run(tmp_path, "b", [make_output(data={"n": {"deep": [1, 3]}})])
+        diff = diff_runs(a, b)
+        assert any("deep[1]" in change for change in diff.data_changes)
+
+
+class TestRunnerIntegration:
+    def test_save_and_diff_cli(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        baseline = str(tmp_path / "baseline")
+        assert main(["table1", "--quiet", "--save", baseline]) == 0
+        assert os.path.exists(os.path.join(baseline, "table1.json"))
+        # Re-running and diffing against the saved baseline: identical.
+        assert main(["table1", "--quiet", "--diff", baseline]) == 0
+        captured = capsys.readouterr()
+        assert "runs identical" in captured.out

@@ -1,0 +1,85 @@
+"""Integration: the full CMAM protocols running over the *detailed*
+router-level network, not the service-level model.
+
+The protocols never look at which network they ride — the same endpoints
+that reproduce the paper's numbers on the service-level model move real
+packets through fat-tree routers here, with adaptive routing producing the
+reordering the stream protocol must absorb.
+"""
+
+import random
+
+import pytest
+
+from repro.am.costs import CmamCosts
+from repro.network.fattree import FatTree
+from repro.network.router import DetailedNetwork
+from repro.network.routing import AdaptiveRouting, DeterministicRouting
+from repro.node import Node
+from repro.protocols.finite_sequence import run_finite_sequence
+from repro.protocols.indefinite_sequence import run_indefinite_sequence
+from repro.sim.engine import Simulator
+
+
+def make_pair(routing, src_id=0, dst_id=15, **net_kwargs):
+    sim = Simulator()
+    net = DetailedNetwork(
+        sim, FatTree(arity=4, height=2, parents=2), routing=routing, **net_kwargs
+    )
+    src = Node(src_id, sim, net)
+    dst = Node(dst_id, sim, net)
+    return sim, src, dst, net
+
+
+class TestFiniteOverDetailedNetwork:
+    def test_transfer_completes_with_deterministic_routing(self):
+        sim, src, dst, _net = make_pair(DeterministicRouting())
+        message = list(range(1, 65))
+        result = run_finite_sequence(sim, src, dst, 64, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+        # Costs equal the closed-form model: the protocol cannot tell the
+        # networks apart.
+        from repro.analysis.formulas import CostFormulas
+
+        assert result.total == CostFormulas(CmamCosts(n=4)).finite_sequence(64).total
+
+    def test_transfer_completes_with_adaptive_routing(self):
+        sim, src, dst, _net = make_pair(AdaptiveRouting(random.Random(2)))
+        message = list(range(1, 129))
+        result = run_finite_sequence(sim, src, dst, 128, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+
+
+class TestStreamOverDetailedNetwork:
+    def test_stream_in_order_despite_adaptive_network(self):
+        sim, src, dst, net = make_pair(AdaptiveRouting(random.Random(7)))
+        message = list(range(1, 257))
+        result = run_indefinite_sequence(sim, src, dst, 256, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+
+    def test_measured_ooo_drives_in_order_cost(self):
+        """On the detailed network the stream protocol's in-order cost is
+        whatever the network's emergent reordering makes it — cross-check
+        the charge against the network's own out-of-order measurement."""
+        costs = CmamCosts(n=4)
+        sim, src, dst, net = make_pair(
+            AdaptiveRouting(random.Random(13)), service_time=2.0
+        )
+        # Congest the upper tree with competing flows.
+        others = []
+        for flow in (1, 2, 3):
+            node = Node(flow, sim, net)
+            peer = Node(15 - flow, sim, net)
+            others.append((node, peer))
+        result = run_indefinite_sequence(sim, src, dst, 256, costs=costs)
+        assert result.completed
+        assert result.detail["ooo_arrivals"] >= 0
+        from repro.analysis.formulas import CostFormulas
+
+        predicted = CostFormulas(costs).indefinite_sequence(
+            256, ooo_count=result.detail["ooo_arrivals"]
+        )
+        assert result.dst_costs == predicted.dst

@@ -1,0 +1,132 @@
+"""Overflow and deadlock-safety scenarios (Section 2's service #3).
+
+Demonstrates the failure mode the paper's buffer management exists to
+prevent, and each protocol's answer to it:
+
+* raw active-message floods against a bounded NI overflow and lose data;
+* the finite-sequence protocol's preallocation handshake refuses what it
+  cannot absorb (NACK + backoff), losing nothing;
+* the credit-windowed stream bounds receiver memory by construction;
+* CR's header rejection lets an unwilling receiver stall one message
+  without deadlocking anything else.
+"""
+
+import pytest
+
+from repro import quick_setup
+from repro.am.cmam import cmam_4
+from repro.am.segments import SegmentTable
+from repro.network.cm5 import CM5Network
+from repro.network.delivery import InOrderDelivery
+from repro.node import Node
+from repro.protocols.finite_sequence import run_finite_sequence
+from repro.protocols.windowed import run_windowed_stream
+from repro.sim.engine import Simulator
+
+
+class TestUnsafeFlood:
+    def test_am_flood_overflows_bounded_ni(self):
+        """Section 6: the single-packet primitive 'is unsafe because no
+        flow control is performed'.  With nothing draining the NI, a burst
+        beyond its capacity is simply lost."""
+        sim = Simulator()
+        net = CM5Network(sim, delivery_factory=InOrderDelivery)
+        src = Node(0, sim, net)
+        dst = Node(1, sim, net, recv_capacity=8)
+        # No dispatcher on dst: the node is busy computing, not polling.
+        for i in range(32):
+            cmam_4(src, 1, "h", (i,))
+        sim.run()
+        assert dst.ni.recv_fifo.overflow_count == 24
+        assert dst.ni.recv_fifo.occupancy == 8
+
+    def test_flood_with_drain_survives(self):
+        """The same burst with an attentive receiver loses nothing — the
+        hazard is the *absence of flow control*, not the burst itself."""
+        from repro.am.cmam import AMDispatcher
+        from repro.am.handlers import CollectingHandler
+
+        sim = Simulator()
+        net = CM5Network(sim, delivery_factory=InOrderDelivery)
+        src = Node(0, sim, net)
+        dst = Node(1, sim, net, recv_capacity=8)
+        collector = CollectingHandler()
+        dst.register_handler("h", collector)
+        AMDispatcher(dst)
+        for i in range(32):
+            cmam_4(src, 1, "h", (i,))
+        sim.run()
+        assert collector.count == 32
+        assert dst.ni.recv_fifo.overflow_count == 0
+
+
+class TestPreallocationSafety:
+    def test_exhausted_destination_refuses_rather_than_drops(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        segments = SegmentTable(capacity_segments=1, capacity_words=64)
+        hog = segments.allocate(64, 16)
+        sim.schedule(1000.0, lambda: segments.free(hog.segment_id))
+        result = run_finite_sequence(sim, src, dst, 32, segments=segments)
+        assert result.completed
+        assert result.detail["request_retries"] >= 1
+        # Nothing was lost while the destination was full.
+        assert result.delivered_words == list(range(1, 33))
+
+    def test_word_capacity_also_enforced(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        segments = SegmentTable(capacity_segments=8, capacity_words=16)
+        with pytest.raises(RuntimeError):
+            # 32 words never fit in a 16-word segment budget: permanent NACK.
+            run_finite_sequence(sim, src, dst, 32, segments=segments)
+
+
+class TestWindowedSafety:
+    @pytest.mark.parametrize("window", [1, 3, 8])
+    def test_receiver_memory_bounded_by_window(self, window):
+        sim, src, dst, _net = quick_setup()
+        result = run_windowed_stream(
+            sim, src, dst, 128, window=window, consume_interval=25.0
+        )
+        assert result.completed
+        assert result.detail["buffer_peak"] <= window
+
+
+class TestCRDeadlockFreedom:
+    def test_stalled_receiver_does_not_block_the_network(self):
+        """The defining CR guarantee (Section 4): a node that has committed
+        all its resources rejects at the header; everyone else's traffic
+        keeps moving the whole time."""
+        from repro.network.cr import CRNetwork, CRNetworkConfig
+        from repro.am.cmam import AMDispatcher
+        from repro.protocols.cr_protocols import (
+            CRFiniteReceiver,
+            CRFiniteSender,
+        )
+
+        sim = Simulator()
+        net = CRNetwork(sim, CRNetworkConfig(latency=1.0, reject_backoff=40.0))
+        blocked = Node(1, sim, net)
+        src = Node(0, sim, net)
+        bystander_src = Node(2, sim, net)
+        bystander_dst = Node(3, sim, net)
+
+        ready = {"ok": False}
+        net.set_acceptor(1, lambda p: ready["ok"])
+        sim.schedule(500.0, lambda: ready.update(ok=True))
+
+        done = {}
+        CRFiniteReceiver(blocked, AMDispatcher(blocked),
+                         on_complete=lambda s, a, w: done.setdefault("blocked", sim.now))
+        CRFiniteReceiver(bystander_dst, AMDispatcher(bystander_dst),
+                         on_complete=lambda s, a, w: done.setdefault("bystander", sim.now))
+
+        src.memory.write_block(0, list(range(16)))
+        bystander_src.memory.write_block(0, list(range(16)))
+        CRFiniteSender(src, 1, 0, 16).start()
+        CRFiniteSender(bystander_src, 3, 0, 16).start()
+        sim.run()
+
+        assert "bystander" in done and "blocked" in done
+        # The bystander finished long before the stalled node unblocked.
+        assert done["bystander"] < 100.0
+        assert done["blocked"] >= 500.0

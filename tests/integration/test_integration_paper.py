@@ -1,0 +1,97 @@
+"""End-to-end integration: every headline number and claim of the paper,
+reproduced in one place."""
+
+import pytest
+
+from repro import (
+    GroupAck,
+    InOrderDelivery,
+    quick_cr_setup,
+    quick_setup,
+    run_cr_finite_sequence,
+    run_cr_indefinite_sequence,
+    run_finite_sequence,
+    run_indefinite_sequence,
+    run_single_packet,
+)
+from repro.analysis import published
+from repro.arch.costmodel import CM5_CYCLE_MODEL
+
+
+class TestAbstractNumbers:
+    def test_50_to_70_percent_overhead(self):
+        """Abstract: 'up to 50-70% of the software messaging costs are a
+        direct consequence of the gap between network features ... and
+        user communication requirements'."""
+        fractions = []
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        fractions.append(run_finite_sequence(sim, src, dst, 16).overhead_fraction)
+        sim, src, dst, _net = quick_setup()
+        fractions.append(run_indefinite_sequence(sim, src, dst, 16).overhead_fraction)
+        sim, src, dst, _net = quick_setup()
+        fractions.append(run_indefinite_sequence(sim, src, dst, 1024).overhead_fraction)
+        assert all(0.50 <= f <= 0.71 for f in fractions)
+
+    def test_large_finite_transfer_is_the_exception(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 1024)
+        assert result.overhead_fraction == pytest.approx(0.126, abs=0.01)
+
+    def test_conclusion_16_word_cost(self):
+        """Conclusion: 'the cost of delivering a 16-word message is between
+        285 and 481 instructions'.  Our reconstructed finite total is 397
+        (285 is not derivable from the published sub-tables); the
+        indefinite total matches 481 exactly."""
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        fin = run_finite_sequence(sim, src, dst, 16)
+        sim, src, dst, _net = quick_setup()
+        ind = run_indefinite_sequence(sim, src, dst, 16)
+        lo, hi = published.CLAIM_16W_RANGE
+        assert ind.total == hi
+        assert lo <= fin.total <= hi
+
+
+class TestSectionFourNumbers:
+    def test_single_packet_identical_on_both_networks_but_safe_on_cr(self):
+        sim, src, dst, _net = quick_setup()
+        cm5 = run_single_packet(sim, src, dst)
+        sim, src, dst, net = quick_cr_setup()
+        cr = run_single_packet(sim, src, dst)
+        assert cm5.total == cr.total == 47
+        assert net.provides_in_order and net.provides_reliability
+
+    def test_cr_removes_everything_but_data_movement(self):
+        sim, src, dst, _net = quick_cr_setup()
+        result = run_cr_indefinite_sequence(sim, src, dst, 1024)
+        assert result.overhead_total == 0
+
+    def test_cr_indefinite_cost_reduction_70_percent(self):
+        sim, src, dst, _net = quick_setup()
+        cmam = run_indefinite_sequence(sim, src, dst, 1024)
+        sim, src, dst, _net = quick_cr_setup()
+        cr = run_cr_indefinite_sequence(sim, src, dst, 1024)
+        assert 1 - cr.total / cmam.total == pytest.approx(0.709, abs=0.02)
+
+
+class TestAppendixCycleModel:
+    def test_cm5_cycle_estimate_for_16w_finite(self):
+        """Appendix A's example weighting applied to the measured matrix."""
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 16)
+        src_cycles = CM5_CYCLE_MODEL.matrix_cycles(result.src_costs)
+        dst_cycles = CM5_CYCLE_MODEL.matrix_cycles(result.dst_costs)
+        # (128,10,35) and (168,24,32) under reg=mem=1, dev=5.
+        assert src_cycles == 128 + 10 + 175
+        assert dst_cycles == 168 + 24 + 160
+
+
+class TestGroupAckClaim:
+    def test_overhead_with_group_acks(self):
+        """Section 3.2: '~40-50% even if group acknowledgements are
+        employed'.  Our reconstruction floors at ~53% (see EXPERIMENTS.md);
+        the qualitative claim — still significant — holds."""
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(
+            sim, src, dst, 1024, ack_policy=GroupAck(16)
+        )
+        assert 0.40 <= result.overhead_fraction <= 0.60

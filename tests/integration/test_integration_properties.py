@@ -1,0 +1,149 @@
+"""Property-based integration tests over the whole stack (hypothesis).
+
+These lock the DESIGN.md invariants: delivered == sent, user-level
+ordering, exact cost accounting under arbitrary parameters, and fault
+recovery under arbitrary fault patterns.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CmamCosts,
+    FaultInjector,
+    FaultPlan,
+    FractionReorder,
+    InOrderDelivery,
+    quick_cr_setup,
+    quick_setup,
+    run_cr_indefinite_sequence,
+    run_finite_sequence,
+    run_indefinite_sequence,
+)
+
+words_strategy = st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=120)
+
+
+class TestDeliveryIntegrity:
+    @settings(max_examples=30, deadline=None)
+    @given(message=words_strategy, n=st.sampled_from([4, 8]))
+    def test_finite_delivers_exact_bytes(self, message, n):
+        costs = CmamCosts(n=n)
+        sim, src, dst, _net = quick_setup(
+            packet_size=n, delivery_factory=InOrderDelivery
+        )
+        result = run_finite_sequence(
+            sim, src, dst, len(message), costs=costs, message=message
+        )
+        assert result.completed
+        assert result.delivered_words == message
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        message=words_strategy,
+        fraction=st.sampled_from([0.0, 0.25, 0.5, 0.75]),
+    )
+    def test_stream_delivers_in_transmission_order(self, message, fraction):
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=lambda: FractionReorder(fraction)
+        )
+        result = run_indefinite_sequence(
+            sim, src, dst, len(message), message=message
+        )
+        assert result.completed
+        assert result.delivered_words == message
+
+    @settings(max_examples=20, deadline=None)
+    @given(message=words_strategy)
+    def test_cr_stream_delivers(self, message):
+        sim, src, dst, _net = quick_cr_setup()
+        result = run_cr_indefinite_sequence(
+            sim, src, dst, len(message), message=message
+        )
+        assert result.completed
+        assert result.delivered_words == message
+
+
+class TestFaultRecoveryProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fault_indices=st.sets(st.integers(0, 15), max_size=6),
+        kind=st.sampled_from(["drop", "corrupt"]),
+    )
+    def test_stream_recovers_from_any_fault_pattern(self, fault_indices, kind):
+        """Whatever subset of the 16 data packets faults once, the reliable
+        stream still delivers everything, in order."""
+        plan = (
+            FaultPlan.drop_indices(0, 1, fault_indices)
+            if kind == "drop"
+            else FaultPlan.corrupt_indices(0, 1, fault_indices)
+        )
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=FaultInjector(plan)
+        )
+        message = list(range(1, 65))
+        result = run_indefinite_sequence(
+            sim, src, dst, 64, message=message, rto=100.0
+        )
+        assert result.completed
+        assert result.delivered_words == message
+        if fault_indices:
+            assert result.detail["retransmissions"] >= len(fault_indices)
+
+    @settings(max_examples=15, deadline=None)
+    @given(fault_indices=st.sets(st.integers(0, 15), max_size=5))
+    def test_finite_recovers_from_any_drop_pattern(self, fault_indices):
+        plan = FaultPlan.drop_indices(0, 1, fault_indices)
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=FaultInjector(plan)
+        )
+        message = list(range(1, 65))
+        result = run_finite_sequence(
+            sim, src, dst, 64, message=message, rto=300.0
+        )
+        assert result.completed
+        assert result.delivered_words == message
+
+    @settings(max_examples=15, deadline=None)
+    @given(fault_indices=st.sets(st.integers(0, 31), max_size=8))
+    def test_cr_absorbs_any_fault_pattern_at_zero_software_cost(self, fault_indices):
+        plan = FaultPlan.corrupt_indices(0, 1, fault_indices)
+        sim, src, dst, _net = quick_cr_setup(injector=FaultInjector(plan))
+        message = list(range(1, 129))
+        result = run_cr_indefinite_sequence(sim, src, dst, 128, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+        assert result.overhead_total == 0
+
+
+class TestCostMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        small=st.integers(1, 200),
+        delta=st.integers(1, 200),
+    )
+    def test_cost_monotone_in_message_size(self, small, delta):
+        from repro.analysis.formulas import CostFormulas
+
+        formulas = CostFormulas(CmamCosts(n=4))
+        fin_small = formulas.finite_sequence(small).total
+        fin_large = formulas.finite_sequence(small + delta).total
+        assert fin_large >= fin_small
+        ind_small = formulas.indefinite_sequence(small).total
+        ind_large = formulas.indefinite_sequence(small + delta).total
+        assert ind_large >= ind_small
+
+    @settings(max_examples=20, deadline=None)
+    @given(words=st.integers(1, 600), n=st.sampled_from([4, 8, 16, 32]))
+    def test_cr_never_costs_more_than_cmam(self, words, n):
+        from repro.analysis.formulas import CostFormulas
+
+        formulas = CostFormulas(CmamCosts(n=n))
+        assert (
+            formulas.cr_finite_sequence(words).total
+            <= formulas.finite_sequence(words).total
+        )
+        assert (
+            formulas.cr_indefinite_sequence(words).total
+            <= formulas.indefinite_sequence(words).total
+        )

@@ -1,0 +1,137 @@
+"""Unit tests for the service-level CM-5 network model."""
+
+import pytest
+
+from repro.network.cm5 import CM5Network, CM5NetworkConfig
+from repro.network.delivery import InOrderDelivery, PairSwapReorder
+from repro.network.faults import FaultInjector, FaultPlan
+from repro.network.packet import Packet, PacketType
+from repro.sim.engine import Simulator
+
+
+def data_packet(seq, src=0, dst=1, words=(1, 2)):
+    return Packet(src=src, dst=dst, ptype=PacketType.STREAM_DATA,
+                  payload=words, seq=seq)
+
+
+def ctrl_packet(src=0, dst=1):
+    return Packet(src=src, dst=dst, ptype=PacketType.STREAM_ACK, payload=(0,))
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestServiceFlags:
+    def test_cm5_provides_nothing(self, sim):
+        net = CM5Network(sim)
+        assert not net.provides_in_order
+        assert not net.provides_flow_control
+        assert not net.provides_reliability
+
+
+class TestDelivery:
+    def test_packets_arrive_after_latency(self, sim):
+        net = CM5Network(sim, CM5NetworkConfig(latency=7.0),
+                         delivery_factory=InOrderDelivery)
+        arrivals = []
+        net.attach(1, lambda p: arrivals.append((sim.now, p)))
+        net.inject(data_packet(0))
+        sim.run()
+        assert len(arrivals) == 1
+        assert arrivals[0][0] == 7.0
+
+    def test_pairswap_reorders_data_stream(self, sim):
+        net = CM5Network(sim)  # default PairSwapReorder
+        seqs = []
+        net.attach(1, lambda p: seqs.append(p.seq))
+        for i in range(6):
+            net.inject(data_packet(i))
+        sim.run()
+        assert seqs == [1, 0, 3, 2, 5, 4]
+
+    def test_control_packets_never_reordered(self, sim):
+        net = CM5Network(sim)
+        order = []
+        net.attach(1, lambda p: order.append(p.ptype))
+        net.inject(ctrl_packet())
+        net.inject(ctrl_packet())
+        sim.run()
+        assert len(order) == 2  # neither held by the reorder stage
+
+    def test_held_packet_flushes_after_timeout(self, sim):
+        net = CM5Network(sim, CM5NetworkConfig(latency=1.0, hold_timeout=50.0))
+        arrivals = []
+        net.attach(1, lambda p: arrivals.append((sim.now, p.seq)))
+        net.inject(data_packet(0))  # held by pair-swap, no partner coming
+        sim.run()
+        assert arrivals == [(51.0, 0)]
+        assert net.counters.get("flushed") == 1
+
+    def test_oversized_packet_rejected(self, sim):
+        net = CM5Network(sim, CM5NetworkConfig(packet_size=4))
+        net.attach(1, lambda p: None)
+        with pytest.raises(ValueError):
+            net.inject(data_packet(0, words=(1, 2, 3, 4, 5)))
+
+    def test_channels_are_independent(self, sim):
+        net = CM5Network(sim)
+        seqs_b, seqs_c = [], []
+        net.attach(1, lambda p: seqs_b.append(p.seq))
+        net.attach(2, lambda p: seqs_c.append(p.seq))
+        for i in range(4):
+            net.inject(data_packet(i, dst=1))
+            net.inject(data_packet(i, dst=2))
+        sim.run()
+        assert seqs_b == [1, 0, 3, 2]
+        assert seqs_c == [1, 0, 3, 2]
+
+    def test_undeliverable_counted(self, sim):
+        net = CM5Network(sim, delivery_factory=InOrderDelivery)
+        net.inject(data_packet(0, dst=9))
+        sim.run()
+        assert net.counters.get("undeliverable") == 1
+
+    def test_expected_ooo_exposed(self, sim):
+        net = CM5Network(sim)
+        assert net.expected_ooo(0, 1, 10) == 5
+        inorder = CM5Network(Simulator(), delivery_factory=InOrderDelivery)
+        assert inorder.expected_ooo(0, 1, 10) == 0
+
+
+class TestFaults:
+    def test_dropped_in_flight(self, sim):
+        net = CM5Network(
+            sim,
+            delivery_factory=InOrderDelivery,
+            injector=FaultInjector(FaultPlan.drop_indices(0, 1, [1])),
+        )
+        seqs = []
+        net.attach(1, lambda p: seqs.append(p.seq))
+        for i in range(3):
+            net.inject(data_packet(i))
+        sim.run()
+        assert seqs == [0, 2]
+        assert net.counters.get("dropped_in_flight") == 1
+
+    def test_corrupted_packet_delivered_but_fails_checksum(self, sim):
+        net = CM5Network(
+            sim,
+            delivery_factory=InOrderDelivery,
+            injector=FaultInjector(FaultPlan.corrupt_indices(0, 1, [0])),
+        )
+        got = []
+        net.attach(1, lambda p: got.append(p))
+        net.inject(data_packet(0))
+        sim.run()
+        assert len(got) == 1
+        assert not got[0].checksum_ok()  # detection, not correction
+
+    def test_word_accounting(self, sim):
+        net = CM5Network(sim, delivery_factory=InOrderDelivery)
+        net.attach(1, lambda p: None)
+        net.inject(data_packet(0, words=(1, 2, 3)))
+        net.inject(data_packet(1, words=(4,)))
+        sim.run()
+        assert net.counters.get("injected_words") == 4

@@ -1,0 +1,194 @@
+"""Unit tests for delivery-order models.
+
+The central contract: replaying a model's release order through a
+reorder-buffer classifier yields exactly ``expected_ooo(p)`` out-of-order
+packets, for any p — this is what lets the closed-form cost model agree
+with simulation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.delivery import (
+    FractionReorder,
+    HeadDelayReorder,
+    InOrderDelivery,
+    PairSwapReorder,
+    RandomReorder,
+    TimesharingReorder,
+)
+
+
+def play(model, p):
+    """Feed p arrivals through a model (plus flush); return release order."""
+    order = []
+    for i in range(p):
+        order.extend(idx for idx, _pkt in model.on_arrival(i, f"pkt{i}"))
+    order.extend(idx for idx, _pkt in model.flush())
+    return order
+
+
+def count_ooo(release_order):
+    """Reorder-buffer classification: arrivals not immediately consumable."""
+    expected = 0
+    early = set()
+    ooo = 0
+    for index in release_order:
+        if index == expected:
+            expected += 1
+            while expected in early:
+                early.remove(expected)
+                expected += 1
+        else:
+            early.add(index)
+            ooo += 1
+    return ooo
+
+
+class TestInOrder:
+    @pytest.mark.parametrize("p", [0, 1, 2, 7, 100])
+    def test_identity_release(self, p):
+        model = InOrderDelivery()
+        assert play(model, p) == list(range(p))
+        assert model.expected_ooo(p) == 0
+
+
+class TestPairSwap:
+    def test_release_order(self):
+        assert play(PairSwapReorder(), 4) == [1, 0, 3, 2]
+
+    def test_odd_count_flushes_leftover(self):
+        assert play(PairSwapReorder(), 5) == [1, 0, 3, 2, 4]
+
+    @pytest.mark.parametrize("p", [0, 1, 2, 3, 4, 16, 17, 256])
+    def test_half_out_of_order(self, p):
+        model = PairSwapReorder()
+        assert count_ooo(play(model, p)) == p // 2 == model.expected_ooo(p)
+
+    def test_pending_while_holding(self):
+        model = PairSwapReorder()
+        model.on_arrival(0, "a")
+        assert model.pending() == 1
+        model.on_arrival(1, "b")
+        assert model.pending() == 0
+
+
+class TestHeadDelay:
+    def test_release_order(self):
+        assert play(HeadDelayReorder(3), 6) == [1, 2, 3, 0, 4, 5]
+
+    @pytest.mark.parametrize("k,p", [(0, 5), (1, 5), (3, 8), (7, 8), (10, 4)])
+    def test_expected_ooo_matches(self, k, p):
+        model = HeadDelayReorder(k)
+        assert count_ooo(play(model, p)) == model.expected_ooo(p)
+
+    def test_short_stream_flush(self):
+        # Stream ends before index k arrives: flush releases the head last.
+        model = HeadDelayReorder(10)
+        assert play(model, 3) == [1, 2, 0]
+        assert model.expected_ooo(3) == 2
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            HeadDelayReorder(-1)
+
+
+class TestFractionReorder:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 0.75])
+    @pytest.mark.parametrize("p", [0, 1, 4, 13, 64, 256])
+    def test_expected_matches_observed(self, fraction, p):
+        model = FractionReorder(fraction)
+        observed = count_ooo(play(model, p))
+        assert observed == model.expected_ooo(p)
+
+    def test_half_equals_pairswap_count(self):
+        model = FractionReorder(0.5)
+        for p in (2, 10, 100):
+            assert model.clone().expected_ooo(p) == p // 2
+
+    def test_fraction_achieved_asymptotically(self):
+        for fraction in (0.25, 0.5, 0.75):
+            model = FractionReorder(fraction)
+            p = 4000
+            assert count_ooo(play(model, p)) / p == pytest.approx(fraction, abs=0.01)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            FractionReorder(1.0)
+        with pytest.raises(ValueError):
+            FractionReorder(-0.1)
+
+    def test_clone_fresh_state(self):
+        model = FractionReorder(0.5)
+        model.on_arrival(0, "x")
+        clone = model.clone()
+        assert clone.pending() == 0
+        assert model.pending() == 1
+
+
+class TestTimesharingReorder:
+    def test_release_order_one_epoch_boundary(self):
+        # epoch=4: packet 3 swapped out, re-emerges behind packet 4.
+        assert play(TimesharingReorder(4), 8) == [0, 1, 2, 4, 3, 5, 6, 7]
+
+    @pytest.mark.parametrize("epoch,p", [(2, 9), (4, 16), (8, 7), (8, 65)])
+    def test_expected_ooo_matches(self, epoch, p):
+        model = TimesharingReorder(epoch)
+        assert count_ooo(play(model, p)) == model.expected_ooo(p)
+
+    def test_short_stream_flushes(self):
+        model = TimesharingReorder(4)
+        assert play(model, 4) == [0, 1, 2, 3]
+        assert model.expected_ooo(4) == 0
+
+    def test_one_ooo_per_quantum(self):
+        model = TimesharingReorder(8)
+        assert model.expected_ooo(64) == 7
+        assert model.expected_ooo(65) == 8
+
+    def test_invalid_epoch(self):
+        with pytest.raises(ValueError):
+            TimesharingReorder(1)
+
+    def test_clone(self):
+        model = TimesharingReorder(4)
+        model.on_arrival(3, "x")
+        clone = model.clone()
+        assert clone.pending() == 0 and clone.epoch == 4
+
+
+class TestRandomReorder:
+    def test_all_packets_eventually_released(self):
+        model = RandomReorder(random.Random(42), hold_prob=0.5)
+        released = play(model, 200)
+        assert sorted(released) == list(range(200))
+
+    def test_not_deterministic_flag(self):
+        assert RandomReorder(random.Random(0)).deterministic is False
+
+    def test_no_expected_formula(self):
+        with pytest.raises(NotImplementedError):
+            RandomReorder(random.Random(0)).expected_ooo(10)
+
+    def test_zero_hold_prob_is_in_order(self):
+        model = RandomReorder(random.Random(0), hold_prob=0.0)
+        assert play(model, 50) == list(range(50))
+
+
+@given(
+    fraction=st.sampled_from([0.0, 0.125, 0.25, 0.5, 0.75]),
+    p=st.integers(0, 300),
+)
+def test_fraction_model_formula_property(fraction, p):
+    """expected_ooo is exact for every (fraction, p)."""
+    model = FractionReorder(fraction)
+    assert count_ooo(play(model, p)) == model.expected_ooo(p)
+
+
+@given(p=st.integers(0, 500))
+def test_models_release_every_packet_exactly_once(p):
+    for model in (InOrderDelivery(), PairSwapReorder(), HeadDelayReorder(5),
+                  FractionReorder(0.25)):
+        assert sorted(play(model, p)) == list(range(p))

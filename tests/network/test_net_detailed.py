@@ -1,0 +1,198 @@
+"""Tests for the hop-by-hop detailed network.
+
+The headline behaviours: packets genuinely traverse the topology and
+arrive; deterministic routing preserves per-channel order; adaptive
+routing over a fat tree with congestion produces *emergent* out-of-order
+delivery — the hardware phenomenon the paper's messaging layer pays to
+mask; buffers never exceed capacity.
+"""
+
+import random
+
+import pytest
+
+from repro.network.fattree import FatTree
+from repro.network.faults import FaultInjector, FaultPlan
+from repro.network.mesh import Mesh2D
+from repro.network.packet import Packet, PacketType
+from repro.network.router import ChannelOrderTracker, DetailedNetwork
+from repro.network.routing import AdaptiveRouting, DeterministicRouting
+from repro.network.topology import StarTopology
+from repro.sim.engine import Simulator
+
+
+def make_net(topology, routing=None, **kwargs):
+    sim = Simulator()
+    net = DetailedNetwork(sim, topology, routing=routing, **kwargs)
+    return sim, net
+
+
+def burst(net, src, dst, count):
+    """Inject a back-to-back burst on one channel; return delivered list."""
+    delivered = []
+    net.attach(dst, lambda pkt: delivered.append(pkt))
+    for i in range(count):
+        net.inject(Packet(src=src, dst=dst, ptype=PacketType.STREAM_DATA,
+                          payload=(i,), seq=i))
+    net.sim.run()
+    return delivered
+
+
+class TestChannelOrderTracker:
+    def test_in_order(self):
+        tracker = ChannelOrderTracker()
+        assert not any(tracker.record(i) for i in range(5))
+        assert tracker.ooo_fraction == 0.0
+
+    def test_reordered(self):
+        tracker = ChannelOrderTracker()
+        flags = [tracker.record(i) for i in (1, 0, 2)]
+        assert flags == [True, False, False]
+        assert tracker.ooo_count == 1
+
+
+class TestBasicTransport:
+    def test_star_delivers(self):
+        sim, net = make_net(StarTopology(4))
+        delivered = burst(net, 0, 3, 5)
+        assert [p.payload[0] for p in delivered] == [0, 1, 2, 3, 4]
+        assert net.counters.get("delivered") == 5
+
+    def test_fattree_delivers_across_tree(self):
+        sim, net = make_net(FatTree(arity=4, height=2))
+        delivered = burst(net, 0, 15, 10)
+        assert len(delivered) == 10
+
+    def test_mesh_delivers(self):
+        sim, net = make_net(Mesh2D(4, 4))
+        delivered = burst(net, 0, 15, 10)
+        assert len(delivered) == 10
+
+    def test_latency_positive_and_tracked(self):
+        sim, net = make_net(FatTree(arity=4, height=2))
+        burst(net, 0, 15, 4)
+        assert net.latency_stats.n == 4
+        assert net.latency_stats.min > 0
+
+    def test_attach_validates_endpoint(self):
+        sim, net = make_net(StarTopology(2))
+        with pytest.raises(ValueError):
+            net.attach(99, lambda p: None)
+
+    def test_undeliverable_counted(self):
+        sim, net = make_net(StarTopology(2))
+        net.inject(Packet(src=0, dst=1, ptype=PacketType.STREAM_DATA))
+        sim.run()
+        assert net.counters.get("undeliverable") == 1
+
+
+class TestOrdering:
+    def test_deterministic_routing_preserves_order(self):
+        sim, net = make_net(
+            FatTree(arity=4, height=2, parents=2), routing=DeterministicRouting()
+        )
+        delivered = burst(net, 0, 15, 40)
+        assert [p.seq for p in delivered] == list(range(40))
+        assert net.ooo_fraction(0, 15) == 0.0
+
+    def test_adaptive_routing_reorders_under_congestion(self):
+        """The paper's Section 2.2 phenomenon, reproduced from first
+        principles: multipath adaptivity + queueing => arbitrary order.
+        Four flows from distinct sub-trees congest the upper tree; the
+        measured channel sees heavy reordering."""
+        sim = Simulator()
+        net = DetailedNetwork(
+            sim,
+            FatTree(arity=4, height=3, parents=4),
+            routing=AdaptiveRouting(random.Random(11)),
+            service_time=2.0,
+        )
+        delivered = []
+        net.attach(63, lambda pkt: delivered.append(pkt))
+        for flow in (1, 2, 3):
+            net.attach(63 - flow, lambda pkt: None)
+        for i in range(60):
+            for flow in range(4):
+                net.inject(Packet(src=4 * flow, dst=63 - flow,
+                                  ptype=PacketType.STREAM_DATA, seq=i))
+        sim.run()
+        assert len(delivered) == 60
+        assert sorted(p.seq for p in delivered) == list(range(60))
+        assert net.ooo_fraction(0, 63) > 0.3
+
+    def test_ooo_fraction_zero_for_unknown_channel(self):
+        sim, net = make_net(StarTopology(2))
+        assert net.ooo_fraction(0, 1) == 0.0
+
+
+class TestVirtualChannels:
+    """Section 2.2's third reorder mechanism: virtual channels let packets
+    overtake on a *single* physical path."""
+
+    def _run_mesh(self, vcs, seed=5):
+        sim = Simulator()
+        net = DetailedNetwork(
+            sim, Mesh2D(4, 4), virtual_channels=vcs,
+            vc_rng=random.Random(seed), service_time=2.0,
+        )
+        delivered = []
+        net.attach(15, lambda p: delivered.append(p))
+        for i in range(100):
+            net.inject(Packet(src=0, dst=15, ptype=PacketType.STREAM_DATA, seq=i))
+        sim.run()
+        return net, delivered
+
+    def test_single_vc_preserves_order_on_xy_mesh(self):
+        net, delivered = self._run_mesh(vcs=1)
+        assert [p.seq for p in delivered] == list(range(100))
+        assert net.ooo_fraction(0, 15) == 0.0
+
+    def test_multiple_vcs_reorder_on_single_path(self):
+        net, delivered = self._run_mesh(vcs=2)
+        assert sorted(p.seq for p in delivered) == list(range(100))
+        assert net.ooo_fraction(0, 15) > 0.3
+
+    def test_more_vcs_more_reordering(self):
+        net2, _d = self._run_mesh(vcs=2)
+        net4, _d = self._run_mesh(vcs=4)
+        assert net4.ooo_fraction(0, 15) > net2.ooo_fraction(0, 15)
+
+    def test_no_packets_lost_with_vcs(self):
+        net, delivered = self._run_mesh(vcs=4)
+        assert len(delivered) == 100
+
+    def test_invalid_vc_count(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            DetailedNetwork(sim, Mesh2D(2, 2), virtual_channels=0)
+
+
+class TestFiniteBuffers:
+    def test_peak_occupancy_bounded(self):
+        sim = Simulator()
+        net = DetailedNetwork(
+            sim, FatTree(arity=4, height=2), buffer_capacity=3, service_time=5.0
+        )
+        burst(net, 0, 15, 50)
+        assert net.peak_buffer_occupancy() <= 3
+
+    def test_stalls_counted_under_pressure(self):
+        sim = Simulator()
+        net = DetailedNetwork(
+            sim, StarTopology(3), buffer_capacity=2, service_time=10.0
+        )
+        burst(net, 0, 2, 30)
+        assert net.counters.get("stalls") > 0
+        assert net.counters.get("delivered") == 30
+
+
+class TestFaults:
+    def test_dropped_packets_never_arrive(self):
+        sim = Simulator()
+        net = DetailedNetwork(
+            sim, StarTopology(2),
+            injector=FaultInjector(FaultPlan.drop_indices(0, 1, [2, 4])),
+        )
+        delivered = burst(net, 0, 1, 6)
+        assert len(delivered) == 4
+        assert net.counters.get("dropped_in_flight") == 2

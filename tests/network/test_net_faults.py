@@ -1,0 +1,84 @@
+"""Unit tests for fault injection."""
+
+import random
+
+import pytest
+
+from repro.network.faults import FaultInjector, FaultKind, FaultPlan
+from repro.network.packet import Packet, PacketType
+
+
+def packet(src=0, dst=1):
+    return Packet(src=src, dst=dst, ptype=PacketType.STREAM_DATA, payload=(1, 2))
+
+
+class TestFaultPlan:
+    def test_none_is_empty(self):
+        assert FaultPlan.none().is_empty
+
+    def test_corrupt_indices_builder(self):
+        plan = FaultPlan.corrupt_indices(0, 1, [2, 5])
+        assert plan.targeted[(0, 1, 2)] is FaultKind.CORRUPT
+        assert plan.targeted[(0, 1, 5)] is FaultKind.CORRUPT
+
+    def test_drop_indices_builder(self):
+        plan = FaultPlan.drop_indices(0, 1, [0])
+        assert plan.targeted[(0, 1, 0)] is FaultKind.DROP
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultPlan(corrupt_prob=1.5)
+
+
+class TestFaultInjector:
+    def test_no_plan_passes_everything(self):
+        injector = FaultInjector()
+        p = packet()
+        assert injector.apply(p, 0) is p
+        assert injector.total_faults == 0
+
+    def test_targeted_corrupt(self):
+        injector = FaultInjector(FaultPlan.corrupt_indices(0, 1, [1]))
+        assert injector.apply(packet(), 0).checksum_ok()
+        corrupted = injector.apply(packet(), 1)
+        assert not corrupted.checksum_ok()
+        assert injector.corrupted_count == 1
+
+    def test_targeted_drop(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [0]))
+        assert injector.apply(packet(), 0) is None
+        assert injector.dropped_count == 1
+
+    def test_once_semantics_retransmission_succeeds(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [3], once=True))
+        assert injector.apply(packet(), 3) is None
+        survivor = injector.apply(packet(), 3)  # the retransmission
+        assert survivor is not None and survivor.checksum_ok()
+
+    def test_persistent_fault_when_once_false(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [3], once=False))
+        assert injector.apply(packet(), 3) is None
+        assert injector.apply(packet(), 3) is None
+
+    def test_targeting_is_per_channel(self):
+        injector = FaultInjector(FaultPlan.corrupt_indices(0, 1, [0]))
+        other = packet(src=5, dst=6)
+        assert injector.apply(other, 0) is other
+
+    def test_probabilistic_rates(self):
+        injector = FaultInjector(
+            FaultPlan(corrupt_prob=0.3, drop_prob=0.2), rng=random.Random(1)
+        )
+        survived = corrupted = dropped = 0
+        for i in range(5000):
+            result = injector.apply(packet(), i)
+            if result is None:
+                dropped += 1
+            elif not result.checksum_ok():
+                corrupted += 1
+            else:
+                survived += 1
+        assert dropped / 5000 == pytest.approx(0.2, abs=0.03)
+        # corruption applies to the packets that were not dropped
+        assert corrupted / 5000 == pytest.approx(0.8 * 0.3, abs=0.03)
+        assert injector.total_faults == corrupted + dropped

@@ -1,0 +1,102 @@
+"""Unit tests for finite buffers and credits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.flowcontrol import BufferOverflowError, CreditCounter, FiniteBuffer
+
+
+class TestFiniteBuffer:
+    def test_fifo_order(self):
+        buf = FiniteBuffer(4)
+        for i in range(3):
+            buf.push(i)
+        assert [buf.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_offer_rejects_when_full(self):
+        buf = FiniteBuffer(2)
+        assert buf.offer("a") and buf.offer("b")
+        assert not buf.offer("c")
+        assert buf.total_rejected == 1
+        assert buf.occupancy == 2
+
+    def test_push_raises_on_overflow(self):
+        buf = FiniteBuffer(1)
+        buf.push("a")
+        with pytest.raises(BufferOverflowError):
+            buf.push("b")
+
+    def test_peak_occupancy(self):
+        buf = FiniteBuffer(10)
+        for i in range(7):
+            buf.push(i)
+        for _ in range(7):
+            buf.pop()
+        assert buf.peak_occupancy == 7
+        assert buf.occupancy == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            FiniteBuffer(1).pop()
+
+    def test_peek(self):
+        buf = FiniteBuffer(2)
+        assert buf.peek() is None
+        buf.push("x")
+        assert buf.peek() == "x"
+        assert buf.occupancy == 1  # peek does not consume
+
+    def test_free(self):
+        buf = FiniteBuffer(3)
+        buf.push(1)
+        assert buf.free == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FiniteBuffer(0)
+
+    @given(ops=st.lists(st.sampled_from(["push", "pop"]), max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, ops):
+        buf = FiniteBuffer(5)
+        for op in ops:
+            if op == "push":
+                buf.offer(object())
+            elif buf:
+                buf.pop()
+        assert 0 <= buf.occupancy <= 5
+        assert buf.peak_occupancy <= 5
+
+
+class TestCreditCounter:
+    def test_consume_and_refund(self):
+        credits = CreditCounter(3)
+        assert credits.try_consume(2)
+        assert credits.credits == 1
+        assert not credits.try_consume(2)
+        credits.refund(2)
+        assert credits.try_consume(2)
+
+    def test_totals(self):
+        credits = CreditCounter(5)
+        credits.try_consume(3)
+        credits.refund(1)
+        assert credits.total_consumed == 3
+        assert credits.total_returned == 1
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            CreditCounter(-1)
+
+    @given(
+        initial=st.integers(0, 10),
+        ops=st.lists(st.tuples(st.sampled_from(["take", "give"]), st.integers(1, 3)),
+                     max_size=100),
+    )
+    def test_credits_never_negative(self, initial, ops):
+        credits = CreditCounter(initial)
+        for op, amount in ops:
+            if op == "take":
+                credits.try_consume(amount)
+            else:
+                credits.refund(amount)
+            assert credits.credits >= 0

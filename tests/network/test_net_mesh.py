@@ -1,0 +1,76 @@
+"""Unit tests for the 2-D mesh topology."""
+
+import random
+
+import pytest
+
+from repro.network.mesh import Mesh2D
+
+
+class TestStructure:
+    def test_coords(self):
+        mesh = Mesh2D(4, 3)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(5) == (1, 1)
+        assert mesh.coords(11) == (3, 2)
+
+    def test_endpoint_count(self):
+        assert len(list(Mesh2D(4, 3).endpoints)) == 12
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 3)
+
+    def test_manhattan(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.manhattan(0, 15) == 6
+        assert mesh.manhattan(5, 5) == 0
+
+
+class TestXYRouting:
+    def test_single_path(self):
+        mesh = Mesh2D(4, 4, adaptive=False)
+        assert mesh.path_diversity(0, 15) == 1
+
+    def test_x_before_y(self):
+        mesh = Mesh2D(4, 4, adaptive=False)
+        walk = mesh.path(0, 15)
+        xs = [v[1] for v in walk if isinstance(v, tuple)]
+        ys = [v[2] for v in walk if isinstance(v, tuple)]
+        # All x movement happens before any y movement.
+        first_y_move = next(i for i, y in enumerate(ys) if y != ys[0])
+        assert xs[first_y_move - 1] == 3
+
+    def test_path_length_is_minimal(self):
+        mesh = Mesh2D(5, 5, adaptive=False)
+        rng = random.Random(0)
+        for _ in range(30):
+            src, dst = rng.randrange(25), rng.randrange(25)
+            if src == dst:
+                continue
+            walk = mesh.path(src, dst)
+            # src + routers (manhattan + 1 for injection) + dst endpoint
+            assert len(walk) == mesh.manhattan(src, dst) + 3
+
+
+class TestAdaptiveRouting:
+    def test_diagonal_offers_two_choices(self):
+        mesh = Mesh2D(4, 4, adaptive=True)
+        hops = mesh.next_hops(("m", 0, 0), dst=15)
+        assert len(hops) == 2
+
+    def test_adaptive_paths_still_minimal(self):
+        mesh = Mesh2D(5, 5, adaptive=True)
+        rng = random.Random(7)
+        for _ in range(30):
+            src, dst = rng.randrange(25), rng.randrange(25)
+            if src == dst:
+                continue
+            walk = mesh.path(src, dst, chooser=rng.choice)
+            assert walk[-1] == dst
+            assert len(walk) == mesh.manhattan(src, dst) + 3
+
+    def test_diversity_counts_choices(self):
+        mesh = Mesh2D(4, 4, adaptive=True)
+        assert mesh.path_diversity(0, 15) > 1
+        assert mesh.path_diversity(0, 3) == 1  # straight line: no choice

@@ -1,0 +1,69 @@
+"""Unit tests for packets and checksums."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.packet import Packet, PacketType, compute_checksum
+
+
+class TestPacket:
+    def test_wire_words_includes_header(self):
+        packet = Packet(src=0, dst=1, ptype=PacketType.ACTIVE_MESSAGE,
+                        payload=(1, 2, 3, 4))
+        assert packet.data_words == 4
+        assert packet.wire_words == 5  # the CM-5's five-word packet
+
+    def test_checksum_auto_computed_and_valid(self):
+        packet = Packet(src=0, dst=1, ptype=PacketType.STREAM_DATA, payload=(7, 8))
+        assert packet.checksum == compute_checksum((7, 8))
+        assert packet.checksum_ok()
+
+    def test_corrupt_fails_checksum(self):
+        packet = Packet(src=0, dst=1, ptype=PacketType.STREAM_DATA, payload=(7,))
+        bad = packet.corrupt()
+        assert not bad.checksum_ok()
+        assert packet.checksum_ok()  # original untouched
+
+    def test_retransmission_is_clean_with_new_identity(self):
+        packet = Packet(src=0, dst=1, ptype=PacketType.STREAM_DATA, payload=(7,), seq=3)
+        again = packet.corrupt().retransmission()
+        assert again.checksum_ok()
+        assert again.seq == 3
+        assert again.packet_id != packet.packet_id
+
+    def test_packet_ids_unique(self):
+        a = Packet(src=0, dst=1, ptype=PacketType.ACTIVE_MESSAGE)
+        b = Packet(src=0, dst=1, ptype=PacketType.ACTIVE_MESSAGE)
+        assert a.packet_id != b.packet_id
+
+    def test_metadata_fields(self):
+        packet = Packet(
+            src=2, dst=3, ptype=PacketType.XFER_DATA,
+            payload=(1,), seq=5, offset=12, segment=2, size_hint=100,
+        )
+        assert (packet.seq, packet.offset, packet.segment, packet.size_hint) == (
+            5, 12, 2, 100
+        )
+
+    def test_str_mentions_route(self):
+        packet = Packet(src=2, dst=3, ptype=PacketType.XFER_ACK)
+        assert "2->3" in str(packet)
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert compute_checksum((1, 2, 3)) == compute_checksum((1, 2, 3))
+
+    def test_order_sensitive(self):
+        assert compute_checksum((1, 2)) != compute_checksum((2, 1))
+
+    def test_empty(self):
+        assert compute_checksum(()) == 0
+
+    @given(st.lists(st.integers(0, 2**32 - 1), max_size=16))
+    def test_detects_single_word_flips(self, words):
+        base = compute_checksum(tuple(words))
+        for i in range(len(words)):
+            mutated = list(words)
+            mutated[i] ^= 0x1
+            assert compute_checksum(tuple(mutated)) != base

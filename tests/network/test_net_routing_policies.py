@@ -1,0 +1,54 @@
+"""Unit tests for hop-selection policies."""
+
+import random
+from collections import Counter
+
+from repro.network.routing import (
+    AdaptiveRouting,
+    CongestionAwareRouting,
+    DeterministicRouting,
+)
+
+
+def no_load(_vertex):
+    return 0
+
+
+class TestDeterministic:
+    def test_always_first(self):
+        policy = DeterministicRouting()
+        assert policy.choose(["a", "b", "c"], no_load) == "a"
+        assert policy.reorders is False
+
+
+class TestAdaptive:
+    def test_single_choice_forced(self):
+        policy = AdaptiveRouting(random.Random(0))
+        assert policy.choose(["only"], no_load) == "only"
+
+    def test_spreads_over_choices(self):
+        policy = AdaptiveRouting(random.Random(0))
+        picks = Counter(policy.choose(["a", "b"], no_load) for _ in range(1000))
+        assert 400 < picks["a"] < 600
+        assert policy.reorders is True
+
+    def test_deterministic_given_seed(self):
+        a = AdaptiveRouting(random.Random(5))
+        b = AdaptiveRouting(random.Random(5))
+        seq_a = [a.choose(["x", "y", "z"], no_load) for _ in range(20)]
+        seq_b = [b.choose(["x", "y", "z"], no_load) for _ in range(20)]
+        assert seq_a == seq_b
+
+
+class TestCongestionAware:
+    def test_picks_least_loaded(self):
+        policy = CongestionAwareRouting(random.Random(0))
+        loads = {"a": 5, "b": 1, "c": 3}
+        assert policy.choose(["a", "b", "c"], loads.__getitem__) == "b"
+
+    def test_tie_break_random_but_among_best(self):
+        policy = CongestionAwareRouting(random.Random(0))
+        loads = {"a": 1, "b": 1, "c": 9}
+        picks = {policy.choose(["a", "b", "c"], loads.__getitem__) for _ in range(50)}
+        assert picks <= {"a", "b"}
+        assert len(picks) == 2

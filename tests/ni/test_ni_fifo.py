@@ -1,0 +1,58 @@
+"""Unit tests for NI FIFOs."""
+
+import pytest
+
+from repro.network.packet import Packet, PacketType
+from repro.ni.fifo import NiFifo
+
+
+def packet(i):
+    return Packet(src=0, dst=1, ptype=PacketType.ACTIVE_MESSAGE, payload=(i,))
+
+
+class TestNiFifo:
+    def test_fifo_order(self):
+        fifo = NiFifo(capacity=4)
+        for i in range(3):
+            assert fifo.offer(packet(i))
+        assert [fifo.pop().payload[0] for _ in range(3)] == [0, 1, 2]
+
+    def test_overflow_drops_and_counts(self):
+        fifo = NiFifo(capacity=2)
+        assert fifo.offer(packet(0))
+        assert fifo.offer(packet(1))
+        assert not fifo.offer(packet(2))
+        assert fifo.overflow_count == 1
+        assert fifo.occupancy == 2
+
+    def test_peek_non_consuming(self):
+        fifo = NiFifo()
+        fifo.offer(packet(7))
+        assert fifo.peek().payload == (7,)
+        assert fifo.occupancy == 1
+
+    def test_peek_empty(self):
+        assert NiFifo().peek() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            NiFifo().pop()
+
+    def test_drain(self):
+        fifo = NiFifo()
+        for i in range(3):
+            fifo.offer(packet(i))
+        drained = fifo.drain()
+        assert len(drained) == 3
+        assert fifo.occupancy == 0
+
+    def test_peak_occupancy(self):
+        fifo = NiFifo(capacity=8)
+        for i in range(5):
+            fifo.offer(packet(i))
+        fifo.drain()
+        assert fifo.peak_occupancy == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            NiFifo(capacity=0)

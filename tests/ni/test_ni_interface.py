@@ -1,0 +1,156 @@
+"""Unit tests for the memory-mapped NI: dev accounting and behaviour."""
+
+import pytest
+
+from repro.arch.isa import mix
+from repro.network.cm5 import CM5Network
+from repro.network.delivery import InOrderDelivery
+from repro.network.packet import Packet, PacketType
+from repro.ni.registers import StatusFlag
+from repro.node import Node
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator()
+    net = CM5Network(sim, delivery_factory=InOrderDelivery)
+    src, dst = Node(0, sim, net), Node(1, sim, net)
+    return sim, src, dst
+
+
+class TestSendAccounting:
+    def test_header_store_costs_one_dev(self, pair):
+        _sim, src, _dst = pair
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+        assert src.processor.costs.total_mix == mix(dev=1)
+
+    def test_payload_double_word_stores(self, pair):
+        _sim, src, _dst = pair
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+        src.ni.store_payload((1, 2, 3, 4))
+        assert src.processor.costs.total_mix == mix(dev=3)  # header + 2 stores
+
+    def test_odd_word_payload_rounds_up(self, pair):
+        _sim, src, _dst = pair
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+        src.ni.store_payload((1, 2, 3))
+        assert src.processor.costs.total_mix == mix(dev=1 + 2)
+
+    def test_status_load_costs_one_dev(self, pair):
+        _sim, src, _dst = pair
+        src.ni.load_status()
+        assert src.processor.costs.total_mix == mix(dev=1)
+
+    def test_launch_is_free(self, pair):
+        sim, src, dst = pair
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+        src.ni.store_payload((1, 2))
+        before = src.processor.costs.total
+        src.ni.launch()
+        assert src.processor.costs.total == before
+        assert src.ni.sent_packets == 1
+
+    def test_payload_without_header_raises(self, pair):
+        _sim, src, _dst = pair
+        with pytest.raises(RuntimeError):
+            src.ni.store_payload((1,))
+
+    def test_launch_without_staged_raises(self, pair):
+        _sim, src, _dst = pair
+        with pytest.raises(RuntimeError):
+            src.ni.launch()
+
+    def test_oversized_staging_rejected(self, pair):
+        _sim, src, _dst = pair
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+        with pytest.raises(ValueError):
+            src.ni.store_payload((1, 2, 3, 4, 5))
+
+
+class TestReceiveBehaviour:
+    def _send(self, sim, src, payload=(9, 8)):
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE, handler="h")
+        src.ni.store_payload(payload)
+        src.ni.launch()
+        sim.run()
+
+    def test_delivery_lands_in_fifo_and_notifies(self, pair):
+        sim, src, dst = pair
+        pokes = []
+        dst.ni.set_notify(lambda: pokes.append(sim.now))
+        self._send(sim, src)
+        assert dst.ni.recv_ready
+        assert len(pokes) == 1
+
+    def test_status_reflects_recv_ready(self, pair):
+        sim, src, dst = pair
+        assert StatusFlag.RECV_READY not in dst.ni.load_status()
+        self._send(sim, src)
+        assert StatusFlag.RECV_READY in dst.ni.load_status()
+
+    def test_envelope_then_payload_accounting(self, pair):
+        sim, src, dst = pair
+        self._send(sim, src, payload=(9, 8, 7, 6))
+        base = dst.processor.costs.total_mix
+        envelope = dst.ni.load_envelope()
+        assert envelope.handler == "h"
+        payload = dst.ni.load_payload()
+        assert payload == (9, 8, 7, 6)
+        assert dst.processor.costs.total_mix - base == mix(dev=1 + 2)
+        assert not dst.ni.recv_ready
+
+    def test_envelope_does_not_consume(self, pair):
+        sim, src, dst = pair
+        self._send(sim, src)
+        dst.ni.load_envelope()
+        assert dst.ni.recv_ready
+
+    def test_load_on_empty_fifo_raises(self, pair):
+        _sim, _src, dst = pair
+        with pytest.raises(RuntimeError):
+            dst.ni.load_envelope()
+        with pytest.raises(RuntimeError):
+            dst.ni.load_payload()
+
+    def test_discard_head_free_and_consumes(self, pair):
+        sim, src, dst = pair
+        self._send(sim, src)
+        before = dst.processor.costs.total
+        dst.ni.discard_head()
+        assert dst.processor.costs.total == before
+        assert not dst.ni.recv_ready
+
+
+class TestHardwareFaultDetection:
+    def test_corrupt_packet_dropped_with_error_flag(self):
+        from repro.network.faults import FaultInjector, FaultPlan
+
+        sim = Simulator()
+        net = CM5Network(
+            sim,
+            delivery_factory=InOrderDelivery,
+            injector=FaultInjector(FaultPlan.corrupt_indices(0, 1, [-1])),
+        )
+        src, dst = Node(0, sim, net), Node(1, sim, net)
+        src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+        src.ni.store_payload((1,))
+        src.ni.launch()
+        sim.run()
+        assert dst.ni.detected_errors == 1
+        assert not dst.ni.recv_ready
+        assert dst.ni.registers.test_flag(StatusFlag.RECV_ERROR)
+
+    def test_recv_fifo_overflow_loses_packets(self):
+        sim = Simulator()
+        net = CM5Network(sim, delivery_factory=InOrderDelivery)
+        src = Node(0, sim, net)
+        dst = Node(1, sim, net, recv_capacity=2)
+        for i in range(4):
+            src.ni.store_header(1, PacketType.ACTIVE_MESSAGE)
+            src.ni.store_payload((i,))
+            src.ni.launch()
+        sim.run()
+        # Nothing drained the FIFO: only the first two survive.
+        assert dst.ni.recv_fifo.occupancy == 2
+        assert dst.ni.recv_fifo.overflow_count == 2

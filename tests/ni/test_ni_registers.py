@@ -1,0 +1,48 @@
+"""Unit tests for NI control registers."""
+
+from repro.ni.registers import RegisterFile, StatusFlag
+
+
+class TestRegisterFile:
+    def test_read_unset_is_zero(self):
+        assert RegisterFile().read("scratch") == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write("scratch", 0xDEAD)
+        assert regs.read("scratch") == 0xDEAD
+
+    def test_write_masks_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write("scratch", 1 << 40)
+        assert regs.read("scratch") == 0
+
+    def test_initial_status_has_send_space(self):
+        assert RegisterFile().test_flag(StatusFlag.SEND_SPACE)
+
+
+class TestStatusFlags:
+    def test_set_and_test(self):
+        regs = RegisterFile()
+        regs.set_flag(StatusFlag.RECV_READY)
+        assert regs.test_flag(StatusFlag.RECV_READY)
+
+    def test_clear(self):
+        regs = RegisterFile()
+        regs.set_flag(StatusFlag.RECV_READY)
+        regs.set_flag(StatusFlag.RECV_READY, on=False)
+        assert not regs.test_flag(StatusFlag.RECV_READY)
+
+    def test_flags_independent(self):
+        regs = RegisterFile()
+        regs.set_flag(StatusFlag.SEND_OK)
+        regs.set_flag(StatusFlag.RECV_ERROR)
+        regs.set_flag(StatusFlag.SEND_OK, on=False)
+        assert regs.test_flag(StatusFlag.RECV_ERROR)
+        assert not regs.test_flag(StatusFlag.SEND_OK)
+
+    def test_status_property_combines(self):
+        regs = RegisterFile()
+        regs.set_flag(StatusFlag.SEND_OK)
+        assert StatusFlag.SEND_OK in regs.status
+        assert StatusFlag.SEND_SPACE in regs.status

@@ -1,0 +1,67 @@
+"""Unit tests for acknowledgement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.acks import GroupAck, NoAck, PerPacketAck, make_ack_policy
+
+
+class TestPerPacket:
+    def test_every_packet_acked(self):
+        policy = PerPacketAck()
+        assert all(policy.ack_after(i) == 1 for i in range(1, 20))
+        assert policy.final_ack(17) == 0
+        assert policy.acks_for(256) == 256
+
+
+class TestGroupAck:
+    def test_ack_every_g(self):
+        policy = GroupAck(4)
+        fired = [i for i in range(1, 13) if policy.ack_after(i)]
+        assert fired == [4, 8, 12]
+
+    def test_final_ack_covers_remainder(self):
+        policy = GroupAck(4)
+        assert policy.final_ack(10) == 2
+        assert policy.final_ack(12) == 0
+
+    def test_acks_for(self):
+        assert GroupAck(4).acks_for(12) == 3
+        assert GroupAck(4).acks_for(13) == 4
+        assert GroupAck(16).acks_for(256) == 16
+
+    def test_invalid_group(self):
+        with pytest.raises(ValueError):
+            GroupAck(0)
+
+    @given(g=st.integers(1, 20), p=st.integers(0, 500))
+    def test_ack_count_consistency(self, g, p):
+        """Simulating arrival-by-arrival acking matches acks_for(p)."""
+        policy = GroupAck(g)
+        acks = sum(1 for i in range(1, p + 1) if policy.ack_after(i) > 0)
+        if policy.final_ack(p) > 0:
+            acks += 1
+        assert acks == policy.acks_for(p)
+
+    @given(g=st.integers(1, 20), p=st.integers(1, 500))
+    def test_coverage_sums_to_p(self, g, p):
+        """Every packet is covered by exactly one acknowledgement."""
+        policy = GroupAck(g)
+        covered = sum(policy.ack_after(i) for i in range(1, p + 1))
+        covered += policy.final_ack(p)
+        assert covered == p
+
+
+class TestNoAck:
+    def test_never_acks(self):
+        policy = NoAck()
+        assert policy.ack_after(5) == 0
+        assert policy.final_ack(100) == 0
+        assert policy.acks_for(100) == 0
+
+
+def test_factory():
+    assert isinstance(make_ack_policy(None), PerPacketAck)
+    policy = make_ack_policy(8)
+    assert isinstance(policy, GroupAck)
+    assert policy.group == 8

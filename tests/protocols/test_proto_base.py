@@ -1,0 +1,87 @@
+"""Unit tests for protocol plumbing."""
+
+import pytest
+
+from repro.arch.attribution import Feature
+from repro.arch.isa import mix
+from repro.network.cm5 import CM5Network
+from repro.node import make_node_pair
+from repro.protocols.base import (
+    ProtocolRun,
+    packet_payload_sizes,
+    packets_for,
+)
+from repro.sim.engine import Simulator
+
+
+class TestPacketMath:
+    def test_exact_division(self):
+        assert packets_for(16, 4) == 4
+
+    def test_partial_last_packet(self):
+        assert packets_for(17, 4) == 5
+        assert packet_payload_sizes(17, 4) == [4, 4, 4, 4, 1]
+
+    def test_zero_message(self):
+        assert packets_for(0, 4) == 0
+        assert packet_payload_sizes(0, 4) == []
+
+    def test_message_smaller_than_packet(self):
+        assert packet_payload_sizes(3, 8) == [3]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            packets_for(-1, 4)
+        with pytest.raises(ValueError):
+            packets_for(4, 0)
+
+    def test_sizes_sum_to_message(self):
+        for words in (0, 1, 7, 16, 100, 1023):
+            for n in (2, 4, 8, 128):
+                assert sum(packet_payload_sizes(words, n)) == words
+
+
+class TestProtocolRun:
+    def test_measures_only_the_delta(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        src, dst = make_node_pair(sim, net)
+        src.processor.reg_ops(100)  # pre-existing work
+        run = ProtocolRun(sim, src, dst)
+        src.processor.reg_ops(5)
+        with dst.processor.attribute(Feature.IN_ORDER):
+            dst.processor.mem_ops(3)
+        result = run.finish(
+            protocol="test", message_words=0, packet_size=4,
+            packets_sent=0, completed=True,
+        )
+        assert result.src_costs.total == 5
+        assert result.dst_costs.get(Feature.IN_ORDER) == mix(mem=3)
+
+    def test_restart_measurement(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        src, dst = make_node_pair(sim, net)
+        run = ProtocolRun(sim, src, dst)
+        src.processor.reg_ops(99)  # warmup
+        run.restart_measurement()
+        src.processor.reg_ops(1)
+        result = run.finish("test", 0, 4, 0, True)
+        assert result.src_costs.total == 1
+
+    def test_result_aggregates(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        src, dst = make_node_pair(sim, net)
+        run = ProtocolRun(sim, src, dst)
+        with src.processor.attribute(Feature.BASE):
+            src.processor.reg_ops(50)
+        with src.processor.attribute(Feature.FAULT_TOLERANCE):
+            src.processor.reg_ops(50)
+        result = run.finish("test", 0, 4, 0, True, extra="x")
+        assert result.total == 100
+        assert result.overhead_total == 50
+        assert result.overhead_fraction == 0.5
+        assert result.detail["extra"] == "x"
+        assert result.combined().total == 100
+        assert "test" in str(result)

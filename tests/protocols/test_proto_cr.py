@@ -1,0 +1,150 @@
+"""Tests for the CR-based protocols (Section 4, Figures 5 and 7)."""
+
+import pytest
+
+from repro import (
+    CRNetworkConfig,
+    CRNetwork,
+    FaultInjector,
+    FaultPlan,
+    InOrderDelivery,
+    quick_cr_setup,
+    quick_setup,
+    run_cr_finite_sequence,
+    run_cr_indefinite_sequence,
+    run_finite_sequence,
+    run_indefinite_sequence,
+)
+from repro.am.cmam import AMDispatcher
+from repro.arch.attribution import Feature
+from repro.node import make_node_pair
+from repro.protocols.cr_protocols import CRFiniteReceiver, CRFiniteSender
+from repro.sim.engine import Simulator
+
+
+class TestCRFinite:
+    def test_completes_and_delivers(self):
+        sim, src, dst, _net = quick_cr_setup()
+        message = list(range(7, 39))
+        result = run_cr_finite_sequence(sim, src, dst, 32, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+
+    def test_cost_equals_cmam_base(self):
+        """Section 4.1: 'The costs ... correspond exactly to the base costs
+        of the CMAM implementations' (destination slightly cheaper)."""
+        for words in (16, 1024):
+            sim, src, dst, _net = quick_cr_setup()
+            cr = run_cr_finite_sequence(sim, src, dst, words)
+            sim2, src2, dst2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+            cmam = run_finite_sequence(sim2, src2, dst2, words)
+            cmam_base_src = cmam.src_costs.get(Feature.BASE).total
+            assert cr.src_costs.total == cmam_base_src
+            cmam_base_dst = cmam.dst_costs.get(Feature.BASE).total
+            assert cr.dst_costs.total <= cmam_base_dst + 6  # +table store -branches
+
+    def test_no_handshake_no_offsets_no_ack(self):
+        sim, src, dst, _net = quick_cr_setup()
+        result = run_cr_finite_sequence(sim, src, dst, 64)
+        for costs in (result.src_costs, result.dst_costs):
+            assert costs.get(Feature.IN_ORDER).total == 0
+            assert costs.get(Feature.FAULT_TOLERANCE).total == 0
+        # Residual buffer management: just the table store at the dest.
+        assert result.src_costs.get(Feature.BUFFER_MGMT).total == 0
+        assert result.dst_costs.get(Feature.BUFFER_MGMT).total == 6
+
+    def test_improvement_10_to_50_percent(self):
+        improvements = {}
+        for words in (16, 1024):
+            sim, src, dst, _net = quick_cr_setup()
+            cr = run_cr_finite_sequence(sim, src, dst, words)
+            sim2, src2, dst2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+            cmam = run_finite_sequence(sim2, src2, dst2, words)
+            improvements[words] = 1 - cr.total / cmam.total
+        assert improvements[1024] < improvements[16]
+        assert 0.08 <= improvements[1024] <= 0.20
+        assert 0.45 <= improvements[16] <= 0.60
+
+    def test_hardware_recovers_faults_for_free(self):
+        injector = FaultInjector(FaultPlan.corrupt_indices(0, 1, [1, 3]))
+        sim, src, dst, _net = quick_cr_setup(injector=injector)
+        message = list(range(1, 17))
+        result = run_cr_finite_sequence(sim, src, dst, 16, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+        # Identical software cost to a fault-free run: retries are hardware.
+        assert result.total == 181
+
+    def test_header_rejection_defers_but_completes(self):
+        sim = Simulator()
+        net = CRNetwork(sim, CRNetworkConfig(latency=1.0, reject_backoff=20.0))
+        src, dst = make_node_pair(sim, net)
+        ready = {"ok": False}
+        net.set_acceptor(dst.node_id, lambda packet: ready["ok"])
+        sim.schedule(100.0, lambda: ready.update(ok=True))
+
+        message = list(range(1, 17))
+        src.memory.write_block(0, message)
+        dispatcher = AMDispatcher(dst)
+        receiver = CRFiniteReceiver(dst, dispatcher)
+        sender = CRFiniteSender(src, dst.node_id, 0, 16)
+        sender.start()
+        sim.run()
+        assert receiver.completed_transfers
+        src_id, addr, words = receiver.completed_transfers[0]
+        assert src_id == src.node_id
+        assert dst.memory.read_block(addr, words) == message
+        assert net.counters.get("rejections") > 0
+
+
+class TestCRIndefinite:
+    def test_completes_in_order(self):
+        sim, src, dst, _net = quick_cr_setup()
+        message = list(range(3, 67))
+        result = run_cr_indefinite_sequence(sim, src, dst, 64, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+
+    def test_cost_equals_cmam_base_exactly(self):
+        for words in (16, 1024):
+            sim, src, dst, _net = quick_cr_setup()
+            cr = run_cr_indefinite_sequence(sim, src, dst, words)
+            sim2, src2, dst2, _net2 = quick_setup()
+            cmam = run_indefinite_sequence(sim2, src2, dst2, words)
+            assert cr.src_costs.total == cmam.src_costs.get(Feature.BASE).total
+            assert cr.dst_costs.total == cmam.dst_costs.get(Feature.BASE).total
+
+    def test_reduction_is_about_70_percent(self):
+        for words in (16, 1024):
+            sim, src, dst, _net = quick_cr_setup()
+            cr = run_cr_indefinite_sequence(sim, src, dst, words)
+            sim2, src2, dst2, _net2 = quick_setup()
+            cmam = run_indefinite_sequence(sim2, src2, dst2, words)
+            reduction = 1 - cr.total / cmam.total
+            assert 0.67 <= reduction <= 0.72
+
+    def test_zero_overhead_features(self):
+        sim, src, dst, _net = quick_cr_setup()
+        result = run_cr_indefinite_sequence(sim, src, dst, 256)
+        assert result.overhead_total == 0
+
+    def test_faults_invisible_to_software(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [0, 1, 2]))
+        sim, src, dst, net = quick_cr_setup(injector=injector)
+        message = list(range(1, 33))
+        result = run_cr_indefinite_sequence(sim, src, dst, 32, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+        assert net.counters.get("hardware_retries") == 3
+        # Software cost identical to fault-free.
+        sim2, src2, dst2, _net2 = quick_cr_setup()
+        clean = run_cr_indefinite_sequence(sim2, src2, dst2, 32)
+        assert result.total == clean.total
+
+    def test_oversized_send_rejected(self):
+        from repro.protocols.cr_protocols import CRStreamSender
+
+        sim, src, dst, _net = quick_cr_setup()
+        sender = CRStreamSender(src, dst.node_id)
+        with pytest.raises(ValueError):
+            sender.send((1, 2, 3, 4, 5))

@@ -1,0 +1,93 @@
+"""Tests for the eager-transfer protocol variant."""
+
+import pytest
+
+from repro import InOrderDelivery, quick_setup, run_finite_sequence
+from repro.arch.attribution import Feature
+from repro.protocols.eager import BounceBufferPool, run_eager
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("words", [4, 16, 100, 1024])
+    def test_delivers_exact_data(self, words):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        message = list(range(7, 7 + words))
+        result = run_eager(sim, src, dst, words, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+
+    def test_no_round_trip_before_data(self):
+        """Eager's defining property: the handshake is gone.  Buffer
+        management shrinks to one header + bounce bookkeeping + the copy."""
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        eager = run_eager(sim, src, dst, 16)
+        sim2, s2, d2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+        rendezvous = run_finite_sequence(sim2, s2, d2, 16)
+        # The sender never receives a reply in the happy path.
+        assert eager.src_costs.get(Feature.BUFFER_MGMT).total < (
+            rendezvous.src_costs.get(Feature.BUFFER_MGMT).total
+        )
+
+    def test_survives_reordered_data(self):
+        """Offsets make arrival order irrelevant, even data-before-header."""
+        sim, src, dst, _net = quick_setup()  # pair-swap reordering
+        message = list(range(1, 65))
+        result = run_eager(sim, src, dst, 64, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+
+
+class TestCrossover:
+    def test_eager_wins_small_messages(self):
+        for words in (4, 16, 64):
+            sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+            eager = run_eager(sim, src, dst, words)
+            sim2, s2, d2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+            rendezvous = run_finite_sequence(sim2, s2, d2, words)
+            assert eager.total < rendezvous.total
+
+    def test_rendezvous_wins_large_messages(self):
+        """The copy through the bounce buffer eventually costs more than
+        the handshake saved."""
+        for words in (256, 1024):
+            sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+            eager = run_eager(sim, src, dst, words)
+            sim2, s2, d2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+            rendezvous = run_finite_sequence(sim2, s2, d2, words)
+            assert eager.total > rendezvous.total
+
+    def test_copy_charged_to_buffer_mgmt(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_eager(sim, src, dst, 1024)
+        # The copy alone is 1024 words of loads+stores = 1024 mem.
+        assert result.dst_costs.get(Feature.BUFFER_MGMT).mem >= 1024
+
+
+class TestBouncePool:
+    def test_refusal_then_retry_succeeds(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        pool = BounceBufferPool(buffers=1, buffer_words=64)
+        hog = pool.claim(32)
+        sim.schedule(500.0, lambda: pool.release(hog))
+        result = run_eager(sim, src, dst, 32, pool=pool)
+        assert result.completed
+        assert result.detail["refusals"] >= 1
+
+    def test_oversized_message_permanently_refused(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        pool = BounceBufferPool(buffers=2, buffer_words=8)
+        with pytest.raises(RuntimeError):
+            run_eager(sim, src, dst, 16, pool=pool)
+
+    def test_pool_accounting(self):
+        pool = BounceBufferPool(buffers=2, buffer_words=128)
+        a = pool.claim(100)
+        assert pool.free_count == 1
+        assert pool.claim(200) is None  # too big
+        pool.release(a)
+        assert pool.free_count == 2
+        assert pool.claims == 1 and pool.refusals == 1
+
+    def test_invalid_pool(self):
+        with pytest.raises(ValueError):
+            BounceBufferPool(buffers=0)

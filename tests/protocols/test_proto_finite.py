@@ -1,0 +1,156 @@
+"""Tests for the finite-sequence, multi-packet protocol (Figure 3)."""
+
+import pytest
+
+from repro import (
+    CmamCosts,
+    FaultInjector,
+    FaultPlan,
+    InOrderDelivery,
+    quick_setup,
+    run_finite_sequence,
+)
+from repro.am.segments import SegmentTable
+from repro.arch.attribution import Feature
+from repro.sim.trace import Tracer
+
+
+class TestHappyPath:
+    def test_16_words_matches_paper(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 16)
+        assert result.completed
+        assert (result.src_costs.total, result.dst_costs.total) == (173, 224)
+
+    def test_1024_words_matches_paper(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 1024)
+        assert (result.src_costs.total, result.dst_costs.total) == (6221, 5516)
+
+    def test_data_lands_in_destination_memory(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        message = list(range(100, 148))
+        result = run_finite_sequence(sim, src, dst, 48, message=message)
+        assert result.delivered_words == message
+
+    def test_message_not_multiple_of_packet_size(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        message = list(range(1, 19))
+        result = run_finite_sequence(sim, src, dst, 18, message=message)
+        assert result.completed
+        assert result.delivered_words == message
+        assert result.packets_sent == 5
+
+    def test_offsets_make_arrival_order_irrelevant(self):
+        """With reordering data channels the finite protocol's cost and
+        outcome are unchanged: offsets, not sequence numbers."""
+        sim, src, dst, _net = quick_setup()  # pair-swap reordering
+        result = run_finite_sequence(sim, src, dst, 16)
+        assert result.completed
+        assert result.delivered_words == list(range(1, 17))
+        assert (result.src_costs.total, result.dst_costs.total) == (173, 224)
+
+    def test_protocol_trace_has_six_steps_shape(self):
+        tracer = Tracer()
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 16, tracer=tracer)
+        labels = [r.category for r in tracer]
+        assert labels.index("xfer.request") < labels.index("xfer.alloc")
+        assert labels.index("xfer.alloc") < labels.index("xfer.complete")
+        assert labels.index("xfer.complete") < labels.index("xfer.acked")
+
+    def test_message_length_validation(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        with pytest.raises(ValueError):
+            run_finite_sequence(sim, src, dst, 16, message=[1, 2, 3])
+
+
+class TestFeatureAttribution:
+    def test_buffer_mgmt_is_fixed_cost(self):
+        totals = []
+        for words in (16, 64, 1024):
+            sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+            result = run_finite_sequence(sim, src, dst, words)
+            totals.append(
+                result.src_costs.get(Feature.BUFFER_MGMT).total
+                + result.dst_costs.get(Feature.BUFFER_MGMT).total
+            )
+        assert totals == [148, 148, 148]
+
+    def test_in_order_cost_scales_with_packets(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        small = run_finite_sequence(sim, src, dst, 16)
+        sim2, src2, dst2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+        large = run_finite_sequence(sim2, src2, dst2, 160)
+        small_io = small.src_costs.get(Feature.IN_ORDER).total + \
+            small.dst_costs.get(Feature.IN_ORDER).total
+        large_io = large.src_costs.get(Feature.IN_ORDER).total + \
+            large.dst_costs.get(Feature.IN_ORDER).total
+        # 2p + 3p + 1: 21 at p=4, 201 at p=40
+        assert (small_io, large_io) == (21, 201)
+
+    def test_fault_tolerance_is_one_ack(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 1024)
+        assert result.src_costs.get(Feature.FAULT_TOLERANCE).total == 27
+        assert result.dst_costs.get(Feature.FAULT_TOLERANCE).total == 20
+
+
+class TestBackpressure:
+    def test_allocation_refused_then_retried(self):
+        """A destination with no free segments NACKs; the sender backs off
+        and eventually succeeds once capacity frees up — software flow
+        control in action."""
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        segments = SegmentTable(capacity_segments=1)
+        blocker = segments.allocate(8, 2)  # hog the only segment
+        sim.schedule(500.0, lambda: segments.free(blocker.segment_id))
+        result = run_finite_sequence(sim, src, dst, 16, segments=segments)
+        assert result.completed
+        assert result.detail["request_retries"] >= 1
+        assert result.delivered_words == list(range(1, 17))
+
+    def test_permanently_refused_raises(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        segments = SegmentTable(capacity_segments=1)
+        segments.allocate(8, 2)  # never freed
+        with pytest.raises(RuntimeError):
+            run_finite_sequence(sim, src, dst, 16, segments=segments)
+
+
+class TestFaultRecovery:
+    def test_dropped_data_packet_recovered_by_retransmission(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [2]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        result = run_finite_sequence(sim, src, dst, 16, rto=200.0)
+        assert result.completed
+        assert result.delivered_words == list(range(1, 17))
+        assert result.detail["data_retransmissions"] == 1
+        # Recovery costs extra: strictly more than the fault-free 397.
+        assert result.total > 397
+
+    def test_corrupted_packet_detected_and_recovered(self):
+        injector = FaultInjector(FaultPlan.corrupt_indices(0, 1, [0, 3]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        result = run_finite_sequence(sim, src, dst, 16, rto=200.0)
+        assert result.completed
+        assert result.delivered_words == list(range(1, 17))
+        assert dst.ni.detected_errors == 2
+
+    def test_without_retransmission_fault_stalls_transfer(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [2]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        result = run_finite_sequence(sim, src, dst, 16)  # rto=None
+        assert not result.completed
+
+    def test_fault_free_run_with_rto_armed_charges_nothing_extra(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_finite_sequence(sim, src, dst, 16, rto=200.0)
+        assert result.completed
+        assert result.total == 397

@@ -1,0 +1,193 @@
+"""Tests for the indefinite-sequence (stream) protocol (Figure 4)."""
+
+import pytest
+
+from repro import (
+    FaultInjector,
+    FaultPlan,
+    FractionReorder,
+    GroupAck,
+    HeadDelayReorder,
+    InOrderDelivery,
+    quick_setup,
+    run_indefinite_sequence,
+)
+from repro.arch.attribution import Feature
+
+
+class TestHappyPath:
+    def test_16_words_matches_paper(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(sim, src, dst, 16)
+        assert result.completed
+        assert (result.src_costs.total, result.dst_costs.total) == (216, 265)
+
+    def test_1024_words_matches_paper(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(sim, src, dst, 1024)
+        assert (result.src_costs.total, result.dst_costs.total) == (13824, 16141)
+
+    def test_user_sees_transmission_order_despite_reordering(self):
+        sim, src, dst, _net = quick_setup()
+        message = list(range(500, 564))
+        result = run_indefinite_sequence(sim, src, dst, 64, message=message)
+        assert result.delivered_words == message
+        assert result.detail["ooo_arrivals"] == 8  # half of 16 packets
+
+    def test_half_the_packets_arrive_out_of_order(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(sim, src, dst, 1024)
+        assert result.detail["ooo_arrivals"] == 128
+        assert result.detail["acks_sent"] == 256
+
+    def test_in_order_network_means_no_ordering_work_at_dest_buffering(self):
+        sim, src, dst, _net = quick_setup(delivery_factory=InOrderDelivery)
+        result = run_indefinite_sequence(sim, src, dst, 64)
+        assert result.detail["ooo_arrivals"] == 0
+        # Sequencing cost remains at the source (it cannot know the network
+        # preserves order) and the in-seq check remains at the destination.
+        assert result.src_costs.get(Feature.IN_ORDER).total == 16 * 5
+
+    def test_deep_reordering_with_head_delay(self):
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=lambda: HeadDelayReorder(7)
+        )
+        message = list(range(1, 65))
+        result = run_indefinite_sequence(sim, src, dst, 64, message=message)
+        assert result.delivered_words == message
+        assert result.detail["ooo_arrivals"] == 7
+
+    def test_quarter_reorder_fraction(self):
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=lambda: FractionReorder(0.25)
+        )
+        result = run_indefinite_sequence(sim, src, dst, 1024)
+        assert result.detail["ooo_arrivals"] == 64
+        assert result.completed
+
+
+class TestFeatureAttribution:
+    def test_no_buffer_management(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(sim, src, dst, 1024)
+        assert result.src_costs.get(Feature.BUFFER_MGMT).total == 0
+        assert result.dst_costs.get(Feature.BUFFER_MGMT).total == 0
+
+    def test_overhead_is_70_percent_and_size_independent(self):
+        fractions = []
+        for words in (16, 256, 1024):
+            sim, src, dst, _net = quick_setup()
+            result = run_indefinite_sequence(sim, src, dst, words)
+            fractions.append(result.overhead_fraction)
+        assert all(0.65 <= f <= 0.72 for f in fractions)
+        assert max(fractions) - min(fractions) < 0.05
+
+    def test_source_buffering_charged_to_fault_tolerance(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(sim, src, dst, 16, ack_policy=None)
+        # 4 packets x (2 mem buffering + ack receive 27) = 116
+        assert result.src_costs.get(Feature.FAULT_TOLERANCE).total == 116
+
+
+class TestGroupAcks:
+    def test_fewer_acks_sent(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(
+            sim, src, dst, 1024, ack_policy=GroupAck(16)
+        )
+        assert result.completed
+        assert result.detail["acks_sent"] == 16
+
+    def test_remainder_gets_final_ack(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(
+            sim, src, dst, 72, ack_policy=GroupAck(16)
+        )  # 18 packets: one group ack + final covering 2
+        assert result.completed
+        assert result.detail["acks_sent"] == 2
+
+    def test_group_acks_reduce_ft_but_overhead_stays_high(self):
+        sim, src, dst, _net = quick_setup()
+        per_packet = run_indefinite_sequence(sim, src, dst, 1024)
+        sim2, src2, dst2, _net2 = quick_setup()
+        grouped = run_indefinite_sequence(
+            sim2, src2, dst2, 1024, ack_policy=GroupAck(16)
+        )
+        assert grouped.total < per_packet.total
+        assert grouped.overhead_fraction > 0.40  # "remains significant"
+
+    def test_all_source_records_released(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_indefinite_sequence(
+            sim, src, dst, 128, ack_policy=GroupAck(8)
+        )
+        assert result.completed  # implies sender.outstanding == 0
+
+
+class TestFaultRecovery:
+    def test_dropped_packet_retransmitted(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [3]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        message = list(range(1, 33))
+        result = run_indefinite_sequence(
+            sim, src, dst, 32, message=message, rto=100.0
+        )
+        assert result.completed
+        assert result.delivered_words == message
+        assert result.detail["retransmissions"] == 1
+
+    def test_corrupted_packet_detected_then_recovered(self):
+        injector = FaultInjector(FaultPlan.corrupt_indices(0, 1, [0, 5]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        result = run_indefinite_sequence(sim, src, dst, 32, rto=100.0)
+        assert result.completed
+        assert dst.ni.detected_errors == 2
+
+    def test_recovery_costs_attributed_to_fault_tolerance(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [0]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        faulty = run_indefinite_sequence(sim, src, dst, 16, rto=100.0)
+        sim2, src2, dst2, _net2 = quick_setup(delivery_factory=InOrderDelivery)
+        clean = run_indefinite_sequence(sim2, src2, dst2, 16)
+        ft_faulty = faulty.src_costs.get(Feature.FAULT_TOLERANCE).total
+        ft_clean = clean.src_costs.get(Feature.FAULT_TOLERANCE).total
+        assert ft_faulty > ft_clean
+        # Base cost at the destination grows by the duplicate... no: the
+        # dropped packet never arrived, so the retransmission is the first
+        # arrival; base cost equals the clean run's.
+        assert faulty.dst_costs.get(Feature.BASE) == clean.dst_costs.get(Feature.BASE)
+
+    def test_duplicate_arrivals_discarded(self):
+        """A slow (not lost) ack triggers retransmission; the receiver must
+        discard the duplicate data packet."""
+        injector = FaultInjector(
+            # Drop the *ack* for data packet 2 (ctrl index -3).
+            FaultPlan.drop_indices(1, 0, [-3])
+        )
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        message = list(range(1, 17))
+        result = run_indefinite_sequence(
+            sim, src, dst, 16, message=message, rto=100.0
+        )
+        assert result.completed
+        assert result.delivered_words == message
+        assert result.detail["duplicates"] == 1
+
+    def test_unreliable_mode_loses_data_silently(self):
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [1]))
+        sim, src, dst, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        result = run_indefinite_sequence(
+            sim, src, dst, 16, reliable=False, rto=100.0
+        )
+        assert not result.completed
+        assert len(result.delivered_words) < 16

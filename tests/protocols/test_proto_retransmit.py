@@ -1,0 +1,87 @@
+"""Unit tests for the retransmission buffer."""
+
+import pytest
+
+from repro.protocols.retransmit import RetransmitBuffer
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_buffer(sim, timeout=10.0, max_retries=16):
+    resent = []
+    buf = RetransmitBuffer(
+        sim, resend=lambda record: resent.append((sim.now, record.seq)),
+        timeout=timeout, max_retries=max_retries,
+    )
+    return buf, resent
+
+
+class TestLifecycle:
+    def test_ack_before_timeout_prevents_resend(self, sim):
+        buf, resent = make_buffer(sim)
+        buf.buffer(0, (1, 2))
+        sim.schedule(5.0, lambda: buf.ack(0))
+        sim.run()
+        assert resent == []
+        assert buf.outstanding == 0
+        assert buf.acked == 1
+
+    def test_timeout_fires_resend_and_rearms(self, sim):
+        buf, resent = make_buffer(sim, timeout=10.0)
+        buf.buffer(0, (1,))
+        sim.schedule(25.0, lambda: buf.ack(0))
+        sim.run()
+        assert [t for t, _s in resent] == [10.0, 20.0]
+        assert buf.retransmissions == 2
+
+    def test_duplicate_ack_returns_false(self, sim):
+        buf, _resent = make_buffer(sim)
+        buf.buffer(0, (1,))
+        assert buf.ack(0)
+        assert not buf.ack(0)
+        sim.run()
+
+    def test_duplicate_seq_rejected(self, sim):
+        buf, _resent = make_buffer(sim)
+        buf.buffer(0, (1,))
+        with pytest.raises(ValueError):
+            buf.buffer(0, (2,))
+
+    def test_max_retries_exhausted_raises(self, sim):
+        buf, _resent = make_buffer(sim, timeout=1.0, max_retries=3)
+        buf.buffer(0, (1,))
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_contains(self, sim):
+        buf, _resent = make_buffer(sim)
+        buf.buffer(3, (1,))
+        assert 3 in buf
+        buf.ack(3)
+        assert 3 not in buf
+
+
+class TestCumulativeAck:
+    def test_ack_up_to(self, sim):
+        buf, _resent = make_buffer(sim)
+        for seq in range(5):
+            buf.buffer(seq, (seq,))
+        released = buf.ack_up_to(2)
+        assert released == 3
+        assert buf.outstanding == 2
+        assert 3 in buf and 4 in buf
+        buf.cancel_all()
+        sim.run()
+
+    def test_cancel_all(self, sim):
+        buf, resent = make_buffer(sim)
+        for seq in range(3):
+            buf.buffer(seq, ())
+        buf.cancel_all()
+        sim.run()
+        assert resent == []
+        assert buf.outstanding == 0

@@ -1,0 +1,87 @@
+"""Unit tests for sequence generation and the reorder window."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.sequencing import ReorderWindow, SequenceError, SequenceGenerator
+
+
+class TestSequenceGenerator:
+    def test_monotone(self):
+        gen = SequenceGenerator()
+        assert [gen.next() for _ in range(4)] == [0, 1, 2, 3]
+        assert gen.issued == 4
+
+    def test_custom_start(self):
+        assert SequenceGenerator(start=10).next() == 10
+
+
+class TestReorderWindow:
+    def test_in_order_passthrough(self):
+        window = ReorderWindow(window=4)
+        for i in range(5):
+            assert window.accept(i, f"p{i}") == [(i, f"p{i}")]
+        assert window.ooo_accepted == 0
+
+    def test_out_of_order_parks_then_drains(self):
+        window = ReorderWindow(window=4)
+        assert window.accept(1, "b") == []
+        assert window.parked_now == 1
+        run = window.accept(0, "a")
+        assert run == [(0, "a"), (1, "b")]
+        assert window.parked_now == 0
+        assert window.ooo_accepted == 1
+
+    def test_long_gap_drains_in_sequence(self):
+        window = ReorderWindow(window=8)
+        for seq in (3, 1, 2):
+            assert window.accept(seq, seq) == []
+        run = window.accept(0, 0)
+        assert [s for s, _v in run] == [0, 1, 2, 3]
+
+    def test_duplicate_of_delivered(self):
+        window = ReorderWindow(window=4)
+        window.accept(0, "a")
+        assert window.accept(0, "a-again") == []
+        assert window.duplicates == 1
+
+    def test_duplicate_of_parked(self):
+        window = ReorderWindow(window=4)
+        window.accept(2, "c")
+        assert window.accept(2, "c-again") == []
+        assert window.duplicates == 1
+        assert window.parked_now == 1
+
+    def test_window_overflow_raises(self):
+        window = ReorderWindow(window=4)
+        with pytest.raises(SequenceError):
+            window.accept(4, "too far")
+
+    def test_peak_tracking(self):
+        window = ReorderWindow(window=8)
+        for seq in (5, 3, 1):
+            window.accept(seq, seq)
+        assert window.parked_peak == 3
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ReorderWindow(window=0)
+
+
+@given(
+    p=st.integers(1, 200),
+    seed=st.integers(0, 1000),
+)
+def test_any_permutation_delivers_in_order(p, seed):
+    """Whatever the arrival permutation, the window's output is 0..p-1 in
+    order — the in-order delivery invariant of the stream protocol."""
+    import random
+
+    order = list(range(p))
+    random.Random(seed).shuffle(order)
+    window = ReorderWindow(window=p + 1)
+    delivered = []
+    for seq in order:
+        delivered.extend(s for s, _v in window.accept(seq, seq))
+    assert delivered == list(range(p))
+    assert window.parked_now == 0

@@ -1,0 +1,64 @@
+"""Tests for single-packet delivery (Table 1)."""
+
+from repro import quick_setup, run_single_packet
+from repro.arch.attribution import Feature
+from repro.protocols.single_packet import TABLE1_ROWS, table1_totals
+
+
+class TestTable1:
+    def test_row_totals(self):
+        assert table1_totals() == (20, 27)
+
+    def test_rows_match_paper_structure(self):
+        by_name = {row.description: row for row in TABLE1_ROWS}
+        assert by_name["Call/Return"].source == 3
+        assert by_name["Call/Return"].destination == 10
+        assert by_name["NI setup"].destination is None
+        assert by_name["Read from NI"].source is None
+        assert by_name["Check NI status"].source == 7
+        assert by_name["Check NI status"].destination == 12
+
+
+class TestMeasuredRun:
+    def test_end_to_end_cost_is_47(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_single_packet(sim, src, dst)
+        assert result.src_costs.total == 20
+        assert result.dst_costs.total == 27
+        assert result.total == 47
+
+    def test_ni_access_dominates(self):
+        """34 of the 47 instructions are NI access in the paper's terms
+        (dev accesses plus the register work of setup/status checking);
+        the dev count alone is 10."""
+        sim, src, dst, _net = quick_setup()
+        result = run_single_packet(sim, src, dst)
+        assert result.src_costs.total_mix.dev == 5
+        assert result.dst_costs.total_mix.dev == 5
+
+    def test_everything_is_base_cost(self):
+        """Single-packet delivery provides no communication services, so
+        there is nothing to attribute to overhead features."""
+        sim, src, dst, _net = quick_setup()
+        result = run_single_packet(sim, src, dst)
+        for costs in (result.src_costs, result.dst_costs):
+            assert costs.overhead_total == 0
+            assert costs.get(Feature.BASE).total > 0
+
+    def test_payload_delivered(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_single_packet(sim, src, dst, payload=(9, 9, 9, 9))
+        assert result.completed
+        assert result.delivered_words == [9, 9, 9, 9]
+
+    def test_unreliable_on_faulty_network(self):
+        """The paper: single-packet delivery is not delivered reliably.
+        A corrupted packet is simply lost (detect-only hardware)."""
+        from repro import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan(corrupt_prob=1.0))
+        sim, src, dst, _net = quick_setup(injector=injector)
+        result = run_single_packet(sim, src, dst)
+        assert not result.completed
+        assert result.delivered_words == []
+        assert dst.ni.detected_errors == 1

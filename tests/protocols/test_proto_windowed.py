@@ -1,0 +1,95 @@
+"""Tests for the credit-windowed stream (end-to-end flow control)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import quick_setup
+from repro.arch.attribution import Feature
+from repro.protocols.windowed import (
+    BACKLOG_ENQ,
+    CREDIT_CHECK,
+    run_windowed_stream,
+)
+
+
+class TestFlowControlInvariant:
+    def test_buffer_never_exceeds_window(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_windowed_stream(sim, src, dst, 256, window=4)
+        assert result.completed
+        assert result.detail["buffer_peak"] <= 4
+
+    def test_burst_absorbed_by_backlog(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_windowed_stream(sim, src, dst, 256, window=4)
+        # 64 packets against a window of 4: most sends park first.
+        assert result.detail["backlog_peak"] == 60
+
+    def test_data_in_order_and_complete(self):
+        sim, src, dst, _net = quick_setup()
+        message = list(range(1000, 1128))
+        result = run_windowed_stream(sim, src, dst, 128, message=message)
+        assert result.delivered_words == message
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        window=st.integers(1, 32),
+        packets=st.integers(1, 60),
+        interval=st.sampled_from([1.0, 5.0, 20.0]),
+    )
+    def test_invariant_for_any_window_and_rate(self, window, packets, interval):
+        """The flow-control property: for any window size and consumption
+        rate, the receive buffer never exceeds the window and everything
+        arrives in order."""
+        sim, src, dst, _net = quick_setup()
+        words = packets * 4
+        result = run_windowed_stream(
+            sim, src, dst, words, window=window, consume_interval=interval
+        )
+        assert result.completed
+        assert result.detail["buffer_peak"] <= window
+        assert result.delivered_words == list(range(1, words + 1))
+
+
+class TestAccounting:
+    def test_flow_control_costs_attributed_to_buffer_mgmt(self):
+        sim, src, dst, _net = quick_setup()
+        result = run_windowed_stream(sim, src, dst, 64, window=2)
+        bm = result.src_costs.get(Feature.BUFFER_MGMT)
+        # Every send pays the credit check; parked sends pay queueing.
+        assert bm.total >= 16 * CREDIT_CHECK.total
+        assert result.detail["backlog_peak"] > 0
+        assert bm.total >= BACKLOG_ENQ.total
+
+    def test_large_window_costs_less_than_small(self):
+        totals = {}
+        for window in (2, 64):
+            sim, src, dst, _net = quick_setup()
+            totals[window] = run_windowed_stream(
+                sim, src, dst, 256, window=window
+            ).total
+        assert totals[64] < totals[2]
+
+
+class TestValidation:
+    def test_zero_window_rejected(self):
+        from repro.am.cmam import AMDispatcher
+        from repro.protocols.windowed import WindowedStreamSender
+
+        sim, src, dst, _net = quick_setup()
+        with pytest.raises(ValueError):
+            WindowedStreamSender(src, AMDispatcher(src), 1, window=0)
+
+    def test_oversized_payload_rejected(self):
+        from repro.am.cmam import AMDispatcher
+        from repro.protocols.windowed import WindowedStreamSender
+
+        sim, src, dst, _net = quick_setup()
+        sender = WindowedStreamSender(src, AMDispatcher(src), 1, window=4)
+        with pytest.raises(ValueError):
+            sender.send((1, 2, 3, 4, 5))
+
+    def test_message_length_validated(self):
+        sim, src, dst, _net = quick_setup()
+        with pytest.raises(ValueError):
+            run_windowed_stream(sim, src, dst, 16, message=[1, 2])

@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_fifo(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_call_now_runs_after_current_event(self, sim):
+        fired = []
+
+        def outer():
+            sim.call_now(lambda: fired.append("inner"))
+            fired.append("outer")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, sim):
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        doomed = sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        doomed.cancel()
+        sim.run()
+        assert fired == ["a", "c"]
+
+    def test_pending_excludes_cancelled(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRun:
+    def test_run_until(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_step_returns_none_when_empty(self, sim):
+        assert sim.step() is None
+
+    def test_step_single(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        event = sim.step()
+        assert fired == [1]
+        assert event.time == 1.0
+
+    def test_event_budget_detects_livelock(self, sim):
+        def respawn():
+            sim.schedule(0.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_event_scheduled_during_run_executes(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append("late")))
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == 2.0

@@ -1,0 +1,152 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Delay, Process, Signal, WaitEvent
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestDelay:
+    def test_process_sleeps(self, sim):
+        trace = []
+
+        def body():
+            trace.append(("start", sim.now))
+            yield Delay(5.0)
+            trace.append(("woke", sim.now))
+
+        Process(sim, body(), name="sleeper")
+        sim.run()
+        assert trace == [("start", 0.0), ("woke", 5.0)]
+
+    def test_result_captured(self, sim):
+        def body():
+            yield Delay(1.0)
+            return 42
+
+        proc = Process(sim, body())
+        sim.run()
+        assert proc.finished
+        assert proc.result == 42
+
+    def test_start_delay(self, sim):
+        times = []
+
+        def body():
+            times.append(sim.now)
+            yield Delay(0.0)
+
+        Process(sim, body(), start_delay=3.0)
+        sim.run()
+        assert times == [3.0]
+
+
+class TestSignals:
+    def test_wait_event_receives_value(self, sim):
+        signal = Signal("data")
+        got = []
+
+        def waiter():
+            value = yield WaitEvent(signal)
+            got.append(value)
+
+        Process(sim, waiter())
+        sim.schedule(2.0, lambda: signal.fire("hello"))
+        sim.run()
+        assert got == ["hello"]
+
+    def test_multiple_waiters_all_wake(self, sim):
+        signal = Signal()
+        woken = []
+
+        def waiter(tag):
+            yield WaitEvent(signal)
+            woken.append(tag)
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+        sim.schedule(1.0, signal.fire)
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_fire_count(self, sim):
+        signal = Signal()
+        signal.fire()
+        signal.fire()
+        assert signal.fire_count == 2
+
+
+class TestComposition:
+    def test_wait_for_other_process(self, sim):
+        order = []
+
+        def child():
+            yield Delay(5.0)
+            order.append("child done")
+            return "payload"
+
+        def parent(child_proc):
+            result = yield child_proc
+            order.append(f"parent got {result}")
+
+        child_proc = Process(sim, child(), name="child")
+        Process(sim, parent(child_proc), name="parent")
+        sim.run()
+        assert order == ["child done", "parent got payload"]
+
+    def test_wait_for_finished_process(self, sim):
+        def quick():
+            return "done"
+            yield  # pragma: no cover
+
+        def parent(child_proc):
+            yield Delay(10.0)
+            result = yield child_proc
+            return result
+
+        child_proc = Process(sim, quick())
+        parent_proc = Process(sim, parent(child_proc))
+        sim.run()
+        assert parent_proc.result == "done"
+
+    def test_bare_yield_reschedules(self, sim):
+        order = []
+
+        def a():
+            order.append("a1")
+            yield
+            order.append("a2")
+
+        def b():
+            order.append("b1")
+            yield
+            order.append("b2")
+
+        Process(sim, a())
+        Process(sim, b())
+        sim.run()
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_unsupported_directive_raises(self, sim):
+        def bad():
+            yield "nonsense"
+
+        Process(sim, bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_process_error_surfaces(self, sim):
+        def bad():
+            yield Delay(1.0)
+            raise ValueError("boom")
+
+        proc = Process(sim, bad())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert proc.finished
+        assert isinstance(proc.error, ValueError)

@@ -1,0 +1,44 @@
+"""Unit tests for named random streams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_name_same_stream_object():
+    streams = RngStreams(seed=1)
+    assert streams.stream("faults") is streams.stream("faults")
+
+
+def test_streams_are_deterministic_across_instances():
+    a = RngStreams(seed=7).stream("routing")
+    b = RngStreams(seed=7).stream("routing")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(seed=7)
+    routing = streams.stream("routing")
+    faults = streams.stream("faults")
+    seq_a = [routing.random() for _ in range(5)]
+    # Drawing from faults must not perturb routing's future draws.
+    fresh = RngStreams(seed=7)
+    fresh_routing = fresh.stream("routing")
+    __ = [fresh.stream("faults").random() for _ in range(100)]
+    seq_b = [fresh_routing.random() for _ in range(5)]
+    # routing already consumed 5 draws in `streams`; compare against a
+    # clean replay instead.
+    replay = RngStreams(seed=7).stream("routing")
+    assert [replay.random() for _ in range(5)] == seq_a
+    assert seq_b == seq_a
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("x")
+    b = RngStreams(seed=2).stream("x")
+    assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+
+def test_fork():
+    base = RngStreams(seed=10)
+    fork = base.fork(5)
+    assert fork.seed == 15
+    assert fork.stream("x").random() == RngStreams(seed=15).stream("x").random()

@@ -1,0 +1,93 @@
+"""Unit tests for statistics accumulators."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Counter, Histogram, RunningStats
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        counter = Counter()
+        counter.incr("a")
+        counter.incr("a", 4)
+        assert counter.get("a") == 5
+        assert counter.get("missing") == 0
+
+    def test_as_dict_is_copy(self):
+        counter = Counter()
+        counter.incr("a")
+        d = counter.as_dict()
+        d["a"] = 99
+        assert counter.get("a") == 1
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.stdev == 0.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.min == 2.0
+        assert stats.max == 9.0
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+
+    def test_summary_keys(self):
+        stats = RunningStats()
+        stats.add(1.0)
+        assert set(stats.summary()) == {"n", "mean", "stdev", "min", "max"}
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100))
+    def test_matches_batch_computation(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.mean == pytest.approx(mean, rel=1e-6, abs=1e-6)
+        assert stats.variance == pytest.approx(var, rel=1e-6, abs=1e-3)
+        assert stats.min == min(values)
+        assert stats.max == max(values)
+
+
+class TestHistogram:
+    def test_binning(self):
+        hist = Histogram(lo=0.0, hi=10.0, bins=10)
+        hist.add(0.5)
+        hist.add(9.5)
+        hist.add(5.0)
+        assert hist.counts[0] == 1
+        assert hist.counts[9] == 1
+        assert hist.counts[5] == 1
+        assert hist.total == 3
+
+    def test_out_of_range_clamps(self):
+        hist = Histogram(lo=0.0, hi=10.0, bins=10)
+        hist.add(-5.0)
+        hist.add(100.0)
+        assert hist.counts[0] == 1
+        assert hist.counts[9] == 1
+
+    def test_edges(self):
+        hist = Histogram(lo=0.0, hi=1.0, bins=4)
+        assert hist.bin_edges() == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Histogram(lo=1.0, hi=1.0, bins=4)
+        with pytest.raises(ValueError):
+            Histogram(lo=0.0, hi=1.0, bins=0)
+
+    def test_render(self):
+        hist = Histogram(lo=0.0, hi=2.0, bins=2)
+        hist.add(0.5)
+        hist.add(1.5)
+        hist.add(1.6)
+        text = hist.render(width=10)
+        assert text.count("\n") == 1
+        assert "#" in text

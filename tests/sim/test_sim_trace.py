@@ -1,0 +1,55 @@
+"""Unit tests for tracing."""
+
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+def test_emit_and_query():
+    tracer = Tracer()
+    tracer.emit(1.0, "net", "inject", packet=1)
+    tracer.emit(2.0, "net", "deliver", packet=1)
+    tracer.emit(3.0, "proto", "ack")
+    assert len(tracer) == 3
+    assert tracer.count("net") == 2
+    assert tracer.labels("proto") == ["ack"]
+    assert [r.time for r in tracer.by_category("net")] == [1.0, 2.0]
+
+
+def test_detail_captured():
+    tracer = Tracer()
+    tracer.emit(0.0, "cat", "label", a=1, b="two")
+    assert tracer.records[0].detail == {"a": 1, "b": "two"}
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(0.0, "cat", "label")
+    assert len(tracer) == 0
+
+
+def test_null_tracer_is_disabled():
+    NULL_TRACER.emit(0.0, "cat", "label")
+    assert len(NULL_TRACER) == 0
+
+
+def test_category_filter():
+    tracer = Tracer()
+    tracer.set_filter(lambda cat: cat.startswith("net"))
+    tracer.emit(0.0, "net.inject", "a")
+    tracer.emit(0.0, "proto", "b")
+    assert tracer.labels() == ["a"]
+
+
+def test_clear():
+    tracer = Tracer()
+    tracer.emit(0.0, "c", "l")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_render_is_stringy_and_limited():
+    tracer = Tracer()
+    for i in range(5):
+        tracer.emit(float(i), "cat", f"event{i}", idx=i)
+    text = tracer.render(limit=2)
+    assert "event0" in text and "event1" in text and "event2" not in text
+    assert "idx=0" in text

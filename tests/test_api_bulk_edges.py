@@ -1,0 +1,55 @@
+"""Edge cases for the bulk API and experiment-output plumbing."""
+
+import pytest
+
+from repro import quick_setup
+from repro.api import Endpoint, bulk_put
+from repro.experiments.common import ExperimentOutput
+
+
+class TestBulkEdges:
+    def test_fire_and_forget_mode(self):
+        sim, a, b, _net = quick_setup()
+        ea, eb = Endpoint(a), Endpoint(b)
+        result = bulk_put(ea, eb, [1, 2, 3], run_to_completion=False)
+        assert not result.completed
+        assert result.data == []
+        # The transfer is in flight; drain it and confirm arrival.
+        sim.run()
+        assert b.node_id == eb.node_id
+        plumbing = b._bulk_plumbing
+        assert len(plumbing.completions) == 1
+
+    def test_single_word_transfer(self):
+        sim, a, b, _net = quick_setup()
+        result = bulk_put(Endpoint(a), Endpoint(b), [42])
+        assert result.completed
+        assert result.data == [42]
+        assert result.packets == 1
+
+    def test_with_retransmission_enabled(self):
+        from repro import FaultInjector, FaultPlan, InOrderDelivery
+
+        injector = FaultInjector(FaultPlan.drop_indices(0, 1, [0]))
+        sim, a, b, _net = quick_setup(
+            delivery_factory=InOrderDelivery, injector=injector
+        )
+        result = bulk_put(Endpoint(a), Endpoint(b), list(range(8)), rto=150.0)
+        assert result.completed
+        assert result.data == list(range(8))
+
+
+class TestExperimentOutput:
+    def test_all_checks_pass_logic(self):
+        good = ExperimentOutput("e", "t", "r", checks={"a": True})
+        bad = ExperimentOutput("e", "t", "r", checks={"a": True, "b": False})
+        empty = ExperimentOutput("e", "t", "r")
+        assert good.all_checks_pass
+        assert not bad.all_checks_pass
+        assert empty.all_checks_pass  # vacuous
+
+    def test_render_shows_fail_markers(self):
+        output = ExperimentOutput("e", "t", "body", checks={"broken": False})
+        text = output.render()
+        assert "[FAIL] broken" in text
+        assert "body" in text

@@ -1,0 +1,111 @@
+"""Tests for length-prefix message framing over channels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import quick_cr_setup, quick_setup
+from repro.api import Endpoint, open_channel
+from repro.api.framing import FrameAssembler, FramedChannel
+
+
+class TestFrameAssembler:
+    def test_single_message(self):
+        assembler = FrameAssembler()
+        assembler.feed([3, 10, 20, 30])
+        assert assembler.messages == [[10, 20, 30]]
+
+    def test_messages_split_across_feeds(self):
+        assembler = FrameAssembler()
+        assembler.feed([4, 1])
+        assert assembler.in_progress
+        assembler.feed([2, 3])
+        assembler.feed([4, 2, 7, 8])
+        assert assembler.messages == [[1, 2, 3, 4], [7, 8]]
+        assert not assembler.in_progress
+
+    def test_empty_message(self):
+        assembler = FrameAssembler()
+        assembler.feed([0, 2, 5, 6])
+        assert assembler.messages == [[], [5, 6]]
+
+    def test_callback(self):
+        assembler = FrameAssembler()
+        seen = []
+        assembler.on_message(seen.append)
+        assembler.feed([1, 42, 2, 1, 2])
+        assert seen == [[42], [1, 2]]
+
+    @given(
+        messages=st.lists(
+            st.lists(st.integers(0, 2**31), max_size=10), max_size=10
+        ),
+        chunk=st.integers(1, 7),
+    )
+    def test_any_chunking_reassembles_exactly(self, messages, chunk):
+        """Framing is chunking-invariant: however the stream is sliced,
+        the original message boundaries come back."""
+        stream = []
+        for message in messages:
+            stream.append(len(message))
+            stream.extend(message)
+        assembler = FrameAssembler()
+        for i in range(0, len(stream), chunk):
+            assembler.feed(stream[i:i + chunk])
+        assert assembler.messages == [list(m) for m in messages]
+
+
+class TestFramedChannel:
+    def _framed(self, setup):
+        sim, a, b, _net = setup()
+        channel = open_channel(Endpoint(a), Endpoint(b))
+        return sim, FramedChannel(channel)
+
+    def test_messages_roundtrip_cmam(self):
+        sim, framed = self._framed(quick_setup)
+        framed.send_message([1, 2, 3])
+        framed.send_message([])
+        framed.send_message(list(range(50)))
+        sim.run()
+        framed.close()
+        assert framed.received_messages == [[1, 2, 3], [], list(range(50))]
+
+    def test_messages_roundtrip_cr(self):
+        sim, framed = self._framed(quick_cr_setup)
+        framed.send_message([9] * 13)
+        framed.send_message([7])
+        sim.run()
+        assert framed.received_messages == [[9] * 13, [7]]
+
+    def test_message_boundaries_independent_of_packetization(self):
+        """A 5-word message spans two 4-word packets; boundaries survive."""
+        sim, framed = self._framed(quick_setup)
+        framed.send_message([1, 2, 3, 4, 5])
+        framed.send_message([6])
+        sim.run()
+        framed.close()
+        assert framed.received_messages == [[1, 2, 3, 4, 5], [6]]
+
+    def test_callback_fires_in_order(self):
+        sim, framed = self._framed(quick_setup)
+        seen = []
+        framed.on_message(seen.append)
+        for i in range(5):
+            framed.send_message([i, i])
+        sim.run()
+        framed.close()
+        assert seen == [[i, i] for i in range(5)]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        messages=st.lists(
+            st.lists(st.integers(0, 2**31), max_size=12),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_property_roundtrip_over_reordering_network(self, messages):
+        sim, framed = self._framed(quick_setup)
+        for message in messages:
+            framed.send_message(message)
+        sim.run()
+        framed.close()
+        assert framed.received_messages == [list(m) for m in messages]

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Each is loaded from its file and its ``main()`` run with stdout captured.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = sorted(
+    name[:-3]
+    for name in os.listdir(EXAMPLES_DIR)
+    if name.endswith(".py")
+)
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_example_inventory():
+    """The README promises these examples; keep the set in sync."""
+    assert set(EXAMPLES) >= {
+        "quickstart",
+        "stream_channel",
+        "fault_tolerance",
+        "network_design_tradeoff",
+        "cluster_workload",
+        "parallel_program",
+        "eager_vs_rendezvous",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} produced no output"
+    assert "Traceback" not in out

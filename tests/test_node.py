@@ -1,0 +1,80 @@
+"""Unit tests for nodes and memory."""
+
+import pytest
+
+from repro.network.cm5 import CM5Network
+from repro.node import Memory, Node, make_node_pair
+from repro.sim.engine import Simulator
+
+
+class TestMemory:
+    def test_unwritten_reads_zero(self):
+        assert Memory(100).read_word(5) == 0
+
+    def test_write_read_word(self):
+        mem = Memory(100)
+        mem.write_word(7, 42)
+        assert mem.read_word(7) == 42
+
+    def test_block_roundtrip(self):
+        mem = Memory(100)
+        mem.write_block(10, [1, 2, 3])
+        assert mem.read_block(10, 3) == [1, 2, 3]
+        assert mem.read_block(9, 5) == [0, 1, 2, 3, 0]
+
+    def test_words_masked_to_32_bits(self):
+        mem = Memory(10)
+        mem.write_word(0, 1 << 35)
+        assert mem.read_word(0) == 0
+
+    def test_bounds_checked(self):
+        mem = Memory(10)
+        with pytest.raises(IndexError):
+            mem.read_word(10)
+        with pytest.raises(IndexError):
+            mem.write_block(8, [1, 2, 3])
+        with pytest.raises(IndexError):
+            mem.read_word(-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+
+
+class TestNode:
+    def test_node_wiring(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        node = Node(3, sim, net, packet_size=8)
+        assert node.ni.packet_size == 8
+        assert node.processor.name == "node3"
+
+    def test_handler_registration(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        node = Node(0, sim, net)
+        fn = lambda node, *args: None
+        node.register_handler("h", fn)
+        assert node.handler("h") is fn
+
+    def test_duplicate_handler_rejected(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        node = Node(0, sim, net)
+        node.register_handler("h", lambda *a: None)
+        with pytest.raises(ValueError):
+            node.register_handler("h", lambda *a: None)
+
+    def test_missing_handler_raises(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        node = Node(0, sim, net)
+        with pytest.raises(KeyError):
+            node.handler("missing")
+
+    def test_make_node_pair(self):
+        sim = Simulator()
+        net = CM5Network(sim)
+        src, dst = make_node_pair(sim, net, packet_size=4, src_id=5, dst_id=9)
+        assert (src.node_id, dst.node_id) == (5, 9)
+        assert src.ni.packet_size == dst.ni.packet_size == 4

@@ -1,0 +1,28 @@
+"""Tests for the ``python -m repro`` self-check and package surface."""
+
+import repro
+from repro.__main__ import main as selfcheck_main
+
+
+def test_selfcheck_passes(capsys):
+    assert selfcheck_main() == 0
+    out = capsys.readouterr().out
+    assert "All calibration pins reproduce the paper exactly." in out
+    assert "[FAIL]" not in out
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_public_surface_importable():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_quick_setups_are_independent():
+    sim1, a1, b1, n1 = repro.quick_setup()
+    sim2, a2, b2, n2 = repro.quick_setup()
+    assert sim1 is not sim2 and n1 is not n2
+    a1.processor.reg_ops(5)
+    assert a2.processor.costs.total == 0

@@ -1,0 +1,58 @@
+"""Tests for message-size distributions."""
+
+import random
+
+import pytest
+
+from repro.workloads.messages import (
+    BimodalSize,
+    FixedSize,
+    PAPER_LARGE_WORDS,
+    PAPER_SMALL_WORDS,
+    UniformSize,
+)
+
+
+def test_paper_sizes():
+    assert PAPER_SMALL_WORDS == 16
+    assert PAPER_LARGE_WORDS == 1024
+
+
+class TestFixed:
+    def test_constant(self):
+        dist = FixedSize(16)
+        rng = random.Random(0)
+        assert dist.stream(rng, 10) == [16] * 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+
+class TestUniform:
+    def test_within_bounds(self):
+        dist = UniformSize(4, 64)
+        rng = random.Random(1)
+        samples = dist.stream(rng, 500)
+        assert all(4 <= s <= 64 for s in samples)
+        assert min(samples) < 10 and max(samples) > 58  # actually spreads
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformSize(10, 5)
+        with pytest.raises(ValueError):
+            UniformSize(0, 5)
+
+
+class TestBimodal:
+    def test_mix_ratio(self):
+        dist = BimodalSize(large_fraction=0.2)
+        rng = random.Random(2)
+        samples = dist.stream(rng, 5000)
+        large = sum(1 for s in samples if s == PAPER_LARGE_WORDS)
+        assert large / 5000 == pytest.approx(0.2, abs=0.03)
+        assert set(samples) == {PAPER_SMALL_WORDS, PAPER_LARGE_WORDS}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            BimodalSize(large_fraction=2.0)

@@ -1,0 +1,71 @@
+"""Tests for communication patterns."""
+
+import random
+
+import pytest
+
+from repro.workloads.patterns import (
+    hotspot_pairs,
+    pairwise,
+    permutation_pairs,
+    uniform_random_pairs,
+)
+
+
+class TestPairwise:
+    def test_default(self):
+        assert pairwise() == [(0, 1)]
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise(3, 3)
+
+
+class TestUniformRandom:
+    def test_no_self_sends(self):
+        rng = random.Random(0)
+        pairs = uniform_random_pairs(8, 1000, rng)
+        assert len(pairs) == 1000
+        assert all(src != dst for src, dst in pairs)
+        assert all(0 <= s < 8 and 0 <= d < 8 for s, d in pairs)
+
+    def test_covers_all_destinations(self):
+        rng = random.Random(0)
+        pairs = uniform_random_pairs(4, 500, rng)
+        assert {d for _s, d in pairs} == {0, 1, 2, 3}
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            uniform_random_pairs(1, 5, random.Random(0))
+
+
+class TestPermutation:
+    def test_is_derangement(self):
+        rng = random.Random(5)
+        pairs = permutation_pairs(16, rng)
+        assert len(pairs) == 16
+        assert all(src != dst for src, dst in pairs)
+        assert sorted(d for _s, d in pairs) == list(range(16))
+        assert sorted(s for s, _d in pairs) == list(range(16))
+
+
+class TestHotspot:
+    def test_hotspot_attracts_heat(self):
+        rng = random.Random(3)
+        pairs = hotspot_pairs(16, 4000, rng, hotspot=5, heat=0.5)
+        to_hot = sum(1 for _s, d in pairs if d == 5)
+        assert to_hot / 4000 > 0.4
+        assert all(s != d for s, d in pairs)
+
+    def test_zero_heat_uniformish(self):
+        rng = random.Random(3)
+        pairs = hotspot_pairs(16, 4000, rng, hotspot=5, heat=0.0)
+        to_hot = sum(1 for _s, d in pairs if d == 5)
+        assert to_hot / 4000 < 0.15
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            hotspot_pairs(8, 10, rng, hotspot=9)
+        with pytest.raises(ValueError):
+            hotspot_pairs(8, 10, rng, heat=1.5)

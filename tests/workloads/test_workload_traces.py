@@ -1,0 +1,64 @@
+"""Tests for synthetic traces."""
+
+import random
+
+import pytest
+
+from repro.workloads.messages import FixedSize
+from repro.workloads.traces import SyntheticTrace, TraceEvent
+
+
+class TestTraceBasics:
+    def test_events_sorted_by_time(self):
+        trace = SyntheticTrace([
+            TraceEvent(5.0, 0, 1, 16),
+            TraceEvent(1.0, 1, 0, 16),
+        ])
+        assert [e.time for e in trace] == [1.0, 5.0]
+
+    def test_aggregates(self):
+        trace = SyntheticTrace([
+            TraceEvent(1.0, 0, 1, 16),
+            TraceEvent(2.0, 1, 2, 32),
+        ])
+        assert len(trace) == 2
+        assert trace.total_words == 48
+        assert trace.duration == 2.0
+
+    def test_empty_trace(self):
+        trace = SyntheticTrace([])
+        assert trace.duration == 0.0
+        assert trace.total_words == 0
+
+
+class TestGenerators:
+    def test_poisson_shape(self):
+        trace = SyntheticTrace.poisson(
+            8, 200, rate=2.0, rng=random.Random(0), sizes=FixedSize(16)
+        )
+        assert len(trace) == 200
+        times = [e.time for e in trace]
+        assert times == sorted(times)
+        assert all(e.words == 16 for e in trace)
+        # Mean inter-arrival ~ 1/rate.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.5, abs=0.15)
+
+    def test_poisson_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SyntheticTrace.poisson(4, 10, rate=0.0, rng=random.Random(0))
+
+    def test_bursty_structure(self):
+        trace = SyntheticTrace.bursty(
+            8, bursts=3, burst_len=5, gap=100.0, rng=random.Random(1)
+        )
+        assert len(trace) == 15
+        distinct_times = sorted({e.time for e in trace})
+        assert distinct_times == [0.0, 100.0, 200.0]
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticTrace.poisson(8, 50, 1.0, random.Random(42))
+        b = SyntheticTrace.poisson(8, 50, 1.0, random.Random(42))
+        assert [(e.time, e.src, e.dst) for e in a] == [
+            (e.time, e.src, e.dst) for e in b
+        ]
