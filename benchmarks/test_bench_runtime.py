@@ -1,0 +1,121 @@
+"""Bench: the live runtime — loopback latency and feature time shares.
+
+Measures (a) single-packet round-trip latency over the in-process
+loopback transport and (b) the per-feature wall-clock share of all three
+protocols in both CM-5-like and CR transport modes, then writes the
+whole data set to ``benchmarks/BENCH_runtime.json`` so downstream
+tooling can track the runtime's Figure 6 reproduction over time.
+
+Every measured run carries a hard deadline (enforced inside
+``measure_live`` with ``asyncio.wait_for``), so an asyncio hang fails
+the bench quickly instead of stalling it.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import measure_live
+
+BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
+
+#: Accumulated across the tests in this module; the last test writes it.
+RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}}
+
+MESSAGE_WORDS = 512
+DEADLINE = 30.0
+FAULTS = {"drop_rate": 0.02, "reorder_rate": 0.25, "seed": 0x5CA1E}
+
+
+def _measure(protocol, mode):
+    kwargs = dict(FAULTS) if mode == "cm5" else {}
+    start = time.perf_counter_ns()
+    result = measure_live(
+        protocol, mode=mode, transport="loopback",
+        message_words=MESSAGE_WORDS, deadline=DEADLINE, **kwargs,
+    )
+    elapsed_ns = time.perf_counter_ns() - start
+    assert result.completed, f"{protocol}/{mode} did not complete"
+    return result, elapsed_ns
+
+
+def test_loopback_single_packet_rtt(benchmark):
+    """Round-trip latency of one acknowledged 16-word datagram."""
+
+    def round_trip():
+        return measure_live(
+            "single", mode="cm5", transport="loopback",
+            message_words=16, packet_words=16,
+            deadline=DEADLINE, reorder_rate=0.0,
+        )
+
+    result = benchmark(round_trip)
+    assert result.completed
+    samples = [round_trip().wall_ns for _ in range(5)]
+    RESULTS["rtt"] = {
+        "message_words": 16,
+        "wall_ns_median": statistics.median(samples),
+        "wall_ns_min": min(samples),
+        "wall_ns_max": max(samples),
+    }
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+@pytest.mark.parametrize("protocol", ["single", "finite", "indefinite"])
+def test_time_shares(protocol, mode):
+    """Per-feature wall-clock shares for every protocol x mode cell."""
+    result, elapsed_ns = _measure(protocol, mode)
+    breakdown = result.breakdown()
+    RESULTS["protocols"][f"{protocol}/{mode}"] = {
+        "message_words": result.message_words,
+        "packets_sent": result.packets_sent,
+        "wall_ns": result.wall_ns,
+        "harness_ns": elapsed_ns,
+        "retransmissions": result.retransmissions,
+        "duplicates": result.duplicates,
+        "drops_injected": result.drops_injected,
+        "breakdown": breakdown.to_dict(),
+    }
+    if mode == "cr":
+        # The network provides the services; the machinery must not run.
+        assert breakdown.ordering_plus_fault_share() == 0.0
+
+
+@pytest.mark.parametrize("protocol", ["single", "finite", "indefinite"])
+def test_figure6_collapse_direction(protocol):
+    """CR mode's ordering+fault share collapses relative to CM-5 mode."""
+    cm5 = RESULTS["protocols"].get(f"{protocol}/cm5")
+    cr = RESULTS["protocols"].get(f"{protocol}/cr")
+    if cm5 is None or cr is None:
+        pytest.skip("share measurements did not run")
+
+    def share(record):
+        features = record["breakdown"]["features"]
+        return features["in_order"]["share"] + features["fault_tolerance"]["share"]
+
+    cm5_share, cr_share = share(cm5), share(cr)
+    RESULTS["collapse"][protocol] = {
+        "cm5_ordering_fault_share": cm5_share,
+        "cr_ordering_fault_share": cr_share,
+    }
+    assert cm5_share > 0.0
+    assert cr_share < cm5_share * 0.5
+
+
+def test_write_bench_json():
+    """Emit the machine-readable results (runs last in this module)."""
+    if not RESULTS["protocols"]:
+        pytest.skip("no measurements to write")
+    payload = {
+        "bench": "runtime",
+        "transport": "loopback",
+        "message_words": MESSAGE_WORDS,
+        "faults_cm5_mode": FAULTS,
+        **RESULTS,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    written = json.loads(BENCH_JSON.read_text())
+    assert written["protocols"], "emitter wrote an empty result set"

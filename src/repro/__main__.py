@@ -1,12 +1,18 @@
-"""``python -m repro`` — quick self-verification.
+"""``python -m repro`` — self-verification and the live runtime CLI.
 
-Runs the keystone calibration pins in a few hundred milliseconds and
-prints a one-screen report: is this installation reproducing the paper?
-For the full artifact regeneration use ``python -m repro.experiments.runner``.
+With no arguments (or ``selfcheck``): run the keystone calibration pins
+in a few hundred milliseconds and print a one-screen report — is this
+installation reproducing the paper?  For the full artifact regeneration
+use ``python -m repro.experiments.runner``.
+
+``python -m repro runtime demo|bench`` drives the live asyncio runtime:
+the same three protocols over real transports, with measured wall-clock
+feature breakdowns (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro import (
@@ -29,7 +35,7 @@ PINS = (
 )
 
 
-def main() -> int:
+def selfcheck() -> int:
     print("repro self-check: Karamcheti & Chien (ASPLOS 1994) calibration pins\n")
     failures = 0
 
@@ -72,5 +78,26 @@ def main() -> int:
     return 0
 
 
+def main(argv=()) -> int:
+    """Entry point.  ``main()`` with no arguments runs the self-check."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction self-check and live-runtime CLI.",
+    )
+    commands = parser.add_subparsers(dest="command")
+    commands.add_parser(
+        "selfcheck", help="verify the calibration pins (the default)")
+    runtime = commands.add_parser(
+        "runtime", help="run the live asyncio messaging runtime")
+
+    from repro.runtime.demo import add_runtime_subparsers
+    add_runtime_subparsers(runtime)
+
+    args = parser.parse_args(list(argv))
+    if args.command is None or args.command == "selfcheck":
+        return selfcheck()
+    return args.func(args)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

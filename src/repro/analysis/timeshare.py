@@ -1,0 +1,205 @@
+"""Time-based feature breakdowns: Tables 2-3 and Figure 6 in nanoseconds.
+
+The simulator's :class:`~repro.analysis.breakdown.FeatureBreakdown`
+tabulates *instruction counts* per feature; the live runtime measures
+*wall-clock nanoseconds* per feature.  :class:`TimeBreakdown` gives the
+measured spans the same table shape — rows per feature, columns for
+source/destination/total, shares of the total — so the runtime's output
+reads side by side with the paper's tables, and
+:func:`render_mode_comparison` lines a CM-5-mode run up against a
+CR-mode run the way Figure 6 lines CMAM up against the high-level
+network.
+
+This module deliberately takes plain ``{Feature: ns}`` dicts rather than
+runtime objects, so the analysis layer stays independent of asyncio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.analysis.report import render_table
+from repro.arch.attribution import (
+    FEATURE_LABELS,
+    FEATURE_ORDER,
+    OVERHEAD_FEATURES,
+    Feature,
+)
+
+
+def _us(ns: int) -> str:
+    """Render nanoseconds as microseconds with one decimal."""
+    return f"{ns / 1000.0:.1f}"
+
+
+@dataclass
+class TimeShareRow:
+    """One feature row of a wall-clock breakdown."""
+
+    feature: Feature
+    src_ns: int
+    dst_ns: int
+
+    @property
+    def label(self) -> str:
+        return FEATURE_LABELS[self.feature]
+
+    @property
+    def total_ns(self) -> int:
+        return self.src_ns + self.dst_ns
+
+
+@dataclass
+class TimeBreakdown:
+    """A full per-feature wall-clock table for one protocol run."""
+
+    protocol: str
+    mode: str
+    message_words: int
+    rows: List[TimeShareRow] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        protocol: str,
+        mode: str,
+        message_words: int,
+        src_ns: Mapping[Feature, int],
+        dst_ns: Mapping[Feature, int],
+    ) -> "TimeBreakdown":
+        breakdown = cls(protocol=protocol, mode=mode, message_words=message_words)
+        for feature in FEATURE_ORDER:
+            breakdown.rows.append(
+                TimeShareRow(
+                    feature=feature,
+                    src_ns=int(src_ns.get(feature, 0)),
+                    dst_ns=int(dst_ns.get(feature, 0)),
+                )
+            )
+        return breakdown
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def src_total_ns(self) -> int:
+        return sum(row.src_ns for row in self.rows)
+
+    @property
+    def dst_total_ns(self) -> int:
+        return sum(row.dst_ns for row in self.rows)
+
+    @property
+    def total_ns(self) -> int:
+        return self.src_total_ns + self.dst_total_ns
+
+    @property
+    def overhead_ns(self) -> int:
+        return sum(
+            row.total_ns for row in self.rows if row.feature is not Feature.BASE
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = self.total_ns
+        return self.overhead_ns / total if total else 0.0
+
+    def share(self, feature: Feature) -> float:
+        total = self.total_ns
+        return self.row(feature).total_ns / total if total else 0.0
+
+    def ordering_plus_fault_share(self) -> float:
+        """The Figure 6 quantity: in-order + fault-tolerance share."""
+        return self.share(Feature.IN_ORDER) + self.share(Feature.FAULT_TOLERANCE)
+
+    def row(self, feature: Feature) -> TimeShareRow:
+        for candidate in self.rows:
+            if candidate.feature is feature:
+                return candidate
+        raise KeyError(feature)
+
+    def shares(self) -> Dict[str, float]:
+        """Feature shares keyed by feature value (JSON-friendly)."""
+        return {
+            row.feature.value: self.share(row.feature) for row in self.rows
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (for BENCH_runtime.json)."""
+        return {
+            "protocol": self.protocol,
+            "mode": self.mode,
+            "message_words": self.message_words,
+            "total_ns": self.total_ns,
+            "overhead_fraction": self.overhead_fraction,
+            "features": {
+                row.feature.value: {
+                    "src_ns": row.src_ns,
+                    "dst_ns": row.dst_ns,
+                    "share": self.share(row.feature),
+                }
+                for row in self.rows
+            },
+        }
+
+
+def render_time_table(breakdown: TimeBreakdown) -> str:
+    """The wall-clock analogue of ``render_cost_table`` (values in µs)."""
+    headers = ["Feature", "Src (us)", "Dst (us)", "Total (us)", "Share"]
+    rows = []
+    total = breakdown.total_ns
+    for row in breakdown.rows:
+        share = row.total_ns / total if total else 0.0
+        rows.append(
+            [row.label, _us(row.src_ns), _us(row.dst_ns),
+             _us(row.total_ns), f"{share:.0%}"]
+        )
+    rows.append(
+        ["Total", _us(breakdown.src_total_ns), _us(breakdown.dst_total_ns),
+         _us(total), "100%"]
+    )
+    title = (
+        f"{breakdown.protocol} / {breakdown.mode} mode, "
+        f"{breakdown.message_words} words (measured wall-clock)"
+    )
+    return title + "\n" + render_table(headers, rows)
+
+
+def render_mode_comparison(cm5: TimeBreakdown, cr: TimeBreakdown) -> str:
+    """Figure 6's CM-5-vs-CR comparison, re-derived from measured time."""
+    headers = ["Feature", "CM-5 (us)", "CM-5 share", "CR (us)", "CR share"]
+    rows = []
+    for feature in FEATURE_ORDER:
+        rows.append(
+            [
+                FEATURE_LABELS[feature],
+                _us(cm5.row(feature).total_ns),
+                f"{cm5.share(feature):.0%}",
+                _us(cr.row(feature).total_ns),
+                f"{cr.share(feature):.0%}",
+            ]
+        )
+    rows.append(
+        ["Total", _us(cm5.total_ns), "100%", _us(cr.total_ns), "100%"]
+    )
+    title = (
+        f"{cm5.protocol}, {cm5.message_words} words — "
+        "measured time by feature, CM-5 vs CR transport"
+    )
+    return title + "\n" + render_table(headers, rows)
+
+
+def overhead_collapse(cm5: TimeBreakdown, cr: TimeBreakdown) -> Dict[str, float]:
+    """Quantify the Figure 6 direction between two runs of one protocol.
+
+    Returns the ordering+fault-tolerance share under each mode and their
+    ratio; the paper's finding is reproduced when the CR share collapses
+    (ratio well under 1).
+    """
+    cm5_share = cm5.ordering_plus_fault_share()
+    cr_share = cr.ordering_plus_fault_share()
+    return {
+        "cm5_ordering_fault_share": cm5_share,
+        "cr_ordering_fault_share": cr_share,
+        "collapse_ratio": (cr_share / cm5_share) if cm5_share else 0.0,
+    }

@@ -1,0 +1,89 @@
+"""repro.runtime — the live asyncio messaging runtime.
+
+Everything else in this package measures the paper's protocols inside a
+deterministic simulator, in instruction counts.  This subsystem runs the
+same three protocols *for real* — over an in-process loopback transport
+that emulates the CM-5's weak delivery model (reordering, drops,
+duplication) or guarantees CR-style ordered lossless delivery, and over
+real UDP sockets for multi-process runs — and attributes measured
+wall-clock time to the paper's four feature buckets, so Figure 6's
+CM-5-vs-CR comparison can be re-derived from ``perf_counter_ns`` spans
+instead of modeled instruction counts.
+
+Entry points:
+
+* ``python -m repro runtime demo`` / ``python -m repro runtime bench``
+* :func:`~repro.runtime.runner.measure_live` for synchronous one-shots
+* :func:`~repro.runtime.channels.open_live_channel` for the
+  sockets-flavoured API mirroring :mod:`repro.api`
+"""
+
+from repro.runtime.channels import LiveChannel, LiveFramedChannel, open_live_channel
+from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.frames import Frame, FrameError, FrameKind, decode_frame, encode_frame
+from repro.runtime.protocols import (
+    BulkReceiver,
+    BulkSender,
+    OrderedChannelReceiver,
+    OrderedChannelSender,
+    ProtocolFailure,
+    SinglePacketReceiver,
+    SinglePacketSender,
+)
+from repro.runtime.reliability import BackoffPolicy, Retransmitter, RetransmitExhausted
+from repro.runtime.runner import (
+    PROTOCOL_NAMES,
+    RuntimePair,
+    RuntimeRunResult,
+    make_loopback_pair,
+    make_udp_pair,
+    measure_live,
+    run_bulk_live,
+    run_ordered_live,
+    run_single_packet_live,
+)
+from repro.runtime.spans import TimeAttribution
+from repro.runtime.transport import (
+    FaultProfile,
+    LoopbackHub,
+    LoopbackTransport,
+    Transport,
+    UDPTransport,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "BulkReceiver",
+    "BulkSender",
+    "FaultProfile",
+    "Frame",
+    "FrameError",
+    "FrameKind",
+    "LiveChannel",
+    "LiveFramedChannel",
+    "LoopbackHub",
+    "LoopbackTransport",
+    "OrderedChannelReceiver",
+    "OrderedChannelSender",
+    "PROTOCOL_NAMES",
+    "ProtocolFailure",
+    "Retransmitter",
+    "RetransmitExhausted",
+    "RuntimeEndpoint",
+    "RuntimePair",
+    "RuntimeRunResult",
+    "SinglePacketReceiver",
+    "SinglePacketSender",
+    "TimeAttribution",
+    "Transport",
+    "UDPTransport",
+    "decode_frame",
+    "encode_frame",
+    "make_loopback_pair",
+    "make_udp_pair",
+    "measure_live",
+    "open_live_channel",
+    "run_bulk_live",
+    "run_ordered_live",
+    "run_single_packet_live",
+]

@@ -1,0 +1,135 @@
+"""Sockets-flavoured channel surface over the live ordered protocol.
+
+The runtime mirror of :func:`repro.api.channel.open_channel`: the same
+shape (an ordered word-stream channel between two endpoints, packetized
+transparently), the same receive surface (it reuses
+:class:`repro.api.channel.ChannelReceiveBuffer` verbatim), and the same
+framing layer (:class:`repro.api.framing.FrameAssembler`) — only ``send``
+is a coroutine, because the bytes really move.
+
+Like the simulated API, the factory inspects the transport's service
+flags and instantiates the cheap path when the network provides ordering
+and reliability, or the full CM-5 protocol machinery when it does not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.api.channel import ChannelReceiveBuffer
+from repro.api.framing import FrameAssembler, MAX_MESSAGE_WORDS
+from repro.protocols.base import packet_payload_sizes
+from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.protocols import (
+    CH_STREAM,
+    OrderedChannelReceiver,
+    OrderedChannelSender,
+)
+from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.transport import Address
+
+
+class LiveChannel:
+    """The sending half of a live unidirectional ordered channel."""
+
+    def __init__(self, sender: OrderedChannelSender,
+                 receiver: OrderedChannelReceiver,
+                 receive_buffer: ChannelReceiveBuffer,
+                 packet_words: int, mode: str) -> None:
+        self._sender = sender
+        self._receiver = receiver
+        self.receive_buffer = receive_buffer
+        self.packet_words = packet_words
+        self.mode = mode
+        self.words_sent = 0
+
+    async def send(self, words: Sequence[int]) -> int:
+        """Send an arbitrary-length word sequence; returns packets used."""
+        words = list(words)
+        sizes = packet_payload_sizes(len(words), self.packet_words)
+        cursor = 0
+        for take in sizes:
+            await self._sender.send(words[cursor:cursor + take])
+            cursor += take
+        self.words_sent += len(words)
+        return len(sizes)
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Wait for every sent packet to be acknowledged (no-op on CR)."""
+        await self._sender.drain(timeout)
+
+    @property
+    def outstanding(self) -> int:
+        """Unacknowledged packets in the source buffer (0 on CR)."""
+        return self._sender.outstanding
+
+    def close(self) -> None:
+        self._sender.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LiveChannel(mode={self.mode}, sent={self.words_sent}w)"
+
+
+def open_live_channel(
+    tx: RuntimeEndpoint,
+    rx: RuntimeEndpoint,
+    dst: Optional[Address] = None,
+    channel: int = CH_STREAM,
+    window: int = 32,
+    packet_words: int = 16,
+    reorder_window: int = 256,
+    backoff: Optional[BackoffPolicy] = None,
+) -> LiveChannel:
+    """Open a live ordered channel from ``tx`` to ``rx``.
+
+    ``dst`` defaults to ``rx``'s transport address (one-process loopback);
+    pass it explicitly for multi-process UDP runs where ``rx`` is remote.
+    """
+    if reorder_window < window:
+        raise ValueError("receiver reorder window must cover the send window")
+    buffer = ChannelReceiveBuffer()
+    receiver = OrderedChannelReceiver(
+        rx, channel=channel, window=reorder_window, deliver=buffer._deliver
+    )
+    sender = OrderedChannelSender(
+        tx, dst if dst is not None else rx.local_address,
+        channel=channel, window=window, backoff=backoff,
+    )
+    mode = "cr" if tx.cr_mode else "cm5"
+    return LiveChannel(sender, receiver, buffer, packet_words, mode)
+
+
+class LiveFramedChannel:
+    """Discrete messages over a live channel (length-prefix framing).
+
+    Reuses the simulator API's :class:`FrameAssembler` — the framing
+    state machine is delivery-agnostic, so the live and simulated stacks
+    share it unchanged.
+    """
+
+    def __init__(self, channel: LiveChannel) -> None:
+        self.channel = channel
+        self.assembler = FrameAssembler()
+        channel.receive_buffer.on_record(
+            lambda payload: self.assembler.feed(payload)
+        )
+        self.messages_sent = 0
+
+    async def send_message(self, words: Sequence[int]) -> int:
+        """Send one framed message; returns packets used."""
+        words = list(words)
+        if len(words) > MAX_MESSAGE_WORDS:
+            raise ValueError("message too long to frame")
+        packets = await self.channel.send([len(words)] + words)
+        self.messages_sent += 1
+        return packets
+
+    @property
+    def received_messages(self) -> List[List[int]]:
+        return self.assembler.messages
+
+    def on_message(self, callback: Callable[[List[int]], None]) -> None:
+        self.assembler.on_message(callback)
+
+    def close(self) -> None:
+        self.channel.close()

@@ -1,0 +1,210 @@
+"""CLI entry points for the live runtime (``python -m repro runtime``).
+
+Two commands:
+
+* ``demo`` — run one protocol (or all three) over a fault-injecting
+  CM-5-mode transport, show that the transfer survives the injected
+  faults, then rerun in CR mode and print the measured Figure 6
+  comparison: the ordering + fault-tolerance time share collapsing once
+  the network provides the services.
+* ``bench`` — measure every protocol in both modes and emit the tables,
+  optionally as machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.timeshare import (
+    overhead_collapse,
+    render_mode_comparison,
+    render_time_table,
+)
+from repro.runtime.runner import PROTOCOL_NAMES, RuntimeRunResult, measure_live
+
+#: The CR share must come in below this fraction of the CM-5 share for
+#: the demo to declare the paper's direction reproduced.
+COLLAPSE_THRESHOLD = 0.5
+
+
+def _result_record(result: RuntimeRunResult) -> Dict[str, Any]:
+    breakdown = result.breakdown()
+    return {
+        "protocol": result.protocol,
+        "mode": result.mode,
+        "transport": result.transport,
+        "message_words": result.message_words,
+        "packet_words": result.packet_words,
+        "packets_sent": result.packets_sent,
+        "completed": result.completed,
+        "wall_ns": result.wall_ns,
+        "retransmissions": result.retransmissions,
+        "duplicates": result.duplicates,
+        "ooo_arrivals": result.ooo_arrivals,
+        "drops_injected": result.drops_injected,
+        "breakdown": breakdown.to_dict(),
+    }
+
+
+def _fault_kwargs(args) -> Dict[str, float]:
+    return {
+        "drop_rate": args.drop_rate,
+        "dup_rate": args.dup_rate,
+        "reorder_rate": args.reorder_rate,
+        "seed": args.seed,
+    }
+
+
+def run_demo(args) -> int:
+    """The ``runtime demo`` command; returns a process exit code."""
+    protocols = list(PROTOCOL_NAMES) if args.protocol == "all" else [args.protocol]
+    message_words = args.packets * args.packet_words
+    failures = 0
+    records: List[Dict[str, Any]] = []
+
+    print("repro live runtime — the paper's protocols over real transports\n")
+    for protocol in protocols:
+        print(
+            f"== {protocol}: {args.packets} packets x {args.packet_words} words "
+            f"over {args.transport} "
+            f"(drop={args.drop_rate:.0%}, dup={args.dup_rate:.0%}, "
+            f"reorder={args.reorder_rate:.0%}) =="
+        )
+        cm5 = measure_live(
+            protocol, mode="cm5", transport=args.transport,
+            message_words=message_words, packet_words=args.packet_words,
+            deadline=args.deadline,
+            **(_fault_kwargs(args) if args.transport == "loopback" else {}),
+        )
+        status = "ok" if cm5.completed else "FAIL"
+        print(
+            f"  [{status}] CM-5 mode: delivered {len(cm5.delivered_words)}/"
+            f"{message_words} words in {cm5.wall_ns / 1e6:.1f} ms wall "
+            f"(drops injected: {cm5.drops_injected}, "
+            f"retransmissions: {cm5.retransmissions}, "
+            f"duplicates absorbed: {cm5.duplicates}, "
+            f"out-of-order arrivals: {cm5.ooo_arrivals})"
+        )
+        if not cm5.completed:
+            failures += 1
+        records.append(_result_record(cm5))
+
+        if args.transport != "loopback":
+            # CR mode is a loopback-hub service; UDP has no such switch.
+            print(render_time_table(cm5.breakdown()))
+            print()
+            continue
+
+        cr = measure_live(
+            protocol, mode="cr", transport="loopback",
+            message_words=message_words, packet_words=args.packet_words,
+            deadline=args.deadline,
+        )
+        if not cr.completed:
+            failures += 1
+        records.append(_result_record(cr))
+        print()
+        print(render_mode_comparison(cm5.breakdown(), cr.breakdown()))
+        collapse = overhead_collapse(cm5.breakdown(), cr.breakdown())
+        cm5_share = collapse["cm5_ordering_fault_share"]
+        cr_share = collapse["cr_ordering_fault_share"]
+        collapsed = (
+            cm5_share == 0.0 or cr_share <= cm5_share * COLLAPSE_THRESHOLD
+        )
+        if not collapsed:
+            failures += 1
+        print(
+            f"  [{'ok' if collapsed else 'FAIL'}] ordering + fault-tolerance "
+            f"share: {cm5_share:.0%} (CM-5) -> {cr_share:.0%} (CR) — "
+            + ("collapses, matching Figure 6's direction"
+               if collapsed else "did NOT collapse")
+        )
+        print()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} check(s) FAILED")
+        return 1
+    print("live runtime checks passed.")
+    return 0
+
+
+def run_bench(args) -> int:
+    """The ``runtime bench`` command; returns a process exit code."""
+    records: List[Dict[str, Any]] = []
+    failures = 0
+    message_words = args.packets * args.packet_words
+    print("repro live runtime bench — per-feature wall-clock shares\n")
+    for protocol in PROTOCOL_NAMES:
+        results: Dict[str, RuntimeRunResult] = {}
+        for mode in ("cm5", "cr"):
+            kwargs = _fault_kwargs(args) if mode == "cm5" else {}
+            result = measure_live(
+                protocol, mode=mode, transport="loopback",
+                message_words=message_words, packet_words=args.packet_words,
+                deadline=args.deadline, **kwargs,
+            )
+            if not result.completed:
+                failures += 1
+            results[mode] = result
+            records.append(_result_record(result))
+        print(render_mode_comparison(
+            results["cm5"].breakdown(), results["cr"].breakdown()
+        ))
+        print()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} run(s) failed to complete")
+        return 1
+    return 0
+
+
+def _rate(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value}")
+    return value
+
+
+def add_runtime_subparsers(parser) -> None:
+    """Wire ``demo`` and ``bench`` onto the ``runtime`` argparse parser."""
+    sub = parser.add_subparsers(dest="runtime_command", required=True)
+
+    demo = sub.add_parser(
+        "demo", help="run a protocol live, with fault injection and the "
+                     "CM-5-vs-CR time breakdown")
+    demo.add_argument("--protocol", default="indefinite",
+                      choices=list(PROTOCOL_NAMES) + ["all"])
+    demo.add_argument("--transport", default="loopback",
+                      choices=["loopback", "udp"])
+    demo.add_argument("--drop-rate", type=_rate, default=0.0)
+    demo.add_argument("--dup-rate", type=_rate, default=0.0)
+    demo.add_argument("--reorder-rate", type=_rate, default=0.25)
+    demo.add_argument("--packets", type=int, default=64,
+                      help="packets per transfer (default 64)")
+    demo.add_argument("--packet-words", type=int, default=16)
+    demo.add_argument("--seed", type=int, default=0x5CA1E)
+    demo.add_argument("--deadline", type=float, default=60.0)
+    demo.add_argument("--json", default=None,
+                      help="also write results to this JSON file")
+    demo.set_defaults(func=run_demo)
+
+    bench = sub.add_parser(
+        "bench", help="measure all three protocols in both modes")
+    bench.add_argument("--drop-rate", type=_rate, default=0.02)
+    bench.add_argument("--dup-rate", type=_rate, default=0.0)
+    bench.add_argument("--reorder-rate", type=_rate, default=0.25)
+    bench.add_argument("--packets", type=int, default=64)
+    bench.add_argument("--packet-words", type=int, default=16)
+    bench.add_argument("--seed", type=int, default=0x5CA1E)
+    bench.add_argument("--deadline", type=float, default=60.0)
+    bench.add_argument("--json", default=None)
+    bench.set_defaults(func=run_bench)

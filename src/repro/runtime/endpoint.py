@@ -1,0 +1,109 @@
+"""Runtime endpoints: a transport plus frame dispatch.
+
+The live counterpart of :class:`repro.api.endpoint.Endpoint`.  Where the
+simulated endpoint wraps a node's NI with an active-message dispatcher,
+the runtime endpoint wraps a :class:`~repro.runtime.transport.Transport`
+with a frame codec and a per-logical-channel handler table.  Decoding a
+datagram into a frame is data movement, so it is charged to the base
+bucket of the endpoint's :class:`TimeAttribution` — the runtime analogue
+of the paper's NI-access instruction counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Optional
+
+from repro.arch.attribution import Feature
+from repro.runtime.frames import Frame, FrameError, decode_frame, encode_frame
+from repro.runtime.spans import TimeAttribution
+from repro.runtime.transport import Address, Transport
+
+FrameHandler = Callable[[Frame, Address], None]
+
+
+class RuntimeEndpoint:
+    """One side of a live conversation: transport + codec + dispatch."""
+
+    def __init__(self, transport: Transport, name: str = "",
+                 attribution: Optional[TimeAttribution] = None) -> None:
+        self.transport = transport
+        self.name = name or repr(transport.local_address)
+        self.attribution = attribution or TimeAttribution()
+        self._handlers: Dict[int, FrameHandler] = {}
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.decode_errors = 0
+        self.unrouted = 0
+        transport.set_receiver(self._on_datagram)
+
+    # -- service flags (forwarded from the transport) -------------------------
+
+    @property
+    def provides_in_order(self) -> bool:
+        return self.transport.provides_in_order
+
+    @property
+    def provides_reliability(self) -> bool:
+        return self.transport.provides_reliability
+
+    @property
+    def cr_mode(self) -> bool:
+        """True when the transport provides ordering *and* reliability."""
+        return self.provides_in_order and self.provides_reliability
+
+    @property
+    def local_address(self) -> Address:
+        return self.transport.local_address
+
+    # -- dispatch -------------------------------------------------------------
+
+    def bind(self, channel: int, handler: FrameHandler) -> None:
+        """Route frames for a logical channel to ``handler``."""
+        if channel in self._handlers:
+            raise ValueError(f"channel {channel} already bound")
+        self._handlers[channel] = handler
+
+    def unbind(self, channel: int) -> None:
+        self._handlers.pop(channel, None)
+
+    def _on_datagram(self, data: bytes, src: Address) -> None:
+        try:
+            with self.attribution.span(Feature.BASE):
+                frame = decode_frame(data)
+        except FrameError:
+            # A corrupt datagram degrades into a drop; fault tolerance
+            # (retransmission) recovers, exactly as for a lost packet.
+            self.decode_errors += 1
+            return
+        self.frames_received += 1
+        handler = self._handlers.get(frame.channel)
+        if handler is None:
+            self.unrouted += 1
+            return
+        handler(frame, src)
+
+    # -- sending --------------------------------------------------------------
+
+    async def send_frame(self, dst: Address, frame: Frame,
+                         feature: Feature = Feature.BASE) -> bytes:
+        """Encode and transmit; returns the wire bytes (for retransmit
+        tracking).  The encode+send work is charged to ``feature``."""
+        with self.attribution.span(feature):
+            data = encode_frame(frame)
+            self.frames_sent += 1
+            await self.transport.send(dst, data)
+        return data
+
+    def post_frame(self, dst: Address, frame: Frame,
+                   feature: Feature = Feature.BASE) -> "asyncio.Task":
+        """Fire-and-forget :meth:`send_frame` from synchronous handler code."""
+        return asyncio.get_running_loop().create_task(
+            self.send_frame(dst, frame, feature)
+        )
+
+    async def close(self) -> None:
+        await self.transport.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RuntimeEndpoint({self.name}, cr={self.cr_mode})"

@@ -1,0 +1,128 @@
+"""Wire frames for the live runtime.
+
+The simulator moves word tuples through a modeled NI; the runtime moves
+real datagrams through real transports, so it needs an actual wire
+format.  A :class:`Frame` is the runtime analogue of one CM-5 packet:
+a fixed header (kind, logical channel, sequence/transfer id, an
+auxiliary word for offsets/totals) followed by the payload words, each
+packed as a 32-bit big-endian unsigned integer — mirroring the word
+granularity the paper's instruction counts are expressed in.
+
+Both the loopback and the UDP transport carry these frames unchanged;
+decode failures are surfaced as :class:`FrameError` so a corrupted
+datagram degrades into a drop (which the fault-tolerance machinery
+already recovers from) instead of a crash.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+#: First header byte of every runtime datagram ("C5" — the machine).
+MAGIC = 0xC5
+
+#: Header layout: magic, kind, channel, seq, aux, payload word count.
+_HEADER = struct.Struct("!BBHIIH")
+
+#: Payload words are 32-bit unsigned, like the CM-5's network words.
+WORD_MASK = 0xFFFFFFFF
+
+#: Largest payload a single frame may carry (far above any packet size
+#: the protocols use; a guard against runaway senders).
+MAX_PAYLOAD_WORDS = 4096
+
+
+class FrameError(ValueError):
+    """A datagram could not be decoded as a runtime frame."""
+
+
+class FrameKind(enum.IntEnum):
+    """What a frame means to the protocol state machines."""
+
+    DATA = 1          #: payload-carrying packet (seq = sequence number / transfer id)
+    ACK = 2           #: per-packet acknowledgement (seq = acknowledged seq)
+    ALLOC_REQ = 3     #: finite-sequence step 1: request a segment (aux = total words)
+    ALLOC_REPLY = 4   #: finite-sequence step 3: segment granted (seq = transfer id)
+    DEALLOC = 5       #: finite-sequence step 5: transfer finished, free the segment
+    FINAL_ACK = 6     #: finite-sequence step 6: everything arrived (aux = words received)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded runtime datagram."""
+
+    kind: FrameKind
+    channel: int
+    seq: int = 0
+    aux: int = 0
+    payload: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.payload) > MAX_PAYLOAD_WORDS:
+            raise FrameError(
+                f"payload of {len(self.payload)} words exceeds {MAX_PAYLOAD_WORDS}"
+            )
+
+    @property
+    def words(self) -> int:
+        return len(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Frame({self.kind.name}, ch={self.channel}, seq={self.seq}, "
+            f"aux={self.aux}, {len(self.payload)}w)"
+        )
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to the datagram bytes that go on the wire."""
+    header = _HEADER.pack(
+        MAGIC,
+        int(frame.kind),
+        frame.channel & 0xFFFF,
+        frame.seq & WORD_MASK,
+        frame.aux & WORD_MASK,
+        len(frame.payload),
+    )
+    if not frame.payload:
+        return header
+    body = struct.pack(f"!{len(frame.payload)}I",
+                       *(w & WORD_MASK for w in frame.payload))
+    return header + body
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse datagram bytes back into a :class:`Frame`.
+
+    Raises :class:`FrameError` on bad magic, unknown kind, or truncation.
+    """
+    if len(data) < _HEADER.size:
+        raise FrameError(f"datagram of {len(data)} bytes is shorter than a header")
+    magic, kind, channel, seq, aux, count = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic byte 0x{magic:02x}")
+    try:
+        frame_kind = FrameKind(kind)
+    except ValueError as exc:
+        raise FrameError(f"unknown frame kind {kind}") from exc
+    expected = _HEADER.size + 4 * count
+    if len(data) != expected:
+        raise FrameError(
+            f"frame declares {count} payload words ({expected} bytes) "
+            f"but datagram has {len(data)} bytes"
+        )
+    payload: Tuple[int, ...] = ()
+    if count:
+        payload = struct.unpack_from(f"!{count}I", data, _HEADER.size)
+    return Frame(kind=frame_kind, channel=channel, seq=seq, aux=aux, payload=payload)
+
+
+def data_frame(channel: int, seq: int, payload: Sequence[int], aux: int = 0) -> Frame:
+    """Convenience constructor for the common payload-carrying case."""
+    return Frame(
+        kind=FrameKind.DATA, channel=channel, seq=seq, aux=aux,
+        payload=tuple(payload),
+    )

@@ -1,0 +1,653 @@
+"""Live ports of the paper's three protocols (Section 3.2, run for real).
+
+Each protocol is the same state machine the simulator executes, driven by
+real datagrams on an asyncio loop instead of virtual-time events — and
+where the simulator charges calibrated instruction counts, these charge
+measured ``perf_counter_ns`` spans to the same four feature buckets:
+
+* **single-packet datagram** — send one packet, hold it at the source
+  until the acknowledgement releases it (fault tolerance), dedupe at the
+  destination;
+* **finite-sequence bulk transfer** — segment allocation handshake
+  (buffer management), offset-addressed data packets (in-order
+  delivery), deallocation + final ack (fault tolerance), with
+  resend-of-the-unacknowledged-transfer recovery (idempotent by offset);
+* **indefinite-sequence ordered channel** — sequence numbers and a
+  reorder buffer (in-order delivery, reusing the simulator's
+  :class:`~repro.protocols.sequencing.ReorderWindow` state machine),
+  windowed source buffering with per-packet acks and exponential-backoff
+  retransmission (fault tolerance).
+
+Every protocol checks the endpoint's service flags: on a CR-mode
+transport (in-order + reliable) the sequencing, acknowledgement, and
+source-buffering machinery is skipped entirely — which is exactly how
+the runtime re-derives Figure 6's overhead collapse from wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.attribution import Feature
+from repro.protocols.sequencing import ReorderWindow, SequenceError, SequenceGenerator
+from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.frames import Frame, FrameKind, data_frame
+from repro.runtime.reliability import BackoffPolicy, Retransmitter, RetransmitExhausted
+from repro.runtime.transport import Address
+
+#: Default logical channel numbers (one per protocol, like the
+#: simulator's PacketType bindings).
+CH_SINGLE = 1
+CH_BULK = 2
+CH_STREAM = 3
+
+
+class ProtocolFailure(RuntimeError):
+    """A live protocol could not complete (retry budget exhausted)."""
+
+
+# ---------------------------------------------------------------------------
+# single-packet datagram
+# ---------------------------------------------------------------------------
+
+
+class SinglePacketSender:
+    """Source side: send one packet, buffer it until acknowledged."""
+
+    def __init__(self, endpoint: RuntimeEndpoint, dst: Address,
+                 channel: int = CH_SINGLE,
+                 backoff: Optional[BackoffPolicy] = None) -> None:
+        self.endpoint = endpoint
+        self.dst = dst
+        self.channel = channel
+        self._seq = itertools.count()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self.retransmitter = Retransmitter(
+            self._resend, policy=backoff,
+            attribution=endpoint.attribution, on_give_up=self._give_up,
+        )
+        endpoint.bind(channel, self._on_frame)
+
+    async def send(self, words: Sequence[int], timeout: float = 30.0) -> int:
+        """Send one datagram; on CM-5 transports, await its ack."""
+        attr = self.endpoint.attribution
+        seq = next(self._seq)
+        frame = data_frame(self.channel, seq, words)
+        if self.endpoint.cr_mode:
+            await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+            return seq
+        future = asyncio.get_running_loop().create_future()
+        self._pending[seq] = future
+        data = await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+        with attr.span(Feature.FAULT_TOLERANCE):
+            # Source buffering: the wire bytes stay pinned until the ack.
+            self.retransmitter.track(seq, data)
+        try:
+            await asyncio.wait_for(future, timeout)
+        except RetransmitExhausted as exc:
+            raise ProtocolFailure(str(exc)) from exc
+        return seq
+
+    async def _resend(self, key, data: bytes) -> None:
+        await self.endpoint.transport.send(self.dst, data)
+
+    def _give_up(self, key, error: RetransmitExhausted) -> None:
+        future = self._pending.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(error)
+
+    def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is not FrameKind.ACK:
+            return
+        with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            self.retransmitter.ack(frame.seq)
+            future = self._pending.pop(frame.seq, None)
+            if future is not None and not future.done():
+                future.set_result(True)
+
+    def close(self) -> None:
+        self.retransmitter.cancel_all()
+
+
+class SinglePacketReceiver:
+    """Destination side: deliver, deduplicate, acknowledge."""
+
+    def __init__(self, endpoint: RuntimeEndpoint, channel: int = CH_SINGLE,
+                 on_message: Optional[Callable[[List[int]], None]] = None) -> None:
+        self.endpoint = endpoint
+        self.channel = channel
+        self.on_message = on_message
+        self.messages: List[List[int]] = []
+        self.duplicates = 0
+        self.acks_sent = 0
+        self._delivered_seqs: set = set()
+        self._waiters: List[Tuple[int, asyncio.Future]] = []
+        endpoint.bind(channel, self._on_frame)
+
+    def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is not FrameKind.DATA:
+            return
+        attr = self.endpoint.attribution
+        if not self.endpoint.cr_mode:
+            with attr.span(Feature.FAULT_TOLERANCE):
+                duplicate = frame.seq in self._delivered_seqs
+                self._delivered_seqs.add(frame.seq)
+                # Ack unconditionally: the previous ack may have been lost.
+                self.acks_sent += 1
+                self.endpoint.post_frame(
+                    src, Frame(FrameKind.ACK, self.channel, seq=frame.seq),
+                    Feature.FAULT_TOLERANCE,
+                )
+            if duplicate:
+                self.duplicates += 1
+                return
+        with attr.span(Feature.BUFFER_MGMT):
+            # Receive-queue slot management (the datagram's landing buffer).
+            self.messages.append([])
+        with attr.span(Feature.BASE):
+            self.messages[-1].extend(frame.payload)
+        if self.on_message is not None:
+            with attr.span(Feature.USER):
+                self.on_message(self.messages[-1])
+        self._notify()
+
+    # -- completion futures ---------------------------------------------------
+
+    def expect(self, count: int) -> "asyncio.Future":
+        """Future resolving once ``count`` messages have been delivered."""
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append((count, future))
+        self._notify()
+        return future
+
+    def _notify(self) -> None:
+        done = len(self.messages)
+        for count, future in list(self._waiters):
+            if done >= count and not future.done():
+                future.set_result(done)
+        self._waiters = [(c, f) for c, f in self._waiters if not f.done()]
+
+
+# ---------------------------------------------------------------------------
+# finite-sequence bulk transfer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Segment:
+    """A destination-side landing area for one transfer."""
+
+    total: int
+    words: List[int] = field(default_factory=list)
+    received: List[bool] = field(default_factory=list)
+    received_words: int = 0
+    cursor: int = 0  # CR mode: next append position
+
+    def __post_init__(self) -> None:
+        if not self.words:
+            self.words = [0] * self.total
+            self.received = [False] * self.total
+
+
+@dataclass
+class BulkOutcome:
+    """What the sender learns from one completed transfer."""
+
+    transfer_id: int
+    packets_sent: int
+    data_rounds: int  # 1 on the fault-free path
+
+
+class BulkReceiver:
+    """Destination side: allocate, reassemble by offset, finally ack."""
+
+    def __init__(self, endpoint: RuntimeEndpoint, channel: int = CH_BULK,
+                 on_complete: Optional[Callable[[List[int]], None]] = None) -> None:
+        self.endpoint = endpoint
+        self.channel = channel
+        self.on_complete = on_complete
+        self._segments: Dict[int, _Segment] = {}
+        self._finished: Dict[int, List[int]] = {}  # transfer id -> message
+        self._completions: Dict[int, asyncio.Future] = {}
+        self.messages: List[List[int]] = []
+        self.duplicates = 0
+        self.final_acks_sent = 0
+        endpoint.bind(channel, self._on_frame)
+
+    def completion(self, transfer_id: int) -> "asyncio.Future":
+        """Future resolving with the message once the transfer lands
+        (already resolved if it landed before anyone asked)."""
+        future = self._completions.get(transfer_id)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            self._completions[transfer_id] = future
+            if transfer_id in self._finished:
+                future.set_result(self._finished[transfer_id])
+        return future
+
+    # -- frame handling -------------------------------------------------------
+
+    def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is FrameKind.ALLOC_REQ:
+            self._on_alloc(frame, src)
+        elif frame.kind is FrameKind.DATA:
+            self._on_data(frame)
+        elif frame.kind is FrameKind.DEALLOC:
+            self._on_dealloc(frame, src)
+
+    def _on_alloc(self, frame: Frame, src: Address) -> None:
+        attr = self.endpoint.attribution
+        xfer = frame.seq
+        if xfer in self._finished:
+            # The transfer already completed; the final ack must have been
+            # lost — repeat it so the source can release its buffer.
+            self._send_final_ack(src, xfer, len(self._finished[xfer]))
+            return
+        with attr.span(Feature.BUFFER_MGMT):
+            if xfer not in self._segments:
+                self._segments[xfer] = _Segment(total=frame.aux)
+            if not self.endpoint.cr_mode:
+                self.endpoint.post_frame(
+                    src, Frame(FrameKind.ALLOC_REPLY, self.channel, seq=xfer),
+                    Feature.BUFFER_MGMT,
+                )
+
+    def _on_data(self, frame: Frame) -> None:
+        attr = self.endpoint.attribution
+        segment = self._segments.get(frame.seq)
+        if segment is None:
+            # Data for a finished (or never-allocated) transfer: stale
+            # retransmission, already covered by the final ack path.
+            self.duplicates += 1
+            return
+        if self.endpoint.cr_mode:
+            # Ordered lossless delivery: append — no offsets to decode.
+            with attr.span(Feature.BASE):
+                start = segment.cursor
+                for index, word in enumerate(frame.payload):
+                    segment.words[start + index] = word
+                segment.cursor += len(frame.payload)
+                segment.received_words += len(frame.payload)
+            return
+        with attr.span(Feature.IN_ORDER):
+            # Offset extraction + received-count maintenance.
+            start = frame.aux
+            fresh = not segment.received[start]
+            if fresh:
+                for index in range(len(frame.payload)):
+                    segment.received[start + index] = True
+                segment.received_words += len(frame.payload)
+        if not fresh:
+            self.duplicates += 1
+            return
+        with attr.span(Feature.BASE):
+            for index, word in enumerate(frame.payload):
+                segment.words[start + index] = word
+
+    def _on_dealloc(self, frame: Frame, src: Address) -> None:
+        attr = self.endpoint.attribution
+        xfer = frame.seq
+        if xfer in self._finished:
+            self._send_final_ack(src, xfer, len(self._finished[xfer]))
+            return
+        segment = self._segments.get(xfer)
+        if segment is None or segment.received_words < segment.total:
+            # Incomplete: stay silent, the source's timeout resends the
+            # remainder of the transfer.
+            return
+        with attr.span(Feature.BUFFER_MGMT):
+            message = segment.words
+            del self._segments[xfer]
+            self._finished[xfer] = message
+        self.messages.append(message)
+        if not self.endpoint.cr_mode:
+            self._send_final_ack(src, xfer, segment.total)
+        if self.on_complete is not None:
+            with attr.span(Feature.USER):
+                self.on_complete(message)
+        future = self._completions.get(xfer)
+        if future is not None and not future.done():
+            future.set_result(message)
+
+    def _send_final_ack(self, src: Address, xfer: int, total: int) -> None:
+        with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            self.final_acks_sent += 1
+            self.endpoint.post_frame(
+                src, Frame(FrameKind.FINAL_ACK, self.channel, seq=xfer, aux=total),
+                Feature.FAULT_TOLERANCE,
+            )
+
+
+class BulkSender:
+    """Source side of the finite-sequence transfer."""
+
+    def __init__(self, endpoint: RuntimeEndpoint, dst: Address,
+                 channel: int = CH_BULK, packet_words: int = 16,
+                 backoff: Optional[BackoffPolicy] = None) -> None:
+        if packet_words < 1:
+            raise ValueError("packet_words must be positive")
+        self.endpoint = endpoint
+        self.dst = dst
+        self.channel = channel
+        self.packet_words = packet_words
+        self.policy = backoff or BackoffPolicy()
+        self._xfer = itertools.count(1)
+        self._alloc_futures: Dict[int, asyncio.Future] = {}
+        self._final_futures: Dict[int, asyncio.Future] = {}
+        self.retransmitter = Retransmitter(
+            self._resend, policy=self.policy,
+            attribution=endpoint.attribution, on_give_up=self._give_up,
+        )
+        self.data_rounds = 0
+        endpoint.bind(channel, self._on_frame)
+
+    async def send(self, words: Sequence[int], timeout: float = 30.0) -> BulkOutcome:
+        """Run the six-step transfer; returns once the data is safe."""
+        words = list(words)
+        attr = self.endpoint.attribution
+        xfer = next(self._xfer)
+        loop = asyncio.get_running_loop()
+
+        if self.endpoint.cr_mode:
+            # Steps collapse: the network's ordering and reliability make
+            # the handshake a one-way header and the final ack unnecessary.
+            await self.endpoint.send_frame(
+                self.dst,
+                Frame(FrameKind.ALLOC_REQ, self.channel, seq=xfer, aux=len(words)),
+                Feature.BUFFER_MGMT,
+            )
+            packets = await self._send_data(xfer, words, in_order_offsets=False)
+            await self.endpoint.send_frame(
+                self.dst, Frame(FrameKind.DEALLOC, self.channel, seq=xfer),
+                Feature.BUFFER_MGMT,
+            )
+            return BulkOutcome(transfer_id=xfer, packets_sent=packets, data_rounds=1)
+
+        # Steps 1-3: allocation handshake (retransmitted until replied).
+        alloc_future = loop.create_future()
+        self._alloc_futures[xfer] = alloc_future
+        request = await self.endpoint.send_frame(
+            self.dst,
+            Frame(FrameKind.ALLOC_REQ, self.channel, seq=xfer, aux=len(words)),
+            Feature.BUFFER_MGMT,
+        )
+        with attr.span(Feature.BUFFER_MGMT):
+            self.retransmitter.track(("alloc", xfer), request)
+        try:
+            await asyncio.wait_for(alloc_future, timeout)
+        except RetransmitExhausted as exc:
+            raise ProtocolFailure(str(exc)) from exc
+
+        # Steps 4-6: data, dealloc, final ack — resending the whole
+        # remainder on timeout (duplicates are idempotent by offset).
+        final_future = loop.create_future()
+        self._final_futures[xfer] = final_future
+        packets = 0
+        rounds = 0
+        for attempt in range(self.policy.max_retries + 1):
+            if attempt > 0:
+                with attr.span(Feature.FAULT_TOLERANCE):
+                    self.retransmitter.retransmissions += 1
+            packets = await self._send_data(xfer, words, in_order_offsets=True)
+            await self.endpoint.send_frame(
+                self.dst, Frame(FrameKind.DEALLOC, self.channel, seq=xfer),
+                Feature.BUFFER_MGMT,
+            )
+            rounds += 1
+            done, _pending = await asyncio.wait(
+                {final_future}, timeout=self.policy.interval(attempt)
+            )
+            if done:
+                break
+        else:
+            self._final_futures.pop(xfer, None)
+            raise ProtocolFailure(
+                f"transfer {xfer}: no final ack after {rounds} data rounds"
+            )
+        self.data_rounds += rounds
+        return BulkOutcome(transfer_id=xfer, packets_sent=packets, data_rounds=rounds)
+
+    async def _send_data(self, xfer: int, words: List[int],
+                         in_order_offsets: bool) -> int:
+        attr = self.endpoint.attribution
+        packets = 0
+        cursor = 0
+        total = len(words)
+        while cursor < total:
+            take = min(self.packet_words, total - cursor)
+            if in_order_offsets:
+                with attr.span(Feature.IN_ORDER):
+                    # Offset generation: what sequencing costs when the
+                    # network may reorder (Section 3.2, Figure 3 step 4).
+                    offset = cursor
+            else:
+                offset = cursor
+            frame = data_frame(
+                self.channel, xfer, words[cursor:cursor + take], aux=offset
+            )
+            await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+            packets += 1
+            cursor += take
+        return packets
+
+    async def _resend(self, key, data: bytes) -> None:
+        await self.endpoint.transport.send(self.dst, data)
+
+    def _give_up(self, key, error: RetransmitExhausted) -> None:
+        if isinstance(key, tuple) and key[0] == "alloc":
+            future = self._alloc_futures.pop(key[1], None)
+            if future is not None and not future.done():
+                future.set_exception(error)
+
+    def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is FrameKind.ALLOC_REPLY:
+            with self.endpoint.attribution.span(Feature.BUFFER_MGMT):
+                self.retransmitter.ack(("alloc", frame.seq))
+                future = self._alloc_futures.pop(frame.seq, None)
+                if future is not None and not future.done():
+                    future.set_result(True)
+        elif frame.kind is FrameKind.FINAL_ACK:
+            with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+                future = self._final_futures.pop(frame.seq, None)
+                if future is not None and not future.done():
+                    future.set_result(frame.aux)
+
+    def close(self) -> None:
+        self.retransmitter.cancel_all()
+
+
+# ---------------------------------------------------------------------------
+# indefinite-sequence ordered channel
+# ---------------------------------------------------------------------------
+
+
+class OrderedChannelSender:
+    """Source side: sequence numbers, windowed source buffer, retransmit."""
+
+    def __init__(self, endpoint: RuntimeEndpoint, dst: Address,
+                 channel: int = CH_STREAM, window: int = 32,
+                 backoff: Optional[BackoffPolicy] = None) -> None:
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.endpoint = endpoint
+        self.dst = dst
+        self.channel = channel
+        self.window = window
+        self._seq = SequenceGenerator()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._drained: Optional[asyncio.Future] = None
+        self._failure: Optional[Exception] = None
+        self.retransmitter = Retransmitter(
+            self._resend, policy=backoff,
+            attribution=endpoint.attribution, on_give_up=self._give_up,
+        )
+        self.acks_received = 0
+        endpoint.bind(channel, self._on_frame)
+
+    @property
+    def outstanding(self) -> int:
+        return self.retransmitter.outstanding
+
+    @property
+    def sent(self) -> int:
+        return self._seq.issued
+
+    async def send(self, words: Sequence[int]) -> int:
+        """Send one packet's worth of data; returns its sequence number.
+
+        Blocks (uncharged — it is idle time, not messaging work) while the
+        send window is full.
+        """
+        self._raise_if_failed()
+        attr = self.endpoint.attribution
+        if self.endpoint.cr_mode:
+            # The network orders and retains packets; just count and send.
+            seq = self._seq.next()
+            frame = data_frame(self.channel, seq, words)
+            await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+            return seq
+        while self.retransmitter.outstanding >= self.window:
+            self._space.clear()
+            await self._space.wait()
+            self._raise_if_failed()
+        with attr.span(Feature.IN_ORDER):
+            seq = self._seq.next()
+        frame = data_frame(self.channel, seq, words)
+        data = await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+        with attr.span(Feature.FAULT_TOLERANCE):
+            # Source buffering: pin the packet until its ack.
+            self.retransmitter.track(seq, data)
+        return seq
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Wait until every sent packet has been acknowledged."""
+        self._raise_if_failed()
+        if self.endpoint.cr_mode or self.retransmitter.outstanding == 0:
+            return
+        self._drained = asyncio.get_running_loop().create_future()
+        try:
+            await asyncio.wait_for(self._drained, timeout)
+        finally:
+            self._drained = None
+        self._raise_if_failed()
+
+    async def _resend(self, key, data: bytes) -> None:
+        await self.endpoint.transport.send(self.dst, data)
+
+    def _give_up(self, key, error: RetransmitExhausted) -> None:
+        self._failure = ProtocolFailure(str(error))
+        self._space.set()
+        if self._drained is not None and not self._drained.done():
+            self._drained.set_exception(self._failure)
+
+    def _raise_if_failed(self) -> None:
+        if self._failure is not None:
+            raise self._failure
+
+    def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is not FrameKind.ACK:
+            return
+        with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            if self.retransmitter.ack(frame.seq):
+                self.acks_received += 1
+            if self.retransmitter.outstanding < self.window:
+                self._space.set()
+            if (self.retransmitter.outstanding == 0
+                    and self._drained is not None
+                    and not self._drained.done()):
+                self._drained.set_result(True)
+
+    def close(self) -> None:
+        self.retransmitter.cancel_all()
+
+
+class OrderedChannelReceiver:
+    """Destination side: reorder buffer, in-order delivery, per-packet acks."""
+
+    def __init__(self, endpoint: RuntimeEndpoint, channel: int = CH_STREAM,
+                 window: int = 256,
+                 deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None) -> None:
+        self.endpoint = endpoint
+        self.channel = channel
+        self.user_deliver = deliver
+        self.reorder = ReorderWindow(window=window)
+        self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
+        self.arrivals = 0
+        self.acks_sent = 0
+        self.window_overflows = 0
+        self._waiters: List[Tuple[int, asyncio.Future]] = []
+        endpoint.bind(channel, self._on_frame)
+
+    @property
+    def duplicates(self) -> int:
+        return self.reorder.duplicates
+
+    @property
+    def ooo_arrivals(self) -> int:
+        return self.reorder.ooo_accepted
+
+    @property
+    def delivered_count(self) -> int:
+        return len(self.delivered)
+
+    def delivered_words(self) -> List[int]:
+        return [w for _seq, payload in self.delivered for w in payload]
+
+    def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is not FrameKind.DATA:
+            return
+        self.arrivals += 1
+        attr = self.endpoint.attribution
+        if self.endpoint.cr_mode:
+            # Lossless FIFO network: every packet is the next packet.
+            self._deliver(frame.seq, frame.payload)
+            self._notify()
+            return
+        with attr.span(Feature.IN_ORDER):
+            try:
+                run = self.reorder.accept(frame.seq, frame.payload)
+            except SequenceError:
+                # Beyond the reorder window (only possible if the sender's
+                # window exceeds ours): treat as a drop and let the
+                # retransmission path deliver it once we have caught up.
+                self.window_overflows += 1
+                return
+            for run_seq, run_payload in run:
+                self._deliver(run_seq, run_payload)
+        with attr.span(Feature.FAULT_TOLERANCE):
+            # Ack every arrival, duplicates included — the previous ack
+            # may be the thing that was lost.
+            self.acks_sent += 1
+            self.endpoint.post_frame(
+                src, Frame(FrameKind.ACK, self.channel, seq=frame.seq),
+                Feature.FAULT_TOLERANCE,
+            )
+        self._notify()
+
+    def _deliver(self, seq: int, payload: Tuple[int, ...]) -> None:
+        with self.endpoint.attribution.span(Feature.BASE):
+            self.delivered.append((seq, tuple(payload)))
+        if self.user_deliver is not None:
+            with self.endpoint.attribution.span(Feature.USER):
+                self.user_deliver(seq, tuple(payload))
+
+    # -- completion futures ---------------------------------------------------
+
+    def expect(self, packets: int) -> "asyncio.Future":
+        """Future resolving once ``packets`` packets have been delivered."""
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append((packets, future))
+        self._notify()
+        return future
+
+    def _notify(self) -> None:
+        done = len(self.delivered)
+        for count, future in list(self._waiters):
+            if done >= count and not future.done():
+                future.set_result(done)
+        self._waiters = [(c, f) for c, f in self._waiters if not f.done()]

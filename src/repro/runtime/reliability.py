@@ -1,0 +1,116 @@
+"""Timeout-driven retransmission for the live runtime.
+
+The runtime analogue of :class:`repro.protocols.retransmit.RetransmitBuffer`:
+where the simulator arms virtual-time timers on the event kernel, the
+runtime arms real asyncio timers.  Each tracked key owns a watcher task
+that resends its datagram on an exponential-backoff schedule until the
+key is acknowledged or the retry budget runs out — at which point the
+failure is surfaced through ``on_give_up`` so callers fail fast instead
+of hanging (important for CI).
+
+All work done here — the resends and the bookkeeping — is charged to the
+fault-tolerance bucket of the owning endpoint's :class:`TimeAttribution`,
+matching the paper's accounting: retransmission costs appear only when a
+retransmission actually happens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Hashable, Optional
+
+from repro.arch.attribution import Feature
+from repro.runtime.spans import TimeAttribution
+
+
+class RetransmitExhausted(RuntimeError):
+    """A tracked datagram ran out of retransmission attempts."""
+
+
+@dataclass
+class BackoffPolicy:
+    """Exponential backoff schedule for retransmission timers."""
+
+    initial: float = 0.03
+    factor: float = 2.0
+    ceiling: float = 0.5
+    max_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0 or self.factor < 1.0 or self.max_retries < 1:
+            raise ValueError(f"nonsensical backoff policy: {self}")
+
+    def interval(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        return min(self.initial * (self.factor ** attempt), self.ceiling)
+
+
+class Retransmitter:
+    """Per-key retransmission timers over an async resend function."""
+
+    def __init__(
+        self,
+        resend: Callable[[Hashable, bytes], Awaitable[None]],
+        policy: Optional[BackoffPolicy] = None,
+        attribution: Optional[TimeAttribution] = None,
+        on_give_up: Optional[Callable[[Hashable, RetransmitExhausted], None]] = None,
+    ) -> None:
+        self._resend = resend
+        self.policy = policy or BackoffPolicy()
+        self.attribution = attribution or TimeAttribution()
+        self._on_give_up = on_give_up
+        self._watchers: Dict[Hashable, asyncio.Task] = {}
+        self.retransmissions = 0
+        self.acked = 0
+        self.exhausted = 0
+
+    # -- tracking -------------------------------------------------------------
+
+    def track(self, key: Hashable, data: bytes) -> None:
+        """Start watching ``key``; resend ``data`` until :meth:`ack`."""
+        if key in self._watchers:
+            raise ValueError(f"key {key!r} already tracked")
+        self._watchers[key] = asyncio.get_running_loop().create_task(
+            self._watch(key, data)
+        )
+
+    def ack(self, key: Hashable) -> bool:
+        """Release ``key``; returns False for unknown/duplicate acks."""
+        watcher = self._watchers.pop(key, None)
+        if watcher is None:
+            return False
+        watcher.cancel()
+        self.acked += 1
+        return True
+
+    def cancel_all(self) -> None:
+        for watcher in self._watchers.values():
+            watcher.cancel()
+        self._watchers.clear()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._watchers)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._watchers
+
+    # -- the watcher ----------------------------------------------------------
+
+    async def _watch(self, key: Hashable, data: bytes) -> None:
+        for attempt in range(self.policy.max_retries):
+            await asyncio.sleep(self.policy.interval(attempt))
+            with self.attribution.span(Feature.FAULT_TOLERANCE):
+                self.retransmissions += 1
+                await self._resend(key, data)
+        # Budget exhausted: fail loudly, not silently.
+        self.exhausted += 1
+        self._watchers.pop(key, None)
+        error = RetransmitExhausted(
+            f"key {key!r} unacknowledged after {self.policy.max_retries} retries"
+        )
+        if self._on_give_up is not None:
+            self._on_give_up(key, error)
+        else:  # pragma: no cover - depends on caller wiring
+            raise error

@@ -1,0 +1,348 @@
+"""Measurement harness for the live runtime.
+
+The runtime equivalent of :class:`repro.protocols.base.ProtocolRun`: set
+up a source/destination endpoint pair on a transport, run one of the
+three protocols to completion under a hard deadline, and package the
+measured per-feature wall-clock spans into a
+:class:`~repro.analysis.timeshare.TimeBreakdown`-ready result.
+
+Synchronous callers (the CLI, benchmarks, tests) use
+:func:`measure_live`, which owns the event loop; async callers compose
+the ``run_*_live`` coroutines with their own pairs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.timeshare import TimeBreakdown
+from repro.arch.attribution import Feature
+from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.protocols import (
+    BulkReceiver,
+    BulkSender,
+    OrderedChannelReceiver,
+    OrderedChannelSender,
+    SinglePacketReceiver,
+    SinglePacketSender,
+)
+from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.transport import LoopbackHub, UDPTransport
+
+#: Backoff used by loopback measurements: quick enough that injected
+#: drops are recovered in milliseconds, patient enough that emulated
+#: reordering (default 2 ms) never triggers a spurious retransmission.
+LOOPBACK_BACKOFF = BackoffPolicy(initial=0.02, factor=1.7, ceiling=0.3, max_retries=12)
+
+
+@dataclass
+class RuntimePair:
+    """A source/destination endpoint pair plus its substrate."""
+
+    src: RuntimeEndpoint
+    dst: RuntimeEndpoint
+    mode: str                      # "cm5" | "cr"
+    transport: str                 # "loopback" | "udp"
+    hub: Optional[LoopbackHub] = None
+
+    async def close(self) -> None:
+        await self.src.close()
+        await self.dst.close()
+
+
+def make_loopback_pair(
+    mode: str = "cm5",
+    drop_rate: float = 0.0,
+    dup_rate: float = 0.0,
+    reorder_rate: float = 0.25,
+    reorder_delay: float = 0.002,
+    latency: float = 0.0,
+    seed: int = 0x5CA1E,
+) -> RuntimePair:
+    """An in-process pair.  ``mode='cr'`` ignores every fault knob."""
+    if mode == "cr":
+        hub = LoopbackHub.cr()
+    elif mode == "cm5":
+        hub = LoopbackHub.cm5(
+            drop_rate=drop_rate, dup_rate=dup_rate, reorder_rate=reorder_rate,
+            reorder_delay=reorder_delay, latency=latency, seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown mode {mode!r} (expected 'cm5' or 'cr')")
+    src = RuntimeEndpoint(hub.attach("src"), name="src")
+    dst = RuntimeEndpoint(hub.attach("dst"), name="dst")
+    return RuntimePair(src=src, dst=dst, mode=mode, transport="loopback", hub=hub)
+
+
+async def make_udp_pair(host: str = "127.0.0.1") -> RuntimePair:
+    """A pair over real UDP sockets on the loopback interface.
+
+    UDP advertises neither ordering nor reliability, so the full CM-5
+    protocol machinery runs on top (mode is always ``cm5``).
+    """
+    src = RuntimeEndpoint(await UDPTransport.bind(host), name="udp-src")
+    dst = RuntimeEndpoint(await UDPTransport.bind(host), name="udp-dst")
+    return RuntimePair(src=src, dst=dst, mode="cm5", transport="udp")
+
+
+@dataclass
+class RuntimeRunResult:
+    """Outcome + measured attribution of one live protocol run."""
+
+    protocol: str
+    mode: str
+    transport: str
+    message_words: int
+    packet_words: int
+    packets_sent: int
+    completed: bool
+    wall_ns: int
+    src_ns: Dict[Feature, int]
+    dst_ns: Dict[Feature, int]
+    retransmissions: int = 0
+    duplicates: int = 0
+    acks: int = 0
+    ooo_arrivals: int = 0
+    drops_injected: int = 0
+    delivered_words: List[int] = field(default_factory=list)
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.src_ns.values()) + sum(self.dst_ns.values())
+
+    def breakdown(self) -> TimeBreakdown:
+        return TimeBreakdown.build(
+            protocol=self.protocol,
+            mode=self.mode,
+            message_words=self.message_words,
+            src_ns=self.src_ns,
+            dst_ns=self.dst_ns,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.protocol}/{self.mode}: {self.message_words}w in "
+            f"{self.packets_sent} pkts over {self.transport}, "
+            f"wall {self.wall_ns / 1e6:.1f}ms, "
+            f"retransmissions={self.retransmissions}, "
+            f"duplicates={self.duplicates}"
+        )
+
+
+def _finish(pair: RuntimePair, protocol: str, message_words: int,
+            packet_words: int, packets_sent: int, completed: bool,
+            wall_ns: int, **extras: Any) -> RuntimeRunResult:
+    hub = pair.hub
+    return RuntimeRunResult(
+        protocol=protocol,
+        mode=pair.mode,
+        transport=pair.transport,
+        message_words=message_words,
+        packet_words=packet_words,
+        packets_sent=packets_sent,
+        completed=completed,
+        wall_ns=wall_ns,
+        src_ns=pair.src.attribution.snapshot(),
+        dst_ns=pair.dst.attribution.snapshot(),
+        drops_injected=hub.dropped if hub is not None else 0,
+        **extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the three measured runs
+# ---------------------------------------------------------------------------
+
+
+async def run_single_packet_live(
+    pair: RuntimePair,
+    message_words: int = 64,
+    packet_words: int = 16,
+    deadline: float = 30.0,
+    backoff: Optional[BackoffPolicy] = None,
+) -> RuntimeRunResult:
+    """Send the message as independent single-packet datagrams."""
+    receiver = SinglePacketReceiver(pair.dst)
+    sender = SinglePacketSender(
+        pair.src, pair.dst.local_address,
+        backoff=backoff or LOOPBACK_BACKOFF,
+    )
+    message = list(range(1, message_words + 1))
+    packets = max(1, (message_words + packet_words - 1) // packet_words)
+
+    async def drive() -> None:
+        arrival = receiver.expect(packets)
+        cursor = 0
+        for _ in range(packets):
+            take = min(packet_words, message_words - cursor)
+            await sender.send(message[cursor:cursor + take], timeout=deadline)
+            cursor += take
+        await arrival
+
+    start = time.perf_counter_ns()
+    completed = False
+    try:
+        await asyncio.wait_for(drive(), deadline)
+        completed = True
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        sender.close()
+    wall_ns = time.perf_counter_ns() - start
+    delivered = [w for m in receiver.messages for w in m]
+    return _finish(
+        pair, "single-packet", message_words, packet_words, packets,
+        completed, wall_ns,
+        retransmissions=sender.retransmitter.retransmissions,
+        duplicates=receiver.duplicates,
+        acks=receiver.acks_sent,
+        delivered_words=delivered,
+    )
+
+
+async def run_bulk_live(
+    pair: RuntimePair,
+    message_words: int = 1024,
+    packet_words: int = 16,
+    deadline: float = 30.0,
+    backoff: Optional[BackoffPolicy] = None,
+) -> RuntimeRunResult:
+    """One finite-sequence transfer of a known-size message."""
+    receiver = BulkReceiver(pair.dst)
+    sender = BulkSender(
+        pair.src, pair.dst.local_address, packet_words=packet_words,
+        backoff=backoff or LOOPBACK_BACKOFF,
+    )
+    message = list(range(1, message_words + 1))
+
+    async def drive():
+        outcome = await sender.send(message, timeout=deadline)
+        landed = await receiver.completion(outcome.transfer_id)
+        return outcome, landed
+
+    start = time.perf_counter_ns()
+    completed = False
+    outcome = None
+    landed: List[int] = []
+    try:
+        outcome, landed = await asyncio.wait_for(drive(), deadline)
+        completed = landed == message
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        sender.close()
+    wall_ns = time.perf_counter_ns() - start
+    return _finish(
+        pair, "finite-sequence", message_words, packet_words,
+        outcome.packets_sent if outcome else 0, completed, wall_ns,
+        retransmissions=sender.retransmitter.retransmissions,
+        duplicates=receiver.duplicates,
+        acks=receiver.final_acks_sent,
+        delivered_words=list(landed),
+        detail={"data_rounds": outcome.data_rounds if outcome else 0},
+    )
+
+
+async def run_ordered_live(
+    pair: RuntimePair,
+    message_words: int = 1024,
+    packet_words: int = 16,
+    window: int = 32,
+    deadline: float = 30.0,
+    backoff: Optional[BackoffPolicy] = None,
+) -> RuntimeRunResult:
+    """Stream the message through the indefinite-sequence ordered channel."""
+    receiver = OrderedChannelReceiver(
+        pair.dst, window=max(256, 2 * window)
+    )
+    sender = OrderedChannelSender(
+        pair.src, pair.dst.local_address, window=window,
+        backoff=backoff or LOOPBACK_BACKOFF,
+    )
+    message = list(range(1, message_words + 1))
+    packets = max(1, (message_words + packet_words - 1) // packet_words)
+
+    async def drive() -> None:
+        arrival = receiver.expect(packets)
+        cursor = 0
+        for _ in range(packets):
+            take = min(packet_words, message_words - cursor)
+            await sender.send(message[cursor:cursor + take])
+            cursor += take
+        await sender.drain(timeout=deadline)
+        await arrival
+
+    start = time.perf_counter_ns()
+    try:
+        await asyncio.wait_for(drive(), deadline)
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        sender.close()
+    wall_ns = time.perf_counter_ns() - start
+    delivered = receiver.delivered_words()
+    return _finish(
+        pair, "indefinite-sequence", message_words, packet_words, packets,
+        delivered == message, wall_ns,
+        retransmissions=sender.retransmitter.retransmissions,
+        duplicates=receiver.duplicates,
+        acks=receiver.acks_sent,
+        ooo_arrivals=receiver.ooo_arrivals,
+        delivered_words=delivered,
+    )
+
+
+_RUNNERS = {
+    "single": run_single_packet_live,
+    "finite": run_bulk_live,
+    "indefinite": run_ordered_live,
+}
+
+PROTOCOL_NAMES = tuple(_RUNNERS)
+
+
+def measure_live(
+    protocol: str,
+    mode: str = "cm5",
+    transport: str = "loopback",
+    message_words: int = 1024,
+    packet_words: int = 16,
+    deadline: float = 30.0,
+    **pair_kwargs: Any,
+) -> RuntimeRunResult:
+    """Synchronous one-shot measurement (owns the event loop).
+
+    ``pair_kwargs`` go to :func:`make_loopback_pair` (fault knobs, seed)
+    and are rejected for UDP, which has none.
+    """
+    try:
+        runner = _RUNNERS[protocol]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {protocol!r} (expected one of {PROTOCOL_NAMES})"
+        ) from None
+
+    async def session() -> RuntimeRunResult:
+        if transport == "loopback":
+            pair = make_loopback_pair(mode=mode, **pair_kwargs)
+        elif transport == "udp":
+            if mode != "cm5":
+                raise ValueError("UDP provides no services; only cm5 mode runs on it")
+            if pair_kwargs:
+                raise ValueError(f"UDP transport takes no fault knobs: {pair_kwargs}")
+            pair = await make_udp_pair()
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+        try:
+            return await runner(
+                pair, message_words=message_words, packet_words=packet_words,
+                deadline=deadline,
+            )
+        finally:
+            await pair.close()
+
+    return asyncio.run(session())

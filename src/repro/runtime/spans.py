@@ -1,0 +1,137 @@
+"""Wall-clock attribution: the paper's feature buckets, measured in time.
+
+The simulator attributes *instruction counts* to the four messaging
+features via :class:`repro.arch.attribution.AttributionStack`.  The live
+runtime attributes *elapsed nanoseconds* the same way: protocol code
+wraps each stretch of feature work in ``attribution.span(feature)`` and a
+``perf_counter_ns`` delta lands in that feature's bucket.
+
+Semantics mirror the instruction-count stack exactly:
+
+* spans nest, and the *innermost* span receives the charge — a parent
+  span is paused while a child runs, so no nanosecond is counted twice;
+* code that runs outside any span (event-loop idle time, transport
+  latency, user handlers not wrapped) is charged to nothing — the
+  breakdown is CPU time *spent by the messaging layer*, the quantity the
+  paper's instruction counts approximate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.arch.attribution import Feature, FEATURE_ORDER, OVERHEAD_FEATURES
+
+
+class TimeAttribution:
+    """Per-feature nanosecond accumulator with a re-entrant span stack."""
+
+    def __init__(self) -> None:
+        self._ns: Dict[Feature, int] = {feature: 0 for feature in Feature}
+        self._spans: Dict[Feature, int] = {feature: 0 for feature in Feature}
+        self._stack: list = []
+        self._mark: int = 0
+
+    # -- span machinery -------------------------------------------------------
+
+    def span(self, feature: Feature) -> "_Span":
+        """Context manager charging its (exclusive) duration to ``feature``."""
+        return _Span(self, feature)
+
+    def _enter(self, feature: Feature) -> None:
+        now = time.perf_counter_ns()
+        if self._stack:
+            # Pause the parent: bank what it has accrued so far.
+            self._ns[self._stack[-1]] += now - self._mark
+        self._stack.append(feature)
+        self._spans[feature] += 1
+        self._mark = now
+
+    def _exit(self, feature: Feature) -> None:
+        now = time.perf_counter_ns()
+        popped = self._stack.pop()
+        if popped is not feature:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"span stack corrupted: popped {popped}, expected {feature}"
+            )
+        self._ns[popped] += now - self._mark
+        # Resume the parent's clock (if any).
+        self._mark = now
+
+    def charge_ns(self, feature: Feature, ns: int) -> None:
+        """Manually add ``ns`` to a bucket (merging external measurements)."""
+        if ns < 0:
+            raise ValueError("cannot charge negative time")
+        self._ns[feature] += ns
+
+    # -- results ------------------------------------------------------------------
+
+    def ns(self, feature: Feature) -> int:
+        return self._ns[feature]
+
+    def span_count(self, feature: Feature) -> int:
+        return self._spans[feature]
+
+    def snapshot(self) -> Dict[Feature, int]:
+        """A copy of the per-feature totals (safe to keep after more runs)."""
+        return dict(self._ns)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self._ns[feature] for feature in FEATURE_ORDER)
+
+    @property
+    def overhead_ns(self) -> int:
+        return sum(self._ns[feature] for feature in OVERHEAD_FEATURES)
+
+    @property
+    def overhead_fraction(self) -> float:
+        total = self.total_ns
+        return self.overhead_ns / total if total else 0.0
+
+    def merge(self, other: "TimeAttribution") -> None:
+        """Fold another accumulator's totals into this one."""
+        for feature, ns in other._ns.items():
+            self._ns[feature] += ns
+        for feature, count in other._spans.items():
+            self._spans[feature] += count
+
+    def reset(self) -> None:
+        if self._stack:
+            raise RuntimeError("cannot reset while spans are active")
+        for feature in self._ns:
+            self._ns[feature] = 0
+            self._spans[feature] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{feature.value}={self._ns[feature] / 1e3:.1f}us"
+            for feature in FEATURE_ORDER
+            if self._ns[feature]
+        )
+        return f"TimeAttribution({parts or 'empty'})"
+
+
+class _Span:
+    """The context manager returned by :meth:`TimeAttribution.span`."""
+
+    __slots__ = ("_attr", "_feature")
+
+    def __init__(self, attr: TimeAttribution, feature: Feature) -> None:
+        if not isinstance(feature, Feature):
+            raise TypeError(f"expected a Feature, got {feature!r}")
+        self._attr = attr
+        self._feature = feature
+
+    def __enter__(self) -> "_Span":
+        self._attr._enter(self._feature)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._attr._exit(self._feature)
+
+
+def null_attribution() -> TimeAttribution:
+    """A fresh accumulator (helper for optional-parameter defaults)."""
+    return TimeAttribution()

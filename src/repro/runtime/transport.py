@@ -1,0 +1,269 @@
+"""Live transports: the runtime's pluggable network substrate.
+
+Two implementations of one small :class:`Transport` contract:
+
+* :class:`LoopbackTransport` — in-process datagram delivery through a
+  shared :class:`LoopbackHub`.  In **CM-5 mode** the hub emulates the
+  paper's weak delivery model: packets may be reordered (delayed past
+  their successors), dropped, or duplicated, under a seeded RNG so runs
+  are reproducible.  In **CR mode** (``LoopbackHub.cr()``) the hub
+  guarantees lossless FIFO delivery — the transport-level analogue of
+  the Compressionless Routing network of Section 4, advertised through
+  the same ``provides_in_order`` / ``provides_reliability`` service
+  flags the simulator's networks expose.
+* :class:`UDPTransport` — real sockets via asyncio datagram endpoints,
+  for multi-process runs.  UDP makes no ordering/reliability promises,
+  so it advertises none and the full CM-5 protocol machinery runs on
+  top of it.
+
+Transports push received datagrams to a receiver callback; they never
+parse frames — that is the endpoint's job (and its cost is charged to
+the base-feature bucket, like the NI access instructions in the paper).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+Address = Any
+Receiver = Callable[[bytes, Address], None]
+
+
+@dataclass
+class FaultProfile:
+    """Delivery-weakness knobs for the loopback hub's CM-5 mode.
+
+    Rates are independent per-datagram probabilities; ``reorder_delay``
+    is how long a reordered datagram is held back, which must exceed
+    ``latency`` for later packets to actually overtake it.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_delay: float = 0.002
+    latency: float = 0.0
+    seed: int = 0x5CA1E
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drop_rate or self.dup_rate or self.reorder_rate)
+
+
+class Transport:
+    """Abstract datagram transport bound to one local address."""
+
+    #: Service flags, mirroring the simulator networks' advertisement.
+    provides_in_order = False
+    provides_reliability = False
+
+    def __init__(self) -> None:
+        self._receiver: Optional[Receiver] = None
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.bytes_sent = 0
+
+    @property
+    def local_address(self) -> Address:
+        raise NotImplementedError
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        """Install the callback invoked for every received datagram."""
+        self._receiver = receiver
+
+    def _deliver(self, data: bytes, src: Address) -> None:
+        self.datagrams_received += 1
+        if self._receiver is not None:
+            self._receiver(data, src)
+
+    async def send(self, dst: Address, data: bytes) -> None:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Release resources; further sends are undefined."""
+
+
+class LoopbackHub:
+    """An in-process 'network' connecting loopback transports.
+
+    One hub per experiment: ``hub.attach(addr)`` creates an endpoint
+    transport; datagrams sent between attached transports pass through
+    the hub's delivery policy.
+    """
+
+    def __init__(self, faults: Optional[FaultProfile] = None,
+                 ordered: bool = False, reliable: bool = False) -> None:
+        self.faults = faults or FaultProfile()
+        self.ordered = ordered
+        self.reliable = reliable
+        if (ordered or reliable) and not self.faults.clean:
+            raise ValueError("a CR-mode hub cannot also inject faults")
+        self._rng = random.Random(self.faults.seed)
+        self._transports: Dict[Address, "LoopbackTransport"] = {}
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    @classmethod
+    def cr(cls) -> "LoopbackHub":
+        """A hub that guarantees in-order lossless delivery (CR mode)."""
+        return cls(ordered=True, reliable=True)
+
+    @classmethod
+    def cm5(cls, drop_rate: float = 0.0, dup_rate: float = 0.0,
+            reorder_rate: float = 0.25, reorder_delay: float = 0.002,
+            latency: float = 0.0, seed: int = 0x5CA1E) -> "LoopbackHub":
+        """A hub with the CM-5's weak delivery model."""
+        return cls(FaultProfile(
+            drop_rate=drop_rate, dup_rate=dup_rate, reorder_rate=reorder_rate,
+            reorder_delay=reorder_delay, latency=latency, seed=seed,
+        ))
+
+    @property
+    def mode(self) -> str:
+        return "cr" if (self.ordered and self.reliable) else "cm5"
+
+    def attach(self, address: Address) -> "LoopbackTransport":
+        if address in self._transports:
+            raise ValueError(f"address {address!r} already attached")
+        transport = LoopbackTransport(self, address)
+        self._transports[address] = transport
+        return transport
+
+    def detach(self, address: Address) -> None:
+        self._transports.pop(address, None)
+
+    # -- delivery policy ------------------------------------------------------
+
+    def _transmit(self, src: Address, dst: Address, data: bytes) -> None:
+        target = self._transports.get(dst)
+        if target is None:
+            # Unknown destination: a real network would blackhole it too.
+            self.dropped += 1
+            return
+        loop = asyncio.get_running_loop()
+        if self.ordered and self.reliable:
+            # CR mode: lossless FIFO — call_soon preserves send order.
+            loop.call_soon(self._hand_over, target, data, src)
+            return
+        faults = self.faults
+        if faults.drop_rate and self._rng.random() < faults.drop_rate:
+            self.dropped += 1
+            return
+        copies = 1
+        if faults.dup_rate and self._rng.random() < faults.dup_rate:
+            copies = 2
+            self.duplicated += 1
+        for _ in range(copies):
+            delay = faults.latency
+            if faults.reorder_rate and self._rng.random() < faults.reorder_rate:
+                delay += faults.reorder_delay
+                self.reordered += 1
+            if delay > 0:
+                loop.call_later(delay, self._hand_over, target, data, src)
+            else:
+                loop.call_soon(self._hand_over, target, data, src)
+
+    def _hand_over(self, target: "LoopbackTransport", data: bytes,
+                   src: Address) -> None:
+        self.delivered += 1
+        target._deliver(data, src)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LoopbackHub(mode={self.mode}, delivered={self.delivered}, "
+            f"dropped={self.dropped}, reordered={self.reordered})"
+        )
+
+
+class LoopbackTransport(Transport):
+    """One endpoint attached to a :class:`LoopbackHub`."""
+
+    def __init__(self, hub: LoopbackHub, address: Address) -> None:
+        super().__init__()
+        self.hub = hub
+        self._address = address
+        self.provides_in_order = hub.ordered
+        self.provides_reliability = hub.reliable
+
+    @property
+    def local_address(self) -> Address:
+        return self._address
+
+    async def send(self, dst: Address, data: bytes) -> None:
+        self.datagrams_sent += 1
+        self.bytes_sent += len(data)
+        self.hub._transmit(self._address, dst, data)
+
+    async def close(self) -> None:
+        self.hub.detach(self._address)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LoopbackTransport(addr={self._address!r}, mode={self.hub.mode})"
+
+
+class _UDPProtocol(asyncio.DatagramProtocol):
+    """Bridges asyncio's datagram callbacks onto a :class:`UDPTransport`."""
+
+    def __init__(self, owner: "UDPTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self._owner._deliver(data, addr)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover - OS-dependent
+        self._owner.errors += 1
+
+
+class UDPTransport(Transport):
+    """Real UDP sockets for multi-process runs.
+
+    Create with :meth:`bind` (an async factory — the socket must be
+    opened on a running event loop)::
+
+        transport = await UDPTransport.bind()      # 127.0.0.1, ephemeral port
+        peer_addr = transport.local_address        # hand to the other side
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.errors = 0
+
+    @classmethod
+    async def bind(cls, host: str = "127.0.0.1", port: int = 0) -> "UDPTransport":
+        self = cls()
+        loop = asyncio.get_running_loop()
+        transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _UDPProtocol(self), local_addr=(host, port)
+        )
+        self._transport = transport
+        return self
+
+    @property
+    def local_address(self) -> Tuple[str, int]:
+        if self._transport is None:
+            raise RuntimeError("transport is not bound")
+        return self._transport.get_extra_info("sockname")[:2]
+
+    async def send(self, dst: Address, data: bytes) -> None:
+        if self._transport is None:
+            raise RuntimeError("transport is not bound")
+        self.datagrams_sent += 1
+        self.bytes_sent += len(data)
+        self._transport.sendto(data, tuple(dst))
+
+    async def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

@@ -27,10 +27,18 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    _sim: Optional["Simulator"] = field(compare=False, default=None, repr=False)
+    _queued: bool = field(compare=False, default=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Keep the owning simulator's live-event counter exact: only events
+        # still sitting in the heap were counted as pending.
+        if self._queued and self._sim is not None:
+            self._sim._live -= 1
 
 
 class SimulationError(RuntimeError):
@@ -52,6 +60,7 @@ class Simulator:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._live = 0
 
     # -- clock ----------------------------------------------------------------
 
@@ -66,8 +75,12 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on push/pop/cancel. Experiments poll
+        this inside hot loops, so it must not scan the heap.
+        """
+        return self._live
 
     # -- scheduling -------------------------------------------------------------
 
@@ -82,7 +95,10 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
         event = Event(time=time, seq=next(self._seq), action=action, label=label)
+        event._sim = self
+        event._queued = True
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def call_now(self, action: Callable[[], Any], label: str = "") -> Event:
@@ -96,8 +112,11 @@ class Simulator:
         """Run the single next event; return it, or None if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._queued = False
             if event.cancelled:
+                # Already uncounted when cancel() ran.
                 continue
+            self._live -= 1
             self._now = event.time
             self._events_processed += 1
             event.action()
@@ -124,7 +143,7 @@ class Simulator:
 
     def _peek(self) -> Optional[Event]:
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue)._queued = False
         return self._queue[0] if self._queue else None
 
     def __repr__(self) -> str:

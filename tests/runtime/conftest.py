@@ -1,0 +1,25 @@
+"""Fixtures for the live-runtime tests.
+
+Every async test body runs through :func:`drive`, which wraps it in
+``asyncio.wait_for`` — a per-test hard timeout, so a hung protocol fails
+fast instead of stalling the suite (and CI).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+#: Hard ceiling for any single async test body.
+ASYNC_TEST_TIMEOUT = 20.0
+
+
+@pytest.fixture
+def drive():
+    """Run a coroutine to completion on a fresh loop, with a timeout."""
+
+    def runner(coro, timeout: float = ASYNC_TEST_TIMEOUT):
+        return asyncio.run(asyncio.wait_for(coro, timeout))
+
+    return runner

@@ -1,0 +1,118 @@
+"""Tests for the live channel/framing surface and the UDP end-to-end path."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import (
+    LiveFramedChannel,
+    make_loopback_pair,
+    make_udp_pair,
+    open_live_channel,
+    run_ordered_live,
+)
+from repro.runtime.reliability import BackoffPolicy
+
+FAST = BackoffPolicy(initial=0.01, factor=1.5, ceiling=0.1, max_retries=12)
+
+
+async def wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise TimeoutError("condition never became true")
+        await asyncio.sleep(0.005)
+
+
+class TestLiveChannel:
+    def test_stream_arrives_in_order_despite_faults(self, drive):
+        async def body():
+            pair = make_loopback_pair(
+                mode="cm5", drop_rate=0.05, reorder_rate=0.3, seed=5
+            )
+            try:
+                channel = open_live_channel(
+                    pair.src, pair.dst, packet_words=8, backoff=FAST
+                )
+                words = list(range(500))
+                packets = await channel.send(words)
+                await channel.drain()
+                await wait_until(
+                    lambda: len(channel.receive_buffer) >= len(words)
+                )
+                assert packets == 63  # ceil(500 / 8)
+                assert channel.receive_buffer.read() == words
+                assert channel.outstanding == 0
+                assert channel.mode == "cm5"
+                channel.close()
+            finally:
+                await pair.close()
+
+        drive(body())
+
+    def test_cr_channel_reports_mode_and_no_buffering(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cr")
+            try:
+                channel = open_live_channel(pair.src, pair.dst, packet_words=8)
+                await channel.send(list(range(100)))
+                await channel.drain()
+                await wait_until(lambda: len(channel.receive_buffer) >= 100)
+                assert channel.mode == "cr"
+                assert channel.outstanding == 0
+                assert channel.receive_buffer.read() == list(range(100))
+            finally:
+                await pair.close()
+
+        drive(body())
+
+    def test_window_narrower_than_reorder_window_enforced(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5")
+            try:
+                with pytest.raises(ValueError):
+                    open_live_channel(pair.src, pair.dst,
+                                      window=512, reorder_window=128)
+            finally:
+                await pair.close()
+
+        drive(body())
+
+
+class TestLiveFraming:
+    def test_message_boundaries_survive_packetization(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", reorder_rate=0.3, seed=2)
+            try:
+                framed = LiveFramedChannel(open_live_channel(
+                    pair.src, pair.dst, packet_words=4, backoff=FAST
+                ))
+                messages = [[1, 2, 3], [], list(range(40)), [7]]
+                for message in messages:
+                    await framed.send_message(message)
+                await framed.channel.drain()
+                await wait_until(
+                    lambda: len(framed.received_messages) >= len(messages)
+                )
+                assert framed.received_messages == messages
+            finally:
+                await pair.close()
+
+        drive(body())
+
+
+class TestUDPEndToEnd:
+    def test_ordered_stream_over_real_sockets(self, drive):
+        async def body():
+            pair = await make_udp_pair()
+            try:
+                result = await run_ordered_live(
+                    pair, message_words=256, deadline=15.0, backoff=FAST
+                )
+                assert result.completed
+                assert result.delivered_words == list(range(1, 257))
+                assert result.transport == "udp"
+            finally:
+                await pair.close()
+
+        drive(body())

@@ -1,0 +1,69 @@
+"""Unit tests for the runtime wire format."""
+
+import pytest
+
+from repro.runtime.frames import (
+    Frame,
+    FrameError,
+    FrameKind,
+    MAX_PAYLOAD_WORDS,
+    data_frame,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    def test_data_frame_round_trips(self):
+        frame = data_frame(channel=3, seq=41, payload=[1, 2, 3, 4], aux=7)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_empty_payload_round_trips(self):
+        frame = Frame(kind=FrameKind.ACK, channel=1, seq=9)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @pytest.mark.parametrize("kind", list(FrameKind))
+    def test_every_kind_round_trips(self, kind):
+        frame = Frame(kind=kind, channel=2, seq=5, aux=1024, payload=(10, 20))
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_words_are_masked_to_32_bits(self):
+        frame = data_frame(channel=1, seq=0, payload=[(1 << 40) + 5])
+        assert decode_frame(encode_frame(frame)).payload == (5,)
+
+    def test_large_payload(self):
+        payload = tuple(range(256))
+        frame = data_frame(channel=1, seq=1, payload=payload)
+        assert decode_frame(encode_frame(frame)).payload == payload
+
+
+class TestDecodeErrors:
+    def test_truncated_header_rejected(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\xc5\x01")
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_frame(data_frame(1, 0, [1])))
+        data[0] = 0x00
+        with pytest.raises(FrameError):
+            decode_frame(bytes(data))
+
+    def test_unknown_kind_rejected(self):
+        data = bytearray(encode_frame(data_frame(1, 0, [1])))
+        data[1] = 0xEE
+        with pytest.raises(FrameError):
+            decode_frame(bytes(data))
+
+    def test_truncated_payload_rejected(self):
+        data = encode_frame(data_frame(1, 0, [1, 2, 3]))
+        with pytest.raises(FrameError):
+            decode_frame(data[:-2])
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_frame(data_frame(1, 0, [1]))
+        with pytest.raises(FrameError):
+            decode_frame(data + b"\x00")
+
+    def test_oversized_payload_rejected_at_construction(self):
+        with pytest.raises(FrameError):
+            data_frame(1, 0, list(range(MAX_PAYLOAD_WORDS + 1)))

@@ -1,0 +1,131 @@
+"""End-to-end tests for the live protocol ports.
+
+Each protocol runs over (a) a clean loopback, (b) a loopback injecting
+drops/reordering/duplication — exercising the retransmit path — and
+(c) a CR-mode loopback, where the overhead machinery must disappear
+from the measured attribution.
+"""
+
+import pytest
+
+from repro.arch.attribution import Feature
+from repro.runtime import (
+    BackoffPolicy,
+    ProtocolFailure,
+    make_loopback_pair,
+    run_bulk_live,
+    run_ordered_live,
+    run_single_packet_live,
+)
+from repro.runtime.protocols import SinglePacketReceiver, SinglePacketSender
+
+#: Fast backoff for fault tests: recover in milliseconds.
+FAST = BackoffPolicy(initial=0.01, factor=1.5, ceiling=0.1, max_retries=12)
+
+RUNNERS = {
+    "single": run_single_packet_live,
+    "finite": run_bulk_live,
+    "indefinite": run_ordered_live,
+}
+
+
+def run_protocol(drive, protocol, mode="cm5", message_words=256, **pair_kwargs):
+    async def body():
+        pair = make_loopback_pair(mode=mode, **pair_kwargs)
+        try:
+            return await RUNNERS[protocol](
+                pair, message_words=message_words, deadline=15.0, backoff=FAST
+            )
+        finally:
+            await pair.close()
+
+    return drive(body())
+
+
+@pytest.mark.parametrize("protocol", sorted(RUNNERS))
+class TestCleanPath:
+    def test_completes_in_order(self, drive, protocol):
+        result = run_protocol(drive, protocol, reorder_rate=0.0)
+        assert result.completed
+        assert result.delivered_words == list(range(1, 257))
+        assert result.retransmissions == 0
+
+    def test_reordering_alone_is_recovered_without_retransmission(
+            self, drive, protocol):
+        # Reorder delay (2 ms) is far below the first timeout (10 ms), so
+        # ordering machinery — not fault tolerance — does the recovery.
+        result = run_protocol(drive, protocol, reorder_rate=0.3)
+        assert result.completed
+        assert result.delivered_words == list(range(1, 257))
+
+    def test_attribution_buckets_populated(self, drive, protocol):
+        result = run_protocol(drive, protocol, reorder_rate=0.25)
+        breakdown = result.breakdown()
+        assert breakdown.row(Feature.BASE).total_ns > 0
+        assert breakdown.row(Feature.FAULT_TOLERANCE).total_ns > 0
+        assert result.total_ns == breakdown.total_ns
+
+
+@pytest.mark.parametrize("protocol", sorted(RUNNERS))
+class TestFaultRecovery:
+    def test_survives_drops(self, drive, protocol):
+        result = run_protocol(
+            drive, protocol, drop_rate=0.1, reorder_rate=0.25, seed=11,
+        )
+        assert result.completed
+        assert result.delivered_words == list(range(1, 257))
+        assert result.drops_injected > 0
+        assert result.retransmissions > 0
+
+    def test_absorbs_duplicates(self, drive, protocol):
+        result = run_protocol(
+            drive, protocol, dup_rate=0.2, reorder_rate=0.0, seed=3,
+        )
+        assert result.completed
+        assert result.delivered_words == list(range(1, 257))
+
+
+@pytest.mark.parametrize("protocol", sorted(RUNNERS))
+class TestCRMode:
+    def test_completes_with_zero_overhead_time(self, drive, protocol):
+        result = run_protocol(drive, protocol, mode="cr")
+        assert result.completed
+        assert result.delivered_words == list(range(1, 257))
+        breakdown = result.breakdown()
+        # The network provides ordering and reliability, so the runtime
+        # never enters the in-order or fault-tolerance machinery at all —
+        # the Figure 6 collapse, measured rather than modeled.
+        assert breakdown.row(Feature.IN_ORDER).total_ns == 0
+        assert breakdown.row(Feature.FAULT_TOLERANCE).total_ns == 0
+        assert breakdown.row(Feature.BASE).total_ns > 0
+        assert result.retransmissions == 0
+
+    def test_collapse_direction_vs_cm5(self, drive, protocol):
+        faulty = run_protocol(
+            drive, protocol, drop_rate=0.05, reorder_rate=0.25,
+        )
+        clean = run_protocol(drive, protocol, mode="cr")
+        cm5_share = faulty.breakdown().ordering_plus_fault_share()
+        cr_share = clean.breakdown().ordering_plus_fault_share()
+        assert cm5_share > 0.05
+        assert cr_share == 0.0
+
+
+class TestGiveUp:
+    def test_unreachable_destination_fails_fast(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", drop_rate=1.0, reorder_rate=0.0)
+            sender = SinglePacketSender(
+                pair.src, pair.dst.local_address,
+                backoff=BackoffPolicy(initial=0.005, max_retries=3),
+            )
+            SinglePacketReceiver(pair.dst)
+            try:
+                with pytest.raises(ProtocolFailure):
+                    await sender.send([1, 2, 3], timeout=5.0)
+                return sender.retransmitter.exhausted
+            finally:
+                sender.close()
+                await pair.close()
+
+        assert drive(body()) == 1

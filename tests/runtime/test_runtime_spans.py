@@ -1,0 +1,101 @@
+"""Unit tests for wall-clock feature attribution."""
+
+import time
+
+import pytest
+
+from repro.arch.attribution import Feature
+from repro.runtime.spans import TimeAttribution
+
+
+def spin(ns: int) -> None:
+    """Busy-wait for roughly ``ns`` nanoseconds."""
+    deadline = time.perf_counter_ns() + ns
+    while time.perf_counter_ns() < deadline:
+        pass
+
+
+class TestSpans:
+    def test_span_charges_its_feature(self):
+        attr = TimeAttribution()
+        with attr.span(Feature.IN_ORDER):
+            spin(200_000)
+        assert attr.ns(Feature.IN_ORDER) >= 200_000
+        assert attr.ns(Feature.BASE) == 0
+        assert attr.span_count(Feature.IN_ORDER) == 1
+
+    def test_nested_span_is_exclusive(self):
+        attr = TimeAttribution()
+        with attr.span(Feature.BASE):
+            spin(200_000)
+            with attr.span(Feature.FAULT_TOLERANCE):
+                spin(200_000)
+            spin(200_000)
+        base = attr.ns(Feature.BASE)
+        inner = attr.ns(Feature.FAULT_TOLERANCE)
+        assert base >= 400_000
+        assert inner >= 200_000
+        # No double counting: the parent was paused while the child ran.
+        assert attr.total_ns == base + inner
+
+    def test_time_outside_spans_is_uncharged(self):
+        attr = TimeAttribution()
+        with attr.span(Feature.BASE):
+            pass
+        before = attr.total_ns
+        spin(500_000)
+        assert attr.total_ns == before
+
+    def test_non_feature_rejected(self):
+        attr = TimeAttribution()
+        with pytest.raises(TypeError):
+            attr.span("base")
+
+    def test_exception_safe(self):
+        attr = TimeAttribution()
+        with pytest.raises(ValueError):
+            with attr.span(Feature.BASE):
+                raise ValueError("boom")
+        # The stack unwound; a new span still works.
+        with attr.span(Feature.IN_ORDER):
+            pass
+        assert attr.span_count(Feature.IN_ORDER) == 1
+
+
+class TestAccounting:
+    def test_overhead_excludes_base_and_user(self):
+        attr = TimeAttribution()
+        attr.charge_ns(Feature.BASE, 600)
+        attr.charge_ns(Feature.IN_ORDER, 250)
+        attr.charge_ns(Feature.FAULT_TOLERANCE, 150)
+        attr.charge_ns(Feature.USER, 1000)
+        assert attr.total_ns == 1000
+        assert attr.overhead_ns == 400
+        assert attr.overhead_fraction == pytest.approx(0.4)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            TimeAttribution().charge_ns(Feature.BASE, -1)
+
+    def test_merge_folds_totals_and_counts(self):
+        first, second = TimeAttribution(), TimeAttribution()
+        first.charge_ns(Feature.BASE, 100)
+        with second.span(Feature.BASE):
+            pass
+        second.charge_ns(Feature.BASE, 50)
+        first.merge(second)
+        assert first.ns(Feature.BASE) >= 150
+        assert first.span_count(Feature.BASE) == 1
+
+    def test_snapshot_is_detached(self):
+        attr = TimeAttribution()
+        attr.charge_ns(Feature.BASE, 10)
+        snap = attr.snapshot()
+        attr.charge_ns(Feature.BASE, 10)
+        assert snap[Feature.BASE] == 10
+
+    def test_reset(self):
+        attr = TimeAttribution()
+        attr.charge_ns(Feature.BASE, 10)
+        attr.reset()
+        assert attr.total_ns == 0

@@ -1,0 +1,172 @@
+"""Tests for the loopback (fault-injecting / CR) and UDP transports."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.transport import (
+    FaultProfile,
+    LoopbackHub,
+    UDPTransport,
+)
+
+
+def collect(transport):
+    """Attach a recording receiver; returns the record list."""
+    received = []
+    transport.set_receiver(lambda data, src: received.append((data, src)))
+    return received
+
+
+async def settle(seconds: float = 0.02) -> None:
+    """Let scheduled deliveries (including reorder delays) run."""
+    await asyncio.sleep(seconds)
+
+
+class TestLoopbackClean:
+    def test_delivers_datagrams_with_source_address(self, drive):
+        async def body():
+            hub = LoopbackHub()
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            await a.send("b", b"hello")
+            await settle()
+            return received
+
+        assert drive(body()) == [(b"hello", "a")]
+
+    def test_unknown_destination_is_blackholed(self, drive):
+        async def body():
+            hub = LoopbackHub()
+            a = hub.attach("a")
+            await a.send("nowhere", b"x")
+            await settle()
+            return hub.dropped
+
+        assert drive(body()) == 1
+
+    def test_duplicate_address_rejected(self):
+        hub = LoopbackHub()
+        hub.attach("a")
+        with pytest.raises(ValueError):
+            hub.attach("a")
+
+    def test_detach_on_close(self, drive):
+        async def body():
+            hub = LoopbackHub()
+            a, b = hub.attach("a"), hub.attach("b")
+            await b.close()
+            await a.send("b", b"x")
+            await settle()
+            return hub.dropped
+
+        assert drive(body()) == 1
+
+
+class TestFaultInjection:
+    def test_drops_are_seeded_and_counted(self, drive):
+        async def body(seed):
+            hub = LoopbackHub.cm5(drop_rate=0.3, reorder_rate=0.0, seed=seed)
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            for i in range(100):
+                await a.send("b", bytes([i]))
+            await settle()
+            return len(received), hub.dropped
+
+        first = drive(body(7))
+        again = drive(body(7))
+        assert first == again  # same seed, same fate
+        delivered, dropped = first
+        assert delivered + dropped == 100
+        assert 0 < dropped < 100
+
+    def test_duplication(self, drive):
+        async def body():
+            hub = LoopbackHub.cm5(dup_rate=1.0, reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            await a.send("b", b"x")
+            await settle()
+            return len(received), hub.duplicated
+
+        assert drive(body()) == (2, 1)
+
+    def test_reordering_overtakes(self, drive):
+        async def body():
+            # First datagram always reordered (held 5 ms), rest never.
+            hub = LoopbackHub.cm5(reorder_rate=1.0, reorder_delay=0.005)
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            await a.send("b", b"first")
+            hub.faults.reorder_rate = 0.0
+            await a.send("b", b"second")
+            await settle(0.05)
+            return [data for data, _src in received]
+
+        assert drive(body()) == [b"second", b"first"]
+
+    def test_fault_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultProfile(drop_rate=1.5)
+
+
+class TestCRMode:
+    def test_cr_hub_advertises_services(self):
+        hub = LoopbackHub.cr()
+        transport = hub.attach("a")
+        assert transport.provides_in_order
+        assert transport.provides_reliability
+        assert hub.mode == "cr"
+
+    def test_cm5_hub_advertises_nothing(self):
+        transport = LoopbackHub.cm5().attach("a")
+        assert not transport.provides_in_order
+        assert not transport.provides_reliability
+
+    def test_cr_mode_is_lossless_fifo(self, drive):
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            for i in range(50):
+                await a.send("b", bytes([i]))
+            await settle()
+            return [data[0] for data, _src in received], hub.dropped
+
+        order, dropped = drive(body())
+        assert order == list(range(50))
+        assert dropped == 0
+
+    def test_cr_hub_refuses_fault_injection(self):
+        with pytest.raises(ValueError):
+            LoopbackHub(FaultProfile(drop_rate=0.1), ordered=True, reliable=True)
+
+
+class TestUDP:
+    def test_udp_round_trip(self, drive):
+        async def body():
+            a = await UDPTransport.bind()
+            b = await UDPTransport.bind()
+            received = collect(b)
+            await a.send(b.local_address, b"over the wire")
+            for _ in range(100):
+                if received:
+                    break
+                await asyncio.sleep(0.01)
+            await a.close()
+            await b.close()
+            return received
+
+        received = drive(body())
+        assert len(received) == 1
+        assert received[0][0] == b"over the wire"
+
+    def test_udp_advertises_no_services(self, drive):
+        async def body():
+            transport = await UDPTransport.bind()
+            flags = (transport.provides_in_order, transport.provides_reliability)
+            await transport.close()
+            return flags
+
+        assert drive(body()) == (False, False)

@@ -126,3 +126,129 @@ class TestRun:
         sim.run()
         assert fired == ["late"]
         assert sim.now == 2.0
+
+
+class TestCancellationEdgeCases:
+    """Cancelled-event skipping in step()/_peek() and the live counter."""
+
+    def test_step_skips_cancelled_and_runs_next_live(self, sim):
+        fired = []
+        doomed = sim.schedule(1.0, lambda: fired.append("doomed"))
+        sim.schedule(2.0, lambda: fired.append("live"))
+        doomed.cancel()
+        event = sim.step()
+        assert fired == ["live"]
+        assert event.time == 2.0
+        assert sim.events_processed == 1
+
+    def test_step_returns_none_when_only_cancelled_remain(self, sim):
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None).cancel()
+        assert sim.step() is None
+        assert sim.pending == 0
+        assert sim.events_processed == 0
+
+    def test_peek_discards_leading_cancelled_events(self, sim):
+        fired = []
+        head = sim.schedule(1.0, lambda: fired.append("head"))
+        sim.schedule(2.0, lambda: fired.append("tail"))
+        head.cancel()
+        # run(until=...) peeks before stepping: the cancelled head must
+        # not stall it or satisfy the until-bound.
+        sim.run(until=5.0)
+        assert fired == ["tail"]
+        assert sim.now == 5.0
+
+    def test_cancel_is_idempotent_for_pending_counter(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_inside_action_of_same_timestamp(self, sim):
+        fired = []
+        victim = sim.schedule(1.0, lambda: fired.append("victim"))
+        # The assassin fires earlier and cancels the already-queued victim.
+        sim.schedule(0.5, victim.cancel)
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_pending_tracks_mixed_lifecycle(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 2
+
+
+class TestRunUntilClockSemantics:
+    """run(until=...) clock behavior on empty and bounded queues."""
+
+    def test_empty_queue_jumps_clock_to_until(self, sim):
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+        assert sim.events_processed == 0
+
+    def test_until_in_past_of_clock_does_not_rewind(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        assert sim.now == 10.0
+        sim.run(until=5.0)
+        assert sim.now == 10.0
+
+    def test_until_before_next_event_leaves_it_queued(self, sim):
+        fired = []
+        sim.schedule(8.0, lambda: fired.append(1))
+        sim.run(until=3.0)
+        assert fired == []
+        assert sim.now == 3.0
+        assert sim.pending == 1
+
+    def test_until_exactly_at_event_time_fires_it(self, sim):
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(1))
+        sim.run(until=3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+
+    def test_queue_of_only_cancelled_events_still_advances_clock(self, sim):
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.run(until=9.0)
+        assert sim.now == 9.0
+
+
+class TestEventBudget:
+    """The event-budget exhaustion error (livelock detector)."""
+
+    def test_budget_error_mentions_the_limit(self, sim):
+        def respawn():
+            sim.schedule(0.0, respawn)
+
+        sim.schedule(0.0, respawn)
+        with pytest.raises(SimulationError, match="250"):
+            sim.run(max_events=250)
+
+    def test_budget_exactly_sufficient_succeeds(self, sim):
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=10)
+        assert sim.events_processed == 10
+
+    def test_cancelled_events_do_not_consume_budget(self, sim):
+        for i in range(20):
+            sim.schedule(float(i), lambda: None).cancel()
+        sim.schedule(100.0, lambda: None)
+        sim.run(max_events=1)
+        assert sim.events_processed == 1
