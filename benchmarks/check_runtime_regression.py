@@ -1,0 +1,129 @@
+"""CI gate: compare a fresh BENCH_runtime.json against the committed one.
+
+Usage::
+
+    python benchmarks/check_runtime_regression.py BASELINE.json FRESH.json
+
+Two kinds of checks:
+
+* **Absolute bounds** (the ISSUE 2 acceptance criteria) — selective
+  repeat must save >= 50% of the data bytes a go-back-N round would
+  resend, and the ordered channel must stay under 0.5 ack datagrams per
+  data datagram.  These hold regardless of the baseline.
+* **Relative drift** — retransmitted bytes and acks-per-data must not
+  blow past the committed baseline by more than a generous slack factor.
+  Fault injection is seeded, so the counts are near-deterministic; the
+  slack absorbs scheduler-timing noise (a loaded CI runner can let a
+  retransmit timer fire just before the ack lands).
+
+Exits non-zero listing every violated check.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Fresh value may exceed baseline by this factor before we call it a
+#: regression (timer-vs-ack races under CI load add real jitter).
+RELATIVE_SLACK = 3.0
+
+#: Ignore relative drift on counters this small in the baseline: going
+#: from 1 ack to 3 is noise, not a regression.
+MIN_BASELINE_FLOOR = 4
+
+
+def _load(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        sys.exit(f"cannot read bench payload {path!r}: {exc}")
+
+
+def _dig(payload: dict, *keys, default=None):
+    node = payload
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return default
+        node = node[key]
+    return node
+
+
+def check(baseline: dict, fresh: dict) -> list:
+    problems = []
+
+    # --- absolute acceptance bounds -----------------------------------
+    savings = _dig(fresh, "reliability", "bulk_selective_repeat",
+                   "selective_repeat_savings")
+    if savings is None:
+        problems.append("fresh payload is missing the bulk selective-repeat row")
+    elif savings < 0.5:
+        problems.append(
+            f"selective-repeat savings {savings:.1%} fell below the 50% bound"
+        )
+
+    ack_ratio = _dig(fresh, "reliability", "ordered_ack_coalescing",
+                     "acks_per_data")
+    if ack_ratio is None:
+        problems.append("fresh payload is missing the ack-coalescing row")
+    elif ack_ratio >= 0.5:
+        problems.append(
+            f"ordered channel sent {ack_ratio:.2f} acks per data datagram "
+            "(bound: < 0.5)"
+        )
+
+    # --- relative drift vs the committed baseline ---------------------
+    drift_metrics = [
+        ("bulk retransmitted data bytes",
+         ("reliability", "bulk_selective_repeat", "retransmitted_data_bytes")),
+        ("ordered ack datagrams",
+         ("reliability", "ordered_ack_coalescing", "ack_datagrams")),
+    ]
+    for label, keys in drift_metrics:
+        base = _dig(baseline, *keys)
+        now = _dig(fresh, *keys)
+        if base is None or now is None:
+            continue  # baseline predates the metric; absolute bounds still apply
+        limit = max(base * RELATIVE_SLACK, MIN_BASELINE_FLOOR * RELATIVE_SLACK)
+        if now > limit:
+            problems.append(
+                f"{label} regressed: {now} vs baseline {base} "
+                f"(limit {limit:.0f} at {RELATIVE_SLACK}x slack)"
+            )
+
+    # Per-protocol wire stats: no CM-5 protocol may drift to one-ack-per-
+    # packet behaviour once it has coalescing in the baseline.
+    for cell, record in (_dig(fresh, "protocols", default={}) or {}).items():
+        if not cell.endswith("/cm5") or cell.startswith("single"):
+            continue  # the single-packet protocol acks every packet by design
+        ratio = _dig(record, "wire", "acks_per_data")
+        if ratio is not None and ratio >= 0.5:
+            problems.append(
+                f"{cell} acks_per_data {ratio:.2f} crossed the 0.5 bound"
+            )
+
+    return problems
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline, fresh = _load(argv[1]), _load(argv[2])
+    problems = check(baseline, fresh)
+    if problems:
+        print("runtime bench regression check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("runtime bench regression check passed:")
+    print(f"  selective-repeat savings: "
+          f"{_dig(fresh, 'reliability', 'bulk_selective_repeat', 'selective_repeat_savings'):.1%}")
+    print(f"  ordered acks per data datagram: "
+          f"{_dig(fresh, 'reliability', 'ordered_ack_coalescing', 'acks_per_data'):.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

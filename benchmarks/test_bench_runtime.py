@@ -23,11 +23,13 @@ from repro.runtime import measure_live
 BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
 #: Accumulated across the tests in this module; the last test writes it.
-RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}}
+RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
 FAULTS = {"drop_rate": 0.02, "reorder_rate": 0.25, "seed": 0x5CA1E}
+#: Heavier loss profile for the reliability rows (ISSUE 2 acceptance).
+HEAVY_FAULTS = {"drop_rate": 0.05, "reorder_rate": 0.25, "seed": 11}
 
 
 def _measure(protocol, mode):
@@ -77,6 +79,12 @@ def test_time_shares(protocol, mode):
         "retransmissions": result.retransmissions,
         "duplicates": result.duplicates,
         "drops_injected": result.drops_injected,
+        "wire": {
+            "data_datagrams": result.data_datagrams,
+            "ack_datagrams": result.acks,
+            "acks_per_data": result.acks_per_data,
+            "retransmitted_bytes": result.retransmitted_bytes,
+        },
         "breakdown": breakdown.to_dict(),
     }
     if mode == "cr":
@@ -103,6 +111,60 @@ def test_figure6_collapse_direction(protocol):
     }
     assert cm5_share > 0.0
     assert cr_share < cm5_share * 0.5
+
+
+def test_selective_repeat_savings_under_heavy_drops():
+    """Bulk transfer at 5% drop: selective repeat must resend at least
+    50% fewer data bytes than a go-back-N round would have (ISSUE 2)."""
+    start = time.perf_counter_ns()
+    result = measure_live(
+        "finite", mode="cm5", transport="loopback",
+        message_words=1024, deadline=DEADLINE, **HEAVY_FAULTS,
+    )
+    elapsed_ns = time.perf_counter_ns() - start
+    assert result.completed
+    assert result.drops_injected > 0, "fault profile injected no drops"
+    resent = result.detail["retransmitted_data_bytes"]
+    gbn = result.detail["goback_n_equivalent_bytes"]
+    assert gbn > 0, "no data packet needed retransmission; seed too mild"
+    savings = (gbn - resent) / gbn
+    RESULTS["reliability"]["bulk_selective_repeat"] = {
+        "message_words": 1024,
+        "faults": HEAVY_FAULTS,
+        "harness_ns": elapsed_ns,
+        "retransmitted_data_bytes": resent,
+        "goback_n_equivalent_bytes": gbn,
+        "selective_repeat_savings": savings,
+        "data_rounds": result.detail["data_rounds"],
+    }
+    assert savings >= 0.5, (
+        f"selective repeat saved only {savings:.0%} vs go-back-N"
+    )
+
+
+def test_ack_coalescing_under_heavy_drops():
+    """Ordered channel at 5% drop: cumulative + delayed acks must keep
+    the ack rate below 0.5 ack datagrams per data datagram (ISSUE 2)."""
+    start = time.perf_counter_ns()
+    result = measure_live(
+        "indefinite", mode="cm5", transport="loopback",
+        message_words=1024, deadline=DEADLINE, **HEAVY_FAULTS,
+    )
+    elapsed_ns = time.perf_counter_ns() - start
+    assert result.completed
+    RESULTS["reliability"]["ordered_ack_coalescing"] = {
+        "message_words": 1024,
+        "faults": HEAVY_FAULTS,
+        "harness_ns": elapsed_ns,
+        "data_datagrams": result.data_datagrams,
+        "ack_datagrams": result.acks,
+        "acks_per_data": result.acks_per_data,
+        "immediate_acks": result.detail["immediate_acks"],
+        "delayed_acks": result.detail["delayed_acks"],
+    }
+    assert result.acks_per_data < 0.5, (
+        f"{result.acks_per_data:.2f} acks per data datagram"
+    )
 
 
 def test_write_bench_json():

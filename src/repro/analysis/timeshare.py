@@ -143,6 +143,75 @@ class TimeBreakdown:
         }
 
 
+@dataclass
+class WireStats:
+    """Datagram-level accounting for one protocol run.
+
+    The paper argues (and "Breaking Band" re-demonstrates) that
+    critical-path *message counts* — not just instructions — determine
+    messaging cost, so the runtime reports them next to the time shares:
+    how many data datagrams rode the wire, how many acknowledgement
+    datagrams answered them, and how many retransmitted bytes the
+    fault-tolerance machinery cost.  ``goback_n_equivalent_bytes`` is
+    what the pre-selective-repeat strategy (resend the whole remainder
+    each round) would have retransmitted for the same loss pattern — the
+    baseline the selective-repeat savings are quoted against.
+    """
+
+    data_datagrams: int
+    ack_datagrams: int
+    retransmissions: int = 0
+    retransmitted_bytes: int = 0
+    goback_n_equivalent_bytes: int = 0
+
+    @property
+    def acks_per_data(self) -> float:
+        if not self.data_datagrams:
+            return 0.0
+        return self.ack_datagrams / self.data_datagrams
+
+    @property
+    def selective_repeat_savings(self) -> float:
+        """Fraction of the go-back-N retransmit bytes avoided (0 when
+        nothing was retransmitted by either strategy)."""
+        if not self.goback_n_equivalent_bytes:
+            return 0.0
+        saved = self.goback_n_equivalent_bytes - self.retransmitted_bytes
+        return saved / self.goback_n_equivalent_bytes
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "data_datagrams": self.data_datagrams,
+            "ack_datagrams": self.ack_datagrams,
+            "acks_per_data": self.acks_per_data,
+            "retransmissions": self.retransmissions,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "goback_n_equivalent_bytes": self.goback_n_equivalent_bytes,
+            "selective_repeat_savings": self.selective_repeat_savings,
+        }
+
+
+def render_wire_stats(stats: WireStats) -> str:
+    """One-run wire accounting table (companion to the time tables)."""
+    headers = ["Wire metric", "Value"]
+    rows = [
+        ["Data datagrams", str(stats.data_datagrams)],
+        ["Ack datagrams", str(stats.ack_datagrams)],
+        ["Acks per data datagram", f"{stats.acks_per_data:.2f}"],
+        ["Retransmissions", str(stats.retransmissions)],
+        ["Retransmitted bytes", str(stats.retransmitted_bytes)],
+    ]
+    if stats.goback_n_equivalent_bytes:
+        rows.append(
+            ["Go-back-N equivalent bytes", str(stats.goback_n_equivalent_bytes)]
+        )
+        rows.append(
+            ["Selective-repeat savings",
+             f"{stats.selective_repeat_savings:.0%}"]
+        )
+    return render_table(headers, rows)
+
+
 def render_time_table(breakdown: TimeBreakdown) -> str:
     """The wall-clock analogue of ``render_cost_table`` (values in µs)."""
     headers = ["Feature", "Src (us)", "Dst (us)", "Total (us)", "Share"]

@@ -20,7 +20,14 @@ Entry points:
 
 from repro.runtime.channels import LiveChannel, LiveFramedChannel, open_live_channel
 from repro.runtime.endpoint import RuntimeEndpoint
-from repro.runtime.frames import Frame, FrameError, FrameKind, decode_frame, encode_frame
+from repro.runtime.frames import (
+    Frame,
+    FrameError,
+    FrameKind,
+    cum_ack_frame,
+    decode_frame,
+    encode_frame,
+)
 from repro.runtime.protocols import (
     BulkReceiver,
     BulkSender,
@@ -30,7 +37,12 @@ from repro.runtime.protocols import (
     SinglePacketReceiver,
     SinglePacketSender,
 )
-from repro.runtime.reliability import BackoffPolicy, Retransmitter, RetransmitExhausted
+from repro.runtime.reliability import (
+    BackoffPolicy,
+    Retransmitter,
+    RetransmitExhausted,
+    RttEstimator,
+)
 from repro.runtime.runner import (
     PROTOCOL_NAMES,
     RuntimePair,
@@ -69,6 +81,7 @@ __all__ = [
     "ProtocolFailure",
     "Retransmitter",
     "RetransmitExhausted",
+    "RttEstimator",
     "RuntimeEndpoint",
     "RuntimePair",
     "RuntimeRunResult",
@@ -77,6 +90,7 @@ __all__ = [
     "TimeAttribution",
     "Transport",
     "UDPTransport",
+    "cum_ack_frame",
     "decode_frame",
     "encode_frame",
     "make_loopback_pair",

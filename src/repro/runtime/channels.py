@@ -63,8 +63,10 @@ class LiveChannel:
         """Unacknowledged packets in the source buffer (0 on CR)."""
         return self._sender.outstanding
 
-    def close(self) -> None:
-        self._sender.close()
+    async def close(self) -> None:
+        """Tear down retransmission state (awaits the timer wheel)."""
+        await self._sender.close()
+        self._receiver.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LiveChannel(mode={self.mode}, sent={self.words_sent}w)"
@@ -79,17 +81,21 @@ def open_live_channel(
     packet_words: int = 16,
     reorder_window: int = 256,
     backoff: Optional[BackoffPolicy] = None,
+    ack_every: int = 8,
+    ack_delay: float = 0.005,
 ) -> LiveChannel:
     """Open a live ordered channel from ``tx`` to ``rx``.
 
     ``dst`` defaults to ``rx``'s transport address (one-process loopback);
     pass it explicitly for multi-process UDP runs where ``rx`` is remote.
+    ``ack_every``/``ack_delay`` tune the receiver's ack coalescing.
     """
     if reorder_window < window:
         raise ValueError("receiver reorder window must cover the send window")
     buffer = ChannelReceiveBuffer()
     receiver = OrderedChannelReceiver(
-        rx, channel=channel, window=reorder_window, deliver=buffer._deliver
+        rx, channel=channel, window=reorder_window, deliver=buffer._deliver,
+        ack_every=ack_every, ack_delay=ack_delay,
     )
     sender = OrderedChannelSender(
         tx, dst if dst is not None else rx.local_address,
@@ -131,5 +137,5 @@ class LiveFramedChannel:
     def on_message(self, callback: Callable[[List[int]], None]) -> None:
         self.assembler.on_message(callback)
 
-    def close(self) -> None:
-        self.channel.close()
+    async def close(self) -> None:
+        await self.channel.close()

@@ -18,15 +18,28 @@ import json
 from typing import Any, Dict, List, Optional
 
 from repro.analysis.timeshare import (
+    WireStats,
     overhead_collapse,
     render_mode_comparison,
     render_time_table,
+    render_wire_stats,
 )
 from repro.runtime.runner import PROTOCOL_NAMES, RuntimeRunResult, measure_live
 
 #: The CR share must come in below this fraction of the CM-5 share for
 #: the demo to declare the paper's direction reproduced.
 COLLAPSE_THRESHOLD = 0.5
+
+
+def _wire_stats(result: RuntimeRunResult) -> WireStats:
+    return WireStats(
+        data_datagrams=result.data_datagrams,
+        ack_datagrams=result.acks,
+        retransmissions=result.retransmissions,
+        retransmitted_bytes=result.retransmitted_bytes,
+        goback_n_equivalent_bytes=result.detail.get(
+            "goback_n_equivalent_bytes", 0),
+    )
 
 
 def _result_record(result: RuntimeRunResult) -> Dict[str, Any]:
@@ -44,6 +57,7 @@ def _result_record(result: RuntimeRunResult) -> Dict[str, Any]:
         "duplicates": result.duplicates,
         "ooo_arrivals": result.ooo_arrivals,
         "drops_injected": result.drops_injected,
+        "wire": _wire_stats(result).to_dict(),
         "breakdown": breakdown.to_dict(),
     }
 
@@ -87,6 +101,7 @@ def run_demo(args) -> int:
             f"duplicates absorbed: {cm5.duplicates}, "
             f"out-of-order arrivals: {cm5.ooo_arrivals})"
         )
+        print(render_wire_stats(_wire_stats(cm5)))
         if not cm5.completed:
             failures += 1
         records.append(_result_record(cm5))

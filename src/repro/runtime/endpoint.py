@@ -15,7 +15,13 @@ import asyncio
 from typing import Callable, Dict, Optional
 
 from repro.arch.attribution import Feature
-from repro.runtime.frames import Frame, FrameError, decode_frame, encode_frame
+from repro.runtime.frames import (
+    Frame,
+    FrameError,
+    FrameKind,
+    decode_frame,
+    encode_frame,
+)
 from repro.runtime.spans import TimeAttribution
 from repro.runtime.transport import Address, Transport
 
@@ -33,6 +39,7 @@ class RuntimeEndpoint:
         self._handlers: Dict[int, FrameHandler] = {}
         self.frames_received = 0
         self.frames_sent = 0
+        self.sent_by_kind: Dict[FrameKind, int] = {}
         self.decode_errors = 0
         self.unrouted = 0
         transport.set_receiver(self._on_datagram)
@@ -92,6 +99,7 @@ class RuntimeEndpoint:
         with self.attribution.span(feature):
             data = encode_frame(frame)
             self.frames_sent += 1
+            self.sent_by_kind[frame.kind] = self.sent_by_kind.get(frame.kind, 0) + 1
             await self.transport.send(dst, data)
         return data
 
@@ -100,6 +108,22 @@ class RuntimeEndpoint:
         """Fire-and-forget :meth:`send_frame` from synchronous handler code."""
         return asyncio.get_running_loop().create_task(
             self.send_frame(dst, frame, feature)
+        )
+
+    # -- wire accounting ------------------------------------------------------
+
+    @property
+    def data_frames_sent(self) -> int:
+        """First-transmission data datagrams (retransmits bypass the codec)."""
+        return self.sent_by_kind.get(FrameKind.DATA, 0)
+
+    @property
+    def ack_frames_sent(self) -> int:
+        """Acknowledgement datagrams of every flavour sent by this side."""
+        return (
+            self.sent_by_kind.get(FrameKind.ACK, 0)
+            + self.sent_by_kind.get(FrameKind.CUM_ACK, 0)
+            + self.sent_by_kind.get(FrameKind.FINAL_ACK, 0)
         )
 
     async def close(self) -> None:

@@ -46,8 +46,14 @@ class FrameKind(enum.IntEnum):
     ACK = 2           #: per-packet acknowledgement (seq = acknowledged seq)
     ALLOC_REQ = 3     #: finite-sequence step 1: request a segment (aux = total words)
     ALLOC_REPLY = 4   #: finite-sequence step 3: segment granted (seq = transfer id)
-    DEALLOC = 5       #: finite-sequence step 5: transfer finished, free the segment
-    FINAL_ACK = 6     #: finite-sequence step 6: everything arrived (aux = words received)
+    DEALLOC = 5      #: finite-sequence step 5: transfer finished, free the segment
+    FINAL_ACK = 6    #: finite-sequence step 6: cumulative ack — aux = contiguous
+                     #: word high-water mark; payload = selectively received
+                     #: packet offsets beyond it (empty when complete)
+    CUM_ACK = 7      #: stream cumulative ack — seq = receiver's next expected
+                     #: sequence number (everything below is delivered);
+                     #: payload = out-of-order seqs parked in the reorder
+                     #: buffer (selective acks)
 
 
 @dataclass(frozen=True)
@@ -125,4 +131,18 @@ def data_frame(channel: int, seq: int, payload: Sequence[int], aux: int = 0) -> 
     return Frame(
         kind=FrameKind.DATA, channel=channel, seq=seq, aux=aux,
         payload=tuple(payload),
+    )
+
+
+def cum_ack_frame(channel: int, next_expected: int,
+                  sacks: Sequence[int] = ()) -> Frame:
+    """A stream cumulative acknowledgement.
+
+    ``next_expected`` acknowledges every sequence number below it;
+    ``sacks`` selectively acknowledges out-of-order packets parked
+    beyond the contiguous point.
+    """
+    return Frame(
+        kind=FrameKind.CUM_ACK, channel=channel, seq=next_expected,
+        aux=len(sacks), payload=tuple(sacks),
     )

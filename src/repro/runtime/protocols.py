@@ -11,12 +11,27 @@ measured ``perf_counter_ns`` spans to the same four feature buckets:
 * **finite-sequence bulk transfer** — segment allocation handshake
   (buffer management), offset-addressed data packets (in-order
   delivery), deallocation + final ack (fault tolerance), with
-  resend-of-the-unacknowledged-transfer recovery (idempotent by offset);
+  **selective-repeat** recovery: every data packet is tracked
+  individually and only the offsets the receiver has not confirmed are
+  retransmitted.  The receiver's ``FINAL_ACK`` is cumulative — ``aux``
+  carries its contiguous word high-water mark, the payload selectively
+  acknowledges packets parked beyond a gap — so a single lost packet
+  costs one packet's retransmission, not a resend of the whole
+  remainder (go-back-N);
 * **indefinite-sequence ordered channel** — sequence numbers and a
   reorder buffer (in-order delivery, reusing the simulator's
   :class:`~repro.protocols.sequencing.ReorderWindow` state machine),
-  windowed source buffering with per-packet acks and exponential-backoff
-  retransmission (fault tolerance).
+  windowed source buffering with **coalesced cumulative
+  acknowledgements**: the receiver acks with a ``CUM_ACK`` carrying its
+  next-expected sequence number (plus selective acks for parked
+  out-of-order packets), sent immediately every ``ack_every`` arrivals
+  or on a duplicate, otherwise deferred behind a small delayed-ack
+  timer — so well under one ack datagram rides the wire per data
+  datagram.
+
+Retransmission timers everywhere are RTT-adaptive (RFC 6298 SRTT/RTTVAR
+via :class:`~repro.runtime.reliability.RttEstimator`) and run on a
+single timer-wheel task per retransmitter.
 
 Every protocol checks the endpoint's service flags: on a CR-mode
 transport (in-order + reliable) the sequencing, acknowledgement, and
@@ -30,12 +45,12 @@ from __future__ import annotations
 import asyncio
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.attribution import Feature
 from repro.protocols.sequencing import ReorderWindow, SequenceError, SequenceGenerator
 from repro.runtime.endpoint import RuntimeEndpoint
-from repro.runtime.frames import Frame, FrameKind, data_frame
+from repro.runtime.frames import Frame, FrameKind, cum_ack_frame, data_frame
 from repro.runtime.reliability import BackoffPolicy, Retransmitter, RetransmitExhausted
 from repro.runtime.transport import Address
 
@@ -44,6 +59,9 @@ from repro.runtime.transport import Address
 CH_SINGLE = 1
 CH_BULK = 2
 CH_STREAM = 3
+
+#: Cap on the selective-ack list carried in one ack datagram.
+MAX_SACKS = 512
 
 
 class ProtocolFailure(RuntimeError):
@@ -109,8 +127,8 @@ class SinglePacketSender:
             if future is not None and not future.done():
                 future.set_result(True)
 
-    def close(self) -> None:
-        self.retransmitter.cancel_all()
+    async def close(self) -> None:
+        await self.retransmitter.cancel_all()
 
 
 class SinglePacketReceiver:
@@ -185,12 +203,27 @@ class _Segment:
     words: List[int] = field(default_factory=list)
     received: List[bool] = field(default_factory=list)
     received_words: int = 0
-    cursor: int = 0  # CR mode: next append position
+    contiguous_words: int = 0     # high-water mark: words received with no gap
+    cursor: int = 0               # CR mode: next append position
+    packet_offsets: Set[int] = field(default_factory=set)
+    dealloc_from: Optional[Address] = None
 
     def __post_init__(self) -> None:
         if not self.words:
             self.words = [0] * self.total
             self.received = [False] * self.total
+
+    def advance_high_water(self) -> None:
+        hw = self.contiguous_words
+        while hw < self.total and self.received[hw]:
+            hw += 1
+        self.contiguous_words = hw
+
+    def sacked_offsets(self) -> List[int]:
+        """Received packet offsets parked beyond the contiguous mark."""
+        parked = [o for o in self.packet_offsets if o >= self.contiguous_words]
+        parked.sort()
+        return parked[:MAX_SACKS]
 
 
 @dataclass
@@ -199,11 +232,25 @@ class BulkOutcome:
 
     transfer_id: int
     packets_sent: int
-    data_rounds: int  # 1 on the fault-free path
+    data_rounds: int  # 1 + the worst single packet's resend count
+    retransmitted_data_bytes: int = 0
+    goback_n_equivalent_bytes: int = 0  # what resend-the-remainder would have cost
+
+
+@dataclass
+class _XferState:
+    """Source-side bookkeeping for one in-flight transfer."""
+
+    total_words: int
+    future: asyncio.Future
+    wire_bytes: int = 0           # wire bytes of the initial data round
+    resent_bytes: int = 0
+    worst_resends: int = 0        # max resend count over this transfer's packets
+    resend_counts: Dict[int, int] = field(default_factory=dict)
 
 
 class BulkReceiver:
-    """Destination side: allocate, reassemble by offset, finally ack."""
+    """Destination side: allocate, reassemble by offset, cumulatively ack."""
 
     def __init__(self, endpoint: RuntimeEndpoint, channel: int = CH_BULK,
                  on_complete: Optional[Callable[[List[int]], None]] = None) -> None:
@@ -216,6 +263,7 @@ class BulkReceiver:
         self.messages: List[List[int]] = []
         self.duplicates = 0
         self.final_acks_sent = 0
+        self.status_acks_sent = 0  # partial (cumulative) FINAL_ACKs
         endpoint.bind(channel, self._on_frame)
 
     def completion(self, transfer_id: int) -> "asyncio.Future":
@@ -235,7 +283,7 @@ class BulkReceiver:
         if frame.kind is FrameKind.ALLOC_REQ:
             self._on_alloc(frame, src)
         elif frame.kind is FrameKind.DATA:
-            self._on_data(frame)
+            self._on_data(frame, src)
         elif frame.kind is FrameKind.DEALLOC:
             self._on_dealloc(frame, src)
 
@@ -256,7 +304,7 @@ class BulkReceiver:
                     Feature.BUFFER_MGMT,
                 )
 
-    def _on_data(self, frame: Frame) -> None:
+    def _on_data(self, frame: Frame, src: Address) -> None:
         attr = self.endpoint.attribution
         segment = self._segments.get(frame.seq)
         if segment is None:
@@ -281,24 +329,40 @@ class BulkReceiver:
                 for index in range(len(frame.payload)):
                     segment.received[start + index] = True
                 segment.received_words += len(frame.payload)
+                segment.packet_offsets.add(start)
+                segment.advance_high_water()
         if not fresh:
             self.duplicates += 1
             return
         with attr.span(Feature.BASE):
             for index, word in enumerate(frame.payload):
                 segment.words[start + index] = word
+        if (segment.dealloc_from is not None
+                and segment.received_words >= segment.total):
+            # A retransmitted packet filled the last gap after the
+            # dealloc already arrived: complete without waiting for the
+            # dealloc's next retransmission.
+            self._finish(segment.dealloc_from, frame.seq, segment)
 
     def _on_dealloc(self, frame: Frame, src: Address) -> None:
-        attr = self.endpoint.attribution
         xfer = frame.seq
         if xfer in self._finished:
             self._send_final_ack(src, xfer, len(self._finished[xfer]))
             return
         segment = self._segments.get(xfer)
-        if segment is None or segment.received_words < segment.total:
-            # Incomplete: stay silent, the source's timeout resends the
-            # remainder of the transfer.
+        if segment is None:
             return
+        if segment.received_words < segment.total:
+            # Incomplete: report progress — a cumulative FINAL_ACK with
+            # the contiguous high-water mark plus selective acks, so the
+            # source retransmits only what is actually missing.
+            segment.dealloc_from = src
+            self._send_status_ack(src, xfer, segment)
+            return
+        self._finish(src, xfer, segment)
+
+    def _finish(self, src: Address, xfer: int, segment: _Segment) -> None:
+        attr = self.endpoint.attribution
         with attr.span(Feature.BUFFER_MGMT):
             message = segment.words
             del self._segments[xfer]
@@ -321,9 +385,20 @@ class BulkReceiver:
                 Feature.FAULT_TOLERANCE,
             )
 
+    def _send_status_ack(self, src: Address, xfer: int, segment: _Segment) -> None:
+        with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            self.status_acks_sent += 1
+            self.endpoint.post_frame(
+                src,
+                Frame(FrameKind.FINAL_ACK, self.channel, seq=xfer,
+                      aux=segment.contiguous_words,
+                      payload=tuple(segment.sacked_offsets())),
+                Feature.FAULT_TOLERANCE,
+            )
+
 
 class BulkSender:
-    """Source side of the finite-sequence transfer."""
+    """Source side of the finite-sequence transfer (selective repeat)."""
 
     def __init__(self, endpoint: RuntimeEndpoint, dst: Address,
                  channel: int = CH_BULK, packet_words: int = 16,
@@ -337,12 +412,16 @@ class BulkSender:
         self.policy = backoff or BackoffPolicy()
         self._xfer = itertools.count(1)
         self._alloc_futures: Dict[int, asyncio.Future] = {}
-        self._final_futures: Dict[int, asyncio.Future] = {}
+        self._inflight: Dict[int, _XferState] = {}
         self.retransmitter = Retransmitter(
             self._resend, policy=self.policy,
             attribution=endpoint.attribution, on_give_up=self._give_up,
         )
         self.data_rounds = 0
+        self.retransmitted_data_packets = 0
+        self.retransmitted_data_bytes = 0
+        self.goback_n_equivalent_bytes = 0
+        self.stale_final_acks = 0
         endpoint.bind(channel, self._on_frame)
 
     async def send(self, words: Sequence[int], timeout: float = 30.0) -> BulkOutcome:
@@ -360,11 +439,12 @@ class BulkSender:
                 Frame(FrameKind.ALLOC_REQ, self.channel, seq=xfer, aux=len(words)),
                 Feature.BUFFER_MGMT,
             )
-            packets = await self._send_data(xfer, words, in_order_offsets=False)
+            packets = await self._send_data_cr(xfer, words)
             await self.endpoint.send_frame(
                 self.dst, Frame(FrameKind.DEALLOC, self.channel, seq=xfer),
                 Feature.BUFFER_MGMT,
             )
+            self.data_rounds += 1
             return BulkOutcome(transfer_id=xfer, packets_sent=packets, data_rounds=1)
 
         # Steps 1-3: allocation handshake (retransmitted until replied).
@@ -382,52 +462,63 @@ class BulkSender:
         except RetransmitExhausted as exc:
             raise ProtocolFailure(str(exc)) from exc
 
-        # Steps 4-6: data, dealloc, final ack — resending the whole
-        # remainder on timeout (duplicates are idempotent by offset).
-        final_future = loop.create_future()
-        self._final_futures[xfer] = final_future
-        packets = 0
-        rounds = 0
-        for attempt in range(self.policy.max_retries + 1):
-            if attempt > 0:
-                with attr.span(Feature.FAULT_TOLERANCE):
-                    self.retransmitter.retransmissions += 1
-            packets = await self._send_data(xfer, words, in_order_offsets=True)
-            await self.endpoint.send_frame(
-                self.dst, Frame(FrameKind.DEALLOC, self.channel, seq=xfer),
-                Feature.BUFFER_MGMT,
-            )
-            rounds += 1
-            done, _pending = await asyncio.wait(
-                {final_future}, timeout=self.policy.interval(attempt)
-            )
-            if done:
-                break
-        else:
-            self._final_futures.pop(xfer, None)
-            raise ProtocolFailure(
-                f"transfer {xfer}: no final ack after {rounds} data rounds"
-            )
-        self.data_rounds += rounds
-        return BulkOutcome(transfer_id=xfer, packets_sent=packets, data_rounds=rounds)
-
-    async def _send_data(self, xfer: int, words: List[int],
-                         in_order_offsets: bool) -> int:
-        attr = self.endpoint.attribution
+        # Steps 4-6: selective repeat.  Every data packet is tracked
+        # individually; the timer wheel retransmits only the offsets the
+        # receiver's cumulative FINAL_ACKs have not confirmed.
+        state = _XferState(total_words=len(words), future=loop.create_future())
+        self._inflight[xfer] = state
         packets = 0
         cursor = 0
         total = len(words)
         while cursor < total:
             take = min(self.packet_words, total - cursor)
-            if in_order_offsets:
-                with attr.span(Feature.IN_ORDER):
-                    # Offset generation: what sequencing costs when the
-                    # network may reorder (Section 3.2, Figure 3 step 4).
-                    offset = cursor
-            else:
+            with attr.span(Feature.IN_ORDER):
+                # Offset generation: what sequencing costs when the
+                # network may reorder (Section 3.2, Figure 3 step 4).
                 offset = cursor
             frame = data_frame(
                 self.channel, xfer, words[cursor:cursor + take], aux=offset
+            )
+            data = await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+            with attr.span(Feature.FAULT_TOLERANCE):
+                # Source buffering: pin each packet until its ack covers it.
+                self.retransmitter.track(("data", xfer, offset), data,
+                                         sample_rtt=False)
+            state.wire_bytes += len(data)
+            packets += 1
+            cursor += take
+        dealloc = await self.endpoint.send_frame(
+            self.dst, Frame(FrameKind.DEALLOC, self.channel, seq=xfer),
+            Feature.BUFFER_MGMT,
+        )
+        with attr.span(Feature.FAULT_TOLERANCE):
+            # The dealloc doubles as the status request: its
+            # retransmissions prompt fresh cumulative FINAL_ACKs.
+            self.retransmitter.track(("dealloc", xfer), dealloc)
+        try:
+            await asyncio.wait_for(state.future, timeout)
+        except RetransmitExhausted as exc:
+            raise ProtocolFailure(str(exc)) from exc
+        finally:
+            self._inflight.pop(xfer, None)
+        rounds = 1 + state.worst_resends
+        self.data_rounds += rounds
+        gbn_bytes = state.worst_resends * state.wire_bytes
+        self.goback_n_equivalent_bytes += gbn_bytes
+        return BulkOutcome(
+            transfer_id=xfer, packets_sent=packets, data_rounds=rounds,
+            retransmitted_data_bytes=state.resent_bytes,
+            goback_n_equivalent_bytes=gbn_bytes,
+        )
+
+    async def _send_data_cr(self, xfer: int, words: List[int]) -> int:
+        packets = 0
+        cursor = 0
+        total = len(words)
+        while cursor < total:
+            take = min(self.packet_words, total - cursor)
+            frame = data_frame(
+                self.channel, xfer, words[cursor:cursor + take], aux=cursor
             )
             await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
             packets += 1
@@ -435,13 +526,37 @@ class BulkSender:
         return packets
 
     async def _resend(self, key, data: bytes) -> None:
+        if isinstance(key, tuple) and key[0] == "data":
+            state = self._inflight.get(key[1])
+            if state is not None:
+                state.resent_bytes += len(data)
+                count = state.resend_counts.get(key[2], 0) + 1
+                state.resend_counts[key[2]] = count
+                state.worst_resends = max(state.worst_resends, count)
+            self.retransmitted_data_packets += 1
+            self.retransmitted_data_bytes += len(data)
         await self.endpoint.transport.send(self.dst, data)
 
+    def _release_transfer(self, xfer: int) -> None:
+        for key in self.retransmitter.tracked_keys():
+            if (isinstance(key, tuple) and key[0] in ("data", "dealloc")
+                    and key[1] == xfer):
+                self.retransmitter.ack(key)
+
     def _give_up(self, key, error: RetransmitExhausted) -> None:
-        if isinstance(key, tuple) and key[0] == "alloc":
+        if not isinstance(key, tuple):
+            return
+        if key[0] == "alloc":
             future = self._alloc_futures.pop(key[1], None)
             if future is not None and not future.done():
                 future.set_exception(error)
+            return
+        state = self._inflight.get(key[1])
+        if state is not None:
+            if not state.future.done():
+                state.future.set_exception(error)
+            # Stop resending the rest of a dead transfer.
+            self._release_transfer(key[1])
 
     def _on_frame(self, frame: Frame, src: Address) -> None:
         if frame.kind is FrameKind.ALLOC_REPLY:
@@ -452,12 +567,36 @@ class BulkSender:
                     future.set_result(True)
         elif frame.kind is FrameKind.FINAL_ACK:
             with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
-                future = self._final_futures.pop(frame.seq, None)
-                if future is not None and not future.done():
-                    future.set_result(frame.aux)
+                self._on_final_ack(frame)
 
-    def close(self) -> None:
-        self.retransmitter.cancel_all()
+    def _on_final_ack(self, frame: Frame) -> None:
+        xfer = frame.seq
+        state = self._inflight.get(xfer)
+        if state is None:
+            # Duplicate/stale final ack for a transfer already resolved
+            # (or never started): benign, count and drop.
+            self.stale_final_acks += 1
+            return
+        high_water = frame.aux
+        total = state.total_words
+        # Cumulative release: every packet the contiguous mark covers.
+        for key in self.retransmitter.tracked_keys():
+            if (isinstance(key, tuple) and key[0] == "data"
+                    and key[1] == xfer):
+                offset = key[2]
+                take = min(self.packet_words, total - offset)
+                if offset + take <= high_water:
+                    self.retransmitter.ack(key)
+        # Selective release: packets parked beyond the gap.
+        for offset in frame.payload:
+            self.retransmitter.ack(("data", xfer, int(offset)))
+        if high_water >= total:
+            self._release_transfer(xfer)
+            if not state.future.done():
+                state.future.set_result(high_water)
+
+    async def close(self) -> None:
+        await self.retransmitter.cancel_all()
 
 
 # ---------------------------------------------------------------------------
@@ -480,13 +619,14 @@ class OrderedChannelSender:
         self._seq = SequenceGenerator()
         self._space = asyncio.Event()
         self._space.set()
-        self._drained: Optional[asyncio.Future] = None
+        self._drain_waiters: List[asyncio.Future] = []
         self._failure: Optional[Exception] = None
         self.retransmitter = Retransmitter(
             self._resend, policy=backoff,
             attribution=endpoint.attribution, on_give_up=self._give_up,
         )
         self.acks_received = 0
+        self.packets_released = 0
         endpoint.bind(channel, self._on_frame)
 
     @property
@@ -520,20 +660,27 @@ class OrderedChannelSender:
         frame = data_frame(self.channel, seq, words)
         data = await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
         with attr.span(Feature.FAULT_TOLERANCE):
-            # Source buffering: pin the packet until its ack.
+            # Source buffering: pin the packet until an ack covers it.
             self.retransmitter.track(seq, data)
         return seq
 
     async def drain(self, timeout: float = 30.0) -> None:
-        """Wait until every sent packet has been acknowledged."""
+        """Wait until every sent packet has been acknowledged.
+
+        Safe to call concurrently: every waiter gets its own future and
+        all of them resolve when the source buffer empties (or fail when
+        the channel fails).
+        """
         self._raise_if_failed()
         if self.endpoint.cr_mode or self.retransmitter.outstanding == 0:
             return
-        self._drained = asyncio.get_running_loop().create_future()
+        future = asyncio.get_running_loop().create_future()
+        self._drain_waiters.append(future)
         try:
-            await asyncio.wait_for(self._drained, timeout)
+            await asyncio.wait_for(future, timeout)
         finally:
-            self._drained = None
+            if future in self._drain_waiters:
+                self._drain_waiters.remove(future)
         self._raise_if_failed()
 
     async def _resend(self, key, data: bytes) -> None:
@@ -542,44 +689,76 @@ class OrderedChannelSender:
     def _give_up(self, key, error: RetransmitExhausted) -> None:
         self._failure = ProtocolFailure(str(error))
         self._space.set()
-        if self._drained is not None and not self._drained.done():
-            self._drained.set_exception(self._failure)
+        for waiter in self._drain_waiters:
+            if not waiter.done():
+                waiter.set_exception(self._failure)
+        self._drain_waiters = []
 
     def _raise_if_failed(self) -> None:
         if self._failure is not None:
             raise self._failure
 
     def _on_frame(self, frame: Frame, src: Address) -> None:
-        if frame.kind is not FrameKind.ACK:
+        if frame.kind is not FrameKind.CUM_ACK:
             return
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
-            if self.retransmitter.ack(frame.seq):
-                self.acks_received += 1
+            self.acks_received += 1
+            # Cumulative: everything below next-expected is delivered.
+            released = self.retransmitter.ack_below(frame.seq)
+            # Selective: out-of-order packets parked in the reorder buffer.
+            for seq in frame.payload:
+                if self.retransmitter.ack(int(seq)):
+                    released += 1
+            self.packets_released += released
             if self.retransmitter.outstanding < self.window:
                 self._space.set()
-            if (self.retransmitter.outstanding == 0
-                    and self._drained is not None
-                    and not self._drained.done()):
-                self._drained.set_result(True)
+            if self.retransmitter.outstanding == 0:
+                for waiter in self._drain_waiters:
+                    if not waiter.done():
+                        waiter.set_result(True)
 
-    def close(self) -> None:
-        self.retransmitter.cancel_all()
+    async def close(self) -> None:
+        await self.retransmitter.cancel_all()
 
 
 class OrderedChannelReceiver:
-    """Destination side: reorder buffer, in-order delivery, per-packet acks."""
+    """Destination side: reorder buffer, in-order delivery, coalesced acks.
+
+    Instead of one ack datagram per data datagram, the receiver sends a
+    cumulative ``CUM_ACK`` (next-expected seq + selective acks for parked
+    packets):
+
+    * immediately every ``ack_every`` arrivals, so a streaming sender's
+      window keeps turning;
+    * immediately on a duplicate arrival — a duplicate means the sender
+      retransmitted, i.e. a previous ack (or the packet) was lost;
+    * otherwise after a short delayed-ack timer (``ack_delay``), so an
+      idle channel still confirms its tail.
+    """
 
     def __init__(self, endpoint: RuntimeEndpoint, channel: int = CH_STREAM,
                  window: int = 256,
-                 deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None) -> None:
+                 deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None,
+                 ack_every: int = 8, ack_delay: float = 0.005) -> None:
+        if ack_every < 1:
+            raise ValueError("ack_every must be positive")
+        if ack_delay <= 0:
+            raise ValueError("ack_delay must be positive")
         self.endpoint = endpoint
         self.channel = channel
         self.user_deliver = deliver
         self.reorder = ReorderWindow(window=window)
+        self.ack_every = ack_every
+        self.ack_delay = ack_delay
         self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
         self.arrivals = 0
         self.acks_sent = 0
+        self.immediate_acks = 0
+        self.delayed_acks = 0
         self.window_overflows = 0
+        self._unacked = 0
+        self._parked: Set[int] = set()
+        self._ack_handle: Optional[asyncio.TimerHandle] = None
         self._waiters: List[Tuple[int, asyncio.Future]] = []
         endpoint.bind(channel, self._on_frame)
 
@@ -608,6 +787,7 @@ class OrderedChannelReceiver:
             self._deliver(frame.seq, frame.payload)
             self._notify()
             return
+        duplicates_before = self.reorder.duplicates
         with attr.span(Feature.IN_ORDER):
             try:
                 run = self.reorder.accept(frame.seq, frame.payload)
@@ -617,17 +797,54 @@ class OrderedChannelReceiver:
                 # retransmission path deliver it once we have caught up.
                 self.window_overflows += 1
                 return
-            for run_seq, run_payload in run:
-                self._deliver(run_seq, run_payload)
+            if run:
+                for run_seq, run_payload in run:
+                    self._parked.discard(run_seq)
+                    self._deliver(run_seq, run_payload)
+            elif self.reorder.duplicates == duplicates_before:
+                self._parked.add(frame.seq)
         with attr.span(Feature.FAULT_TOLERANCE):
-            # Ack every arrival, duplicates included — the previous ack
-            # may be the thing that was lost.
-            self.acks_sent += 1
-            self.endpoint.post_frame(
-                src, Frame(FrameKind.ACK, self.channel, seq=frame.seq),
-                Feature.FAULT_TOLERANCE,
-            )
+            self._unacked += 1
+            duplicate = self.reorder.duplicates > duplicates_before
+            if duplicate or self._unacked >= self.ack_every:
+                self._send_ack(src)
+                self.immediate_acks += 1
+            else:
+                self._schedule_ack(src)
         self._notify()
+
+    # -- ack coalescing -------------------------------------------------------
+
+    def _send_ack(self, src: Address) -> None:
+        if self._ack_handle is not None:
+            self._ack_handle.cancel()
+            self._ack_handle = None
+        self._unacked = 0
+        self.acks_sent += 1
+        sacks = sorted(self._parked)[:MAX_SACKS]
+        self.endpoint.post_frame(
+            src, cum_ack_frame(self.channel, self.reorder.expected, sacks),
+            Feature.FAULT_TOLERANCE,
+        )
+
+    def _schedule_ack(self, src: Address) -> None:
+        if self._ack_handle is None:
+            self._ack_handle = asyncio.get_running_loop().call_later(
+                self.ack_delay, self._ack_timer, src
+            )
+
+    def _ack_timer(self, src: Address) -> None:
+        self._ack_handle = None
+        if self._unacked:
+            with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+                self._send_ack(src)
+                self.delayed_acks += 1
+
+    def close(self) -> None:
+        """Cancel the pending delayed-ack timer (if any)."""
+        if self._ack_handle is not None:
+            self._ack_handle.cancel()
+            self._ack_handle = None
 
     def _deliver(self, seq: int, payload: Tuple[int, ...]) -> None:
         with self.endpoint.attribution.span(Feature.BASE):

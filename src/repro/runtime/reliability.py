@@ -2,11 +2,27 @@
 
 The runtime analogue of :class:`repro.protocols.retransmit.RetransmitBuffer`:
 where the simulator arms virtual-time timers on the event kernel, the
-runtime arms real asyncio timers.  Each tracked key owns a watcher task
-that resends its datagram on an exponential-backoff schedule until the
-key is acknowledged or the retry budget runs out — at which point the
-failure is surfaced through ``on_give_up`` so callers fail fast instead
-of hanging (important for CI).
+runtime arms real asyncio timers.  All tracked keys of one
+:class:`Retransmitter` share a single timer-wheel task: the wheel sleeps
+until the earliest deadline, resends exactly the entries that expired,
+and re-arms — O(1) asyncio tasks per endpoint instead of one task per
+in-flight packet, which matters exactly on the windowed hot path the
+paper's fault-tolerance bucket measures.
+
+Retransmission timers are RTT-adaptive (RFC 6298): every
+unretransmitted packet's ack contributes an SRTT/RTTVAR sample (Karn's
+algorithm excludes retransmitted packets, whose acks are ambiguous), and
+the retransmission timeout is ``SRTT + 4*RTTVAR`` clamped to the
+policy's floor/ceiling.  Until the first sample arrives the policy's
+``initial`` serves as the pre-sample guess.
+
+When a key runs out of retries it is surfaced through ``on_give_up``; a
+retransmitter wired without that callback records the error in
+:attr:`Retransmitter.failures` instead of raising inside a
+fire-and-forget task (which asyncio would only report as a swallowed
+"Task exception was never retrieved").  The final retry gets a full ack
+window: exhaustion is declared one backoff interval *after* the last
+resend, not immediately upon it.
 
 All work done here — the resends and the bookkeeping — is charged to the
 fault-tolerance bucket of the owning endpoint's :class:`TimeAttribution`,
@@ -17,8 +33,8 @@ retransmission actually happens.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
-from typing import Any, Awaitable, Callable, Dict, Hashable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional
 
 from repro.arch.attribution import Feature
 from repro.runtime.spans import TimeAttribution
@@ -29,8 +45,58 @@ class RetransmitExhausted(RuntimeError):
 
 
 @dataclass
+class RttEstimator:
+    """RFC 6298 smoothed round-trip estimation (SRTT / RTTVAR / RTO).
+
+    ``fallback`` is the retransmission timeout used before the first
+    sample (the role the old fixed 30 ms guess played); once samples
+    arrive the RTO tracks the measured path, clamped to
+    ``[min_rto, max_rto]``.  ``min_rto`` must comfortably exceed the
+    receiver's delayed-ack timer or every coalesced ack looks like a
+    loss.
+    """
+
+    fallback: float = 0.03
+    min_rto: float = 0.02
+    max_rto: float = 2.0
+    granularity: float = 0.001  # clock granularity G in the RFC's K*RTTVAR max
+
+    srtt: Optional[float] = None
+    rttvar: float = 0.0
+    samples: int = 0
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+
+    def sample(self, rtt: float) -> None:
+        """Fold one round-trip measurement into SRTT/RTTVAR."""
+        if rtt < 0:
+            return
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.samples += 1
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        if self.srtt is None:
+            return self.fallback
+        rto = self.srtt + max(4.0 * self.rttvar, self.granularity)
+        return min(max(rto, self.min_rto), self.max_rto)
+
+
+@dataclass
 class BackoffPolicy:
-    """Exponential backoff schedule for retransmission timers."""
+    """Exponential backoff schedule for retransmission timers.
+
+    ``initial`` doubles as the pre-sample RTO guess handed to the
+    :class:`RttEstimator`; once the estimator has samples, the adaptive
+    RTO replaces it as the base of the exponential schedule.
+    """
 
     initial: float = 0.03
     factor: float = 2.0
@@ -41,13 +107,41 @@ class BackoffPolicy:
         if self.initial <= 0 or self.factor < 1.0 or self.max_retries < 1:
             raise ValueError(f"nonsensical backoff policy: {self}")
 
-    def interval(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (0-based)."""
-        return min(self.initial * (self.factor ** attempt), self.ceiling)
+    def interval(self, attempt: int, base: Optional[float] = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based).
+
+        ``base`` is the adaptive RTO when an estimator has samples;
+        ``None`` falls back to the static ``initial`` guess.
+        """
+        if base is None:
+            base = self.initial
+        return min(base * (self.factor ** attempt), self.ceiling)
+
+    def estimator(self) -> RttEstimator:
+        """A fresh estimator whose pre-sample guess and floor match."""
+        return RttEstimator(fallback=self.initial,
+                            min_rto=min(0.02, self.initial))
+
+
+@dataclass
+class _Tracked:
+    """One in-flight datagram on the timer wheel."""
+
+    data: bytes
+    deadline: float           # loop.time() at which the next action fires
+    first_sent: float         # loop.time() of the original transmission
+    attempt: int = 0          # resends performed so far
+    retransmitted: bool = False
+    sample_rtt: bool = True
 
 
 class Retransmitter:
-    """Per-key retransmission timers over an async resend function."""
+    """Per-key retransmission timers over an async resend function.
+
+    One asyncio task (the timer wheel) serves every tracked key; it
+    exits when the tracked set drains and is recreated lazily by the
+    next :meth:`track`.
+    """
 
     def __init__(
         self,
@@ -55,62 +149,132 @@ class Retransmitter:
         policy: Optional[BackoffPolicy] = None,
         attribution: Optional[TimeAttribution] = None,
         on_give_up: Optional[Callable[[Hashable, RetransmitExhausted], None]] = None,
+        rtt: Optional[RttEstimator] = None,
     ) -> None:
         self._resend = resend
         self.policy = policy or BackoffPolicy()
         self.attribution = attribution or TimeAttribution()
         self._on_give_up = on_give_up
-        self._watchers: Dict[Hashable, asyncio.Task] = {}
+        self.rtt = rtt or self.policy.estimator()
+        self._entries: Dict[Hashable, _Tracked] = {}
+        self._wake = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
         self.retransmissions = 0
+        self.retransmitted_bytes = 0
         self.acked = 0
         self.exhausted = 0
+        #: Give-ups recorded when no ``on_give_up`` callback is wired —
+        #: deterministic surfacing instead of a swallowed task exception.
+        self.failures: Dict[Hashable, RetransmitExhausted] = {}
 
     # -- tracking -------------------------------------------------------------
 
-    def track(self, key: Hashable, data: bytes) -> None:
-        """Start watching ``key``; resend ``data`` until :meth:`ack`."""
-        if key in self._watchers:
+    def _interval(self, attempt: int) -> float:
+        return self.policy.interval(attempt, base=self.rtt.rto)
+
+    def track(self, key: Hashable, data: bytes, sample_rtt: bool = True) -> None:
+        """Start watching ``key``; resend ``data`` until :meth:`ack`.
+
+        ``sample_rtt=False`` excludes this key's eventual ack from the
+        RTT estimate — for acks that are batched far after the send (the
+        bulk protocol's cumulative final ack) rather than round trips.
+        """
+        if key in self._entries:
             raise ValueError(f"key {key!r} already tracked")
-        self._watchers[key] = asyncio.get_running_loop().create_task(
-            self._watch(key, data)
+        now = asyncio.get_running_loop().time()
+        self._entries[key] = _Tracked(
+            data=data, deadline=now + self._interval(0), first_sent=now,
+            sample_rtt=sample_rtt,
         )
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        self._wake.set()
 
     def ack(self, key: Hashable) -> bool:
         """Release ``key``; returns False for unknown/duplicate acks."""
-        watcher = self._watchers.pop(key, None)
-        if watcher is None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
             return False
-        watcher.cancel()
         self.acked += 1
+        if entry.sample_rtt and not entry.retransmitted:
+            # Karn's algorithm: only unambiguous (never-resent) packets
+            # contribute RTT samples.
+            self.rtt.sample(asyncio.get_running_loop().time() - entry.first_sent)
+        self._wake.set()
         return True
 
-    def cancel_all(self) -> None:
-        for watcher in self._watchers.values():
-            watcher.cancel()
-        self._watchers.clear()
+    def ack_below(self, limit: int) -> int:
+        """Release every integer key strictly below ``limit`` (cumulative
+        acknowledgement); returns how many keys it released."""
+        released = [k for k in self._entries if isinstance(k, int) and k < limit]
+        for key in released:
+            self.ack(key)
+        return len(released)
+
+    def tracked_keys(self) -> List[Hashable]:
+        return list(self._entries)
+
+    async def cancel_all(self) -> None:
+        """Drop every tracked key and await the timer wheel's shutdown,
+        so no pending resend fires on a closed transport."""
+        self._entries.clear()
+        self._wake.set()
+        task, self._task = self._task, None
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
 
     @property
     def outstanding(self) -> int:
-        return len(self._watchers)
+        return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._watchers
+        return key in self._entries
 
-    # -- the watcher ----------------------------------------------------------
+    # -- the timer wheel ------------------------------------------------------
 
-    async def _watch(self, key: Hashable, data: bytes) -> None:
-        for attempt in range(self.policy.max_retries):
-            await asyncio.sleep(self.policy.interval(attempt))
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while self._entries:
+            now = loop.time()
+            next_deadline = min(e.deadline for e in self._entries.values())
+            delay = next_deadline - now
+            if delay > 0:
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), delay)
+                except asyncio.TimeoutError:
+                    pass
+                continue  # re-evaluate: entries may have changed under us
+            await self._fire(now)
+
+    async def _fire(self, now: float) -> None:
+        expired = [key for key, e in self._entries.items() if e.deadline <= now]
+        for key in expired:
+            entry = self._entries.get(key)
+            if entry is None:
+                continue  # acked while an earlier resend awaited
+            if entry.attempt >= self.policy.max_retries:
+                # The final retry already had its full ack window
+                # (one more interval after the last resend) — give up.
+                self._entries.pop(key, None)
+                self.exhausted += 1
+                error = RetransmitExhausted(
+                    f"key {key!r} unacknowledged after "
+                    f"{self.policy.max_retries} retries"
+                )
+                if self._on_give_up is not None:
+                    self._on_give_up(key, error)
+                else:
+                    self.failures[key] = error
+                continue
             with self.attribution.span(Feature.FAULT_TOLERANCE):
                 self.retransmissions += 1
-                await self._resend(key, data)
-        # Budget exhausted: fail loudly, not silently.
-        self.exhausted += 1
-        self._watchers.pop(key, None)
-        error = RetransmitExhausted(
-            f"key {key!r} unacknowledged after {self.policy.max_retries} retries"
-        )
-        if self._on_give_up is not None:
-            self._on_give_up(key, error)
-        else:  # pragma: no cover - depends on caller wiring
-            raise error
+                self.retransmitted_bytes += len(entry.data)
+                entry.retransmitted = True
+                entry.attempt += 1
+                entry.deadline = now + self._interval(entry.attempt)
+                await self._resend(key, entry.data)

@@ -103,8 +103,10 @@ class RuntimeRunResult:
     src_ns: Dict[Feature, int]
     dst_ns: Dict[Feature, int]
     retransmissions: int = 0
+    retransmitted_bytes: int = 0
     duplicates: int = 0
     acks: int = 0
+    data_datagrams: int = 0
     ooo_arrivals: int = 0
     drops_injected: int = 0
     delivered_words: List[int] = field(default_factory=list)
@@ -113,6 +115,11 @@ class RuntimeRunResult:
     @property
     def total_ns(self) -> int:
         return sum(self.src_ns.values()) + sum(self.dst_ns.values())
+
+    @property
+    def acks_per_data(self) -> float:
+        """Ack datagrams sent per data datagram put on the wire."""
+        return self.acks / self.data_datagrams if self.data_datagrams else 0.0
 
     def breakdown(self) -> TimeBreakdown:
         return TimeBreakdown.build(
@@ -191,15 +198,17 @@ async def run_single_packet_live(
     except asyncio.TimeoutError:
         pass
     finally:
-        sender.close()
+        await sender.close()
     wall_ns = time.perf_counter_ns() - start
     delivered = [w for m in receiver.messages for w in m]
     return _finish(
         pair, "single-packet", message_words, packet_words, packets,
         completed, wall_ns,
         retransmissions=sender.retransmitter.retransmissions,
+        retransmitted_bytes=sender.retransmitter.retransmitted_bytes,
         duplicates=receiver.duplicates,
         acks=receiver.acks_sent,
+        data_datagrams=packets + sender.retransmitter.retransmissions,
         delivered_words=delivered,
     )
 
@@ -234,16 +243,25 @@ async def run_bulk_live(
     except asyncio.TimeoutError:
         pass
     finally:
-        sender.close()
+        await sender.close()
     wall_ns = time.perf_counter_ns() - start
     return _finish(
         pair, "finite-sequence", message_words, packet_words,
         outcome.packets_sent if outcome else 0, completed, wall_ns,
         retransmissions=sender.retransmitter.retransmissions,
+        retransmitted_bytes=sender.retransmitter.retransmitted_bytes,
         duplicates=receiver.duplicates,
-        acks=receiver.final_acks_sent,
+        acks=receiver.final_acks_sent + receiver.status_acks_sent,
+        data_datagrams=(
+            (outcome.packets_sent if outcome else 0)
+            + sender.retransmitted_data_packets
+        ),
         delivered_words=list(landed),
-        detail={"data_rounds": outcome.data_rounds if outcome else 0},
+        detail={
+            "data_rounds": outcome.data_rounds if outcome else 0,
+            "retransmitted_data_bytes": sender.retransmitted_data_bytes,
+            "goback_n_equivalent_bytes": sender.goback_n_equivalent_bytes,
+        },
     )
 
 
@@ -282,17 +300,24 @@ async def run_ordered_live(
     except asyncio.TimeoutError:
         pass
     finally:
-        sender.close()
+        await sender.close()
+        receiver.close()
     wall_ns = time.perf_counter_ns() - start
     delivered = receiver.delivered_words()
     return _finish(
         pair, "indefinite-sequence", message_words, packet_words, packets,
         delivered == message, wall_ns,
         retransmissions=sender.retransmitter.retransmissions,
+        retransmitted_bytes=sender.retransmitter.retransmitted_bytes,
         duplicates=receiver.duplicates,
         acks=receiver.acks_sent,
+        data_datagrams=packets + sender.retransmitter.retransmissions,
         ooo_arrivals=receiver.ooo_arrivals,
         delivered_words=delivered,
+        detail={
+            "immediate_acks": receiver.immediate_acks,
+            "delayed_acks": receiver.delayed_acks,
+        },
     )
 
 

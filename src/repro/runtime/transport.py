@@ -110,9 +110,10 @@ class LoopbackHub:
         self._rng = random.Random(self.faults.seed)
         self._transports: Dict[Address, "LoopbackTransport"] = {}
         self.delivered = 0
-        self.dropped = 0
+        self.dropped = 0      # fault-injected losses only
         self.duplicated = 0
         self.reordered = 0
+        self.blackholed = 0   # unknown destination — not a fault statistic
 
     @classmethod
     def cr(cls) -> "LoopbackHub":
@@ -149,7 +150,9 @@ class LoopbackHub:
         target = self._transports.get(dst)
         if target is None:
             # Unknown destination: a real network would blackhole it too.
-            self.dropped += 1
+            # Counted apart from `dropped`, which must reflect only the
+            # injected fault model (the demo/bench report it as such).
+            self.blackholed += 1
             return
         loop = asyncio.get_running_loop()
         if self.ordered and self.reliable:
@@ -182,7 +185,8 @@ class LoopbackHub:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"LoopbackHub(mode={self.mode}, delivered={self.delivered}, "
-            f"dropped={self.dropped}, reordered={self.reordered})"
+            f"dropped={self.dropped}, reordered={self.reordered}, "
+            f"blackholed={self.blackholed})"
         )
 
 

@@ -44,7 +44,7 @@ class TestLiveChannel:
                 assert channel.receive_buffer.read() == words
                 assert channel.outstanding == 0
                 assert channel.mode == "cm5"
-                channel.close()
+                await channel.close()
             finally:
                 await pair.close()
 

@@ -6,18 +6,29 @@ drops/reordering/duplication — exercising the retransmit path — and
 from the measured attribution.
 """
 
+import asyncio
+
 import pytest
 
 from repro.arch.attribution import Feature
 from repro.runtime import (
     BackoffPolicy,
+    Frame,
+    FrameKind,
     ProtocolFailure,
     make_loopback_pair,
     run_bulk_live,
     run_ordered_live,
     run_single_packet_live,
 )
-from repro.runtime.protocols import SinglePacketReceiver, SinglePacketSender
+from repro.runtime.protocols import (
+    BulkReceiver,
+    BulkSender,
+    OrderedChannelReceiver,
+    OrderedChannelSender,
+    SinglePacketReceiver,
+    SinglePacketSender,
+)
 
 #: Fast backoff for fault tests: recover in milliseconds.
 FAST = BackoffPolicy(initial=0.01, factor=1.5, ceiling=0.1, max_retries=12)
@@ -110,6 +121,27 @@ class TestCRMode:
         assert cm5_share > 0.05
         assert cr_share == 0.0
 
+    def test_cr_run_leaves_fault_stats_clean(self, drive, protocol):
+        """A CR run must inject nothing: dropped/duplicated/reordered/
+        blackholed all stay zero on the hub."""
+
+        async def body():
+            pair = make_loopback_pair(mode="cr")
+            try:
+                result = await RUNNERS[protocol](
+                    pair, message_words=128, deadline=15.0, backoff=FAST
+                )
+                hub = pair.hub
+                return result.completed, (
+                    hub.dropped, hub.duplicated, hub.reordered, hub.blackholed
+                )
+            finally:
+                await pair.close()
+
+        completed, stats = drive(body())
+        assert completed
+        assert stats == (0, 0, 0, 0)
+
 
 class TestGiveUp:
     def test_unreachable_destination_fails_fast(self, drive):
@@ -125,7 +157,168 @@ class TestGiveUp:
                     await sender.send([1, 2, 3], timeout=5.0)
                 return sender.retransmitter.exhausted
             finally:
-                sender.close()
+                await sender.close()
                 await pair.close()
 
         assert drive(body()) == 1
+
+
+class TestSelectiveRepeat:
+    """The bulk transfer retransmits only unacked offsets (tentpole)."""
+
+    def test_bulk_under_drops_resends_less_than_goback_n(self, drive):
+        result = run_protocol(
+            drive, "finite", drop_rate=0.05, reorder_rate=0.25,
+            seed=11, message_words=512,
+        )
+        assert result.completed
+        assert result.delivered_words == list(range(1, 513))
+        assert result.drops_injected > 0
+        resent = result.detail["retransmitted_data_bytes"]
+        gbn = result.detail["goback_n_equivalent_bytes"]
+        # Go-back-N would have resent the whole remainder each round;
+        # selective repeat resends only the lost offsets.
+        assert 0 < resent < gbn
+
+    def test_duplicate_final_ack_is_counted_and_ignored(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", reorder_rate=0.0)
+            sender = BulkSender(pair.src, pair.dst.local_address, backoff=FAST)
+            BulkReceiver(pair.dst)
+            try:
+                outcome = await sender.send(list(range(64)), timeout=5.0)
+                # Replay the receiver's completion ack for the finished
+                # transfer: must be counted, not crash or re-resolve.
+                replay = Frame(FrameKind.FINAL_ACK, sender.channel,
+                               seq=outcome.transfer_id, aux=64)
+                sender._on_frame(replay, pair.dst.local_address)
+                sender._on_frame(replay, pair.dst.local_address)
+                return sender.stale_final_acks
+            finally:
+                await sender.close()
+                await pair.close()
+
+        assert drive(body()) == 2
+
+    def test_final_ack_for_unknown_transfer_is_stale(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", reorder_rate=0.0)
+            sender = BulkSender(pair.src, pair.dst.local_address, backoff=FAST)
+            try:
+                bogus = Frame(FrameKind.FINAL_ACK, sender.channel,
+                              seq=999, aux=64)
+                sender._on_frame(bogus, pair.dst.local_address)
+                return sender.stale_final_acks, sender.retransmitter.outstanding
+            finally:
+                await sender.close()
+                await pair.close()
+
+        assert drive(body()) == (1, 0)
+
+
+class TestAckCoalescing:
+    """The ordered channel acks cumulatively, not one-for-one (tentpole)."""
+
+    def test_fewer_acks_than_data_datagrams(self, drive):
+        result = run_protocol(drive, "indefinite", reorder_rate=0.0,
+                              message_words=512)
+        assert result.completed
+        assert result.acks_per_data < 0.5
+
+    def test_delayed_ack_timer_confirms_an_idle_channel(self, drive):
+        """A burst smaller than ``ack_every`` must still get acked — by
+        the delayed-ack timer, once the channel goes idle."""
+
+        async def body():
+            pair = make_loopback_pair(mode="cm5", reorder_rate=0.0)
+            sender = OrderedChannelSender(
+                pair.src, pair.dst.local_address, backoff=FAST
+            )
+            receiver = OrderedChannelReceiver(
+                pair.dst, ack_every=100, ack_delay=0.01
+            )
+            try:
+                for word in range(3):  # 3 < ack_every: no immediate ack
+                    await sender.send([word])
+                await sender.drain(timeout=5.0)
+                return (receiver.delayed_acks, receiver.immediate_acks,
+                        sender.outstanding)
+            finally:
+                receiver.close()
+                await sender.close()
+                await pair.close()
+
+        delayed, immediate, outstanding = drive(body())
+        assert delayed >= 1
+        assert immediate == 0
+        assert outstanding == 0
+
+    def test_duplicate_arrival_acks_immediately(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", dup_rate=1.0,
+                                      reorder_rate=0.0)
+            sender = OrderedChannelSender(
+                pair.src, pair.dst.local_address, backoff=FAST
+            )
+            receiver = OrderedChannelReceiver(
+                pair.dst, ack_every=100, ack_delay=5.0
+            )
+            try:
+                await sender.send([1])  # delivered twice by the hub
+                await sender.drain(timeout=5.0)
+                return receiver.immediate_acks, receiver.duplicates
+            finally:
+                receiver.close()
+                await sender.close()
+                await pair.close()
+
+        immediate, duplicates = drive(body())
+        assert duplicates >= 1
+        assert immediate >= 1
+
+
+class TestConcurrentDrain:
+    def test_multiple_drain_waiters_all_resolve(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", reorder_rate=0.0)
+            sender = OrderedChannelSender(
+                pair.src, pair.dst.local_address, backoff=FAST
+            )
+            receiver = OrderedChannelReceiver(pair.dst)
+            try:
+                for word in range(20):
+                    await sender.send([word])
+                await asyncio.gather(*[
+                    sender.drain(timeout=5.0) for _ in range(5)
+                ])
+                assert sender.outstanding == 0
+                assert sender._drain_waiters == []
+                return receiver.delivered_count
+            finally:
+                receiver.close()
+                await sender.close()
+                await pair.close()
+
+        assert drive(body()) == 20
+
+    def test_drain_waiters_all_fail_on_give_up(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", drop_rate=1.0,
+                                      reorder_rate=0.0)
+            sender = OrderedChannelSender(
+                pair.src, pair.dst.local_address,
+                backoff=BackoffPolicy(initial=0.005, max_retries=2),
+            )
+            OrderedChannelReceiver(pair.dst)
+            try:
+                await sender.send([1])
+                results = await asyncio.gather(
+                    *[sender.drain(timeout=5.0) for _ in range(3)],
+                    return_exceptions=True,
+                )
+                return [type(r) for r in results]
+            finally:
+                await sender.close()
+                await pair.close()
+
+        assert drive(body()) == [ProtocolFailure] * 3

@@ -1,0 +1,307 @@
+"""Tests for the timer-wheel retransmitter and RTT-adaptive timers.
+
+Covers the regression fixes: the final retry's full ack window,
+deterministic give-up reporting without a callback, awaitable
+``cancel_all``, plus the RFC 6298 estimator math and the
+single-task-per-endpoint structure of the wheel.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.reliability import (
+    BackoffPolicy,
+    Retransmitter,
+    RetransmitExhausted,
+    RttEstimator,
+)
+
+
+def make_retransmitter(resends, policy, **kwargs):
+    async def resend(key, data):
+        resends.append((key, data))
+
+    return Retransmitter(resend, policy=policy, **kwargs)
+
+
+class TestFinalRetryWindow:
+    def test_ack_after_last_resend_still_wins(self, drive):
+        """Regression: the final retry must get a full backoff interval
+        to be acknowledged, not a zero-length window."""
+
+        async def body():
+            resends = []
+            policy = BackoffPolicy(initial=0.01, factor=1.0, max_retries=2)
+            give_ups = []
+            rt = make_retransmitter(
+                resends, policy, on_give_up=lambda k, e: give_ups.append(k)
+            )
+            rt.track("k", b"data")
+            # Wait until both resends have fired, then ack inside what
+            # must be the final (post-last-resend) ack window.
+            while rt.retransmissions < policy.max_retries:
+                await asyncio.sleep(0.002)
+            assert rt.outstanding == 1  # not yet exhausted: window open
+            assert rt.ack("k")
+            await asyncio.sleep(0.05)   # long past interval(max_retries)
+            await rt.cancel_all()
+            return give_ups, rt.exhausted, rt.acked
+
+        give_ups, exhausted, acked = drive(body())
+        assert give_ups == []
+        assert exhausted == 0
+        assert acked == 1
+
+    def test_exhaustion_takes_one_extra_interval(self, drive):
+        async def body():
+            resends = []
+            policy = BackoffPolicy(initial=0.02, factor=1.0, max_retries=3)
+            rt = make_retransmitter(resends, policy)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            rt.track("k", b"x")
+            while "k" in rt:
+                await asyncio.sleep(0.002)
+            elapsed = loop.time() - start
+            await rt.cancel_all()
+            return elapsed, len(resends)
+
+        elapsed, resend_count = drive(body())
+        assert resend_count == 3
+        # 3 resend intervals + the final ack window = 4 * 20 ms.
+        assert elapsed >= 4 * 0.02 * 0.9
+
+
+class TestGiveUpSurfacing:
+    def test_without_callback_failure_is_recorded_not_raised(self, drive):
+        """Regression: no ``on_give_up`` used to raise inside a
+        fire-and-forget task ('exception was never retrieved')."""
+
+        async def body():
+            unhandled = []
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda _loop, ctx: unhandled.append(ctx)
+            )
+            policy = BackoffPolicy(initial=0.005, factor=1.0, max_retries=2)
+            rt = make_retransmitter([], policy)  # no on_give_up wired
+            rt.track("lost", b"x")
+            while not rt.failures:
+                await asyncio.sleep(0.002)
+            await rt.cancel_all()
+            await asyncio.sleep(0.01)  # let any stray task exceptions surface
+            return unhandled, rt.failures, rt.exhausted
+
+        unhandled, failures, exhausted = drive(body())
+        assert unhandled == []
+        assert set(failures) == {"lost"}
+        assert isinstance(failures["lost"], RetransmitExhausted)
+        assert exhausted == 1
+
+    def test_callback_path_still_fires(self, drive):
+        async def body():
+            seen = []
+            policy = BackoffPolicy(initial=0.005, factor=1.0, max_retries=1)
+            rt = make_retransmitter(
+                [], policy, on_give_up=lambda k, e: seen.append((k, e))
+            )
+            rt.track("k", b"x")
+            while not seen:
+                await asyncio.sleep(0.002)
+            await rt.cancel_all()
+            return seen, rt.failures
+
+        seen, failures = drive(body())
+        assert len(seen) == 1 and seen[0][0] == "k"
+        assert failures == {}  # callback consumed it
+
+
+class TestCancelAll:
+    def test_cancel_all_awaits_the_wheel_and_stops_resends(self, drive):
+        async def body():
+            resends = []
+            baseline = set(asyncio.all_tasks())
+            policy = BackoffPolicy(initial=0.01, factor=1.0, max_retries=10)
+            rt = make_retransmitter(resends, policy)
+            for i in range(8):
+                rt.track(i, bytes([i]))
+            await asyncio.sleep(0.015)  # let at least one resend happen
+            await rt.cancel_all()
+            count_after_cancel = len(resends)
+            await asyncio.sleep(0.05)
+            # No task left behind to resend on a closed transport.
+            pending = [
+                t for t in asyncio.all_tasks() - baseline if not t.done()
+            ]
+            return count_after_cancel, len(resends), pending, rt.outstanding
+
+        before, after, pending, outstanding = drive(body())
+        assert after == before
+        assert pending == []
+        assert outstanding == 0
+
+    def test_track_after_cancel_all_restarts_the_wheel(self, drive):
+        async def body():
+            resends = []
+            policy = BackoffPolicy(initial=0.005, factor=1.0, max_retries=5)
+            rt = make_retransmitter(resends, policy)
+            rt.track("a", b"a")
+            await rt.cancel_all()
+            rt.track("b", b"b")
+            while not resends:
+                await asyncio.sleep(0.002)
+            await rt.cancel_all()
+            return [key for key, _ in resends]
+
+        assert set(drive(body())) == {"b"}
+
+
+class TestTimerWheel:
+    def test_many_keys_share_one_task(self, drive):
+        """The O(window) task-per-packet structure is gone: any number of
+        tracked keys ride a single timer-wheel task."""
+
+        async def body():
+            baseline = len(asyncio.all_tasks())
+            policy = BackoffPolicy(initial=0.5, max_retries=3)
+            rt = make_retransmitter([], policy)
+            for i in range(64):
+                rt.track(i, b"x")
+            extra = len(asyncio.all_tasks()) - baseline
+            await rt.cancel_all()
+            return extra
+
+        assert drive(body()) == 1
+
+    def test_ack_below_releases_cumulatively(self, drive):
+        async def body():
+            policy = BackoffPolicy(initial=0.5, max_retries=3)
+            rt = make_retransmitter([], policy)
+            for i in range(10):
+                rt.track(i, b"x")
+            rt.track(("alloc", 1), b"y")  # non-int keys are untouched
+            released = rt.ack_below(7)
+            keys = set(rt.tracked_keys())
+            await rt.cancel_all()
+            return released, keys
+
+        released, keys = drive(body())
+        assert released == 7
+        assert keys == {7, 8, 9, ("alloc", 1)}
+
+    def test_duplicate_ack_returns_false(self, drive):
+        async def body():
+            policy = BackoffPolicy(initial=0.5, max_retries=3)
+            rt = make_retransmitter([], policy)
+            rt.track("k", b"x")
+            first, second = rt.ack("k"), rt.ack("k")
+            await rt.cancel_all()
+            return first, second
+
+        assert drive(body()) == (True, False)
+
+    def test_duplicate_track_rejected(self, drive):
+        async def body():
+            rt = make_retransmitter([], BackoffPolicy(initial=0.5))
+            rt.track("k", b"x")
+            try:
+                with pytest.raises(ValueError):
+                    rt.track("k", b"y")
+            finally:
+                await rt.cancel_all()
+
+        drive(body())
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises_srtt_and_rttvar(self):
+        est = RttEstimator(fallback=0.03, min_rto=0.001, max_rto=2.0)
+        assert est.rto == 0.03  # pre-sample: the old fixed guess
+        est.sample(0.010)
+        assert est.srtt == pytest.approx(0.010)
+        assert est.rttvar == pytest.approx(0.005)
+        assert est.rto == pytest.approx(0.010 + 4 * 0.005)
+
+    def test_ewma_follows_rfc6298_constants(self):
+        est = RttEstimator(min_rto=0.0, max_rto=10.0)
+        est.sample(0.1)
+        est.sample(0.2)
+        # RTTVAR = 3/4*0.05 + 1/4*|0.1-0.2|; SRTT = 7/8*0.1 + 1/8*0.2
+        assert est.rttvar == pytest.approx(0.75 * 0.05 + 0.25 * 0.1)
+        assert est.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
+
+    def test_rto_clamped_to_floor_and_ceiling(self):
+        est = RttEstimator(min_rto=0.02, max_rto=0.5)
+        est.sample(0.0001)
+        assert est.rto == 0.02
+        est2 = RttEstimator(min_rto=0.02, max_rto=0.5)
+        est2.sample(5.0)
+        assert est2.rto == 0.5
+
+    def test_negative_samples_ignored(self):
+        est = RttEstimator()
+        est.sample(-1.0)
+        assert est.samples == 0 and est.srtt is None
+
+    def test_retransmitted_keys_do_not_sample(self, drive):
+        """Karn's algorithm: a resent packet's ack is ambiguous."""
+
+        async def body():
+            policy = BackoffPolicy(initial=0.005, factor=1.0, max_retries=10)
+            rt = make_retransmitter([], policy)
+            rt.track("k", b"x")
+            while rt.retransmissions == 0:
+                await asyncio.sleep(0.002)
+            rt.ack("k")
+            samples_retransmitted = rt.rtt.samples
+            rt.track("fresh", b"y")
+            rt.ack("fresh")
+            samples_fresh = rt.rtt.samples
+            await rt.cancel_all()
+            return samples_retransmitted, samples_fresh
+
+        assert drive(body()) == (0, 1)
+
+    def test_sample_rtt_false_opts_out(self, drive):
+        async def body():
+            rt = make_retransmitter([], BackoffPolicy(initial=0.5))
+            rt.track("k", b"x", sample_rtt=False)
+            rt.ack("k")
+            samples = rt.rtt.samples
+            await rt.cancel_all()
+            return samples
+
+        assert drive(body()) == 0
+
+    def test_adaptive_rto_drives_the_schedule(self, drive):
+        """After samples arrive, the wheel's intervals use the measured
+        RTO, not the static initial guess."""
+
+        async def body():
+            policy = BackoffPolicy(initial=0.5, factor=1.0,
+                                   ceiling=10.0, max_retries=3)
+            rt = make_retransmitter([], policy)
+            rt.rtt.min_rto = 0.01
+            # Feed fast samples: adaptive RTO collapses to the floor.
+            for _ in range(4):
+                rt.track("s", b"x")
+                rt.ack("s")
+            assert rt.rtt.rto < 0.05
+            resends = []
+            rt._resend = lambda k, d: _record(resends, k)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            rt.track("slow", b"x")
+            while not resends:
+                await asyncio.sleep(0.002)
+            elapsed = loop.time() - start
+            await rt.cancel_all()
+            return elapsed
+
+        async def _record(resends, key):
+            resends.append(key)
+
+        # First resend fires on the adaptive RTO (~10-50 ms), far below
+        # the 500 ms static guess.
+        assert drive(body()) < 0.3

@@ -41,9 +41,11 @@ class TestLoopbackClean:
             a = hub.attach("a")
             await a.send("nowhere", b"x")
             await settle()
-            return hub.dropped
+            return hub.blackholed, hub.dropped
 
-        assert drive(body()) == 1
+        # A blackhole is not a fault: `dropped` must stay clean so the
+        # demo/bench fault statistics only reflect injected losses.
+        assert drive(body()) == (1, 0)
 
     def test_duplicate_address_rejected(self):
         hub = LoopbackHub()
@@ -58,9 +60,9 @@ class TestLoopbackClean:
             await b.close()
             await a.send("b", b"x")
             await settle()
-            return hub.dropped
+            return hub.blackholed, hub.dropped
 
-        assert drive(body()) == 1
+        assert drive(body()) == (1, 0)
 
 
 class TestFaultInjection:
@@ -137,6 +139,17 @@ class TestCRMode:
         order, dropped = drive(body())
         assert order == list(range(50))
         assert dropped == 0
+
+    def test_cr_fault_stats_stay_clean_even_after_detach(self, drive):
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            await b.close()
+            await a.send("b", b"x")  # blackholed, not a fault
+            await settle()
+            return hub.dropped, hub.duplicated, hub.reordered, hub.blackholed
+
+        assert drive(body()) == (0, 0, 0, 1)
 
     def test_cr_hub_refuses_fault_injection(self):
         with pytest.raises(ValueError):
