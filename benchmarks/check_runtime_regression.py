@@ -29,6 +29,17 @@ from pathlib import Path
 #: regression (timer-vs-ack races under CI load add real jitter).
 RELATIVE_SLACK = 3.0
 
+#: The tracing-disabled bench may regress at most this much against the
+#: committed baseline's off-path measurement — *plus* the sampling
+#: spread both payloads recorded, so a loaded runner widens its own
+#: tolerance honestly instead of flaking.  On a quiet machine the gate
+#: tightens toward the bare 3%.
+TRACE_OFF_SLACK_PCT = 3.0
+
+#: Sanity ceiling for tracing-on overhead (tracing trades speed for
+#: per-event detail; it must still stay within ~2.5x of untraced).
+TRACE_ON_CEILING_PCT = 150.0
+
 #: Ignore relative drift on counters this small in the baseline: going
 #: from 1 ack to 3 is noise, not a regression.
 MIN_BASELINE_FLOOR = 4
@@ -92,6 +103,31 @@ def check(baseline: dict, fresh: dict) -> list:
                 f"(limit {limit:.0f} at {RELATIVE_SLACK}x slack)"
             )
 
+    # --- tracer-off overhead gate (ISSUE 3) ---------------------------
+    base_off = _dig(baseline, "trace", "cpu_ns_off_min")
+    fresh_off = _dig(fresh, "trace", "cpu_ns_off_min")
+    if fresh_off is None:
+        problems.append("fresh payload is missing the trace-overhead row")
+    elif base_off:  # baseline predates the row: absolute checks only
+        drift_pct = (fresh_off - base_off) / base_off * 100.0
+        noise_pct = (
+            (_dig(baseline, "trace", "off_spread_pct") or 0.0)
+            + (_dig(fresh, "trace", "off_spread_pct") or 0.0)
+        )
+        allowed_pct = TRACE_OFF_SLACK_PCT + noise_pct
+        if drift_pct > allowed_pct:
+            problems.append(
+                f"tracing-disabled bench regressed {drift_pct:.1f}% vs "
+                f"baseline (bound: {TRACE_OFF_SLACK_PCT:.0f}% + "
+                f"{noise_pct:.1f}% measured sampling noise)"
+            )
+    on_pct = _dig(fresh, "trace", "trace_overhead_pct")
+    if on_pct is not None and on_pct > TRACE_ON_CEILING_PCT:
+        problems.append(
+            f"tracing-enabled overhead {on_pct:.1f}% crossed the "
+            f"{TRACE_ON_CEILING_PCT:.0f}% sanity ceiling"
+        )
+
     # Per-protocol wire stats: no CM-5 protocol may drift to one-ack-per-
     # packet behaviour once it has coalescing in the baseline.
     for cell, record in (_dig(fresh, "protocols", default={}) or {}).items():
@@ -122,6 +158,9 @@ def main(argv: list) -> int:
           f"{_dig(fresh, 'reliability', 'bulk_selective_repeat', 'selective_repeat_savings'):.1%}")
     print(f"  ordered acks per data datagram: "
           f"{_dig(fresh, 'reliability', 'ordered_ack_coalescing', 'acks_per_data'):.3f}")
+    trace_pct = _dig(fresh, "trace", "trace_overhead_pct")
+    if trace_pct is not None:
+        print(f"  tracing-on overhead: {trace_pct:.1f}%")
     return 0
 
 

@@ -1,0 +1,120 @@
+"""CI gate: validate an exported Chrome/Perfetto trace file.
+
+Usage::
+
+    python benchmarks/check_trace_schema.py TRACE.json [--min-instants N]
+
+Checks that the payload is loadable ``trace_event`` JSON of the shape
+:func:`repro.runtime.tracing.export_chrome_trace` emits — and that
+Perfetto / ``chrome://tracing`` will therefore accept it:
+
+* top level is an object with a ``traceEvents`` list and a
+  ``displayTimeUnit``;
+* every record has ``name``, ``ph``, ``pid`` and (except metadata)
+  numeric non-negative ``ts``;
+* ``"ph": "X"`` complete events carry a numeric non-negative ``dur``;
+* ``"ph": "i"`` instants carry a scope ``s``;
+* every non-metadata record's ``tid`` is named by a ``thread_name``
+  metadata record (the per-run×endpoint tracks);
+* at least ``--min-instants`` instant events are present (a traced demo
+  run cannot produce an empty event stream).
+
+Exits 0 on a valid file, 1 listing every violation, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+VALID_PHASES = {"i", "I", "X", "M", "B", "E", "b", "e", "n"}
+
+
+def check_trace(payload: object, min_instants: int = 1) -> list:
+    problems = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top level is missing the traceEvents list"]
+    if "displayTimeUnit" not in payload:
+        problems.append("top level is missing displayTimeUnit")
+
+    named_tids = set()
+    used_tids = set()
+    instants = 0
+    durations = 0
+    for index, record in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for required in ("name", "ph", "pid"):
+            if required not in record:
+                problems.append(f"{where}: missing {required!r}")
+        phase = record.get("ph")
+        if phase not in VALID_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+        if phase == "M":
+            if record.get("name") == "thread_name":
+                named_tids.add(record.get("tid"))
+            continue
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, "
+                            f"got {ts!r}")
+        if "tid" in record:
+            used_tids.add(record["tid"])
+        if phase in ("i", "I"):
+            instants += 1
+            if "s" not in record:
+                problems.append(f"{where}: instant event is missing scope 's'")
+        if phase == "X":
+            durations += 1
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs a "
+                                f"non-negative dur, got {dur!r}")
+
+    unnamed = used_tids - named_tids
+    if unnamed:
+        problems.append(
+            f"tids {sorted(unnamed)} have no thread_name metadata track"
+        )
+    if instants < min_instants:
+        problems.append(
+            f"only {instants} instant event(s); expected at least "
+            f"{min_instants} from a traced run"
+        )
+    if not problems:
+        print(
+            f"trace schema ok: {len(events)} records "
+            f"({instants} instants, {durations} spans, "
+            f"{len(named_tids)} named tracks)"
+        )
+    return problems
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="exported chrome trace JSON file")
+    parser.add_argument("--min-instants", type=int, default=1)
+    args = parser.parse_args(argv[1:])
+    try:
+        payload = json.loads(Path(args.trace).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}")
+        return 2
+    problems = check_trace(payload, min_instants=args.min_instants)
+    if problems:
+        print("trace schema check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,12 +18,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.runtime import measure_live
+from repro.runtime import Tracer, measure_live
 
 BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
 #: Accumulated across the tests in this module; the last test writes it.
-RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {}}
+RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
+           "trace": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -164,6 +165,59 @@ def test_ack_coalescing_under_heavy_drops():
     }
     assert result.acks_per_data < 0.5, (
         f"{result.acks_per_data:.2f} acks per data datagram"
+    )
+
+
+def test_trace_overhead():
+    """Tracing must be near-free when off and affordable when on.
+
+    Runs a CPU-dominated workload (ordered channel, CR mode: no
+    retransmit or delayed-ack timers) with tracing off and on,
+    interleaved so machine drift hits both sides equally.  Uses the
+    attribution CPU total (``result.total_ns`` — exactly the
+    instrumented code paths) with the min estimator, and records the
+    sample spread so ``check_runtime_regression.py`` can gate the
+    off-path drift at 3% *plus* the measured sampling noise instead of
+    failing on a loaded runner.
+    """
+    words = 4096
+
+    def run(tracer=None):
+        result = measure_live(
+            "indefinite", mode="cr", transport="loopback",
+            message_words=words, deadline=DEADLINE, tracer=tracer,
+        )
+        assert result.completed
+        return result.total_ns, result.wall_ns
+
+    run()
+    run(Tracer())  # warm both paths before sampling
+    off_cpu, off_wall, on_cpu, on_wall = [], [], [], []
+    for _ in range(9):
+        cpu, wall = run()
+        off_cpu.append(cpu)
+        off_wall.append(wall)
+        cpu, wall = run(Tracer())
+        on_cpu.append(cpu)
+        on_wall.append(wall)
+    off_min, on_min = min(off_cpu), min(on_cpu)
+    overhead_pct = (on_min - off_min) / off_min * 100.0
+    spread_pct = (statistics.median(off_cpu) - off_min) / off_min * 100.0
+    RESULTS["trace"] = {
+        "workload": f"indefinite/cr {words} words",
+        "samples": len(off_cpu),
+        "cpu_ns_off_min": off_min,
+        "cpu_ns_on_min": on_min,
+        "off_spread_pct": spread_pct,
+        "wall_ns_off_median": statistics.median(off_wall),
+        "wall_ns_on_median": statistics.median(on_wall),
+        "trace_overhead_pct": overhead_pct,
+    }
+    # Generous sanity bound (tracing on trades speed for per-event
+    # detail); the off-path gate runs in CI against the committed
+    # baseline.
+    assert overhead_pct < 150.0, (
+        f"tracing-on overhead {overhead_pct:.1f}% is out of hand"
     )
 
 

@@ -1,0 +1,438 @@
+"""Per-packet lifecycle reconstruction from runtime trace events.
+
+The tracer (:mod:`repro.runtime.tracing`) records isolated instants;
+this module stitches them back into stories: one
+:class:`PacketLifecycle` per data packet, from first transmission
+through (possible) retransmissions, arrival, reorder-buffer dwell,
+delivery, and acknowledgement.  From the lifecycles it derives the
+paper's question at packet granularity — *where does the time go, per
+packet?* — as latency distributions (RTT, queueing delay, reorder-park
+dwell) and an ASCII report in the style of
+:mod:`repro.analysis.timeshare`.
+
+Matching rules (mirroring the protocols' wire formats):
+
+* a lifecycle is keyed by ``(label, channel, seq, offset)`` where
+  ``offset`` is the DATA frame's ``aux`` word — the data offset for the
+  bulk protocol, zero for the single-packet and stream protocols;
+* ``RETRANSMIT``/``GIVE_UP`` events join a lifecycle only when their
+  ``kind`` is ``""`` (integer-keyed retransmitters) or ``"data"``
+  (bulk data keys); ``"alloc"``/``"dealloc"`` retransmissions are
+  control-plane traffic and are tallied separately;
+* acks are matched by ack kind: ``ACK`` acknowledges its exact ``seq``,
+  ``CUM_ACK`` acknowledges every sequence number *below* its ``seq``,
+  and a bulk ``FINAL_ACK`` acknowledges every offset below its ``aux``
+  high-water mark.
+
+The module also cross-checks the tracer's histogram-derived per-feature
+totals against the ``TimeAttribution`` buckets they shadow — the two
+accounting paths must agree or the instrumentation itself is suspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.arch.attribution import FEATURE_ORDER, Feature
+from repro.runtime.tracing import EventType, LatencyHistogram, TraceEvent
+
+#: RETRANSMIT/GIVE_UP kinds that belong to a data packet's lifecycle
+#: (everything else — "alloc", "dealloc" — is control-plane).
+_DATA_RTX_KINDS = ("", "data")
+
+#: Ack frame kinds and how they cover a packet (see matching rules).
+_ACK_KINDS = ("ACK", "CUM_ACK", "FINAL_ACK")
+
+
+@dataclass
+class PacketLifecycle:
+    """Everything the trace knows about one data packet's journey."""
+
+    label: str
+    channel: int
+    seq: int
+    offset: int                      # DATA aux word (bulk data offset)
+
+    src_endpoint: str = ""
+    dst_endpoint: str = ""
+    send_ns: Optional[int] = None    # first transmission left the source
+    recv_ns: Optional[int] = None    # first arrival decoded at the destination
+    deliver_ns: Optional[int] = None  # payload handed to the delivery path
+    ack_tx_ns: Optional[int] = None  # first covering ack left the destination
+    ack_rx_ns: Optional[int] = None  # first covering ack reached the source
+    park_ns: Optional[int] = None    # entered the reorder buffer
+    unpark_ns: Optional[int] = None  # left the reorder buffer
+    retransmit_ns: List[int] = field(default_factory=list)
+    attempts: int = 0                # highest retransmission attempt seen
+    gave_up: bool = False
+
+    @property
+    def key(self) -> Tuple[str, int, int, int]:
+        return (self.label, self.channel, self.seq, self.offset)
+
+    @property
+    def complete(self) -> bool:
+        """Sent, received, and delivered — the journey the trace must be
+        able to reconstruct for every protocol × mode cell."""
+        return (self.send_ns is not None and self.recv_ns is not None
+                and self.deliver_ns is not None)
+
+    @property
+    def retransmits(self) -> int:
+        return len(self.retransmit_ns)
+
+    @property
+    def rtt_ns(self) -> Optional[int]:
+        """Send to covering-ack arrival (``None`` where no acks flow —
+        CR mode — or the ack never landed)."""
+        if self.send_ns is None or self.ack_rx_ns is None:
+            return None
+        return self.ack_rx_ns - self.send_ns
+
+    @property
+    def wire_ns(self) -> Optional[int]:
+        """First transmission to first arrival (includes loss recovery)."""
+        if self.send_ns is None or self.recv_ns is None:
+            return None
+        return self.recv_ns - self.send_ns
+
+    @property
+    def queue_ns(self) -> Optional[int]:
+        """Arrival to delivery: receive-path queueing, including any
+        reorder-buffer dwell."""
+        if self.recv_ns is None or self.deliver_ns is None:
+            return None
+        return self.deliver_ns - self.recv_ns
+
+    @property
+    def park_dwell_ns(self) -> Optional[int]:
+        """Time spent parked in the reorder buffer awaiting its gap."""
+        if self.park_ns is None or self.unpark_ns is None:
+            return None
+        return self.unpark_ns - self.park_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "complete" if self.complete else "incomplete"
+        return (
+            f"PacketLifecycle({self.label} ch{self.channel} seq={self.seq}"
+            f"+{self.offset}, {state}, rtx={self.retransmits})"
+        )
+
+
+def _ack_covers(kind: str, event: TraceEvent, pkt: PacketLifecycle) -> bool:
+    """Does an ack event of ``kind`` acknowledge ``pkt``?"""
+    if kind == "ACK":
+        return event.seq == pkt.seq
+    if kind == "CUM_ACK":
+        return event.seq > pkt.seq
+    if kind == "FINAL_ACK":
+        # seq is the transfer id; aux the cumulative word high-water.
+        return event.seq == pkt.seq and event.aux > pkt.offset
+    return False
+
+
+def reconstruct_lifecycles(
+    events: Iterable[TraceEvent],
+) -> List[PacketLifecycle]:
+    """Stitch a raw event stream into per-packet lifecycles.
+
+    Returns every lifecycle seen — complete and incomplete — ordered by
+    first-transmission time (unsent stragglers last).  Duplicate
+    arrivals/deliveries keep the *first* timestamp; retransmissions
+    accumulate.
+    """
+    table: Dict[Tuple[str, int, int, int], PacketLifecycle] = {}
+
+    def cell(label: str, channel: int, seq: int, offset: int) -> PacketLifecycle:
+        key = (label, channel, seq, max(offset, 0))
+        pkt = table.get(key)
+        if pkt is None:
+            pkt = table[key] = PacketLifecycle(
+                label=label, channel=channel, seq=seq, offset=max(offset, 0)
+            )
+        return pkt
+
+    ordered = sorted(events, key=lambda e: e.ts_ns)
+    for event in ordered:
+        etype = event.etype
+        if etype is EventType.SEND and event.kind == "DATA":
+            pkt = cell(event.label, event.channel, event.seq, event.aux)
+            if pkt.send_ns is None:
+                pkt.send_ns = event.ts_ns
+                pkt.src_endpoint = event.endpoint
+        elif etype is EventType.RECV and event.kind == "DATA":
+            pkt = cell(event.label, event.channel, event.seq, event.aux)
+            if pkt.recv_ns is None:
+                pkt.recv_ns = event.ts_ns
+                pkt.dst_endpoint = event.endpoint
+        elif etype is EventType.DELIVER:
+            pkt = cell(event.label, event.channel, event.seq, event.aux)
+            if pkt.deliver_ns is None:
+                pkt.deliver_ns = event.ts_ns
+                if not pkt.dst_endpoint:
+                    pkt.dst_endpoint = event.endpoint
+        elif etype is EventType.RETRANSMIT:
+            if event.kind in _DATA_RTX_KINDS:
+                pkt = cell(event.label, event.channel, event.seq, event.aux)
+                pkt.retransmit_ns.append(event.ts_ns)
+                pkt.attempts = max(pkt.attempts, event.attempt)
+        elif etype is EventType.GIVE_UP:
+            if event.kind in _DATA_RTX_KINDS:
+                pkt = cell(event.label, event.channel, event.seq, event.aux)
+                pkt.gave_up = True
+        elif etype is EventType.PARK:
+            pkt = cell(event.label, event.channel, event.seq, event.aux)
+            if pkt.park_ns is None:
+                pkt.park_ns = event.ts_ns
+        elif etype is EventType.UNPARK:
+            pkt = cell(event.label, event.channel, event.seq, event.aux)
+            if pkt.unpark_ns is None:
+                pkt.unpark_ns = event.ts_ns
+
+    # Second pass: match acks (covering rules need the finished table).
+    for event in ordered:
+        if event.etype not in (EventType.ACK_RX, EventType.ACK_TX):
+            continue
+        if event.kind not in _ACK_KINDS:
+            continue
+        for pkt in table.values():
+            if pkt.label != event.label or pkt.channel != event.channel:
+                continue
+            if not _ack_covers(event.kind, event, pkt):
+                continue
+            if event.etype is EventType.ACK_RX:
+                if pkt.send_ns is None or event.ts_ns < pkt.send_ns:
+                    continue
+                if pkt.ack_rx_ns is None:
+                    pkt.ack_rx_ns = event.ts_ns
+            else:
+                if pkt.recv_ns is None or event.ts_ns < pkt.recv_ns:
+                    continue
+                if pkt.ack_tx_ns is None:
+                    pkt.ack_tx_ns = event.ts_ns
+
+    def sort_key(pkt: PacketLifecycle) -> Tuple[int, str, int, int]:
+        return (pkt.send_ns if pkt.send_ns is not None else 1 << 62,
+                pkt.label, pkt.channel, pkt.seq)
+
+    return sorted(table.values(), key=sort_key)
+
+
+def control_retransmits(events: Iterable[TraceEvent]) -> int:
+    """Control-plane (alloc/dealloc) retransmissions in an event stream."""
+    return sum(
+        1 for event in events
+        if event.etype is EventType.RETRANSMIT
+        and event.kind not in _DATA_RTX_KINDS
+    )
+
+
+# ---------------------------------------------------------------------------
+# per-cell statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LifecycleStats:
+    """Latency distributions over one cell's (label's) lifecycles."""
+
+    label: str
+    packets: int = 0
+    complete: int = 0
+    retransmitted: int = 0
+    give_ups: int = 0
+    parked: int = 0
+    rtt: LatencyHistogram = field(default_factory=LatencyHistogram)
+    wire: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queue: LatencyHistogram = field(default_factory=LatencyHistogram)
+    park: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "packets": self.packets,
+            "complete": self.complete,
+            "retransmitted": self.retransmitted,
+            "give_ups": self.give_ups,
+            "parked": self.parked,
+            "rtt": self.rtt.to_dict(),
+            "wire": self.wire.to_dict(),
+            "queue": self.queue.to_dict(),
+            "park": self.park.to_dict(),
+        }
+
+
+def lifecycle_stats(
+    lifecycles: Sequence[PacketLifecycle],
+) -> Dict[str, LifecycleStats]:
+    """Aggregate lifecycles into per-label latency distributions."""
+    cells: Dict[str, LifecycleStats] = {}
+    for pkt in lifecycles:
+        stats = cells.get(pkt.label)
+        if stats is None:
+            stats = cells[pkt.label] = LifecycleStats(label=pkt.label)
+        stats.packets += 1
+        if pkt.complete:
+            stats.complete += 1
+        if pkt.retransmits:
+            stats.retransmitted += 1
+        if pkt.gave_up:
+            stats.give_ups += 1
+        if pkt.park_ns is not None:
+            stats.parked += 1
+        if pkt.rtt_ns is not None and pkt.rtt_ns >= 0:
+            stats.rtt.record(pkt.rtt_ns)
+        if pkt.wire_ns is not None and pkt.wire_ns >= 0:
+            stats.wire.record(pkt.wire_ns)
+        if pkt.queue_ns is not None and pkt.queue_ns >= 0:
+            stats.queue.record(pkt.queue_ns)
+        if pkt.park_dwell_ns is not None and pkt.park_dwell_ns >= 0:
+            stats.park.record(pkt.park_dwell_ns)
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _us(ns: Optional[int]) -> str:
+    if ns is None:
+        return "-"
+    return f"{ns / 1e3:.1f}"
+
+
+def render_packet_table(lifecycles: Sequence[PacketLifecycle],
+                        limit: int = 24) -> str:
+    """Per-packet timeline table: where each packet's time went."""
+    headers = ["Packet", "wire us", "park us", "queue us", "rtt us",
+               "rtx", "state"]
+    rows: List[List[str]] = []
+    for pkt in lifecycles[:limit]:
+        if pkt.gave_up:
+            state = "gave-up"
+        elif pkt.complete:
+            state = "ok"
+        else:
+            state = "partial"
+        rows.append([
+            f"ch{pkt.channel} {pkt.seq}+{pkt.offset}",
+            _us(pkt.wire_ns),
+            _us(pkt.park_dwell_ns),
+            _us(pkt.queue_ns),
+            _us(pkt.rtt_ns),
+            str(pkt.retransmits),
+            state,
+        ])
+    table = render_table(headers, rows)
+    if len(lifecycles) > limit:
+        table += f"\n({len(lifecycles) - limit} more packets not shown)"
+    return table
+
+
+def render_trace_report(lifecycles: Sequence[PacketLifecycle]) -> str:
+    """The 'where does the time go, per packet' report: one latency-
+    distribution table per cell plus a per-packet timeline table."""
+    sections: List[str] = []
+    cells = lifecycle_stats(lifecycles)
+    for label in sorted(cells):
+        stats = cells[label]
+        headers = ["Metric", "n", "p50 us", "p90 us", "p99 us", "max us"]
+        rows = []
+        for name, hist in (("wire (send->recv)", stats.wire),
+                           ("park dwell", stats.park),
+                           ("queue (recv->deliver)", stats.queue),
+                           ("rtt (send->ack)", stats.rtt)):
+            rows.append([
+                name, str(hist.count), _us(hist.p50), _us(hist.p90),
+                _us(hist.p99), _us(hist.max_ns if hist.count else None),
+            ])
+        title = (
+            f"{label}: {stats.packets} packets, {stats.complete} complete, "
+            f"{stats.retransmitted} retransmitted, {stats.parked} parked, "
+            f"{stats.give_ups} gave up"
+        )
+        pkts = [pkt for pkt in lifecycles if pkt.label == label]
+        sections.append(
+            title + "\n" + render_table(headers, rows) + "\n"
+            + render_packet_table(pkts)
+        )
+    return "\n\n".join(sections)
+
+
+# ---------------------------------------------------------------------------
+# attribution cross-check
+# ---------------------------------------------------------------------------
+
+
+def crosscheck_features(
+    hist_totals: Mapping[Feature, int],
+    bucket_totals: Mapping[Feature, int],
+    tolerance: float = 0.10,
+) -> List[str]:
+    """Compare histogram-derived feature totals with attribution buckets.
+
+    Returns a list of human-readable discrepancies (empty = agreement).
+    Features whose bucket total is negligible (<1% of the overall total)
+    are skipped — relative error on a near-zero denominator is noise.
+    """
+    problems: List[str] = []
+    overall = sum(bucket_totals.get(feature, 0) for feature in FEATURE_ORDER)
+    floor = overall * 0.01
+    for feature in FEATURE_ORDER:
+        bucket = bucket_totals.get(feature, 0)
+        hist = hist_totals.get(feature, 0)
+        if bucket <= floor:
+            continue
+        error = abs(hist - bucket) / bucket
+        if error > tolerance:
+            problems.append(
+                f"{feature.value}: histogram total {hist}ns vs bucket "
+                f"{bucket}ns ({error:.1%} > {tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# chrome-trace span derivation
+# ---------------------------------------------------------------------------
+
+
+def lifecycle_spans(
+    lifecycles: Sequence[PacketLifecycle],
+) -> List[Dict[str, object]]:
+    """Duration spans for :func:`~repro.runtime.tracing.export_chrome_trace`.
+
+    Three span families, each on the track where the time was spent:
+
+    * ``rtt``    — send to covering ack, on the source's track;
+    * ``deliver`` — arrival to delivery, on the destination's track;
+    * ``parked`` — reorder-buffer dwell, on the destination's track.
+    """
+    spans: List[Dict[str, object]] = []
+    for pkt in lifecycles:
+        name = f"ch{pkt.channel} seq {pkt.seq}+{pkt.offset}"
+        args = {"channel": pkt.channel, "seq": pkt.seq, "offset": pkt.offset,
+                "retransmits": pkt.retransmits}
+        if pkt.rtt_ns is not None and pkt.rtt_ns > 0:
+            spans.append({
+                "name": f"rtt {name}",
+                "track": f"{pkt.label}:{pkt.src_endpoint}",
+                "start_ns": pkt.send_ns, "dur_ns": pkt.rtt_ns, "args": args,
+            })
+        if pkt.queue_ns is not None and pkt.queue_ns > 0:
+            spans.append({
+                "name": f"deliver {name}",
+                "track": f"{pkt.label}:{pkt.dst_endpoint}",
+                "start_ns": pkt.recv_ns, "dur_ns": pkt.queue_ns, "args": args,
+            })
+        if pkt.park_dwell_ns is not None and pkt.park_dwell_ns > 0:
+            spans.append({
+                "name": f"parked {name}",
+                "track": f"{pkt.label}:{pkt.dst_endpoint}",
+                "start_ns": pkt.park_ns, "dur_ns": pkt.park_dwell_ns,
+                "args": args,
+            })
+    return spans

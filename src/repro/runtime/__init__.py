@@ -55,6 +55,16 @@ from repro.runtime.runner import (
     run_single_packet_live,
 )
 from repro.runtime.spans import TimeAttribution
+from repro.runtime.tracing import (
+    Counters,
+    EventType,
+    LatencyHistogram,
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+)
 from repro.runtime.transport import (
     FaultProfile,
     LoopbackHub,
@@ -67,10 +77,14 @@ __all__ = [
     "BackoffPolicy",
     "BulkReceiver",
     "BulkSender",
+    "Counters",
+    "EventType",
     "FaultProfile",
     "Frame",
     "FrameError",
     "FrameKind",
+    "LatencyHistogram",
+    "NULL_TRACER",
     "LiveChannel",
     "LiveFramedChannel",
     "LoopbackHub",
@@ -88,11 +102,15 @@ __all__ = [
     "SinglePacketReceiver",
     "SinglePacketSender",
     "TimeAttribution",
+    "TraceEvent",
+    "Tracer",
     "Transport",
     "UDPTransport",
     "cum_ack_frame",
     "decode_frame",
     "encode_frame",
+    "export_chrome_trace",
+    "export_jsonl",
     "make_loopback_pair",
     "make_udp_pair",
     "measure_live",

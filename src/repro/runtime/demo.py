@@ -1,6 +1,6 @@
 """CLI entry points for the live runtime (``python -m repro runtime``).
 
-Two commands:
+Three commands:
 
 * ``demo`` — run one protocol (or all three) over a fault-injecting
   CM-5-mode transport, show that the transfer survives the injected
@@ -9,6 +9,13 @@ Two commands:
   the network provides the services.
 * ``bench`` — measure every protocol in both modes and emit the tables,
   optionally as machine-readable JSON.
+* ``trace`` — run every protocol × mode cell with event tracing on,
+  reconstruct per-packet lifecycles, cross-check histogram-derived
+  feature totals against the attribution buckets, print the per-packet
+  report, and export a Chrome/Perfetto-loadable trace file.
+
+``demo`` and ``bench`` also take ``--trace FILE`` to record and export
+the event stream of the runs they already do.
 """
 
 from __future__ import annotations
@@ -24,7 +31,20 @@ from repro.analysis.timeshare import (
     render_time_table,
     render_wire_stats,
 )
+from repro.analysis.tracereport import (
+    crosscheck_features,
+    lifecycle_spans,
+    reconstruct_lifecycles,
+    render_trace_report,
+)
+from repro.arch.attribution import Feature
 from repro.runtime.runner import PROTOCOL_NAMES, RuntimeRunResult, measure_live
+from repro.runtime.tracing import (
+    TraceEvent,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+)
 
 #: The CR share must come in below this fraction of the CM-5 share for
 #: the demo to declare the paper's direction reproduced.
@@ -71,12 +91,28 @@ def _fault_kwargs(args) -> Dict[str, float]:
     }
 
 
+def _export_trace(path: str, events: List[TraceEvent],
+                  fmt: str = "chrome") -> None:
+    """Write the recorded events (chrome trace or JSONL) to ``path``."""
+    lifecycles = reconstruct_lifecycles(events)
+    with open(path, "w") as fh:
+        if fmt == "jsonl":
+            count = export_jsonl(events, fh)
+        else:
+            count = export_chrome_trace(
+                events, fh, spans=lifecycle_spans(lifecycles)
+            )
+    print(f"wrote {path} ({count} {fmt} records, "
+          f"{sum(1 for p in lifecycles if p.complete)} complete lifecycles)")
+
+
 def run_demo(args) -> int:
     """The ``runtime demo`` command; returns a process exit code."""
     protocols = list(PROTOCOL_NAMES) if args.protocol == "all" else [args.protocol]
     message_words = args.packets * args.packet_words
     failures = 0
     records: List[Dict[str, Any]] = []
+    tracer = Tracer() if args.trace else None
 
     print("repro live runtime — the paper's protocols over real transports\n")
     for protocol in protocols:
@@ -89,7 +125,7 @@ def run_demo(args) -> int:
         cm5 = measure_live(
             protocol, mode="cm5", transport=args.transport,
             message_words=message_words, packet_words=args.packet_words,
-            deadline=args.deadline,
+            deadline=args.deadline, tracer=tracer,
             **(_fault_kwargs(args) if args.transport == "loopback" else {}),
         )
         status = "ok" if cm5.completed else "FAIL"
@@ -115,7 +151,7 @@ def run_demo(args) -> int:
         cr = measure_live(
             protocol, mode="cr", transport="loopback",
             message_words=message_words, packet_words=args.packet_words,
-            deadline=args.deadline,
+            deadline=args.deadline, tracer=tracer,
         )
         if not cr.completed:
             failures += 1
@@ -142,6 +178,8 @@ def run_demo(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(records, fh, indent=2)
         print(f"wrote {args.json}")
+    if tracer is not None:
+        _export_trace(args.trace, tracer.events())
     if failures:
         print(f"{failures} check(s) FAILED")
         return 1
@@ -154,6 +192,7 @@ def run_bench(args) -> int:
     records: List[Dict[str, Any]] = []
     failures = 0
     message_words = args.packets * args.packet_words
+    tracer = Tracer() if args.trace else None
     print("repro live runtime bench — per-feature wall-clock shares\n")
     for protocol in PROTOCOL_NAMES:
         results: Dict[str, RuntimeRunResult] = {}
@@ -162,7 +201,7 @@ def run_bench(args) -> int:
             result = measure_live(
                 protocol, mode=mode, transport="loopback",
                 message_words=message_words, packet_words=args.packet_words,
-                deadline=args.deadline, **kwargs,
+                deadline=args.deadline, tracer=tracer, **kwargs,
             )
             if not result.completed:
                 failures += 1
@@ -176,9 +215,78 @@ def run_bench(args) -> int:
         with open(args.json, "w") as fh:
             json.dump(records, fh, indent=2)
         print(f"wrote {args.json}")
+    if tracer is not None:
+        _export_trace(args.trace, tracer.events())
     if failures:
         print(f"{failures} run(s) failed to complete")
         return 1
+    return 0
+
+
+def run_trace(args) -> int:
+    """The ``runtime trace`` command; returns a process exit code.
+
+    Runs every protocol × mode cell with tracing enabled, checks that
+    each cell yields at least one *complete* per-packet lifecycle
+    (send → recv → deliver), cross-checks the tracer's histogram-derived
+    feature totals against the ``TimeAttribution`` buckets (within 10%),
+    prints the per-packet latency report, and exports the merged event
+    stream to ``--out``.
+    """
+    failures = 0
+    message_words = args.packets * args.packet_words
+    all_events: List[TraceEvent] = []
+    all_lifecycles = []
+
+    print("repro live runtime trace — per-packet lifecycles\n")
+    for protocol in PROTOCOL_NAMES:
+        for mode in ("cm5", "cr"):
+            label = f"{protocol}/{mode}"
+            tracer = Tracer()
+            kwargs = _fault_kwargs(args) if mode == "cm5" else {}
+            result = measure_live(
+                protocol, mode=mode, transport="loopback",
+                message_words=message_words, packet_words=args.packet_words,
+                deadline=args.deadline, tracer=tracer, **kwargs,
+            )
+            events = tracer.events()
+            lifecycles = reconstruct_lifecycles(events)
+            complete = sum(1 for pkt in lifecycles if pkt.complete)
+            buckets = {
+                feature: result.src_ns.get(feature, 0)
+                + result.dst_ns.get(feature, 0)
+                for feature in Feature
+            }
+            problems = crosscheck_features(
+                tracer.feature_totals(), buckets, tolerance=0.10
+            )
+            ok = result.completed and complete >= 1 and not problems
+            if not ok:
+                failures += 1
+            print(
+                f"  [{'ok' if ok else 'FAIL'}] {label}: {len(events)} events, "
+                f"{complete}/{len(lifecycles)} complete lifecycles, "
+                f"retransmissions={result.retransmissions}, "
+                f"attribution cross-check "
+                f"{'agrees' if not problems else 'DISAGREES'}"
+            )
+            for problem in problems:
+                print(f"        {problem}")
+            if tracer.overwritten:
+                print(f"        (ring wrapped: {tracer.overwritten} oldest "
+                      "events overwritten)")
+            all_events.extend(events)
+            all_lifecycles.extend(lifecycles)
+
+    print()
+    print(render_trace_report(all_lifecycles))
+    print()
+    if args.out:
+        _export_trace(args.out, all_events, fmt=args.format)
+    if failures:
+        print(f"{failures} cell(s) FAILED")
+        return 1
+    print("trace checks passed.")
     return 0
 
 
@@ -210,6 +318,9 @@ def add_runtime_subparsers(parser) -> None:
     demo.add_argument("--deadline", type=float, default=60.0)
     demo.add_argument("--json", default=None,
                       help="also write results to this JSON file")
+    demo.add_argument("--trace", default=None, metavar="FILE",
+                      help="record trace events and export a Chrome/"
+                           "Perfetto trace to FILE")
     demo.set_defaults(func=run_demo)
 
     bench = sub.add_parser(
@@ -222,4 +333,25 @@ def add_runtime_subparsers(parser) -> None:
     bench.add_argument("--seed", type=int, default=0x5CA1E)
     bench.add_argument("--deadline", type=float, default=60.0)
     bench.add_argument("--json", default=None)
+    bench.add_argument("--trace", default=None, metavar="FILE",
+                       help="record trace events and export a Chrome/"
+                            "Perfetto trace to FILE")
     bench.set_defaults(func=run_bench)
+
+    trace = sub.add_parser(
+        "trace", help="trace every protocol x mode cell, reconstruct "
+                      "per-packet lifecycles, and export the events")
+    trace.add_argument("--drop-rate", type=_rate, default=0.02)
+    trace.add_argument("--dup-rate", type=_rate, default=0.0)
+    trace.add_argument("--reorder-rate", type=_rate, default=0.25)
+    trace.add_argument("--packets", type=int, default=16)
+    trace.add_argument("--packet-words", type=int, default=16)
+    trace.add_argument("--seed", type=int, default=0x5CA1E)
+    trace.add_argument("--deadline", type=float, default=60.0)
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="export the merged event stream to FILE")
+    trace.add_argument("--format", default="chrome",
+                       choices=["chrome", "jsonl"],
+                       help="export format (default: chrome trace_event "
+                            "JSON, loadable in ui.perfetto.dev)")
+    trace.set_defaults(func=run_trace)

@@ -23,25 +23,33 @@ from repro.runtime.frames import (
     encode_frame,
 )
 from repro.runtime.spans import TimeAttribution
+from repro.runtime.tracing import Counters, EventType, NULL_TRACER, Tracer
 from repro.runtime.transport import Address, Transport
 
 FrameHandler = Callable[[Frame, Address], None]
+
+#: Frame kinds that are acknowledgements (traced as ACK_TX / ACK_RX).
+ACK_KINDS = frozenset({FrameKind.ACK, FrameKind.CUM_ACK, FrameKind.FINAL_ACK})
 
 
 class RuntimeEndpoint:
     """One side of a live conversation: transport + codec + dispatch."""
 
     def __init__(self, transport: Transport, name: str = "",
-                 attribution: Optional[TimeAttribution] = None) -> None:
+                 attribution: Optional[TimeAttribution] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.transport = transport
         self.name = name or repr(transport.local_address)
         self.attribution = attribution or TimeAttribution()
+        # `is not None`, not `or`: an empty tracer is len()==0-falsy.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # Feed every span charge into the tracer's per-feature
+            # histograms, so trace-derived totals shadow the buckets.
+            self.attribution.on_charge = self.tracer.on_charge
+        self.counters = Counters()
         self._handlers: Dict[int, FrameHandler] = {}
-        self.frames_received = 0
-        self.frames_sent = 0
         self.sent_by_kind: Dict[FrameKind, int] = {}
-        self.decode_errors = 0
-        self.unrouted = 0
         transport.set_receiver(self._on_datagram)
 
     # -- service flags (forwarded from the transport) -------------------------
@@ -81,12 +89,20 @@ class RuntimeEndpoint:
         except FrameError:
             # A corrupt datagram degrades into a drop; fault tolerance
             # (retransmission) recovers, exactly as for a lost packet.
-            self.decode_errors += 1
+            self.counters.inc("decode_errors")
             return
-        self.frames_received += 1
+        self.counters.inc("frames_received")
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(
+                EventType.ACK_RX if frame.kind in ACK_KINDS else EventType.RECV,
+                endpoint=self.name, channel=frame.channel, seq=frame.seq,
+                aux=frame.aux, kind=frame.kind.name,
+                feature=self.attribution.current,
+            )
         handler = self._handlers.get(frame.channel)
         if handler is None:
-            self.unrouted += 1
+            self.counters.inc("unrouted")
             return
         handler(frame, src)
 
@@ -98,8 +114,15 @@ class RuntimeEndpoint:
         tracking).  The encode+send work is charged to ``feature``."""
         with self.attribution.span(feature):
             data = encode_frame(frame)
-            self.frames_sent += 1
+            self.counters.inc("frames_sent")
             self.sent_by_kind[frame.kind] = self.sent_by_kind.get(frame.kind, 0) + 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    EventType.ACK_TX if frame.kind in ACK_KINDS else EventType.SEND,
+                    endpoint=self.name, channel=frame.channel, seq=frame.seq,
+                    aux=frame.aux, kind=frame.kind.name, feature=feature,
+                )
             await self.transport.send(dst, data)
         return data
 
@@ -111,6 +134,24 @@ class RuntimeEndpoint:
         )
 
     # -- wire accounting ------------------------------------------------------
+    # The scalar tallies live in the endpoint's Counters registry; the
+    # attribute names survive as read-only properties.
+
+    @property
+    def frames_received(self) -> int:
+        return self.counters.get("frames_received")
+
+    @property
+    def frames_sent(self) -> int:
+        return self.counters.get("frames_sent")
+
+    @property
+    def decode_errors(self) -> int:
+        return self.counters.get("decode_errors")
+
+    @property
+    def unrouted(self) -> int:
+        return self.counters.get("unrouted")
 
     @property
     def data_frames_sent(self) -> int:

@@ -52,6 +52,7 @@ from repro.protocols.sequencing import ReorderWindow, SequenceError, SequenceGen
 from repro.runtime.endpoint import RuntimeEndpoint
 from repro.runtime.frames import Frame, FrameKind, cum_ack_frame, data_frame
 from repro.runtime.reliability import BackoffPolicy, Retransmitter, RetransmitExhausted
+from repro.runtime.tracing import EventType
 from repro.runtime.transport import Address
 
 #: Default logical channel numbers (one per protocol, like the
@@ -87,6 +88,8 @@ class SinglePacketSender:
         self.retransmitter = Retransmitter(
             self._resend, policy=backoff,
             attribution=endpoint.attribution, on_give_up=self._give_up,
+            tracer=endpoint.tracer, name=endpoint.name, channel=channel,
+            counters=endpoint.counters.scoped("single_tx.rtx"),
         )
         endpoint.bind(channel, self._on_frame)
 
@@ -140,11 +143,18 @@ class SinglePacketReceiver:
         self.channel = channel
         self.on_message = on_message
         self.messages: List[List[int]] = []
-        self.duplicates = 0
-        self.acks_sent = 0
+        self.counters = endpoint.counters.scoped("single_rx")
         self._delivered_seqs: set = set()
         self._waiters: List[Tuple[int, asyncio.Future]] = []
         endpoint.bind(channel, self._on_frame)
+
+    @property
+    def duplicates(self) -> int:
+        return self.counters.get("duplicates")
+
+    @property
+    def acks_sent(self) -> int:
+        return self.counters.get("acks_sent")
 
     def _on_frame(self, frame: Frame, src: Address) -> None:
         if frame.kind is not FrameKind.DATA:
@@ -155,19 +165,24 @@ class SinglePacketReceiver:
                 duplicate = frame.seq in self._delivered_seqs
                 self._delivered_seqs.add(frame.seq)
                 # Ack unconditionally: the previous ack may have been lost.
-                self.acks_sent += 1
+                self.counters.inc("acks_sent")
                 self.endpoint.post_frame(
                     src, Frame(FrameKind.ACK, self.channel, seq=frame.seq),
                     Feature.FAULT_TOLERANCE,
                 )
             if duplicate:
-                self.duplicates += 1
+                self.counters.inc("duplicates")
                 return
         with attr.span(Feature.BUFFER_MGMT):
             # Receive-queue slot management (the datagram's landing buffer).
             self.messages.append([])
         with attr.span(Feature.BASE):
             self.messages[-1].extend(frame.payload)
+        tracer = self.endpoint.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.DELIVER, endpoint=self.endpoint.name,
+                        channel=self.channel, seq=frame.seq, aux=frame.aux,
+                        feature=Feature.BASE)
         if self.on_message is not None:
             with attr.span(Feature.USER):
                 self.on_message(self.messages[-1])
@@ -261,10 +276,21 @@ class BulkReceiver:
         self._finished: Dict[int, List[int]] = {}  # transfer id -> message
         self._completions: Dict[int, asyncio.Future] = {}
         self.messages: List[List[int]] = []
-        self.duplicates = 0
-        self.final_acks_sent = 0
-        self.status_acks_sent = 0  # partial (cumulative) FINAL_ACKs
+        self.counters = endpoint.counters.scoped("bulk_rx")
         endpoint.bind(channel, self._on_frame)
+
+    @property
+    def duplicates(self) -> int:
+        return self.counters.get("duplicates")
+
+    @property
+    def final_acks_sent(self) -> int:
+        return self.counters.get("final_acks_sent")
+
+    @property
+    def status_acks_sent(self) -> int:
+        """Partial (cumulative) FINAL_ACKs prompted by an early dealloc."""
+        return self.counters.get("status_acks_sent")
 
     def completion(self, transfer_id: int) -> "asyncio.Future":
         """Future resolving with the message once the transfer lands
@@ -310,8 +336,9 @@ class BulkReceiver:
         if segment is None:
             # Data for a finished (or never-allocated) transfer: stale
             # retransmission, already covered by the final ack path.
-            self.duplicates += 1
+            self.counters.inc("duplicates")
             return
+        tracer = self.endpoint.tracer
         if self.endpoint.cr_mode:
             # Ordered lossless delivery: append — no offsets to decode.
             with attr.span(Feature.BASE):
@@ -320,6 +347,10 @@ class BulkReceiver:
                     segment.words[start + index] = word
                 segment.cursor += len(frame.payload)
                 segment.received_words += len(frame.payload)
+            if tracer.enabled:
+                tracer.emit(EventType.DELIVER, endpoint=self.endpoint.name,
+                            channel=self.channel, seq=frame.seq, aux=start,
+                            feature=Feature.BASE)
             return
         with attr.span(Feature.IN_ORDER):
             # Offset extraction + received-count maintenance.
@@ -332,11 +363,17 @@ class BulkReceiver:
                 segment.packet_offsets.add(start)
                 segment.advance_high_water()
         if not fresh:
-            self.duplicates += 1
+            self.counters.inc("duplicates")
             return
         with attr.span(Feature.BASE):
             for index, word in enumerate(frame.payload):
                 segment.words[start + index] = word
+        if tracer.enabled:
+            # The packet's words are in the landing segment: the bulk
+            # analogue of delivery (the transfer completes at dealloc).
+            tracer.emit(EventType.DELIVER, endpoint=self.endpoint.name,
+                        channel=self.channel, seq=frame.seq, aux=start,
+                        feature=Feature.BASE)
         if (segment.dealloc_from is not None
                 and segment.received_words >= segment.total):
             # A retransmitted packet filled the last gap after the
@@ -379,7 +416,7 @@ class BulkReceiver:
 
     def _send_final_ack(self, src: Address, xfer: int, total: int) -> None:
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
-            self.final_acks_sent += 1
+            self.counters.inc("final_acks_sent")
             self.endpoint.post_frame(
                 src, Frame(FrameKind.FINAL_ACK, self.channel, seq=xfer, aux=total),
                 Feature.FAULT_TOLERANCE,
@@ -387,7 +424,7 @@ class BulkReceiver:
 
     def _send_status_ack(self, src: Address, xfer: int, segment: _Segment) -> None:
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
-            self.status_acks_sent += 1
+            self.counters.inc("status_acks_sent")
             self.endpoint.post_frame(
                 src,
                 Frame(FrameKind.FINAL_ACK, self.channel, seq=xfer,
@@ -413,16 +450,34 @@ class BulkSender:
         self._xfer = itertools.count(1)
         self._alloc_futures: Dict[int, asyncio.Future] = {}
         self._inflight: Dict[int, _XferState] = {}
+        self.counters = endpoint.counters.scoped("bulk_tx")
         self.retransmitter = Retransmitter(
             self._resend, policy=self.policy,
             attribution=endpoint.attribution, on_give_up=self._give_up,
+            tracer=endpoint.tracer, name=endpoint.name, channel=channel,
+            counters=self.counters.scoped("rtx"),
         )
-        self.data_rounds = 0
-        self.retransmitted_data_packets = 0
-        self.retransmitted_data_bytes = 0
-        self.goback_n_equivalent_bytes = 0
-        self.stale_final_acks = 0
         endpoint.bind(channel, self._on_frame)
+
+    @property
+    def data_rounds(self) -> int:
+        return self.counters.get("data_rounds")
+
+    @property
+    def retransmitted_data_packets(self) -> int:
+        return self.counters.get("retransmitted_data_packets")
+
+    @property
+    def retransmitted_data_bytes(self) -> int:
+        return self.counters.get("retransmitted_data_bytes")
+
+    @property
+    def goback_n_equivalent_bytes(self) -> int:
+        return self.counters.get("goback_n_equivalent_bytes")
+
+    @property
+    def stale_final_acks(self) -> int:
+        return self.counters.get("stale_final_acks")
 
     async def send(self, words: Sequence[int], timeout: float = 30.0) -> BulkOutcome:
         """Run the six-step transfer; returns once the data is safe."""
@@ -444,7 +499,7 @@ class BulkSender:
                 self.dst, Frame(FrameKind.DEALLOC, self.channel, seq=xfer),
                 Feature.BUFFER_MGMT,
             )
-            self.data_rounds += 1
+            self.counters.inc("data_rounds")
             return BulkOutcome(transfer_id=xfer, packets_sent=packets, data_rounds=1)
 
         # Steps 1-3: allocation handshake (retransmitted until replied).
@@ -502,9 +557,9 @@ class BulkSender:
         finally:
             self._inflight.pop(xfer, None)
         rounds = 1 + state.worst_resends
-        self.data_rounds += rounds
+        self.counters.inc("data_rounds", rounds)
         gbn_bytes = state.worst_resends * state.wire_bytes
-        self.goback_n_equivalent_bytes += gbn_bytes
+        self.counters.inc("goback_n_equivalent_bytes", gbn_bytes)
         return BulkOutcome(
             transfer_id=xfer, packets_sent=packets, data_rounds=rounds,
             retransmitted_data_bytes=state.resent_bytes,
@@ -533,8 +588,8 @@ class BulkSender:
                 count = state.resend_counts.get(key[2], 0) + 1
                 state.resend_counts[key[2]] = count
                 state.worst_resends = max(state.worst_resends, count)
-            self.retransmitted_data_packets += 1
-            self.retransmitted_data_bytes += len(data)
+            self.counters.inc("retransmitted_data_packets")
+            self.counters.inc("retransmitted_data_bytes", len(data))
         await self.endpoint.transport.send(self.dst, data)
 
     def _release_transfer(self, xfer: int) -> None:
@@ -575,7 +630,7 @@ class BulkSender:
         if state is None:
             # Duplicate/stale final ack for a transfer already resolved
             # (or never started): benign, count and drop.
-            self.stale_final_acks += 1
+            self.counters.inc("stale_final_acks")
             return
         high_water = frame.aux
         total = state.total_words
@@ -621,13 +676,22 @@ class OrderedChannelSender:
         self._space.set()
         self._drain_waiters: List[asyncio.Future] = []
         self._failure: Optional[Exception] = None
+        self.counters = endpoint.counters.scoped("stream_tx")
         self.retransmitter = Retransmitter(
             self._resend, policy=backoff,
             attribution=endpoint.attribution, on_give_up=self._give_up,
+            tracer=endpoint.tracer, name=endpoint.name, channel=channel,
+            counters=self.counters.scoped("rtx"),
         )
-        self.acks_received = 0
-        self.packets_released = 0
         endpoint.bind(channel, self._on_frame)
+
+    @property
+    def acks_received(self) -> int:
+        return self.counters.get("acks_received")
+
+    @property
+    def packets_released(self) -> int:
+        return self.counters.get("packets_released")
 
     @property
     def outstanding(self) -> int:
@@ -702,14 +766,14 @@ class OrderedChannelSender:
         if frame.kind is not FrameKind.CUM_ACK:
             return
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
-            self.acks_received += 1
+            self.counters.inc("acks_received")
             # Cumulative: everything below next-expected is delivered.
             released = self.retransmitter.ack_below(frame.seq)
             # Selective: out-of-order packets parked in the reorder buffer.
             for seq in frame.payload:
                 if self.retransmitter.ack(int(seq)):
                     released += 1
-            self.packets_released += released
+            self.counters.inc("packets_released", released)
             if self.retransmitter.outstanding < self.window:
                 self._space.set()
             if self.retransmitter.outstanding == 0:
@@ -751,16 +815,32 @@ class OrderedChannelReceiver:
         self.ack_every = ack_every
         self.ack_delay = ack_delay
         self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
-        self.arrivals = 0
-        self.acks_sent = 0
-        self.immediate_acks = 0
-        self.delayed_acks = 0
-        self.window_overflows = 0
+        self.counters = endpoint.counters.scoped("stream_rx")
         self._unacked = 0
         self._parked: Set[int] = set()
         self._ack_handle: Optional[asyncio.TimerHandle] = None
         self._waiters: List[Tuple[int, asyncio.Future]] = []
         endpoint.bind(channel, self._on_frame)
+
+    @property
+    def arrivals(self) -> int:
+        return self.counters.get("arrivals")
+
+    @property
+    def acks_sent(self) -> int:
+        return self.counters.get("acks_sent")
+
+    @property
+    def immediate_acks(self) -> int:
+        return self.counters.get("immediate_acks")
+
+    @property
+    def delayed_acks(self) -> int:
+        return self.counters.get("delayed_acks")
+
+    @property
+    def window_overflows(self) -> int:
+        return self.counters.get("window_overflows")
 
     @property
     def duplicates(self) -> int:
@@ -780,8 +860,9 @@ class OrderedChannelReceiver:
     def _on_frame(self, frame: Frame, src: Address) -> None:
         if frame.kind is not FrameKind.DATA:
             return
-        self.arrivals += 1
+        self.counters.inc("arrivals")
         attr = self.endpoint.attribution
+        tracer = self.endpoint.tracer
         if self.endpoint.cr_mode:
             # Lossless FIFO network: every packet is the next packet.
             self._deliver(frame.seq, frame.payload)
@@ -795,20 +876,32 @@ class OrderedChannelReceiver:
                 # Beyond the reorder window (only possible if the sender's
                 # window exceeds ours): treat as a drop and let the
                 # retransmission path deliver it once we have caught up.
-                self.window_overflows += 1
+                self.counters.inc("window_overflows")
                 return
             if run:
                 for run_seq, run_payload in run:
-                    self._parked.discard(run_seq)
+                    if run_seq in self._parked:
+                        self._parked.discard(run_seq)
+                        if tracer.enabled:
+                            tracer.emit(EventType.UNPARK,
+                                        endpoint=self.endpoint.name,
+                                        channel=self.channel, seq=run_seq,
+                                        aux=0, feature=Feature.IN_ORDER)
                     self._deliver(run_seq, run_payload)
             elif self.reorder.duplicates == duplicates_before:
                 self._parked.add(frame.seq)
+                if tracer.enabled:
+                    # Out-of-order: the packet waits in the reorder
+                    # buffer until its gap fills.
+                    tracer.emit(EventType.PARK, endpoint=self.endpoint.name,
+                                channel=self.channel, seq=frame.seq, aux=0,
+                                feature=Feature.IN_ORDER)
         with attr.span(Feature.FAULT_TOLERANCE):
             self._unacked += 1
             duplicate = self.reorder.duplicates > duplicates_before
             if duplicate or self._unacked >= self.ack_every:
                 self._send_ack(src)
-                self.immediate_acks += 1
+                self.counters.inc("immediate_acks")
             else:
                 self._schedule_ack(src)
         self._notify()
@@ -820,7 +913,7 @@ class OrderedChannelReceiver:
             self._ack_handle.cancel()
             self._ack_handle = None
         self._unacked = 0
-        self.acks_sent += 1
+        self.counters.inc("acks_sent")
         sacks = sorted(self._parked)[:MAX_SACKS]
         self.endpoint.post_frame(
             src, cum_ack_frame(self.channel, self.reorder.expected, sacks),
@@ -835,10 +928,15 @@ class OrderedChannelReceiver:
 
     def _ack_timer(self, src: Address) -> None:
         self._ack_handle = None
+        tracer = self.endpoint.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.TIMER_FIRE, endpoint=self.endpoint.name,
+                        channel=self.channel, seq=self.reorder.expected,
+                        kind="DELAYED_ACK", feature=Feature.FAULT_TOLERANCE)
         if self._unacked:
             with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
                 self._send_ack(src)
-                self.delayed_acks += 1
+                self.counters.inc("delayed_acks")
 
     def close(self) -> None:
         """Cancel the pending delayed-ack timer (if any)."""
@@ -849,6 +947,11 @@ class OrderedChannelReceiver:
     def _deliver(self, seq: int, payload: Tuple[int, ...]) -> None:
         with self.endpoint.attribution.span(Feature.BASE):
             self.delivered.append((seq, tuple(payload)))
+        tracer = self.endpoint.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.DELIVER, endpoint=self.endpoint.name,
+                        channel=self.channel, seq=seq, aux=0,
+                        feature=Feature.BASE)
         if self.user_deliver is not None:
             with self.endpoint.attribution.span(Feature.USER):
                 self.user_deliver(seq, tuple(payload))

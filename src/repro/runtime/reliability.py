@@ -34,14 +34,29 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional
+from typing import Any, Awaitable, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.arch.attribution import Feature
 from repro.runtime.spans import TimeAttribution
+from repro.runtime.tracing import Counters, EventType, NULL_TRACER, Tracer
 
 
 class RetransmitExhausted(RuntimeError):
     """A tracked datagram ran out of retransmission attempts."""
+
+
+def _key_fields(key: Hashable) -> Tuple[int, int, str]:
+    """Map a tracked key onto trace-event (seq, aux, kind) fields.
+
+    Protocols key entries either by a bare sequence number or by a
+    ``(kind, xfer[, offset])`` tuple; both shapes flatten losslessly.
+    """
+    if isinstance(key, int):
+        return key, -1, ""
+    if isinstance(key, tuple) and len(key) >= 2 and isinstance(key[1], int):
+        aux = key[2] if len(key) > 2 and isinstance(key[2], int) else -1
+        return key[1], aux, str(key[0])
+    return 0, -1, repr(key)
 
 
 @dataclass
@@ -150,22 +165,48 @@ class Retransmitter:
         attribution: Optional[TimeAttribution] = None,
         on_give_up: Optional[Callable[[Hashable, RetransmitExhausted], None]] = None,
         rtt: Optional[RttEstimator] = None,
+        tracer: Optional[Tracer] = None,
+        counters: Optional[Any] = None,
+        name: str = "",
+        channel: int = 0,
     ) -> None:
         self._resend = resend
         self.policy = policy or BackoffPolicy()
         self.attribution = attribution or TimeAttribution()
         self._on_give_up = on_give_up
         self.rtt = rtt or self.policy.estimator()
+        # `is not None`, not `or`: an empty tracer is len()==0-falsy.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: A Counters (or ScopedCounters view) naming this
+        #: retransmitter's tallies; callers may pass a scoped slice of
+        #: their endpoint registry so one dump covers the whole run.
+        self.counters = counters if counters is not None else Counters()
+        self.name = name
+        self.channel = channel
         self._entries: Dict[Hashable, _Tracked] = {}
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
-        self.retransmissions = 0
-        self.retransmitted_bytes = 0
-        self.acked = 0
-        self.exhausted = 0
         #: Give-ups recorded when no ``on_give_up`` callback is wired —
         #: deterministic surfacing instead of a swallowed task exception.
         self.failures: Dict[Hashable, RetransmitExhausted] = {}
+
+    # -- counters (registry-backed; attribute names kept as properties) -------
+
+    @property
+    def retransmissions(self) -> int:
+        return self.counters.get("retransmissions")
+
+    @property
+    def retransmitted_bytes(self) -> int:
+        return self.counters.get("retransmitted_bytes")
+
+    @property
+    def acked(self) -> int:
+        return self.counters.get("acked")
+
+    @property
+    def exhausted(self) -> int:
+        return self.counters.get("exhausted")
 
     # -- tracking -------------------------------------------------------------
 
@@ -195,7 +236,7 @@ class Retransmitter:
         entry = self._entries.pop(key, None)
         if entry is None:
             return False
-        self.acked += 1
+        self.counters.inc("acked")
         if entry.sample_rtt and not entry.retransmitted:
             # Karn's algorithm: only unambiguous (never-resent) packets
             # contribute RTT samples.
@@ -253,6 +294,12 @@ class Retransmitter:
 
     async def _fire(self, now: float) -> None:
         expired = [key for key, e in self._entries.items() if e.deadline <= now]
+        tracer = self.tracer
+        if expired and tracer.enabled:
+            tracer.emit(EventType.TIMER_FIRE, endpoint=self.name,
+                        channel=self.channel, seq=len(expired),
+                        kind="RETRANSMIT_WHEEL",
+                        feature=Feature.FAULT_TOLERANCE)
         for key in expired:
             entry = self._entries.get(key)
             if entry is None:
@@ -261,7 +308,13 @@ class Retransmitter:
                 # The final retry already had its full ack window
                 # (one more interval after the last resend) — give up.
                 self._entries.pop(key, None)
-                self.exhausted += 1
+                self.counters.inc("exhausted")
+                if tracer.enabled:
+                    seq, aux, kind = _key_fields(key)
+                    tracer.emit(EventType.GIVE_UP, endpoint=self.name,
+                                channel=self.channel, seq=seq, aux=aux,
+                                attempt=entry.attempt, kind=kind,
+                                feature=Feature.FAULT_TOLERANCE)
                 error = RetransmitExhausted(
                     f"key {key!r} unacknowledged after "
                     f"{self.policy.max_retries} retries"
@@ -272,9 +325,15 @@ class Retransmitter:
                     self.failures[key] = error
                 continue
             with self.attribution.span(Feature.FAULT_TOLERANCE):
-                self.retransmissions += 1
-                self.retransmitted_bytes += len(entry.data)
+                self.counters.inc("retransmissions")
+                self.counters.inc("retransmitted_bytes", len(entry.data))
                 entry.retransmitted = True
                 entry.attempt += 1
                 entry.deadline = now + self._interval(entry.attempt)
+                if tracer.enabled:
+                    seq, aux, kind = _key_fields(key)
+                    tracer.emit(EventType.RETRANSMIT, endpoint=self.name,
+                                channel=self.channel, seq=seq, aux=aux,
+                                attempt=entry.attempt, kind=kind,
+                                feature=Feature.FAULT_TOLERANCE)
                 await self._resend(key, entry.data)

@@ -30,6 +30,7 @@ from repro.runtime.protocols import (
     SinglePacketSender,
 )
 from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.tracing import Tracer
 from repro.runtime.transport import LoopbackHub, UDPTransport
 
 #: Backoff used by loopback measurements: quick enough that injected
@@ -47,6 +48,7 @@ class RuntimePair:
     mode: str                      # "cm5" | "cr"
     transport: str                 # "loopback" | "udp"
     hub: Optional[LoopbackHub] = None
+    tracer: Optional[Tracer] = None
 
     async def close(self) -> None:
         await self.src.close()
@@ -61,8 +63,13 @@ def make_loopback_pair(
     reorder_delay: float = 0.002,
     latency: float = 0.0,
     seed: int = 0x5CA1E,
+    tracer: Optional[Tracer] = None,
 ) -> RuntimePair:
-    """An in-process pair.  ``mode='cr'`` ignores every fault knob."""
+    """An in-process pair.  ``mode='cr'`` ignores every fault knob.
+
+    A ``tracer`` is shared by both endpoints — events carry the endpoint
+    name, so one ring holds the whole conversation in arrival order.
+    """
     if mode == "cr":
         hub = LoopbackHub.cr()
     elif mode == "cm5":
@@ -72,20 +79,25 @@ def make_loopback_pair(
         )
     else:
         raise ValueError(f"unknown mode {mode!r} (expected 'cm5' or 'cr')")
-    src = RuntimeEndpoint(hub.attach("src"), name="src")
-    dst = RuntimeEndpoint(hub.attach("dst"), name="dst")
-    return RuntimePair(src=src, dst=dst, mode=mode, transport="loopback", hub=hub)
+    src = RuntimeEndpoint(hub.attach("src"), name="src", tracer=tracer)
+    dst = RuntimeEndpoint(hub.attach("dst"), name="dst", tracer=tracer)
+    return RuntimePair(src=src, dst=dst, mode=mode, transport="loopback",
+                       hub=hub, tracer=tracer)
 
 
-async def make_udp_pair(host: str = "127.0.0.1") -> RuntimePair:
+async def make_udp_pair(host: str = "127.0.0.1",
+                        tracer: Optional[Tracer] = None) -> RuntimePair:
     """A pair over real UDP sockets on the loopback interface.
 
     UDP advertises neither ordering nor reliability, so the full CM-5
     protocol machinery runs on top (mode is always ``cm5``).
     """
-    src = RuntimeEndpoint(await UDPTransport.bind(host), name="udp-src")
-    dst = RuntimeEndpoint(await UDPTransport.bind(host), name="udp-dst")
-    return RuntimePair(src=src, dst=dst, mode="cm5", transport="udp")
+    src = RuntimeEndpoint(await UDPTransport.bind(host), name="udp-src",
+                          tracer=tracer)
+    dst = RuntimeEndpoint(await UDPTransport.bind(host), name="udp-dst",
+                          tracer=tracer)
+    return RuntimePair(src=src, dst=dst, mode="cm5", transport="udp",
+                       tracer=tracer)
 
 
 @dataclass
@@ -337,12 +349,15 @@ def measure_live(
     message_words: int = 1024,
     packet_words: int = 16,
     deadline: float = 30.0,
+    tracer: Optional[Tracer] = None,
     **pair_kwargs: Any,
 ) -> RuntimeRunResult:
     """Synchronous one-shot measurement (owns the event loop).
 
     ``pair_kwargs`` go to :func:`make_loopback_pair` (fault knobs, seed)
-    and are rejected for UDP, which has none.
+    and are rejected for UDP, which has none.  A ``tracer`` is threaded
+    through both endpoints; its run label is set to ``protocol/mode`` so
+    events from sequential runs through one tracer stay distinguishable.
     """
     try:
         runner = _RUNNERS[protocol]
@@ -350,23 +365,33 @@ def measure_live(
         raise ValueError(
             f"unknown protocol {protocol!r} (expected one of {PROTOCOL_NAMES})"
         ) from None
+    if tracer is not None:
+        tracer.label = f"{protocol}/{mode}"
 
     async def session() -> RuntimeRunResult:
         if transport == "loopback":
-            pair = make_loopback_pair(mode=mode, **pair_kwargs)
+            pair = make_loopback_pair(mode=mode, tracer=tracer, **pair_kwargs)
         elif transport == "udp":
             if mode != "cm5":
                 raise ValueError("UDP provides no services; only cm5 mode runs on it")
             if pair_kwargs:
                 raise ValueError(f"UDP transport takes no fault knobs: {pair_kwargs}")
-            pair = await make_udp_pair()
+            pair = await make_udp_pair(tracer=tracer)
         else:
             raise ValueError(f"unknown transport {transport!r}")
         try:
-            return await runner(
+            result = await runner(
                 pair, message_words=message_words, packet_words=packet_words,
                 deadline=deadline,
             )
+            result.detail.setdefault(
+                "counters",
+                {"src": pair.src.counters.to_dict(),
+                 "dst": pair.dst.counters.to_dict()},
+            )
+            if pair.hub is not None:
+                result.detail.setdefault("wire", pair.hub.wire_counters())
+            return result
         finally:
             await pair.close()
 

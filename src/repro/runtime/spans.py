@@ -19,19 +19,27 @@ Semantics mirror the instruction-count stack exactly:
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.arch.attribution import Feature, FEATURE_ORDER, OVERHEAD_FEATURES
 
 
 class TimeAttribution:
-    """Per-feature nanosecond accumulator with a re-entrant span stack."""
+    """Per-feature nanosecond accumulator with a re-entrant span stack.
+
+    ``on_charge``, when set, observes every exclusive charge as
+    ``on_charge(feature, ns)`` — the tracing subsystem installs its
+    per-feature histogram recorder there, so histogram-derived totals
+    reconcile with the buckets.  ``None`` (the default) costs one
+    attribute test per charge.
+    """
 
     def __init__(self) -> None:
         self._ns: Dict[Feature, int] = {feature: 0 for feature in Feature}
         self._spans: Dict[Feature, int] = {feature: 0 for feature in Feature}
         self._stack: list = []
         self._mark: int = 0
+        self.on_charge: Optional[Callable[[Feature, int], None]] = None
 
     # -- span machinery -------------------------------------------------------
 
@@ -39,11 +47,20 @@ class TimeAttribution:
         """Context manager charging its (exclusive) duration to ``feature``."""
         return _Span(self, feature)
 
+    @property
+    def current(self) -> Optional[Feature]:
+        """The feature charges currently land in (``None`` outside spans)."""
+        return self._stack[-1] if self._stack else None
+
     def _enter(self, feature: Feature) -> None:
         now = time.perf_counter_ns()
         if self._stack:
             # Pause the parent: bank what it has accrued so far.
-            self._ns[self._stack[-1]] += now - self._mark
+            parent = self._stack[-1]
+            delta = now - self._mark
+            self._ns[parent] += delta
+            if self.on_charge is not None:
+                self.on_charge(parent, delta)
         self._stack.append(feature)
         self._spans[feature] += 1
         self._mark = now
@@ -55,7 +72,10 @@ class TimeAttribution:
             raise RuntimeError(
                 f"span stack corrupted: popped {popped}, expected {feature}"
             )
-        self._ns[popped] += now - self._mark
+        delta = now - self._mark
+        self._ns[popped] += delta
+        if self.on_charge is not None:
+            self.on_charge(popped, delta)
         # Resume the parent's clock (if any).
         self._mark = now
 
@@ -64,6 +84,8 @@ class TimeAttribution:
         if ns < 0:
             raise ValueError("cannot charge negative time")
         self._ns[feature] += ns
+        if self.on_charge is not None:
+            self.on_charge(feature, ns)
 
     # -- results ------------------------------------------------------------------
 
@@ -99,7 +121,14 @@ class TimeAttribution:
 
     def reset(self) -> None:
         if self._stack:
-            raise RuntimeError("cannot reset while spans are active")
+            # Name the leaked feature(s), innermost last, so the error
+            # pinpoints which span failed to unwind (cf. a queue's
+            # drain() assertion naming what was left behind).
+            leaked = " -> ".join(feature.value for feature in self._stack)
+            raise RuntimeError(
+                f"cannot reset while spans are active: leaked [{leaked}] — "
+                "a span's __exit__ never ran (or reset raced a live run)"
+            )
         for feature in self._ns:
             self._ns[feature] = 0
             self._spans[feature] = 0

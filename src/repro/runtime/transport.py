@@ -28,6 +28,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.runtime.tracing import Counters
+
 Address = Any
 Receiver = Callable[[bytes, Address], None]
 
@@ -109,11 +111,7 @@ class LoopbackHub:
             raise ValueError("a CR-mode hub cannot also inject faults")
         self._rng = random.Random(self.faults.seed)
         self._transports: Dict[Address, "LoopbackTransport"] = {}
-        self.delivered = 0
-        self.dropped = 0      # fault-injected losses only
-        self.duplicated = 0
-        self.reordered = 0
-        self.blackholed = 0   # unknown destination — not a fault statistic
+        self.counters = Counters()
 
     @classmethod
     def cr(cls) -> "LoopbackHub":
@@ -134,6 +132,45 @@ class LoopbackHub:
     def mode(self) -> str:
         return "cr" if (self.ordered and self.reliable) else "cm5"
 
+    # -- delivery statistics --------------------------------------------------
+    # One Counters registry backs them all; `wire_counters()` is the
+    # one-stop dict, the old attribute names remain as properties.
+
+    def wire_counters(self) -> Dict[str, int]:
+        """Every delivery-policy tally in one dict: ``delivered``,
+        ``dropped`` (fault-injected losses only), ``duplicated``,
+        ``reordered``, and ``blackholed`` (unknown destination — not a
+        fault statistic)."""
+        return {
+            "delivered": self.counters.get("delivered"),
+            "dropped": self.counters.get("dropped"),
+            "duplicated": self.counters.get("duplicated"),
+            "reordered": self.counters.get("reordered"),
+            "blackholed": self.counters.get("blackholed"),
+        }
+
+    @property
+    def delivered(self) -> int:
+        return self.counters.get("delivered")
+
+    @property
+    def dropped(self) -> int:
+        """Fault-injected losses only (blackholes counted apart)."""
+        return self.counters.get("dropped")
+
+    @property
+    def duplicated(self) -> int:
+        return self.counters.get("duplicated")
+
+    @property
+    def reordered(self) -> int:
+        return self.counters.get("reordered")
+
+    @property
+    def blackholed(self) -> int:
+        """Datagrams for unknown destinations — not a fault statistic."""
+        return self.counters.get("blackholed")
+
     def attach(self, address: Address) -> "LoopbackTransport":
         if address in self._transports:
             raise ValueError(f"address {address!r} already attached")
@@ -152,7 +189,7 @@ class LoopbackHub:
             # Unknown destination: a real network would blackhole it too.
             # Counted apart from `dropped`, which must reflect only the
             # injected fault model (the demo/bench report it as such).
-            self.blackholed += 1
+            self.counters.inc("blackholed")
             return
         loop = asyncio.get_running_loop()
         if self.ordered and self.reliable:
@@ -161,17 +198,17 @@ class LoopbackHub:
             return
         faults = self.faults
         if faults.drop_rate and self._rng.random() < faults.drop_rate:
-            self.dropped += 1
+            self.counters.inc("dropped")
             return
         copies = 1
         if faults.dup_rate and self._rng.random() < faults.dup_rate:
             copies = 2
-            self.duplicated += 1
+            self.counters.inc("duplicated")
         for _ in range(copies):
             delay = faults.latency
             if faults.reorder_rate and self._rng.random() < faults.reorder_rate:
                 delay += faults.reorder_delay
-                self.reordered += 1
+                self.counters.inc("reordered")
             if delay > 0:
                 loop.call_later(delay, self._hand_over, target, data, src)
             else:
@@ -179,7 +216,7 @@ class LoopbackHub:
 
     def _hand_over(self, target: "LoopbackTransport", data: bytes,
                    src: Address) -> None:
-        self.delivered += 1
+        self.counters.inc("delivered")
         target._deliver(data, src)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,102 @@
+"""Edge-case tests for the wall-clock time-share tables."""
+
+import pytest
+
+from repro.arch.attribution import FEATURE_ORDER, Feature
+from repro.analysis.timeshare import (
+    TimeBreakdown,
+    WireStats,
+    overhead_collapse,
+    render_mode_comparison,
+    render_time_table,
+)
+
+
+def build(protocol="single", mode="cm5", words=64, src=None, dst=None):
+    return TimeBreakdown.build(protocol, mode, words, src or {}, dst or {})
+
+
+class TestBuildEdgeCases:
+    def test_missing_features_default_to_zero(self):
+        breakdown = build(src={Feature.BASE: 100})
+        assert len(breakdown.rows) == len(FEATURE_ORDER)
+        assert breakdown.row(Feature.BASE).src_ns == 100
+        assert breakdown.row(Feature.FAULT_TOLERANCE).total_ns == 0
+        assert breakdown.total_ns == 100
+
+    def test_zero_total_shares_are_zero_not_nan(self):
+        breakdown = build()
+        assert breakdown.total_ns == 0
+        assert breakdown.overhead_fraction == 0.0
+        assert breakdown.share(Feature.BASE) == 0.0
+        assert breakdown.ordering_plus_fault_share() == 0.0
+        assert all(share == 0.0 for share in breakdown.shares().values())
+
+    def test_unknown_feature_row_raises(self):
+        with pytest.raises(KeyError):
+            build().row("not a feature")
+
+    def test_overhead_excludes_base(self):
+        breakdown = build(src={Feature.BASE: 600, Feature.IN_ORDER: 300},
+                          dst={Feature.FAULT_TOLERANCE: 100})
+        assert breakdown.overhead_ns == 400
+        assert breakdown.overhead_fraction == pytest.approx(0.4)
+
+    def test_to_dict_round_trips_shape(self):
+        payload = build(src={Feature.BASE: 10}).to_dict()
+        assert payload["total_ns"] == 10
+        assert set(payload["features"]) == {
+            feature.value for feature in FEATURE_ORDER
+        }
+
+
+class TestRenderingEdgeCases:
+    def test_time_table_with_zero_total(self):
+        out = render_time_table(build())
+        assert "0.0" in out
+        assert "100%" in out  # total row renders even when empty
+
+    def test_mode_comparison_with_zero_cr_total(self):
+        cm5 = build(mode="cm5", src={Feature.BASE: 500,
+                                     Feature.IN_ORDER: 500})
+        cr = build(mode="cr")
+        out = render_mode_comparison(cm5, cr)
+        assert "CM-5 vs CR transport" in out
+        assert "nan" not in out.lower()
+
+    def test_mode_comparison_includes_every_feature_row(self):
+        cm5 = build(src={feature: 100 for feature in FEATURE_ORDER})
+        cr = build(mode="cr", src={Feature.BASE: 100})
+        out = render_mode_comparison(cm5, cr)
+        for feature in FEATURE_ORDER:
+            assert out.count("\n") >= len(FEATURE_ORDER)
+        assert "Total" in out
+
+
+class TestOverheadCollapse:
+    def test_collapse_ratio(self):
+        cm5 = build(src={Feature.BASE: 500, Feature.IN_ORDER: 300,
+                         Feature.FAULT_TOLERANCE: 200})
+        cr = build(mode="cr", src={Feature.BASE: 500})
+        result = overhead_collapse(cm5, cr)
+        assert result["cm5_ordering_fault_share"] == pytest.approx(0.5)
+        assert result["cr_ordering_fault_share"] == 0.0
+        assert result["collapse_ratio"] == 0.0
+
+    def test_zero_cm5_share_avoids_division_by_zero(self):
+        quiet = build(src={Feature.BASE: 100})
+        result = overhead_collapse(quiet, quiet)
+        assert result["collapse_ratio"] == 0.0
+
+
+class TestWireStatsEdgeCases:
+    def test_zero_data_datagrams(self):
+        stats = WireStats(data_datagrams=0, ack_datagrams=0)
+        assert stats.acks_per_data == 0.0
+        assert stats.selective_repeat_savings == 0.0
+
+    def test_savings_fraction(self):
+        stats = WireStats(data_datagrams=10, ack_datagrams=2,
+                          retransmitted_bytes=100,
+                          goback_n_equivalent_bytes=400)
+        assert stats.selective_repeat_savings == pytest.approx(0.75)

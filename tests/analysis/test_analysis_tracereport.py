@@ -1,0 +1,253 @@
+"""Unit tests for per-packet lifecycle reconstruction (tracereport)."""
+
+from repro.arch.attribution import Feature
+from repro.analysis.tracereport import (
+    PacketLifecycle,
+    control_retransmits,
+    crosscheck_features,
+    lifecycle_spans,
+    lifecycle_stats,
+    reconstruct_lifecycles,
+    render_packet_table,
+    render_trace_report,
+)
+from repro.runtime.tracing import EventType, TraceEvent
+
+LABEL = "finite/cm5"
+
+
+def ev(ts_ns, etype, endpoint="src", channel=1, seq=0, aux=-1,
+       attempt=0, kind="", feature=None, label=LABEL):
+    return TraceEvent(ts_ns=ts_ns, etype=etype, label=label,
+                      endpoint=endpoint, channel=channel, seq=seq, aux=aux,
+                      attempt=attempt, kind=kind, feature=feature)
+
+
+def happy_path_events(seq=3, aux=0):
+    """One packet's full journey: send, recv, deliver, ack both ways."""
+    return [
+        ev(1000, EventType.SEND, "src", seq=seq, aux=aux, kind="DATA"),
+        ev(3000, EventType.RECV, "dst", seq=seq, aux=aux, kind="DATA"),
+        ev(3500, EventType.DELIVER, "dst", seq=seq, aux=max(aux, 0)),
+        ev(4000, EventType.ACK_TX, "dst", seq=seq, kind="ACK"),
+        ev(6000, EventType.ACK_RX, "src", seq=seq, kind="ACK"),
+    ]
+
+
+class TestReconstruction:
+    def test_happy_path_packet_is_complete(self):
+        lifecycles = reconstruct_lifecycles(happy_path_events())
+        assert len(lifecycles) == 1
+        pkt = lifecycles[0]
+        assert pkt.complete
+        assert not pkt.gave_up
+        assert pkt.key == (LABEL, 1, 3, 0)
+        assert pkt.src_endpoint == "src"
+        assert pkt.dst_endpoint == "dst"
+        assert pkt.wire_ns == 2000
+        assert pkt.queue_ns == 500
+        assert pkt.rtt_ns == 5000
+        assert pkt.ack_tx_ns == 4000
+
+    def test_events_are_sorted_before_stitching(self):
+        events = happy_path_events()
+        lifecycles = reconstruct_lifecycles(list(reversed(events)))
+        assert lifecycles[0].complete
+        assert lifecycles[0].rtt_ns == 5000
+
+    def test_duplicate_arrivals_keep_first_timestamp(self):
+        events = happy_path_events() + [
+            ev(9000, EventType.RECV, "dst", seq=3, aux=0, kind="DATA"),
+            ev(9100, EventType.DELIVER, "dst", seq=3, aux=0),
+        ]
+        pkt = reconstruct_lifecycles(events)[0]
+        assert pkt.recv_ns == 3000
+        assert pkt.deliver_ns == 3500
+
+    def test_retransmissions_accumulate(self):
+        events = happy_path_events() + [
+            ev(1500, EventType.RETRANSMIT, "src", seq=3, aux=0,
+               attempt=1, kind=""),
+            ev(2500, EventType.RETRANSMIT, "src", seq=3, aux=0,
+               attempt=2, kind=""),
+        ]
+        pkt = reconstruct_lifecycles(events)[0]
+        assert pkt.retransmits == 2
+        assert pkt.attempts == 2
+        assert pkt.retransmit_ns == [1500, 2500]
+
+    def test_control_plane_retransmits_stay_out_of_lifecycles(self):
+        events = happy_path_events() + [
+            ev(1200, EventType.RETRANSMIT, "src", seq=3, aux=0,
+               attempt=1, kind="alloc"),
+            ev(1300, EventType.RETRANSMIT, "src", seq=3, aux=0,
+               attempt=1, kind="dealloc"),
+        ]
+        lifecycles = reconstruct_lifecycles(events)
+        assert lifecycles[0].retransmits == 0
+        assert control_retransmits(events) == 2
+
+    def test_give_up_marks_the_packet(self):
+        events = [
+            ev(1000, EventType.SEND, "src", seq=5, aux=0, kind="DATA"),
+            ev(8000, EventType.GIVE_UP, "src", seq=5, aux=0, kind=""),
+        ]
+        pkt = reconstruct_lifecycles(events)[0]
+        assert pkt.gave_up
+        assert not pkt.complete
+        assert pkt.rtt_ns is None
+
+    def test_park_dwell(self):
+        events = happy_path_events() + [
+            ev(3100, EventType.PARK, "dst", seq=3, aux=0),
+            ev(3400, EventType.UNPARK, "dst", seq=3, aux=0),
+        ]
+        pkt = reconstruct_lifecycles(events)[0]
+        assert pkt.park_dwell_ns == 300
+
+    def test_bulk_offsets_are_distinct_packets(self):
+        events = (happy_path_events(seq=7, aux=0)
+                  + [ev(1100, EventType.SEND, "src", seq=7, aux=16,
+                        kind="DATA")])
+        lifecycles = reconstruct_lifecycles(events)
+        assert len(lifecycles) == 2
+        keys = {pkt.key for pkt in lifecycles}
+        assert (LABEL, 1, 7, 0) in keys
+        assert (LABEL, 1, 7, 16) in keys
+
+    def test_unsent_stragglers_sort_last(self):
+        events = [
+            ev(500, EventType.RECV, "dst", seq=9, aux=0, kind="DATA"),
+            ev(1000, EventType.SEND, "src", seq=2, aux=0, kind="DATA"),
+        ]
+        lifecycles = reconstruct_lifecycles(events)
+        assert lifecycles[0].seq == 2       # sent packet first
+        assert lifecycles[1].send_ns is None
+
+
+class TestAckCoverage:
+    def test_cum_ack_covers_lower_sequences_only(self):
+        events = [
+            ev(1000, EventType.SEND, "src", seq=1, aux=0, kind="DATA"),
+            ev(1100, EventType.SEND, "src", seq=2, aux=0, kind="DATA"),
+            ev(5000, EventType.ACK_RX, "src", seq=2, kind="CUM_ACK"),
+        ]
+        by_seq = {p.seq: p for p in reconstruct_lifecycles(events)}
+        assert by_seq[1].ack_rx_ns == 5000   # 1 < 2: covered
+        assert by_seq[2].ack_rx_ns is None   # 2 < 2 is false
+
+    def test_final_ack_covers_offsets_below_high_water(self):
+        events = [
+            ev(1000, EventType.SEND, "src", seq=4, aux=0, kind="DATA"),
+            ev(1100, EventType.SEND, "src", seq=4, aux=16, kind="DATA"),
+            ev(1200, EventType.SEND, "src", seq=4, aux=32, kind="DATA"),
+            ev(5000, EventType.ACK_RX, "src", seq=4, aux=32,
+               kind="FINAL_ACK"),
+        ]
+        by_offset = {p.offset: p for p in reconstruct_lifecycles(events)}
+        assert by_offset[0].ack_rx_ns == 5000
+        assert by_offset[16].ack_rx_ns == 5000
+        assert by_offset[32].ack_rx_ns is None  # at the mark, not below
+
+    def test_ack_before_send_is_never_matched(self):
+        events = [
+            ev(5000, EventType.SEND, "src", seq=1, aux=0, kind="DATA"),
+            ev(1000, EventType.ACK_RX, "src", seq=1, kind="ACK"),
+        ]
+        assert reconstruct_lifecycles(events)[0].ack_rx_ns is None
+
+    def test_ack_from_another_channel_is_ignored(self):
+        events = happy_path_events() + [
+            ev(5000, EventType.ACK_RX, "src", channel=2, seq=3, kind="ACK"),
+        ]
+        pkt = reconstruct_lifecycles(events)[0]
+        assert pkt.ack_rx_ns == 6000  # the channel-1 ack, not the stray
+
+
+class TestStatsAndRendering:
+    def _lifecycles(self):
+        events = (happy_path_events(seq=1)
+                  + [ev(2000 + t, EventType.SEND, "src", seq=2, aux=0,
+                        kind="DATA") for t in (0,)]
+                  + [ev(2500, EventType.RETRANSMIT, "src", seq=2, aux=0,
+                        attempt=1, kind="")])
+        return reconstruct_lifecycles(events)
+
+    def test_lifecycle_stats_buckets_by_label(self):
+        stats = lifecycle_stats(self._lifecycles())
+        assert set(stats) == {LABEL}
+        cell = stats[LABEL]
+        assert cell.packets == 2
+        assert cell.complete == 1
+        assert cell.retransmitted == 1
+        assert cell.rtt.count == 1
+        assert cell.rtt.total_ns == 5000
+        assert cell.to_dict()["wire"]["count"] == 1
+
+    def test_render_packet_table_truncates(self):
+        lifecycles = [
+            PacketLifecycle(label=LABEL, channel=1, seq=i, offset=0,
+                            send_ns=i * 100)
+            for i in range(30)
+        ]
+        out = render_packet_table(lifecycles, limit=5)
+        assert "25 more packets not shown" in out
+        assert "partial" in out
+
+    def test_render_trace_report_smoke(self):
+        out = render_trace_report(self._lifecycles())
+        assert LABEL in out
+        assert "2 packets, 1 complete" in out
+        assert "rtt (send->ack)" in out
+        assert "ch1 1+0" in out
+
+    def test_render_trace_report_empty(self):
+        assert render_trace_report([]) == ""
+
+
+class TestCrosscheck:
+    def test_agreement_is_silent(self):
+        totals = {Feature.BASE: 1000, Feature.USER: 500}
+        assert crosscheck_features(totals, dict(totals)) == []
+
+    def test_disagreement_is_named(self):
+        buckets = {Feature.BASE: 1000, Feature.IN_ORDER: 1000}
+        hists = {Feature.BASE: 1000, Feature.IN_ORDER: 500}
+        problems = crosscheck_features(hists, buckets)
+        assert len(problems) == 1
+        assert "in_order" in problems[0]
+
+    def test_negligible_buckets_are_skipped(self):
+        buckets = {Feature.BASE: 1_000_000, Feature.FAULT_TOLERANCE: 5}
+        hists = {Feature.BASE: 1_000_000, Feature.FAULT_TOLERANCE: 0}
+        assert crosscheck_features(hists, buckets) == []
+
+    def test_tolerance_is_respected(self):
+        buckets = {Feature.BASE: 1000}
+        assert crosscheck_features({Feature.BASE: 920}, buckets) == []
+        assert crosscheck_features({Feature.BASE: 880}, buckets,
+                                   tolerance=0.10) != []
+
+
+class TestSpans:
+    def test_span_families_and_tracks(self):
+        events = happy_path_events() + [
+            ev(3100, EventType.PARK, "dst", seq=3, aux=0),
+            ev(3400, EventType.UNPARK, "dst", seq=3, aux=0),
+        ]
+        spans = lifecycle_spans(reconstruct_lifecycles(events))
+        by_name = {s["name"]: s for s in spans}
+        assert set(by_name) == {
+            "rtt ch1 seq 3+0", "deliver ch1 seq 3+0", "parked ch1 seq 3+0",
+        }
+        rtt = by_name["rtt ch1 seq 3+0"]
+        assert rtt["track"] == f"{LABEL}:src"
+        assert rtt["start_ns"] == 1000
+        assert rtt["dur_ns"] == 5000
+        assert by_name["deliver ch1 seq 3+0"]["track"] == f"{LABEL}:dst"
+        assert by_name["parked ch1 seq 3+0"]["dur_ns"] == 300
+        assert rtt["args"]["seq"] == 3
+
+    def test_incomplete_packets_yield_no_spans(self):
+        events = [ev(1000, EventType.SEND, "src", seq=1, aux=0, kind="DATA")]
+        assert lifecycle_spans(reconstruct_lifecycles(events)) == []

@@ -99,3 +99,55 @@ class TestAccounting:
         attr.charge_ns(Feature.BASE, 10)
         attr.reset()
         assert attr.total_ns == 0
+
+    def test_reset_inside_span_names_the_leaked_feature(self):
+        """reset() with live spans must fail loudly, naming what leaked
+        (innermost last) — the drain()-style assertion."""
+        attr = TimeAttribution()
+        with pytest.raises(RuntimeError) as exc:
+            with attr.span(Feature.BASE):
+                with attr.span(Feature.FAULT_TOLERANCE):
+                    attr.reset()
+        message = str(exc.value)
+        assert "base -> fault_tolerance" in message
+        # The failed reset must not have corrupted the stack: once the
+        # spans unwind normally, reset succeeds.
+        attr.reset()
+        assert attr.total_ns == 0
+
+    def test_crashed_coroutine_unwinds_spans(self):
+        """A protocol coroutine that raises inside a span must unwind
+        via __exit__ — afterwards the stack is empty and reset() works."""
+        import asyncio
+
+        attr = TimeAttribution()
+
+        async def crashing_protocol():
+            with attr.span(Feature.IN_ORDER):
+                with attr.span(Feature.FAULT_TOLERANCE):
+                    raise OSError("transport blew up mid-span")
+
+        with pytest.raises(OSError):
+            asyncio.run(crashing_protocol())
+        assert attr.current is None
+        assert attr.span_count(Feature.FAULT_TOLERANCE) == 1
+        attr.reset()  # would raise if the crash leaked a span
+        assert attr.total_ns == 0
+
+    def test_on_charge_observes_every_exclusive_slice(self):
+        attr = TimeAttribution()
+        seen = []
+        attr.on_charge = lambda feature, ns: seen.append((feature, ns))
+        with attr.span(Feature.BASE):
+            with attr.span(Feature.IN_ORDER):
+                pass
+        attr.charge_ns(Feature.USER, 42)
+        features = [feature for feature, _ns in seen]
+        # Parent pause slice, child exit, parent exit, manual charge.
+        assert features == [Feature.BASE, Feature.IN_ORDER, Feature.BASE,
+                            Feature.USER]
+        observed = {}
+        for feature, ns in seen:
+            observed[feature] = observed.get(feature, 0) + ns
+        for feature, total in observed.items():
+            assert total == attr.ns(feature)

@@ -147,9 +147,36 @@ class TestCRMode:
             await b.close()
             await a.send("b", b"x")  # blackholed, not a fault
             await settle()
-            return hub.dropped, hub.duplicated, hub.reordered, hub.blackholed
+            return hub.wire_counters()
 
-        assert drive(body()) == (0, 0, 0, 1)
+        assert drive(body()) == {
+            "delivered": 0, "dropped": 0, "duplicated": 0,
+            "reordered": 0, "blackholed": 1,
+        }
+
+    def test_wire_counters_matches_the_attribute_properties(self, drive):
+        """wire_counters() is the one-stop dict; the legacy attribute
+        names must read the same registry."""
+        async def body():
+            hub = LoopbackHub.cm5(drop_rate=0.3, reorder_rate=0.0, seed=3)
+            a, b = hub.attach("a"), hub.attach("b")
+            collect(b)
+            for i in range(60):
+                await a.send("b", bytes([i]))
+            await settle()
+            return hub.wire_counters(), (
+                hub.delivered, hub.dropped, hub.duplicated,
+                hub.reordered, hub.blackholed,
+            )
+
+        counters, attrs = drive(body())
+        assert attrs == (
+            counters["delivered"], counters["dropped"],
+            counters["duplicated"], counters["reordered"],
+            counters["blackholed"],
+        )
+        assert counters["delivered"] + counters["dropped"] == 60
+        assert counters["dropped"] > 0
 
     def test_cr_hub_refuses_fault_injection(self):
         with pytest.raises(ValueError):
