@@ -6,10 +6,12 @@ Usage::
 
 Two kinds of checks:
 
-* **Absolute bounds** (the ISSUE 2 acceptance criteria) — selective
+* **Absolute bounds** (the ISSUE 2/4 acceptance criteria) — selective
   repeat must save >= 50% of the data bytes a go-back-N round would
-  resend, and the ordered channel must stay under 0.5 ack datagrams per
-  data datagram.  These hold regardless of the baseline.
+  resend, the ordered channel must stay under 0.5 ack datagrams per
+  data datagram, and every fabric load cell must deliver everything
+  with the CM-5-vs-CR overhead collapse holding at every peer count.
+  These hold regardless of the baseline.
 * **Relative drift** — retransmitted bytes and acks-per-data must not
   blow past the committed baseline by more than a generous slack factor.
   Fault injection is seeded, so the counts are near-deterministic; the
@@ -128,6 +130,45 @@ def check(baseline: dict, fresh: dict) -> list:
             f"{TRACE_ON_CEILING_PCT:.0f}% sanity ceiling"
         )
 
+    # --- fabric load scaling (ISSUE 4) --------------------------------
+    fabric = _dig(fresh, "fabric", default={}) or {}
+    if not fabric:
+        problems.append("fresh payload is missing the fabric load rows")
+    peer_counts = sorted({
+        int(cell.split("/p")[1]) for cell in fabric if "/p" in cell
+    })
+    for peers in peer_counts:
+        cm5 = fabric.get(f"cm5/p{peers}")
+        cr = fabric.get(f"cr/p{peers}")
+        for mode, record in (("cm5", cm5), ("cr", cr)):
+            if record is None:
+                problems.append(f"fabric row {mode}/p{peers} is missing")
+                continue
+            if record.get("lost_messages", 1) != 0:
+                problems.append(
+                    f"fabric {mode}/p{peers} lost "
+                    f"{record.get('lost_messages')} message(s)"
+                )
+        if cm5 is None or cr is None:
+            continue
+        cm5_share = cm5.get("ordering_fault_share", 0.0)
+        cr_share = cr.get("ordering_fault_share", 1.0)
+        if cm5_share <= 0.0:
+            problems.append(
+                f"fabric cm5/p{peers} measured no ordering+fault overhead"
+            )
+        elif cr_share >= cm5_share * 0.5:
+            problems.append(
+                f"fabric collapse failed at P={peers}: CR share "
+                f"{cr_share:.1%} vs CM-5 {cm5_share:.1%}"
+            )
+        ratio = cm5.get("acks_per_data")
+        if ratio is not None and ratio >= 0.5:
+            problems.append(
+                f"fabric cm5/p{peers} acks_per_data {ratio:.2f} crossed "
+                "the 0.5 bound"
+            )
+
     # Per-protocol wire stats: no CM-5 protocol may drift to one-ack-per-
     # packet behaviour once it has coalescing in the baseline.
     for cell, record in (_dig(fresh, "protocols", default={}) or {}).items():
@@ -161,6 +202,12 @@ def main(argv: list) -> int:
     trace_pct = _dig(fresh, "trace", "trace_overhead_pct")
     if trace_pct is not None:
         print(f"  tracing-on overhead: {trace_pct:.1f}%")
+    for cell, record in sorted((_dig(fresh, "fabric", default={}) or {}).items()):
+        print(
+            f"  fabric {cell}: lost={record.get('lost_messages')} "
+            f"ord+ft={record.get('ordering_fault_share', 0.0):.1%} "
+            f"acks/data={record.get('acks_per_data', 0.0):.3f}"
+        )
     return 0
 
 

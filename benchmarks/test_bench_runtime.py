@@ -18,13 +18,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.runtime import Tracer, measure_live
+from repro.runtime import LoadConfig, Tracer, measure_live, measure_load
 
 BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
 #: Accumulated across the tests in this module; the last test writes it.
 RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
-           "trace": {}}
+           "trace": {}, "fabric": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -219,6 +219,51 @@ def test_trace_overhead():
     assert overhead_pct < 150.0, (
         f"tracing-on overhead {overhead_pct:.1f}% is out of hand"
     )
+
+
+#: Peer counts for the fabric scaling rows (the ISSUE 4 acceptance set).
+FABRIC_PEERS = (2, 8, 32)
+FABRIC_LOAD = dict(channels=8, messages=8, message_words=32,
+                   packet_words=16, drop_rate=0.02, reorder_rate=0.1,
+                   seed=0x5CA1E, deadline=DEADLINE)
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+@pytest.mark.parametrize("peers", FABRIC_PEERS)
+def test_fabric_load_scaling(peers, mode):
+    """M concurrent channels x K messages across P peers, both modes.
+
+    Every cell must deliver everything; CR cells must run none of the
+    ordering/fault machinery at any peer count.
+    """
+    faults = dict(FABRIC_LOAD) if mode == "cm5" else {
+        **FABRIC_LOAD, "drop_rate": 0.0, "reorder_rate": 0.0}
+    start = time.perf_counter_ns()
+    result = measure_load(LoadConfig(peers=peers, mode=mode, **faults))
+    elapsed_ns = time.perf_counter_ns() - start
+    assert result.completed, f"fabric {mode}/P={peers}: {result.errors}"
+    assert result.lost_messages == 0
+    assert result.corrupt_messages == 0
+    record = result.to_record()
+    record["harness_ns"] = elapsed_ns
+    RESULTS["fabric"][f"{mode}/p{peers}"] = record
+    if mode == "cr":
+        assert result.ordering_fault_share == 0.0
+
+
+@pytest.mark.parametrize("peers", FABRIC_PEERS)
+def test_fabric_collapse_at_every_peer_count(peers):
+    """Figure 6's collapse must survive many-peer fan-out."""
+    cm5 = RESULTS["fabric"].get(f"cm5/p{peers}")
+    cr = RESULTS["fabric"].get(f"cr/p{peers}")
+    if cm5 is None or cr is None:
+        pytest.skip("fabric load measurements did not run")
+    cm5_share = cm5["ordering_fault_share"]
+    cr_share = cr["ordering_fault_share"]
+    assert cm5_share > 0.0
+    assert cr_share < cm5_share * 0.5
+    # Coalescing must hold under fan-out too.
+    assert cm5["acks_per_data"] < 0.5
 
 
 def test_write_bench_json():

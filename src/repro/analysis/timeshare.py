@@ -258,6 +258,82 @@ def render_mode_comparison(cm5: TimeBreakdown, cr: TimeBreakdown) -> str:
     return title + "\n" + render_table(headers, rows)
 
 
+def render_fabric_sweep(records: List[Mapping]) -> str:
+    """Tabulate fabric load records (``LoadResult.to_record()`` dicts).
+
+    One row per (mode, peer-count) cell: wall time, throughput,
+    delivery-latency percentiles, ack traffic, and the Figure 6
+    ordering+fault-tolerance share — the live analogue of sweeping
+    packet count ``p`` in the Figure 8 cost model.
+    """
+    headers = ["Mode", "Peers", "Chans", "Msgs", "Lost", "Wall (ms)",
+               "Msg/s", "p50 (us)", "p99 (us)", "Acks/data", "Ord+FT"]
+    rows = []
+    for record in records:
+        latency = record.get("latency", {})
+        rows.append([
+            str(record.get("mode", "?")),
+            str(record.get("peers", 0)),
+            str(record.get("channels", 0)),
+            str(record.get("messages_sent", 0)),
+            str(record.get("lost_messages", 0)),
+            f"{record.get('wall_ns', 0) / 1e6:.1f}",
+            f"{record.get('throughput_msgs_per_s', 0.0):.0f}",
+            _us(latency.get("p50_ns", 0)),
+            _us(latency.get("p99_ns", 0)),
+            f"{record.get('acks_per_data', 0.0):.2f}",
+            f"{record.get('ordering_fault_share', 0.0):.0%}",
+        ])
+    title = "fabric load sweep — throughput, delivery latency, overhead share"
+    return title + "\n" + render_table(headers, rows)
+
+
+def render_fabric_features(records: List[Mapping]) -> str:
+    """Per-feature timeshare columns for every fabric sweep cell."""
+    headers = ["Mode", "Peers"] + [FEATURE_LABELS[f] for f in FEATURE_ORDER]
+    rows = []
+    for record in records:
+        features = record.get("features", {})
+        rows.append(
+            [str(record.get("mode", "?")), str(record.get("peers", 0))]
+            + [f"{features.get(f.value, {}).get('share', 0.0):.0%}"
+               for f in FEATURE_ORDER]
+        )
+    title = "fabric load sweep — per-feature wall-clock timeshare"
+    return title + "\n" + render_table(headers, rows)
+
+
+def fabric_collapse(records: List[Mapping]) -> Dict[int, Dict[str, float]]:
+    """The Figure 6 collapse, per peer count, from fabric load records.
+
+    Groups the records by peer count and compares the CM-5-mode
+    ordering+fault share against the CR-mode share.  Cells missing
+    either mode are skipped.
+    """
+    by_peers: Dict[int, Dict[str, float]] = {}
+    for record in records:
+        peers = int(record.get("peers", 0))
+        mode = record.get("mode")
+        if mode not in ("cm5", "cr"):
+            continue
+        by_peers.setdefault(peers, {})[f"{mode}_ordering_fault_share"] = (
+            float(record.get("ordering_fault_share", 0.0))
+        )
+    collapse: Dict[int, Dict[str, float]] = {}
+    for peers, shares in sorted(by_peers.items()):
+        if ("cm5_ordering_fault_share" not in shares
+                or "cr_ordering_fault_share" not in shares):
+            continue
+        cm5_share = shares["cm5_ordering_fault_share"]
+        cr_share = shares["cr_ordering_fault_share"]
+        collapse[peers] = {
+            "cm5_ordering_fault_share": cm5_share,
+            "cr_ordering_fault_share": cr_share,
+            "collapse_ratio": (cr_share / cm5_share) if cm5_share else 0.0,
+        }
+    return collapse
+
+
 def overhead_collapse(cm5: TimeBreakdown, cr: TimeBreakdown) -> Dict[str, float]:
     """Quantify the Figure 6 direction between two runs of one protocol.
 

@@ -20,6 +20,21 @@ Entry points:
 
 from repro.runtime.channels import LiveChannel, LiveFramedChannel, open_live_channel
 from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.fabric import (
+    Fabric,
+    FabricConnection,
+    FabricError,
+    all_pairs,
+    ring_pairs,
+)
+from repro.runtime.loadgen import (
+    LoadConfig,
+    LoadResult,
+    measure_load,
+    run_load,
+    spread_pairs,
+    sweep_peer_counts,
+)
 from repro.runtime.frames import (
     Frame,
     FrameError,
@@ -71,6 +86,7 @@ from repro.runtime.transport import (
     LoopbackTransport,
     Transport,
     UDPTransport,
+    make_hub,
 )
 
 __all__ = [
@@ -79,11 +95,16 @@ __all__ = [
     "BulkSender",
     "Counters",
     "EventType",
+    "Fabric",
+    "FabricConnection",
+    "FabricError",
     "FaultProfile",
     "Frame",
     "FrameError",
     "FrameKind",
     "LatencyHistogram",
+    "LoadConfig",
+    "LoadResult",
     "NULL_TRACER",
     "LiveChannel",
     "LiveFramedChannel",
@@ -106,16 +127,23 @@ __all__ = [
     "Tracer",
     "Transport",
     "UDPTransport",
+    "all_pairs",
     "cum_ack_frame",
     "decode_frame",
     "encode_frame",
     "export_chrome_trace",
     "export_jsonl",
+    "make_hub",
     "make_loopback_pair",
     "make_udp_pair",
     "measure_live",
+    "measure_load",
     "open_live_channel",
+    "ring_pairs",
     "run_bulk_live",
+    "run_load",
     "run_ordered_live",
     "run_single_packet_live",
+    "spread_pairs",
+    "sweep_peer_counts",
 ]

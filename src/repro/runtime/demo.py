@@ -26,7 +26,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.analysis.timeshare import (
     WireStats,
+    fabric_collapse,
     overhead_collapse,
+    render_fabric_features,
+    render_fabric_sweep,
     render_mode_comparison,
     render_time_table,
     render_wire_stats,
@@ -38,6 +41,7 @@ from repro.analysis.tracereport import (
     render_trace_report,
 )
 from repro.arch.attribution import Feature
+from repro.runtime.loadgen import LoadConfig, measure_load
 from repro.runtime.runner import PROTOCOL_NAMES, RuntimeRunResult, measure_live
 from repro.runtime.tracing import (
     TraceEvent,
@@ -290,6 +294,81 @@ def run_trace(args) -> int:
     return 0
 
 
+def run_load_cmd(args) -> int:
+    """The ``runtime load`` command; returns a process exit code.
+
+    Drives M concurrent ordered channels × K framed messages across P
+    fabric peers, sweeping peer count and (by default) both transport
+    modes, then checks that every cell delivered everything and that
+    the CM-5-vs-CR ordering + fault-tolerance share collapses at every
+    peer count — Figure 6's direction, under many-peer fan-out.
+    """
+    peer_counts = [int(p) for p in args.peers.split(",")]
+    channels, messages, message_words = (
+        args.channels, args.messages, args.message_words)
+    if args.smoke:
+        channels = min(channels, 8)
+        messages = min(messages, 4)
+        message_words = min(message_words, 32)
+    modes = ("cm5", "cr") if args.mode == "both" else (args.mode,)
+
+    print("repro fabric load — M channels x K messages across P peers\n")
+    records: List[Dict[str, Any]] = []
+    failures = 0
+    for peers in peer_counts:
+        for mode in modes:
+            config = LoadConfig(
+                peers=peers, channels=channels, messages=messages,
+                message_words=message_words, mode=mode,
+                drop_rate=args.drop_rate if mode == "cm5" else 0.0,
+                dup_rate=args.dup_rate if mode == "cm5" else 0.0,
+                reorder_rate=args.reorder_rate if mode == "cm5" else 0.0,
+                seed=args.seed, deadline=args.deadline,
+            )
+            result = measure_load(config)
+            ok = (result.completed and result.lost_messages == 0
+                  and result.corrupt_messages == 0)
+            if not ok:
+                failures += 1
+            print(f"  [{'ok' if ok else 'FAIL'}] {result}")
+            for error in result.errors:
+                print(f"        {error}")
+            records.append(result.to_record())
+
+    print()
+    print(render_fabric_sweep(records))
+    print()
+    print(render_fabric_features(records))
+    print()
+    if args.mode == "both":
+        for peers, cell in fabric_collapse(records).items():
+            cm5_share = cell["cm5_ordering_fault_share"]
+            cr_share = cell["cr_ordering_fault_share"]
+            collapsed = (
+                cm5_share == 0.0
+                or cr_share <= cm5_share * COLLAPSE_THRESHOLD
+            )
+            if not collapsed:
+                failures += 1
+            print(
+                f"  [{'ok' if collapsed else 'FAIL'}] P={peers}: ordering + "
+                f"fault-tolerance share {cm5_share:.0%} (CM-5) -> "
+                f"{cr_share:.0%} (CR) — "
+                + ("collapses" if collapsed else "did NOT collapse")
+            )
+        print()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} check(s) FAILED")
+        return 1
+    print("fabric load checks passed.")
+    return 0
+
+
 def _rate(text: str) -> float:
     value = float(text)
     if not 0.0 <= value <= 1.0:
@@ -337,6 +416,31 @@ def add_runtime_subparsers(parser) -> None:
                        help="record trace events and export a Chrome/"
                             "Perfetto trace to FILE")
     bench.set_defaults(func=run_bench)
+
+    load = sub.add_parser(
+        "load", help="drive M concurrent channels x K messages across P "
+                     "fabric peers, sweeping peer count and mode")
+    load.add_argument("--peers", default="2,8,32",
+                      help="comma-separated peer counts to sweep "
+                           "(default: 2,8,32)")
+    load.add_argument("--channels", type=int, default=32,
+                      help="concurrent ordered channels (default 32)")
+    load.add_argument("--messages", type=int, default=16,
+                      help="framed messages per channel (default 16)")
+    load.add_argument("--message-words", type=int, default=64)
+    load.add_argument("--mode", default="both",
+                      choices=["both", "cm5", "cr"])
+    load.add_argument("--drop-rate", type=_rate, default=0.01)
+    load.add_argument("--dup-rate", type=_rate, default=0.0)
+    load.add_argument("--reorder-rate", type=_rate, default=0.05)
+    load.add_argument("--seed", type=int, default=0x5CA1E)
+    load.add_argument("--deadline", type=float, default=60.0)
+    load.add_argument("--smoke", action="store_true",
+                      help="shrink the run for CI smoke checks "
+                           "(channels<=8, messages<=4, words<=32)")
+    load.add_argument("--json", default=None,
+                      help="also write the sweep records to this JSON file")
+    load.set_defaults(func=run_load_cmd)
 
     trace = sub.add_parser(
         "trace", help="trace every protocol x mode cell, reconstruct "

@@ -50,6 +50,10 @@ class RuntimeEndpoint:
         self.counters = Counters()
         self._handlers: Dict[int, FrameHandler] = {}
         self.sent_by_kind: Dict[FrameKind, int] = {}
+        # Strong references to in-flight fire-and-forget sends: asyncio
+        # keeps only weak references to tasks, so without this set a
+        # posted frame's task could be garbage-collected mid-flight.
+        self._post_tasks: "set[asyncio.Task]" = set()
         transport.set_receiver(self._on_datagram)
 
     # -- service flags (forwarded from the transport) -------------------------
@@ -128,10 +132,26 @@ class RuntimeEndpoint:
 
     def post_frame(self, dst: Address, frame: Frame,
                    feature: Feature = Feature.BASE) -> "asyncio.Task":
-        """Fire-and-forget :meth:`send_frame` from synchronous handler code."""
-        return asyncio.get_running_loop().create_task(
+        """Fire-and-forget :meth:`send_frame` from synchronous handler code.
+
+        The task is held in a strong-reference set until it completes
+        (asyncio may otherwise GC it mid-flight) and its exception, if
+        any, is surfaced to the ``send_errors`` counter instead of being
+        swallowed as a never-retrieved task exception.
+        """
+        task = asyncio.get_running_loop().create_task(
             self.send_frame(dst, frame, feature)
         )
+        self._post_tasks.add(task)
+        task.add_done_callback(self._post_done)
+        return task
+
+    def _post_done(self, task: "asyncio.Task") -> None:
+        self._post_tasks.discard(task)
+        if task.cancelled():
+            return
+        if task.exception() is not None:
+            self.counters.inc("send_errors")
 
     # -- wire accounting ------------------------------------------------------
     # The scalar tallies live in the endpoint's Counters registry; the
@@ -154,6 +174,16 @@ class RuntimeEndpoint:
         return self.counters.get("unrouted")
 
     @property
+    def send_errors(self) -> int:
+        """Posted (fire-and-forget) frames whose send raised."""
+        return self.counters.get("send_errors")
+
+    @property
+    def pending_posts(self) -> int:
+        """Fire-and-forget sends still in flight."""
+        return len(self._post_tasks)
+
+    @property
     def data_frames_sent(self) -> int:
         """First-transmission data datagrams (retransmits bypass the codec)."""
         return self.sent_by_kind.get(FrameKind.DATA, 0)
@@ -168,6 +198,17 @@ class RuntimeEndpoint:
         )
 
     async def close(self) -> None:
+        """Settle in-flight posted sends, then release the transport."""
+        if self._post_tasks:
+            # Let pending fire-and-forget sends finish (they are already
+            # encoded; losing them here would turn every endpoint close
+            # into artificial packet loss), but never hang on one.
+            pending = list(self._post_tasks)
+            _done, not_done = await asyncio.wait(pending, timeout=1.0)
+            for task in not_done:
+                task.cancel()
+            if not_done:
+                await asyncio.gather(*not_done, return_exceptions=True)
         await self.transport.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,322 @@
+"""An N-endpoint fabric over the live transports.
+
+The pairwise harness (:class:`~repro.runtime.runner.RuntimePair`) can
+only ever measure one src→dst conversation, but the paper's cost model
+generalizes over packet count ``p`` — and the follow-on literature
+(Breaking Band; MPICH2 over InfiniBand) argues that per-connection
+software overhead is what dominates once communication fans out to many
+peers.  This module is the live analogue of sweeping ``p``: an N-peer
+fabric over the existing substrates, with
+
+* **peers** — one :class:`~repro.runtime.endpoint.RuntimeEndpoint` per
+  peer, attached to a shared :class:`~repro.runtime.transport.LoopbackHub`
+  (CM-5 or CR mode) or bound to its own UDP socket; peers can join and
+  leave while traffic is in flight;
+* **multiplexed ordered channels** — every connection between a peer
+  pair gets a *distinct* logical channel id (allocated on top of
+  :meth:`RuntimeEndpoint.bind`), so any number of concurrent ordered
+  streams can share one endpoint without their sequence spaces
+  colliding;
+* **a connection manager** — open/close lifecycle with idempotent
+  close, drain-before-close on graceful teardown, and bookkeeping that
+  lets a departing peer fail its connections loudly instead of leaving
+  silent half-open state behind.
+
+The load generator in :mod:`repro.runtime.loadgen` drives M concurrent
+channels × K messages across P fabric peers and reports throughput,
+delivery-latency percentiles, and the per-feature timeshare as a
+function of peer count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.attribution import Feature
+from repro.runtime.channels import LiveChannel, open_live_channel
+from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.tracing import Tracer
+from repro.runtime.transport import (
+    LoopbackHub,
+    UDPTransport,
+    make_hub,
+)
+
+#: Fabric connections allocate channel ids from here upward — clear of
+#: the well-known per-protocol ids (CH_SINGLE/CH_BULK/CH_STREAM).
+FIRST_FABRIC_CHANNEL = 16
+
+#: The frame header carries the channel id as a 16-bit field.
+MAX_CHANNEL_ID = 0xFFFF
+
+
+class FabricError(RuntimeError):
+    """Misuse of the fabric lifecycle (unknown peer, duplicate name...)."""
+
+
+class FabricConnection:
+    """One open unidirectional ordered channel between two fabric peers.
+
+    Thin lifecycle wrapper around a :class:`LiveChannel`: the fabric's
+    connection manager hands these out from :meth:`Fabric.connect` and
+    reclaims their channel ids on close.  Close is idempotent; a
+    *graceful* close drains the sender first so no acknowledged-but-
+    unsent state is torn down mid-flight.
+    """
+
+    def __init__(self, fabric: "Fabric", cid: int, src: str, dst: str,
+                 channel: LiveChannel) -> None:
+        self.fabric = fabric
+        self.cid = cid
+        self.src = src
+        self.dst = dst
+        self.channel = channel
+        self.closed = False
+
+    async def send(self, words: Sequence[int]) -> int:
+        """Send a word sequence down the channel; returns packets used."""
+        return await self.channel.send(words)
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Wait for every sent packet to be acknowledged."""
+        await self.channel.drain(timeout)
+
+    @property
+    def outstanding(self) -> int:
+        return self.channel.outstanding
+
+    async def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Close the connection (idempotent).
+
+        ``drain=True`` (graceful) waits for outstanding packets to be
+        acknowledged first; ``drain=False`` (hard) tears down
+        immediately — in-flight packets are abandoned and the receiver
+        side is unbound at once.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            if drain:
+                await self.channel.drain(timeout)
+        finally:
+            await self.channel.close()
+            self.fabric._forget_connection(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return (f"FabricConnection(#{self.cid} {self.src}->{self.dst}, "
+                f"{state})")
+
+
+class Fabric:
+    """A many-peer messaging fabric over one live substrate.
+
+    ::
+
+        fabric = Fabric(mode="cm5", drop_rate=0.02)
+        async with-less lifecycle:
+            await fabric.add_peer("a"); await fabric.add_peer("b")
+            conn = await fabric.connect("a", "b")
+            await conn.send([1, 2, 3]); await conn.drain()
+            await fabric.close()
+
+    ``transport="loopback"`` shares one :class:`LoopbackHub` (CM-5 fault
+    injection or CR lossless FIFO) between all peers; ``"udp"`` binds a
+    real socket per peer (always cm5 mode — UDP advertises no services).
+    """
+
+    def __init__(self, mode: str = "cm5", transport: str = "loopback",
+                 tracer: Optional[Tracer] = None,
+                 backoff: Optional[BackoffPolicy] = None,
+                 **fault_kwargs: float) -> None:
+        self.mode = mode
+        self.transport = transport
+        self.tracer = tracer
+        self.backoff = backoff
+        self.hub: Optional[LoopbackHub] = None
+        if transport == "loopback":
+            self.hub = make_hub(mode, **fault_kwargs)
+        elif transport == "udp":
+            if mode != "cm5":
+                raise ValueError(
+                    "UDP provides no services; only cm5 mode runs on it")
+            if fault_kwargs:
+                raise ValueError(
+                    f"UDP transport takes no fault knobs: {fault_kwargs}")
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+        self._peers: Dict[str, RuntimeEndpoint] = {}
+        self._connections: Dict[int, FabricConnection] = {}
+        self._next_cid = itertools.count(FIRST_FABRIC_CHANNEL)
+        self._closed = False
+        self.peers_joined = 0
+        self.peers_left = 0
+        self.connections_opened = 0
+        self.connections_closed = 0
+
+    # -- peer lifecycle -------------------------------------------------------
+
+    @property
+    def peer_names(self) -> List[str]:
+        return list(self._peers)
+
+    @property
+    def peer_count(self) -> int:
+        return len(self._peers)
+
+    def peer(self, name: str) -> RuntimeEndpoint:
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise FabricError(f"unknown peer {name!r}") from None
+
+    async def add_peer(self, name: str) -> RuntimeEndpoint:
+        """Attach a new endpoint to the fabric under ``name``."""
+        if self._closed:
+            raise FabricError("fabric is closed")
+        if name in self._peers:
+            raise FabricError(f"peer {name!r} already joined")
+        if self.hub is not None:
+            transport = self.hub.attach(name)
+        else:
+            transport = await UDPTransport.bind()
+        endpoint = RuntimeEndpoint(transport, name=name, tracer=self.tracer)
+        self._peers[name] = endpoint
+        self.peers_joined += 1
+        return endpoint
+
+    async def remove_peer(self, name: str, drain: bool = True,
+                          timeout: float = 30.0) -> None:
+        """Detach ``name`` from the fabric.
+
+        Every connection touching the peer is closed first —
+        gracefully (drained) by default, immediately with
+        ``drain=False``.  Datagrams still in flight toward the departed
+        peer are counted by the hub as ``expired``, not delivered.
+        """
+        endpoint = self.peer(name)
+        for conn in self.connections_of(name):
+            await conn.close(drain=drain, timeout=timeout)
+        del self._peers[name]
+        self.peers_left += 1
+        await endpoint.close()
+
+    # -- connection management ------------------------------------------------
+
+    def connections_of(self, name: str) -> List[FabricConnection]:
+        """Open connections with ``name`` as source or destination."""
+        return [conn for conn in self._connections.values()
+                if name in (conn.src, conn.dst)]
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)
+
+    async def connect(self, src: str, dst: str, window: int = 32,
+                      packet_words: int = 16, reorder_window: int = 256,
+                      ack_every: int = 8, ack_delay: float = 0.005,
+                      backoff: Optional[BackoffPolicy] = None,
+                      ) -> FabricConnection:
+        """Open an ordered channel ``src`` → ``dst`` on a fresh channel id.
+
+        Multiple connections between the same pair (or sharing either
+        endpoint) are fully independent: each gets its own sequence
+        space, send window, retransmitter, and reorder buffer.
+        """
+        if self._closed:
+            raise FabricError("fabric is closed")
+        if src == dst:
+            raise FabricError("a connection needs two distinct peers")
+        tx, rx = self.peer(src), self.peer(dst)
+        cid = next(self._next_cid)
+        if cid > MAX_CHANNEL_ID:
+            raise FabricError("fabric ran out of channel ids")
+        channel = open_live_channel(
+            tx, rx, dst=rx.local_address, channel=cid, window=window,
+            packet_words=packet_words, reorder_window=reorder_window,
+            backoff=backoff or self.backoff, ack_every=ack_every,
+            ack_delay=ack_delay,
+        )
+        conn = FabricConnection(self, cid, src, dst, channel)
+        self._connections[cid] = conn
+        self.connections_opened += 1
+        return conn
+
+    def _forget_connection(self, conn: FabricConnection) -> None:
+        if self._connections.pop(conn.cid, None) is not None:
+            self.connections_closed += 1
+
+    # -- fabric-wide teardown & statistics ------------------------------------
+
+    async def close(self, drain: bool = False, timeout: float = 30.0) -> None:
+        """Close every connection and peer.  Idempotent.
+
+        ``drain=True`` drains each connection before closing it (use
+        after traffic you expect to complete); the default hard-closes,
+        which is what error paths want.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for conn in list(self._connections.values()):
+            await conn.close(drain=drain, timeout=timeout)
+        for endpoint in self._peers.values():
+            await endpoint.close()
+        self._peers.clear()
+
+    def attribution_totals(self) -> Dict[Feature, int]:
+        """Per-feature nanosecond totals summed across every peer."""
+        totals: Dict[Feature, int] = {feature: 0 for feature in Feature}
+        for endpoint in self._peers.values():
+            for feature, ns in endpoint.attribution.snapshot().items():
+                totals[feature] += ns
+        return totals
+
+    def endpoint_counters(self) -> Dict[str, Dict[str, int]]:
+        """Every peer's counter registry, keyed by peer name."""
+        return {name: endpoint.counters.to_dict()
+                for name, endpoint in self._peers.items()}
+
+    def wire_totals(self) -> Dict[str, int]:
+        """Datagram-level accounting summed across every peer:
+        data/ack frames sent, plus the hub's delivery-policy counters
+        on loopback."""
+        totals = {
+            "data_datagrams": 0,
+            "ack_datagrams": 0,
+            "frames_sent": 0,
+            "frames_received": 0,
+            "retransmissions": 0,
+            "send_errors": 0,
+        }
+        for endpoint in self._peers.values():
+            totals["data_datagrams"] += endpoint.data_frames_sent
+            totals["ack_datagrams"] += endpoint.ack_frames_sent
+            totals["frames_sent"] += endpoint.frames_sent
+            totals["frames_received"] += endpoint.frames_received
+            totals["send_errors"] += endpoint.send_errors
+            for name, value in endpoint.counters.to_dict().items():
+                if name.endswith(".rtx.retransmissions"):
+                    totals["retransmissions"] += value
+        if self.hub is not None:
+            totals.update(self.hub.wire_counters())
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Fabric(mode={self.mode}, transport={self.transport}, "
+                f"peers={self.peer_count}, "
+                f"connections={self.open_connections})")
+
+
+def ring_pairs(names: Sequence[str]) -> List[Tuple[str, str]]:
+    """Directed ring: each peer sends to its successor."""
+    return [(names[i], names[(i + 1) % len(names)])
+            for i in range(len(names))]
+
+
+def all_pairs(names: Sequence[str]) -> List[Tuple[str, str]]:
+    """Every directed pair (the dense traffic matrix)."""
+    return [(a, b) for a in names for b in names if a != b]

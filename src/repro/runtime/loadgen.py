@@ -1,0 +1,311 @@
+"""Concurrent load generation over the N-peer fabric.
+
+The live analogue of sweeping packet count ``p`` in the paper's Figure 8
+cost model: drive **M concurrent ordered channels × K framed messages**
+across **P fabric peers** and measure, per run,
+
+* throughput (messages/s and words/s, against the wall clock),
+* per-message delivery latency (submit → in-order delivery at the
+  destination) folded into a :class:`~repro.runtime.tracing.LatencyHistogram`
+  for p50/p90/p99,
+* acknowledgement traffic per data datagram (the coalescing quality
+  under fan-out),
+* and the per-feature wall-clock timeshare summed over every peer — so
+  the CM-5-vs-CR overhead collapse can be checked *at every peer
+  count*, not just for one src→dst pair.
+
+:func:`measure_load` is the synchronous one-shot (owns the event loop);
+:func:`run_load` is the coroutine for async callers;
+:func:`sweep_peer_counts` runs one config across several peer counts
+and both transport modes, producing the records
+:func:`repro.analysis.timeshare.render_fabric_sweep` tabulates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.attribution import Feature
+from repro.runtime.channels import LiveFramedChannel
+from repro.runtime.fabric import Fabric, FabricConnection
+from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.runner import LOOPBACK_BACKOFF
+from repro.runtime.tracing import LatencyHistogram, Tracer
+
+
+@dataclass
+class LoadConfig:
+    """One load-generation scenario."""
+
+    peers: int = 8               #: P — fabric endpoints
+    channels: int = 32           #: M — concurrent ordered channels
+    messages: int = 16           #: K — framed messages per channel
+    message_words: int = 64      #: payload words per message
+    packet_words: int = 16
+    window: int = 32             #: send window per channel
+    mode: str = "cm5"            #: "cm5" | "cr"
+    transport: str = "loopback"
+    drop_rate: float = 0.01
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.05
+    seed: int = 0x5CA1E
+    ack_every: int = 8
+    ack_delay: float = 0.005
+    deadline: float = 60.0
+    backoff: Optional[BackoffPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.peers < 2:
+            raise ValueError("a fabric load needs at least 2 peers")
+        if self.channels < 1 or self.messages < 1:
+            raise ValueError("channels and messages must be positive")
+        if self.message_words < 2:
+            # The first two payload words carry the channel id and the
+            # message index, so integrity can be checked on delivery.
+            raise ValueError("message_words must be at least 2")
+
+    def fault_kwargs(self) -> Dict[str, float]:
+        return {
+            "drop_rate": self.drop_rate, "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate, "seed": self.seed,
+        }
+
+
+@dataclass
+class LoadResult:
+    """What one load run measured."""
+
+    config: LoadConfig
+    completed: bool
+    wall_ns: int
+    messages_sent: int
+    messages_delivered: int
+    corrupt_messages: int
+    latency: LatencyHistogram
+    feature_ns: Dict[Feature, int]
+    wire: Dict[str, int] = field(default_factory=dict)
+    per_peer_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def lost_messages(self) -> int:
+        return self.messages_sent - self.messages_delivered
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        secs = self.wall_ns / 1e9
+        return self.messages_delivered / secs if secs else 0.0
+
+    @property
+    def throughput_words_per_s(self) -> float:
+        return self.throughput_msgs_per_s * self.config.message_words
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.feature_ns.values())
+
+    def share(self, feature: Feature) -> float:
+        total = self.total_ns
+        return self.feature_ns.get(feature, 0) / total if total else 0.0
+
+    @property
+    def ordering_fault_share(self) -> float:
+        """The Figure 6 quantity, fabric-wide."""
+        return self.share(Feature.IN_ORDER) + self.share(Feature.FAULT_TOLERANCE)
+
+    @property
+    def acks_per_data(self) -> float:
+        data = self.wire.get("data_datagrams", 0)
+        return self.wire.get("ack_datagrams", 0) / data if data else 0.0
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-friendly summary (the shape ``render_fabric_sweep`` and
+        ``BENCH_runtime.json`` consume)."""
+        return {
+            "mode": self.config.mode,
+            "transport": self.config.transport,
+            "peers": self.config.peers,
+            "channels": self.config.channels,
+            "messages_per_channel": self.config.messages,
+            "message_words": self.config.message_words,
+            "completed": self.completed,
+            "wall_ns": self.wall_ns,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "lost_messages": self.lost_messages,
+            "corrupt_messages": self.corrupt_messages,
+            "throughput_msgs_per_s": self.throughput_msgs_per_s,
+            "throughput_words_per_s": self.throughput_words_per_s,
+            "latency": self.latency.to_dict(),
+            "wire": dict(self.wire),
+            "acks_per_data": self.acks_per_data,
+            "features": {
+                feature.value: {
+                    "ns": self.feature_ns.get(feature, 0),
+                    "share": self.share(feature),
+                }
+                for feature in Feature
+            },
+            "ordering_fault_share": self.ordering_fault_share,
+            "errors": list(self.errors),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"load {self.config.mode}/P={self.config.peers}"
+            f"/M={self.config.channels}/K={self.config.messages}: "
+            f"{self.messages_delivered}/{self.messages_sent} delivered in "
+            f"{self.wall_ns / 1e6:.1f}ms "
+            f"({self.throughput_msgs_per_s:.0f} msg/s, "
+            f"p99 {self.latency.p99 / 1e6:.2f}ms)"
+        )
+
+
+def spread_pairs(names: Sequence[str], count: int) -> List[Tuple[str, str]]:
+    """``count`` directed (src, dst) pairs spread evenly over ``names``.
+
+    The first ``P`` pairs form a stride-1 ring, the next ``P`` a
+    stride-2 ring, and so on — every peer sources (and sinks) an equal
+    share of the channels, unlike a lexicographic all-pairs prefix
+    which would pile every channel onto the first peer.
+    """
+    n = len(names)
+    if n < 2:
+        raise ValueError("need at least two peers to form pairs")
+    pairs = []
+    for i in range(count):
+        src = i % n
+        stride = 1 + (i // n) % (n - 1)
+        pairs.append((names[src], names[(src + stride) % n]))
+    return pairs
+
+
+class _LoadChannel:
+    """One driven channel: framing, send timestamps, delivery latency."""
+
+    def __init__(self, conn: FabricConnection, expect: int,
+                 hist: LatencyHistogram) -> None:
+        self.conn = conn
+        self.framed = LiveFramedChannel(conn.channel)
+        self.expect = expect
+        self.hist = hist
+        self.sent = 0
+        self.delivered = 0
+        self.corrupt = 0
+        self._send_ts: Deque[int] = deque()
+        self._done: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        self.framed.on_message(self._on_message)
+
+    def _on_message(self, words: List[int]) -> None:
+        now = time.perf_counter_ns()
+        index = self.delivered
+        self.delivered += 1
+        if self._send_ts:
+            self.hist.record(now - self._send_ts.popleft())
+        # Integrity: the channel is ordered, so message k must carry
+        # [cid, k, ...] exactly.
+        if len(words) < 2 or words[0] != self.conn.cid or words[1] != index:
+            self.corrupt += 1
+        if self.delivered >= self.expect and not self._done.done():
+            self._done.set_result(True)
+
+    async def drive(self, message_words: int) -> None:
+        filler = list(range(2, message_words))
+        for k in range(self.expect):
+            payload = [self.conn.cid, k] + filler
+            self._send_ts.append(time.perf_counter_ns())
+            await self.framed.send_message(payload)
+            self.sent += 1
+        await self.conn.drain()
+        # Acks confirm the source buffer; delivery (and CR mode, which
+        # has no acks at all) still needs the receive side to finish.
+        await self._done
+
+
+async def run_load(config: LoadConfig,
+                   tracer: Optional[Tracer] = None) -> LoadResult:
+    """Run one load scenario on the current event loop."""
+    fabric = Fabric(
+        mode=config.mode, transport=config.transport, tracer=tracer,
+        backoff=config.backoff or LOOPBACK_BACKOFF,
+        **(config.fault_kwargs() if config.transport == "loopback" else {}),
+    )
+    hist = LatencyHistogram()
+    errors: List[str] = []
+    completed = False
+    lanes: List[_LoadChannel] = []
+    try:
+        names = [f"p{i:03d}" for i in range(config.peers)]
+        for name in names:
+            await fabric.add_peer(name)
+        pairs = spread_pairs(names, config.channels)
+        for src, dst in pairs:
+            conn = await fabric.connect(
+                src, dst, window=config.window,
+                packet_words=config.packet_words,
+                reorder_window=max(256, 2 * config.window),
+                ack_every=config.ack_every, ack_delay=config.ack_delay,
+            )
+            lanes.append(_LoadChannel(conn, config.messages, hist))
+
+        start = time.perf_counter_ns()
+        tasks = [asyncio.ensure_future(lane.drive(config.message_words))
+                 for lane in lanes]
+        try:
+            await asyncio.wait_for(asyncio.gather(*tasks), config.deadline)
+            completed = True
+        except asyncio.TimeoutError:
+            errors.append(f"deadline of {config.deadline}s expired")
+        except Exception as exc:  # ProtocolFailure et al.
+            errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            # One failed lane must not leave its siblings running into
+            # the fabric teardown below.
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        wall_ns = time.perf_counter_ns() - start
+
+        feature_ns = fabric.attribution_totals()
+        wire = fabric.wire_totals()
+        per_peer = fabric.endpoint_counters()
+    finally:
+        await fabric.close()
+    return LoadResult(
+        config=config,
+        completed=completed,
+        wall_ns=wall_ns,
+        messages_sent=sum(lane.sent for lane in lanes),
+        messages_delivered=sum(lane.delivered for lane in lanes),
+        corrupt_messages=sum(lane.corrupt for lane in lanes),
+        latency=hist,
+        feature_ns=feature_ns,
+        wire=wire,
+        per_peer_counters=per_peer,
+        errors=errors,
+    )
+
+
+def measure_load(config: LoadConfig,
+                 tracer: Optional[Tracer] = None) -> LoadResult:
+    """Synchronous one-shot load run (owns the event loop)."""
+    return asyncio.run(run_load(config, tracer=tracer))
+
+
+def sweep_peer_counts(
+    base: LoadConfig,
+    peer_counts: Sequence[int],
+    modes: Sequence[str] = ("cm5", "cr"),
+) -> List[LoadResult]:
+    """Run ``base`` at every peer count × mode; returns the results in
+    sweep order (the live analogue of sweeping ``p`` in Figure 8)."""
+    results = []
+    for peers in peer_counts:
+        for mode in modes:
+            results.append(measure_load(replace(base, peers=peers, mode=mode)))
+    return results

@@ -131,6 +131,7 @@ class SinglePacketSender:
                 future.set_result(True)
 
     async def close(self) -> None:
+        self.endpoint.unbind(self.channel)
         await self.retransmitter.cancel_all()
 
 
@@ -203,6 +204,10 @@ class SinglePacketReceiver:
             if done >= count and not future.done():
                 future.set_result(done)
         self._waiters = [(c, f) for c, f in self._waiters if not f.done()]
+
+    def close(self) -> None:
+        """Stop receiving on this channel (unbind the handler)."""
+        self.endpoint.unbind(self.channel)
 
 
 # ---------------------------------------------------------------------------
@@ -433,6 +438,10 @@ class BulkReceiver:
                 Feature.FAULT_TOLERANCE,
             )
 
+    def close(self) -> None:
+        """Stop receiving on this channel (unbind the handler)."""
+        self.endpoint.unbind(self.channel)
+
 
 class BulkSender:
     """Source side of the finite-sequence transfer (selective repeat)."""
@@ -651,6 +660,7 @@ class BulkSender:
                 state.future.set_result(high_water)
 
     async def close(self) -> None:
+        self.endpoint.unbind(self.channel)
         await self.retransmitter.cancel_all()
 
 
@@ -676,6 +686,7 @@ class OrderedChannelSender:
         self._space.set()
         self._drain_waiters: List[asyncio.Future] = []
         self._failure: Optional[Exception] = None
+        self._closed = False
         self.counters = endpoint.counters.scoped("stream_tx")
         self.retransmitter = Retransmitter(
             self._resend, policy=backoff,
@@ -707,6 +718,8 @@ class OrderedChannelSender:
         Blocks (uncharged — it is idle time, not messaging work) while the
         send window is full.
         """
+        if self._closed:
+            raise ProtocolFailure("channel sender is closed")
         self._raise_if_failed()
         attr = self.endpoint.attribution
         if self.endpoint.cr_mode:
@@ -718,6 +731,8 @@ class OrderedChannelSender:
         while self.retransmitter.outstanding >= self.window:
             self._space.clear()
             await self._space.wait()
+            if self._closed:
+                raise ProtocolFailure("channel sender is closed")
             self._raise_if_failed()
         with attr.span(Feature.IN_ORDER):
             seq = self._seq.next()
@@ -781,7 +796,28 @@ class OrderedChannelSender:
                     if not waiter.done():
                         waiter.set_result(True)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     async def close(self) -> None:
+        """Tear down: refuse further sends, release any blocked sender,
+        fail outstanding drain waiters, unbind, stop the timer wheel.
+        Idempotent — a second close is a no-op."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._failure is None and (self._drain_waiters
+                                      or self.retransmitter.outstanding):
+            failure = ProtocolFailure("channel sender closed with "
+                                      f"{self.retransmitter.outstanding} "
+                                      "unacknowledged packets")
+            for waiter in self._drain_waiters:
+                if not waiter.done():
+                    waiter.set_exception(failure)
+            self._drain_waiters = []
+        self._space.set()
+        self.endpoint.unbind(self.channel)
         await self.retransmitter.cancel_all()
 
 
@@ -939,7 +975,8 @@ class OrderedChannelReceiver:
                 self.counters.inc("delayed_acks")
 
     def close(self) -> None:
-        """Cancel the pending delayed-ack timer (if any)."""
+        """Unbind the handler and cancel the pending delayed-ack timer."""
+        self.endpoint.unbind(self.channel)
         if self._ack_handle is not None:
             self._ack_handle.cancel()
             self._ack_handle = None

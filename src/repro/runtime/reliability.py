@@ -208,6 +208,11 @@ class Retransmitter:
     def exhausted(self) -> int:
         return self.counters.get("exhausted")
 
+    @property
+    def resend_errors(self) -> int:
+        """Tracked keys dropped because their resend call raised."""
+        return self.counters.get("resend_errors")
+
     # -- tracking -------------------------------------------------------------
 
     def _interval(self, attempt: int) -> float:
@@ -293,6 +298,7 @@ class Retransmitter:
             await self._fire(now)
 
     async def _fire(self, now: float) -> None:
+        loop = asyncio.get_running_loop()
         expired = [key for key, e in self._entries.items() if e.deadline <= now]
         tracer = self.tracer
         if expired and tracer.enabled:
@@ -329,11 +335,36 @@ class Retransmitter:
                 self.counters.inc("retransmitted_bytes", len(entry.data))
                 entry.retransmitted = True
                 entry.attempt += 1
-                entry.deadline = now + self._interval(entry.attempt)
                 if tracer.enabled:
                     seq, aux, kind = _key_fields(key)
                     tracer.emit(EventType.RETRANSMIT, endpoint=self.name,
                                 channel=self.channel, seq=seq, aux=aux,
                                 attempt=entry.attempt, kind=kind,
                                 feature=Feature.FAULT_TOLERANCE)
-                await self._resend(key, entry.data)
+                try:
+                    await self._resend(key, entry.data)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    # A raised resend (send on a closed transport, a
+                    # departed peer) must not kill the shared timer
+                    # wheel: every *other* tracked key would silently
+                    # stop retransmitting.  Drop this entry and surface
+                    # the error the same way retry exhaustion does.
+                    self._entries.pop(key, None)
+                    self.counters.inc("resend_errors")
+                    error = RetransmitExhausted(
+                        f"resend for key {key!r} failed: {exc!r}"
+                    )
+                    error.__cause__ = exc
+                    if self._on_give_up is not None:
+                        self._on_give_up(key, error)
+                    else:
+                        self.failures[key] = error
+                    continue
+                # Re-arm off a *fresh* clock reading: the resend just
+                # awaited, and a deadline measured from the stale `now`
+                # would be partially (or wholly) elapsed already —
+                # yielding premature retransmits that pollute the
+                # backoff schedule.
+                entry.deadline = loop.time() + self._interval(entry.attempt)

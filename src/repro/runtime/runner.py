@@ -31,7 +31,7 @@ from repro.runtime.protocols import (
 )
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.tracing import Tracer
-from repro.runtime.transport import LoopbackHub, UDPTransport
+from repro.runtime.transport import LoopbackHub, UDPTransport, make_hub
 
 #: Backoff used by loopback measurements: quick enough that injected
 #: drops are recovered in milliseconds, patient enough that emulated
@@ -70,15 +70,11 @@ def make_loopback_pair(
     A ``tracer`` is shared by both endpoints — events carry the endpoint
     name, so one ring holds the whole conversation in arrival order.
     """
-    if mode == "cr":
-        hub = LoopbackHub.cr()
-    elif mode == "cm5":
-        hub = LoopbackHub.cm5(
-            drop_rate=drop_rate, dup_rate=dup_rate, reorder_rate=reorder_rate,
-            reorder_delay=reorder_delay, latency=latency, seed=seed,
-        )
-    else:
-        raise ValueError(f"unknown mode {mode!r} (expected 'cm5' or 'cr')")
+    hub = make_hub(
+        mode, drop_rate=drop_rate, dup_rate=dup_rate,
+        reorder_rate=reorder_rate, reorder_delay=reorder_delay,
+        latency=latency, seed=seed,
+    )
     src = RuntimeEndpoint(hub.attach("src"), name="src", tracer=tracer)
     dst = RuntimeEndpoint(hub.attach("dst"), name="dst", tracer=tracer)
     return RuntimePair(src=src, dst=dst, mode=mode, transport="loopback",

@@ -55,6 +55,16 @@ class FaultProfile:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency < 0 or self.reorder_delay < 0:
+            raise ValueError(
+                f"latency/reorder_delay must be >= 0, got "
+                f"{self.latency}/{self.reorder_delay}"
+            )
+        if self.reorder_rate and self.reorder_delay <= self.latency:
+            raise ValueError(
+                f"reorder_delay ({self.reorder_delay}) must exceed latency "
+                f"({self.latency}) for reordering to occur"
+            )
 
     @property
     def clean(self) -> bool:
@@ -139,14 +149,16 @@ class LoopbackHub:
     def wire_counters(self) -> Dict[str, int]:
         """Every delivery-policy tally in one dict: ``delivered``,
         ``dropped`` (fault-injected losses only), ``duplicated``,
-        ``reordered``, and ``blackholed`` (unknown destination — not a
-        fault statistic)."""
+        ``reordered``, ``blackholed`` (unknown destination — not a
+        fault statistic), and ``expired`` (arrived after the destination
+        detached — not a fault statistic either)."""
         return {
             "delivered": self.counters.get("delivered"),
             "dropped": self.counters.get("dropped"),
             "duplicated": self.counters.get("duplicated"),
             "reordered": self.counters.get("reordered"),
             "blackholed": self.counters.get("blackholed"),
+            "expired": self.counters.get("expired"),
         }
 
     @property
@@ -170,6 +182,11 @@ class LoopbackHub:
     def blackholed(self) -> int:
         """Datagrams for unknown destinations — not a fault statistic."""
         return self.counters.get("blackholed")
+
+    @property
+    def expired(self) -> int:
+        """Datagrams that arrived after their destination detached."""
+        return self.counters.get("expired")
 
     def attach(self, address: Address) -> "LoopbackTransport":
         if address in self._transports:
@@ -216,6 +233,13 @@ class LoopbackHub:
 
     def _hand_over(self, target: "LoopbackTransport", data: bytes,
                    src: Address) -> None:
+        # Re-check attachment at hand-over time: a datagram scheduled via
+        # call_later may land after its destination detached (endpoint
+        # close, peer leaving the fabric), and an `is` comparison also
+        # rejects a *new* transport that re-attached the same address.
+        if self._transports.get(target._address) is not target:
+            self.counters.inc("expired")
+            return
         self.counters.inc("delivered")
         target._deliver(data, src)
 
@@ -225,6 +249,32 @@ class LoopbackHub:
             f"dropped={self.dropped}, reordered={self.reordered}, "
             f"blackholed={self.blackholed})"
         )
+
+
+def make_hub(
+    mode: str = "cm5",
+    drop_rate: float = 0.0,
+    dup_rate: float = 0.0,
+    reorder_rate: float = 0.25,
+    reorder_delay: float = 0.002,
+    latency: float = 0.0,
+    seed: int = 0x5CA1E,
+) -> LoopbackHub:
+    """Build a loopback hub for ``mode`` ('cm5' or 'cr').
+
+    The single substrate factory shared by the pairwise harness
+    (:func:`repro.runtime.runner.make_loopback_pair`) and the N-peer
+    fabric (:class:`repro.runtime.fabric.Fabric`).  CR mode ignores
+    every fault knob, exactly like the pair factory always did.
+    """
+    if mode == "cr":
+        return LoopbackHub.cr()
+    if mode == "cm5":
+        return LoopbackHub.cm5(
+            drop_rate=drop_rate, dup_rate=dup_rate, reorder_rate=reorder_rate,
+            reorder_delay=reorder_delay, latency=latency, seed=seed,
+        )
+    raise ValueError(f"unknown mode {mode!r} (expected 'cm5' or 'cr')")
 
 
 class LoopbackTransport(Transport):

@@ -1,0 +1,133 @@
+"""Tests for RuntimeEndpoint's fire-and-forget send path and close.
+
+Covers the regression fix for ``post_frame``: the created tasks used to
+hold no strong reference (asyncio could garbage-collect them mid-flight)
+and any exception they raised was silently swallowed as a
+never-retrieved task exception.
+"""
+
+import asyncio
+import gc
+
+from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.frames import data_frame
+from repro.runtime.transport import LoopbackHub
+
+
+class _ExplodingTransport:
+    """A transport whose send always raises, for surfacing-path tests."""
+
+    provides_in_order = False
+    provides_reliability = False
+    local_address = "boom"
+
+    def __init__(self):
+        self.receiver = None
+
+    def set_receiver(self, receiver):
+        self.receiver = receiver
+
+    async def send(self, dst, data):
+        raise OSError("wire on fire")
+
+    async def close(self):
+        pass
+
+
+class _StallingTransport(_ExplodingTransport):
+    """A transport whose send blocks until released."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = None  # created lazily on the running loop
+        self.sends = 0
+
+    async def send(self, dst, data):
+        if self.release is None:
+            self.release = asyncio.Event()
+        await self.release.wait()
+        self.sends += 1
+
+
+class TestPostFrame:
+    def test_posted_tasks_are_strongly_referenced_until_done(self, drive):
+        """Regression: without the strong-reference set, a GC pass could
+        collect a posted task before its send ran."""
+
+        async def body():
+            transport = _StallingTransport()
+            ep = RuntimeEndpoint(transport, name="src")
+            frame = data_frame(channel=1, seq=0, payload=[1, 2])
+            tasks = [ep.post_frame("dst", frame) for _ in range(4)]
+            del tasks                    # caller keeps nothing
+            await asyncio.sleep(0)       # let the sends start and stall
+            pending_during = ep.pending_posts
+            gc.collect()                 # must not reap the stalled tasks
+            transport.release.set()
+            for _ in range(100):
+                if ep.pending_posts == 0:
+                    break
+                await asyncio.sleep(0.002)
+            return pending_during, ep.pending_posts, transport.sends
+
+        pending_during, pending_after, sends = drive(body())
+        assert pending_during == 4
+        assert pending_after == 0
+        assert sends == 4
+
+    def test_posted_send_errors_surface_to_the_counter(self, drive):
+        """Regression: a raised posted send was a swallowed task
+        exception — invisible to callers and to the event loop."""
+
+        async def body():
+            unhandled = []
+            loop = asyncio.get_running_loop()
+            loop.set_exception_handler(
+                lambda _loop, ctx: unhandled.append(ctx)
+            )
+            ep = RuntimeEndpoint(_ExplodingTransport(), name="src")
+            frame = data_frame(channel=1, seq=0, payload=[1])
+            ep.post_frame("dst", frame)
+            for _ in range(100):
+                if ep.send_errors:
+                    break
+                await asyncio.sleep(0.002)
+            await asyncio.sleep(0.01)    # let stray exceptions surface
+            return ep.send_errors, ep.pending_posts, unhandled
+
+        errors, pending, unhandled = drive(body())
+        assert errors == 1
+        assert pending == 0
+        assert unhandled == []
+
+    def test_close_waits_for_inflight_posts(self, drive):
+        """close() must not turn pending posted sends into packet loss."""
+
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            ep = RuntimeEndpoint(a, name="src")
+            got = []
+            b.set_receiver(lambda data, src: got.append(data))
+            frame = data_frame(channel=1, seq=0, payload=[7])
+            ep.post_frame("b", frame)
+            await ep.close()
+            await asyncio.sleep(0.01)
+            return len(got), ep.pending_posts
+
+        delivered, pending = drive(body())
+        assert delivered == 1
+        assert pending == 0
+
+    def test_close_cancels_a_send_stuck_past_the_grace_period(self, drive):
+        async def body():
+            transport = _StallingTransport()
+            ep = RuntimeEndpoint(transport, name="src")
+            frame = data_frame(channel=1, seq=0, payload=[1])
+            ep.post_frame("dst", frame)
+            await asyncio.sleep(0)       # the send reaches its stall
+            # Nobody releases it: close's bounded wait must cancel.
+            await asyncio.wait_for(ep.close(), 5.0)
+            return ep.pending_posts, transport.sends
+
+        assert drive(body()) == (0, 0)

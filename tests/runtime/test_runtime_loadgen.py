@@ -1,0 +1,120 @@
+"""Tests for the concurrent load generator over the fabric."""
+
+import asyncio
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.runtime.loadgen import (
+    LoadConfig,
+    measure_load,
+    run_load,
+    spread_pairs,
+)
+
+#: Small but real: 4 peers, 6 channels, 3 messages each.
+SMALL = LoadConfig(peers=4, channels=6, messages=3, message_words=8,
+                   packet_words=4, drop_rate=0.05, reorder_rate=0.1,
+                   deadline=20.0)
+
+
+class TestSpreadPairs:
+    def test_even_distribution_of_sources_and_sinks(self):
+        names = [f"p{i}" for i in range(4)]
+        pairs = spread_pairs(names, 8)
+        srcs = Counter(src for src, _ in pairs)
+        dsts = Counter(dst for _, dst in pairs)
+        assert set(srcs.values()) == {2}
+        assert set(dsts.values()) == {2}
+
+    def test_no_self_pairs_and_distinct_strides(self):
+        names = [f"p{i}" for i in range(3)]
+        pairs = spread_pairs(names, 6)
+        assert all(src != dst for src, dst in pairs)
+        # 3 peers admit 6 distinct directed pairs; all must appear.
+        assert len(set(pairs)) == 6
+
+    def test_rejects_fewer_than_two_names(self):
+        with pytest.raises(ValueError):
+            spread_pairs(["solo"], 2)
+
+
+class TestConfigValidation:
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            LoadConfig(peers=1)
+
+    def test_needs_positive_channels_and_messages(self):
+        with pytest.raises(ValueError):
+            LoadConfig(channels=0)
+        with pytest.raises(ValueError):
+            LoadConfig(messages=0)
+
+    def test_needs_room_for_the_integrity_header(self):
+        with pytest.raises(ValueError):
+            LoadConfig(message_words=1)
+
+
+class TestLoadRuns:
+    def test_cm5_load_delivers_everything_through_faults(self, drive):
+        result = measure_load(SMALL)
+        assert result.completed
+        assert result.errors == []
+        assert result.messages_sent == 6 * 3
+        assert result.lost_messages == 0
+        assert result.corrupt_messages == 0
+        # Every delivered message contributed one latency sample.
+        assert result.latency.count == 18
+        # Faults were actually exercised somewhere in the sweep.
+        assert result.wire["data_datagrams"] > 0
+
+    def test_cr_load_skips_the_machinery_entirely(self, drive):
+        result = measure_load(replace(SMALL, mode="cr",
+                                      drop_rate=0.0, reorder_rate=0.0))
+        assert result.completed and result.lost_messages == 0
+        assert result.ordering_fault_share == 0.0
+        assert result.wire["ack_datagrams"] == 0
+        assert result.wire["retransmissions"] == 0
+
+    def test_cm5_overhead_share_collapses_against_cr(self, drive):
+        cm5 = measure_load(SMALL)
+        cr = measure_load(replace(SMALL, mode="cr",
+                                  drop_rate=0.0, reorder_rate=0.0))
+        assert cm5.ordering_fault_share > 0.0
+        assert cr.ordering_fault_share <= cm5.ordering_fault_share * 0.5
+
+    def test_run_load_composes_with_a_running_loop(self, drive):
+        async def body():
+            return await run_load(replace(SMALL, channels=2, messages=2))
+
+        result = drive(body())
+        assert result.completed and result.lost_messages == 0
+
+    def test_deadline_expiry_reports_instead_of_hanging(self, drive):
+        config = replace(SMALL, deadline=0.001, channels=4, messages=8)
+        result = measure_load(config)
+        assert not result.completed
+        assert any("deadline" in err for err in result.errors)
+
+    def test_to_record_round_trips_through_json(self, drive):
+        import json
+
+        result = measure_load(replace(SMALL, channels=2, messages=2))
+        record = json.loads(json.dumps(result.to_record()))
+        assert record["mode"] == "cm5"
+        assert record["peers"] == 4
+        assert record["lost_messages"] == 0
+        assert record["latency"]["count"] == result.latency.count
+        assert 0.0 <= record["ordering_fault_share"] <= 1.0
+        assert set(record["features"]) >= {"base", "in_order"}
+
+    def test_no_tasks_leak_after_a_load_run(self, drive):
+        async def body():
+            baseline = set(asyncio.all_tasks())
+            await run_load(replace(SMALL, channels=2, messages=2))
+            await asyncio.sleep(0.05)
+            return [t for t in asyncio.all_tasks() - baseline
+                    if not t.done()]
+
+        assert drive(body()) == []

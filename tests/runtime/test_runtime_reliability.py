@@ -15,6 +15,7 @@ from repro.runtime.reliability import (
     Retransmitter,
     RetransmitExhausted,
     RttEstimator,
+    _Tracked,
 )
 
 
@@ -212,6 +213,95 @@ class TestTimerWheel:
                 await rt.cancel_all()
 
         drive(body())
+
+
+class TestResendFailure:
+    def test_one_raising_resend_does_not_kill_the_wheel(self, drive):
+        """Regression: a raised ``resend`` escaped ``_fire`` and killed
+        the shared timer-wheel task — every *other* tracked key silently
+        stopped retransmitting."""
+
+        async def body():
+            resends = []
+
+            async def resend(key, data):
+                if key == "doomed":
+                    raise OSError("transport closed under us")
+                resends.append(key)
+
+            policy = BackoffPolicy(initial=0.005, factor=1.0, max_retries=50)
+            rt = Retransmitter(resend, policy=policy)
+            rt.track("doomed", b"x")
+            rt.track("healthy", b"y")
+            # The healthy key must keep riding the wheel long after the
+            # doomed key's resend raised.
+            while resends.count("healthy") < 3:
+                await asyncio.sleep(0.002)
+            failures = dict(rt.failures)
+            errors = rt.resend_errors
+            tracked = set(rt.tracked_keys())
+            await rt.cancel_all()
+            return failures, errors, tracked
+
+        failures, errors, tracked = drive(body())
+        assert set(failures) == {"doomed"}
+        assert isinstance(failures["doomed"], RetransmitExhausted)
+        assert isinstance(failures["doomed"].__cause__, OSError)
+        assert errors == 1
+        assert tracked == {"healthy"}
+
+    def test_raising_resend_routes_through_on_give_up(self, drive):
+        async def body():
+            async def resend(key, data):
+                raise OSError("no route")
+
+            seen = []
+            policy = BackoffPolicy(initial=0.005, factor=1.0, max_retries=5)
+            rt = Retransmitter(
+                resend, policy=policy,
+                on_give_up=lambda k, e: seen.append((k, e)),
+            )
+            rt.track("k", b"x")
+            while not seen:
+                await asyncio.sleep(0.002)
+            await rt.cancel_all()
+            return seen, rt.failures
+
+        seen, failures = drive(body())
+        assert len(seen) == 1 and seen[0][0] == "k"
+        assert failures == {}  # callback consumed it
+
+
+class TestRearmClock:
+    def test_rearm_reads_a_fresh_clock_after_the_resend_await(self, drive):
+        """Regression: ``_fire`` re-armed deadlines from the ``now``
+        captured *before* awaiting the resends, so a resend slower than
+        the backoff interval left the new deadline already in the past —
+        an immediate premature retransmit."""
+
+        async def body():
+            async def resend(key, data):
+                # Slower than the 20 ms interval: the loop clock ages
+                # past now+interval while the resend is in flight.
+                await asyncio.sleep(0.03)
+
+            policy = BackoffPolicy(initial=0.02, factor=1.0,
+                                   ceiling=10.0, max_retries=50)
+            rt = Retransmitter(resend, policy=policy)
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            rt._entries["k"] = _Tracked(data=b"x", deadline=now,
+                                        first_sent=now)
+            await rt._fire(now)
+            entry = rt._entries["k"]
+            fresh = loop.time()
+            await rt.cancel_all()
+            return entry.deadline, fresh
+
+        deadline, fresh = drive(body())
+        # Pre-fix: deadline = now + 0.02 while the clock already reads
+        # now + 0.03 — expired on arrival.
+        assert deadline > fresh
 
 
 class TestRttEstimator:

@@ -112,6 +112,57 @@ class TestFaultInjection:
         with pytest.raises(ValueError):
             FaultProfile(drop_rate=1.5)
 
+    def test_reorder_delay_must_exceed_latency(self):
+        """Regression: a profile whose reorder_delay is <= its base
+        latency silently never reorders anything — the 'held' datagram
+        arrives with (or before) its successors."""
+        with pytest.raises(ValueError):
+            FaultProfile(reorder_rate=0.5, latency=0.01, reorder_delay=0.005)
+        with pytest.raises(ValueError):
+            FaultProfile(reorder_rate=0.5, latency=0.002, reorder_delay=0.002)
+        # Without reordering enabled the pair is unconstrained...
+        FaultProfile(reorder_rate=0.0, latency=0.01, reorder_delay=0.005)
+        # ...and negative times are never valid.
+        with pytest.raises(ValueError):
+            FaultProfile(latency=-0.001)
+
+    def test_delivery_to_peer_detached_mid_flight_expires(self, drive):
+        """Regression: datagrams already scheduled with ``call_later``
+        were delivered to transports that had detached in the meantime —
+        traffic materialising on closed endpoints."""
+
+        async def body():
+            hub = LoopbackHub.cm5(latency=0.01, reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            await a.send("b", b"late")   # in flight for 10 ms
+            await b.close()              # detach before it lands
+            await settle(0.05)
+            return received, hub.delivered, hub.expired
+
+        received, delivered, expired = drive(body())
+        assert received == []
+        assert delivered == 0
+        assert expired == 1
+
+    def test_reattached_address_does_not_get_stale_datagrams(self, drive):
+        """A new transport on a reused address must not receive
+        datagrams addressed to its predecessor."""
+
+        async def body():
+            hub = LoopbackHub.cm5(latency=0.01, reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            await a.send("b", b"for the old b")
+            await b.close()
+            b2 = hub.attach("b")         # same address, new transport
+            received = collect(b2)
+            await settle(0.05)
+            return received, hub.expired
+
+        received, expired = drive(body())
+        assert received == []
+        assert expired == 1
+
 
 class TestCRMode:
     def test_cr_hub_advertises_services(self):
@@ -151,7 +202,7 @@ class TestCRMode:
 
         assert drive(body()) == {
             "delivered": 0, "dropped": 0, "duplicated": 0,
-            "reordered": 0, "blackholed": 1,
+            "reordered": 0, "blackholed": 1, "expired": 0,
         }
 
     def test_wire_counters_matches_the_attribute_properties(self, drive):
