@@ -6,12 +6,14 @@ Usage::
 
 Two kinds of checks:
 
-* **Absolute bounds** (the ISSUE 2/4 acceptance criteria) — selective
+* **Absolute bounds** (the ISSUE 2/4/5 acceptance criteria) — selective
   repeat must save >= 50% of the data bytes a go-back-N round would
   resend, the ordered channel must stay under 0.5 ack datagrams per
-  data datagram, and every fabric load cell must deliver everything
-  with the CM-5-vs-CR overhead collapse holding at every peer count.
-  These hold regardless of the baseline.
+  data datagram, every fabric load cell must deliver everything with
+  the CM-5-vs-CR overhead collapse holding at every peer count, and
+  every chaos scenario must end with a zero-violation exactly-once
+  audit, with crash detection inside 2x the heartbeat dead_after
+  timeout.  These hold regardless of the baseline.
 * **Relative drift** — retransmitted bytes and acks-per-data must not
   blow past the committed baseline by more than a generous slack factor.
   Fault injection is seeded, so the counts are near-deterministic; the
@@ -169,6 +171,40 @@ def check(baseline: dict, fresh: dict) -> list:
                 "the 0.5 bound"
             )
 
+    # --- chaos scenarios (ISSUE 5) ------------------------------------
+    # Two gates per cell: a spotless end-to-end audit, and bounded
+    # failure-detection latency on crash scenarios.  Deliberately NO
+    # Figure 6 collapse gate here: CR mode still runs the heartbeat
+    # detector and recovery machinery under chaos (peer death is not a
+    # service the lossless transport provides), so its fault-tolerance
+    # share is expected to be nonzero.
+    chaos = _dig(fresh, "chaos", default={}) or {}
+    if not chaos:
+        problems.append("fresh payload is missing the chaos scenario rows")
+    for cell, record in sorted(chaos.items()):
+        violations = _dig(record, "audit", "violations")
+        if violations is None:
+            problems.append(f"chaos {cell} carries no audit verdict")
+        elif violations != 0:
+            problems.append(
+                f"chaos {cell} audit found {violations} exactly-once "
+                f"violation(s): {record.get('audit')}"
+            )
+        if record.get("errors"):
+            problems.append(f"chaos {cell} errored: {record['errors']}")
+        if record.get("detection_expected"):
+            latency = record.get("detection_latency_s")
+            bound = 2 * (record.get("heartbeat_dead_after_s") or 0.2)
+            if latency is None:
+                problems.append(
+                    f"chaos {cell}: the failure detector missed the crash"
+                )
+            elif latency > bound:
+                problems.append(
+                    f"chaos {cell}: detection took {latency:.3f}s "
+                    f"(bound: {bound:.3f}s = 2x heartbeat dead_after)"
+                )
+
     # Per-protocol wire stats: no CM-5 protocol may drift to one-ack-per-
     # packet behaviour once it has coalescing in the baseline.
     for cell, record in (_dig(fresh, "protocols", default={}) or {}).items():
@@ -207,6 +243,16 @@ def main(argv: list) -> int:
             f"  fabric {cell}: lost={record.get('lost_messages')} "
             f"ord+ft={record.get('ordering_fault_share', 0.0):.1%} "
             f"acks/data={record.get('acks_per_data', 0.0):.3f}"
+        )
+    for cell, record in sorted((_dig(fresh, "chaos", default={}) or {}).items()):
+        latency = record.get("detection_latency_s")
+        detect = f" detect={latency * 1e3:.0f}ms" if latency is not None else ""
+        print(
+            f"  chaos {cell}: violations="
+            f"{_dig(record, 'audit', 'violations')} "
+            f"broken={len(record.get('broken_lanes', []))}"
+            f"{detect} "
+            f"ft={record.get('fault_tolerance_share', 0.0):.1%}"
         )
     return 0
 

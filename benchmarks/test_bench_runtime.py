@@ -24,7 +24,7 @@ BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
 #: Accumulated across the tests in this module; the last test writes it.
 RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
-           "trace": {}, "fabric": {}}
+           "trace": {}, "fabric": {}, "chaos": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -264,6 +264,58 @@ def test_fabric_collapse_at_every_peer_count(peers):
     assert cr_share < cm5_share * 0.5
     # Coalescing must hold under fan-out too.
     assert cm5["acks_per_data"] < 0.5
+
+
+#: Chaos soak shape for the bench rows (the ISSUE 5 acceptance set) —
+#: small enough for CI, hot enough that every scripted fault lands on
+#: live traffic.
+CHAOS_SCENARIOS = ("partition-heal", "crash-restart", "rolling-flap",
+                   "burst-loss", "crash-permanent")
+
+
+def _chaos_config(mode):
+    from repro.runtime import ChaosConfig
+    return ChaosConfig(mode=mode, peers=4, lanes=4, messages=24,
+                       send_interval=0.01, deadline=DEADLINE)
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+@pytest.mark.parametrize("scenario", CHAOS_SCENARIOS)
+def test_chaos_scenarios(scenario, mode):
+    """Scripted fault scenarios end in a clean exactly-once audit.
+
+    Every cell is gated on: zero audit violations (duplicates,
+    misorders, checksum failures, or silent loss outside broken lanes),
+    and — on crash scenarios — failure-detection latency within twice
+    the heartbeat ``dead_after`` timeout.  Note there is deliberately
+    *no* Figure 6 collapse gate on these rows: in CR mode the heartbeat
+    detector and recovery machinery still run (peer death is not a
+    service the lossless transport provides), so a nonzero
+    fault-tolerance share under chaos is the expected result, not a
+    regression.
+    """
+    from repro.runtime import SCENARIOS, measure_chaos
+
+    start = time.perf_counter_ns()
+    result = measure_chaos(_chaos_config(mode), scenario)
+    elapsed_ns = time.perf_counter_ns() - start
+    assert result.errors == [], f"chaos {scenario}/{mode}: {result.errors}"
+    assert result.audit.clean, (
+        f"chaos {scenario}/{mode} audit violations: "
+        f"{result.audit.to_dict()}"
+    )
+    if SCENARIOS[scenario].expects_detection:
+        assert result.detection_latency is not None, (
+            f"chaos {scenario}/{mode}: the detector missed the crash"
+        )
+        assert result.detection_within_bound, (
+            f"chaos {scenario}/{mode}: detected in "
+            f"{result.detection_latency:.3f}s, bound is "
+            f"{2 * result.config.heartbeat.dead_after:.3f}s"
+        )
+    record = result.to_record()
+    record["harness_ns"] = elapsed_ns
+    RESULTS["chaos"][f"{scenario}/{mode}"] = record
 
 
 def test_write_bench_json():

@@ -303,6 +303,51 @@ def render_fabric_features(records: List[Mapping]) -> str:
     return title + "\n" + render_table(headers, rows)
 
 
+def render_chaos_table(records: List[Mapping]) -> str:
+    """Tabulate chaos scenario records (``ChaosResult.to_record()``).
+
+    One row per (scenario, mode) run: the end-to-end audit verdict,
+    broken-lane count, failure-detection latency, epoch renegotiations,
+    and the fault-tolerance timeshare — what the messaging layer's
+    fault machinery *costs* while actual faults exercise it.
+    """
+    headers = ["Scenario", "Mode", "Delivered", "Audit", "Broken",
+               "Detect (ms)", "Recov", "FT share"]
+    rows = []
+    for record in records:
+        audit = record.get("audit", {})
+        violations = audit.get("violations", 0)
+        detect = record.get("detection_latency_s")
+        rows.append([
+            str(record.get("scenario", "?")),
+            str(record.get("mode", "?")),
+            f"{audit.get('delivered', 0)}/{audit.get('offered', 0)}",
+            "clean" if violations == 0 else f"{violations} VIOLATIONS",
+            str(len(record.get("broken_lanes", []))),
+            f"{detect * 1e3:.0f}" if detect is not None else "-",
+            str(record.get("recoveries", 0)),
+            f"{record.get('fault_tolerance_share', 0.0):.0%}",
+        ])
+    title = ("chaos scenarios — exactly-once audit, detection latency, "
+             "fault-tolerance timeshare")
+    return title + "\n" + render_table(headers, rows)
+
+
+def render_chaos_features(records: List[Mapping]) -> str:
+    """Per-feature timeshare columns for every chaos scenario run."""
+    headers = ["Scenario", "Mode"] + [FEATURE_LABELS[f] for f in FEATURE_ORDER]
+    rows = []
+    for record in records:
+        features = record.get("features", {})
+        rows.append(
+            [str(record.get("scenario", "?")), str(record.get("mode", "?"))]
+            + [f"{features.get(f.value, {}).get('share', 0.0):.0%}"
+               for f in FEATURE_ORDER]
+        )
+    title = "chaos scenarios — per-feature wall-clock timeshare"
+    return title + "\n" + render_table(headers, rows)
+
+
 def fabric_collapse(records: List[Mapping]) -> Dict[int, Dict[str, float]]:
     """The Figure 6 collapse, per peer count, from fabric load records.
 

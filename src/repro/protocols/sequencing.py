@@ -43,11 +43,13 @@ class ReorderWindow:
       unblocked, in sequence order.
     """
 
-    def __init__(self, window: int = 256) -> None:
+    def __init__(self, window: int = 256, start: int = 0) -> None:
         if window < 1:
             raise ValueError("window must be positive")
+        if start < 0:
+            raise ValueError("start sequence must be non-negative")
         self.window = window
-        self.expected = 0
+        self.expected = start
         self._slots: List[Optional[object]] = [None] * window
         self._occupied: List[bool] = [False] * window
         self.parked_peak = 0

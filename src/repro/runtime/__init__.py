@@ -19,6 +19,23 @@ Entry points:
 """
 
 from repro.runtime.channels import LiveChannel, LiveFramedChannel, open_live_channel
+from repro.runtime.chaos import (
+    CH_HEARTBEAT,
+    CHAOS_BACKOFF,
+    ChaosConfig,
+    ChaosEngine,
+    ChaosInjector,
+    ChaosResult,
+    FailureDetector,
+    HeartbeatConfig,
+    PeerState,
+    SCENARIOS,
+    Scenario,
+    chaos_pairs,
+    measure_chaos,
+    run_chaos,
+    run_scenario_matrix,
+)
 from repro.runtime.endpoint import RuntimeEndpoint
 from repro.runtime.fabric import (
     Fabric,
@@ -28,27 +45,36 @@ from repro.runtime.fabric import (
     ring_pairs,
 )
 from repro.runtime.loadgen import (
+    AuditLedger,
+    AuditReport,
     LoadConfig,
     LoadResult,
     measure_load,
+    message_checksum,
     run_load,
     spread_pairs,
     sweep_peer_counts,
 )
 from repro.runtime.frames import (
     Frame,
+    FrameCorruption,
     FrameError,
     FrameKind,
     cum_ack_frame,
     decode_frame,
     encode_frame,
+    epoch_reply_frame,
+    epoch_req_frame,
+    heartbeat_frame,
 )
 from repro.runtime.protocols import (
     BulkReceiver,
     BulkSender,
+    ChannelBroken,
     OrderedChannelReceiver,
     OrderedChannelSender,
     ProtocolFailure,
+    RecoveryPolicy,
     SinglePacketReceiver,
     SinglePacketSender,
 )
@@ -90,16 +116,28 @@ from repro.runtime.transport import (
 )
 
 __all__ = [
+    "AuditLedger",
+    "AuditReport",
     "BackoffPolicy",
     "BulkReceiver",
     "BulkSender",
+    "CH_HEARTBEAT",
+    "CHAOS_BACKOFF",
+    "ChannelBroken",
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosInjector",
+    "ChaosResult",
     "Counters",
     "EventType",
+    "FailureDetector",
+    "HeartbeatConfig",
     "Fabric",
     "FabricConnection",
     "FabricError",
     "FaultProfile",
     "Frame",
+    "FrameCorruption",
     "FrameError",
     "FrameKind",
     "LatencyHistogram",
@@ -113,13 +151,17 @@ __all__ = [
     "OrderedChannelReceiver",
     "OrderedChannelSender",
     "PROTOCOL_NAMES",
+    "PeerState",
     "ProtocolFailure",
+    "RecoveryPolicy",
     "Retransmitter",
     "RetransmitExhausted",
     "RttEstimator",
     "RuntimeEndpoint",
     "RuntimePair",
     "RuntimeRunResult",
+    "SCENARIOS",
+    "Scenario",
     "SinglePacketReceiver",
     "SinglePacketSender",
     "TimeAttribution",
@@ -128,20 +170,28 @@ __all__ = [
     "Transport",
     "UDPTransport",
     "all_pairs",
+    "chaos_pairs",
     "cum_ack_frame",
     "decode_frame",
     "encode_frame",
+    "epoch_reply_frame",
+    "epoch_req_frame",
     "export_chrome_trace",
     "export_jsonl",
+    "heartbeat_frame",
     "make_hub",
     "make_loopback_pair",
     "make_udp_pair",
+    "measure_chaos",
     "measure_live",
     "measure_load",
+    "message_checksum",
     "open_live_channel",
     "ring_pairs",
     "run_bulk_live",
+    "run_chaos",
     "run_load",
+    "run_scenario_matrix",
     "run_ordered_live",
     "run_single_packet_live",
     "spread_pairs",

@@ -24,6 +24,7 @@ from repro.runtime.protocols import (
     CH_STREAM,
     OrderedChannelReceiver,
     OrderedChannelSender,
+    RecoveryPolicy,
 )
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.transport import Address
@@ -63,6 +64,21 @@ class LiveChannel:
         """Unacknowledged packets in the source buffer (0 on CR)."""
         return self._sender.outstanding
 
+    @property
+    def sender(self) -> OrderedChannelSender:
+        """The underlying protocol sender (chaos/recovery orchestration)."""
+        return self._sender
+
+    @property
+    def receiver(self) -> OrderedChannelReceiver:
+        """The underlying protocol receiver (chaos/recovery orchestration)."""
+        return self._receiver
+
+    @property
+    def broken(self) -> bool:
+        """True once the channel has failed permanently."""
+        return self._sender.broken
+
     async def close(self) -> None:
         """Tear down retransmission state (awaits the timer wheel)."""
         await self._sender.close()
@@ -83,12 +99,16 @@ def open_live_channel(
     backoff: Optional[BackoffPolicy] = None,
     ack_every: int = 8,
     ack_delay: float = 0.005,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> LiveChannel:
     """Open a live ordered channel from ``tx`` to ``rx``.
 
     ``dst`` defaults to ``rx``'s transport address (one-process loopback);
     pass it explicitly for multi-process UDP runs where ``rx`` is remote.
     ``ack_every``/``ack_delay`` tune the receiver's ack coalescing.
+    ``recovery`` arms the sender with epoch renegotiation: after retry
+    exhaustion it probes the receiver and resumes from its durable
+    cumulative point instead of breaking at the first give-up.
     """
     if reorder_window < window:
         raise ValueError("receiver reorder window must cover the send window")
@@ -99,7 +119,7 @@ def open_live_channel(
     )
     sender = OrderedChannelSender(
         tx, dst if dst is not None else rx.local_address,
-        channel=channel, window=window, backoff=backoff,
+        channel=channel, window=window, backoff=backoff, recovery=recovery,
     )
     mode = "cr" if tx.cr_mode else "cm5"
     return LiveChannel(sender, receiver, buffer, packet_words, mode)

@@ -1,0 +1,888 @@
+"""Chaos engine: scripted faults, failure detection, channel recovery.
+
+The paper measures what fault tolerance *costs* when nothing actually
+fails; this module measures the same feature buckets while things fail
+on purpose.  Three cooperating parts:
+
+* :class:`ChaosInjector` — a scripted fault layer the
+  :class:`~repro.runtime.transport.LoopbackHub` consults per datagram,
+  on top of its static :class:`~repro.runtime.transport.FaultProfile`:
+  time-phased partitions (bidirectional or asymmetric), node isolation
+  and link flaps, burst loss/corruption, and per-run latency spikes —
+  all under a seeded RNG so every scenario replays identically.  On a
+  *reliable* (CR) hub a partition holds the bytes and replays them in
+  FIFO order on heal — the reliable network keeps its contract; on a
+  CM-5 hub suppression is loss, and the protocol layers do the work.
+
+* :class:`FailureDetector` — heartbeat-based peer liveness over the
+  fabric (``ALIVE → SUSPECT → DEAD`` per observer×subject, configurable
+  cadence).  All beacon traffic and bookkeeping is charged to
+  ``Feature.FAULT_TOLERANCE``: the detector *is* messaging-layer fault
+  tolerance, and its cost shows up in the timeshare reports — including
+  on CR, where the transport's guarantees cover loss but not peer death.
+
+* the **scenario engine** (:func:`run_chaos`) — named, scripted fault
+  schedules (``partition-heal``, ``crash-restart``, ``rolling-flap``,
+  ``burst-loss``, ``crash-permanent``) driven against paced traffic on
+  audited lanes.  Every message is stamped into an
+  :class:`~repro.runtime.loadgen.AuditLedger` before sending and
+  verified on delivery, so each scenario ends with an end-to-end
+  exactly-once, in-order verdict — or a *typed*
+  :class:`~repro.runtime.protocols.ChannelBroken` on lanes whose peer
+  is permanently gone.  Never a silent hang, never silent loss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.arch.attribution import Feature
+from repro.runtime.channels import LiveFramedChannel
+from repro.runtime.fabric import Fabric, FabricConnection
+from repro.runtime.frames import heartbeat_frame
+from repro.runtime.loadgen import AuditLedger, AuditReport
+from repro.runtime.protocols import ChannelBroken, RecoveryPolicy
+from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.tracing import Counters, EventType, Tracer
+from repro.runtime.transport import LoopbackHub, flip_bit
+
+#: Well-known logical channel for failure-detector heartbeats (clear of
+#: CH_SINGLE/CH_BULK/CH_STREAM, below FIRST_FABRIC_CHANNEL).
+CH_HEARTBEAT = 4
+
+#: Retry schedule tuned for chaos scenarios: give-up lands around 260ms,
+#: fast enough that a half-second outage exercises epoch renegotiation
+#: instead of just patient retransmission.
+CHAOS_BACKOFF = BackoffPolicy(initial=0.02, factor=1.5, ceiling=0.1,
+                              max_retries=4)
+
+
+# ---------------------------------------------------------------------------
+# scripted fault injection
+# ---------------------------------------------------------------------------
+
+
+class ChaosInjector:
+    """Scripted faults layered on a :class:`LoopbackHub`.
+
+    Installs itself as ``hub.chaos`` and implements the hub's filter
+    contract: ``filter(src, dst, data) -> (data, verdict, extra_delay)``.
+    Faults are directed — an asymmetric partition blocks one direction
+    only — and time-phased by whoever drives the scenario script.
+
+    On a reliable hub, suppressed datagrams are *held* per directed link
+    and replayed in original FIFO order when the link heals, so CR-mode
+    delivery guarantees survive scripted outages.  Bursts (loss and bit
+    damage) are no-ops on a reliable hub for the same reason.
+    """
+
+    def __init__(self, hub: LoopbackHub, seed: int = 0xC4A05) -> None:
+        import random
+        self.hub = hub
+        self._rng = random.Random(seed)
+        self._blocked: Set[Tuple[str, str]] = set()   # directed links
+        self._isolated: Set[str] = set()              # whole nodes
+        self._held: Dict[Tuple[str, str], List[bytes]] = {}
+        self.drop_burst = 0.0
+        self.corrupt_burst = 0.0
+        self.extra_delay = 0.0
+        self.replayed = 0
+        hub.chaos = self
+
+    # -- the hub-facing contract ----------------------------------------------
+
+    def _link_blocked(self, src: str, dst: str) -> bool:
+        return (src in self._isolated or dst in self._isolated
+                or (src, dst) in self._blocked)
+
+    def filter(self, src: str, dst: str,
+               data: bytes) -> Tuple[bytes, Optional[str], float]:
+        if self._link_blocked(src, dst):
+            if self.hub.reliable:
+                self._held.setdefault((src, dst), []).append(data)
+            return data, "partitioned", 0.0
+        if not self.hub.reliable:
+            if self.drop_burst and self._rng.random() < self.drop_burst:
+                return data, "dropped", 0.0
+            if self.corrupt_burst and self._rng.random() < self.corrupt_burst:
+                return flip_bit(data, self._rng), "corrupted", 0.0
+        return data, None, self.extra_delay
+
+    # -- scripted actions -----------------------------------------------------
+
+    def block_link(self, src: str, dst: str) -> None:
+        """Suppress ``src -> dst`` only (asymmetric partition)."""
+        self._blocked.add((src, dst))
+
+    def partition_link(self, a: str, b: str) -> None:
+        """Suppress both directions between ``a`` and ``b``."""
+        self._blocked.add((a, b))
+        self._blocked.add((b, a))
+
+    def partition_groups(self, left: Sequence[str],
+                         right: Sequence[str]) -> None:
+        """Split the network: no datagram crosses between the groups."""
+        for a in left:
+            for b in right:
+                self.partition_link(a, b)
+
+    def isolate(self, name: str) -> None:
+        """Cut every link touching ``name`` (node-level outage)."""
+        self._isolated.add(name)
+
+    def heal_link(self, src: str, dst: str) -> None:
+        self._blocked.discard((src, dst))
+        self._flush()
+
+    def heal_node(self, name: str) -> None:
+        self._isolated.discard(name)
+        self._blocked = {(s, d) for s, d in self._blocked
+                         if name not in (s, d)}
+        self._flush()
+
+    def heal_all(self) -> None:
+        self._blocked.clear()
+        self._isolated.clear()
+        self._flush()
+
+    def set_burst(self, drop: float = 0.0, corrupt: float = 0.0) -> None:
+        """Set (or with no arguments clear) burst loss/corruption rates."""
+        if not 0.0 <= drop <= 1.0 or not 0.0 <= corrupt <= 1.0:
+            raise ValueError("burst rates must be in [0, 1]")
+        self.drop_burst = drop
+        self.corrupt_burst = corrupt
+
+    def spike_latency(self, delay: float = 0.0) -> None:
+        """Add ``delay`` seconds to every delivered datagram (0 clears)."""
+        if delay < 0:
+            raise ValueError("latency spike must be non-negative")
+        self.extra_delay = delay
+
+    def _flush(self) -> None:
+        """Replay held datagrams for links that are no longer blocked,
+        preserving per-link FIFO order."""
+        for link in list(self._held):
+            if self._link_blocked(*link):
+                continue
+            src, dst = link
+            for data in self._held.pop(link):
+                if self.hub.inject(dst, data, src):
+                    self.replayed += 1
+
+    @property
+    def held_count(self) -> int:
+        return sum(len(q) for q in self._held.values())
+
+
+# ---------------------------------------------------------------------------
+# heartbeat failure detection
+# ---------------------------------------------------------------------------
+
+
+class PeerState(Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+_SEVERITY = {PeerState.ALIVE: 0, PeerState.SUSPECT: 1, PeerState.DEAD: 2}
+
+
+@dataclass
+class HeartbeatConfig:
+    """Failure-detector cadence.
+
+    Detection latency is bounded by ``dead_after + interval`` (the age
+    crosses the threshold at ``dead_after`` and the next evaluation tick
+    notices); keeping ``interval`` well under ``dead_after`` therefore
+    guarantees detection within ``2 * dead_after``, which is what the
+    regression gate checks.
+    """
+
+    interval: float = 0.025      #: beacon + evaluation period
+    suspect_after: float = 0.075  #: silence before ALIVE -> SUSPECT
+    dead_after: float = 0.2      #: silence before SUSPECT -> DEAD
+
+    def __post_init__(self) -> None:
+        if not 0 < self.interval < self.suspect_after < self.dead_after:
+            raise ValueError(
+                "need 0 < interval < suspect_after < dead_after, got "
+                f"{self}")
+
+
+class FailureDetector:
+    """Heartbeat-based liveness detection across fabric peers.
+
+    Every ``interval`` each live peer beacons every monitored peer and
+    re-evaluates how long each subject has been silent.  State is kept
+    per (observer, subject) pair; transitions surface through trace
+    events (``PEER_SUSPECT`` / ``PEER_DEAD`` / ``PEER_ALIVE``), the
+    counter registry, and an optional ``on_state_change`` callback.  All
+    of it is charged to ``Feature.FAULT_TOLERANCE`` on the observer.
+    """
+
+    def __init__(self, fabric: Fabric,
+                 config: Optional[HeartbeatConfig] = None,
+                 channel: int = CH_HEARTBEAT) -> None:
+        self.fabric = fabric
+        self.config = config or HeartbeatConfig()
+        self.channel = channel
+        self.counters = Counters()
+        self.on_state_change: Optional[
+            Callable[[str, str, PeerState], None]] = None
+        #: Subject -> loop time of the *first* DEAD verdict by any
+        #: observer (what the detection-latency gate measures).
+        self.dead_at: Dict[str, float] = {}
+        self._last_seen: Dict[Tuple[str, str], float] = {}
+        self._state: Dict[Tuple[str, str], PeerState] = {}
+        self._monitored: Set[str] = set()
+        self._beat = 0
+        self._task: Optional[asyncio.Task] = None
+        self._prev_hook: Optional[Callable[[str, str], None]] = None
+
+    def start(self) -> None:
+        """Begin beaconing and watching every currently-joined peer."""
+        if self._task is not None:
+            raise RuntimeError("failure detector already started")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        self._monitored = set(self.fabric.peer_names)
+        for endpoint in self.fabric._peers.values():
+            self._bind(endpoint)
+        for observer in self._monitored:
+            for subject in self._monitored:
+                if observer != subject:
+                    self._last_seen[(observer, subject)] = now
+                    self._state[(observer, subject)] = PeerState.ALIVE
+        # Chain onto the fabric's peer-event hook so restarts rebind the
+        # heartbeat channel on the fresh endpoint (crashes need nothing:
+        # a crashed subject simply goes silent and ages into DEAD).
+        self._prev_hook = self.fabric.on_peer_event
+        self.fabric.on_peer_event = self._peer_event
+        self._task = loop.create_task(self._run())
+
+    async def stop(self) -> None:
+        self.fabric.on_peer_event = self._prev_hook
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        for endpoint in self.fabric._peers.values():
+            endpoint.unbind(self.channel)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _bind(self, endpoint) -> None:
+        observer = endpoint.name
+
+        def on_beat(frame, src, _observer=observer):
+            self._on_beat(_observer, src)
+
+        endpoint.bind(self.channel, on_beat)
+
+    def _peer_event(self, event: str, name: str) -> None:
+        if event == "restart":
+            endpoint = self.fabric._peers[name]
+            self._bind(endpoint)
+            # Restart grace: the fresh incarnation has seen nobody yet.
+            now = asyncio.get_running_loop().time()
+            for other in self._monitored:
+                if other != name:
+                    self._last_seen[(name, other)] = now
+        if self._prev_hook is not None:
+            self._prev_hook(event, name)
+
+    # -- the detection state machine ------------------------------------------
+
+    def _on_beat(self, observer: str, subject: str) -> None:
+        endpoint = self.fabric._peers.get(observer)
+        if endpoint is None or subject not in self._monitored:
+            return
+        with endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            key = (observer, subject)
+            self._last_seen[key] = asyncio.get_running_loop().time()
+            if self._state.get(key, PeerState.ALIVE) is not PeerState.ALIVE:
+                self._transition(endpoint, key, PeerState.ALIVE)
+
+    async def _run(self) -> None:
+        while True:
+            self._beat += 1
+            for endpoint in list(self.fabric._peers.values()):
+                with endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+                    for subject in self._monitored:
+                        if subject != endpoint.name:
+                            endpoint.post_frame(
+                                subject,
+                                heartbeat_frame(self.channel, self._beat),
+                                Feature.FAULT_TOLERANCE,
+                            )
+            self._evaluate(asyncio.get_running_loop().time())
+            await asyncio.sleep(self.config.interval)
+
+    def _evaluate(self, now: float) -> None:
+        cfg = self.config
+        for key, seen in self._last_seen.items():
+            observer, subject = key
+            endpoint = self.fabric._peers.get(observer)
+            if endpoint is None or subject not in self._monitored:
+                continue
+            age = now - seen
+            if age >= cfg.dead_after:
+                verdict = PeerState.DEAD
+            elif age >= cfg.suspect_after:
+                verdict = PeerState.SUSPECT
+            else:
+                continue
+            state = self._state.get(key, PeerState.ALIVE)
+            # Silence only ever escalates here; de-escalation happens in
+            # _on_beat when a beacon actually arrives.
+            if _SEVERITY[verdict] <= _SEVERITY[state]:
+                continue
+            with endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+                self._transition(endpoint, key, verdict, now)
+
+    def _transition(self, endpoint, key: Tuple[str, str], new: PeerState,
+                    now: Optional[float] = None) -> None:
+        observer, subject = key
+        self._state[key] = new
+        self.counters.inc(f"{new.value}_transitions")
+        if new is PeerState.DEAD and subject not in self.dead_at:
+            self.dead_at[subject] = (
+                now if now is not None
+                else asyncio.get_running_loop().time())
+        if endpoint.tracer.enabled:
+            etype = {
+                PeerState.ALIVE: EventType.PEER_ALIVE,
+                PeerState.SUSPECT: EventType.PEER_SUSPECT,
+                PeerState.DEAD: EventType.PEER_DEAD,
+            }[new]
+            endpoint.tracer.emit(etype, endpoint=observer,
+                                 channel=self.channel, seq=self._beat,
+                                 kind=subject,
+                                 feature=Feature.FAULT_TOLERANCE)
+        if self.on_state_change is not None:
+            self.on_state_change(observer, subject, new)
+
+    # -- queries --------------------------------------------------------------
+
+    def state(self, observer: str, subject: str) -> PeerState:
+        return self._state.get((observer, subject), PeerState.ALIVE)
+
+    def dead_peers(self) -> List[str]:
+        """Subjects at least one live observer has declared DEAD."""
+        dead = {subject for (observer, subject), state in self._state.items()
+                if state is PeerState.DEAD
+                and observer in self.fabric._peers}
+        return sorted(dead)
+
+    def forget(self, name: str) -> None:
+        """Stop monitoring ``name`` (a *graceful* departure — crashed
+        peers stay monitored so their death is detected)."""
+        self._monitored.discard(name)
+
+
+# ---------------------------------------------------------------------------
+# audited traffic lanes
+# ---------------------------------------------------------------------------
+
+
+def chaos_pairs(names: Sequence[str], count: int,
+                victim: Optional[str] = None) -> List[Tuple[str, str]]:
+    """``count`` directed lanes spread over ``names``, chaos-aware:
+
+    the victim peer (the one scenarios crash) never *sources* a lane —
+    its senders would die with it, which is uninteresting — but at least
+    one lane is guaranteed to *sink* at the victim, so crash scenarios
+    always exercise receiver-side recovery.
+    """
+    if len(names) < 2:
+        raise ValueError("need at least two peers to form lanes")
+    sources = [n for n in names if n != victim] or list(names)
+    pairs: List[Tuple[str, str]] = []
+    for i in range(count):
+        src = sources[i % len(sources)]
+        stride = 1 + (i // len(sources)) % (len(names) - 1)
+        dst = names[(names.index(src) + stride) % len(names)]
+        pairs.append((src, dst))
+    if victim is not None and pairs and all(d != victim for _, d in pairs):
+        pairs[0] = (pairs[0][0], victim)
+    return pairs
+
+
+class _ChaosLane:
+    """One audited, paced traffic lane over a fabric connection."""
+
+    def __init__(self, conn: FabricConnection, messages: int,
+                 message_words: int, send_interval: float,
+                 ledger: AuditLedger) -> None:
+        self.conn = conn
+        self.cid = conn.cid
+        self.dst = conn.dst
+        self.framed = LiveFramedChannel(conn.channel)
+        self.messages = messages
+        self.filler = list(range(3, message_words))
+        self.send_interval = send_interval
+        self.ledger = ledger
+        self.sent = 0
+        self.broken: Optional[str] = None
+        self._all_delivered = asyncio.Event()
+        self.framed.on_message(self._on_message)
+
+    def _on_message(self, words: List[int]) -> None:
+        self.ledger.record_delivery(self.cid, words)
+        if self.ledger.lane_delivered(self.cid) >= self.messages:
+            self._all_delivered.set()
+
+    async def drive(self) -> None:
+        """Send the lane's messages, paced so traffic spans the fault
+        schedule, then drain.  A permanently dead peer surfaces as a
+        typed :class:`ChannelBroken` — recorded, never re-raised as a
+        hang."""
+        try:
+            for k in range(self.messages):
+                payload = self.ledger.stamp(self.cid, k, self.filler)
+                await self.framed.send_message(payload)
+                self.sent += 1
+                await asyncio.sleep(self.send_interval)
+            await self.conn.drain(timeout=20.0)
+        except ChannelBroken as exc:
+            self.broken = str(exc)
+
+    async def settle(self, timeout: float) -> None:
+        """Wait for everything sent to be delivered (broken lanes are
+        excused — the audit books their losses under the contract)."""
+        if self.broken is not None or self.sent == 0:
+            return
+        try:
+            await asyncio.wait_for(self._all_delivered.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass  # the audit's `missing` count reports it loudly
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+
+
+class ChaosEngine:
+    """What a scenario script gets to drive."""
+
+    def __init__(self, config: "ChaosConfig", fabric: Fabric,
+                 injector: ChaosInjector, detector: FailureDetector,
+                 ledger: AuditLedger, victim: str) -> None:
+        self.config = config
+        self.fabric = fabric
+        self.injector = injector
+        self.detector = detector
+        self.ledger = ledger
+        self.victim = victim
+        self.lanes: List[_ChaosLane] = []
+        self.crash_time: Optional[float] = None
+        self._tasks: Dict[int, asyncio.Task] = {}
+
+    def start_traffic(self) -> None:
+        loop = asyncio.get_running_loop()
+        for lane in self.lanes:
+            self._tasks[lane.cid] = loop.create_task(lane.drive())
+
+    async def sleep(self, seconds: float) -> None:
+        await asyncio.sleep(seconds)
+
+    async def crash_victim(self) -> None:
+        """Isolate, settle, then kill the victim.
+
+        The isolate-first discipline matters on a reliable hub: traffic
+        toward the victim must be *held* by the partition (for replay
+        after restart), not blackholed at a missing destination — and
+        datagrams the event loop already committed to deliver get their
+        ticks before the endpoint disappears.
+        """
+        self.injector.isolate(self.victim)
+        await asyncio.sleep(0)
+        await asyncio.sleep(0)
+        await asyncio.sleep(0.002)
+        self.crash_time = asyncio.get_running_loop().time()
+        await self.fabric.crash_peer(self.victim)
+
+    async def restart_victim(self) -> None:
+        """Bring the victim back and heal its links (replaying anything
+        a reliable hub held across the outage)."""
+        await self.fabric.restart_peer(self.victim)
+        self.injector.heal_node(self.victim)
+
+    def break_victim_lanes(self, reason: str) -> None:
+        """For a permanent crash: fail lanes sinking at the victim.
+
+        On CM-5 the senders break organically — recovery probes go
+        unanswered and raise :class:`ChannelBroken` — so only CR lanes
+        (which have no retransmission path to time out) are aborted
+        here, with the failure detector's verdict as the reason.
+        """
+        if self.fabric.mode != "cr":
+            return
+        for lane in self.lanes:
+            if lane.dst == self.victim and lane.broken is None:
+                lane.broken = reason
+                task = self._tasks.get(lane.cid)
+                if task is not None and not task.done():
+                    task.cancel()
+
+    async def finish(self, settle_timeout: float = 8.0) -> List[str]:
+        """Let traffic run out, then wait for deliveries to settle.
+        Returns error strings for anything that failed atypically."""
+        errors: List[str] = []
+        results = await asyncio.gather(*self._tasks.values(),
+                                       return_exceptions=True)
+        for lane, outcome in zip(self.lanes, results):
+            if isinstance(outcome, asyncio.CancelledError):
+                continue  # an aborted (broken-by-contract) lane
+            if isinstance(outcome, Exception):
+                errors.append(
+                    f"lane {lane.cid}->{lane.dst}: "
+                    f"{type(outcome).__name__}: {outcome}")
+        deadline = asyncio.get_running_loop().time() + settle_timeout
+        for lane in self.lanes:
+            left = deadline - asyncio.get_running_loop().time()
+            await lane.settle(max(0.1, left))
+        return errors
+
+
+ScenarioScript = Callable[[ChaosEngine], Awaitable[None]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named fault schedule."""
+
+    name: str
+    summary: str
+    script: ScenarioScript
+    #: Override the run's recovery policy (e.g. trimmed probes so a
+    #: permanent crash breaks within the scenario window).
+    recovery: Optional[RecoveryPolicy] = None
+    #: Gate detection latency (the scenario kills a peer outright).
+    expects_detection: bool = False
+
+
+async def _script_partition_heal(eng: ChaosEngine) -> None:
+    await eng.sleep(0.15)
+    names = eng.fabric.peer_names
+    half = max(1, len(names) // 2)
+    eng.injector.partition_groups(names[:half], names[half:])
+    await eng.sleep(0.35)
+    eng.injector.heal_all()
+
+
+async def _script_crash_restart(eng: ChaosEngine) -> None:
+    await eng.sleep(0.15)
+    await eng.crash_victim()
+    await eng.sleep(0.6)
+    await eng.restart_victim()
+
+
+async def _script_rolling_flap(eng: ChaosEngine) -> None:
+    await eng.sleep(0.1)
+    for name in eng.fabric.peer_names[:3]:
+        eng.injector.isolate(name)
+        await eng.sleep(0.12)
+        eng.injector.heal_node(name)
+        await eng.sleep(0.05)
+
+
+async def _script_burst_loss(eng: ChaosEngine) -> None:
+    await eng.sleep(0.1)
+    eng.injector.set_burst(drop=0.25, corrupt=0.05)
+    await eng.sleep(0.3)
+    eng.injector.set_burst()
+
+
+async def _script_crash_permanent(eng: ChaosEngine) -> None:
+    await eng.sleep(0.15)
+    await eng.crash_victim()
+    # Give the detector time to call it, then fail CR lanes by verdict
+    # (CM-5 lanes break themselves via exhausted recovery probes).
+    await eng.sleep(2.5 * eng.config.heartbeat.dead_after)
+    eng.break_victim_lanes(
+        f"peer {eng.victim!r} declared dead by the failure detector")
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario for scenario in (
+        Scenario(
+            name="partition-heal",
+            summary="split the fabric in half mid-traffic, then heal",
+            script=_script_partition_heal,
+        ),
+        Scenario(
+            name="crash-restart",
+            summary="crash a peer, restart it under the same address, "
+                    "resume from its durable cumulative ack",
+            script=_script_crash_restart,
+            expects_detection=True,
+        ),
+        Scenario(
+            name="rolling-flap",
+            summary="isolate each of three peers in turn, briefly",
+            script=_script_rolling_flap,
+        ),
+        Scenario(
+            name="burst-loss",
+            summary="a burst of 25% loss + 5% bit damage, then clear air",
+            script=_script_burst_loss,
+        ),
+        Scenario(
+            name="crash-permanent",
+            summary="crash a peer forever; lanes into it must fail "
+                    "loudly with ChannelBroken, not hang",
+            script=_script_crash_permanent,
+            recovery=RecoveryPolicy(max_epochs=1, probe_retries=4,
+                                    probe_interval=0.05),
+            expects_detection=True,
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# the soak run
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos soak: fabric shape, traffic pacing, fault parameters."""
+
+    mode: str = "cm5"            #: "cm5" | "cr"
+    peers: int = 6
+    lanes: int = 8
+    messages: int = 36           #: per lane
+    message_words: int = 12
+    packet_words: int = 8
+    window: int = 16
+    send_interval: float = 0.012  #: pacing, so traffic spans the faults
+    seed: int = 0xC4A05
+    drop_rate: float = 0.01      #: static profile under the scripted layer
+    dup_rate: float = 0.01
+    reorder_rate: float = 0.05
+    corrupt_rate: float = 0.002
+    deadline: float = 30.0
+    heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    backoff: BackoffPolicy = field(default_factory=lambda: CHAOS_BACKOFF)
+
+    def __post_init__(self) -> None:
+        if self.peers < 2 or self.lanes < 1 or self.messages < 1:
+            raise ValueError("peers >= 2, lanes >= 1, messages >= 1")
+        if self.message_words < 3:
+            raise ValueError(
+                "message_words must be at least 3 (cid, index, checksum)")
+
+    def fault_kwargs(self) -> Dict[str, float]:
+        if self.mode == "cr":
+            return {}
+        return {
+            "drop_rate": self.drop_rate, "dup_rate": self.dup_rate,
+            "reorder_rate": self.reorder_rate,
+            "corrupt_rate": self.corrupt_rate, "seed": self.seed,
+        }
+
+
+@dataclass
+class ChaosResult:
+    """What one scenario run proved (and what it cost)."""
+
+    scenario: str
+    config: ChaosConfig
+    completed: bool
+    wall_ns: int
+    audit: AuditReport
+    broken_lanes: List[Tuple[int, str]]
+    detection_latency: Optional[float]   #: seconds, crash scenarios only
+    detection_expected: bool
+    feature_ns: Dict[Feature, int]
+    wire: Dict[str, int]
+    detector_counts: Dict[str, int]
+    recoveries: int                      #: epoch renegotiations completed
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.feature_ns.values())
+
+    def share(self, feature: Feature) -> float:
+        total = self.total_ns
+        return self.feature_ns.get(feature, 0) / total if total else 0.0
+
+    @property
+    def fault_tolerance_share(self) -> float:
+        return self.share(Feature.FAULT_TOLERANCE)
+
+    @property
+    def detection_within_bound(self) -> Optional[bool]:
+        """Detection latency <= 2x the configured dead_after (None when
+        the scenario kills nobody)."""
+        if self.detection_latency is None:
+            return None
+        return self.detection_latency <= 2 * self.config.heartbeat.dead_after
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "mode": self.config.mode,
+            "peers": self.config.peers,
+            "lanes": self.config.lanes,
+            "messages_per_lane": self.config.messages,
+            "completed": self.completed,
+            "wall_ns": self.wall_ns,
+            "audit": self.audit.to_dict(),
+            "broken_lanes": [
+                {"cid": cid, "reason": reason}
+                for cid, reason in self.broken_lanes
+            ],
+            "detection_latency_s": self.detection_latency,
+            "detection_expected": self.detection_expected,
+            "heartbeat_dead_after_s": self.config.heartbeat.dead_after,
+            "detection_within_bound": self.detection_within_bound,
+            "recoveries": self.recoveries,
+            "wire": dict(self.wire),
+            "detector": dict(self.detector_counts),
+            "features": {
+                feature.value: {
+                    "ns": self.feature_ns.get(feature, 0),
+                    "share": self.share(feature),
+                }
+                for feature in Feature
+            },
+            "fault_tolerance_share": self.fault_tolerance_share,
+            "errors": list(self.errors),
+        }
+
+    def __str__(self) -> str:
+        audit = self.audit
+        verdict = "clean" if audit.clean else f"{audit.violations} violations"
+        detect = (f", detected in {self.detection_latency * 1e3:.0f}ms"
+                  if self.detection_latency is not None else "")
+        return (
+            f"chaos {self.scenario}/{self.config.mode}: "
+            f"{audit.delivered}/{audit.offered} delivered, audit {verdict}, "
+            f"{len(self.broken_lanes)} broken lane(s){detect}, "
+            f"ft share {self.fault_tolerance_share:.1%}"
+        )
+
+
+async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
+                    tracer: Optional[Tracer] = None) -> ChaosResult:
+    """Run one named scenario against paced, audited traffic."""
+    try:
+        scen = SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r} "
+            f"(have: {', '.join(sorted(SCENARIOS))})") from None
+    fabric = Fabric(
+        mode=config.mode, transport="loopback", tracer=tracer,
+        backoff=config.backoff, recovery=scen.recovery or config.recovery,
+        **config.fault_kwargs(),
+    )
+    injector = ChaosInjector(fabric.hub, seed=config.seed ^ 0xFA57)
+    detector = FailureDetector(fabric, config.heartbeat)
+    ledger = AuditLedger()
+    errors: List[str] = []
+    start = time.perf_counter_ns()
+    try:
+        names = [f"p{i:02d}" for i in range(config.peers)]
+        for name in names:
+            await fabric.add_peer(name)
+        victim = names[-1]
+        detector.start()
+        engine = ChaosEngine(config, fabric, injector, detector, ledger,
+                             victim)
+        for src, dst in chaos_pairs(names, config.lanes, victim):
+            conn = await fabric.connect(
+                src, dst, window=config.window,
+                packet_words=config.packet_words,
+                reorder_window=max(256, 4 * config.window),
+                ack_every=4, ack_delay=0.004,
+            )
+            engine.lanes.append(_ChaosLane(
+                conn, config.messages, config.message_words,
+                config.send_interval, ledger,
+            ))
+        engine.start_traffic()
+        try:
+            await asyncio.wait_for(scen.script(engine), config.deadline)
+        except Exception as exc:
+            errors.append(f"scenario script: {type(exc).__name__}: {exc}")
+        errors.extend(await engine.finish())
+        wall_ns = time.perf_counter_ns() - start
+        detection = None
+        if engine.crash_time is not None and victim in detector.dead_at:
+            detection = detector.dead_at[victim] - engine.crash_time
+        feature_ns = fabric.attribution_totals()
+        wire = fabric.wire_totals()
+        recoveries = sum(
+            value
+            for counters in fabric.endpoint_counters().values()
+            for key, value in counters.items()
+            if key.endswith("recoveries_completed")
+        )
+        broken = [(lane.cid, lane.broken) for lane in engine.lanes
+                  if lane.broken is not None]
+    finally:
+        await detector.stop()
+        await fabric.close()
+    audit = ledger.verdict(cid for cid, _reason in broken)
+    return ChaosResult(
+        scenario=scen.name,
+        config=config,
+        completed=not errors,
+        wall_ns=wall_ns,
+        audit=audit,
+        broken_lanes=broken,
+        detection_latency=detection,
+        detection_expected=scen.expects_detection,
+        feature_ns=feature_ns,
+        wire=wire,
+        detector_counts=detector.counters.to_dict(),
+        recoveries=recoveries,
+        errors=errors,
+    )
+
+
+def measure_chaos(config: ChaosConfig, scenario: str = "partition-heal",
+                  tracer: Optional[Tracer] = None) -> ChaosResult:
+    """Synchronous one-shot scenario run (owns the event loop)."""
+    return asyncio.run(run_chaos(config, scenario=scenario, tracer=tracer))
+
+
+def run_scenario_matrix(
+    base: ChaosConfig,
+    scenarios: Optional[Iterable[str]] = None,
+    modes: Sequence[str] = ("cm5", "cr"),
+) -> List[ChaosResult]:
+    """Every requested scenario x mode, each in its own event loop."""
+    from dataclasses import replace
+    results = []
+    for name in (scenarios or list(SCENARIOS)):
+        for mode in modes:
+            results.append(measure_chaos(replace(base, mode=mode),
+                                         scenario=name))
+    return results

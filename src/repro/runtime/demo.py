@@ -28,6 +28,8 @@ from repro.analysis.timeshare import (
     WireStats,
     fabric_collapse,
     overhead_collapse,
+    render_chaos_features,
+    render_chaos_table,
     render_fabric_features,
     render_fabric_sweep,
     render_mode_comparison,
@@ -369,6 +371,77 @@ def run_load_cmd(args) -> int:
     return 0
 
 
+def run_chaos_cmd(args) -> int:
+    """The ``runtime chaos`` command; returns a process exit code.
+
+    Soaks every requested scenario × mode cell: scripted faults against
+    paced, audited traffic, with the failure detector running.  A cell
+    passes when its end-to-end audit is clean (exactly-once, in-order
+    delivery; permanently dead peers surface as *typed* ``ChannelBroken``
+    lanes, never silent loss) and — on crash scenarios — the detector
+    flagged the victim within twice its ``dead_after`` timeout.
+    """
+    from dataclasses import replace
+
+    from repro.runtime.chaos import SCENARIOS, ChaosConfig, run_chaos
+
+    scenarios = (sorted(SCENARIOS) if args.scenario == "all"
+                 else [args.scenario])
+    modes = ("cm5", "cr") if args.mode == "both" else (args.mode,)
+    base = ChaosConfig(
+        peers=args.peers, lanes=args.lanes, messages=args.messages,
+        message_words=args.message_words, seed=args.seed,
+        drop_rate=args.drop_rate, dup_rate=args.dup_rate,
+        reorder_rate=args.reorder_rate, corrupt_rate=args.corrupt_rate,
+        deadline=args.deadline,
+    )
+    if args.smoke:
+        base = replace(base, peers=min(base.peers, 4),
+                       lanes=min(base.lanes, 4),
+                       messages=min(base.messages, 16))
+
+    print("repro chaos soak — scripted faults, detection, recovery, audit\n")
+    records: List[Dict[str, Any]] = []
+    failures = 0
+    tracer = Tracer() if args.trace else None
+    for scenario in scenarios:
+        for mode in modes:
+            import asyncio
+            result = asyncio.run(run_chaos(
+                replace(base, mode=mode), scenario, tracer=tracer))
+            bound_ok = result.detection_within_bound is not False
+            detected_ok = (not result.detection_expected
+                           or result.detection_latency is not None)
+            ok = (result.audit.clean and not result.errors
+                  and bound_ok and detected_ok)
+            if not ok:
+                failures += 1
+            print(f"  [{'ok' if ok else 'FAIL'}] {result}")
+            for error in result.errors:
+                print(f"        {error}")
+            for cid, reason in result.broken_lanes:
+                print(f"        lane {cid} broke (by contract): {reason}")
+            records.append(result.to_record())
+
+    print()
+    print(render_chaos_table(records))
+    print()
+    print(render_chaos_features(records))
+    print()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    if tracer is not None:
+        _export_trace(args.trace, tracer.events())
+    if failures:
+        print(f"{failures} chaos cell(s) FAILED")
+        return 1
+    print("chaos checks passed: every scenario ended with a clean "
+          "exactly-once audit.")
+    return 0
+
+
 def _rate(text: str) -> float:
     value = float(text)
     if not 0.0 <= value <= 1.0:
@@ -441,6 +514,41 @@ def add_runtime_subparsers(parser) -> None:
     load.add_argument("--json", default=None,
                       help="also write the sweep records to this JSON file")
     load.set_defaults(func=run_load_cmd)
+
+    chaos = sub.add_parser(
+        "chaos", help="soak scripted fault scenarios (partitions, crashes, "
+                      "flaps, bursts) with failure detection, channel "
+                      "recovery, and an exactly-once audit")
+    chaos.add_argument("--scenario", default="all",
+                       help="scenario name, or 'all' (default): "
+                            "partition-heal, crash-restart, rolling-flap, "
+                            "burst-loss, crash-permanent")
+    chaos.add_argument("--mode", default="both",
+                       choices=["both", "cm5", "cr"])
+    chaos.add_argument("--peers", type=int, default=6)
+    chaos.add_argument("--lanes", type=int, default=8,
+                       help="concurrent audited traffic lanes (default 8)")
+    chaos.add_argument("--messages", type=int, default=36,
+                       help="messages per lane (default 36)")
+    chaos.add_argument("--message-words", type=int, default=12)
+    chaos.add_argument("--drop-rate", type=_rate, default=0.01,
+                       help="static background loss under the scripted "
+                            "faults (cm5 only)")
+    chaos.add_argument("--dup-rate", type=_rate, default=0.01)
+    chaos.add_argument("--reorder-rate", type=_rate, default=0.05)
+    chaos.add_argument("--corrupt-rate", type=_rate, default=0.002)
+    chaos.add_argument("--seed", type=int, default=0xC4A05)
+    chaos.add_argument("--deadline", type=float, default=30.0)
+    chaos.add_argument("--smoke", action="store_true",
+                       help="shrink the soak for CI smoke checks "
+                            "(peers<=4, lanes<=4, messages<=16)")
+    chaos.add_argument("--json", default=None,
+                       help="also write the scenario records to this "
+                            "JSON file")
+    chaos.add_argument("--trace", default=None, metavar="FILE",
+                       help="record trace events and export a Chrome/"
+                            "Perfetto trace to FILE")
+    chaos.set_defaults(func=run_chaos_cmd)
 
     trace = sub.add_parser(
         "trace", help="trace every protocol x mode cell, reconstruct "

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Optional
 from repro.arch.attribution import Feature
 from repro.runtime.frames import (
     Frame,
+    FrameCorruption,
     FrameError,
     FrameKind,
     decode_frame,
@@ -29,7 +30,9 @@ from repro.runtime.transport import Address, Transport
 FrameHandler = Callable[[Frame, Address], None]
 
 #: Frame kinds that are acknowledgements (traced as ACK_TX / ACK_RX).
-ACK_KINDS = frozenset({FrameKind.ACK, FrameKind.CUM_ACK, FrameKind.FINAL_ACK})
+#: EPOCH_REPLY belongs here: it carries a definitive cumulative ack.
+ACK_KINDS = frozenset({FrameKind.ACK, FrameKind.CUM_ACK, FrameKind.FINAL_ACK,
+                       FrameKind.EPOCH_REPLY})
 
 
 class RuntimeEndpoint:
@@ -90,8 +93,19 @@ class RuntimeEndpoint:
         try:
             with self.attribution.span(Feature.BASE):
                 frame = decode_frame(data)
+        except FrameCorruption:
+            # Checksum mismatch: bit damage on the wire.  Counted apart
+            # from other decode failures (and traced) so corruption is
+            # attributable; the frame degrades into a drop and the
+            # retransmission path recovers.
+            self.counters.inc("corrupt_frames")
+            if self.tracer.enabled:
+                self.tracer.emit(EventType.CORRUPT, endpoint=self.name,
+                                 channel=-1, seq=-1,
+                                 feature=Feature.FAULT_TOLERANCE)
+            return
         except FrameError:
-            # A corrupt datagram degrades into a drop; fault tolerance
+            # A malformed datagram degrades into a drop; fault tolerance
             # (retransmission) recovers, exactly as for a lost packet.
             self.counters.inc("decode_errors")
             return
@@ -168,6 +182,11 @@ class RuntimeEndpoint:
     @property
     def decode_errors(self) -> int:
         return self.counters.get("decode_errors")
+
+    @property
+    def corrupt_frames(self) -> int:
+        """Datagrams rejected by the frame checksum (bit damage)."""
+        return self.counters.get("corrupt_frames")
 
     @property
     def unrouted(self) -> int:

@@ -31,11 +31,12 @@ function of peer count.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.attribution import Feature
 from repro.runtime.channels import LiveChannel, open_live_channel
 from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.protocols import RecoveryPolicy
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.tracing import Tracer
 from repro.runtime.transport import (
@@ -131,11 +132,13 @@ class Fabric:
     def __init__(self, mode: str = "cm5", transport: str = "loopback",
                  tracer: Optional[Tracer] = None,
                  backoff: Optional[BackoffPolicy] = None,
+                 recovery: Optional[RecoveryPolicy] = None,
                  **fault_kwargs: float) -> None:
         self.mode = mode
         self.transport = transport
         self.tracer = tracer
         self.backoff = backoff
+        self.recovery = recovery
         self.hub: Optional[LoopbackHub] = None
         if transport == "loopback":
             self.hub = make_hub(mode, **fault_kwargs)
@@ -152,8 +155,18 @@ class Fabric:
         self._connections: Dict[int, FabricConnection] = {}
         self._next_cid = itertools.count(FIRST_FABRIC_CHANNEL)
         self._closed = False
+        # Attribution from endpoints that no longer exist (crashed or
+        # departed peers) — folded into attribution_totals() so a crash
+        # never silently discards measured time.
+        self._residual_ns: Dict[Feature, int] = {f: 0 for f in Feature}
+        self._crashed: Set[str] = set()
+        #: Optional observer called as ``hook(event, peer_name)`` with
+        #: ``event`` in {"crash", "restart"} (failure detectors, tests).
+        self.on_peer_event: Optional[Callable[[str, str], None]] = None
         self.peers_joined = 0
         self.peers_left = 0
+        self.peers_crashed = 0
+        self.peers_restarted = 0
         self.connections_opened = 0
         self.connections_closed = 0
 
@@ -204,6 +217,67 @@ class Fabric:
         self.peers_left += 1
         await endpoint.close()
 
+    async def crash_peer(self, name: str) -> None:
+        """Kill ``name`` abruptly — the chaos-engine fault, not a leave.
+
+        Protocol soft state dies with the process: the peer's endpoint
+        and bindings disappear, its outbound connections hard-close, and
+        datagrams in flight toward it expire at the hub.  What survives
+        is application-durable state: receivers on connections *into*
+        the peer keep their in-order delivery point (and delivered
+        history), so a later :meth:`restart_peer` can resume them.  The
+        crashed endpoint's measured time folds into the fabric's
+        residual attribution — a crash never deletes observed cost.
+        """
+        if self.hub is None:
+            raise FabricError("only loopback peers can crash and restart")
+        endpoint = self.peer(name)
+        for conn in list(self._connections.values()):
+            if conn.closed:
+                continue
+            if conn.src == name:
+                # The sender's window, timers, and byte mirror are gone.
+                await conn.close(drain=False)
+            elif conn.dst == name:
+                # Durable delivery point survives; parked packets do not.
+                conn.channel.receiver.crash()
+        for feature, ns in endpoint.attribution.snapshot().items():
+            self._residual_ns[feature] += ns
+        del self._peers[name]
+        self._crashed.add(name)
+        self.peers_crashed += 1
+        await endpoint.close()
+        if self.on_peer_event is not None:
+            self.on_peer_event("crash", name)
+
+    async def restart_peer(self, name: str) -> RuntimeEndpoint:
+        """Bring a crashed peer back under the same address.
+
+        Receivers on still-open connections into the peer rebind to the
+        fresh endpoint at their durable resume point; their senders'
+        epoch renegotiation (when armed with a :class:`RecoveryPolicy`)
+        discovers the restart and resupplies whatever the crash lost.
+        """
+        if self._closed:
+            raise FabricError("fabric is closed")
+        if name not in self._crashed:
+            raise FabricError(f"peer {name!r} has not crashed")
+        transport = self.hub.attach(name)
+        endpoint = RuntimeEndpoint(transport, name=name, tracer=self.tracer)
+        self._peers[name] = endpoint
+        self._crashed.discard(name)
+        self.peers_restarted += 1
+        for conn in self._connections.values():
+            if conn.dst == name and not conn.closed:
+                conn.channel.receiver.rebind(endpoint)
+        if self.on_peer_event is not None:
+            self.on_peer_event("restart", name)
+        return endpoint
+
+    @property
+    def crashed_peers(self) -> List[str]:
+        return sorted(self._crashed)
+
     # -- connection management ------------------------------------------------
 
     def connections_of(self, name: str) -> List[FabricConnection]:
@@ -219,6 +293,7 @@ class Fabric:
                       packet_words: int = 16, reorder_window: int = 256,
                       ack_every: int = 8, ack_delay: float = 0.005,
                       backoff: Optional[BackoffPolicy] = None,
+                      recovery: Optional[RecoveryPolicy] = None,
                       ) -> FabricConnection:
         """Open an ordered channel ``src`` → ``dst`` on a fresh channel id.
 
@@ -238,7 +313,7 @@ class Fabric:
             tx, rx, dst=rx.local_address, channel=cid, window=window,
             packet_words=packet_words, reorder_window=reorder_window,
             backoff=backoff or self.backoff, ack_every=ack_every,
-            ack_delay=ack_delay,
+            ack_delay=ack_delay, recovery=recovery or self.recovery,
         )
         conn = FabricConnection(self, cid, src, dst, channel)
         self._connections[cid] = conn
@@ -268,8 +343,9 @@ class Fabric:
         self._peers.clear()
 
     def attribution_totals(self) -> Dict[Feature, int]:
-        """Per-feature nanosecond totals summed across every peer."""
-        totals: Dict[Feature, int] = {feature: 0 for feature in Feature}
+        """Per-feature nanosecond totals summed across every peer,
+        including residual time from crashed/departed endpoints."""
+        totals: Dict[Feature, int] = dict(self._residual_ns)
         for endpoint in self._peers.values():
             for feature, ns in endpoint.attribution.snapshot().items():
                 totals[feature] += ns

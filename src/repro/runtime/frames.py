@@ -12,20 +12,34 @@ Both the loopback and the UDP transport carry these frames unchanged;
 decode failures are surfaced as :class:`FrameError` so a corrupted
 datagram degrades into a drop (which the fault-tolerance machinery
 already recovers from) instead of a crash.
+
+Every frame carries a CRC-32 over the rest of the header plus the
+payload, so in-flight corruption (the chaos engine's bit-flips, a
+misbehaving NIC) is *detected* rather than silently delivered as wrong
+words: a checksum mismatch raises :class:`FrameCorruption`, a
+:class:`FrameError` subclass the endpoint counts separately from other
+decode failures.
 """
 
 from __future__ import annotations
 
 import enum
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 #: First header byte of every runtime datagram ("C5" — the machine).
 MAGIC = 0xC5
 
-#: Header layout: magic, kind, channel, seq, aux, payload word count.
-_HEADER = struct.Struct("!BBHIIH")
+#: Header layout before the checksum: magic, kind, channel, seq, aux,
+#: payload word count.  The CRC-32 (over this prefix + the payload
+#: body) rides directly behind it, closing out the header.
+_PREFIX = struct.Struct("!BBHIIH")
+_CRC = struct.Struct("!I")
+
+#: Full header size on the wire (prefix + checksum).
+HEADER_BYTES = _PREFIX.size + _CRC.size
 
 #: Payload words are 32-bit unsigned, like the CM-5's network words.
 WORD_MASK = 0xFFFFFFFF
@@ -37,6 +51,10 @@ MAX_PAYLOAD_WORDS = 4096
 
 class FrameError(ValueError):
     """A datagram could not be decoded as a runtime frame."""
+
+
+class FrameCorruption(FrameError):
+    """A structurally valid datagram failed its checksum (bit damage)."""
 
 
 class FrameKind(enum.IntEnum):
@@ -52,8 +70,14 @@ class FrameKind(enum.IntEnum):
                      #: packet offsets beyond it (empty when complete)
     CUM_ACK = 7      #: stream cumulative ack — seq = receiver's next expected
                      #: sequence number (everything below is delivered);
-                     #: payload = out-of-order seqs parked in the reorder
-                     #: buffer (selective acks)
+                     #: aux = channel epoch; payload = out-of-order seqs
+                     #: parked in the reorder buffer (selective acks)
+    EPOCH_REQ = 8    #: channel recovery probe — seq = proposed epoch,
+                     #: aux = sender's lowest unacknowledged sequence number
+    EPOCH_REPLY = 9  #: recovery grant — seq = receiver's next expected
+                     #: sequence number (a definitive cumulative ack),
+                     #: aux = granted epoch, payload = selective acks
+    HEARTBEAT = 10   #: failure-detector liveness beacon — seq = beat number
 
 
 @dataclass(frozen=True)
@@ -85,7 +109,7 @@ class Frame:
 
 def encode_frame(frame: Frame) -> bytes:
     """Serialize a frame to the datagram bytes that go on the wire."""
-    header = _HEADER.pack(
+    prefix = _PREFIX.pack(
         MAGIC,
         int(frame.kind),
         frame.channel & 0xFFFF,
@@ -93,36 +117,48 @@ def encode_frame(frame: Frame) -> bytes:
         frame.aux & WORD_MASK,
         len(frame.payload),
     )
-    if not frame.payload:
-        return header
-    body = struct.pack(f"!{len(frame.payload)}I",
-                       *(w & WORD_MASK for w in frame.payload))
-    return header + body
+    body = b""
+    if frame.payload:
+        body = struct.pack(f"!{len(frame.payload)}I",
+                           *(w & WORD_MASK for w in frame.payload))
+    crc = zlib.crc32(body, zlib.crc32(prefix))
+    return prefix + _CRC.pack(crc) + body
 
 
 def decode_frame(data: bytes) -> Frame:
     """Parse datagram bytes back into a :class:`Frame`.
 
-    Raises :class:`FrameError` on bad magic, unknown kind, or truncation.
+    Raises :class:`FrameError` on bad magic, unknown kind, or
+    truncation, and :class:`FrameCorruption` (a subclass) when the
+    structure is intact but the checksum does not match — the endpoint
+    counts the two separately so bit damage is visible as such.
     """
-    if len(data) < _HEADER.size:
+    if len(data) < HEADER_BYTES:
         raise FrameError(f"datagram of {len(data)} bytes is shorter than a header")
-    magic, kind, channel, seq, aux, count = _HEADER.unpack_from(data)
+    magic, kind, channel, seq, aux, count = _PREFIX.unpack_from(data)
     if magic != MAGIC:
         raise FrameError(f"bad magic byte 0x{magic:02x}")
     try:
         frame_kind = FrameKind(kind)
     except ValueError as exc:
         raise FrameError(f"unknown frame kind {kind}") from exc
-    expected = _HEADER.size + 4 * count
+    expected = HEADER_BYTES + 4 * count
     if len(data) != expected:
         raise FrameError(
             f"frame declares {count} payload words ({expected} bytes) "
             f"but datagram has {len(data)} bytes"
         )
+    (crc,) = _CRC.unpack_from(data, _PREFIX.size)
+    actual = zlib.crc32(data[HEADER_BYTES:],
+                        zlib.crc32(data[:_PREFIX.size]))
+    if crc != actual:
+        raise FrameCorruption(
+            f"checksum mismatch on {frame_kind.name} frame "
+            f"(wire 0x{crc:08x} != computed 0x{actual:08x})"
+        )
     payload: Tuple[int, ...] = ()
     if count:
-        payload = struct.unpack_from(f"!{count}I", data, _HEADER.size)
+        payload = struct.unpack_from(f"!{count}I", data, HEADER_BYTES)
     return Frame(kind=frame_kind, channel=channel, seq=seq, aux=aux, payload=payload)
 
 
@@ -135,14 +171,39 @@ def data_frame(channel: int, seq: int, payload: Sequence[int], aux: int = 0) -> 
 
 
 def cum_ack_frame(channel: int, next_expected: int,
-                  sacks: Sequence[int] = ()) -> Frame:
+                  sacks: Sequence[int] = (), epoch: int = 0) -> Frame:
     """A stream cumulative acknowledgement.
 
     ``next_expected`` acknowledges every sequence number below it;
     ``sacks`` selectively acknowledges out-of-order packets parked
-    beyond the contiguous point.
+    beyond the contiguous point; ``epoch`` is the receiver's current
+    channel epoch (bumped by crash-recovery renegotiation).
     """
     return Frame(
         kind=FrameKind.CUM_ACK, channel=channel, seq=next_expected,
-        aux=len(sacks), payload=tuple(sacks),
+        aux=epoch, payload=tuple(sacks),
     )
+
+
+def epoch_req_frame(channel: int, proposed_epoch: int, base_seq: int) -> Frame:
+    """A channel-recovery probe: the sender proposes a new epoch and
+    names its lowest unacknowledged sequence number (``base_seq``)."""
+    return Frame(
+        kind=FrameKind.EPOCH_REQ, channel=channel, seq=proposed_epoch,
+        aux=base_seq,
+    )
+
+
+def epoch_reply_frame(channel: int, next_expected: int, epoch: int,
+                      sacks: Sequence[int] = ()) -> Frame:
+    """The receiver's recovery grant: a definitive cumulative ack
+    (``next_expected``) under the granted ``epoch``."""
+    return Frame(
+        kind=FrameKind.EPOCH_REPLY, channel=channel, seq=next_expected,
+        aux=epoch, payload=tuple(sacks),
+    )
+
+
+def heartbeat_frame(channel: int, beat: int) -> Frame:
+    """A failure-detector liveness beacon."""
+    return Frame(kind=FrameKind.HEARTBEAT, channel=channel, seq=beat)

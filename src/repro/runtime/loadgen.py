@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import asyncio
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.attribution import Feature
 from repro.runtime.channels import LiveFramedChannel
@@ -57,16 +58,18 @@ class LoadConfig:
     ack_delay: float = 0.005
     deadline: float = 60.0
     backoff: Optional[BackoffPolicy] = None
+    audit: bool = False          #: run the exactly-once delivery ledger
 
     def __post_init__(self) -> None:
         if self.peers < 2:
             raise ValueError("a fabric load needs at least 2 peers")
         if self.channels < 1 or self.messages < 1:
             raise ValueError("channels and messages must be positive")
-        if self.message_words < 2:
-            # The first two payload words carry the channel id and the
-            # message index, so integrity can be checked on delivery.
-            raise ValueError("message_words must be at least 2")
+        if self.message_words < 3:
+            # The first three payload words carry the channel id, the
+            # message index, and a per-message checksum, so exactly-once
+            # in-order delivery can be audited end to end.
+            raise ValueError("message_words must be at least 3")
 
     def fault_kwargs(self) -> Dict[str, float]:
         return {
@@ -90,6 +93,7 @@ class LoadResult:
     wire: Dict[str, int] = field(default_factory=dict)
     per_peer_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    audit: Optional[AuditReport] = None
 
     @property
     def lost_messages(self) -> int:
@@ -152,6 +156,7 @@ class LoadResult:
             },
             "ordering_fault_share": self.ordering_fault_share,
             "errors": list(self.errors),
+            "audit": self.audit.to_dict() if self.audit is not None else None,
         }
 
     def __str__(self) -> str:
@@ -162,6 +167,144 @@ class LoadResult:
             f"{self.wall_ns / 1e6:.1f}ms "
             f"({self.throughput_msgs_per_s:.0f} msg/s, "
             f"p99 {self.latency.p99 / 1e6:.2f}ms)"
+        )
+
+
+def message_checksum(cid: int, index: int, filler: Sequence[int]) -> int:
+    """Application-level CRC-32 over one message's identity and body.
+
+    Independent of the wire-frame checksum: this one is computed by the
+    *producer* and verified by the *consumer*, so it catches anything
+    the messaging layers could mangle end to end — truncation,
+    word-level damage, cross-channel mixups — not just per-datagram bit
+    flips.
+    """
+    body = ("%d|%d|" % (cid, index)).encode("ascii")
+    body += b",".join(b"%d" % w for w in filler)
+    return zlib.crc32(body)
+
+
+@dataclass
+class AuditReport:
+    """The verdict of one end-to-end delivery audit."""
+
+    offered: int                 #: messages stamped into the ledger
+    delivered: int               #: messages that arrived and verified
+    duplicates: int              #: arrivals of an already-delivered index
+    misordered: int              #: arrivals that skipped ahead of a gap
+    checksum_failures: int       #: arrivals whose CRC or identity lied
+    missing: int                 #: never arrived on a *live* lane
+    missing_on_broken: int       #: never arrived on a ChannelBroken lane
+    broken_lanes: int
+
+    @property
+    def violations(self) -> int:
+        """Exactly-once/in-order breaches.  Messages missing on a lane
+        that ended in a typed ``ChannelBroken`` are *not* violations —
+        a permanently dead peer loses data loudly, by contract."""
+        return (self.duplicates + self.misordered
+                + self.checksum_failures + self.missing)
+
+    @property
+    def clean(self) -> bool:
+        return self.violations == 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "duplicates": self.duplicates,
+            "misordered": self.misordered,
+            "checksum_failures": self.checksum_failures,
+            "missing": self.missing,
+            "missing_on_broken": self.missing_on_broken,
+            "broken_lanes": self.broken_lanes,
+            "violations": self.violations,
+        }
+
+
+class AuditLedger:
+    """Global sequence ledger proving exactly-once in-order delivery.
+
+    Producers :meth:`stamp` every message before sending (embedding the
+    channel id, per-channel index, and a CRC-32 into the payload);
+    consumers :meth:`record_delivery` every arrival.  Because each lane
+    is an ordered channel, the ledger demands per-channel indices arrive
+    as exactly ``0, 1, 2, ...`` — anything else is counted as a
+    duplicate, a misorder, or (via :meth:`verdict`) a loss.
+    """
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.delivered = 0
+        self.duplicates = 0
+        self.misordered = 0
+        self.checksum_failures = 0
+        self._offered_next: Dict[int, int] = {}    # cid -> next index to stamp
+        self._delivered_next: Dict[int, int] = {}  # cid -> next index expected
+
+    def stamp(self, cid: int, index: int, filler: Sequence[int]) -> List[int]:
+        """Build (and register) the payload for message ``index`` of
+        lane ``cid``: ``[cid, index, crc, *filler]``."""
+        expected = self._offered_next.get(cid, 0)
+        if index != expected:
+            raise ValueError(
+                f"lane {cid} stamped index {index}, expected {expected}")
+        self._offered_next[cid] = index + 1
+        self.offered += 1
+        return [cid, index, message_checksum(cid, index, filler)] + list(filler)
+
+    def record_delivery(self, cid: int, words: Sequence[int]) -> bool:
+        """Verify one arrival; returns True when it was a fresh, intact,
+        in-order delivery."""
+        if len(words) < 3 or words[0] != cid:
+            self.checksum_failures += 1
+            return False
+        index, crc = words[1], words[2]
+        if crc != message_checksum(cid, index, words[3:]):
+            self.checksum_failures += 1
+            return False
+        expected = self._delivered_next.get(cid, 0)
+        if index < expected:
+            self.duplicates += 1
+            return False
+        if index > expected:
+            # The lane skipped over a gap: one misorder violation, then
+            # resynchronize so the rest of the lane is still auditable.
+            self.misordered += 1
+            self._delivered_next[cid] = index + 1
+            self.delivered += 1
+            return False
+        self._delivered_next[cid] = index + 1
+        self.delivered += 1
+        return True
+
+    def lane_delivered(self, cid: int) -> int:
+        return self._delivered_next.get(cid, 0)
+
+    def verdict(self, broken_lanes: Iterable[int] = ()) -> AuditReport:
+        """Close the books: anything stamped but never delivered is a
+        loss — a violation unless its lane ended in ``ChannelBroken``."""
+        broken = set(broken_lanes)
+        missing = 0
+        missing_on_broken = 0
+        for cid, offered in self._offered_next.items():
+            gap = offered - self._delivered_next.get(cid, 0)
+            if gap <= 0:
+                continue
+            if cid in broken:
+                missing_on_broken += gap
+            else:
+                missing += gap
+        return AuditReport(
+            offered=self.offered,
+            delivered=self.delivered,
+            duplicates=self.duplicates,
+            misordered=self.misordered,
+            checksum_failures=self.checksum_failures,
+            missing=missing,
+            missing_on_broken=missing_on_broken,
+            broken_lanes=len(broken),
         )
 
 
@@ -188,11 +331,13 @@ class _LoadChannel:
     """One driven channel: framing, send timestamps, delivery latency."""
 
     def __init__(self, conn: FabricConnection, expect: int,
-                 hist: LatencyHistogram) -> None:
+                 hist: LatencyHistogram,
+                 ledger: Optional[AuditLedger] = None) -> None:
         self.conn = conn
         self.framed = LiveFramedChannel(conn.channel)
         self.expect = expect
         self.hist = hist
+        self.ledger = ledger
         self.sent = 0
         self.delivered = 0
         self.corrupt = 0
@@ -210,13 +355,19 @@ class _LoadChannel:
         # [cid, k, ...] exactly.
         if len(words) < 2 or words[0] != self.conn.cid or words[1] != index:
             self.corrupt += 1
+        if self.ledger is not None:
+            self.ledger.record_delivery(self.conn.cid, words)
         if self.delivered >= self.expect and not self._done.done():
             self._done.set_result(True)
 
     async def drive(self, message_words: int) -> None:
-        filler = list(range(2, message_words))
+        reserved = 2 if self.ledger is None else 3
+        filler = list(range(reserved, message_words))
         for k in range(self.expect):
-            payload = [self.conn.cid, k] + filler
+            if self.ledger is not None:
+                payload = self.ledger.stamp(self.conn.cid, k, filler)
+            else:
+                payload = [self.conn.cid, k] + filler
             self._send_ts.append(time.perf_counter_ns())
             await self.framed.send_message(payload)
             self.sent += 1
@@ -235,6 +386,7 @@ async def run_load(config: LoadConfig,
         **(config.fault_kwargs() if config.transport == "loopback" else {}),
     )
     hist = LatencyHistogram()
+    ledger = AuditLedger() if config.audit else None
     errors: List[str] = []
     completed = False
     lanes: List[_LoadChannel] = []
@@ -250,7 +402,8 @@ async def run_load(config: LoadConfig,
                 reorder_window=max(256, 2 * config.window),
                 ack_every=config.ack_every, ack_delay=config.ack_delay,
             )
-            lanes.append(_LoadChannel(conn, config.messages, hist))
+            lanes.append(_LoadChannel(conn, config.messages, hist,
+                                      ledger=ledger))
 
         start = time.perf_counter_ns()
         tasks = [asyncio.ensure_future(lane.drive(config.message_words))
@@ -288,6 +441,7 @@ async def run_load(config: LoadConfig,
         wire=wire,
         per_peer_counters=per_peer,
         errors=errors,
+        audit=ledger.verdict() if ledger is not None else None,
     )
 
 

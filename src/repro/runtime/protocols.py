@@ -50,7 +50,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.arch.attribution import Feature
 from repro.protocols.sequencing import ReorderWindow, SequenceError, SequenceGenerator
 from repro.runtime.endpoint import RuntimeEndpoint
-from repro.runtime.frames import Frame, FrameKind, cum_ack_frame, data_frame
+from repro.runtime.frames import (
+    Frame,
+    FrameKind,
+    cum_ack_frame,
+    data_frame,
+    epoch_reply_frame,
+    epoch_req_frame,
+)
 from repro.runtime.reliability import BackoffPolicy, Retransmitter, RetransmitExhausted
 from repro.runtime.tracing import EventType
 from repro.runtime.transport import Address
@@ -67,6 +74,42 @@ MAX_SACKS = 512
 
 class ProtocolFailure(RuntimeError):
     """A live protocol could not complete (retry budget exhausted)."""
+
+
+class ChannelBroken(ProtocolFailure):
+    """An ordered channel is permanently dead.
+
+    Raised (typed, never a silent hang) to blocked senders and drain
+    waiters when the retransmitter exhausts its retries and epoch
+    renegotiation either is not configured or also fails — the peer is
+    gone for good.
+    """
+
+
+@dataclass
+class RecoveryPolicy:
+    """How an ordered-channel sender renegotiates after retry exhaustion.
+
+    When the retransmitter gives up on a packet, the sender — instead of
+    declaring the channel broken outright — pauses retransmission and
+    probes the receiver with ``EPOCH_REQ`` frames.  A restarted peer
+    under the same address answers with its durable next-expected
+    sequence number; the sender resumes from that cumulative ack.  When
+    every probe goes unanswered (or ``max_epochs`` renegotiations have
+    already been spent) the channel breaks with
+    :class:`ChannelBroken`.
+    """
+
+    max_epochs: int = 4          #: renegotiation rounds before giving up
+    probe_retries: int = 12      #: EPOCH_REQ probes per round
+    probe_interval: float = 0.05  #: first probe's reply timeout
+    probe_factor: float = 1.5    #: backoff between probes
+    probe_ceiling: float = 1.0   #: cap on the probe timeout
+
+    def __post_init__(self) -> None:
+        if (self.max_epochs < 1 or self.probe_retries < 1
+                or self.probe_interval <= 0 or self.probe_factor < 1.0):
+            raise ValueError(f"nonsensical recovery policy: {self}")
 
 
 # ---------------------------------------------------------------------------
@@ -670,23 +713,45 @@ class BulkSender:
 
 
 class OrderedChannelSender:
-    """Source side: sequence numbers, windowed source buffer, retransmit."""
+    """Source side: sequence numbers, windowed source buffer, retransmit.
+
+    With a :class:`RecoveryPolicy`, retry exhaustion triggers epoch
+    renegotiation instead of immediate failure: the timer wheel pauses,
+    ``EPOCH_REQ`` probes ask the (possibly restarted) receiver where it
+    stands, and on a reply the sender resumes from the receiver's
+    durable cumulative point.  Either way the sender never hangs
+    silently — a channel that cannot recover raises
+    :class:`ChannelBroken` to every blocked ``send()`` and ``drain()``.
+    """
 
     def __init__(self, endpoint: RuntimeEndpoint, dst: Address,
                  channel: int = CH_STREAM, window: int = 32,
-                 backoff: Optional[BackoffPolicy] = None) -> None:
+                 backoff: Optional[BackoffPolicy] = None,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         if window < 1:
             raise ValueError("window must be positive")
         self.endpoint = endpoint
         self.dst = dst
         self.channel = channel
         self.window = window
+        self.recovery = recovery
+        self.epoch = 0
+        self._epochs_used = 0
         self._seq = SequenceGenerator()
         self._space = asyncio.Event()
         self._space.set()
         self._drain_waiters: List[asyncio.Future] = []
         self._failure: Optional[Exception] = None
         self._closed = False
+        # Byte mirror of every unacknowledged packet.  The retransmitter
+        # drops an entry when it gives up; this mirror is what lets a
+        # renegotiated epoch resupply those packets.  Purged only below
+        # the *cumulative* ack point — a selectively-acked packet stays,
+        # because a crashed receiver loses its parked packets and the
+        # sender must be able to send them again.
+        self._wire: Dict[int, bytes] = {}
+        self._recover_task: Optional[asyncio.Task] = None
+        self._epoch_reply: Optional[asyncio.Future] = None
         self.counters = endpoint.counters.scoped("stream_tx")
         self.retransmitter = Retransmitter(
             self._resend, policy=backoff,
@@ -711,6 +776,27 @@ class OrderedChannelSender:
     @property
     def sent(self) -> int:
         return self._seq.issued
+
+    @property
+    def broken(self) -> bool:
+        """True once the channel has failed permanently."""
+        return self._failure is not None
+
+    @property
+    def failure(self) -> Optional[Exception]:
+        return self._failure
+
+    @property
+    def recovering(self) -> bool:
+        return self._recover_task is not None and not self._recover_task.done()
+
+    @property
+    def recoveries_started(self) -> int:
+        return self.counters.get("recoveries_started")
+
+    @property
+    def recoveries_completed(self) -> int:
+        return self.counters.get("recoveries_completed")
 
     async def send(self, words: Sequence[int]) -> int:
         """Send one packet's worth of data; returns its sequence number.
@@ -741,6 +827,7 @@ class OrderedChannelSender:
         with attr.span(Feature.FAULT_TOLERANCE):
             # Source buffering: pin the packet until an ack covers it.
             self.retransmitter.track(seq, data)
+            self._wire[seq] = data
         return seq
 
     async def drain(self, timeout: float = 30.0) -> None:
@@ -766,25 +853,135 @@ class OrderedChannelSender:
         await self.endpoint.transport.send(self.dst, data)
 
     def _give_up(self, key, error: RetransmitExhausted) -> None:
-        self._failure = ProtocolFailure(str(error))
+        if self._closed or self._failure is not None:
+            return
+        if self.recovering:
+            # Several keys can exhaust in the same wheel pass; one
+            # renegotiation covers them all (the byte mirror still
+            # holds every packet the wheel dropped).  Checked before the
+            # epoch budget: a straggler give-up must never break a
+            # channel whose last-epoch recovery is still in flight.
+            return
+        if (self.recovery is not None
+                and self._epochs_used < self.recovery.max_epochs):
+            self._epochs_used += 1
+            self.counters.inc("recoveries_started")
+            self.retransmitter.pause()
+            self._recover_task = asyncio.get_running_loop().create_task(
+                self._recover()
+            )
+            return
+        self._break(ChannelBroken(
+            f"ordered channel {self.channel} to {self.dst!r} is dead: {error}"
+        ))
+
+    def _break(self, failure: ProtocolFailure) -> None:
+        """Fail the channel permanently: wake every blocked sender and
+        drain waiter with the typed error instead of leaving them hung."""
+        self._failure = failure
         self._space.set()
         for waiter in self._drain_waiters:
             if not waiter.done():
-                waiter.set_exception(self._failure)
+                waiter.set_exception(failure)
         self._drain_waiters = []
+        if self._epoch_reply is not None and not self._epoch_reply.done():
+            self._epoch_reply.cancel()
+
+    async def _recover(self) -> None:
+        """Probe the receiver with EPOCH_REQs until it answers or the
+        probe budget runs out."""
+        policy = self.recovery
+        endpoint = self.endpoint
+        loop = asyncio.get_running_loop()
+        proposed = self.epoch + 1
+        base = min(self._wire) if self._wire else self._seq.issued
+        if endpoint.tracer.enabled:
+            endpoint.tracer.emit(EventType.EPOCH, endpoint=endpoint.name,
+                                 channel=self.channel, seq=proposed, aux=base,
+                                 kind="EPOCH_PROBE",
+                                 feature=Feature.FAULT_TOLERANCE)
+        timeout = policy.probe_interval
+        for _attempt in range(policy.probe_retries):
+            self._epoch_reply = loop.create_future()
+            self.counters.inc("epoch_probes")
+            await endpoint.send_frame(
+                self.dst, epoch_req_frame(self.channel, proposed, base),
+                Feature.FAULT_TOLERANCE,
+            )
+            try:
+                reply = await asyncio.wait_for(self._epoch_reply, timeout)
+            except asyncio.TimeoutError:
+                timeout = min(timeout * policy.probe_factor,
+                              policy.probe_ceiling)
+                continue
+            self._epoch_reply = None
+            self._complete_recovery(reply, proposed, base)
+            return
+        self._epoch_reply = None
+        self._break(ChannelBroken(
+            f"ordered channel {self.channel} to {self.dst!r}: "
+            f"{policy.probe_retries} epoch probes unanswered"
+        ))
+
+    def _complete_recovery(self, reply: Frame, proposed: int,
+                           base: int) -> None:
+        expected = reply.seq
+        if expected < base:
+            # The receiver expects data from before anything we still
+            # hold: it lost state we were already told was delivered.
+            # Resuming would silently re-deliver or skip — break instead.
+            self._break(ChannelBroken(
+                f"ordered channel {self.channel} to {self.dst!r}: receiver "
+                f"lost acknowledged data (expects {expected}, "
+                f"sender base {base})"
+            ))
+            return
+        self.epoch = max(reply.aux, proposed)
+        with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            covered = {int(s) for s in reply.payload}
+            stale = [s for s in self._wire if s < expected or s in covered]
+            for seq in stale:
+                del self._wire[seq]
+                self.retransmitter.ack(seq)
+            for seq in sorted(self._wire):
+                self.retransmitter.requeue(seq, self._wire[seq])
+            self.retransmitter.resume()
+            self.counters.inc("recoveries_completed")
+        if self.endpoint.tracer.enabled:
+            self.endpoint.tracer.emit(EventType.EPOCH,
+                                      endpoint=self.endpoint.name,
+                                      channel=self.channel, seq=self.epoch,
+                                      aux=expected, kind="EPOCH_GRANT",
+                                      feature=Feature.FAULT_TOLERANCE)
+        if self.retransmitter.outstanding < self.window:
+            self._space.set()
+        if self.retransmitter.outstanding == 0:
+            for waiter in self._drain_waiters:
+                if not waiter.done():
+                    waiter.set_result(True)
+            self._drain_waiters = []
 
     def _raise_if_failed(self) -> None:
         if self._failure is not None:
             raise self._failure
 
     def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is FrameKind.EPOCH_REPLY:
+            future = self._epoch_reply
+            if future is not None and not future.done():
+                future.set_result(frame)
+            return
         if frame.kind is not FrameKind.CUM_ACK:
             return
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
             self.counters.inc("acks_received")
             # Cumulative: everything below next-expected is delivered.
             released = self.retransmitter.ack_below(frame.seq)
+            for seq in [s for s in self._wire if s < frame.seq]:
+                del self._wire[seq]
             # Selective: out-of-order packets parked in the reorder buffer.
+            # These stay in the byte mirror — a receiver crash loses its
+            # parked packets, and recovery must be able to resupply them.
             for seq in frame.payload:
                 if self.retransmitter.ack(int(seq)):
                     released += 1
@@ -818,6 +1015,12 @@ class OrderedChannelSender:
             self._drain_waiters = []
         self._space.set()
         self.endpoint.unbind(self.channel)
+        if self._recover_task is not None and not self._recover_task.done():
+            self._recover_task.cancel()
+            try:
+                await self._recover_task
+            except (asyncio.CancelledError, Exception):
+                pass
         await self.retransmitter.cancel_all()
 
 
@@ -839,7 +1042,8 @@ class OrderedChannelReceiver:
     def __init__(self, endpoint: RuntimeEndpoint, channel: int = CH_STREAM,
                  window: int = 256,
                  deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None,
-                 ack_every: int = 8, ack_delay: float = 0.005) -> None:
+                 ack_every: int = 8, ack_delay: float = 0.005,
+                 resume_expected: int = 0, epoch: int = 0) -> None:
         if ack_every < 1:
             raise ValueError("ack_every must be positive")
         if ack_delay <= 0:
@@ -847,7 +1051,8 @@ class OrderedChannelReceiver:
         self.endpoint = endpoint
         self.channel = channel
         self.user_deliver = deliver
-        self.reorder = ReorderWindow(window=window)
+        self.reorder = ReorderWindow(window=window, start=resume_expected)
+        self.epoch = epoch
         self.ack_every = ack_every
         self.ack_delay = ack_delay
         self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
@@ -894,6 +1099,9 @@ class OrderedChannelReceiver:
         return [w for _seq, payload in self.delivered for w in payload]
 
     def _on_frame(self, frame: Frame, src: Address) -> None:
+        if frame.kind is FrameKind.EPOCH_REQ:
+            self._on_epoch_req(frame, src)
+            return
         if frame.kind is not FrameKind.DATA:
             return
         self.counters.inc("arrivals")
@@ -942,6 +1150,74 @@ class OrderedChannelReceiver:
                 self._schedule_ack(src)
         self._notify()
 
+    # -- epoch renegotiation --------------------------------------------------
+
+    @property
+    def epoch_requests(self) -> int:
+        return self.counters.get("epoch_requests")
+
+    def _on_epoch_req(self, frame: Frame, src: Address) -> None:
+        """A sender gave up retransmitting and is asking where we stand.
+
+        Reply with the durable next-expected sequence number (plus
+        selective acks for anything parked) under the highest epoch
+        either side has seen.  The reply is definitive: the sender
+        purges below it and resupplies the rest.
+        """
+        with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
+            proposed, base = frame.seq, frame.aux
+            self.counters.inc("epoch_requests")
+            if proposed > self.epoch:
+                self.epoch = proposed
+                if self.endpoint.tracer.enabled:
+                    self.endpoint.tracer.emit(
+                        EventType.EPOCH, endpoint=self.endpoint.name,
+                        channel=self.channel, seq=proposed, aux=base,
+                        kind="EPOCH_ADOPT", feature=Feature.FAULT_TOLERANCE)
+            if self.reorder.expected < base and not self.delivered:
+                # A receiver with no delivery history joining a stream
+                # already under way: accept the sender's base rather than
+                # waiting forever for sequence numbers that predate us.
+                self.reorder = ReorderWindow(window=self.reorder.window,
+                                             start=base)
+                self._parked.clear()
+            sacks = sorted(self._parked)[:MAX_SACKS]
+            self.counters.inc("acks_sent")
+            self.endpoint.post_frame(
+                src,
+                epoch_reply_frame(self.channel, self.reorder.expected,
+                                  self.epoch, sacks),
+                Feature.FAULT_TOLERANCE,
+            )
+
+    # -- crash / restart ------------------------------------------------------
+
+    def crash(self) -> int:
+        """Simulate process death on this side of the channel.
+
+        Protocol soft state — parked out-of-order packets, the delayed-ack
+        timer, the channel binding — is lost.  Application-durable state
+        survives: the in-order delivery point and everything already
+        delivered.  Returns the durable next-expected sequence number
+        (what a restarted incarnation passes as ``resume_expected``).
+        """
+        self.endpoint.unbind(self.channel)
+        if self._ack_handle is not None:
+            self._ack_handle.cancel()
+            self._ack_handle = None
+        expected = self.reorder.expected
+        self.reorder = ReorderWindow(window=self.reorder.window,
+                                     start=expected)
+        self._parked.clear()
+        self._unacked = 0
+        return expected
+
+    def rebind(self, endpoint: RuntimeEndpoint) -> None:
+        """Attach this receiver to a restarted endpoint (same channel)."""
+        self.endpoint = endpoint
+        self.counters = endpoint.counters.scoped("stream_rx")
+        endpoint.bind(self.channel, self._on_frame)
+
     # -- ack coalescing -------------------------------------------------------
 
     def _send_ack(self, src: Address) -> None:
@@ -952,7 +1228,8 @@ class OrderedChannelReceiver:
         self.counters.inc("acks_sent")
         sacks = sorted(self._parked)[:MAX_SACKS]
         self.endpoint.post_frame(
-            src, cum_ack_frame(self.channel, self.reorder.expected, sacks),
+            src, cum_ack_frame(self.channel, self.reorder.expected, sacks,
+                               epoch=self.epoch),
             Feature.FAULT_TOLERANCE,
         )
 

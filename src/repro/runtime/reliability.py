@@ -186,6 +186,7 @@ class Retransmitter:
         self._entries: Dict[Hashable, _Tracked] = {}
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
+        self._paused = False
         #: Give-ups recorded when no ``on_give_up`` callback is wired —
         #: deterministic surfacing instead of a swallowed task exception.
         self.failures: Dict[Hashable, RetransmitExhausted] = {}
@@ -236,6 +237,43 @@ class Retransmitter:
             self._task = asyncio.get_running_loop().create_task(self._run())
         self._wake.set()
 
+    def requeue(self, key: Hashable, data: bytes) -> None:
+        """(Re-)track ``key`` with a fresh retry budget.
+
+        The channel-recovery path: after an epoch renegotiation the
+        sender re-tracks every surviving packet — including keys that
+        already gave up (popped from the wheel) and keys still tracked
+        (whose attempt counts are stale).  The entry is marked
+        retransmitted so Karn's algorithm excludes its eventual ack
+        from the RTT estimate.
+        """
+        now = asyncio.get_running_loop().time()
+        self._entries[key] = _Tracked(
+            data=data, deadline=now + self._interval(0), first_sent=now,
+            retransmitted=True,
+        )
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        self._wake.set()
+
+    def pause(self) -> None:
+        """Park the timer wheel: entries stay tracked but nothing fires.
+
+        Used while a channel renegotiates its epoch — retransmitting
+        into a partition or a crashed peer only burns retry budget.
+        """
+        self._paused = True
+        self._wake.set()
+
+    def resume(self) -> None:
+        """Restart the timer wheel after :meth:`pause`."""
+        self._paused = False
+        self._wake.set()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
     def ack(self, key: Hashable) -> bool:
         """Release ``key``; returns False for unknown/duplicate acks."""
         entry = self._entries.pop(key, None)
@@ -285,6 +323,11 @@ class Retransmitter:
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
         while self._entries:
+            if self._paused:
+                self._wake.clear()
+                if self._paused and self._entries:
+                    await self._wake.wait()
+                continue
             now = loop.time()
             next_deadline = min(e.deadline for e in self._entries.values())
             delay = next_deadline - now

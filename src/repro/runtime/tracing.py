@@ -59,6 +59,11 @@ class EventType(enum.Enum):
     DELIVER = "DELIVER"        #: payload handed to the delivery path
     GIVE_UP = "GIVE_UP"        #: retry budget exhausted for a tracked frame
     TIMER_FIRE = "TIMER_FIRE"  #: a retransmit/delayed-ack timer fired
+    CORRUPT = "CORRUPT"        #: a datagram failed its frame checksum
+    PEER_SUSPECT = "PEER_SUSPECT"  #: failure detector: heartbeats went quiet
+    PEER_DEAD = "PEER_DEAD"        #: failure detector: peer declared dead
+    PEER_ALIVE = "PEER_ALIVE"      #: failure detector: peer (re)confirmed alive
+    EPOCH = "EPOCH"            #: ordered channel renegotiated its epoch
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

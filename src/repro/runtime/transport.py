@@ -46,12 +46,13 @@ class FaultProfile:
     drop_rate: float = 0.0
     dup_rate: float = 0.0
     reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
     reorder_delay: float = 0.002
     latency: float = 0.0
     seed: int = 0x5CA1E
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "dup_rate", "reorder_rate"):
+        for name in ("drop_rate", "dup_rate", "reorder_rate", "corrupt_rate"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
@@ -68,7 +69,18 @@ class FaultProfile:
 
     @property
     def clean(self) -> bool:
-        return not (self.drop_rate or self.dup_rate or self.reorder_rate)
+        return not (self.drop_rate or self.dup_rate or self.reorder_rate
+                    or self.corrupt_rate)
+
+
+def flip_bit(data: bytes, rng: random.Random) -> bytes:
+    """Return ``data`` with one RNG-chosen bit inverted (wire damage)."""
+    if not data:
+        return data
+    index = rng.randrange(len(data))
+    damaged = bytearray(data)
+    damaged[index] ^= 1 << rng.randrange(8)
+    return bytes(damaged)
 
 
 class Transport:
@@ -122,6 +134,15 @@ class LoopbackHub:
         self._rng = random.Random(self.faults.seed)
         self._transports: Dict[Address, "LoopbackTransport"] = {}
         self.counters = Counters()
+        #: Scripted fault layer (a :class:`repro.runtime.chaos.ChaosInjector`),
+        #: consulted per datagram *on top of* the static fault profile.
+        #: Contract: ``chaos.filter(src, dst, data)`` returns
+        #: ``(data, verdict, extra_delay)`` where verdict is one of
+        #: ``None`` (pass), ``"partitioned"`` (suppress — the injector
+        #: may have queued the bytes for replay on heal), ``"dropped"``
+        #: (burst loss), or ``"corrupted"`` (data comes back bit-damaged
+        #: and still gets delivered).
+        self.chaos = None
 
     @classmethod
     def cr(cls) -> "LoopbackHub":
@@ -130,12 +151,14 @@ class LoopbackHub:
 
     @classmethod
     def cm5(cls, drop_rate: float = 0.0, dup_rate: float = 0.0,
-            reorder_rate: float = 0.25, reorder_delay: float = 0.002,
-            latency: float = 0.0, seed: int = 0x5CA1E) -> "LoopbackHub":
+            reorder_rate: float = 0.25, corrupt_rate: float = 0.0,
+            reorder_delay: float = 0.002, latency: float = 0.0,
+            seed: int = 0x5CA1E) -> "LoopbackHub":
         """A hub with the CM-5's weak delivery model."""
         return cls(FaultProfile(
             drop_rate=drop_rate, dup_rate=dup_rate, reorder_rate=reorder_rate,
-            reorder_delay=reorder_delay, latency=latency, seed=seed,
+            corrupt_rate=corrupt_rate, reorder_delay=reorder_delay,
+            latency=latency, seed=seed,
         ))
 
     @property
@@ -149,14 +172,19 @@ class LoopbackHub:
     def wire_counters(self) -> Dict[str, int]:
         """Every delivery-policy tally in one dict: ``delivered``,
         ``dropped`` (fault-injected losses only), ``duplicated``,
-        ``reordered``, ``blackholed`` (unknown destination — not a
-        fault statistic), and ``expired`` (arrived after the destination
+        ``reordered``, ``corrupted`` (bit-flipped but still delivered),
+        ``partitioned`` (suppressed by a chaos partition/flap — distinct
+        from random drops so scripted faults are attributable in
+        reports), ``blackholed`` (unknown destination — not a fault
+        statistic), and ``expired`` (arrived after the destination
         detached — not a fault statistic either)."""
         return {
             "delivered": self.counters.get("delivered"),
             "dropped": self.counters.get("dropped"),
             "duplicated": self.counters.get("duplicated"),
             "reordered": self.counters.get("reordered"),
+            "corrupted": self.counters.get("corrupted"),
+            "partitioned": self.counters.get("partitioned"),
             "blackholed": self.counters.get("blackholed"),
             "expired": self.counters.get("expired"),
         }
@@ -188,6 +216,16 @@ class LoopbackHub:
         """Datagrams that arrived after their destination detached."""
         return self.counters.get("expired")
 
+    @property
+    def corrupted(self) -> int:
+        """Datagrams delivered with injected bit damage."""
+        return self.counters.get("corrupted")
+
+    @property
+    def partitioned(self) -> int:
+        """Datagrams suppressed by a scripted partition or link flap."""
+        return self.counters.get("partitioned")
+
     def attach(self, address: Address) -> "LoopbackTransport":
         if address in self._transports:
             raise ValueError(f"address {address!r} already attached")
@@ -201,6 +239,25 @@ class LoopbackHub:
     # -- delivery policy ------------------------------------------------------
 
     def _transmit(self, src: Address, dst: Address, data: bytes) -> None:
+        chaos_delay = 0.0
+        if self.chaos is not None:
+            # Scripted faults layer on top of the static profile: the
+            # injector sees every datagram first and may suppress it
+            # (partition/flap — on a reliable hub it queues the bytes
+            # for replay on heal), burst-drop it, damage it, or delay it.
+            # The partition lives in the *network*, so it is consulted
+            # before the destination lookup — bytes toward a crashed
+            # peer behind a partition are held, not blackholed, and a
+            # reliable hub can replay them once the peer restarts.
+            data, verdict, chaos_delay = self.chaos.filter(src, dst, data)
+            if verdict == "partitioned":
+                self.counters.inc("partitioned")
+                return
+            if verdict == "dropped":
+                self.counters.inc("dropped")
+                return
+            if verdict == "corrupted":
+                self.counters.inc("corrupted")
         target = self._transports.get(dst)
         if target is None:
             # Unknown destination: a real network would blackhole it too.
@@ -210,19 +267,24 @@ class LoopbackHub:
             return
         loop = asyncio.get_running_loop()
         if self.ordered and self.reliable:
-            # CR mode: lossless FIFO — call_soon preserves send order.
+            # CR mode: lossless FIFO — call_soon preserves send order
+            # (a chaos latency spike would let later sends overtake,
+            # breaking the ordering guarantee, so it is not applied).
             loop.call_soon(self._hand_over, target, data, src)
             return
         faults = self.faults
         if faults.drop_rate and self._rng.random() < faults.drop_rate:
             self.counters.inc("dropped")
             return
+        if faults.corrupt_rate and self._rng.random() < faults.corrupt_rate:
+            data = flip_bit(data, self._rng)
+            self.counters.inc("corrupted")
         copies = 1
         if faults.dup_rate and self._rng.random() < faults.dup_rate:
             copies = 2
             self.counters.inc("duplicated")
         for _ in range(copies):
-            delay = faults.latency
+            delay = faults.latency + chaos_delay
             if faults.reorder_rate and self._rng.random() < faults.reorder_rate:
                 delay += faults.reorder_delay
                 self.counters.inc("reordered")
@@ -230,6 +292,21 @@ class LoopbackHub:
                 loop.call_later(delay, self._hand_over, target, data, src)
             else:
                 loop.call_soon(self._hand_over, target, data, src)
+
+    def inject(self, dst: Address, data: bytes, src: Address) -> bool:
+        """Deliver ``data`` to ``dst`` bypassing the fault policy.
+
+        The chaos engine's replay path: datagrams a reliable hub held
+        across a partition re-enter here in their original FIFO order.
+        Returns False (and counts ``expired``) if the destination is
+        gone.
+        """
+        target = self._transports.get(dst)
+        if target is None:
+            self.counters.inc("expired")
+            return False
+        asyncio.get_running_loop().call_soon(self._hand_over, target, data, src)
+        return True
 
     def _hand_over(self, target: "LoopbackTransport", data: bytes,
                    src: Address) -> None:
@@ -256,6 +333,7 @@ def make_hub(
     drop_rate: float = 0.0,
     dup_rate: float = 0.0,
     reorder_rate: float = 0.25,
+    corrupt_rate: float = 0.0,
     reorder_delay: float = 0.002,
     latency: float = 0.0,
     seed: int = 0x5CA1E,
@@ -272,7 +350,8 @@ def make_hub(
     if mode == "cm5":
         return LoopbackHub.cm5(
             drop_rate=drop_rate, dup_rate=dup_rate, reorder_rate=reorder_rate,
-            reorder_delay=reorder_delay, latency=latency, seed=seed,
+            corrupt_rate=corrupt_rate, reorder_delay=reorder_delay,
+            latency=latency, seed=seed,
         )
     raise ValueError(f"unknown mode {mode!r} (expected 'cm5' or 'cr')")
 

@@ -1,0 +1,315 @@
+"""Tests for the chaos engine: scripted faults, failure detection,
+epoch recovery, and the end-to-end exactly-once audit.
+
+The scenario tests are small soaks — a few peers, a few lanes — but
+every one of them ends the only way a chaos run is allowed to end: a
+clean audit (exactly-once, in-order), with permanently dead peers
+surfacing as *typed* ``ChannelBroken`` lanes rather than silent loss
+or a hang.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime import (
+    Fabric,
+    LoopbackHub,
+)
+from repro.runtime.chaos import (
+    ChaosConfig,
+    ChaosInjector,
+    FailureDetector,
+    HeartbeatConfig,
+    PeerState,
+    SCENARIOS,
+    chaos_pairs,
+    run_chaos,
+)
+
+#: Scenario soak ceiling — each cell runs scripted sleeps totalling
+#: around a second, plus settle time.
+SOAK_TIMEOUT = 25.0
+
+
+def small_config(mode: str) -> ChaosConfig:
+    return ChaosConfig(mode=mode, peers=4, lanes=4, messages=18,
+                       send_interval=0.008)
+
+
+class TestInjector:
+    def test_partition_suppresses_both_directions(self, drive):
+        async def body():
+            hub = LoopbackHub.cm5(reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            got = []
+            b.set_receiver(lambda data, src: got.append(data))
+            injector = ChaosInjector(hub)
+            injector.partition_link("a", "b")
+            await a.send("b", b"lost")
+            await asyncio.sleep(0.02)
+            injector.heal_all()
+            await a.send("b", b"through")
+            await asyncio.sleep(0.02)
+            return got, hub.partitioned
+
+        got, partitioned = drive(body())
+        assert got == [b"through"]
+        assert partitioned == 1
+
+    def test_asymmetric_block_passes_reverse_direction(self, drive):
+        async def body():
+            hub = LoopbackHub.cm5(reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            at_a, at_b = [], []
+            a.set_receiver(lambda data, src: at_a.append(data))
+            b.set_receiver(lambda data, src: at_b.append(data))
+            injector = ChaosInjector(hub)
+            injector.block_link("a", "b")
+            await a.send("b", b"blocked")
+            await b.send("a", b"fine")
+            await asyncio.sleep(0.02)
+            return at_a, at_b
+
+        at_a, at_b = drive(body())
+        assert at_a == [b"fine"]
+        assert at_b == []
+
+    def test_reliable_hub_holds_and_replays_in_order(self, drive):
+        """On a CR hub, a partition must not lose data: the injector
+        holds the bytes and replays them FIFO on heal — the reliable
+        network keeps its delivery contract across scripted outages."""
+
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            got = []
+            b.set_receiver(lambda data, src: got.append(data))
+            injector = ChaosInjector(hub)
+            injector.isolate("b")
+            for i in range(5):
+                await a.send("b", bytes([i]))
+            await asyncio.sleep(0.02)
+            held_mid_outage = injector.held_count
+            injector.heal_node("b")
+            await asyncio.sleep(0.02)
+            return got, held_mid_outage, injector.replayed
+
+        got, held, replayed = drive(body())
+        assert held == 5
+        assert replayed == 5
+        assert got == [bytes([i]) for i in range(5)]
+
+    def test_bursts_are_noops_on_reliable_hub(self, drive):
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            got = []
+            b.set_receiver(lambda data, src: got.append(data))
+            injector = ChaosInjector(hub)
+            injector.set_burst(drop=1.0, corrupt=1.0)
+            for i in range(10):
+                await a.send("b", bytes([i]))
+            await asyncio.sleep(0.02)
+            return got
+
+        assert drive(body()) == [bytes([i]) for i in range(10)]
+
+    def test_burst_drop_suppresses_on_cm5(self, drive):
+        async def body():
+            hub = LoopbackHub.cm5(reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            got = []
+            b.set_receiver(lambda data, src: got.append(data))
+            injector = ChaosInjector(hub)
+            injector.set_burst(drop=1.0)
+            await a.send("b", b"gone")
+            injector.set_burst()  # clear
+            await a.send("b", b"kept")
+            await asyncio.sleep(0.02)
+            return got, hub.dropped
+
+        got, dropped = drive(body())
+        assert got == [b"kept"]
+        assert dropped == 1
+
+    def test_burst_rates_validated(self):
+        injector = ChaosInjector(LoopbackHub.cm5())
+        with pytest.raises(ValueError):
+            injector.set_burst(drop=1.5)
+        with pytest.raises(ValueError):
+            injector.spike_latency(-0.1)
+
+
+class TestChaosPairs:
+    def test_victim_never_sources_but_always_sinks(self):
+        names = [f"p{i}" for i in range(5)]
+        pairs = chaos_pairs(names, 6, victim="p4")
+        assert all(src != "p4" for src, _dst in pairs)
+        assert any(dst == "p4" for _src, dst in pairs)
+        assert all(src != dst for src, dst in pairs)
+
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            chaos_pairs(["only"], 2)
+
+
+class TestFailureDetector:
+    def test_crashed_peer_detected_within_bound(self, drive):
+        """The detection-latency contract the regression gate enforces:
+        a crashed peer is declared DEAD within 2x the dead_after
+        timeout."""
+
+        async def body():
+            fabric = Fabric(mode="cr", transport="loopback")
+            for name in ("a", "b", "c"):
+                await fabric.add_peer(name)
+            hb = HeartbeatConfig(interval=0.02, suspect_after=0.06,
+                                 dead_after=0.15)
+            detector = FailureDetector(fabric, hb)
+            detector.start()
+            try:
+                await asyncio.sleep(3 * hb.interval)  # beats flowing
+                crash_at = asyncio.get_running_loop().time()
+                await fabric.crash_peer("c")
+                while "c" not in detector.dead_at:
+                    if (asyncio.get_running_loop().time() - crash_at
+                            > 2 * hb.dead_after):
+                        raise AssertionError("detector missed the crash")
+                    await asyncio.sleep(hb.interval / 2)
+                latency = detector.dead_at["c"] - crash_at
+                return latency, detector.state("a", "c"), hb
+            finally:
+                await detector.stop()
+                await fabric.close()
+
+        latency, state, hb = drive(body())
+        assert state is PeerState.DEAD
+        assert latency <= 2 * hb.dead_after
+
+    def test_healthy_peers_stay_alive(self, drive):
+        async def body():
+            fabric = Fabric(mode="cr", transport="loopback")
+            for name in ("a", "b"):
+                await fabric.add_peer(name)
+            hb = HeartbeatConfig(interval=0.02, suspect_after=0.06,
+                                 dead_after=0.15)
+            detector = FailureDetector(fabric, hb)
+            detector.start()
+            try:
+                await asyncio.sleep(2.5 * hb.dead_after)
+                return (detector.state("a", "b"), detector.state("b", "a"),
+                        detector.dead_peers())
+            finally:
+                await detector.stop()
+                await fabric.close()
+
+        ab, ba, dead = drive(body())
+        assert ab is PeerState.ALIVE
+        assert ba is PeerState.ALIVE
+        assert dead == []
+
+    def test_restarted_peer_recovers_to_alive(self, drive):
+        async def body():
+            fabric = Fabric(mode="cr", transport="loopback")
+            for name in ("a", "b", "c"):
+                await fabric.add_peer(name)
+            hb = HeartbeatConfig(interval=0.02, suspect_after=0.06,
+                                 dead_after=0.15)
+            detector = FailureDetector(fabric, hb)
+            detector.start()
+            try:
+                await asyncio.sleep(3 * hb.interval)
+                await fabric.crash_peer("c")
+                await asyncio.sleep(1.5 * hb.dead_after)
+                dead_state = detector.state("a", "c")
+                await fabric.restart_peer("c")
+                await asyncio.sleep(4 * hb.interval)
+                return dead_state, detector.state("a", "c")
+            finally:
+                await detector.stop()
+                await fabric.close()
+
+        dead_state, alive_state = drive(body())
+        assert dead_state is PeerState.DEAD
+        assert alive_state is PeerState.ALIVE
+
+    def test_cadence_validated(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(interval=0.1, suspect_after=0.05, dead_after=0.2)
+
+
+class TestScenarios:
+    """Every scripted scenario, both modes, must end with a clean audit."""
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("mode", ["cm5", "cr"])
+    def test_scenario_audit_is_clean(self, drive, scenario, mode):
+        result = drive(run_chaos(small_config(mode), scenario),
+                       timeout=SOAK_TIMEOUT)
+        assert result.errors == []
+        report = result.audit
+        assert report.clean, report.to_dict()
+        assert report.duplicates == 0
+        assert report.misordered == 0
+        assert report.checksum_failures == 0
+        assert report.missing == 0  # loss is only legal on broken lanes
+        if SCENARIOS[scenario].expects_detection:
+            assert result.detection_latency is not None
+            assert result.detection_within_bound
+
+    def test_crash_restart_resumes_without_duplicates(self, drive):
+        """The tentpole recovery path: crash mid-traffic, restart under
+        the same address, and the epoch renegotiation resumes from the
+        receiver's durable delivery point — everything delivered exactly
+        once, nothing broken."""
+        config = ChaosConfig(mode="cm5", peers=4, lanes=4, messages=40,
+                             send_interval=0.01)
+        result = drive(run_chaos(config, "crash-restart"),
+                       timeout=SOAK_TIMEOUT)
+        assert result.errors == []
+        assert result.broken_lanes == []
+        report = result.audit
+        assert report.clean, report.to_dict()
+        assert report.delivered == report.offered
+        assert report.duplicates == 0
+        # The crash interrupted live traffic, so the sender facing the
+        # restarted peer must actually have renegotiated an epoch.
+        assert result.recoveries >= 1
+
+    def test_permanent_crash_breaks_typed_not_silent(self, drive):
+        """A permanently dead peer must surface as ChannelBroken on the
+        lanes into it — and the audit books their missing messages under
+        the broken-lane contract, not as violations."""
+        config = ChaosConfig(mode="cm5", peers=4, lanes=4, messages=40,
+                             send_interval=0.01)
+        result = drive(run_chaos(config, "crash-permanent"),
+                       timeout=SOAK_TIMEOUT)
+        assert result.broken_lanes, "expected at least one broken lane"
+        for _cid, reason in result.broken_lanes:
+            assert reason  # a typed, human-readable failure
+        report = result.audit
+        assert report.clean, report.to_dict()
+        assert report.missing == 0
+        assert report.missing_on_broken > 0
+        assert result.detection_within_bound
+
+    def test_unknown_scenario_rejected(self, drive):
+        with pytest.raises(ValueError):
+            drive(run_chaos(small_config("cm5"), "no-such-scenario"))
+
+    def test_fault_tolerance_share_is_nonzero_under_chaos(self, drive):
+        """Even in CR mode — where the *transport* is lossless — the
+        failure detector and recovery machinery cost real time; chaos
+        runs must show it in the timeshare (which is why the Figure 6
+        collapse gate does not apply to chaos rows)."""
+        result = drive(run_chaos(small_config("cr"), "partition-heal"),
+                       timeout=SOAK_TIMEOUT)
+        assert result.audit.clean
+        assert result.fault_tolerance_share > 0.0
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(peers=1)
+        with pytest.raises(ValueError):
+            ChaosConfig(message_words=2)

@@ -4,12 +4,16 @@ import pytest
 
 from repro.runtime.frames import (
     Frame,
+    FrameCorruption,
     FrameError,
     FrameKind,
     MAX_PAYLOAD_WORDS,
     data_frame,
     decode_frame,
     encode_frame,
+    epoch_reply_frame,
+    epoch_req_frame,
+    heartbeat_frame,
 )
 
 
@@ -67,3 +71,53 @@ class TestDecodeErrors:
     def test_oversized_payload_rejected_at_construction(self):
         with pytest.raises(FrameError):
             data_frame(1, 0, list(range(MAX_PAYLOAD_WORDS + 1)))
+
+
+class TestChecksum:
+    """The frame CRC must catch single-bit wire damage anywhere."""
+
+    def test_payload_bit_flip_raises_corruption(self):
+        data = bytearray(encode_frame(data_frame(1, 7, [1, 2, 3])))
+        data[-1] ^= 0x01
+        with pytest.raises(FrameCorruption):
+            decode_frame(bytes(data))
+
+    def test_header_bit_flip_raises_corruption(self):
+        data = bytearray(encode_frame(data_frame(1, 7, [1, 2, 3])))
+        data[4] ^= 0x80  # inside the header fields, past the magic
+        with pytest.raises(FrameCorruption):
+            decode_frame(bytes(data))
+
+    def test_crc_field_bit_flip_raises_corruption(self):
+        frame = data_frame(1, 7, [1, 2, 3])
+        encoded = encode_frame(frame)
+        for offset in range(len(encoded)):
+            for bit in range(8):
+                data = bytearray(encoded)
+                data[offset] ^= 1 << bit
+                with pytest.raises(FrameError):
+                    decode_frame(bytes(data))
+
+    def test_corruption_is_a_frame_error(self):
+        # Callers that guard with `except FrameError` must keep working.
+        assert issubclass(FrameCorruption, FrameError)
+
+
+class TestChaosHelpers:
+    def test_epoch_req_carries_proposal_and_base(self):
+        frame = epoch_req_frame(5, proposed_epoch=3, base_seq=42)
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind is FrameKind.EPOCH_REQ
+        assert (decoded.channel, decoded.seq, decoded.aux) == (5, 3, 42)
+
+    def test_epoch_reply_carries_expected_epoch_and_sacks(self):
+        frame = epoch_reply_frame(5, next_expected=17, epoch=3, sacks=(19, 21))
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind is FrameKind.EPOCH_REPLY
+        assert (decoded.seq, decoded.aux) == (17, 3)
+        assert decoded.payload == (19, 21)
+
+    def test_heartbeat_round_trips(self):
+        decoded = decode_frame(encode_frame(heartbeat_frame(4, beat=99)))
+        assert decoded.kind is FrameKind.HEARTBEAT
+        assert (decoded.channel, decoded.seq) == (4, 99)

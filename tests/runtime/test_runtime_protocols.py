@@ -15,6 +15,7 @@ from repro.runtime import (
     BackoffPolicy,
     Frame,
     FrameKind,
+    ChannelBroken,
     ProtocolFailure,
     make_loopback_pair,
     run_bulk_live,
@@ -320,4 +321,68 @@ class TestConcurrentDrain:
                 await sender.close()
                 await pair.close()
 
-        assert drive(body()) == [ProtocolFailure] * 3
+        assert drive(body()) == [ChannelBroken] * 3
+
+
+class TestSenderFailsLoudly:
+    """Satellite regression: a sender facing a permanently dead peer
+    must surface a *typed* error from every blocked call path — never
+    hang until an outer deadline cleans up the pieces."""
+
+    def test_blocked_send_raises_channel_broken(self, drive):
+        """A send() parked on a full window must be woken with
+        ChannelBroken when the retransmitter gives the peer up for dead.
+        Before the fix, _give_up never set the window event, so the
+        sender slept forever; the asyncio.wait_for here is the watchdog
+        that turns a regression into a fast failure instead of a hung
+        suite."""
+
+        async def body():
+            pair = make_loopback_pair(mode="cm5", drop_rate=1.0,
+                                      reorder_rate=0.0)
+            sender = OrderedChannelSender(
+                pair.src, pair.dst.local_address, window=2,
+                backoff=BackoffPolicy(initial=0.005, max_retries=2),
+            )
+            OrderedChannelReceiver(pair.dst)
+            try:
+                # Window is 2: the later sends block on window space
+                # that can only be freed by acks that will never come.
+                results = await asyncio.wait_for(
+                    asyncio.gather(*[sender.send([k]) for k in range(6)],
+                                   return_exceptions=True),
+                    timeout=5.0,
+                )
+                blocked = [r for r in results if isinstance(r, Exception)]
+                assert blocked, "no send observed the failure"
+                assert all(isinstance(r, ChannelBroken) for r in blocked)
+                assert sender.broken
+                assert isinstance(sender.failure, ChannelBroken)
+                return True
+            finally:
+                await sender.close()
+                await pair.close()
+
+        assert drive(body())
+
+    def test_send_after_break_raises_immediately(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cm5", drop_rate=1.0,
+                                      reorder_rate=0.0)
+            sender = OrderedChannelSender(
+                pair.src, pair.dst.local_address,
+                backoff=BackoffPolicy(initial=0.005, max_retries=2),
+            )
+            OrderedChannelReceiver(pair.dst)
+            try:
+                await sender.send([1])
+                with pytest.raises(ChannelBroken):
+                    await sender.drain(timeout=5.0)
+                with pytest.raises(ChannelBroken):
+                    await sender.send([2])
+                return True
+            finally:
+                await sender.close()
+                await pair.close()
+
+        assert drive(body())

@@ -111,6 +111,27 @@ class TestFaultInjection:
     def test_fault_rates_validated(self):
         with pytest.raises(ValueError):
             FaultProfile(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultProfile(corrupt_rate=-0.1)
+
+    def test_corruption_damages_but_still_delivers(self, drive):
+        """corrupt_rate flips a bit and delivers: the hub models wire
+        damage, the endpoint's frame checksum is what must catch it."""
+
+        async def body():
+            hub = LoopbackHub.cm5(corrupt_rate=1.0, reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            await a.send("b", b"pristine")
+            await settle()
+            return received, hub.corrupted
+
+        received, corrupted = drive(body())
+        assert corrupted == 1
+        assert len(received) == 1
+        data, _src = received[0]
+        assert data != b"pristine"
+        assert len(data) == len(b"pristine")  # one bit, not truncation
 
     def test_reorder_delay_must_exceed_latency(self):
         """Regression: a profile whose reorder_delay is <= its base
@@ -202,7 +223,8 @@ class TestCRMode:
 
         assert drive(body()) == {
             "delivered": 0, "dropped": 0, "duplicated": 0,
-            "reordered": 0, "blackholed": 1, "expired": 0,
+            "reordered": 0, "corrupted": 0, "partitioned": 0,
+            "blackholed": 1, "expired": 0,
         }
 
     def test_wire_counters_matches_the_attribute_properties(self, drive):
@@ -232,6 +254,122 @@ class TestCRMode:
     def test_cr_hub_refuses_fault_injection(self):
         with pytest.raises(ValueError):
             LoopbackHub(FaultProfile(drop_rate=0.1), ordered=True, reliable=True)
+
+
+class TestInjectReplay:
+    def test_inject_bypasses_fault_policy(self, drive):
+        """hub.inject() is the chaos replay path: held bytes re-enter
+        delivery even when the static profile would drop everything."""
+
+        async def body():
+            hub = LoopbackHub.cm5(drop_rate=1.0, reorder_rate=0.0)
+            a, b = hub.attach("a"), hub.attach("b")
+            received = collect(b)
+            await a.send("b", b"eaten")       # static profile drops it
+            assert hub.inject("b", b"replayed", "a")
+            await settle()
+            return received, hub.dropped
+
+        received, dropped = drive(body())
+        assert received == [(b"replayed", "a")]
+        assert dropped == 1
+
+    def test_inject_to_missing_destination_expires(self, drive):
+        async def body():
+            hub = LoopbackHub.cm5()
+            hub.attach("a")
+            ok = hub.inject("gone", b"late", "a")
+            return ok, hub.expired
+
+        ok, expired = drive(body())
+        assert not ok
+        assert expired == 1
+
+
+async def bind_or_skip(host: str = "127.0.0.1", port: int = 0):
+    """Bind a UDP socket, or skip when the environment forbids it."""
+    try:
+        return await UDPTransport.bind(host, port)
+    except (OSError, PermissionError) as exc:
+        pytest.skip(f"UDP sockets unavailable: {exc}")
+
+
+class TestUDPLifecycle:
+    """Satellite: UDP socket lifecycle — close, detach, crash-restart."""
+
+    def test_send_after_close_raises(self, drive):
+        async def body():
+            transport = await bind_or_skip()
+            dst = transport.local_address
+            await transport.close()
+            with pytest.raises(RuntimeError):
+                await transport.send(dst, b"too late")
+            with pytest.raises(RuntimeError):
+                transport.local_address
+            return True
+
+        assert drive(body())
+
+    def test_close_is_idempotent(self, drive):
+        async def body():
+            transport = await bind_or_skip()
+            await transport.close()
+            await transport.close()
+            return True
+
+        assert drive(body())
+
+    def test_receiver_detach_mid_traffic_discards_quietly(self, drive):
+        """Detaching the receiver callback mid-traffic must not raise on
+        late arrivals — they are counted received and discarded."""
+
+        async def body():
+            a = await bind_or_skip()
+            b = await bind_or_skip()
+            received = collect(b)
+            await a.send(b.local_address, b"one")
+            for _ in range(100):
+                if received:
+                    break
+                await asyncio.sleep(0.01)
+            b.set_receiver(None)  # detach while the peer keeps sending
+            await a.send(b.local_address, b"two")
+            await asyncio.sleep(0.05)
+            counts = (len(received), b.datagrams_received)
+            await a.close()
+            await b.close()
+            return counts
+
+        callbacks, arrived = drive(body())
+        assert callbacks == 1
+        assert arrived >= 1  # "two" may race close; "one" is guaranteed
+
+    def test_crash_restart_on_same_port_smoke(self, drive):
+        """A 'process restart': close the socket, rebind the same port,
+        and traffic flows to the new incarnation."""
+
+        async def body():
+            a = await bind_or_skip()
+            b = await bind_or_skip()
+            host, port = b.local_address
+            await b.close()          # crash
+            try:
+                b2 = await UDPTransport.bind(host, port)  # restart
+            except OSError:
+                pytest.skip("cannot rebind the port (environment policy)")
+            received = collect(b2)
+            for _ in range(100):
+                await a.send((host, port), b"hello again")
+                if received:
+                    break
+                await asyncio.sleep(0.01)
+            await a.close()
+            await b2.close()
+            return received
+
+        received = drive(body())
+        assert received
+        assert received[0][0] == b"hello again"
 
 
 class TestUDP:
