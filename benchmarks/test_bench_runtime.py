@@ -24,7 +24,7 @@ BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
 #: Accumulated across the tests in this module; the last test writes it.
 RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
-           "trace": {}, "fabric": {}, "chaos": {}}
+           "trace": {}, "fabric": {}, "overload": {}, "chaos": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -266,11 +266,70 @@ def test_fabric_collapse_at_every_peer_count(peers):
     assert cm5["acks_per_data"] < 0.5
 
 
+#: Overload shape for the survival rows (the ISSUE 6 acceptance set):
+#: a small fabric offered 10x its paced load over credit-metered,
+#: audited channels.
+OVERLOAD_LOAD = dict(peers=3, channels=8, messages=8, message_words=32,
+                     packet_words=16, drop_rate=0.02, reorder_rate=0.1,
+                     seed=0x5CA1E, deadline=DEADLINE, audit=True)
+OVERLOAD_FACTOR = 10.0
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+def test_overload_survival(mode):
+    """10x offered load over credit-metered channels, both modes.
+
+    The overload contract: the run finishes, peak buffer occupancies
+    stay inside their advertised windows (the reorder buffer bounded by
+    its window, the receive buffer by the credit grant, the
+    retransmitter tracked set by the send window), the exactly-once
+    audit stays clean (shed messages are counted, never stamped, never
+    silently lost), and delivered throughput retains at least half of
+    the same mode's 1x baseline — graceful degradation, not collapse.
+    """
+    faults = dict(OVERLOAD_LOAD) if mode == "cm5" else {
+        **OVERLOAD_LOAD, "drop_rate": 0.0, "reorder_rate": 0.0}
+    for factor in (1.0, OVERLOAD_FACTOR):
+        start = time.perf_counter_ns()
+        result = measure_load(
+            LoadConfig(mode=mode, overload=factor, **faults))
+        elapsed_ns = time.perf_counter_ns() - start
+        label = f"{mode}/{factor:g}x"
+        assert result.completed, f"overload {label}: {result.errors}"
+        assert result.audit is not None and result.audit.clean, (
+            f"overload {label} audit violations: "
+            f"{result.audit.to_dict()}"
+        )
+        peaks = result.peaks
+        assert peaks["reorder_parked"] <= peaks["reorder_window"], (
+            f"overload {label}: reorder buffer blew its window"
+        )
+        assert peaks["buffered_bytes"] <= peaks["window_bytes"], (
+            f"overload {label}: receive buffer exceeded the credit grant"
+        )
+        assert peaks["tracked"] <= peaks["send_window"], (
+            f"overload {label}: retransmitter outgrew the send window"
+        )
+        record = result.to_record()
+        record["harness_ns"] = elapsed_ns
+        RESULTS["overload"][f"overload/{label}"] = record
+    base = RESULTS["overload"][f"overload/{mode}/1x"]
+    peak = RESULTS["overload"][f"overload/{mode}/{OVERLOAD_FACTOR:g}x"]
+    retained = (peak["throughput_msgs_per_s"]
+                / base["throughput_msgs_per_s"])
+    peak["throughput_retained_vs_1x"] = retained
+    assert retained >= 0.5, (
+        f"overload {mode}: throughput at {OVERLOAD_FACTOR:g}x retained "
+        f"only {retained:.0%} of the 1x baseline"
+    )
+
+
 #: Chaos soak shape for the bench rows (the ISSUE 5 acceptance set) —
 #: small enough for CI, hot enough that every scripted fault lands on
-#: live traffic.
+#: live traffic.  ``overload-partition`` (ISSUE 6) drags a partition
+#: through credit-metered traffic and must recover every blocked sender.
 CHAOS_SCENARIOS = ("partition-heal", "crash-restart", "rolling-flap",
-                   "burst-loss", "crash-permanent")
+                   "burst-loss", "overload-partition", "crash-permanent")
 
 
 def _chaos_config(mode):

@@ -24,6 +24,7 @@ from repro.arch.attribution import (
     FEATURE_LABELS,
     FEATURE_ORDER,
     OVERHEAD_FEATURES,
+    RUNTIME_FEATURE_ORDER,
     Feature,
 )
 
@@ -289,17 +290,65 @@ def render_fabric_sweep(records: List[Mapping]) -> str:
 
 
 def render_fabric_features(records: List[Mapping]) -> str:
-    """Per-feature timeshare columns for every fabric sweep cell."""
-    headers = ["Mode", "Peers"] + [FEATURE_LABELS[f] for f in FEATURE_ORDER]
+    """Per-feature timeshare columns for every fabric sweep cell.
+
+    Uses the runtime feature order — the paper's four buckets plus the
+    runtime-only flow-control bucket, which the paper folds into buffer
+    management but the live stack measures separately.
+    """
+    headers = (["Mode", "Peers"]
+               + [FEATURE_LABELS[f] for f in RUNTIME_FEATURE_ORDER])
     rows = []
     for record in records:
         features = record.get("features", {})
         rows.append(
             [str(record.get("mode", "?")), str(record.get("peers", 0))]
             + [f"{features.get(f.value, {}).get('share', 0.0):.0%}"
-               for f in FEATURE_ORDER]
+               for f in RUNTIME_FEATURE_ORDER]
         )
     title = "fabric load sweep — per-feature wall-clock timeshare"
+    return title + "\n" + render_table(headers, rows)
+
+
+def render_overload_curve(records: List[Mapping]) -> str:
+    """Throughput-degradation table for an overload sweep.
+
+    One row per (mode, overload-factor) cell of
+    :func:`repro.runtime.loadgen.sweep_overload`: offered vs delivered
+    traffic, shed share (HARD backpressure), SOFT pauses, throughput and
+    its retention against the same mode's 1x baseline, the flow-control
+    timeshare, and the peak reorder-buffer occupancy against its bound —
+    the overload-survival story in one table.
+    """
+    base_thr: Dict[str, float] = {}
+    for record in records:
+        if float(record.get("overload", 1.0)) == 1.0:
+            base_thr[str(record.get("mode", "?"))] = float(
+                record.get("throughput_msgs_per_s", 0.0))
+    headers = ["Mode", "Load", "Offered", "Sent", "Shed", "Soft",
+               "Msg/s", "Retained", "Flow share", "Peak buf"]
+    rows = []
+    for record in records:
+        mode = str(record.get("mode", "?"))
+        thr = float(record.get("throughput_msgs_per_s", 0.0))
+        base = base_thr.get(mode, 0.0)
+        peaks = record.get("peaks", {})
+        rows.append([
+            mode,
+            f"{float(record.get('overload', 1.0)):g}x",
+            str(record.get("messages_offered", 0)),
+            str(record.get("messages_sent", 0)),
+            f"{record.get('messages_shed', 0)} "
+            f"({record.get('shed_share', 0.0):.0%})",
+            str(record.get("soft_delays", 0)),
+            f"{thr:.0f}",
+            f"{thr / base:.0%}" if base else "-",
+            f"{record.get('flow_control_share', 0.0):.0%}",
+            f"{peaks.get('buffered_bytes', 0)}/"
+            f"{peaks.get('window_bytes', 0)}B",
+        ])
+    title = ("overload sweep — shed share, throughput retention, "
+             "flow-control timeshare")
     return title + "\n" + render_table(headers, rows)
 
 
@@ -335,14 +384,15 @@ def render_chaos_table(records: List[Mapping]) -> str:
 
 def render_chaos_features(records: List[Mapping]) -> str:
     """Per-feature timeshare columns for every chaos scenario run."""
-    headers = ["Scenario", "Mode"] + [FEATURE_LABELS[f] for f in FEATURE_ORDER]
+    headers = (["Scenario", "Mode"]
+               + [FEATURE_LABELS[f] for f in RUNTIME_FEATURE_ORDER])
     rows = []
     for record in records:
         features = record.get("features", {})
         rows.append(
             [str(record.get("scenario", "?")), str(record.get("mode", "?"))]
             + [f"{features.get(f.value, {}).get('share', 0.0):.0%}"
-               for f in FEATURE_ORDER]
+               for f in RUNTIME_FEATURE_ORDER]
         )
     title = "chaos scenarios — per-feature wall-clock timeshare"
     return title + "\n" + render_table(headers, rows)

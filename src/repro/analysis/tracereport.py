@@ -230,6 +230,114 @@ def control_retransmits(events: Iterable[TraceEvent]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# flow-control reconstruction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlowStats:
+    """Credit-traffic accounting reconstructed from one event stream.
+
+    ``FLOW_BLOCK``/``FLOW_UNBLOCK`` pairs (matched per label x endpoint
+    x channel, in time order) become a blocked-dwell distribution — the
+    per-sender answer to *how long did backpressure actually stall us?*
+    Credit advertisements and probes ride ``CREDIT_TX``/``CREDIT_RX``
+    events and are tallied by direction.
+    """
+
+    credit_tx: int = 0       #: standalone credit frames sent
+    credit_rx: int = 0       #: standalone credit frames received
+    blocks: int = 0          #: credit-starved stalls that began
+    unblocks: int = 0        #: stalls that ended (== blocks when settled)
+    blocked: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def unmatched_blocks(self) -> int:
+        """Stalls the trace never saw end (a wedged-sender smell)."""
+        return self.blocks - self.unblocks
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "credit_tx": self.credit_tx,
+            "credit_rx": self.credit_rx,
+            "blocks": self.blocks,
+            "unblocks": self.unblocks,
+            "unmatched_blocks": self.unmatched_blocks,
+            "blocked": self.blocked.to_dict(),
+        }
+
+
+def flow_stats(events: Iterable[TraceEvent]) -> FlowStats:
+    """Aggregate the flow-control events of a trace into one summary."""
+    stats = FlowStats()
+    open_blocks: Dict[Tuple[str, str, int], int] = {}
+    for event in sorted(events, key=lambda e: e.ts_ns):
+        etype = event.etype
+        if etype is EventType.CREDIT_TX:
+            stats.credit_tx += 1
+        elif etype is EventType.CREDIT_RX:
+            stats.credit_rx += 1
+        elif etype is EventType.FLOW_BLOCK:
+            stats.blocks += 1
+            key = (event.label, event.endpoint, event.channel)
+            open_blocks.setdefault(key, event.ts_ns)
+        elif etype is EventType.FLOW_UNBLOCK:
+            key = (event.label, event.endpoint, event.channel)
+            started = open_blocks.pop(key, None)
+            if started is not None:
+                stats.unblocks += 1
+                dwell = event.ts_ns - started
+                if dwell >= 0:
+                    stats.blocked.record(dwell)
+    return stats
+
+
+def flow_block_spans(
+    events: Iterable[TraceEvent],
+) -> List[Dict[str, object]]:
+    """Blocked-on-credit duration spans for the chrome-trace export,
+    one per matched ``FLOW_BLOCK``/``FLOW_UNBLOCK`` pair, on the
+    blocked sender's track."""
+    spans: List[Dict[str, object]] = []
+    open_blocks: Dict[Tuple[str, str, int], TraceEvent] = {}
+    for event in sorted(events, key=lambda e: e.ts_ns):
+        key = (event.label, event.endpoint, event.channel)
+        if event.etype is EventType.FLOW_BLOCK:
+            open_blocks.setdefault(key, event)
+        elif event.etype is EventType.FLOW_UNBLOCK:
+            start = open_blocks.pop(key, None)
+            if start is not None and event.ts_ns > start.ts_ns:
+                spans.append({
+                    "name": f"flow-blocked ch{event.channel}",
+                    "track": f"{event.label}:{event.endpoint}",
+                    "start_ns": start.ts_ns,
+                    "dur_ns": event.ts_ns - start.ts_ns,
+                    "args": {"channel": event.channel,
+                             "avail_bytes_at_block": start.aux},
+                })
+    return spans
+
+
+def render_flow_report(events: Iterable[TraceEvent]) -> str:
+    """One-table summary of the trace's flow-control story."""
+    stats = flow_stats(events)
+    headers = ["Flow metric", "Value"]
+    hist = stats.blocked
+    rows = [
+        ["Credit frames sent", str(stats.credit_tx)],
+        ["Credit frames received", str(stats.credit_rx)],
+        ["Blocked-on-credit stalls", str(stats.blocks)],
+        ["Unmatched (never unblocked)", str(stats.unmatched_blocks)],
+        ["Blocked dwell p50 (us)", _us(hist.p50 if hist.count else None)],
+        ["Blocked dwell p99 (us)", _us(hist.p99 if hist.count else None)],
+        ["Blocked dwell max (us)",
+         _us(hist.max_ns if hist.count else None)],
+    ]
+    return "flow control — credit traffic and stalls\n" + render_table(
+        headers, rows)
+
+
+# ---------------------------------------------------------------------------
 # per-cell statistics
 # ---------------------------------------------------------------------------
 

@@ -24,13 +24,17 @@ from typing import Iterator, List, Tuple
 
 class Feature(enum.Enum):
     """The paper's four cost features, plus an explicit bucket for handler
-    work that the paper excludes from messaging-layer cost."""
+    work that the paper excludes from messaging-layer cost, plus the
+    runtime's credit-based admission control (flow control), which the
+    paper folds into buffer management but the live fabric measures as
+    its own line item."""
 
     BASE = "base"
     BUFFER_MGMT = "buffer_mgmt"
     IN_ORDER = "in_order"
     FAULT_TOLERANCE = "fault_tolerance"
     USER = "user"
+    FLOW_CONTROL = "flow_control"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -51,7 +55,16 @@ FEATURE_LABELS = {
     Feature.IN_ORDER: "In-order Del.",
     Feature.FAULT_TOLERANCE: "Fault-toler.",
     Feature.USER: "User handler",
+    Feature.FLOW_CONTROL: "Flow Control",
 }
+
+#: Row order for the *runtime* feature tables: the paper's four rows
+#: plus the fabric's flow-control line.  Kept separate from
+#: :data:`FEATURE_ORDER` so the simulator's paper-table reproduction
+#: stays exactly four rows.
+RUNTIME_FEATURE_ORDER: Tuple[Feature, ...] = FEATURE_ORDER + (
+    Feature.FLOW_CONTROL,
+)
 
 #: The features the paper calls "messaging layer overhead" (everything
 #: except base data movement).

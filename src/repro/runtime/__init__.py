@@ -37,6 +37,15 @@ from repro.runtime.chaos import (
     run_scenario_matrix,
 )
 from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.flowcontrol import (
+    BackpressureSignal,
+    CREDIT_WORDS,
+    FlowControlConfig,
+    ReceiverWindow,
+    SenderWindow,
+    credit_words,
+    parse_credit_words,
+)
 from repro.runtime.fabric import (
     Fabric,
     FabricConnection,
@@ -53,6 +62,7 @@ from repro.runtime.loadgen import (
     message_checksum,
     run_load,
     spread_pairs,
+    sweep_overload,
     sweep_peer_counts,
 )
 from repro.runtime.frames import (
@@ -60,6 +70,8 @@ from repro.runtime.frames import (
     FrameCorruption,
     FrameError,
     FrameKind,
+    credit_probe_frame,
+    credit_update_frame,
     cum_ack_frame,
     decode_frame,
     encode_frame,
@@ -119,10 +131,12 @@ __all__ = [
     "AuditLedger",
     "AuditReport",
     "BackoffPolicy",
+    "BackpressureSignal",
     "BulkReceiver",
     "BulkSender",
     "CH_HEARTBEAT",
     "CHAOS_BACKOFF",
+    "CREDIT_WORDS",
     "ChannelBroken",
     "ChaosConfig",
     "ChaosEngine",
@@ -136,6 +150,7 @@ __all__ = [
     "FabricConnection",
     "FabricError",
     "FaultProfile",
+    "FlowControlConfig",
     "Frame",
     "FrameCorruption",
     "FrameError",
@@ -153,6 +168,7 @@ __all__ = [
     "PROTOCOL_NAMES",
     "PeerState",
     "ProtocolFailure",
+    "ReceiverWindow",
     "RecoveryPolicy",
     "Retransmitter",
     "RetransmitExhausted",
@@ -162,6 +178,7 @@ __all__ = [
     "RuntimeRunResult",
     "SCENARIOS",
     "Scenario",
+    "SenderWindow",
     "SinglePacketReceiver",
     "SinglePacketSender",
     "TimeAttribution",
@@ -171,6 +188,9 @@ __all__ = [
     "UDPTransport",
     "all_pairs",
     "chaos_pairs",
+    "credit_probe_frame",
+    "credit_update_frame",
+    "credit_words",
     "cum_ack_frame",
     "decode_frame",
     "encode_frame",
@@ -187,6 +207,7 @@ __all__ = [
     "measure_load",
     "message_checksum",
     "open_live_channel",
+    "parse_credit_words",
     "ring_pairs",
     "run_bulk_live",
     "run_chaos",
@@ -195,5 +216,6 @@ __all__ = [
     "run_ordered_live",
     "run_single_packet_live",
     "spread_pairs",
+    "sweep_overload",
     "sweep_peer_counts",
 ]

@@ -20,6 +20,7 @@ from repro.api.channel import ChannelReceiveBuffer
 from repro.api.framing import FrameAssembler, MAX_MESSAGE_WORDS
 from repro.protocols.base import packet_payload_sizes
 from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.flowcontrol import BackpressureSignal, FlowControlConfig
 from repro.runtime.protocols import (
     CH_STREAM,
     OrderedChannelReceiver,
@@ -64,6 +65,13 @@ class LiveChannel:
         """Unacknowledged packets in the source buffer (0 on CR)."""
         return self._sender.outstanding
 
+    def flow_signal(self, next_bytes: int = 0) -> BackpressureSignal:
+        """Backpressure advice from the sender's credit estimate
+        (always ``OK`` on an unmetered channel).  ``next_bytes`` is the
+        payload about to be offered, so HARD reflects "this particular
+        send would block", not just the headroom fraction."""
+        return self._sender.flow_signal(next_bytes)
+
     @property
     def sender(self) -> OrderedChannelSender:
         """The underlying protocol sender (chaos/recovery orchestration)."""
@@ -100,6 +108,7 @@ def open_live_channel(
     ack_every: int = 8,
     ack_delay: float = 0.005,
     recovery: Optional[RecoveryPolicy] = None,
+    flow: Optional[FlowControlConfig] = None,
 ) -> LiveChannel:
     """Open a live ordered channel from ``tx`` to ``rx``.
 
@@ -109,17 +118,21 @@ def open_live_channel(
     ``recovery`` arms the sender with epoch renegotiation: after retry
     exhaustion it probes the receiver and resumes from its durable
     cumulative point instead of breaking at the first give-up.
+    ``flow`` arms credit-based flow control; the factory configures both
+    ends from the same config, which the piggybacked wire encoding
+    requires.
     """
     if reorder_window < window:
         raise ValueError("receiver reorder window must cover the send window")
     buffer = ChannelReceiveBuffer()
     receiver = OrderedChannelReceiver(
         rx, channel=channel, window=reorder_window, deliver=buffer._deliver,
-        ack_every=ack_every, ack_delay=ack_delay,
+        ack_every=ack_every, ack_delay=ack_delay, flow=flow,
     )
     sender = OrderedChannelSender(
         tx, dst if dst is not None else rx.local_address,
         channel=channel, window=window, backoff=backoff, recovery=recovery,
+        flow=flow,
     )
     mode = "cr" if tx.cr_mode else "cm5"
     return LiveChannel(sender, receiver, buffer, packet_words, mode)

@@ -54,6 +54,7 @@ from typing import (
 from repro.arch.attribution import Feature
 from repro.runtime.channels import LiveFramedChannel
 from repro.runtime.fabric import Fabric, FabricConnection
+from repro.runtime.flowcontrol import FlowControlConfig
 from repro.runtime.frames import heartbeat_frame
 from repro.runtime.loadgen import AuditLedger, AuditReport
 from repro.runtime.protocols import ChannelBroken, RecoveryPolicy
@@ -578,6 +579,9 @@ class Scenario:
     #: Override the run's recovery policy (e.g. trimmed probes so a
     #: permanent crash breaks within the scenario window).
     recovery: Optional[RecoveryPolicy] = None
+    #: Arm every lane with credit-based flow control (a *tight* window,
+    #: so the scenario actually exhausts credit, not just carries it).
+    flow: Optional[FlowControlConfig] = None
     #: Gate detection latency (the scenario kills a peer outright).
     expects_detection: bool = False
 
@@ -614,6 +618,30 @@ async def _script_burst_loss(eng: ChaosEngine) -> None:
     eng.injector.set_burst()
 
 
+async def _script_overload_partition(eng: ChaosEngine) -> None:
+    """A partition *through* live, credit-metered traffic.
+
+    The lanes run with a deliberately tight flow-control window, so the
+    steady state depends on a continuous trickle of credit grants from
+    the receivers.  Partitioning the fabric mid-traffic cuts that
+    trickle: senders run their credit dry, block (``FLOW_BLOCK``), and
+    probe into the void.  What the scenario proves is the *recovery*:
+    after the heal, piggybacked grants on acks / epoch replies — or a
+    probe answered with a fresh full-state advertisement — must revive
+    every blocked sender, and the audit must come back exactly-once
+    clean.  A wedged sender surfaces as `missing` in the audit, never as
+    a silent hang.
+    """
+    await eng.sleep(0.12)
+    names = eng.fabric.peer_names
+    half = max(1, len(names) // 2)
+    eng.injector.partition_groups(names[:half], names[half:])
+    # Long enough for credit exhaustion on active lanes *and* for the
+    # CM-5 retry schedule to exhaust into epoch renegotiation.
+    await eng.sleep(0.45)
+    eng.injector.heal_all()
+
+
 async def _script_crash_permanent(eng: ChaosEngine) -> None:
     await eng.sleep(0.15)
     await eng.crash_victim()
@@ -647,6 +675,14 @@ SCENARIOS: Dict[str, Scenario] = {
             name="burst-loss",
             summary="a burst of 25% loss + 5% bit damage, then clear air",
             script=_script_burst_loss,
+        ),
+        Scenario(
+            name="overload-partition",
+            summary="partition credit-starved lanes mid-overload; blocked "
+                    "senders must recover their credit state on heal",
+            script=_script_overload_partition,
+            flow=FlowControlConfig(window_bytes=1024, window_msgs=16,
+                                   probe_interval=0.05),
         ),
         Scenario(
             name="crash-permanent",
@@ -687,6 +723,8 @@ class ChaosConfig:
     heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     backoff: BackoffPolicy = field(default_factory=lambda: CHAOS_BACKOFF)
+    #: Arm lanes with credit-based flow control (scenario override wins).
+    flow: Optional[FlowControlConfig] = None
 
     def __post_init__(self) -> None:
         if self.peers < 2 or self.lanes < 1 or self.messages < 1:
@@ -734,6 +772,16 @@ class ChaosResult:
     @property
     def fault_tolerance_share(self) -> float:
         return self.share(Feature.FAULT_TOLERANCE)
+
+    @property
+    def flow_control_share(self) -> float:
+        """Credit bookkeeping time (zero on unmetered scenarios)."""
+        return self.share(Feature.FLOW_CONTROL)
+
+    @property
+    def flow_blocked(self) -> int:
+        """Times any sender ran its credit dry and had to wait."""
+        return self.wire.get("flow.blocked", 0)
 
     @property
     def detection_within_bound(self) -> Optional[bool]:
@@ -821,6 +869,7 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
                 packet_words=config.packet_words,
                 reorder_window=max(256, 4 * config.window),
                 ack_every=4, ack_delay=0.004,
+                flow=scen.flow or config.flow,
             )
             engine.lanes.append(_ChaosLane(
                 conn, config.messages, config.message_words,

@@ -33,6 +33,7 @@ from repro.analysis.timeshare import (
     render_fabric_features,
     render_fabric_sweep,
     render_mode_comparison,
+    render_overload_curve,
     render_time_table,
     render_wire_stats,
 )
@@ -43,7 +44,7 @@ from repro.analysis.tracereport import (
     render_trace_report,
 )
 from repro.arch.attribution import Feature
-from repro.runtime.loadgen import LoadConfig, measure_load
+from repro.runtime.loadgen import LoadConfig, measure_load, sweep_overload
 from repro.runtime.runner import PROTOCOL_NAMES, RuntimeRunResult, measure_live
 from repro.runtime.tracing import (
     TraceEvent,
@@ -296,6 +297,81 @@ def run_trace(args) -> int:
     return 0
 
 
+def run_overload_cmd(args, modes) -> int:
+    """The ``runtime load --overload`` branch: the survival curve.
+
+    Runs the fabric at 1x..10x offered load with every channel
+    credit-metered and audited, then gates on the overload contract:
+    every cell finishes, nothing delivered violates exactly-once
+    ordering, peak buffer occupancies stay inside their advertised
+    windows, and delivered throughput at the highest factor retains at
+    least half of the same mode's 1x baseline — graceful degradation,
+    not collapse.
+    """
+    channels, messages, message_words = (
+        args.channels, args.messages, args.message_words)
+    factors = (1.0, 2.0, 5.0, 10.0)
+    if args.smoke:
+        channels = min(channels, 4)
+        messages = min(messages, 8)
+        message_words = min(message_words, 32)
+        factors = (1.0, 10.0)
+    peers = int(args.peers.split(",")[0])
+    base = LoadConfig(
+        peers=peers, channels=channels, messages=messages,
+        message_words=message_words,
+        drop_rate=args.drop_rate, dup_rate=args.dup_rate,
+        reorder_rate=args.reorder_rate,
+        seed=args.seed, deadline=args.deadline,
+    )
+    print("repro fabric overload — credit-metered survival curve\n")
+    records: List[Dict[str, Any]] = []
+    failures = 0
+    results = sweep_overload(base, factors=factors, modes=modes)
+    for result in results:
+        peaks = result.peaks
+        bounded = (
+            peaks.get("buffered_bytes", 0) <= peaks.get("window_bytes", 0)
+            and peaks.get("reorder_parked", 0)
+            <= peaks.get("reorder_window", 0)
+        )
+        audit_clean = result.audit is None or result.audit.clean
+        ok = result.completed and bounded and audit_clean
+        if not ok:
+            failures += 1
+        print(f"  [{'ok' if ok else 'FAIL'}] "
+              f"{result.config.mode} {result.config.overload:g}x: {result}")
+        for error in result.errors:
+            print(f"        {error}")
+        records.append(result.to_record())
+    for mode in modes:
+        cell = [r for r in results if r.config.mode == mode]
+        base_thr = next((r.throughput_msgs_per_s for r in cell
+                         if r.config.overload == 1.0), 0.0)
+        peak = max(cell, key=lambda r: r.config.overload)
+        retained = (peak.throughput_msgs_per_s / base_thr
+                    if base_thr else 0.0)
+        ok = retained >= 0.5
+        if not ok:
+            failures += 1
+        print(f"  [{'ok' if ok else 'FAIL'}] {mode}: throughput at "
+              f"{peak.config.overload:g}x retains {retained:.0%} of the "
+              f"1x baseline")
+    print()
+    print(render_overload_curve(records))
+    print()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} overload check(s) FAILED")
+        return 1
+    print("overload checks passed: graceful degradation, bounded buffers, "
+          "clean audit.")
+    return 0
+
+
 def run_load_cmd(args) -> int:
     """The ``runtime load`` command; returns a process exit code.
 
@@ -304,15 +380,20 @@ def run_load_cmd(args) -> int:
     modes, then checks that every cell delivered everything and that
     the CM-5-vs-CR ordering + fault-tolerance share collapses at every
     peer count — Figure 6's direction, under many-peer fan-out.
+
+    With ``--overload``, runs the overload survival curve instead: the
+    same fabric at 1x..10x offered load with credit-metered channels.
     """
     peer_counts = [int(p) for p in args.peers.split(",")]
+    modes = ("cm5", "cr") if args.mode == "both" else (args.mode,)
+    if args.overload:
+        return run_overload_cmd(args, modes)
     channels, messages, message_words = (
         args.channels, args.messages, args.message_words)
     if args.smoke:
         channels = min(channels, 8)
         messages = min(messages, 4)
         message_words = min(message_words, 32)
-    modes = ("cm5", "cr") if args.mode == "both" else (args.mode,)
 
     print("repro fabric load — M channels x K messages across P peers\n")
     records: List[Dict[str, Any]] = []
@@ -511,6 +592,11 @@ def add_runtime_subparsers(parser) -> None:
     load.add_argument("--smoke", action="store_true",
                       help="shrink the run for CI smoke checks "
                            "(channels<=8, messages<=4, words<=32)")
+    load.add_argument("--overload", action="store_true",
+                      help="run the overload survival curve instead: "
+                           "1x..10x offered load over credit-metered "
+                           "channels, gating on graceful degradation, "
+                           "bounded buffers, and a clean audit")
     load.add_argument("--json", default=None,
                       help="also write the sweep records to this JSON file")
     load.set_defaults(func=run_load_cmd)
@@ -522,7 +608,8 @@ def add_runtime_subparsers(parser) -> None:
     chaos.add_argument("--scenario", default="all",
                        help="scenario name, or 'all' (default): "
                             "partition-heal, crash-restart, rolling-flap, "
-                            "burst-loss, crash-permanent")
+                            "burst-loss, overload-partition, "
+                            "crash-permanent")
     chaos.add_argument("--mode", default="both",
                        choices=["both", "cm5", "cr"])
     chaos.add_argument("--peers", type=int, default=6)

@@ -112,8 +112,14 @@ class RuntimeEndpoint:
         self.counters.inc("frames_received")
         tracer = self.tracer
         if tracer.enabled:
+            if frame.kind in ACK_KINDS:
+                etype = EventType.ACK_RX
+            elif frame.kind is FrameKind.CREDIT_UPDATE:
+                etype = EventType.CREDIT_RX
+            else:
+                etype = EventType.RECV
             tracer.emit(
-                EventType.ACK_RX if frame.kind in ACK_KINDS else EventType.RECV,
+                etype,
                 endpoint=self.name, channel=frame.channel, seq=frame.seq,
                 aux=frame.aux, kind=frame.kind.name,
                 feature=self.attribution.current,
@@ -136,8 +142,14 @@ class RuntimeEndpoint:
             self.sent_by_kind[frame.kind] = self.sent_by_kind.get(frame.kind, 0) + 1
             tracer = self.tracer
             if tracer.enabled:
+                if frame.kind in ACK_KINDS:
+                    etype = EventType.ACK_TX
+                elif frame.kind is FrameKind.CREDIT_UPDATE:
+                    etype = EventType.CREDIT_TX
+                else:
+                    etype = EventType.SEND
                 tracer.emit(
-                    EventType.ACK_TX if frame.kind in ACK_KINDS else EventType.SEND,
+                    etype,
                     endpoint=self.name, channel=frame.channel, seq=frame.seq,
                     aux=frame.aux, kind=frame.kind.name, feature=feature,
                 )
@@ -206,6 +218,11 @@ class RuntimeEndpoint:
     def data_frames_sent(self) -> int:
         """First-transmission data datagrams (retransmits bypass the codec)."""
         return self.sent_by_kind.get(FrameKind.DATA, 0)
+
+    @property
+    def credit_frames_sent(self) -> int:
+        """Standalone flow-control datagrams (advertisements + probes)."""
+        return self.sent_by_kind.get(FrameKind.CREDIT_UPDATE, 0)
 
     @property
     def ack_frames_sent(self) -> int:

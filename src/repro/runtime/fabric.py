@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.arch.attribution import Feature
 from repro.runtime.channels import LiveChannel, open_live_channel
 from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.flowcontrol import FlowControlConfig
 from repro.runtime.protocols import RecoveryPolicy
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.tracing import Tracer
@@ -294,12 +295,14 @@ class Fabric:
                       ack_every: int = 8, ack_delay: float = 0.005,
                       backoff: Optional[BackoffPolicy] = None,
                       recovery: Optional[RecoveryPolicy] = None,
+                      flow: Optional[FlowControlConfig] = None,
                       ) -> FabricConnection:
         """Open an ordered channel ``src`` → ``dst`` on a fresh channel id.
 
         Multiple connections between the same pair (or sharing either
         endpoint) are fully independent: each gets its own sequence
-        space, send window, retransmitter, and reorder buffer.
+        space, send window, retransmitter, reorder buffer, and (when
+        ``flow`` is given) credit window.
         """
         if self._closed:
             raise FabricError("fabric is closed")
@@ -314,6 +317,7 @@ class Fabric:
             packet_words=packet_words, reorder_window=reorder_window,
             backoff=backoff or self.backoff, ack_every=ack_every,
             ack_delay=ack_delay, recovery=recovery or self.recovery,
+            flow=flow,
         )
         conn = FabricConnection(self, cid, src, dst, channel)
         self._connections[cid] = conn
@@ -358,11 +362,13 @@ class Fabric:
 
     def wire_totals(self) -> Dict[str, int]:
         """Datagram-level accounting summed across every peer:
-        data/ack frames sent, plus the hub's delivery-policy counters
-        on loopback."""
+        data/ack/credit frames sent, the per-channel ``flow.*`` tallies
+        re-aggregated fabric-wide, plus the hub's delivery-policy
+        counters on loopback."""
         totals = {
             "data_datagrams": 0,
             "ack_datagrams": 0,
+            "credit_datagrams": 0,
             "frames_sent": 0,
             "frames_received": 0,
             "retransmissions": 0,
@@ -371,12 +377,22 @@ class Fabric:
         for endpoint in self._peers.values():
             totals["data_datagrams"] += endpoint.data_frames_sent
             totals["ack_datagrams"] += endpoint.ack_frames_sent
+            totals["credit_datagrams"] += endpoint.credit_frames_sent
             totals["frames_sent"] += endpoint.frames_sent
             totals["frames_received"] += endpoint.frames_received
             totals["send_errors"] += endpoint.send_errors
             for name, value in endpoint.counters.to_dict().items():
                 if name.endswith(".rtx.retransmissions"):
                     totals["retransmissions"] += value
+                else:
+                    # Per-channel flow-control tallies live under
+                    # "stream_tx.flow.*"/"stream_rx.flow.*"; fold them
+                    # into fabric-wide "flow.<leaf>" totals.
+                    idx = name.find(".flow.")
+                    if idx >= 0:
+                        leaf = name[idx + len(".flow."):]
+                        key = f"flow.{leaf}"
+                        totals[key] = totals.get(key, 0) + value
         if self.hub is not None:
             totals.update(self.hub.wire_counters())
         return totals

@@ -1,0 +1,334 @@
+"""Credit-based flow control for the live runtime's ordered channels.
+
+The paper charges a large share of per-message software overhead to
+buffer management and flow control; until now the runtime had the
+buffers but not the admission control — a fast sender could balloon a
+receiver's reorder buffer and its own retransmitter tracked set without
+bound.  This module adds the missing half, modeled on the classic
+receiver-advertised *credit window* (the same shape MPICH2-over-
+InfiniBand uses to gate its eager protocol):
+
+* :class:`ReceiverWindow` (consumer side) accounts every admitted data
+  packet against a per-channel credit budget (bytes dominant, message
+  count secondary).  Delivery to the user releases buffer space; when
+  the credit outstanding at the sender falls under a low watermark the
+  receiver re-advertises a top-up — as a standalone ``CREDIT_UPDATE``
+  frame, or piggybacked for free on the ``CUM_ACK`` it was about to
+  send anyway.
+
+* :class:`SenderWindow` (producer side) estimates the peer's remaining
+  credit from those advertisements and surfaces a
+  :class:`BackpressureSignal` (``OK``/``SOFT``/``HARD``) so callers can
+  delay or shed work *before* the channel wedges; a sender that must
+  make progress simply awaits credit.
+
+Loss tolerance is structural, not best-effort: grants are **absolute
+cumulative totals**, never deltas, so applying one is idempotent
+(``max``-merge) and any later advertisement — the next piggybacked ack,
+a periodic full-state refresh, an ``EPOCH_REPLY`` during crash
+recovery — heals an arbitrary number of lost ``CREDIT_UPDATE`` frames.
+A sender blocked with nothing in flight (so nothing to elicit an ack)
+probes the receiver on a timer, and the probe's answer is a fresh
+full-state advertisement.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+#: Payload words appended to a credit-bearing frame: the advertised
+#: cumulative grant totals, 64-bit each, split into two 32-bit words.
+CREDIT_WORDS = 4
+
+_WORD = 0xFFFFFFFF
+
+
+class BackpressureSignal(enum.Enum):
+    """What the sender-side credit estimate advises the caller to do."""
+
+    OK = "ok"        #: plenty of credit — send freely
+    SOFT = "soft"    #: running low — delay or batch if you can
+    HARD = "hard"    #: (nearly) exhausted — shed or block until a grant
+
+
+@dataclass(frozen=True)
+class FlowControlConfig:
+    """Per-channel credit window shape and reaction thresholds.
+
+    Byte-based accounting dominates; the message (packet) count is a
+    secondary guard so a flood of tiny packets cannot slip under a
+    byte-only budget.  Fractions mirror the usual credit-window tuning:
+    top up when remaining credit crosses ``low_watermark_frac``, treat
+    the estimate as SOFT/HARD under ``soft_fraction``/``hard_fraction``
+    of capacity.
+    """
+
+    window_bytes: int = 64 * 1024   #: receiver buffer budget in payload bytes
+    window_msgs: int = 512          #: secondary cap in packets
+    low_watermark_frac: float = 0.25  #: re-advertise under this remaining frac
+    grant_chunk_frac: float = 0.50    #: suppress grants smaller than this frac
+    soft_fraction: float = 0.15       #: estimate <= this frac => SOFT
+    hard_fraction: float = 0.05       #: estimate <= this frac => HARD
+    refresh_every: int = 64           #: full-state refresh cadence (arrivals)
+    probe_interval: float = 0.05      #: blocked-sender credit probe timer
+
+    def __post_init__(self) -> None:
+        if self.window_bytes < 1 or self.window_msgs < 1:
+            raise ValueError("credit windows must be positive")
+        if not (0.0 < self.low_watermark_frac < 1.0):
+            raise ValueError("low watermark must be a fraction in (0, 1)")
+        if not (0.0 <= self.hard_fraction <= self.soft_fraction < 1.0):
+            raise ValueError("need 0 <= hard <= soft < 1")
+        if self.refresh_every < 1 or self.probe_interval <= 0:
+            raise ValueError("refresh cadence and probe interval must be positive")
+
+
+def credit_words(granted_bytes: int, granted_msgs: int) -> Tuple[int, ...]:
+    """Encode cumulative grant totals as :data:`CREDIT_WORDS` payload words."""
+    return (
+        (granted_bytes >> 32) & _WORD, granted_bytes & _WORD,
+        (granted_msgs >> 32) & _WORD, granted_msgs & _WORD,
+    )
+
+
+def parse_credit_words(words: Sequence[int]) -> Tuple[int, int]:
+    """Decode :func:`credit_words` back into (granted_bytes, granted_msgs)."""
+    if len(words) != CREDIT_WORDS:
+        raise ValueError(f"credit suffix must be {CREDIT_WORDS} words")
+    granted_bytes = (int(words[0]) << 32) | int(words[1])
+    granted_msgs = (int(words[2]) << 32) | int(words[3])
+    return granted_bytes, granted_msgs
+
+
+class ReceiverWindow:
+    """Receiver-side credit ledger for one ordered channel.
+
+    All counters are monotone cumulative totals over the channel's
+    lifetime — ``granted`` is what has ever been advertised to the peer,
+    ``consumed`` what has ever been admitted into the buffer,
+    ``released`` what has left it toward the user.  The derived
+    quantities are::
+
+        in_buffer   = consumed - released          (current occupancy)
+        outstanding = granted  - consumed          (credit the peer holds)
+
+    The initial grant equals one full window, matching the sender-side
+    estimate's starting point, so a channel works before the first
+    advertisement ever crosses the wire.
+    """
+
+    def __init__(self, config: FlowControlConfig) -> None:
+        self.config = config
+        self.granted_bytes = config.window_bytes
+        self.granted_msgs = config.window_msgs
+        self.consumed_bytes = 0
+        self.consumed_msgs = 0
+        self.released_bytes = 0
+        self.released_msgs = 0
+        self.peak_buffered_bytes = 0
+        self.peak_buffered_msgs = 0
+        self.overruns = 0
+        self._arrivals = 0
+        self._update_due = False
+
+    # -- derived state --------------------------------------------------------
+
+    @property
+    def in_buffer_bytes(self) -> int:
+        return self.consumed_bytes - self.released_bytes
+
+    @property
+    def in_buffer_msgs(self) -> int:
+        return self.consumed_msgs - self.released_msgs
+
+    @property
+    def outstanding_bytes(self) -> int:
+        return self.granted_bytes - self.consumed_bytes
+
+    @property
+    def outstanding_msgs(self) -> int:
+        return self.granted_msgs - self.consumed_msgs
+
+    def _target(self) -> Tuple[int, int]:
+        """The fullest grant the buffer can honour: everything released
+        plus one whole window — never a promise past physical capacity."""
+        return (self.released_bytes + self.config.window_bytes,
+                self.released_msgs + self.config.window_msgs)
+
+    # -- admission / release --------------------------------------------------
+
+    def on_data(self, nbytes: int) -> bool:
+        """Account one admitted data packet; returns True when a credit
+        advertisement should be sent now (watermark crossed, or the
+        periodic full-state refresh came due)."""
+        self.consumed_bytes += nbytes
+        self.consumed_msgs += 1
+        if self.outstanding_bytes < 0 or self.outstanding_msgs < 0:
+            # The peer sent past its grant.  We never punish it with a
+            # drop (the retransmit machinery would just resend); we
+            # count it so a misconfigured pairing is visible.
+            self.overruns += 1
+        self.peak_buffered_bytes = max(self.peak_buffered_bytes,
+                                       self.in_buffer_bytes)
+        self.peak_buffered_msgs = max(self.peak_buffered_msgs,
+                                      self.in_buffer_msgs)
+        self._arrivals += 1
+        if self._arrivals % self.config.refresh_every == 0:
+            self._update_due = True
+        cfg = self.config
+        if (self.outstanding_bytes < cfg.low_watermark_frac * cfg.window_bytes
+                or self.outstanding_msgs < cfg.low_watermark_frac * cfg.window_msgs):
+            self._update_due = True
+        return self._update_due
+
+    def on_deliver(self, nbytes: int) -> None:
+        """Account one packet leaving the buffer toward the user."""
+        self.released_bytes += nbytes
+        self.released_msgs += 1
+
+    def on_crash(self) -> None:
+        """Receiver-process death: buffered-but-undelivered packets are
+        lost (retransmission re-admits them), so the occupancy they held
+        is released and a fresh advertisement becomes due immediately."""
+        self.released_bytes = self.consumed_bytes
+        self.released_msgs = self.consumed_msgs
+        self._update_due = True
+
+    # -- advertisement --------------------------------------------------------
+
+    @property
+    def update_due(self) -> bool:
+        return self._update_due
+
+    def advertise(self) -> Tuple[int, int]:
+        """Grant up to the buffer's current capacity and return the new
+        cumulative totals to put on the wire.  Clears any pending
+        watermark/refresh obligation (the caller is sending it)."""
+        target_bytes, target_msgs = self._target()
+        self.granted_bytes = max(self.granted_bytes, target_bytes)
+        self.granted_msgs = max(self.granted_msgs, target_msgs)
+        self._update_due = False
+        return self.granted_bytes, self.granted_msgs
+
+    def grant_worthwhile(self) -> bool:
+        """Would a fresh advertisement move the grant by at least the
+        configured chunk (or is one due anyway)?  Suppresses chatty
+        sliver-sized top-ups."""
+        if self._update_due:
+            return True
+        target_bytes, _ = self._target()
+        chunk = self.config.grant_chunk_frac * self.config.window_bytes
+        return target_bytes - self.granted_bytes >= chunk
+
+
+class SenderWindow:
+    """Sender-side estimate of the peer's remaining credit.
+
+    ``limit`` mirrors the largest cumulative grant ever advertised by
+    the peer (``max``-merged, so stale and duplicate updates are
+    harmless); ``used`` is what this side has consumed against it.
+    """
+
+    def __init__(self, config: FlowControlConfig) -> None:
+        self.config = config
+        self.limit_bytes = config.window_bytes
+        self.limit_msgs = config.window_msgs
+        self.used_bytes = 0
+        self.used_msgs = 0
+        self.updates_applied = 0
+        self._credit = asyncio.Event()
+        self._credit.set()
+
+    # -- derived state --------------------------------------------------------
+
+    @property
+    def available_bytes(self) -> int:
+        return self.limit_bytes - self.used_bytes
+
+    @property
+    def available_msgs(self) -> int:
+        return self.limit_msgs - self.used_msgs
+
+    def can_send(self, nbytes: int) -> bool:
+        return self.available_bytes >= nbytes and self.available_msgs >= 1
+
+    def signal(self, next_bytes: int = 0) -> BackpressureSignal:
+        """Advise the caller: byte and message headroom as fractions of
+        capacity, whichever is scarcer."""
+        cfg = self.config
+        frac = min(self.available_bytes / cfg.window_bytes,
+                   self.available_msgs / cfg.window_msgs)
+        if frac <= cfg.hard_fraction or not self.can_send(next_bytes):
+            return BackpressureSignal.HARD
+        if frac <= cfg.soft_fraction:
+            return BackpressureSignal.SOFT
+        return BackpressureSignal.OK
+
+    # -- consumption / grants -------------------------------------------------
+
+    def consume(self, nbytes: int) -> None:
+        self.used_bytes += nbytes
+        self.used_msgs += 1
+        if not self.can_send(1):
+            self._credit.clear()
+
+    def apply(self, granted_bytes: int, granted_msgs: int) -> bool:
+        """Merge one advertisement; returns True when it raised the
+        limit.  Idempotent and order-insensitive — grants are cumulative
+        totals, so a lost or reordered update is healed by any later one."""
+        raised = (granted_bytes > self.limit_bytes
+                  or granted_msgs > self.limit_msgs)
+        self.limit_bytes = max(self.limit_bytes, granted_bytes)
+        self.limit_msgs = max(self.limit_msgs, granted_msgs)
+        if raised:
+            self.updates_applied += 1
+        if self.can_send(1):
+            self._credit.set()
+        return raised
+
+    async def grant_wait(self, nbytes: int, timeout: float) -> bool:
+        """One bounded wait for enough credit to send ``nbytes``.
+
+        Returns True as soon as sending is possible, False when the
+        timeout lapses first — the caller decides whether to probe the
+        receiver, re-check channel health, and come back.  Bounded waits
+        keep the blocked path responsive to channel failure.
+        """
+        if self.can_send(nbytes):
+            return True
+        self._credit.clear()
+        if self.can_send(nbytes):  # a grant raced the clear
+            return True
+        try:
+            await asyncio.wait_for(self._credit.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        return self.can_send(nbytes)
+
+    async def wait_for_credit(self, nbytes: int,
+                              probe=None) -> int:
+        """Block until :meth:`can_send` holds.  While starved past the
+        probe interval with no grant in sight, call ``probe()`` (an
+        async callable) so the receiver re-advertises — the escape hatch
+        for a sender with nothing in flight to elicit an ack.  Returns
+        the number of probes sent."""
+        probes = 0
+        while not self.can_send(nbytes):
+            self._credit.clear()
+            if self.can_send(nbytes):  # grant raced the clear
+                break
+            try:
+                await asyncio.wait_for(self._credit.wait(),
+                                       self.config.probe_interval)
+            except asyncio.TimeoutError:
+                if probe is not None:
+                    probes += 1
+                    await probe()
+        return probes
+
+    def release_waiters(self) -> None:
+        """Wake any blocked sender (channel teardown/failure path)."""
+        self._credit.set()

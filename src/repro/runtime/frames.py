@@ -27,7 +27,7 @@ import enum
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 #: First header byte of every runtime datagram ("C5" — the machine).
 MAGIC = 0xC5
@@ -78,6 +78,11 @@ class FrameKind(enum.IntEnum):
                      #: sequence number (a definitive cumulative ack),
                      #: aux = granted epoch, payload = selective acks
     HEARTBEAT = 10   #: failure-detector liveness beacon — seq = beat number
+    CREDIT_UPDATE = 11  #: flow control — receiver→sender: payload = 4-word
+                        #: cumulative grant totals (see
+                        #: :mod:`repro.runtime.flowcontrol`), aux = epoch;
+                        #: sender→receiver with an *empty* payload: a credit
+                        #: probe asking for a fresh advertisement
 
 
 @dataclass(frozen=True)
@@ -171,17 +176,28 @@ def data_frame(channel: int, seq: int, payload: Sequence[int], aux: int = 0) -> 
 
 
 def cum_ack_frame(channel: int, next_expected: int,
-                  sacks: Sequence[int] = (), epoch: int = 0) -> Frame:
+                  sacks: Sequence[int] = (), epoch: int = 0,
+                  credit: Optional[Tuple[int, ...]] = None) -> Frame:
     """A stream cumulative acknowledgement.
 
     ``next_expected`` acknowledges every sequence number below it;
     ``sacks`` selectively acknowledges out-of-order packets parked
     beyond the contiguous point; ``epoch`` is the receiver's current
     channel epoch (bumped by crash-recovery renegotiation).
+
+    When flow control is armed on the channel, ``credit`` (the 4-word
+    suffix from :func:`repro.runtime.flowcontrol.credit_words`) rides
+    behind the sacks for free — a lost ``CREDIT_UPDATE`` is healed by
+    the very next ack.  Both sides of a channel agree on whether the
+    suffix is present, so the payload stays self-consistent without an
+    in-band marker.
     """
+    payload = tuple(sacks)
+    if credit is not None:
+        payload += tuple(credit)
     return Frame(
         kind=FrameKind.CUM_ACK, channel=channel, seq=next_expected,
-        aux=epoch, payload=tuple(sacks),
+        aux=epoch, payload=payload,
     )
 
 
@@ -195,15 +211,45 @@ def epoch_req_frame(channel: int, proposed_epoch: int, base_seq: int) -> Frame:
 
 
 def epoch_reply_frame(channel: int, next_expected: int, epoch: int,
-                      sacks: Sequence[int] = ()) -> Frame:
+                      sacks: Sequence[int] = (),
+                      credit: Optional[Tuple[int, ...]] = None) -> Frame:
     """The receiver's recovery grant: a definitive cumulative ack
-    (``next_expected``) under the granted ``epoch``."""
+    (``next_expected``) under the granted ``epoch``.  ``credit`` is the
+    same optional 4-word flow-control suffix ``CUM_ACK`` carries, so a
+    renegotiated channel resynchronizes its credit state in the same
+    frame that restores its sequence state."""
+    payload = tuple(sacks)
+    if credit is not None:
+        payload += tuple(credit)
     return Frame(
         kind=FrameKind.EPOCH_REPLY, channel=channel, seq=next_expected,
-        aux=epoch, payload=tuple(sacks),
+        aux=epoch, payload=payload,
     )
 
 
 def heartbeat_frame(channel: int, beat: int) -> Frame:
     """A failure-detector liveness beacon."""
     return Frame(kind=FrameKind.HEARTBEAT, channel=channel, seq=beat)
+
+
+def credit_update_frame(channel: int, credit: Sequence[int],
+                        epoch: int = 0) -> Frame:
+    """A standalone flow-control advertisement (receiver → sender).
+
+    ``credit`` is the 4-word cumulative grant encoding from
+    :func:`repro.runtime.flowcontrol.credit_words`; being cumulative,
+    the frame is idempotent and safe to lose — any later advertisement
+    (standalone, piggybacked, or an ``EPOCH_REPLY``) supersedes it.
+    """
+    return Frame(kind=FrameKind.CREDIT_UPDATE, channel=channel,
+                 aux=epoch, payload=tuple(credit))
+
+
+def credit_probe_frame(channel: int) -> Frame:
+    """A sender → receiver credit probe: "re-advertise, I'm starved".
+
+    Distinguished from an advertisement by its empty payload.  Sent on
+    a timer by a sender blocked on credit with nothing in flight — the
+    one situation where no ack traffic exists to piggyback a grant on.
+    """
+    return Frame(kind=FrameKind.CREDIT_UPDATE, channel=channel)

@@ -33,6 +33,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.arch.attribution import Feature
 from repro.runtime.channels import LiveFramedChannel
 from repro.runtime.fabric import Fabric, FabricConnection
+from repro.runtime.flowcontrol import BackpressureSignal, FlowControlConfig
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.runner import LOOPBACK_BACKOFF
 from repro.runtime.tracing import LatencyHistogram, Tracer
@@ -59,6 +60,16 @@ class LoadConfig:
     deadline: float = 60.0
     backoff: Optional[BackoffPolicy] = None
     audit: bool = False          #: run the exactly-once delivery ledger
+    #: Offered-load multiplier.  1.0 is the paced baseline; >1 arms the
+    #: overload scenario: each lane *offers* ``messages × overload``
+    #: messages and reacts to backpressure — SOFT delays by
+    #: ``soft_delay``, HARD sheds (counted, never stamped into the
+    #: ledger, so the audit stays exact).
+    overload: float = 1.0
+    soft_delay: float = 0.002    #: pause per SOFT signal under overload
+    #: Per-channel credit window; None derives a default sized to a few
+    #: send windows (generous at baseline load, binding at overload).
+    flow: Optional[FlowControlConfig] = None
 
     def __post_init__(self) -> None:
         if self.peers < 2:
@@ -70,6 +81,32 @@ class LoadConfig:
             # message index, and a per-message checksum, so exactly-once
             # in-order delivery can be audited end to end.
             raise ValueError("message_words must be at least 3")
+        if self.overload <= 0:
+            raise ValueError("overload multiplier must be positive")
+        if self.soft_delay < 0:
+            raise ValueError("soft_delay must be non-negative")
+
+    def flow_config(self) -> FlowControlConfig:
+        """The credit window this run arms every channel with.
+
+        At baseline load the derived window is generous (several send
+        windows) so credit never constrains a healthy run; under
+        overload it tightens to roughly one send window, making the
+        credit machinery — not luck — what bounds buffer growth and
+        drives the SOFT/HARD reactions the scenario exists to exercise.
+        """
+        if self.flow is not None:
+            return self.flow
+        packet_bytes = self.packet_words * 4
+        if self.overload > 1.0:
+            return FlowControlConfig(
+                window_bytes=max(2048, self.window * packet_bytes),
+                window_msgs=max(16, self.window),
+            )
+        return FlowControlConfig(
+            window_bytes=max(4096, 4 * self.window * packet_bytes),
+            window_msgs=max(64, 4 * self.window),
+        )
 
     def fault_kwargs(self) -> Dict[str, float]:
         return {
@@ -94,6 +131,11 @@ class LoadResult:
     per_peer_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
     audit: Optional[AuditReport] = None
+    messages_shed: int = 0       #: offered messages dropped on HARD signal
+    soft_delays: int = 0         #: SOFT-signal pauses taken by senders
+    #: Peak-memory accounting: high-water buffer occupancies against
+    #: their configured bounds (the overload survival gate).
+    peaks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lost_messages(self) -> int:
@@ -126,6 +168,22 @@ class LoadResult:
         data = self.wire.get("data_datagrams", 0)
         return self.wire.get("ack_datagrams", 0) / data if data else 0.0
 
+    @property
+    def messages_offered(self) -> int:
+        """Everything the senders tried to submit (sent + shed)."""
+        return self.messages_sent + self.messages_shed
+
+    @property
+    def shed_share(self) -> float:
+        offered = self.messages_offered
+        return self.messages_shed / offered if offered else 0.0
+
+    @property
+    def flow_control_share(self) -> float:
+        """Wall-clock share of the credit machinery (admission
+        accounting, advertisements, probes — not idle blocked time)."""
+        return self.share(Feature.FLOW_CONTROL)
+
     def to_record(self) -> Dict[str, Any]:
         """JSON-friendly summary (the shape ``render_fabric_sweep`` and
         ``BENCH_runtime.json`` consume)."""
@@ -138,10 +196,16 @@ class LoadResult:
             "message_words": self.config.message_words,
             "completed": self.completed,
             "wall_ns": self.wall_ns,
+            "overload": self.config.overload,
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
+            "messages_shed": self.messages_shed,
+            "messages_offered": self.messages_offered,
+            "shed_share": self.shed_share,
+            "soft_delays": self.soft_delays,
             "lost_messages": self.lost_messages,
             "corrupt_messages": self.corrupt_messages,
+            "peaks": dict(self.peaks),
             "throughput_msgs_per_s": self.throughput_msgs_per_s,
             "throughput_words_per_s": self.throughput_words_per_s,
             "latency": self.latency.to_dict(),
@@ -155,6 +219,7 @@ class LoadResult:
                 for feature in Feature
             },
             "ordering_fault_share": self.ordering_fault_share,
+            "flow_control_share": self.flow_control_share,
             "errors": list(self.errors),
             "audit": self.audit.to_dict() if self.audit is not None else None,
         }
@@ -341,6 +406,8 @@ class _LoadChannel:
         self.sent = 0
         self.delivered = 0
         self.corrupt = 0
+        self.shed = 0
+        self.soft_delays = 0
         self._send_ts: Deque[int] = deque()
         self._done: "asyncio.Future" = asyncio.get_running_loop().create_future()
         self.framed.on_message(self._on_message)
@@ -357,13 +424,34 @@ class _LoadChannel:
             self.corrupt += 1
         if self.ledger is not None:
             self.ledger.record_delivery(self.conn.cid, words)
-        if self.delivered >= self.expect and not self._done.done():
+        if (self.expect is not None and self.delivered >= self.expect
+                and not self._done.done()):
             self._done.set_result(True)
 
-    async def drive(self, message_words: int) -> None:
+    async def drive(self, message_words: int, overload: float = 1.0,
+                    soft_delay: float = 0.002) -> None:
         reserved = 2 if self.ledger is None else 3
         filler = list(range(reserved, message_words))
-        for k in range(self.expect):
+        offered = max(1, round(self.expect * overload))
+        # Payload plus the framing layer's length-prefix word — what one
+        # message will consume from the credit window.
+        msg_bytes = (message_words + 1) * 4
+        if overload > 1.0:
+            # The delivery target is only known once shedding resolves.
+            self.expect = None
+        for _attempt in range(offered):
+            if overload > 1.0:
+                signal = self.conn.channel.flow_signal(msg_bytes)
+                if signal is BackpressureSignal.HARD:
+                    # Shed *before* stamping: a shed message never
+                    # enters the ledger, so it can never be counted
+                    # missing — or delivered.
+                    self.shed += 1
+                    continue
+                if signal is BackpressureSignal.SOFT:
+                    self.soft_delays += 1
+                    await asyncio.sleep(soft_delay)
+            k = self.sent
             if self.ledger is not None:
                 payload = self.ledger.stamp(self.conn.cid, k, filler)
             else:
@@ -371,6 +459,10 @@ class _LoadChannel:
             self._send_ts.append(time.perf_counter_ns())
             await self.framed.send_message(payload)
             self.sent += 1
+        if self.expect is None:
+            self.expect = self.sent
+            if self.delivered >= self.expect and not self._done.done():
+                self._done.set_result(True)
         await self.conn.drain()
         # Acks confirm the source buffer; delivery (and CR mode, which
         # has no acks at all) still needs the receive side to finish.
@@ -395,18 +487,24 @@ async def run_load(config: LoadConfig,
         for name in names:
             await fabric.add_peer(name)
         pairs = spread_pairs(names, config.channels)
+        flow = config.flow_config()
+        reorder_window = max(256, 2 * config.window)
         for src, dst in pairs:
             conn = await fabric.connect(
                 src, dst, window=config.window,
                 packet_words=config.packet_words,
-                reorder_window=max(256, 2 * config.window),
+                reorder_window=reorder_window,
                 ack_every=config.ack_every, ack_delay=config.ack_delay,
+                flow=flow,
             )
             lanes.append(_LoadChannel(conn, config.messages, hist,
                                       ledger=ledger))
 
         start = time.perf_counter_ns()
-        tasks = [asyncio.ensure_future(lane.drive(config.message_words))
+        tasks = [asyncio.ensure_future(
+                     lane.drive(config.message_words,
+                                overload=config.overload,
+                                soft_delay=config.soft_delay))
                  for lane in lanes]
         try:
             await asyncio.wait_for(asyncio.gather(*tasks), config.deadline)
@@ -427,6 +525,23 @@ async def run_load(config: LoadConfig,
         feature_ns = fabric.attribution_totals()
         wire = fabric.wire_totals()
         per_peer = fabric.endpoint_counters()
+        # High-water buffer occupancies, gathered before teardown: the
+        # quantities the credit window exists to bound.
+        peaks = {
+            "reorder_parked": max(
+                (lane.conn.channel.receiver.reorder.parked_peak
+                 for lane in lanes), default=0),
+            "reorder_window": reorder_window,
+            "tracked": max(
+                (lane.conn.channel.sender.retransmitter.tracked_peak
+                 for lane in lanes), default=0),
+            "send_window": config.window,
+            "buffered_bytes": max(
+                (lane.conn.channel.receiver.flow.peak_buffered_bytes
+                 for lane in lanes
+                 if lane.conn.channel.receiver.flow is not None), default=0),
+            "window_bytes": flow.window_bytes,
+        }
     finally:
         await fabric.close()
     return LoadResult(
@@ -442,6 +557,9 @@ async def run_load(config: LoadConfig,
         per_peer_counters=per_peer,
         errors=errors,
         audit=ledger.verdict() if ledger is not None else None,
+        messages_shed=sum(lane.shed for lane in lanes),
+        soft_delays=sum(lane.soft_delays for lane in lanes),
+        peaks=peaks,
     )
 
 
@@ -462,4 +580,22 @@ def sweep_peer_counts(
     for peers in peer_counts:
         for mode in modes:
             results.append(measure_load(replace(base, peers=peers, mode=mode)))
+    return results
+
+
+def sweep_overload(
+    base: LoadConfig,
+    factors: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
+    modes: Sequence[str] = ("cm5", "cr"),
+) -> List[LoadResult]:
+    """The overload survival curve: run ``base`` at each offered-load
+    multiple × mode.  The interesting quantities per cell are delivered
+    throughput (does it degrade gracefully or collapse?), the shed
+    share, the flow-control timeshare, and the peak buffer occupancies
+    against their advertised bounds."""
+    results = []
+    for mode in modes:
+        for factor in factors:
+            results.append(measure_load(
+                replace(base, mode=mode, overload=factor, audit=True)))
     return results

@@ -44,15 +44,27 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.attribution import Feature
 from repro.protocols.sequencing import ReorderWindow, SequenceError, SequenceGenerator
 from repro.runtime.endpoint import RuntimeEndpoint
+from repro.runtime.flowcontrol import (
+    CREDIT_WORDS,
+    BackpressureSignal,
+    FlowControlConfig,
+    ReceiverWindow,
+    SenderWindow,
+    credit_words,
+    parse_credit_words,
+)
 from repro.runtime.frames import (
     Frame,
     FrameKind,
+    credit_probe_frame,
+    credit_update_frame,
     cum_ack_frame,
     data_frame,
     epoch_reply_frame,
@@ -727,7 +739,8 @@ class OrderedChannelSender:
     def __init__(self, endpoint: RuntimeEndpoint, dst: Address,
                  channel: int = CH_STREAM, window: int = 32,
                  backoff: Optional[BackoffPolicy] = None,
-                 recovery: Optional[RecoveryPolicy] = None) -> None:
+                 recovery: Optional[RecoveryPolicy] = None,
+                 flow: Optional[FlowControlConfig] = None) -> None:
         if window < 1:
             raise ValueError("window must be positive")
         self.endpoint = endpoint
@@ -735,6 +748,11 @@ class OrderedChannelSender:
         self.channel = channel
         self.window = window
         self.recovery = recovery
+        # Credit-based flow control (None = unmetered, the historical
+        # behaviour).  Both sides of a channel must agree on `flow`,
+        # because a credit-bearing ack carries its grant as a payload
+        # suffix with no in-band marker.
+        self.flow = SenderWindow(flow) if flow is not None else None
         self.epoch = 0
         self._epochs_used = 0
         self._seq = SequenceGenerator()
@@ -808,11 +826,17 @@ class OrderedChannelSender:
             raise ProtocolFailure("channel sender is closed")
         self._raise_if_failed()
         attr = self.endpoint.attribution
+        nbytes = len(words) * 4
         if self.endpoint.cr_mode:
-            # The network orders and retains packets; just count and send.
+            # The network orders and retains packets — but it does not
+            # size the receiver's buffers, so credit still gates admission.
+            await self._await_credit(nbytes)
             seq = self._seq.next()
             frame = data_frame(self.channel, seq, words)
             await self.endpoint.send_frame(self.dst, frame, Feature.BASE)
+            if self.flow is not None:
+                with attr.span(Feature.FLOW_CONTROL):
+                    self.flow.consume(nbytes)
             return seq
         while self.retransmitter.outstanding >= self.window:
             self._space.clear()
@@ -820,6 +844,7 @@ class OrderedChannelSender:
             if self._closed:
                 raise ProtocolFailure("channel sender is closed")
             self._raise_if_failed()
+        await self._await_credit(nbytes)
         with attr.span(Feature.IN_ORDER):
             seq = self._seq.next()
         frame = data_frame(self.channel, seq, words)
@@ -828,7 +853,78 @@ class OrderedChannelSender:
             # Source buffering: pin the packet until an ack covers it.
             self.retransmitter.track(seq, data)
             self._wire[seq] = data
+        if self.flow is not None:
+            with attr.span(Feature.FLOW_CONTROL):
+                self.flow.consume(nbytes)
         return seq
+
+    def flow_signal(self, next_bytes: int = 0) -> BackpressureSignal:
+        """The current backpressure advice (always OK when unmetered)."""
+        if self.flow is None:
+            return BackpressureSignal.OK
+        return self.flow.signal(next_bytes)
+
+    async def _await_credit(self, nbytes: int) -> None:
+        """Block until the peer's advertised credit covers ``nbytes``.
+
+        Idle waiting is uncharged (like the window wait above); the
+        admission bookkeeping around it is charged to
+        :attr:`Feature.FLOW_CONTROL`.  While starved past the probe
+        interval — possible only when nothing is in flight to elicit an
+        ack — a ``CREDIT_UPDATE`` probe asks the receiver to
+        re-advertise, so a partition that ate every grant can't wedge
+        the sender forever.
+        """
+        flow = self.flow
+        if flow is None or flow.can_send(nbytes):
+            return
+        endpoint = self.endpoint
+        tracer = endpoint.tracer
+        if tracer.enabled:
+            tracer.emit(EventType.FLOW_BLOCK, endpoint=endpoint.name,
+                        channel=self.channel, seq=self._seq.issued,
+                        aux=max(flow.available_bytes, 0),
+                        feature=Feature.FLOW_CONTROL)
+        self.counters.inc("flow.blocked")
+        blocked_from = time.perf_counter_ns()
+        while not flow.can_send(nbytes):
+            if self._closed:
+                raise ProtocolFailure("channel sender is closed")
+            self._raise_if_failed()
+            granted = await flow.grant_wait(nbytes,
+                                            flow.config.probe_interval)
+            if granted:
+                break
+            with endpoint.attribution.span(Feature.FLOW_CONTROL):
+                self.counters.inc("flow.probes")
+                endpoint.post_frame(self.dst,
+                                    credit_probe_frame(self.channel),
+                                    Feature.FLOW_CONTROL)
+        blocked_ns = time.perf_counter_ns() - blocked_from
+        self.counters.inc("flow.blocked_ns", blocked_ns)
+        if tracer.enabled:
+            tracer.emit(EventType.FLOW_UNBLOCK, endpoint=endpoint.name,
+                        channel=self.channel, seq=self._seq.issued,
+                        aux=blocked_ns & 0xFFFFFFFF,
+                        feature=Feature.FLOW_CONTROL)
+
+    def _apply_credit(self, payload: Sequence[int]) -> Tuple[int, ...]:
+        """Split a credit-bearing ack payload: apply the 4-word grant
+        suffix to the sender window, return the leading sacks."""
+        if self.flow is None:
+            return tuple(payload)
+        if len(payload) < CREDIT_WORDS:
+            # A metered channel's acks always carry the suffix; anything
+            # shorter is a foreign/malformed ack — ignore it entirely.
+            self.counters.inc("flow.malformed_acks")
+            return ()
+        sacks = tuple(payload[:-CREDIT_WORDS])
+        granted_bytes, granted_msgs = parse_credit_words(
+            payload[-CREDIT_WORDS:])
+        with self.endpoint.attribution.span(Feature.FLOW_CONTROL):
+            if self.flow.apply(granted_bytes, granted_msgs):
+                self.counters.inc("flow.updates_applied")
+        return sacks
 
     async def drain(self, timeout: float = 30.0) -> None:
         """Wait until every sent packet has been acknowledged.
@@ -880,6 +976,8 @@ class OrderedChannelSender:
         drain waiter with the typed error instead of leaving them hung."""
         self._failure = failure
         self._space.set()
+        if self.flow is not None:
+            self.flow.release_waiters()
         for waiter in self._drain_waiters:
             if not waiter.done():
                 waiter.set_exception(failure)
@@ -937,8 +1035,12 @@ class OrderedChannelSender:
             ))
             return
         self.epoch = max(reply.aux, proposed)
+        # A metered EPOCH_REPLY resynchronizes credit in the same frame
+        # that restores sequence state — recovery through a partition
+        # must not leave the sender starved of both data acks and grants.
+        sacks = self._apply_credit(reply.payload)
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
-            covered = {int(s) for s in reply.payload}
+            covered = {int(s) for s in sacks}
             stale = [s for s in self._wire if s < expected or s in covered]
             for seq in stale:
                 del self._wire[seq]
@@ -971,8 +1073,19 @@ class OrderedChannelSender:
             if future is not None and not future.done():
                 future.set_result(frame)
             return
+        if frame.kind is FrameKind.CREDIT_UPDATE:
+            # A standalone advertisement (watermark top-up or an answered
+            # probe).  Empty payloads are probes — sender-directed frames
+            # only, meaningless here.
+            if self.flow is not None and frame.payload:
+                self.counters.inc("flow.updates_rx")
+                self._apply_credit(frame.payload)
+            return
         if frame.kind is not FrameKind.CUM_ACK:
             return
+        # A metered ack carries its credit grant as a payload suffix;
+        # peel it off (charged to flow control) before the sack scan.
+        sacks = self._apply_credit(frame.payload)
         with self.endpoint.attribution.span(Feature.FAULT_TOLERANCE):
             self.counters.inc("acks_received")
             # Cumulative: everything below next-expected is delivered.
@@ -982,7 +1095,7 @@ class OrderedChannelSender:
             # Selective: out-of-order packets parked in the reorder buffer.
             # These stay in the byte mirror — a receiver crash loses its
             # parked packets, and recovery must be able to resupply them.
-            for seq in frame.payload:
+            for seq in sacks:
                 if self.retransmitter.ack(int(seq)):
                     released += 1
             self.counters.inc("packets_released", released)
@@ -1014,6 +1127,8 @@ class OrderedChannelSender:
                     waiter.set_exception(failure)
             self._drain_waiters = []
         self._space.set()
+        if self.flow is not None:
+            self.flow.release_waiters()
         self.endpoint.unbind(self.channel)
         if self._recover_task is not None and not self._recover_task.done():
             self._recover_task.cancel()
@@ -1043,7 +1158,8 @@ class OrderedChannelReceiver:
                  window: int = 256,
                  deliver: Optional[Callable[[int, Tuple[int, ...]], None]] = None,
                  ack_every: int = 8, ack_delay: float = 0.005,
-                 resume_expected: int = 0, epoch: int = 0) -> None:
+                 resume_expected: int = 0, epoch: int = 0,
+                 flow: Optional[FlowControlConfig] = None) -> None:
         if ack_every < 1:
             raise ValueError("ack_every must be positive")
         if ack_delay <= 0:
@@ -1053,6 +1169,11 @@ class OrderedChannelReceiver:
         self.user_deliver = deliver
         self.reorder = ReorderWindow(window=window, start=resume_expected)
         self.epoch = epoch
+        # Credit ledger (None = unmetered); must match the sender's.
+        self.flow = ReceiverWindow(flow) if flow is not None else None
+        # High-water of cumulative bytes advertised, for the granted-
+        # credit counter (the initial window is an implicit grant).
+        self._last_granted = flow.window_bytes if flow is not None else 0
         self.ack_every = ack_every
         self.ack_delay = ack_delay
         self.delivered: List[Tuple[int, Tuple[int, ...]]] = []
@@ -1102,6 +1223,15 @@ class OrderedChannelReceiver:
         if frame.kind is FrameKind.EPOCH_REQ:
             self._on_epoch_req(frame, src)
             return
+        if frame.kind is FrameKind.CREDIT_UPDATE:
+            # A starved sender's probe (empty payload): answer with a
+            # fresh full-state advertisement, unconditionally — the
+            # probe exists precisely because previous grants were lost.
+            if self.flow is not None and not frame.payload:
+                with self.endpoint.attribution.span(Feature.FLOW_CONTROL):
+                    self.counters.inc("flow.probes_rx")
+                    self._post_credit_update(src)
+            return
         if frame.kind is not FrameKind.DATA:
             return
         self.counters.inc("arrivals")
@@ -1109,7 +1239,16 @@ class OrderedChannelReceiver:
         tracer = self.endpoint.tracer
         if self.endpoint.cr_mode:
             # Lossless FIFO network: every packet is the next packet.
+            # Credit still meters buffer admission — and with no ack
+            # traffic to piggyback on, every top-up is a standalone frame.
+            if self.flow is not None:
+                with attr.span(Feature.FLOW_CONTROL):
+                    update_due = self.flow.on_data(len(frame.payload) * 4)
             self._deliver(frame.seq, frame.payload)
+            if self.flow is not None and update_due:
+                with attr.span(Feature.FLOW_CONTROL):
+                    self.counters.inc("flow.updates_sent")
+                    self._post_credit_update(src)
             self._notify()
             return
         duplicates_before = self.reorder.duplicates
@@ -1140,13 +1279,25 @@ class OrderedChannelReceiver:
                     tracer.emit(EventType.PARK, endpoint=self.endpoint.name,
                                 channel=self.channel, seq=frame.seq, aux=0,
                                 feature=Feature.IN_ORDER)
+        duplicate = self.reorder.duplicates > duplicates_before
+        if self.flow is not None and not duplicate:
+            # Admission accounting for every fresh packet (parked ones
+            # occupy buffer until their gap fills; duplicates never enter).
+            with attr.span(Feature.FLOW_CONTROL):
+                self.flow.on_data(len(frame.payload) * 4)
         with attr.span(Feature.FAULT_TOLERANCE):
             self._unacked += 1
-            duplicate = self.reorder.duplicates > duplicates_before
             if duplicate or self._unacked >= self.ack_every:
                 self._send_ack(src)
                 self.counters.inc("immediate_acks")
             else:
+                if self.flow is not None and self.flow.update_due:
+                    # The low watermark crossed between acks: advertise
+                    # now instead of waiting out the delayed-ack timer —
+                    # a starved sender's window must keep turning.
+                    with attr.span(Feature.FLOW_CONTROL):
+                        self.counters.inc("flow.updates_sent")
+                        self._post_credit_update(src)
                 self._schedule_ack(src)
         self._notify()
 
@@ -1186,7 +1337,8 @@ class OrderedChannelReceiver:
             self.endpoint.post_frame(
                 src,
                 epoch_reply_frame(self.channel, self.reorder.expected,
-                                  self.epoch, sacks),
+                                  self.epoch, sacks,
+                                  credit=self._credit_suffix()),
                 Feature.FAULT_TOLERANCE,
             )
 
@@ -1210,6 +1362,12 @@ class OrderedChannelReceiver:
                                      start=expected)
         self._parked.clear()
         self._unacked = 0
+        if self.flow is not None:
+            # The buffer's contents died with the process: mark every
+            # admitted-but-undelivered byte as gone (their packets will
+            # be re-admitted by retransmission) and re-advertise on the
+            # first post-restart contact.
+            self.flow.on_crash()
         return expected
 
     def rebind(self, endpoint: RuntimeEndpoint) -> None:
@@ -1220,6 +1378,35 @@ class OrderedChannelReceiver:
 
     # -- ack coalescing -------------------------------------------------------
 
+    def _credit_suffix(self) -> Optional[Tuple[int, ...]]:
+        """Advertise-and-encode for a credit-bearing ack (None when
+        unmetered).  A pending watermark/refresh obligation is satisfied
+        by the ride — count it as a coalesced update."""
+        if self.flow is None:
+            return None
+        with self.endpoint.attribution.span(Feature.FLOW_CONTROL):
+            if self.flow.update_due:
+                self.counters.inc("flow.updates_coalesced")
+            granted_bytes, granted_msgs = self.flow.advertise()
+            self.counters.inc("flow.credits_granted",
+                              max(granted_bytes - self._last_granted, 0))
+            self._last_granted = granted_bytes
+            return credit_words(granted_bytes, granted_msgs)
+
+    def _post_credit_update(self, src: Address) -> None:
+        """Send a standalone full-state advertisement to the sender."""
+        granted_bytes, granted_msgs = self.flow.advertise()
+        self.counters.inc("flow.credits_granted",
+                          max(granted_bytes - self._last_granted, 0))
+        self._last_granted = granted_bytes
+        self.endpoint.post_frame(
+            src,
+            credit_update_frame(self.channel,
+                                credit_words(granted_bytes, granted_msgs),
+                                epoch=self.epoch),
+            Feature.FLOW_CONTROL,
+        )
+
     def _send_ack(self, src: Address) -> None:
         if self._ack_handle is not None:
             self._ack_handle.cancel()
@@ -1229,7 +1416,8 @@ class OrderedChannelReceiver:
         sacks = sorted(self._parked)[:MAX_SACKS]
         self.endpoint.post_frame(
             src, cum_ack_frame(self.channel, self.reorder.expected, sacks,
-                               epoch=self.epoch),
+                               epoch=self.epoch,
+                               credit=self._credit_suffix()),
             Feature.FAULT_TOLERANCE,
         )
 
@@ -1259,6 +1447,11 @@ class OrderedChannelReceiver:
             self._ack_handle = None
 
     def _deliver(self, seq: int, payload: Tuple[int, ...]) -> None:
+        if self.flow is not None:
+            # The packet leaves the reorder buffer toward the user:
+            # its bytes stop counting against the credit window.
+            with self.endpoint.attribution.span(Feature.FLOW_CONTROL):
+                self.flow.on_deliver(len(payload) * 4)
         with self.endpoint.attribution.span(Feature.BASE):
             self.delivered.append((seq, tuple(payload)))
         tracer = self.endpoint.tracer

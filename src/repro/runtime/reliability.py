@@ -184,6 +184,9 @@ class Retransmitter:
         self.name = name
         self.channel = channel
         self._entries: Dict[Hashable, _Tracked] = {}
+        #: High-water mark of the tracked set (source-buffer occupancy
+        #: peak) — the sender-side quantity flow control must bound.
+        self.tracked_peak = 0
         self._wake = asyncio.Event()
         self._task: Optional[asyncio.Task] = None
         self._paused = False
@@ -233,6 +236,7 @@ class Retransmitter:
             data=data, deadline=now + self._interval(0), first_sent=now,
             sample_rtt=sample_rtt,
         )
+        self.tracked_peak = max(self.tracked_peak, len(self._entries))
         if self._task is None or self._task.done():
             self._task = asyncio.get_running_loop().create_task(self._run())
         self._wake.set()
@@ -252,6 +256,7 @@ class Retransmitter:
             data=data, deadline=now + self._interval(0), first_sent=now,
             retransmitted=True,
         )
+        self.tracked_peak = max(self.tracked_peak, len(self._entries))
         if self._task is None or self._task.done():
             self._task = asyncio.get_running_loop().create_task(self._run())
         self._wake.set()

@@ -64,6 +64,10 @@ class EventType(enum.Enum):
     PEER_DEAD = "PEER_DEAD"        #: failure detector: peer declared dead
     PEER_ALIVE = "PEER_ALIVE"      #: failure detector: peer (re)confirmed alive
     EPOCH = "EPOCH"            #: ordered channel renegotiated its epoch
+    CREDIT_TX = "CREDIT_TX"    #: a flow-control advertisement/probe was sent
+    CREDIT_RX = "CREDIT_RX"    #: a flow-control advertisement/probe arrived
+    FLOW_BLOCK = "FLOW_BLOCK"      #: a sender stalled waiting for credit
+    FLOW_UNBLOCK = "FLOW_UNBLOCK"  #: a credit-starved sender resumed
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
