@@ -108,6 +108,9 @@ def check(baseline: dict, fresh: dict) -> list:
         now = _dig(fresh, *keys)
         if base is None or now is None:
             continue  # baseline predates the metric; absolute bounds still apply
+        if (_dig(baseline, *keys[:-1], "message_words")
+                != _dig(fresh, *keys[:-1], "message_words")):
+            continue  # workload changed; raw counts are incomparable
         limit = max(base, floor) * RELATIVE_SLACK
         if now > limit:
             problems.append(
@@ -178,6 +181,72 @@ def check(baseline: dict, fresh: dict) -> list:
                 f"fabric cm5/p{peers} acks_per_data {ratio:.2f} crossed "
                 "the 0.5 bound"
             )
+
+    # --- hot-path cost breakdown + throughput (ISSUE 7) ---------------
+    # The cost/{mode} rows must exist, their structural orderings must
+    # hold (machine-independent: each disabled fast path undercuts its
+    # enabled twin; the batched send path undercuts task-per-frame),
+    # and encode/decode per-op cost must not drift past the committed
+    # baseline by more than the relative slack.
+    for mode in ("cm5", "cr"):
+        rows = _dig(fresh, "cost", f"cost/{mode}", "rows")
+        if rows is None:
+            problems.append(f"fresh payload is missing the cost/{mode} row")
+            continue
+        for cheap, dear in (
+            ("span_disabled", "span_enter_exit"),
+            ("tracer_emit_disabled", "tracer_emit_enabled"),
+            ("send_path_batched", "send_path_task_per_frame"),
+            ("batch_encode_per_frame", "frame_encode"),
+        ):
+            cheap_ns = _dig(rows, cheap, "ns_per_op")
+            dear_ns = _dig(rows, dear, "ns_per_op")
+            if cheap_ns is None or dear_ns is None:
+                problems.append(
+                    f"cost/{mode} is missing the {cheap} or {dear} term")
+            elif cheap_ns >= dear_ns:
+                problems.append(
+                    f"cost/{mode}: {cheap} ({cheap_ns:.0f} ns) no longer "
+                    f"undercuts {dear} ({dear_ns:.0f} ns)"
+                )
+        for term in ("frame_encode", "frame_decode"):
+            base_ns = _dig(baseline, "cost", f"cost/{mode}", "rows",
+                           term, "ns_per_op")
+            now_ns = _dig(rows, term, "ns_per_op")
+            if base_ns is None or now_ns is None:
+                continue  # baseline predates the row
+            if now_ns > base_ns * RELATIVE_SLACK:
+                problems.append(
+                    f"cost/{mode}: {term} regressed to {now_ns:.0f} ns/op "
+                    f"vs baseline {base_ns:.0f} "
+                    f"(limit {base_ns * RELATIVE_SLACK:.0f} at "
+                    f"{RELATIVE_SLACK}x slack)"
+                )
+
+    # Post-overhaul fabric throughput must not silently erode: every
+    # fresh fabric cell stays within the relative slack of the
+    # committed baseline's throughput, and the committed baseline
+    # itself must carry the >= 5x p2 speedup the overhaul landed
+    # (recorded by the bench against the pre-overhaul measurement).
+    for cell, record in sorted(fabric.items()):
+        base_thr = _dig(baseline, "fabric", cell, "throughput_msgs_per_s")
+        now_thr = record.get("throughput_msgs_per_s")
+        if base_thr is None or now_thr is None:
+            continue
+        if now_thr < base_thr / RELATIVE_SLACK:
+            problems.append(
+                f"fabric {cell} throughput regressed: {now_thr:.0f} msgs/s "
+                f"vs baseline {base_thr:.0f} "
+                f"(floor {base_thr / RELATIVE_SLACK:.0f} at "
+                f"{RELATIVE_SLACK}x slack)"
+            )
+    base_speedup = _dig(baseline, "fabric", "cm5/p2",
+                        "speedup_vs_pre_overhaul")
+    if base_speedup is not None and base_speedup < 5.0:
+        problems.append(
+            f"committed baseline's fabric cm5/p2 speedup "
+            f"{base_speedup:.1f}x fell below the 5x overhaul gate"
+        )
 
     # --- overload survival (ISSUE 6) ----------------------------------
     # The flow-control contract, regardless of baseline: every overload
@@ -286,6 +355,16 @@ def main(argv: list) -> int:
     trace_pct = _dig(fresh, "trace", "trace_overhead_pct")
     if trace_pct is not None:
         print(f"  tracing-on overhead: {trace_pct:.1f}%")
+    for cell, record in sorted((_dig(fresh, "cost", default={}) or {}).items()):
+        rows = record.get("rows") or {}
+        terms = []
+        for term, label in (("frame_encode", "encode"),
+                            ("frame_decode", "decode"),
+                            ("send_path_batched", "batched-send")):
+            ns = _dig(rows, term, "ns_per_op")
+            if ns is not None:
+                terms.append(f"{label}={ns:.0f}ns")
+        print(f"  {cell}: " + " ".join(terms))
     for cell, record in sorted((_dig(fresh, "fabric", default={}) or {}).items()):
         print(
             f"  fabric {cell}: lost={record.get('lost_messages')} "

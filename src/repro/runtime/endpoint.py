@@ -7,21 +7,39 @@ with a frame codec and a per-logical-channel handler table.  Decoding a
 datagram into a frame is data movement, so it is charged to the base
 bucket of the endpoint's :class:`TimeAttribution` — the runtime analogue
 of the paper's NI-access instruction counts.
+
+Outbound frames are *batched*: ``send_frame``/``post_frame`` encode and
+enqueue, and one flush callback per event-loop tick coalesces every
+frame bound for the same peer into a single batch-container datagram
+(see :func:`repro.runtime.frames.encode_batch`).  The flush pushes
+datagrams through the transport's synchronous ``send_now`` fast path, so
+the hot path creates **no asyncio tasks at all** — and because each
+destination has exactly one FIFO queue drained by one flush, two frames
+for the same channel can never reach the wire out of order (the hazard
+the old task-per-frame ``post_frame`` had).  Receivers unbundle batches
+transparently before dispatch; protocol state machines only ever see
+bare frames.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Dict, Optional
+from collections import deque
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.arch.attribution import Feature
 from repro.runtime.frames import (
+    BATCH_BYTE,
+    MAGIC,
+    MAX_BATCH_BYTES,
     Frame,
     FrameCorruption,
     FrameError,
     FrameKind,
     decode_frame,
+    encode_batch,
     encode_frame,
+    iter_batch,
 )
 from repro.runtime.spans import TimeAttribution
 from repro.runtime.tracing import Counters, EventType, NULL_TRACER, Tracer
@@ -34,14 +52,26 @@ FrameHandler = Callable[[Frame, Address], None]
 ACK_KINDS = frozenset({FrameKind.ACK, FrameKind.CUM_ACK, FrameKind.FINAL_ACK,
                        FrameKind.EPOCH_REPLY})
 
+#: Container overhead: batch prefix + one length prefix per sub-frame.
+_BATCH_HEADER = 4
+_SUB_OVERHEAD = 2
+
+#: Default flush MTU: containers are sealed at Ethernet-payload scale,
+#: so coalescing amortizes per-datagram overhead (~14 small DATA frames
+#: per container) without collapsing a whole send window into one
+#: all-or-nothing datagram — loss granularity stays packet-like.
+FLUSH_MTU = 1200
+
 
 class RuntimeEndpoint:
     """One side of a live conversation: transport + codec + dispatch."""
 
     def __init__(self, transport: Transport, name: str = "",
                  attribution: Optional[TimeAttribution] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 flush_mtu: int = FLUSH_MTU) -> None:
         self.transport = transport
+        self.flush_mtu = min(flush_mtu, MAX_BATCH_BYTES)
         self.name = name or repr(transport.local_address)
         self.attribution = attribution or TimeAttribution()
         # `is not None`, not `or`: an empty tracer is len()==0-falsy.
@@ -53,10 +83,15 @@ class RuntimeEndpoint:
         self.counters = Counters()
         self._handlers: Dict[int, FrameHandler] = {}
         self.sent_by_kind: Dict[FrameKind, int] = {}
-        # Strong references to in-flight fire-and-forget sends: asyncio
-        # keeps only weak references to tasks, so without this set a
-        # posted frame's task could be garbage-collected mid-flight.
-        self._post_tasks: "set[asyncio.Task]" = set()
+        # Outbound batching state: per-destination FIFO queues of
+        # encoded datagrams, drained by one flush callback per tick.
+        self._out: Dict[Address, List[bytes]] = {}
+        self._flush_scheduled = False
+        # Fallback for transports without a synchronous fast path: a
+        # single drainer task preserves global FIFO order (strongly
+        # referenced here so asyncio cannot garbage-collect it).
+        self._backlog: Deque[Tuple[Address, bytes]] = deque()
+        self._drainer: Optional["asyncio.Task"] = None
         transport.set_receiver(self._on_datagram)
 
     # -- service flags (forwarded from the transport) -------------------------
@@ -90,6 +125,47 @@ class RuntimeEndpoint:
         self._handlers.pop(channel, None)
 
     def _on_datagram(self, data: bytes, src: Address) -> None:
+        if len(data) >= 2 and data[0] == MAGIC and data[1] == BATCH_BYTE:
+            self._on_batch(data, src)
+        else:
+            self._dispatch_one(data, src)
+
+    def _on_batch(self, data: bytes, src: Address) -> None:
+        """Unbundle a batch container and dispatch each sub-frame.
+
+        Sub-frames decode under one BASE span (the whole unbundle is
+        data movement); damage inside the container costs exactly the
+        sub-frames it touches — earlier ones still dispatch.
+        """
+        self.counters.inc("batches_received")
+        frames: List[Frame] = []
+        corrupt = errors = 0
+        with self.attribution.span(Feature.BASE):
+            try:
+                for sub in iter_batch(data):
+                    try:
+                        frames.append(decode_frame(sub))
+                    except FrameCorruption:
+                        corrupt += 1
+                    except FrameError:
+                        errors += 1
+            except FrameError:
+                # Container-level damage: the tail of the batch is lost,
+                # which degrades into ordinary packet loss.
+                errors += 1
+        if corrupt:
+            self.counters.inc("corrupt_frames", corrupt)
+            if self.tracer.enabled:
+                for _ in range(corrupt):
+                    self.tracer.emit(EventType.CORRUPT, endpoint=self.name,
+                                     channel=-1, seq=-1,
+                                     feature=Feature.FAULT_TOLERANCE)
+        if errors:
+            self.counters.inc("decode_errors", errors)
+        for frame in frames:
+            self._dispatch_frame(frame, src)
+
+    def _dispatch_one(self, data: bytes, src: Address) -> None:
         try:
             with self.attribution.span(Feature.BASE):
                 frame = decode_frame(data)
@@ -109,6 +185,9 @@ class RuntimeEndpoint:
             # (retransmission) recovers, exactly as for a lost packet.
             self.counters.inc("decode_errors")
             return
+        self._dispatch_frame(frame, src)
+
+    def _dispatch_frame(self, frame: Frame, src: Address) -> None:
         self.counters.inc("frames_received")
         tracer = self.tracer
         if tracer.enabled:
@@ -132,10 +211,8 @@ class RuntimeEndpoint:
 
     # -- sending --------------------------------------------------------------
 
-    async def send_frame(self, dst: Address, frame: Frame,
-                         feature: Feature = Feature.BASE) -> bytes:
-        """Encode and transmit; returns the wire bytes (for retransmit
-        tracking).  The encode+send work is charged to ``feature``."""
+    def _encode_and_enqueue(self, dst: Address, frame: Frame,
+                            feature: Feature) -> bytes:
         with self.attribution.span(feature):
             data = encode_frame(frame)
             self.counters.inc("frames_sent")
@@ -153,31 +230,96 @@ class RuntimeEndpoint:
                     endpoint=self.name, channel=frame.channel, seq=frame.seq,
                     aux=frame.aux, kind=frame.kind.name, feature=feature,
                 )
-            await self.transport.send(dst, data)
+            queue = self._out.get(dst)
+            if queue is None:
+                queue = self._out[dst] = []
+            queue.append(data)
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                asyncio.get_running_loop().call_soon(self._flush)
         return data
 
+    async def send_frame(self, dst: Address, frame: Frame,
+                         feature: Feature = Feature.BASE) -> bytes:
+        """Encode and enqueue for the next flush tick; returns the wire
+        bytes (for retransmit tracking).  The encode work is charged to
+        ``feature``; the coalesced wire push is charged to BASE when the
+        flush runs."""
+        return self._encode_and_enqueue(dst, frame, feature)
+
     def post_frame(self, dst: Address, frame: Frame,
-                   feature: Feature = Feature.BASE) -> "asyncio.Task":
-        """Fire-and-forget :meth:`send_frame` from synchronous handler code.
+                   feature: Feature = Feature.BASE) -> None:
+        """Fire-and-forget send from synchronous handler code.
 
-        The task is held in a strong-reference set until it completes
-        (asyncio may otherwise GC it mid-flight) and its exception, if
-        any, is surfaced to the ``send_errors`` counter instead of being
-        swallowed as a never-retrieved task exception.
+        Identical to :meth:`send_frame` minus the coroutine wrapper: the
+        frame joins its destination's FIFO queue and rides the next
+        flush.  No per-frame task is created; frames for one destination
+        reach the wire in exactly the order they were posted.
         """
-        task = asyncio.get_running_loop().create_task(
-            self.send_frame(dst, frame, feature)
-        )
-        self._post_tasks.add(task)
-        task.add_done_callback(self._post_done)
-        return task
+        self._encode_and_enqueue(dst, frame, feature)
 
-    def _post_done(self, task: "asyncio.Task") -> None:
-        self._post_tasks.discard(task)
-        if task.cancelled():
+    def _flush(self) -> None:
+        """Coalesce and transmit every queued frame (one tick's worth)."""
+        self._flush_scheduled = False
+        queues = self._out
+        if not queues:
             return
-        if task.exception() is not None:
-            self.counters.inc("send_errors")
+        self._out = {}
+        # getattr, not attribute access: tests duck-type transports with
+        # only the async half of the interface.
+        send_now = getattr(self.transport, "send_now", None)
+        with self.attribution.span(Feature.BASE):
+            for dst, datagrams in queues.items():
+                for wire in self._bundle(datagrams):
+                    try:
+                        if send_now is None or not send_now(dst, wire):
+                            self._defer(dst, wire)
+                    except Exception:
+                        self.counters.inc("send_errors")
+
+    def _bundle(self, datagrams: List[bytes]) -> Iterator[bytes]:
+        """Yield wire datagrams: singletons as-is, runs as containers."""
+        if len(datagrams) == 1:
+            yield datagrams[0]
+            return
+        group: List[bytes] = []
+        size = _BATCH_HEADER
+        mtu = self.flush_mtu
+        for datagram in datagrams:
+            needed = len(datagram) + _SUB_OVERHEAD
+            if group and size + needed > mtu:
+                yield self._seal(group)
+                group = []
+                size = _BATCH_HEADER
+            group.append(datagram)
+            size += needed
+        if len(group) == 1:
+            yield group[0]
+        else:
+            yield self._seal(group)
+
+    def _seal(self, group: List[bytes]) -> bytes:
+        self.counters.inc("batches_sent")
+        self.counters.inc("batched_frames", len(group))
+        return encode_batch(group)
+
+    def _defer(self, dst: Address, wire: bytes) -> None:
+        """Queue for the single drainer task (async-only transports)."""
+        self._backlog.append((dst, wire))
+        if self._drainer is None or self._drainer.done():
+            self._drainer = asyncio.get_running_loop().create_task(
+                self._drain_backlog()
+            )
+
+    async def _drain_backlog(self) -> None:
+        backlog = self._backlog
+        while backlog:
+            dst, wire = backlog[0]
+            try:
+                await self.transport.send(dst, wire)
+            except Exception:
+                self.counters.inc("send_errors")
+            backlog.popleft()
 
     # -- wire accounting ------------------------------------------------------
     # The scalar tallies live in the endpoint's Counters registry; the
@@ -206,13 +348,23 @@ class RuntimeEndpoint:
 
     @property
     def send_errors(self) -> int:
-        """Posted (fire-and-forget) frames whose send raised."""
+        """Posted/queued frames whose wire push raised."""
         return self.counters.get("send_errors")
 
     @property
+    def batches_sent(self) -> int:
+        """Container datagrams put on the wire by the flush loop."""
+        return self.counters.get("batches_sent")
+
+    @property
+    def batched_frames(self) -> int:
+        """Logical frames that travelled inside containers."""
+        return self.counters.get("batched_frames")
+
+    @property
     def pending_posts(self) -> int:
-        """Fire-and-forget sends still in flight."""
-        return len(self._post_tasks)
+        """Frames accepted for transmission but not yet on the wire."""
+        return sum(len(q) for q in self._out.values()) + len(self._backlog)
 
     @property
     def data_frames_sent(self) -> int:
@@ -234,17 +386,20 @@ class RuntimeEndpoint:
         )
 
     async def close(self) -> None:
-        """Settle in-flight posted sends, then release the transport."""
-        if self._post_tasks:
-            # Let pending fire-and-forget sends finish (they are already
-            # encoded; losing them here would turn every endpoint close
-            # into artificial packet loss), but never hang on one.
-            pending = list(self._post_tasks)
-            _done, not_done = await asyncio.wait(pending, timeout=1.0)
+        """Flush queued frames, settle the drainer, release the transport."""
+        # Push anything still queued: losing it here would turn every
+        # endpoint close into artificial packet loss.
+        self._flush()
+        drainer = self._drainer
+        if drainer is not None and not drainer.done():
+            # Let the fallback drainer finish (its frames are already
+            # encoded), but never hang on a stuck transport.
+            _done, not_done = await asyncio.wait({drainer}, timeout=1.0)
             for task in not_done:
                 task.cancel()
             if not_done:
                 await asyncio.gather(*not_done, return_exceptions=True)
+        self._backlog.clear()
         await self.transport.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

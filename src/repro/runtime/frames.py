@@ -19,6 +19,22 @@ misbehaving NIC) is *detected* rather than silently delivered as wrong
 words: a checksum mismatch raises :class:`FrameCorruption`, a
 :class:`FrameError` subclass the endpoint counts separately from other
 decode failures.
+
+Hot-path design (the per-message cost breakdown in
+``repro.analysis.costbreakdown`` ranks these as the dominant codec
+terms):
+
+* encode packs prefix, checksum, and payload into **one** pooled
+  ``bytearray`` (no ``prefix + crc + body`` concatenation); per-arity
+  payload ``struct.Struct`` objects are compiled once and cached;
+* decode works on any buffer (``bytes`` or ``memoryview``) and takes
+  zero-copy ``memoryview`` slices for the checksum, so unbundling a
+  batch never copies sub-frame bytes;
+* several small frames bound for the same peer coalesce into a *batch
+  container* datagram (:func:`encode_batch` / :func:`iter_batch`): a
+  3-byte batch header followed by length-prefixed, individually
+  CRC-protected sub-frames.  Receivers unbundle transparently before
+  dispatch, so the protocol state machines never see the container.
 """
 
 from __future__ import annotations
@@ -27,7 +43,7 @@ import enum
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 #: First header byte of every runtime datagram ("C5" — the machine).
 MAGIC = 0xC5
@@ -44,13 +60,34 @@ HEADER_BYTES = _PREFIX.size + _CRC.size
 #: Payload words are 32-bit unsigned, like the CM-5's network words.
 WORD_MASK = 0xFFFFFFFF
 
+#: Largest channel id a frame header can carry (16-bit field).
+MAX_CHANNEL = 0xFFFF
+
 #: Largest payload a single frame may carry (far above any packet size
 #: the protocols use; a guard against runaway senders).
 MAX_PAYLOAD_WORDS = 4096
 
+#: Second header byte of a batch container datagram.  Outside the
+#: :class:`FrameKind` value range, so a bare frame can never be
+#: mistaken for a batch (or vice versa).
+BATCH_BYTE = 0xB5
+
+#: Batch container prefix: magic, batch byte, sub-frame count.
+_BATCH_PREFIX = struct.Struct("!BBH")
+
+#: Per-sub-frame length prefix inside a batch.
+_SUBLEN = struct.Struct("!H")
+
+#: Keep batch datagrams under the classic UDP payload ceiling so the
+#: same container works over real sockets.
+MAX_BATCH_BYTES = 60000
+
+Buffer = Union[bytes, bytearray, memoryview]
+
 
 class FrameError(ValueError):
-    """A datagram could not be decoded as a runtime frame."""
+    """A datagram could not be decoded as a runtime frame — or a frame
+    carries a field that cannot be represented on the wire."""
 
 
 class FrameCorruption(FrameError):
@@ -85,6 +122,11 @@ class FrameKind(enum.IntEnum):
                         #: probe asking for a fresh advertisement
 
 
+#: Value → member map: a dict hit is several times cheaper than the
+#: enum's ``__call__`` on the decode hot path.
+_KIND_BY_VALUE: Dict[int, FrameKind] = {int(kind): kind for kind in FrameKind}
+
+
 @dataclass(frozen=True)
 class Frame:
     """One decoded runtime datagram."""
@@ -112,50 +154,109 @@ class Frame:
         )
 
 
+# ---------------------------------------------------------------------------
+# encode / decode
+# ---------------------------------------------------------------------------
+
+#: Per-arity payload packers, compiled once.  ``struct.pack(f"!{n}I")``
+#: re-parses the format string on every call; these do not.
+_PAYLOAD_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _payload_struct(count: int) -> struct.Struct:
+    cached = _PAYLOAD_STRUCTS.get(count)
+    if cached is None:
+        cached = _PAYLOAD_STRUCTS[count] = struct.Struct(f"!{count}I")
+    return cached
+
+
+#: Reusable encode buffers.  ``encode_frame`` borrows one, packs in
+#: place, snapshots the result, and returns it — so steady-state
+#: encoding allocates only the immutable result bytes.
+_ENCODE_POOL: List[bytearray] = []
+_ENCODE_POOL_LIMIT = 8
+
+
+def _field_error(frame: Frame) -> FrameError:
+    """Diagnose which field made ``struct`` refuse to pack."""
+    if not isinstance(frame.kind, FrameKind):
+        return FrameError(f"kind {frame.kind!r} is not a FrameKind")
+    if not 0 <= frame.channel <= MAX_CHANNEL:
+        return FrameError(
+            f"channel {frame.channel} outside the 16-bit wire field "
+            f"[0, {MAX_CHANNEL}]"
+        )
+    if not 0 <= frame.seq <= WORD_MASK:
+        return FrameError(f"seq {frame.seq} outside the 32-bit wire field")
+    if not 0 <= frame.aux <= WORD_MASK:
+        return FrameError(f"aux {frame.aux} outside the 32-bit wire field")
+    for index, word in enumerate(frame.payload):
+        if not 0 <= word <= WORD_MASK:
+            return FrameError(
+                f"payload word {index} ({word}) outside the 32-bit wire field"
+            )
+    return FrameError(f"unencodable frame {frame!r}")  # pragma: no cover
+
+
 def encode_frame(frame: Frame) -> bytes:
-    """Serialize a frame to the datagram bytes that go on the wire."""
-    prefix = _PREFIX.pack(
-        MAGIC,
-        int(frame.kind),
-        frame.channel & 0xFFFF,
-        frame.seq & WORD_MASK,
-        frame.aux & WORD_MASK,
-        len(frame.payload),
-    )
-    body = b""
-    if frame.payload:
-        body = struct.pack(f"!{len(frame.payload)}I",
-                           *(w & WORD_MASK for w in frame.payload))
-    crc = zlib.crc32(body, zlib.crc32(prefix))
-    return prefix + _CRC.pack(crc) + body
+    """Serialize a frame to the datagram bytes that go on the wire.
+
+    Out-of-range fields raise :class:`FrameError` instead of silently
+    wrapping: a channel id past 16 bits or a sequence number past 2^32
+    would otherwise alias another channel/packet on the wire — a silent
+    correctness bug, not an encoding detail.
+    """
+    payload = frame.payload
+    count = len(payload)
+    size = HEADER_BYTES + 4 * count
+    buf = _ENCODE_POOL.pop() if _ENCODE_POOL else bytearray(HEADER_BYTES + 64)
+    if len(buf) < size:
+        buf.extend(bytes(size - len(buf)))
+    try:
+        _PREFIX.pack_into(
+            buf, 0, MAGIC, frame.kind, frame.channel, frame.seq, frame.aux, count
+        )
+        if count:
+            _payload_struct(count).pack_into(buf, HEADER_BYTES, *payload)
+    except (struct.error, TypeError):
+        raise _field_error(frame) from None
+    with memoryview(buf) as view:
+        crc = zlib.crc32(view[HEADER_BYTES:size], zlib.crc32(view[:_PREFIX.size]))
+        _CRC.pack_into(buf, _PREFIX.size, crc)
+        wire = bytes(view[:size])
+    if len(_ENCODE_POOL) < _ENCODE_POOL_LIMIT:
+        _ENCODE_POOL.append(buf)
+    return wire
 
 
-def decode_frame(data: bytes) -> Frame:
+def decode_frame(data: Buffer) -> Frame:
     """Parse datagram bytes back into a :class:`Frame`.
 
-    Raises :class:`FrameError` on bad magic, unknown kind, or
-    truncation, and :class:`FrameCorruption` (a subclass) when the
-    structure is intact but the checksum does not match — the endpoint
-    counts the two separately so bit damage is visible as such.
+    Accepts any buffer (``bytes`` or a zero-copy ``memoryview`` slice of
+    a batch container).  Raises :class:`FrameError` on bad magic,
+    unknown kind, or truncation, and :class:`FrameCorruption` (a
+    subclass) when the structure is intact but the checksum does not
+    match — the endpoint counts the two separately so bit damage is
+    visible as such.
     """
-    if len(data) < HEADER_BYTES:
-        raise FrameError(f"datagram of {len(data)} bytes is shorter than a header")
+    length = len(data)
+    if length < HEADER_BYTES:
+        raise FrameError(f"datagram of {length} bytes is shorter than a header")
     magic, kind, channel, seq, aux, count = _PREFIX.unpack_from(data)
     if magic != MAGIC:
         raise FrameError(f"bad magic byte 0x{magic:02x}")
-    try:
-        frame_kind = FrameKind(kind)
-    except ValueError as exc:
-        raise FrameError(f"unknown frame kind {kind}") from exc
+    frame_kind = _KIND_BY_VALUE.get(kind)
+    if frame_kind is None:
+        raise FrameError(f"unknown frame kind {kind}")
     expected = HEADER_BYTES + 4 * count
-    if len(data) != expected:
+    if length != expected:
         raise FrameError(
             f"frame declares {count} payload words ({expected} bytes) "
-            f"but datagram has {len(data)} bytes"
+            f"but datagram has {length} bytes"
         )
     (crc,) = _CRC.unpack_from(data, _PREFIX.size)
-    actual = zlib.crc32(data[HEADER_BYTES:],
-                        zlib.crc32(data[:_PREFIX.size]))
+    with memoryview(data) as view:
+        actual = zlib.crc32(view[HEADER_BYTES:], zlib.crc32(view[:_PREFIX.size]))
     if crc != actual:
         raise FrameCorruption(
             f"checksum mismatch on {frame_kind.name} frame "
@@ -163,8 +264,74 @@ def decode_frame(data: bytes) -> Frame:
         )
     payload: Tuple[int, ...] = ()
     if count:
-        payload = struct.unpack_from(f"!{count}I", data, HEADER_BYTES)
+        payload = _payload_struct(count).unpack_from(data, HEADER_BYTES)
     return Frame(kind=frame_kind, channel=channel, seq=seq, aux=aux, payload=payload)
+
+
+# ---------------------------------------------------------------------------
+# batch container
+# ---------------------------------------------------------------------------
+
+
+def is_batch(data: Buffer) -> bool:
+    """True when a datagram is a batch container rather than one frame."""
+    return len(data) >= 2 and data[0] == MAGIC and data[1] == BATCH_BYTE
+
+
+def encode_batch(datagrams: Sequence[bytes]) -> bytes:
+    """Coalesce already-encoded frames into one container datagram.
+
+    Each sub-frame keeps its own CRC, so a bit flip inside the container
+    damages exactly the sub-frames it touches — the rest still decode.
+    The container itself adds 3 header bytes plus 2 bytes per sub-frame.
+    """
+    if not datagrams:
+        raise FrameError("cannot encode an empty batch")
+    if len(datagrams) > 0xFFFF:
+        raise FrameError(f"batch of {len(datagrams)} frames exceeds 65535")
+    parts = [_BATCH_PREFIX.pack(MAGIC, BATCH_BYTE, len(datagrams))]
+    append = parts.append
+    pack_len = _SUBLEN.pack
+    for datagram in datagrams:
+        append(pack_len(len(datagram)))
+        append(datagram)
+    return b"".join(parts)
+
+
+def iter_batch(data: Buffer) -> Iterator[memoryview]:
+    """Yield zero-copy sub-datagram views from a batch container.
+
+    Truncation or a corrupted length prefix raises :class:`FrameError`
+    at the point of damage; sub-frames already yielded stay valid, so a
+    partially mangled batch degrades into the loss of its tail.
+    """
+    length = len(data)
+    if length < _BATCH_PREFIX.size:
+        raise FrameError(f"batch container of {length} bytes is shorter than its header")
+    magic, marker, count = _BATCH_PREFIX.unpack_from(data)
+    if magic != MAGIC or marker != BATCH_BYTE:
+        raise FrameError(f"not a batch container (0x{magic:02x} 0x{marker:02x})")
+    view = memoryview(data)
+    offset = _BATCH_PREFIX.size
+    for _ in range(count):
+        if offset + _SUBLEN.size > length:
+            raise FrameError("batch container truncated inside a length prefix")
+        (sub_len,) = _SUBLEN.unpack_from(data, offset)
+        offset += _SUBLEN.size
+        if offset + sub_len > length:
+            raise FrameError(
+                f"batch sub-frame declares {sub_len} bytes but only "
+                f"{length - offset} remain"
+            )
+        yield view[offset:offset + sub_len]
+        offset += sub_len
+    if offset != length:
+        raise FrameError(f"batch container has {length - offset} trailing bytes")
+
+
+# ---------------------------------------------------------------------------
+# convenience constructors
+# ---------------------------------------------------------------------------
 
 
 def data_frame(channel: int, seq: int, payload: Sequence[int], aux: int = 0) -> Frame:

@@ -26,9 +26,8 @@ from __future__ import annotations
 import asyncio
 import time
 import zlib
-from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.attribution import Feature
 from repro.runtime.channels import LiveFramedChannel
@@ -392,6 +391,56 @@ def spread_pairs(names: Sequence[str], count: int) -> List[Tuple[str, str]]:
     return pairs
 
 
+#: Hard cap on per-lane in-flight send timestamps.  Far above any
+#: credit window the load harness configures, so at sane loads every
+#: message is sampled — the cap only engages when backlog explodes.
+SEND_STAMP_LIMIT = 1024
+
+
+class SendStampReservoir:
+    """Index-matched send timestamps with a hard size bound.
+
+    The old design queued one timestamp per send in an unbounded deque,
+    paired *positionally* with deliveries — so (a) peak memory grew
+    with offered load (an overload sweep's whole backlog sat in the
+    deque), and (b) any never-delivered message skewed every later
+    latency sample by one position.  This keyed reservoir caps the
+    footprint at ``limit`` in-flight stamps — overflow sends simply go
+    unsampled, counted in :attr:`unsampled` — and pairs each delivery
+    with *its own* send by message index, so samples stay exact under
+    loss and shedding.
+    """
+
+    __slots__ = ("limit", "_ts", "peak", "unsampled")
+
+    def __init__(self, limit: int = SEND_STAMP_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError("reservoir limit must be positive")
+        self.limit = limit
+        self._ts: Dict[int, int] = {}
+        #: High-water mark of in-flight stamps (bounded by ``limit``).
+        self.peak = 0
+        #: Sends that arrived with the reservoir full and went unsampled.
+        self.unsampled = 0
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def stamp(self, index: int, now: int) -> None:
+        """Record the send time of message ``index`` (drop when full)."""
+        if len(self._ts) >= self.limit:
+            self.unsampled += 1
+            return
+        self._ts[index] = now
+        if len(self._ts) > self.peak:
+            self.peak = len(self._ts)
+
+    def resolve(self, index: int, now: int) -> Optional[int]:
+        """Latency of message ``index``, or ``None`` if unsampled."""
+        sent = self._ts.pop(index, None)
+        return None if sent is None else now - sent
+
+
 class _LoadChannel:
     """One driven channel: framing, send timestamps, delivery latency."""
 
@@ -408,7 +457,7 @@ class _LoadChannel:
         self.corrupt = 0
         self.shed = 0
         self.soft_delays = 0
-        self._send_ts: Deque[int] = deque()
+        self._send_ts = SendStampReservoir()
         self._done: "asyncio.Future" = asyncio.get_running_loop().create_future()
         self.framed.on_message(self._on_message)
 
@@ -416,8 +465,9 @@ class _LoadChannel:
         now = time.perf_counter_ns()
         index = self.delivered
         self.delivered += 1
-        if self._send_ts:
-            self.hist.record(now - self._send_ts.popleft())
+        delta = self._send_ts.resolve(index, now)
+        if delta is not None:
+            self.hist.record(delta)
         # Integrity: the channel is ordered, so message k must carry
         # [cid, k, ...] exactly.
         if len(words) < 2 or words[0] != self.conn.cid or words[1] != index:
@@ -456,7 +506,7 @@ class _LoadChannel:
                 payload = self.ledger.stamp(self.conn.cid, k, filler)
             else:
                 payload = [self.conn.cid, k] + filler
-            self._send_ts.append(time.perf_counter_ns())
+            self._send_ts.stamp(k, time.perf_counter_ns())
             await self.framed.send_message(payload)
             self.sent += 1
         if self.expect is None:
@@ -541,6 +591,9 @@ async def run_load(config: LoadConfig,
                  for lane in lanes
                  if lane.conn.channel.receiver.flow is not None), default=0),
             "window_bytes": flow.window_bytes,
+            "send_stamps": max(
+                (lane._send_ts.peak for lane in lanes), default=0),
+            "send_stamp_limit": SEND_STAMP_LIMIT,
         }
     finally:
         await fabric.close()

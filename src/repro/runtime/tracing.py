@@ -292,16 +292,27 @@ class Tracer:
         self.feature_hists: Dict[Feature, LatencyHistogram] = {
             feature: LatencyHistogram() for feature in Feature
         }
+        if not enabled:
+            # Bound-method dispatch chosen once, at construction: a
+            # disabled tracer's ``emit`` *is* the no-op, so a call that
+            # slips past an ``enabled`` guard costs one empty call and
+            # never builds an event or its keyword dict.
+            self.emit = self._emit_disabled  # type: ignore[method-assign]
 
     # -- recording ------------------------------------------------------------
+
+    def _emit_disabled(self, *args, **kwargs) -> None:
+        return None
 
     def emit(self, etype: EventType, endpoint: str, channel: int = 0,
              seq: int = 0, aux: int = -1, attempt: int = 0, kind: str = "",
              feature: Optional[Feature] = None) -> None:
         """Record one event (no-op when disabled).
 
-        Instrumentation sites should guard with ``if tracer.enabled``
-        so the disabled path costs one attribute test, not a call.
+        Instrumentation sites should still guard with ``if
+        tracer.enabled`` where building the arguments costs anything —
+        but a disabled tracer's ``emit`` is rebound to a no-op at
+        construction, so even unguarded calls stay near-free.
         """
         if not self.enabled:
             return

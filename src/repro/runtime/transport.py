@@ -112,6 +112,17 @@ class Transport:
     async def send(self, dst: Address, data: bytes) -> None:
         raise NotImplementedError
 
+    def send_now(self, dst: Address, data: bytes) -> bool:
+        """Synchronous send fast path, if the transport has one.
+
+        Returns True when the datagram was put on the wire without
+        awaiting.  The default (False) makes callers fall back to the
+        coroutine :meth:`send`; both in-process transports override
+        this, so the endpoint's batching flush loop never needs an
+        asyncio task per datagram.
+        """
+        return False
+
     async def close(self) -> None:
         """Release resources; further sends are undefined."""
 
@@ -371,9 +382,13 @@ class LoopbackTransport(Transport):
         return self._address
 
     async def send(self, dst: Address, data: bytes) -> None:
+        self.send_now(dst, data)
+
+    def send_now(self, dst: Address, data: bytes) -> bool:
         self.datagrams_sent += 1
         self.bytes_sent += len(data)
         self.hub._transmit(self._address, dst, data)
+        return True
 
     async def close(self) -> None:
         self.hub.detach(self._address)
@@ -427,11 +442,15 @@ class UDPTransport(Transport):
         return self._transport.get_extra_info("sockname")[:2]
 
     async def send(self, dst: Address, data: bytes) -> None:
+        self.send_now(dst, data)
+
+    def send_now(self, dst: Address, data: bytes) -> bool:
         if self._transport is None:
             raise RuntimeError("transport is not bound")
         self.datagrams_sent += 1
         self.bytes_sent += len(data)
         self._transport.sendto(data, tuple(dst))
+        return True
 
     async def close(self) -> None:
         if self._transport is not None:

@@ -1,9 +1,12 @@
-"""Tests for RuntimeEndpoint's fire-and-forget send path and close.
+"""Tests for RuntimeEndpoint's batched send path and close.
 
-Covers the regression fix for ``post_frame``: the created tasks used to
-hold no strong reference (asyncio could garbage-collect them mid-flight)
-and any exception they raised was silently swallowed as a
-never-retrieved task exception.
+The fire-and-forget path used to create one asyncio task per posted
+frame (no strong reference, swallowed exceptions, and — the deeper
+hazard — no ordering guarantee between two tasks for the same channel).
+Frames now join a per-destination FIFO queue drained by one flush per
+event-loop tick; these tests pin the surface guarantees: errors surface
+to a counter, close never drops queued frames, and a stuck transport
+cannot hang close forever.
 """
 
 import asyncio
@@ -50,30 +53,34 @@ class _StallingTransport(_ExplodingTransport):
 
 
 class TestPostFrame:
-    def test_posted_tasks_are_strongly_referenced_until_done(self, drive):
-        """Regression: without the strong-reference set, a GC pass could
-        collect a posted task before its send ran."""
+    def test_queued_frames_survive_gc_and_drain_in_order(self, drive):
+        """Regression: posted frames must not be lost to a GC pass (the
+        old per-frame tasks were only weakly referenced by asyncio)."""
 
         async def body():
             transport = _StallingTransport()
             ep = RuntimeEndpoint(transport, name="src")
             frame = data_frame(channel=1, seq=0, payload=[1, 2])
-            tasks = [ep.post_frame("dst", frame) for _ in range(4)]
-            del tasks                    # caller keeps nothing
-            await asyncio.sleep(0)       # let the sends start and stall
+            for _ in range(4):
+                ep.post_frame("dst", frame)
+            pending_queued = ep.pending_posts
+            await asyncio.sleep(0)       # flush runs, drainer spawns
+            await asyncio.sleep(0)       # drainer reaches its stall
+            gc.collect()                 # must not reap the drainer
             pending_during = ep.pending_posts
-            gc.collect()                 # must not reap the stalled tasks
             transport.release.set()
             for _ in range(100):
                 if ep.pending_posts == 0:
                     break
                 await asyncio.sleep(0.002)
-            return pending_during, ep.pending_posts, transport.sends
+            return pending_queued, pending_during, ep.pending_posts, transport.sends
 
-        pending_during, pending_after, sends = drive(body())
-        assert pending_during == 4
-        assert pending_after == 0
-        assert sends == 4
+        queued, during, after, sends = drive(body())
+        assert queued == 4
+        assert during >= 1   # still accounted while the transport stalls
+        assert after == 0
+        # An async-only transport gets the queued run as one container.
+        assert sends == 1
 
     def test_posted_send_errors_surface_to_the_counter(self, drive):
         """Regression: a raised posted send was a swallowed task
@@ -125,9 +132,113 @@ class TestPostFrame:
             ep = RuntimeEndpoint(transport, name="src")
             frame = data_frame(channel=1, seq=0, payload=[1])
             ep.post_frame("dst", frame)
-            await asyncio.sleep(0)       # the send reaches its stall
+            await asyncio.sleep(0)       # flush; the drainer will stall
             # Nobody releases it: close's bounded wait must cancel.
             await asyncio.wait_for(ep.close(), 5.0)
             return ep.pending_posts, transport.sends
 
         assert drive(body()) == (0, 0)
+
+    def test_same_destination_frames_stay_in_post_order(self, drive):
+        """Regression (the ordering hazard): with one task per posted
+        frame, an async transport could interleave two sends for the
+        same channel and put them on the wire out of order.  The FIFO
+        queue + single drainer makes that impossible by construction."""
+
+        class _YieldingTransport(_ExplodingTransport):
+            """First send parks longer than the second: a task-per-frame
+            sender emits seq 1 before seq 0."""
+
+            def __init__(self):
+                super().__init__()
+                self.wire = []
+                self._sends = 0
+
+            async def send(self, dst, data):
+                self._sends += 1
+                if self._sends == 1:
+                    await asyncio.sleep(0.02)
+                self.wire.append(bytes(data))
+
+        from repro.runtime.frames import decode_frame, is_batch, iter_batch
+
+        async def body():
+            transport = _YieldingTransport()
+            ep = RuntimeEndpoint(transport, name="src")
+            first = data_frame(channel=1, seq=0, payload=[1])
+            ep.post_frame("dst", first)
+            await asyncio.sleep(0)        # flush tick: first goes alone
+            second = data_frame(channel=1, seq=1, payload=[2])
+            ep.post_frame("dst", second)
+            await asyncio.sleep(0.1)
+            seqs = []
+            for datagram in transport.wire:
+                if is_batch(datagram):
+                    seqs.extend(decode_frame(s).seq for s in iter_batch(datagram))
+                else:
+                    seqs.append(decode_frame(datagram).seq)
+            return seqs
+
+        assert drive(body()) == [0, 1]
+
+
+class TestBatching:
+    def test_burst_to_one_peer_coalesces_into_one_datagram(self, drive):
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            ep = RuntimeEndpoint(a, name="src")
+            rx = RuntimeEndpoint(b, name="dst")
+            got = []
+            rx.bind(1, lambda frame, src: got.append(frame.seq))
+            for seq in range(6):
+                ep.post_frame("b", data_frame(channel=1, seq=seq, payload=[seq]))
+            await asyncio.sleep(0.01)
+            return (a.datagrams_sent, ep.batches_sent, ep.batched_frames,
+                    rx.frames_received, got)
+
+        datagrams, batches, batched, received, got = drive(body())
+        assert datagrams == 1
+        assert batches == 1
+        assert batched == 6
+        assert received == 6
+        assert got == list(range(6))     # in-order unbundle
+
+    def test_lone_frame_skips_the_container(self, drive):
+        async def body():
+            hub = LoopbackHub.cr()
+            a, b = hub.attach("a"), hub.attach("b")
+            ep = RuntimeEndpoint(a, name="src")
+            rx = RuntimeEndpoint(b, name="dst")
+            got = []
+            rx.bind(1, lambda frame, src: got.append(frame.seq))
+            ep.post_frame("b", data_frame(channel=1, seq=5, payload=[1]))
+            await asyncio.sleep(0.01)
+            return a.datagrams_sent, ep.batches_sent, got
+
+        datagrams, batches, got = drive(body())
+        assert datagrams == 1
+        assert batches == 0              # singletons ride bare
+        assert got == [5]
+
+    def test_distinct_destinations_get_distinct_datagrams(self, drive):
+        async def body():
+            hub = LoopbackHub.cr()
+            a = hub.attach("a")
+            b, c = hub.attach("b"), hub.attach("c")
+            ep = RuntimeEndpoint(a, name="src")
+            got_b, got_c = [], []
+            RuntimeEndpoint(b, name="b").bind(
+                1, lambda frame, src: got_b.append(frame.seq))
+            RuntimeEndpoint(c, name="c").bind(
+                1, lambda frame, src: got_c.append(frame.seq))
+            for seq in range(4):
+                ep.post_frame("b", data_frame(channel=1, seq=seq, payload=[1]))
+                ep.post_frame("c", data_frame(channel=1, seq=seq, payload=[1]))
+            await asyncio.sleep(0.01)
+            return a.datagrams_sent, got_b, got_c
+
+        datagrams, got_b, got_c = drive(body())
+        assert datagrams == 2            # one container per destination
+        assert got_b == list(range(4))
+        assert got_c == list(range(4))

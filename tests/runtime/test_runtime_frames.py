@@ -1,5 +1,7 @@
 """Unit tests for the runtime wire format."""
 
+import random
+
 import pytest
 
 from repro.runtime.frames import (
@@ -7,10 +9,15 @@ from repro.runtime.frames import (
     FrameCorruption,
     FrameError,
     FrameKind,
+    MAX_CHANNEL,
     MAX_PAYLOAD_WORDS,
+    WORD_MASK,
     data_frame,
     decode_frame,
+    encode_batch,
     encode_frame,
+    is_batch,
+    iter_batch,
     epoch_reply_frame,
     epoch_req_frame,
     heartbeat_frame,
@@ -31,9 +38,12 @@ class TestRoundTrip:
         frame = Frame(kind=kind, channel=2, seq=5, aux=1024, payload=(10, 20))
         assert decode_frame(encode_frame(frame)) == frame
 
-    def test_words_are_masked_to_32_bits(self):
+    def test_out_of_range_words_rejected_not_masked(self):
+        # Regression: encode_frame used to mask this to (5,) — a silent
+        # corruption.  Out-of-range fields must refuse to encode.
         frame = data_frame(channel=1, seq=0, payload=[(1 << 40) + 5])
-        assert decode_frame(encode_frame(frame)).payload == (5,)
+        with pytest.raises(FrameError):
+            encode_frame(frame)
 
     def test_large_payload(self):
         payload = tuple(range(256))
@@ -121,3 +131,187 @@ class TestChaosHelpers:
         decoded = decode_frame(encode_frame(heartbeat_frame(4, beat=99)))
         assert decoded.kind is FrameKind.HEARTBEAT
         assert (decoded.channel, decoded.seq) == (4, 99)
+
+
+class TestFieldValidation:
+    """Satellite regression: every out-of-range field must raise
+    ``FrameError`` at encode time — never silently truncate on the
+    wire (the old code masked with ``& 0xFFFF`` / ``& WORD_MASK``)."""
+
+    def test_channel_above_16_bits_rejected(self):
+        frame = Frame(kind=FrameKind.DATA, channel=MAX_CHANNEL + 1, seq=1)
+        with pytest.raises(FrameError):
+            encode_frame(frame)
+
+    def test_seq_above_32_bits_rejected(self):
+        frame = Frame(kind=FrameKind.DATA, channel=1, seq=WORD_MASK + 1)
+        with pytest.raises(FrameError):
+            encode_frame(frame)
+
+    def test_aux_above_32_bits_rejected(self):
+        frame = Frame(kind=FrameKind.DATA, channel=1, seq=1,
+                      aux=WORD_MASK + 1)
+        with pytest.raises(FrameError):
+            encode_frame(frame)
+
+    def test_negative_fields_rejected(self):
+        for bad in (Frame(kind=FrameKind.DATA, channel=-1, seq=0),
+                    Frame(kind=FrameKind.DATA, channel=0, seq=-1),
+                    Frame(kind=FrameKind.DATA, channel=0, seq=0, aux=-2),
+                    Frame(kind=FrameKind.DATA, channel=0, seq=0,
+                          payload=(-1,))):
+            with pytest.raises(FrameError):
+                encode_frame(bad)
+
+    def test_boundary_values_still_encode(self):
+        frame = Frame(kind=FrameKind.DATA, channel=MAX_CHANNEL,
+                      seq=WORD_MASK, aux=WORD_MASK,
+                      payload=(WORD_MASK, 0))
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_error_message_names_the_bad_field(self):
+        frame = Frame(kind=FrameKind.DATA, channel=MAX_CHANNEL + 7, seq=0)
+        with pytest.raises(FrameError, match="channel"):
+            encode_frame(frame)
+
+
+class TestPropertyRoundTrip:
+    """Seeded-random property tests: arbitrary frames must survive
+    encode/decode exactly; every corruption and truncation must raise
+    a typed error, never return a wrong frame."""
+
+    def _arbitrary_frame(self, rng):
+        kind = rng.choice(list(FrameKind))
+        count = rng.choice((0, 1, 2, 3, 8, 17, 64, 256))
+        return Frame(
+            kind=kind,
+            channel=rng.randint(0, MAX_CHANNEL),
+            seq=rng.randint(0, WORD_MASK),
+            aux=rng.randint(0, WORD_MASK),
+            payload=tuple(rng.randint(0, WORD_MASK) for _ in range(count)),
+        )
+
+    def test_arbitrary_frames_round_trip(self):
+        rng = random.Random(0xF4A3E5)
+        for _ in range(300):
+            frame = self._arbitrary_frame(rng)
+            again = decode_frame(encode_frame(frame))
+            assert again == frame
+
+    def test_decode_accepts_memoryview_and_bytearray(self):
+        frame = data_frame(channel=9, seq=3, payload=(1, 2, 3))
+        wire = encode_frame(frame)
+        assert decode_frame(memoryview(wire)) == frame
+        assert decode_frame(bytearray(wire)) == frame
+
+    def test_every_truncation_length_raises(self):
+        wire = encode_frame(data_frame(channel=5, seq=8,
+                                       payload=tuple(range(6))))
+        for cut in range(len(wire)):
+            with pytest.raises(FrameError):
+                decode_frame(wire[:cut])
+
+    def test_corrupt_byte_at_every_offset_raises(self):
+        """Flip one bit at every byte offset: the CRC (or a header
+        check) must catch all of them — no offset may decode to a
+        silently different frame."""
+        frame = data_frame(channel=5, seq=8, aux=2, payload=tuple(range(6)))
+        wire = encode_frame(frame)
+        for offset in range(len(wire)):
+            for bit in (0x01, 0x80):
+                damaged = bytearray(wire)
+                damaged[offset] ^= bit
+                with pytest.raises(FrameError):
+                    decode_frame(bytes(damaged))
+
+
+class TestBatchContainer:
+    """The container frame: coalesced sub-frames must decode back
+    exactly, in order, with corruption and truncation localized."""
+
+    def _frames(self, n, rng=None):
+        rng = rng or random.Random(0xBA7C4)
+        return [
+            data_frame(channel=rng.randint(0, 64), seq=seq,
+                       payload=tuple(rng.randint(0, WORD_MASK)
+                                     for _ in range(rng.randint(0, 8))))
+            for seq in range(n)
+        ]
+
+    def test_batch_round_trips_in_order(self):
+        frames = self._frames(9)
+        batch = encode_batch([encode_frame(f) for f in frames])
+        assert is_batch(batch)
+        decoded = [decode_frame(view) for view in iter_batch(batch)]
+        assert decoded == frames
+
+    def test_single_frame_datagram_is_not_a_batch(self):
+        wire = encode_frame(data_frame(channel=1, seq=1, payload=(1,)))
+        assert not is_batch(wire)
+
+    def test_arbitrary_batches_round_trip(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(60):
+            frames = self._frames(rng.randint(1, 20), rng)
+            batch = encode_batch([encode_frame(f) for f in frames])
+            assert [decode_frame(v) for v in iter_batch(batch)] == frames
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(FrameError):
+            encode_batch([])
+
+    def test_truncated_batch_raises_at_every_cut(self):
+        frames = self._frames(4)
+        batch = encode_batch([encode_frame(f) for f in frames])
+        for cut in range(len(batch)):
+            with pytest.raises(FrameError):
+                list(iter_batch(batch[:cut]))
+
+    def test_trailing_garbage_after_last_subframe_rejected(self):
+        batch = encode_batch([encode_frame(f) for f in self._frames(2)])
+        with pytest.raises(FrameError):
+            list(iter_batch(batch + b"\x00"))
+
+    def test_corruption_is_localized_to_one_subframe(self):
+        """A bit flip inside sub-frame k must fail *that* sub-frame's
+        CRC while its siblings still decode — loss stays per-frame."""
+        frames = self._frames(5)
+        wires = [encode_frame(f) for f in frames]
+        batch = bytearray(encode_batch(wires))
+        # Find the middle sub-frame's payload region and damage it.
+        offset = 4  # container prefix
+        for wire in wires[:2]:
+            offset += 2 + len(wire)
+        victim_at = offset + 2 + len(wires[2]) - 1  # last byte of frame 2
+        batch[victim_at] ^= 0x40
+        results = []
+        for view in iter_batch(bytes(batch)):
+            try:
+                results.append(decode_frame(view))
+            except FrameCorruption:
+                results.append(None)
+        assert results[2] is None
+        survivors = [r for i, r in enumerate(results) if i != 2]
+        assert survivors == [frames[0], frames[1], frames[3], frames[4]]
+
+    def test_corrupt_byte_at_every_batch_offset_never_misdecodes(self):
+        """Damage every byte of a container: each sub-frame either
+        decodes to exactly its original or raises — never a wrong
+        frame.  (Framing damage may surface as a container-level
+        FrameError; that is tail loss, not corruption.)"""
+        frames = self._frames(3)
+        wires = [encode_frame(f) for f in frames]
+        batch = encode_batch(wires)
+        for offset in range(len(batch)):
+            damaged = bytearray(batch)
+            damaged[offset] ^= 0x10
+            try:
+                for i, view in enumerate(iter_batch(bytes(damaged))):
+                    try:
+                        decoded = decode_frame(view)
+                    except FrameError:
+                        continue
+                    if i < len(frames):
+                        assert decoded == frames[i]
+            except FrameError:
+                pass  # framing damage: detected, not silently decoded

@@ -203,3 +203,46 @@ class TestLoadRuns:
                     if not t.done()]
 
         assert drive(body()) == []
+
+
+class TestSendStampReservoir:
+    """The bounded latency sampler (regression for the unbounded
+    ``_send_ts`` deque: peak memory grew with offered load, and one
+    lost message skewed every later sample by a position)."""
+
+    def test_peak_memory_does_not_scale_with_offered_load(self):
+        from repro.runtime.loadgen import SendStampReservoir
+
+        res = SendStampReservoir(limit=64)
+        # A 100x-overload backlog: vastly more sends than deliveries.
+        for k in range(100_000):
+            res.stamp(k, k)
+        assert len(res) == 64
+        assert res.peak == 64
+        assert res.unsampled == 100_000 - 64
+
+    def test_latency_samples_stay_index_matched_under_loss(self):
+        from repro.runtime.loadgen import SendStampReservoir
+
+        res = SendStampReservoir(limit=8)
+        res.stamp(0, 100)
+        res.stamp(1, 200)
+        res.stamp(2, 300)
+        # Message 1 goes missing for a while: 0 and 2 must resolve
+        # against their *own* stamps, not positionally shifted ones.
+        assert res.resolve(0, 150) == 50
+        assert res.resolve(2, 360) == 60
+        assert res.resolve(1, 999) == 799  # late delivery, still exact
+        assert res.resolve(3, 1) is None   # unsampled -> no bogus sample
+
+    def test_rejects_a_nonpositive_limit(self):
+        from repro.runtime.loadgen import SendStampReservoir
+
+        with pytest.raises(ValueError):
+            SendStampReservoir(limit=0)
+
+    def test_overload_run_reports_bounded_stamp_peak(self, drive):
+        result = measure_load(replace(SMALL, overload=10.0, audit=True))
+        assert result.completed
+        peaks = result.peaks
+        assert 0 < peaks["send_stamps"] <= peaks["send_stamp_limit"]
