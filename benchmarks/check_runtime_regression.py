@@ -143,6 +143,54 @@ def check(baseline: dict, fresh: dict) -> list:
             f"{TRACE_ON_CEILING_PCT:.0f}% sanity ceiling"
         )
 
+    # --- journey observability gates (ISSUE 8) ------------------------
+    # Same shape as the trace gate, per mode: the observability-off path
+    # must not drift past the baseline by more than 3% + measured noise;
+    # journey reconstruction must keep >= 95% coverage with stage sums
+    # within 10% of end-to-end; the journey-on overhead is documented in
+    # the payload and only sanity-capped here.
+    for mode in ("cm5", "cr"):
+        row = _dig(fresh, "obs", f"obs/{mode}")
+        if row is None:
+            problems.append(f"fresh payload is missing the obs/{mode} row")
+            continue
+        base_off = _dig(baseline, "obs", f"obs/{mode}", "cpu_ns_off_min")
+        if base_off:  # baseline predates the row: absolute checks only
+            drift_pct = ((row.get("cpu_ns_off_min", 0) - base_off)
+                         / base_off * 100.0)
+            noise_pct = (
+                (_dig(baseline, "obs", f"obs/{mode}", "off_spread_pct")
+                 or 0.0)
+                + (row.get("off_spread_pct") or 0.0)
+            )
+            allowed_pct = TRACE_OFF_SLACK_PCT + noise_pct
+            if drift_pct > allowed_pct:
+                problems.append(
+                    f"obs/{mode}: observability-disabled bench regressed "
+                    f"{drift_pct:.1f}% vs baseline (bound: "
+                    f"{TRACE_OFF_SLACK_PCT:.0f}% + {noise_pct:.1f}% "
+                    "measured sampling noise)"
+                )
+        coverage = row.get("journey_coverage")
+        if coverage is None or coverage < 0.95:
+            problems.append(
+                f"obs/{mode}: journey coverage "
+                f"{coverage if coverage is None else format(coverage, '.1%')} "
+                "fell below the 95% bound"
+            )
+        stage_error = row.get("worst_stage_error")
+        if stage_error is None or stage_error > 0.10:
+            problems.append(
+                f"obs/{mode}: worst journey stage-sum error {stage_error!r} "
+                "crossed the 10% bound"
+            )
+        journey_pct = row.get("journey_overhead_pct")
+        if journey_pct is not None and journey_pct > TRACE_ON_CEILING_PCT:
+            problems.append(
+                f"obs/{mode}: journey-on overhead {journey_pct:.1f}% "
+                f"crossed the {TRACE_ON_CEILING_PCT:.0f}% sanity ceiling"
+            )
+
     # --- fabric load scaling (ISSUE 4) --------------------------------
     fabric = _dig(fresh, "fabric", default={}) or {}
     if not fabric:
@@ -355,6 +403,13 @@ def main(argv: list) -> int:
     trace_pct = _dig(fresh, "trace", "trace_overhead_pct")
     if trace_pct is not None:
         print(f"  tracing-on overhead: {trace_pct:.1f}%")
+    for cell, record in sorted((_dig(fresh, "obs", default={}) or {}).items()):
+        print(
+            f"  {cell}: journey coverage="
+            f"{record.get('journey_coverage', 0.0):.1%} "
+            f"stage-err={record.get('worst_stage_error', 0.0):.2%} "
+            f"journey-on={record.get('journey_overhead_pct', 0.0):.1f}%"
+        )
     for cell, record in sorted((_dig(fresh, "cost", default={}) or {}).items()):
         rows = record.get("rows") or {}
         terms = []

@@ -1,23 +1,44 @@
-"""CI gate: validate an exported Chrome/Perfetto trace file.
+"""CI gate: validate exported observability artifacts.
 
 Usage::
 
     python benchmarks/check_trace_schema.py TRACE.json [--min-instants N]
+    python benchmarks/check_trace_schema.py JOURNEYS.jsonl --kind journey \\
+        [--min-journeys N] [--stage-tolerance F]
+    python benchmarks/check_trace_schema.py TIMELINE.jsonl --kind timeline \\
+        [--min-samples N] [--min-marks N]
 
-Checks that the payload is loadable ``trace_event`` JSON of the shape
-:func:`repro.runtime.tracing.export_chrome_trace` emits — and that
-Perfetto / ``chrome://tracing`` will therefore accept it:
+Three artifact kinds, one per exporter:
 
-* top level is an object with a ``traceEvents`` list and a
-  ``displayTimeUnit``;
-* every record has ``name``, ``ph``, ``pid`` and (except metadata)
-  numeric non-negative ``ts``;
-* ``"ph": "X"`` complete events carry a numeric non-negative ``dur``;
-* ``"ph": "i"`` instants carry a scope ``s``;
-* every non-metadata record's ``tid`` is named by a ``thread_name``
-  metadata record (the per-run×endpoint tracks);
-* at least ``--min-instants`` instant events are present (a traced demo
-  run cannot produce an empty event stream).
+* ``--kind trace`` (default) — Chrome/Perfetto ``trace_event`` JSON of
+  the shape :func:`repro.runtime.tracing.export_chrome_trace` emits:
+
+  - top level is an object with a ``traceEvents`` list and a
+    ``displayTimeUnit``;
+  - every record has ``name``, ``ph``, ``pid`` and (except metadata)
+    numeric non-negative ``ts``;
+  - ``"ph": "X"`` complete events carry a numeric non-negative ``dur``;
+  - ``"ph": "i"`` instants carry a scope ``s``;
+  - ``"ph": "s"``/``"f"`` flow arrows carry an ``id`` (and the finish
+    half binds to the enclosing slice with ``"bp": "e"``);
+  - ``"ph": "C"`` counter samples carry numeric ``args``;
+  - every non-metadata record's ``tid`` is named by a ``thread_name``
+    metadata record (the per-run×endpoint tracks);
+  - at least ``--min-instants`` instant events are present.
+
+* ``--kind journey`` — the journey JSONL
+  :func:`repro.analysis.journey.export_journeys_jsonl` emits: one
+  object per line with the label/channel/seq/offset key, src/dst
+  endpoints, the per-stage nanosecond decomposition, and — on complete
+  journeys — a stage sum that matches the end-to-end total within
+  ``--stage-tolerance`` (the tentpole's 10% contract, re-checked on the
+  artifact itself).
+
+* ``--kind timeline`` — the flight-recorder JSONL
+  :meth:`repro.runtime.telemetry.FlightRecorder.export_jsonl` emits:
+  every line is either a sample (``ts_ns`` + ``series`` of numeric
+  instrument readings) or a mark (``ts_ns`` + ``mark`` label), in
+  non-decreasing time order.
 
 Exits 0 on a valid file, 1 listing every violation, 2 on usage errors.
 """
@@ -29,7 +50,10 @@ import json
 import sys
 from pathlib import Path
 
-VALID_PHASES = {"i", "I", "X", "M", "B", "E", "b", "e", "n"}
+VALID_PHASES = {"i", "I", "X", "M", "B", "E", "b", "e", "n", "s", "t", "f",
+                "C"}
+
+JOURNEY_STAGES = ("queue", "flush", "wire", "decode", "park", "deliver")
 
 
 def check_trace(payload: object, min_instants: int = 1) -> list:
@@ -46,6 +70,9 @@ def check_trace(payload: object, min_instants: int = 1) -> list:
     used_tids = set()
     instants = 0
     durations = 0
+    flow_starts = 0
+    flow_finishes = 0
+    counter_samples = 0
     for index, record in enumerate(events):
         where = f"traceEvents[{index}]"
         if not isinstance(record, dict):
@@ -77,11 +104,34 @@ def check_trace(payload: object, min_instants: int = 1) -> list:
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"{where}: complete event needs a "
                                 f"non-negative dur, got {dur!r}")
+        if phase in ("s", "t", "f"):
+            if "id" not in record:
+                problems.append(f"{where}: flow event is missing 'id'")
+            if phase == "s":
+                flow_starts += 1
+            elif phase == "f":
+                flow_finishes += 1
+                if record.get("bp") != "e":
+                    problems.append(f"{where}: flow finish should bind to "
+                                    "the enclosing slice with bp='e'")
+        if phase == "C":
+            counter_samples += 1
+            args = record.get("args")
+            if (not isinstance(args, dict) or not args
+                    or not all(isinstance(v, (int, float))
+                               for v in args.values())):
+                problems.append(f"{where}: counter event needs numeric args, "
+                                f"got {args!r}")
 
     unnamed = used_tids - named_tids
     if unnamed:
         problems.append(
             f"tids {sorted(unnamed)} have no thread_name metadata track"
+        )
+    if flow_starts != flow_finishes:
+        problems.append(
+            f"unbalanced flow arrows: {flow_starts} start(s) vs "
+            f"{flow_finishes} finish(es)"
         )
     if instants < min_instants:
         problems.append(
@@ -92,24 +142,165 @@ def check_trace(payload: object, min_instants: int = 1) -> list:
         print(
             f"trace schema ok: {len(events)} records "
             f"({instants} instants, {durations} spans, "
+            f"{flow_starts} flows, {counter_samples} counter samples, "
             f"{len(named_tids)} named tracks)"
         )
     return problems
 
 
+def _read_jsonl(text: str) -> tuple:
+    """Parse JSONL into (records, problems)."""
+    records, problems = [], []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append((lineno, json.loads(line)))
+        except ValueError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+    return records, problems
+
+
+def check_journeys(text: str, min_journeys: int = 1,
+                   stage_tolerance: float = 0.10) -> list:
+    records, problems = _read_jsonl(text)
+    complete = 0
+    for lineno, record in records:
+        where = f"line {lineno}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, kinds in (("label", str), ("channel", int), ("seq", int),
+                           ("offset", int), ("src", str), ("dst", str),
+                           ("retransmits", int), ("complete", bool),
+                           ("context_matched", bool)):
+            if not isinstance(record.get(key), kinds):
+                problems.append(f"{where}: {key!r} must be "
+                                f"{kinds.__name__}, "
+                                f"got {record.get(key)!r}")
+        stages = record.get("stages")
+        if not isinstance(stages, dict):
+            problems.append(f"{where}: 'stages' must be an object")
+            continue
+        for stage, value in stages.items():
+            if stage not in JOURNEY_STAGES:
+                problems.append(f"{where}: unknown stage {stage!r}")
+            elif not isinstance(value, int) or value < 0:
+                problems.append(f"{where}: stage {stage!r} must be a "
+                                f"non-negative integer, got {value!r}")
+        if not record.get("complete"):
+            continue
+        complete += 1
+        total = record.get("total_ns")
+        if not isinstance(total, int) or total < 0:
+            problems.append(f"{where}: complete journey needs a "
+                            f"non-negative total_ns, got {total!r}")
+            continue
+        if total > 0:
+            stage_sum = sum(v for v in stages.values()
+                            if isinstance(v, int))
+            error = abs(stage_sum - total) / total
+            if error > stage_tolerance:
+                problems.append(
+                    f"{where}: stage sum {stage_sum} vs total {total} "
+                    f"({100.0 * error:.1f}% off, tolerance "
+                    f"{100.0 * stage_tolerance:.0f}%)"
+                )
+    if complete < min_journeys:
+        problems.append(
+            f"only {complete} complete journey(s); expected at least "
+            f"{min_journeys}"
+        )
+    if not problems:
+        print(f"journey schema ok: {len(records)} journeys "
+              f"({complete} complete, stage sums within "
+              f"{100.0 * stage_tolerance:.0f}% of end-to-end)")
+    return problems
+
+
+def check_timeline(text: str, min_samples: int = 1,
+                   min_marks: int = 0) -> list:
+    records, problems = _read_jsonl(text)
+    samples = marks = 0
+    last_ts = None
+    for lineno, record in records:
+        where = f"line {lineno}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ts = record.get("ts_ns")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: ts_ns must be a non-negative "
+                            f"integer, got {ts!r}")
+        elif last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: ts_ns went backwards "
+                            f"({ts} < {last_ts})")
+        else:
+            last_ts = ts
+        if "series" in record:
+            samples += 1
+            series = record["series"]
+            if (not isinstance(series, dict)
+                    or not all(isinstance(v, (int, float))
+                               for v in series.values())):
+                problems.append(f"{where}: 'series' must map instrument "
+                                "names to numbers")
+        elif "mark" in record:
+            marks += 1
+            if not isinstance(record["mark"], str) or not record["mark"]:
+                problems.append(f"{where}: 'mark' must be a non-empty "
+                                "string")
+        else:
+            problems.append(f"{where}: neither a sample ('series') nor "
+                            "a mark ('mark')")
+    if samples < min_samples:
+        problems.append(f"only {samples} sample(s); expected at least "
+                        f"{min_samples}")
+    if marks < min_marks:
+        problems.append(f"only {marks} mark(s); expected at least "
+                        f"{min_marks}")
+    if not problems:
+        print(f"timeline schema ok: {samples} samples, {marks} marks, "
+              "time-ordered")
+    return problems
+
+
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="exported chrome trace JSON file")
+    parser.add_argument("trace", help="exported artifact file")
+    parser.add_argument("--kind", default="trace",
+                        choices=["trace", "journey", "timeline"],
+                        help="artifact kind (default: chrome trace JSON)")
     parser.add_argument("--min-instants", type=int, default=1)
+    parser.add_argument("--min-journeys", type=int, default=1,
+                        help="journey kind: minimum complete journeys")
+    parser.add_argument("--stage-tolerance", type=float, default=0.10,
+                        help="journey kind: worst allowed stage-sum error")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="timeline kind: minimum samples")
+    parser.add_argument("--min-marks", type=int, default=0,
+                        help="timeline kind: minimum marks")
     args = parser.parse_args(argv[1:])
     try:
-        payload = json.loads(Path(args.trace).read_text())
-    except (OSError, ValueError) as exc:
-        print(f"cannot read trace {args.trace!r}: {exc}")
+        text = Path(args.trace).read_text()
+    except OSError as exc:
+        print(f"cannot read artifact {args.trace!r}: {exc}")
         return 2
-    problems = check_trace(payload, min_instants=args.min_instants)
+    if args.kind == "journey":
+        problems = check_journeys(text, min_journeys=args.min_journeys,
+                                  stage_tolerance=args.stage_tolerance)
+    elif args.kind == "timeline":
+        problems = check_timeline(text, min_samples=args.min_samples,
+                                  min_marks=args.min_marks)
+    else:
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            print(f"cannot parse trace {args.trace!r}: {exc}")
+            return 2
+        problems = check_trace(payload, min_instants=args.min_instants)
     if problems:
-        print("trace schema check FAILED:")
+        print(f"{args.kind} schema check FAILED:")
         for problem in problems:
             print(f"  - {problem}")
         return 1

@@ -25,7 +25,7 @@ BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 #: Accumulated across the tests in this module; the last test writes it.
 RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
            "trace": {}, "fabric": {}, "overload": {}, "chaos": {},
-           "cost": {}}
+           "cost": {}, "obs": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -223,6 +223,70 @@ def test_trace_overhead():
     # baseline.
     assert overhead_pct < 150.0, (
         f"tracing-on overhead {overhead_pct:.1f}% is out of hand"
+    )
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+def test_observability_overhead(mode):
+    """Journey observability: near-free off, measured and bounded on.
+
+    The cross-peer journey machinery (wire-propagated trace context,
+    FLUSH events, per-frame arrival stamping) only exists on the traced
+    path, so the observability-off runtime must match the untraced
+    baseline — ``check_runtime_regression.py`` gates the off-path drift
+    at 3% plus measured sampling noise against the committed baseline.
+    The journey-on overhead is recorded (documented, not gated beyond a
+    sanity ceiling), and the reconstruction itself must clear the
+    tentpole bars: >= 95% of delivered messages reconstruct into
+    complete journeys whose stage sum matches the end-to-end latency
+    within 10%.
+    """
+    from repro.analysis.journey import journey_stats, reconstruct_journeys
+
+    words = 2048
+    kwargs = dict(FAULTS) if mode == "cm5" else {}
+
+    def run(tracer=None):
+        result = measure_live(
+            "indefinite", mode=mode, transport="loopback",
+            message_words=words, deadline=DEADLINE, tracer=tracer,
+            **kwargs,
+        )
+        assert result.completed
+        return result.total_ns
+
+    run()
+    run(Tracer())  # warm both paths before sampling
+    off_cpu, on_cpu = [], []
+    tracer = None
+    for _ in range(7):
+        off_cpu.append(run())
+        tracer = Tracer()
+        on_cpu.append(run(tracer))
+    stats = journey_stats(reconstruct_journeys(tracer.events()))
+    off_min, on_min = min(off_cpu), min(on_cpu)
+    overhead_pct = (on_min - off_min) / off_min * 100.0
+    spread_pct = (statistics.median(off_cpu) - off_min) / off_min * 100.0
+    RESULTS["obs"][f"obs/{mode}"] = {
+        "workload": f"indefinite/{mode} {words} words",
+        "samples": len(off_cpu),
+        "cpu_ns_off_min": off_min,
+        "cpu_ns_on_min": on_min,
+        "off_spread_pct": spread_pct,
+        "journey_overhead_pct": overhead_pct,
+        "journey_coverage": stats.coverage,
+        "worst_stage_error": stats.worst_stage_error,
+    }
+    assert stats.coverage >= 0.95, (
+        f"obs/{mode}: only {stats.coverage:.1%} of delivered messages "
+        "reconstructed into complete journeys (bound: >= 95%)"
+    )
+    assert stats.worst_stage_error <= 0.10, (
+        f"obs/{mode}: worst stage-sum error "
+        f"{stats.worst_stage_error:.1%} crossed the 10% bound"
+    )
+    assert overhead_pct < 150.0, (
+        f"obs/{mode}: journey-on overhead {overhead_pct:.1f}% is out of hand"
     )
 
 

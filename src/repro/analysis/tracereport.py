@@ -356,6 +356,9 @@ class LifecycleStats:
     wire: LatencyHistogram = field(default_factory=LatencyHistogram)
     queue: LatencyHistogram = field(default_factory=LatencyHistogram)
     park: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Events lost to tracer-ring wrap-around before reconstruction —
+    #: when nonzero, lifecycles here may be missing their early legs.
+    truncated_events: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -365,6 +368,7 @@ class LifecycleStats:
             "retransmitted": self.retransmitted,
             "give_ups": self.give_ups,
             "parked": self.parked,
+            "truncated_events": self.truncated_events,
             "rtt": self.rtt.to_dict(),
             "wire": self.wire.to_dict(),
             "queue": self.queue.to_dict(),
@@ -374,8 +378,17 @@ class LifecycleStats:
 
 def lifecycle_stats(
     lifecycles: Sequence[PacketLifecycle],
+    overwritten: int = 0,
 ) -> Dict[str, LifecycleStats]:
-    """Aggregate lifecycles into per-label latency distributions."""
+    """Aggregate lifecycles into per-label latency distributions.
+
+    ``overwritten`` is the tracer ring's wrap-around count
+    (:attr:`repro.runtime.tracing.Tracer.overwritten`): events that fell
+    off the ring before reconstruction ever saw them.  It is recorded on
+    every cell (the ring is shared, so there is no per-label split) so a
+    report built from a wrapped ring says so instead of presenting
+    silently truncated lifecycles as the whole story.
+    """
     cells: Dict[str, LifecycleStats] = {}
     for pkt in lifecycles:
         stats = cells.get(pkt.label)
@@ -398,6 +411,9 @@ def lifecycle_stats(
             stats.queue.record(pkt.queue_ns)
         if pkt.park_dwell_ns is not None and pkt.park_dwell_ns >= 0:
             stats.park.record(pkt.park_dwell_ns)
+    if overwritten:
+        for stats in cells.values():
+            stats.truncated_events = overwritten
     return cells
 
 
@@ -440,11 +456,22 @@ def render_packet_table(lifecycles: Sequence[PacketLifecycle],
     return table
 
 
-def render_trace_report(lifecycles: Sequence[PacketLifecycle]) -> str:
+def render_trace_report(lifecycles: Sequence[PacketLifecycle],
+                        overwritten: int = 0) -> str:
     """The 'where does the time go, per packet' report: one latency-
-    distribution table per cell plus a per-packet timeline table."""
+    distribution table per cell plus a per-packet timeline table.
+
+    A nonzero ``overwritten`` (tracer-ring wrap-around count) prepends a
+    truncation warning: the distributions below only cover what the
+    ring still held."""
     sections: List[str] = []
-    cells = lifecycle_stats(lifecycles)
+    if overwritten:
+        sections.append(
+            f"WARNING: trace ring wrapped — {overwritten} oldest event(s) "
+            "overwritten; lifecycles may be missing early legs. "
+            "Raise --trace-capacity to keep the whole run."
+        )
+    cells = lifecycle_stats(lifecycles, overwritten=overwritten)
     for label in sorted(cells):
         stats = cells[label]
         headers = ["Metric", "n", "p50 us", "p90 us", "p99 us", "max us"]

@@ -108,6 +108,7 @@ from repro.runtime.runner import (
     run_single_packet_live,
 )
 from repro.runtime.spans import TimeAttribution
+from repro.runtime.telemetry import FlightRecorder, TelemetrySample
 from repro.runtime.tracing import (
     Counters,
     EventType,
@@ -150,6 +151,7 @@ __all__ = [
     "FabricConnection",
     "FabricError",
     "FaultProfile",
+    "FlightRecorder",
     "FlowControlConfig",
     "Frame",
     "FrameCorruption",
@@ -181,6 +183,7 @@ __all__ = [
     "SenderWindow",
     "SinglePacketReceiver",
     "SinglePacketSender",
+    "TelemetrySample",
     "TimeAttribution",
     "TraceEvent",
     "Tracer",

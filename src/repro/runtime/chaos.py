@@ -59,6 +59,7 @@ from repro.runtime.frames import heartbeat_frame
 from repro.runtime.loadgen import AuditLedger, AuditReport
 from repro.runtime.protocols import ChannelBroken, RecoveryPolicy
 from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.telemetry import FlightRecorder
 from repro.runtime.tracing import Counters, EventType, Tracer
 from repro.runtime.transport import LoopbackHub, flip_bit
 
@@ -103,7 +104,16 @@ class ChaosInjector:
         self.corrupt_burst = 0.0
         self.extra_delay = 0.0
         self.replayed = 0
+        #: Observer for scripted actions (e.g. a flight recorder's
+        #: ``annotate``): called with a one-line description whenever
+        #: the fault schedule changes, so telemetry timelines can show
+        #: partition start/heal against the curves they bend.
+        self.on_event: Optional[Callable[[str], None]] = None
         hub.chaos = self
+
+    def _note(self, description: str) -> None:
+        if self.on_event is not None:
+            self.on_event(description)
 
     # -- the hub-facing contract ----------------------------------------------
 
@@ -129,36 +139,44 @@ class ChaosInjector:
     def block_link(self, src: str, dst: str) -> None:
         """Suppress ``src -> dst`` only (asymmetric partition)."""
         self._blocked.add((src, dst))
+        self._note(f"block {src}->{dst}")
 
     def partition_link(self, a: str, b: str) -> None:
         """Suppress both directions between ``a`` and ``b``."""
         self._blocked.add((a, b))
         self._blocked.add((b, a))
+        self._note(f"partition {a}<->{b}")
 
     def partition_groups(self, left: Sequence[str],
                          right: Sequence[str]) -> None:
         """Split the network: no datagram crosses between the groups."""
         for a in left:
             for b in right:
-                self.partition_link(a, b)
+                self._blocked.add((a, b))
+                self._blocked.add((b, a))
+        self._note(f"partition groups {'/'.join(left)} | {'/'.join(right)}")
 
     def isolate(self, name: str) -> None:
         """Cut every link touching ``name`` (node-level outage)."""
         self._isolated.add(name)
+        self._note(f"isolate {name}")
 
     def heal_link(self, src: str, dst: str) -> None:
         self._blocked.discard((src, dst))
+        self._note(f"heal {src}->{dst}")
         self._flush()
 
     def heal_node(self, name: str) -> None:
         self._isolated.discard(name)
         self._blocked = {(s, d) for s, d in self._blocked
                          if name not in (s, d)}
+        self._note(f"heal {name}")
         self._flush()
 
     def heal_all(self) -> None:
         self._blocked.clear()
         self._isolated.clear()
+        self._note("heal all")
         self._flush()
 
     def set_burst(self, drop: float = 0.0, corrupt: float = 0.0) -> None:
@@ -167,12 +185,14 @@ class ChaosInjector:
             raise ValueError("burst rates must be in [0, 1]")
         self.drop_burst = drop
         self.corrupt_burst = corrupt
+        self._note(f"burst drop={drop} corrupt={corrupt}")
 
     def spike_latency(self, delay: float = 0.0) -> None:
         """Add ``delay`` seconds to every delivered datagram (0 clears)."""
         if delay < 0:
             raise ValueError("latency spike must be non-negative")
         self.extra_delay = delay
+        self._note(f"latency spike {delay * 1e3:.0f}ms")
 
     def _flush(self) -> None:
         """Replay held datagrams for links that are no longer blocked,
@@ -521,12 +541,14 @@ class ChaosEngine:
         await asyncio.sleep(0)
         await asyncio.sleep(0.002)
         self.crash_time = asyncio.get_running_loop().time()
+        self.injector._note(f"crash {self.victim}")
         await self.fabric.crash_peer(self.victim)
 
     async def restart_victim(self) -> None:
         """Bring the victim back and heal its links (replaying anything
         a reliable hub held across the outage)."""
         await self.fabric.restart_peer(self.victim)
+        self.injector._note(f"restart {self.victim}")
         self.injector.heal_node(self.victim)
 
     def break_victim_lanes(self, reason: str) -> None:
@@ -837,8 +859,15 @@ class ChaosResult:
 
 
 async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
-                    tracer: Optional[Tracer] = None) -> ChaosResult:
-    """Run one named scenario against paced, audited traffic."""
+                    tracer: Optional[Tracer] = None,
+                    recorder: Optional["FlightRecorder"] = None) -> ChaosResult:
+    """Run one named scenario against paced, audited traffic.
+
+    With a ``recorder`` (a :class:`repro.runtime.telemetry.FlightRecorder`),
+    every peer's throughput/queue instruments are sampled for the run's
+    duration and each scripted fault action lands as a mark, so the
+    exported timeline shows the partition bending the curves.
+    """
     try:
         scen = SCENARIOS[scenario]
     except KeyError:
@@ -860,6 +889,12 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
         for name in names:
             await fabric.add_peer(name)
         victim = names[-1]
+        if recorder is not None:
+            injector.on_event = recorder.annotate
+            for name in names:
+                recorder.register_endpoint(fabric.peer(name))
+            recorder.annotate(f"scenario {scen.name}/{config.mode} start")
+            recorder.start()
         detector.start()
         engine = ChaosEngine(config, fabric, injector, detector, ledger,
                              victim)
@@ -896,6 +931,8 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
         broken = [(lane.cid, lane.broken) for lane in engine.lanes
                   if lane.broken is not None]
     finally:
+        if recorder is not None:
+            await recorder.stop()
         await detector.stop()
         await fabric.close()
     audit = ledger.verdict(cid for cid, _reason in broken)
@@ -917,9 +954,11 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
 
 
 def measure_chaos(config: ChaosConfig, scenario: str = "partition-heal",
-                  tracer: Optional[Tracer] = None) -> ChaosResult:
+                  tracer: Optional[Tracer] = None,
+                  recorder: Optional["FlightRecorder"] = None) -> ChaosResult:
     """Synchronous one-shot scenario run (owns the event loop)."""
-    return asyncio.run(run_chaos(config, scenario=scenario, tracer=tracer))
+    return asyncio.run(run_chaos(config, scenario=scenario, tracer=tracer,
+                                 recorder=recorder))
 
 
 def run_scenario_matrix(

@@ -37,6 +37,14 @@ from repro.analysis.timeshare import (
     render_time_table,
     render_wire_stats,
 )
+from repro.analysis.journey import (
+    export_journeys_jsonl,
+    journey_flows,
+    journey_stats,
+    reconstruct_journeys,
+    render_journey_table,
+    render_stage_summary,
+)
 from repro.analysis.tracereport import (
     crosscheck_features,
     lifecycle_spans,
@@ -46,7 +54,9 @@ from repro.analysis.tracereport import (
 from repro.arch.attribution import Feature
 from repro.runtime.loadgen import LoadConfig, measure_load, sweep_overload
 from repro.runtime.runner import PROTOCOL_NAMES, RuntimeRunResult, measure_live
+from repro.runtime.telemetry import FlightRecorder
 from repro.runtime.tracing import (
+    DEFAULT_CAPACITY,
     TraceEvent,
     Tracer,
     export_chrome_trace,
@@ -99,18 +109,32 @@ def _fault_kwargs(args) -> Dict[str, float]:
 
 
 def _export_trace(path: str, events: List[TraceEvent],
-                  fmt: str = "chrome") -> None:
-    """Write the recorded events (chrome trace or JSONL) to ``path``."""
+                  fmt: str = "chrome",
+                  recorder: Optional[FlightRecorder] = None) -> None:
+    """Write the recorded events (chrome trace or JSONL) to ``path``.
+
+    A ``recorder`` adds its sampled instruments as Perfetto counter
+    tracks, so throughput/occupancy curves render under the events."""
     lifecycles = reconstruct_lifecycles(events)
     with open(path, "w") as fh:
         if fmt == "jsonl":
             count = export_jsonl(events, fh)
         else:
             count = export_chrome_trace(
-                events, fh, spans=lifecycle_spans(lifecycles)
+                events, fh, spans=lifecycle_spans(lifecycles),
+                counters=(recorder.counter_tracks()
+                          if recorder is not None else ()),
             )
     print(f"wrote {path} ({count} {fmt} records, "
           f"{sum(1 for p in lifecycles if p.complete)} complete lifecycles)")
+
+
+def _export_timeline(path: str, recorder: FlightRecorder) -> None:
+    """Write the flight recorder's samples and marks to ``path`` (JSONL)."""
+    with open(path, "w") as fh:
+        count = recorder.export_jsonl(fh)
+    print(f"wrote {path} ({count} timeline records, "
+          f"{len(recorder.marks)} marks)")
 
 
 def run_demo(args) -> int:
@@ -119,7 +143,7 @@ def run_demo(args) -> int:
     message_words = args.packets * args.packet_words
     failures = 0
     records: List[Dict[str, Any]] = []
-    tracer = Tracer() if args.trace else None
+    tracer = Tracer(capacity=args.trace_capacity) if args.trace else None
 
     print("repro live runtime — the paper's protocols over real transports\n")
     for protocol in protocols:
@@ -199,7 +223,7 @@ def run_bench(args) -> int:
     records: List[Dict[str, Any]] = []
     failures = 0
     message_words = args.packets * args.packet_words
-    tracer = Tracer() if args.trace else None
+    tracer = Tracer(capacity=args.trace_capacity) if args.trace else None
     print("repro live runtime bench — per-feature wall-clock shares\n")
     for protocol in PROTOCOL_NAMES:
         results: Dict[str, RuntimeRunResult] = {}
@@ -244,12 +268,13 @@ def run_trace(args) -> int:
     message_words = args.packets * args.packet_words
     all_events: List[TraceEvent] = []
     all_lifecycles = []
+    total_overwritten = 0
 
     print("repro live runtime trace — per-packet lifecycles\n")
     for protocol in PROTOCOL_NAMES:
         for mode in ("cm5", "cr"):
             label = f"{protocol}/{mode}"
-            tracer = Tracer()
+            tracer = Tracer(capacity=args.trace_capacity)
             kwargs = _fault_kwargs(args) if mode == "cm5" else {}
             result = measure_live(
                 protocol, mode=mode, transport="loopback",
@@ -282,11 +307,13 @@ def run_trace(args) -> int:
             if tracer.overwritten:
                 print(f"        (ring wrapped: {tracer.overwritten} oldest "
                       "events overwritten)")
+            total_overwritten += tracer.overwritten
             all_events.extend(events)
             all_lifecycles.extend(lifecycles)
 
     print()
-    print(render_trace_report(all_lifecycles))
+    print(render_trace_report(all_lifecycles,
+                              overwritten=total_overwritten))
     print()
     if args.out:
         _export_trace(args.out, all_events, fmt=args.format)
@@ -294,6 +321,85 @@ def run_trace(args) -> int:
         print(f"{failures} cell(s) FAILED")
         return 1
     print("trace checks passed.")
+    return 0
+
+
+def run_journey(args) -> int:
+    """The ``runtime journey`` command; returns a process exit code.
+
+    Runs every protocol × mode cell on the loopback fabric with tracing
+    enabled, merges both endpoints' event rings, and reconstructs each
+    delivered message's *cross-peer journey* from the wire-propagated
+    trace context: sender queue wait → batch-flush wait → wire →
+    decode → reorder park → deliver, plus the ack return leg.  Gates
+    the journey contract: at least ``--min-coverage`` of delivered
+    messages reconstruct into complete journeys, and every journey's
+    stage sum matches its end-to-end latency within
+    ``--stage-tolerance``.
+    """
+    failures = 0
+    message_words = args.packets * args.packet_words
+    all_journeys = []
+    all_events: List[TraceEvent] = []
+
+    print("repro journey — cross-peer critical-path decomposition\n")
+    for protocol in PROTOCOL_NAMES:
+        for mode in ("cm5", "cr"):
+            label = f"{protocol}/{mode}"
+            tracer = Tracer(capacity=args.trace_capacity)
+            kwargs = _fault_kwargs(args) if mode == "cm5" else {}
+            result = measure_live(
+                protocol, mode=mode, transport="loopback",
+                message_words=message_words, packet_words=args.packet_words,
+                deadline=args.deadline, tracer=tracer, **kwargs,
+            )
+            events = tracer.events()
+            journeys = reconstruct_journeys(events)
+            stats = journey_stats(journeys)
+            ok = (result.completed
+                  and stats.coverage >= args.min_coverage
+                  and stats.worst_stage_error <= args.stage_tolerance)
+            if not ok:
+                failures += 1
+            print(
+                f"  [{'ok' if ok else 'FAIL'}] {label}: "
+                f"{stats.complete}/{stats.delivered} journeys complete "
+                f"({100.0 * stats.coverage:.1f}% coverage), "
+                f"{stats.context_matched} context-matched, "
+                f"{stats.retransmitted} retransmitted, "
+                f"worst stage-sum error "
+                f"{100.0 * stats.worst_stage_error:.2f}%"
+            )
+            if tracer.overwritten:
+                print(f"        (ring wrapped: {tracer.overwritten} oldest "
+                      "events overwritten)")
+            all_journeys.extend(journeys)
+            all_events.extend(events)
+
+    print()
+    print(render_journey_table(all_journeys, limit=args.limit))
+    print()
+    print(render_stage_summary(journey_stats(all_journeys)))
+    print()
+    if args.out:
+        with open(args.out, "w") as fh:
+            if args.format == "jsonl":
+                count = export_journeys_jsonl(all_journeys, fh)
+                kind = "journey"
+            else:
+                count = export_chrome_trace(
+                    all_events, fh,
+                    spans=lifecycle_spans(reconstruct_lifecycles(all_events)),
+                    flows=journey_flows(all_journeys),
+                )
+                kind = "chrome"
+        print(f"wrote {args.out} ({count} {kind} records, "
+              f"{len(all_journeys)} journeys)")
+    if failures:
+        print(f"{failures} journey cell(s) FAILED")
+        return 1
+    print("journey checks passed: cross-peer stage sums match the "
+          "end-to-end latency.")
     return 0
 
 
@@ -327,7 +433,9 @@ def run_overload_cmd(args, modes) -> int:
     print("repro fabric overload — credit-metered survival curve\n")
     records: List[Dict[str, Any]] = []
     failures = 0
-    results = sweep_overload(base, factors=factors, modes=modes)
+    recorder = FlightRecorder() if args.timeline else None
+    results = sweep_overload(base, factors=factors, modes=modes,
+                             recorder=recorder)
     for result in results:
         peaks = result.peaks
         bounded = (
@@ -360,6 +468,10 @@ def run_overload_cmd(args, modes) -> int:
     print()
     print(render_overload_curve(records))
     print()
+    if recorder is not None:
+        print(recorder.render_timeline())
+        print()
+        _export_timeline(args.timeline, recorder)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(records, fh, indent=2)
@@ -398,6 +510,7 @@ def run_load_cmd(args) -> int:
     print("repro fabric load — M channels x K messages across P peers\n")
     records: List[Dict[str, Any]] = []
     failures = 0
+    recorder = FlightRecorder() if args.timeline else None
     for peers in peer_counts:
         for mode in modes:
             config = LoadConfig(
@@ -408,7 +521,7 @@ def run_load_cmd(args) -> int:
                 reorder_rate=args.reorder_rate if mode == "cm5" else 0.0,
                 seed=args.seed, deadline=args.deadline,
             )
-            result = measure_load(config)
+            result = measure_load(config, recorder=recorder)
             ok = (result.completed and result.lost_messages == 0
                   and result.corrupt_messages == 0)
             if not ok:
@@ -441,6 +554,10 @@ def run_load_cmd(args) -> int:
             )
         print()
 
+    if recorder is not None:
+        print(recorder.render_timeline())
+        print()
+        _export_timeline(args.timeline, recorder)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(records, fh, indent=2)
@@ -484,12 +601,14 @@ def run_chaos_cmd(args) -> int:
     print("repro chaos soak — scripted faults, detection, recovery, audit\n")
     records: List[Dict[str, Any]] = []
     failures = 0
-    tracer = Tracer() if args.trace else None
+    tracer = Tracer(capacity=args.trace_capacity) if args.trace else None
+    recorder = FlightRecorder() if args.timeline else None
     for scenario in scenarios:
         for mode in modes:
             import asyncio
             result = asyncio.run(run_chaos(
-                replace(base, mode=mode), scenario, tracer=tracer))
+                replace(base, mode=mode), scenario, tracer=tracer,
+                recorder=recorder))
             bound_ok = result.detection_within_bound is not False
             detected_ok = (not result.detection_expected
                            or result.detection_latency is not None)
@@ -509,12 +628,16 @@ def run_chaos_cmd(args) -> int:
     print()
     print(render_chaos_features(records))
     print()
+    if recorder is not None:
+        print(recorder.render_timeline())
+        print()
+        _export_timeline(args.timeline, recorder)
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(records, fh, indent=2)
         print(f"wrote {args.json}")
     if tracer is not None:
-        _export_trace(args.trace, tracer.events())
+        _export_trace(args.trace, tracer.events(), recorder=recorder)
     if failures:
         print(f"{failures} chaos cell(s) FAILED")
         return 1
@@ -601,6 +724,10 @@ def add_runtime_subparsers(parser) -> None:
     demo.add_argument("--trace", default=None, metavar="FILE",
                       help="record trace events and export a Chrome/"
                            "Perfetto trace to FILE")
+    demo.add_argument("--trace-capacity", type=int, default=DEFAULT_CAPACITY,
+                      help="tracer ring capacity in events (default "
+                           f"{DEFAULT_CAPACITY}); older events are "
+                           "overwritten once the ring fills")
     demo.set_defaults(func=run_demo)
 
     bench = sub.add_parser(
@@ -616,6 +743,9 @@ def add_runtime_subparsers(parser) -> None:
     bench.add_argument("--trace", default=None, metavar="FILE",
                        help="record trace events and export a Chrome/"
                             "Perfetto trace to FILE")
+    bench.add_argument("--trace-capacity", type=int, default=DEFAULT_CAPACITY,
+                       help="tracer ring capacity in events (default "
+                            f"{DEFAULT_CAPACITY})")
     bench.set_defaults(func=run_bench)
 
     load = sub.add_parser(
@@ -646,6 +776,13 @@ def add_runtime_subparsers(parser) -> None:
                            "bounded buffers, and a clean audit")
     load.add_argument("--json", default=None,
                       help="also write the sweep records to this JSON file")
+    load.add_argument("--timeline", default=None, metavar="FILE",
+                      help="run a flight recorder over the sweep, print "
+                           "the ASCII timeline, and export the samples + "
+                           "marks to FILE (JSONL)")
+    load.add_argument("--trace-capacity", type=int, default=DEFAULT_CAPACITY,
+                      help="tracer ring capacity in events (default "
+                           f"{DEFAULT_CAPACITY})")
     load.set_defaults(func=run_load_cmd)
 
     chaos = sub.add_parser(
@@ -682,6 +819,14 @@ def add_runtime_subparsers(parser) -> None:
     chaos.add_argument("--trace", default=None, metavar="FILE",
                        help="record trace events and export a Chrome/"
                             "Perfetto trace to FILE")
+    chaos.add_argument("--timeline", default=None, metavar="FILE",
+                       help="run a flight recorder over the soak, print "
+                            "the ASCII timeline (fault marks included), "
+                            "and export the samples + marks to FILE "
+                            "(JSONL)")
+    chaos.add_argument("--trace-capacity", type=int, default=DEFAULT_CAPACITY,
+                       help="tracer ring capacity in events (default "
+                            f"{DEFAULT_CAPACITY})")
     chaos.set_defaults(func=run_chaos_cmd)
 
     profile = sub.add_parser(
@@ -719,4 +864,41 @@ def add_runtime_subparsers(parser) -> None:
                        choices=["chrome", "jsonl"],
                        help="export format (default: chrome trace_event "
                             "JSON, loadable in ui.perfetto.dev)")
+    trace.add_argument("--trace-capacity", type=int, default=DEFAULT_CAPACITY,
+                       help="tracer ring capacity in events (default "
+                            f"{DEFAULT_CAPACITY})")
     trace.set_defaults(func=run_trace)
+
+    journey = sub.add_parser(
+        "journey", help="trace every protocol x mode cell end to end, "
+                        "reconstruct cross-peer message journeys from "
+                        "the wire-propagated trace context, and print "
+                        "the critical-path stage decomposition")
+    journey.add_argument("--drop-rate", type=_rate, default=0.02)
+    journey.add_argument("--dup-rate", type=_rate, default=0.0)
+    journey.add_argument("--reorder-rate", type=_rate, default=0.25)
+    journey.add_argument("--packets", type=int, default=16)
+    journey.add_argument("--packet-words", type=int, default=16)
+    journey.add_argument("--seed", type=int, default=0x5CA1E)
+    journey.add_argument("--deadline", type=float, default=60.0)
+    journey.add_argument("--min-coverage", type=float, default=0.95,
+                         help="gate: fraction of delivered messages that "
+                              "must reconstruct into complete journeys "
+                              "(default 0.95)")
+    journey.add_argument("--stage-tolerance", type=float, default=0.10,
+                         help="gate: worst allowed |stage sum - end-to-"
+                              "end| error (default 0.10)")
+    journey.add_argument("--limit", type=int, default=12,
+                         help="journeys shown in the table (default 12)")
+    journey.add_argument("--out", default=None, metavar="FILE",
+                         help="export journeys to FILE")
+    journey.add_argument("--format", default="jsonl",
+                         choices=["jsonl", "chrome"],
+                         help="export format: one JSON journey per line, "
+                              "or a chrome trace with flow arrows "
+                              "(default: jsonl)")
+    journey.add_argument("--trace-capacity", type=int,
+                         default=DEFAULT_CAPACITY,
+                         help="tracer ring capacity in events (default "
+                              f"{DEFAULT_CAPACITY})")
+    journey.set_defaults(func=run_journey)

@@ -24,6 +24,8 @@ bare frames.
 from __future__ import annotations
 
 import asyncio
+import time
+import zlib
 from collections import deque
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
@@ -32,6 +34,9 @@ from repro.runtime.frames import (
     BATCH_BYTE,
     MAGIC,
     MAX_BATCH_BYTES,
+    MAX_PAYLOAD_WORDS,
+    TRACE_CTX_KINDS,
+    TRACE_CTX_WORDS,
     Frame,
     FrameCorruption,
     FrameError,
@@ -40,6 +45,7 @@ from repro.runtime.frames import (
     encode_batch,
     encode_frame,
     iter_batch,
+    trace_context_words,
 )
 from repro.runtime.spans import TimeAttribution
 from repro.runtime.tracing import Counters, EventType, NULL_TRACER, Tracer
@@ -83,9 +89,16 @@ class RuntimeEndpoint:
         self.counters = Counters()
         self._handlers: Dict[int, FrameHandler] = {}
         self.sent_by_kind: Dict[FrameKind, int] = {}
+        # Wire identity for the piggybacked trace context: a 32-bit id
+        # journey reconstruction maps back to the endpoint name.
+        self.trace_origin = zlib.crc32(self.name.encode("utf-8", "replace"))
         # Outbound batching state: per-destination FIFO queues of
         # encoded datagrams, drained by one flush callback per tick.
         self._out: Dict[Address, List[bytes]] = {}
+        # Traced runs keep a parallel per-destination list of frame
+        # identities so the flush can emit one FLUSH event per frame;
+        # untraced runs never touch it.
+        self._out_meta: Dict[Address, List[Tuple[int, int, int, str]]] = {}
         self._flush_scheduled = False
         # Fallback for transports without a synchronous fast path: a
         # single drainer task preserves global FIFO order (strongly
@@ -136,15 +149,29 @@ class RuntimeEndpoint:
         Sub-frames decode under one BASE span (the whole unbundle is
         data movement); damage inside the container costs exactly the
         sub-frames it touches — earlier ones still dispatch.
+
+        When tracing is on, the container's *arrival* instant is
+        stamped once and every sub-frame's RECV carries it as its
+        timestamp, with that sub-frame's own decode slice in
+        ``dur_ns`` — late sub-frames no longer inherit their siblings'
+        decode time as phantom wire latency.
         """
         self.counters.inc("batches_received")
+        traced = self.tracer.enabled
+        arrival = time.perf_counter_ns() if traced else 0
         frames: List[Frame] = []
+        decode_ns: List[int] = []
         corrupt = errors = 0
+        prev = arrival
         with self.attribution.span(Feature.BASE):
             try:
                 for sub in iter_batch(data):
                     try:
                         frames.append(decode_frame(sub))
+                        if traced:
+                            now = time.perf_counter_ns()
+                            decode_ns.append(now - prev)
+                            prev = now
                     except FrameCorruption:
                         corrupt += 1
                     except FrameError:
@@ -155,17 +182,23 @@ class RuntimeEndpoint:
                 errors += 1
         if corrupt:
             self.counters.inc("corrupt_frames", corrupt)
-            if self.tracer.enabled:
+            if traced:
                 for _ in range(corrupt):
                     self.tracer.emit(EventType.CORRUPT, endpoint=self.name,
                                      channel=-1, seq=-1,
                                      feature=Feature.FAULT_TOLERANCE)
         if errors:
             self.counters.inc("decode_errors", errors)
-        for frame in frames:
-            self._dispatch_frame(frame, src)
+        if traced:
+            for frame, dur in zip(frames, decode_ns):
+                self._dispatch_frame(frame, src, ts_ns=arrival, dur_ns=dur)
+        else:
+            for frame in frames:
+                self._dispatch_frame(frame, src)
 
     def _dispatch_one(self, data: bytes, src: Address) -> None:
+        traced = self.tracer.enabled
+        arrival = time.perf_counter_ns() if traced else 0
         try:
             with self.attribution.span(Feature.BASE):
                 frame = decode_frame(data)
@@ -175,7 +208,7 @@ class RuntimeEndpoint:
             # attributable; the frame degrades into a drop and the
             # retransmission path recovers.
             self.counters.inc("corrupt_frames")
-            if self.tracer.enabled:
+            if traced:
                 self.tracer.emit(EventType.CORRUPT, endpoint=self.name,
                                  channel=-1, seq=-1,
                                  feature=Feature.FAULT_TOLERANCE)
@@ -185,9 +218,14 @@ class RuntimeEndpoint:
             # (retransmission) recovers, exactly as for a lost packet.
             self.counters.inc("decode_errors")
             return
-        self._dispatch_frame(frame, src)
+        if traced:
+            self._dispatch_frame(frame, src, ts_ns=arrival,
+                                 dur_ns=time.perf_counter_ns() - arrival)
+        else:
+            self._dispatch_frame(frame, src)
 
-    def _dispatch_frame(self, frame: Frame, src: Address) -> None:
+    def _dispatch_frame(self, frame: Frame, src: Address,
+                        ts_ns: int = 0, dur_ns: int = 0) -> None:
         self.counters.inc("frames_received")
         tracer = self.tracer
         if tracer.enabled:
@@ -202,6 +240,8 @@ class RuntimeEndpoint:
                 endpoint=self.name, channel=frame.channel, seq=frame.seq,
                 aux=frame.aux, kind=frame.kind.name,
                 feature=self.attribution.current,
+                ts_ns=ts_ns, dur_ns=dur_ns,
+                origin=frame.origin, origin_ts_ns=frame.origin_ts_ns,
             )
         handler = self._handlers.get(frame.channel)
         if handler is None:
@@ -214,11 +254,22 @@ class RuntimeEndpoint:
     def _encode_and_enqueue(self, dst: Address, frame: Frame,
                             feature: Feature) -> bytes:
         with self.attribution.span(feature):
-            data = encode_frame(frame)
-            self.counters.inc("frames_sent")
-            self.sent_by_kind[frame.kind] = self.sent_by_kind.get(frame.kind, 0) + 1
             tracer = self.tracer
             if tracer.enabled:
+                # Stamp first, then put the very same timestamp both on
+                # the wire (trace-context suffix) and on the SEND event:
+                # the receiver's RECV then names this exact event, even
+                # for retransmits (which replay these wire bytes).
+                send_ns = time.perf_counter_ns()
+                ctx = None
+                if (frame.kind in TRACE_CTX_KINDS
+                        and len(frame.payload) + TRACE_CTX_WORDS
+                        <= MAX_PAYLOAD_WORDS):
+                    ctx = trace_context_words(self.trace_origin, send_ns)
+                data = encode_frame(frame, ctx)
+                self.counters.inc("frames_sent")
+                self.sent_by_kind[frame.kind] = \
+                    self.sent_by_kind.get(frame.kind, 0) + 1
                 if frame.kind in ACK_KINDS:
                     etype = EventType.ACK_TX
                 elif frame.kind is FrameKind.CREDIT_UPDATE:
@@ -229,7 +280,18 @@ class RuntimeEndpoint:
                     etype,
                     endpoint=self.name, channel=frame.channel, seq=frame.seq,
                     aux=frame.aux, kind=frame.kind.name, feature=feature,
+                    ts_ns=send_ns,
                 )
+                meta = self._out_meta.get(dst)
+                if meta is None:
+                    meta = self._out_meta[dst] = []
+                meta.append((frame.channel, frame.seq, frame.aux,
+                             frame.kind.name))
+            else:
+                data = encode_frame(frame)
+                self.counters.inc("frames_sent")
+                self.sent_by_kind[frame.kind] = \
+                    self.sent_by_kind.get(frame.kind, 0) + 1
             queue = self._out.get(dst)
             if queue is None:
                 queue = self._out[dst] = []
@@ -265,6 +327,11 @@ class RuntimeEndpoint:
         if not queues:
             return
         self._out = {}
+        if self.tracer.enabled:
+            metas = self._out_meta
+            self._out_meta = {}
+            self._flush_traced(queues, metas)
+            return
         # getattr, not attribute access: tests duck-type transports with
         # only the async half of the interface.
         send_now = getattr(self.transport, "send_now", None)
@@ -276,6 +343,68 @@ class RuntimeEndpoint:
                             self._defer(dst, wire)
                     except Exception:
                         self.counters.inc("send_errors")
+
+    def _flush_traced(
+        self, queues: Dict[Address, List[bytes]],
+        metas: Dict[Address, List[Tuple[int, int, int, str]]],
+    ) -> None:
+        """The flush loop with per-frame FLUSH events.
+
+        Each frame's FLUSH is stamped when its datagram hits the wire;
+        ``dur_ns`` is the time since the flush tick started — the share
+        of the SEND→wire gap spent *inside* the flush (coalescing,
+        earlier datagrams of the same tick) as opposed to waiting for
+        the tick to run.  Kept out of the untraced :meth:`_flush` so
+        the disabled path stays byte-identical to PR 7's hot path.
+        """
+        send_now = getattr(self.transport, "send_now", None)
+        emit = self.tracer.emit
+        with self.attribution.span(Feature.BASE):
+            tick_start = time.perf_counter_ns()
+            for dst, datagrams in queues.items():
+                meta = metas.get(dst, [])
+                index = 0
+                for wire, count in self._bundle_counted(datagrams):
+                    deliver = True
+                    try:
+                        if send_now is None or not send_now(dst, wire):
+                            self._defer(dst, wire)
+                    except Exception:
+                        self.counters.inc("send_errors")
+                        deliver = False
+                    now = time.perf_counter_ns()
+                    if deliver:
+                        for channel, seq, aux, kind in \
+                                meta[index:index + count]:
+                            emit(EventType.FLUSH, endpoint=self.name,
+                                 channel=channel, seq=seq, aux=aux,
+                                 kind=kind, feature=Feature.BASE,
+                                 ts_ns=now, dur_ns=now - tick_start)
+                    index += count
+
+    def _bundle_counted(
+        self, datagrams: List[bytes],
+    ) -> Iterator[Tuple[bytes, int]]:
+        """:meth:`_bundle`, but each wire datagram carries the number of
+        logical frames it covers (for FLUSH event bookkeeping)."""
+        if len(datagrams) == 1:
+            yield datagrams[0], 1
+            return
+        group: List[bytes] = []
+        size = _BATCH_HEADER
+        mtu = self.flush_mtu
+        for datagram in datagrams:
+            needed = len(datagram) + _SUB_OVERHEAD
+            if group and size + needed > mtu:
+                yield self._seal(group), len(group)
+                group = []
+                size = _BATCH_HEADER
+            group.append(datagram)
+            size += needed
+        if len(group) == 1:
+            yield group[0], 1
+        else:
+            yield self._seal(group), len(group)
 
     def _bundle(self, datagrams: List[bytes]) -> Iterator[bytes]:
         """Yield wire datagrams: singletons as-is, runs as containers."""

@@ -82,6 +82,19 @@ _SUBLEN = struct.Struct("!H")
 #: same container works over real sockets.
 MAX_BATCH_BYTES = 60000
 
+#: High bit of the kind byte: set when the payload ends with a
+#: piggybacked trace-context suffix (see :func:`trace_context_words`).
+#: Flow control's credit suffix needs no in-band marker because both
+#: sides of an armed channel *agree* it is present; trace context is
+#: appended only while the sender's tracer is enabled — a runtime
+#: condition the receiver cannot know — so its presence must be
+#: explicit on the wire.  :class:`FrameKind` values stay below 0x80.
+TRACE_FLAG = 0x80
+
+#: Width of the trace-context suffix: origin endpoint id (CRC-32 of the
+#: endpoint name), then the 64-bit send timestamp split hi/lo.
+TRACE_CTX_WORDS = 3
+
 Buffer = Union[bytes, bytearray, memoryview]
 
 
@@ -126,16 +139,35 @@ class FrameKind(enum.IntEnum):
 #: enum's ``__call__`` on the decode hot path.
 _KIND_BY_VALUE: Dict[int, FrameKind] = {int(kind): kind for kind in FrameKind}
 
+#: Frame kinds eligible to carry the piggybacked trace-context suffix.
+#: DATA is the journey backbone; the EPOCH pair and CREDIT_UPDATE ride
+#: along so recovery and flow-control traffic shows up in cross-peer
+#: timelines too.  Pure acks are excluded — their payload tail is
+#: already claimed by the sack list + optional credit suffix.
+TRACE_CTX_KINDS = frozenset({
+    FrameKind.DATA, FrameKind.EPOCH_REQ, FrameKind.EPOCH_REPLY,
+    FrameKind.CREDIT_UPDATE,
+})
+
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded runtime datagram."""
+    """One decoded runtime datagram.
+
+    ``origin`` / ``origin_ts_ns`` are the piggybacked trace context
+    (origin endpoint id, sender's ``perf_counter_ns`` at SEND) carried
+    by a :data:`TRACE_FLAG`-marked datagram; ``-1`` when absent.  They
+    are decode-side outputs only — :func:`encode_frame` takes the
+    suffix as an explicit argument, never from these fields.
+    """
 
     kind: FrameKind
     channel: int
     seq: int = 0
     aux: int = 0
     payload: Tuple[int, ...] = ()
+    origin: int = -1
+    origin_ts_ns: int = -1
 
     def __post_init__(self) -> None:
         if len(self.payload) > MAX_PAYLOAD_WORDS:
@@ -198,23 +230,39 @@ def _field_error(frame: Frame) -> FrameError:
     return FrameError(f"unencodable frame {frame!r}")  # pragma: no cover
 
 
-def encode_frame(frame: Frame) -> bytes:
+def encode_frame(frame: Frame,
+                 trace_ctx: Optional[Tuple[int, ...]] = None) -> bytes:
     """Serialize a frame to the datagram bytes that go on the wire.
 
     Out-of-range fields raise :class:`FrameError` instead of silently
     wrapping: a channel id past 16 bits or a sequence number past 2^32
     would otherwise alias another channel/packet on the wire — a silent
     correctness bug, not an encoding detail.
+
+    ``trace_ctx`` (the 3-word suffix from :func:`trace_context_words`)
+    rides behind the payload with :data:`TRACE_FLAG` set on the kind
+    byte, so receivers strip it unambiguously regardless of their own
+    tracer state.
     """
     payload = frame.payload
     count = len(payload)
+    kind_byte = int(frame.kind) if isinstance(frame.kind, FrameKind) else frame.kind
+    if trace_ctx is not None:
+        if count + TRACE_CTX_WORDS > MAX_PAYLOAD_WORDS:
+            raise FrameError(
+                f"payload of {count} words leaves no room for the "
+                f"{TRACE_CTX_WORDS}-word trace context"
+            )
+        payload = payload + tuple(trace_ctx)
+        count += TRACE_CTX_WORDS
+        kind_byte |= TRACE_FLAG
     size = HEADER_BYTES + 4 * count
     buf = _ENCODE_POOL.pop() if _ENCODE_POOL else bytearray(HEADER_BYTES + 64)
     if len(buf) < size:
         buf.extend(bytes(size - len(buf)))
     try:
         _PREFIX.pack_into(
-            buf, 0, MAGIC, frame.kind, frame.channel, frame.seq, frame.aux, count
+            buf, 0, MAGIC, kind_byte, frame.channel, frame.seq, frame.aux, count
         )
         if count:
             _payload_struct(count).pack_into(buf, HEADER_BYTES, *payload)
@@ -245,6 +293,9 @@ def decode_frame(data: Buffer) -> Frame:
     magic, kind, channel, seq, aux, count = _PREFIX.unpack_from(data)
     if magic != MAGIC:
         raise FrameError(f"bad magic byte 0x{magic:02x}")
+    traced = kind & TRACE_FLAG
+    if traced:
+        kind &= ~TRACE_FLAG
     frame_kind = _KIND_BY_VALUE.get(kind)
     if frame_kind is None:
         raise FrameError(f"unknown frame kind {kind}")
@@ -265,7 +316,19 @@ def decode_frame(data: Buffer) -> Frame:
     payload: Tuple[int, ...] = ()
     if count:
         payload = _payload_struct(count).unpack_from(data, HEADER_BYTES)
-    return Frame(kind=frame_kind, channel=channel, seq=seq, aux=aux, payload=payload)
+    if not traced:
+        return Frame(kind=frame_kind, channel=channel, seq=seq, aux=aux,
+                     payload=payload)
+    if count < TRACE_CTX_WORDS:
+        raise FrameError(
+            f"{frame_kind.name} frame flags a trace context but carries "
+            f"only {count} payload words"
+        )
+    origin = payload[-3]
+    origin_ts = (payload[-2] << 32) | payload[-1]
+    return Frame(kind=frame_kind, channel=channel, seq=seq, aux=aux,
+                 payload=payload[:-TRACE_CTX_WORDS],
+                 origin=origin, origin_ts_ns=origin_ts)
 
 
 # ---------------------------------------------------------------------------
@@ -410,6 +473,31 @@ def credit_update_frame(channel: int, credit: Sequence[int],
     """
     return Frame(kind=FrameKind.CREDIT_UPDATE, channel=channel,
                  aux=epoch, payload=tuple(credit))
+
+
+def trace_context_words(origin_id: int, ts_ns: int) -> Tuple[int, int, int]:
+    """Pack a trace context into its 3-word wire suffix.
+
+    ``origin_id`` identifies the sending endpoint (the runtime uses
+    CRC-32 of the endpoint name); ``ts_ns`` is the sender's
+    ``perf_counter_ns`` at the SEND instant, split into two 32-bit
+    words.  The same timestamp is recorded on the sender's SEND trace
+    event, so a receiver-side RECV carrying this context names its
+    exact sending event — the join key cross-peer journey
+    reconstruction is built on.
+    """
+    return (
+        origin_id & WORD_MASK,
+        (ts_ns >> 32) & WORD_MASK,
+        ts_ns & WORD_MASK,
+    )
+
+
+def parse_trace_context(words: Sequence[int]) -> Tuple[int, int]:
+    """Inverse of :func:`trace_context_words`: (origin_id, ts_ns)."""
+    if len(words) != TRACE_CTX_WORDS:
+        raise FrameError(f"trace context needs {TRACE_CTX_WORDS} words")
+    return words[0], (words[1] << 32) | words[2]
 
 
 def credit_probe_frame(channel: int) -> Frame:

@@ -35,6 +35,7 @@ from repro.runtime.fabric import Fabric, FabricConnection
 from repro.runtime.flowcontrol import BackpressureSignal, FlowControlConfig
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.runner import LOOPBACK_BACKOFF
+from repro.runtime.telemetry import FlightRecorder
 from repro.runtime.tracing import LatencyHistogram, Tracer
 
 
@@ -446,17 +447,21 @@ class _LoadChannel:
 
     def __init__(self, conn: FabricConnection, expect: int,
                  hist: LatencyHistogram,
-                 ledger: Optional[AuditLedger] = None) -> None:
+                 ledger: Optional[AuditLedger] = None,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.conn = conn
         self.framed = LiveFramedChannel(conn.channel)
         self.expect = expect
         self.hist = hist
         self.ledger = ledger
+        self.recorder = recorder
         self.sent = 0
         self.delivered = 0
         self.corrupt = 0
         self.shed = 0
         self.soft_delays = 0
+        self._last_signal = BackpressureSignal.OK
+        self._last_mark_ns = 0
         self._send_ts = SendStampReservoir()
         self._done: "asyncio.Future" = asyncio.get_running_loop().create_future()
         self.framed.on_message(self._on_message)
@@ -492,6 +497,18 @@ class _LoadChannel:
         for _attempt in range(offered):
             if overload > 1.0:
                 signal = self.conn.channel.flow_signal(msg_bytes)
+                if self.recorder is not None and signal is not self._last_signal:
+                    # Mark episode *starts* only, debounced: the signal
+                    # flaps at the SOFT boundary, and a mark per flap
+                    # would drown the timeline.  Recovery shows up in
+                    # the curves themselves.
+                    now = time.perf_counter_ns()
+                    if (signal is not BackpressureSignal.OK
+                            and now - self._last_mark_ns > 100_000_000):
+                        self.recorder.annotate(
+                            f"backpressure {signal.name} ch{self.conn.cid}")
+                        self._last_mark_ns = now
+                    self._last_signal = signal
                 if signal is BackpressureSignal.HARD:
                     # Shed *before* stamping: a shed message never
                     # enters the ledger, so it can never be counted
@@ -520,7 +537,8 @@ class _LoadChannel:
 
 
 async def run_load(config: LoadConfig,
-                   tracer: Optional[Tracer] = None) -> LoadResult:
+                   tracer: Optional[Tracer] = None,
+                   recorder: Optional[FlightRecorder] = None) -> LoadResult:
     """Run one load scenario on the current event loop."""
     fabric = Fabric(
         mode=config.mode, transport=config.transport, tracer=tracer,
@@ -536,6 +554,8 @@ async def run_load(config: LoadConfig,
         names = [f"p{i:03d}" for i in range(config.peers)]
         for name in names:
             await fabric.add_peer(name)
+            if recorder is not None:
+                recorder.register_endpoint(fabric.peer(name))
         pairs = spread_pairs(names, config.channels)
         flow = config.flow_config()
         reorder_window = max(256, 2 * config.window)
@@ -548,8 +568,13 @@ async def run_load(config: LoadConfig,
                 flow=flow,
             )
             lanes.append(_LoadChannel(conn, config.messages, hist,
-                                      ledger=ledger))
+                                      ledger=ledger, recorder=recorder))
 
+        if recorder is not None:
+            recorder.annotate(
+                f"load {config.mode} x{config.peers} "
+                f"overload={config.overload:g} start")
+            recorder.start()
         start = time.perf_counter_ns()
         tasks = [asyncio.ensure_future(
                      lane.drive(config.message_words,
@@ -596,6 +621,8 @@ async def run_load(config: LoadConfig,
             "send_stamp_limit": SEND_STAMP_LIMIT,
         }
     finally:
+        if recorder is not None:
+            await recorder.stop()
         await fabric.close()
     return LoadResult(
         config=config,
@@ -617,9 +644,10 @@ async def run_load(config: LoadConfig,
 
 
 def measure_load(config: LoadConfig,
-                 tracer: Optional[Tracer] = None) -> LoadResult:
+                 tracer: Optional[Tracer] = None,
+                 recorder: Optional[FlightRecorder] = None) -> LoadResult:
     """Synchronous one-shot load run (owns the event loop)."""
-    return asyncio.run(run_load(config, tracer=tracer))
+    return asyncio.run(run_load(config, tracer=tracer, recorder=recorder))
 
 
 def sweep_peer_counts(
@@ -640,15 +668,20 @@ def sweep_overload(
     base: LoadConfig,
     factors: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
     modes: Sequence[str] = ("cm5", "cr"),
+    recorder: Optional[FlightRecorder] = None,
 ) -> List[LoadResult]:
     """The overload survival curve: run ``base`` at each offered-load
     multiple × mode.  The interesting quantities per cell are delivered
     throughput (does it degrade gracefully or collapse?), the shed
     share, the flow-control timeshare, and the peak buffer occupancies
-    against their advertised bounds."""
+    against their advertised bounds.  A shared ``recorder`` stitches the
+    whole ramp into one timeline: each cell re-registers its endpoints
+    (same peer names, so the instruments swap over) and the start marks
+    plus SOFT/HARD transitions delimit the episodes."""
     results = []
     for mode in modes:
         for factor in factors:
             results.append(measure_load(
-                replace(base, mode=mode, overload=factor, audit=True)))
+                replace(base, mode=mode, overload=factor, audit=True),
+                recorder=recorder))
     return results

@@ -1,0 +1,255 @@
+"""Fabric flight recorder: bounded time-series telemetry.
+
+The tracer answers *what happened to one packet*; the flight recorder
+answers *what was the fabric doing over time*.  A
+:class:`FlightRecorder` periodically snapshots a set of registered
+instruments into a bounded ring of time-series points:
+
+* **counters** (monotone tallies — frames sent/received, messages shed)
+  are sampled as deltas and stored as per-second *rates*, so the
+  timeline shows instantaneous throughput, not lifetime totals;
+* **gauges** (instantaneous occupancy — pending posts, reorder-park
+  population, sender outstanding bytes, backpressure level) are stored
+  as read;
+* **marks** are point annotations (``partition p001<->p002``,
+  ``backpressure HARD ch17``) injected by the chaos engine's scripted
+  actions and the load generator's flow-signal transitions, so fault
+  and overload episodes are visible against the curves they bend.
+
+The ring is a ``deque(maxlen=...)``: sampling never grows memory
+unboundedly and never throws away the recent past.  Exports:
+:meth:`FlightRecorder.export_jsonl` (one sample or mark per line),
+:meth:`FlightRecorder.counter_tracks` (Perfetto ``"C"`` counter tracks
+for :func:`repro.runtime.tracing.export_chrome_trace`), and
+:meth:`FlightRecorder.render_timeline` (ASCII plot via
+:func:`repro.analysis.asciiplot.plot_series`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Callable, Deque, Dict, IO, List, Optional, Sequence, Tuple,
+)
+
+from repro.analysis.asciiplot import plot_series
+
+#: Default sampling cadence: fine enough to see a 100ms partition, far
+#: coarser than the event loop tick so sampling never shapes the run.
+DEFAULT_INTERVAL = 0.01
+
+#: Default ring capacity (samples retained).
+DEFAULT_SAMPLES = 4096
+
+
+@dataclass(slots=True)
+class TelemetrySample:
+    """One snapshot: every registered instrument at one instant."""
+
+    ts_ns: int
+    values: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"ts_ns": self.ts_ns, "series": self.values}
+
+
+class FlightRecorder:
+    """A bounded periodic sampler over counters, gauges, and marks."""
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL,
+                 capacity: int = DEFAULT_SAMPLES) -> None:
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        if capacity < 1:
+            raise ValueError("the sample ring needs a positive capacity")
+        self.interval = interval
+        self.capacity = capacity
+        self.samples: Deque[TelemetrySample] = deque(maxlen=capacity)
+        self.marks: List[Tuple[int, str]] = []
+        self.dropped = 0          #: samples lost to ring wrap-around
+        self._counters: Dict[str, Callable[[], float]] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._last_counts: Dict[str, float] = {}
+        self._last_ts: Optional[int] = None
+        self._task: Optional["asyncio.Task"] = None
+
+    # -- instrument registry --------------------------------------------------
+
+    def register_counter(self, name: str, read: Callable[[], float]) -> None:
+        """Register a monotone tally; sampled as a per-second rate.
+
+        Re-registering a name swaps the instrument (a sweep reuses peer
+        names across cells) and resets its delta baseline, so the first
+        sample of the new instrument can never yield a negative rate.
+        """
+        self._counters[name] = read
+        self._last_counts.pop(name, None)
+
+    def register_gauge(self, name: str, read: Callable[[], float]) -> None:
+        """Register an instantaneous occupancy; sampled as read."""
+        self._gauges[name] = read
+
+    def register_endpoint(self, endpoint: object) -> None:
+        """Wire up the standard per-endpoint instruments: send/receive
+        throughput (rates) and queued-but-unflushed frames (gauge)."""
+        name = getattr(endpoint, "name", repr(endpoint))
+        counters = endpoint.counters  # type: ignore[attr-defined]
+        self.register_counter(
+            f"{name}/tx", lambda c=counters: c.get("frames_sent"))
+        self.register_counter(
+            f"{name}/rx", lambda c=counters: c.get("frames_received"))
+        self.register_gauge(
+            f"{name}/pending",
+            lambda ep=endpoint: float(ep.pending_posts))  # type: ignore[attr-defined]
+
+    def annotate(self, label: str) -> None:
+        """Drop a point annotation at the current instant."""
+        self.marks.append((time.perf_counter_ns(), label))
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample_once(self) -> TelemetrySample:
+        """Take one snapshot now (also the final flush on stop)."""
+        now = time.perf_counter_ns()
+        values: Dict[str, float] = {}
+        dt = ((now - self._last_ts) / 1e9
+              if self._last_ts is not None else 0.0)
+        for name, read in self._counters.items():
+            try:
+                count = float(read())
+            except Exception:
+                continue  # a closed endpoint's instrument just goes dark
+            last = self._last_counts.get(name)
+            self._last_counts[name] = count
+            if last is None or dt <= 0:
+                values[name] = 0.0
+            else:
+                values[name] = (count - last) / dt
+        for name, read in self._gauges.items():
+            try:
+                values[name] = float(read())
+            except Exception:
+                continue
+        self._last_ts = now
+        sample = TelemetrySample(ts_ns=now, values=values)
+        if len(self.samples) == self.capacity:
+            self.dropped += 1
+        self.samples.append(sample)
+        return sample
+
+    async def _run(self) -> None:
+        while True:
+            self.sample_once()
+            await asyncio.sleep(self.interval)
+
+    def start(self) -> None:
+        """Begin periodic sampling on the running event loop."""
+        if self._task is not None and not self._task.done():
+            return
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop sampling and take one final snapshot."""
+        task = self._task
+        self._task = None
+        if task is not None and not task.done():
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self.sample_once()
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def base_ns(self) -> int:
+        stamps = [s.ts_ns for s in self.samples]
+        stamps += [ts for ts, _label in self.marks]
+        return min(stamps) if stamps else 0
+
+    def series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-instrument ``(seconds since start, value)`` points."""
+        base = self.base_ns
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for sample in self.samples:
+            t = (sample.ts_ns - base) / 1e9
+            for name, value in sample.values.items():
+                out.setdefault(name, []).append((t, value))
+        return out
+
+    def aggregated_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Instrument series summed across endpoints by metric suffix
+        (``p000/tx + p001/tx + ... -> tx``) — the fabric-wide curves the
+        ASCII timeline plots."""
+        base = self.base_ns
+        out: Dict[str, List[Tuple[float, float]]] = {}
+        for sample in self.samples:
+            t = (sample.ts_ns - base) / 1e9
+            sums: Dict[str, float] = {}
+            for name, value in sample.values.items():
+                suffix = name.rsplit("/", 1)[-1]
+                sums[suffix] = sums.get(suffix, 0.0) + value
+            for suffix, value in sums.items():
+                out.setdefault(suffix, []).append((t, value))
+        return out
+
+    # -- exports --------------------------------------------------------------
+
+    def export_jsonl(self, fh: IO[str]) -> int:
+        """One JSON object per line: samples (``series``) and marks
+        (``mark``), merged in time order.  Returns the line count."""
+        records: List[Tuple[int, Dict[str, object]]] = [
+            (sample.ts_ns, sample.to_dict()) for sample in self.samples
+        ]
+        records += [
+            (ts, {"ts_ns": ts, "mark": label}) for ts, label in self.marks
+        ]
+        records.sort(key=lambda item: item[0])
+        for _ts, record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        return len(records)
+
+    def counter_tracks(self) -> List[Dict[str, object]]:
+        """Perfetto counter tracks for ``export_chrome_trace``."""
+        tracks: Dict[str, List[Tuple[int, float]]] = {}
+        for sample in self.samples:
+            for name, value in sample.values.items():
+                tracks.setdefault(name, []).append((sample.ts_ns, value))
+        return [{"name": name, "points": points}
+                for name, points in sorted(tracks.items())]
+
+    def render_timeline(self, width: int = 64, height: int = 12) -> str:
+        """ASCII timeline: fabric-wide curves plus the mark log."""
+        series = {name: points
+                  for name, points in self.aggregated_series().items()
+                  if any(value for _t, value in points)}
+        if not series:
+            return "flight recorder: no samples"
+        plot = plot_series(series, width=width, height=height,
+                           x_label="s", y_label="rate/occupancy",
+                           y_format="{:.0f}")
+        lines = [
+            f"flight recorder: {len(self.samples)} samples @ "
+            f"{self.interval * 1e3:.0f}ms"
+            + (f" ({self.dropped} dropped to ring wrap)"
+               if self.dropped else ""),
+            plot,
+        ]
+        if self.marks:
+            base = self.base_ns
+            lines.append("marks:")
+            for ts, label in self.marks:
+                lines.append(f"  {(ts - base) / 1e9:8.3f}s  {label}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlightRecorder({len(self.samples)} samples, "
+            f"{len(self._counters)} counters, {len(self._gauges)} gauges, "
+            f"{len(self.marks)} marks)"
+        )

@@ -50,6 +50,7 @@ class EventType(enum.Enum):
     """What happened to a packet (or timer) at one instant."""
 
     SEND = "SEND"              #: first transmission of a data/control frame
+    FLUSH = "FLUSH"            #: an enqueued frame's datagram hit the wire
     RECV = "RECV"              #: a data/control frame arrived and decoded
     RETRANSMIT = "RETRANSMIT"  #: the timer wheel resent a tracked frame
     ACK_TX = "ACK_TX"          #: an acknowledgement frame was sent
@@ -77,7 +78,15 @@ class EventType(enum.Enum):
 class TraceEvent:
     """One recorded instant.  ``aux`` is the frame's auxiliary word
     (data offset for bulk DATA, high-water mark for FINAL_ACK, -1 when
-    the event carries none)."""
+    the event carries none).
+
+    The trailing fields serve cross-peer journey reconstruction:
+    ``dur_ns`` is a work interval ending at (FLUSH: time since the
+    flush tick started) or starting at (RECV: decode time) ``ts_ns``;
+    ``origin`` / ``origin_ts_ns`` are the wire-propagated trace context
+    on a RECV — the sending endpoint's id and the exact ``ts_ns`` of
+    its SEND event (``-1`` when the frame carried none).
+    """
 
     ts_ns: int
     etype: EventType
@@ -89,6 +98,9 @@ class TraceEvent:
     attempt: int
     kind: str         # frame kind name ("DATA", "CUM_ACK", ...) or ""
     feature: Optional[Feature]
+    dur_ns: int = 0
+    origin: int = -1
+    origin_ts_ns: int = -1
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +114,9 @@ class TraceEvent:
             "attempt": self.attempt,
             "kind": self.kind,
             "feature": self.feature.value if self.feature else None,
+            "dur_ns": self.dur_ns,
+            "origin": self.origin,
+            "origin_ts_ns": self.origin_ts_ns,
         }
 
 
@@ -306,20 +321,28 @@ class Tracer:
 
     def emit(self, etype: EventType, endpoint: str, channel: int = 0,
              seq: int = 0, aux: int = -1, attempt: int = 0, kind: str = "",
-             feature: Optional[Feature] = None) -> None:
+             feature: Optional[Feature] = None, ts_ns: int = 0,
+             dur_ns: int = 0, origin: int = -1,
+             origin_ts_ns: int = -1) -> None:
         """Record one event (no-op when disabled).
 
         Instrumentation sites should still guard with ``if
         tracer.enabled`` where building the arguments costs anything —
         but a disabled tracer's ``emit`` is rebound to a no-op at
         construction, so even unguarded calls stay near-free.
+
+        ``ts_ns`` overrides the event timestamp (0 → stamp now): the
+        endpoint uses it to make a SEND event's timestamp *identical*
+        to the trace context it put on the wire, and to stamp every
+        sub-frame of a batch with the container's arrival instant.
         """
         if not self.enabled:
             return
         event = TraceEvent(
-            ts_ns=time.perf_counter_ns(), etype=etype, label=self.label,
-            endpoint=endpoint, channel=channel, seq=seq, aux=aux,
-            attempt=attempt, kind=kind, feature=feature,
+            ts_ns=ts_ns or time.perf_counter_ns(), etype=etype,
+            label=self.label, endpoint=endpoint, channel=channel, seq=seq,
+            aux=aux, attempt=attempt, kind=kind, feature=feature,
+            dur_ns=dur_ns, origin=origin, origin_ts_ns=origin_ts_ns,
         )
         self._ring[self._n % self._capacity] = event
         self._n += 1
@@ -394,7 +417,9 @@ def _track_name(label: str, endpoint: str) -> str:
 
 
 def export_chrome_trace(events: Sequence[TraceEvent], fh: IO[str],
-                        spans: Sequence[Mapping[str, object]] = ()) -> int:
+                        spans: Sequence[Mapping[str, object]] = (),
+                        flows: Sequence[Mapping[str, object]] = (),
+                        counters: Sequence[Mapping[str, object]] = ()) -> int:
     """Write Chrome/Perfetto ``trace_event`` JSON.
 
     * every :class:`TraceEvent` becomes an instant event (``"ph": "i"``)
@@ -403,6 +428,15 @@ def export_chrome_trace(events: Sequence[TraceEvent], fh: IO[str],
       ``start_ns``, ``dur_ns`` and optional ``args`` (see
       :func:`repro.analysis.tracereport.lifecycle_spans`) — becomes a
       complete duration event (``"ph": "X"``);
+    * each entry of ``flows`` — dicts with ``name``, ``from_track``,
+      ``from_ts_ns``, ``to_track``, ``to_ts_ns`` (see
+      :func:`repro.analysis.journey.journey_flows`) — becomes a flow
+      arrow (``"ph": "s"`` / ``"ph": "f"``) linking the sender's track
+      to the receiver's, so Perfetto draws the cross-peer hop;
+    * each entry of ``counters`` — dicts with ``name`` and ``points``
+      (a sequence of ``(ts_ns, value)`` pairs, see
+      :meth:`repro.runtime.telemetry.FlightRecorder.counter_tracks`) —
+      becomes a Perfetto counter track (``"ph": "C"``);
     * tracks are named via ``thread_name`` metadata so Perfetto shows
       ``finite/cm5:src`` instead of bare thread ids.
 
@@ -419,6 +453,8 @@ def export_chrome_trace(events: Sequence[TraceEvent], fh: IO[str],
 
     starts = [e.ts_ns for e in events]
     starts += [int(s["start_ns"]) for s in spans]
+    starts += [int(f["from_ts_ns"]) for f in flows]
+    starts += [int(p[0]) for c in counters for p in c["points"]]  # type: ignore[index]
     base_ns = min(starts) if starts else 0
 
     records: List[Dict[str, object]] = []
@@ -454,6 +490,29 @@ def export_chrome_trace(events: Sequence[TraceEvent], fh: IO[str],
             "tid": tid_of(str(span["track"])),
             "args": dict(span.get("args", {})),  # type: ignore[arg-type]
         })
+    for index, flow in enumerate(flows):
+        name = str(flow["name"])
+        flow_id = int(flow.get("id", index + 1))  # type: ignore[arg-type]
+        records.append({
+            "name": name, "cat": "journey", "ph": "s", "id": flow_id,
+            "ts": (int(flow["from_ts_ns"]) - base_ns) / 1000.0,
+            "pid": 1, "tid": tid_of(str(flow["from_track"])),
+        })
+        records.append({
+            "name": name, "cat": "journey", "ph": "f", "bp": "e",
+            "id": flow_id,
+            "ts": (int(flow["to_ts_ns"]) - base_ns) / 1000.0,
+            "pid": 1, "tid": tid_of(str(flow["to_track"])),
+        })
+    for counter in counters:
+        name = str(counter["name"])
+        for ts_ns, value in counter["points"]:  # type: ignore[union-attr]
+            records.append({
+                "name": name, "cat": "telemetry", "ph": "C",
+                "ts": (int(ts_ns) - base_ns) / 1000.0,
+                "pid": 1,
+                "args": {"value": value},
+            })
     metadata: List[Dict[str, object]] = [{
         "name": "process_name", "ph": "M", "pid": 1,
         "args": {"name": "repro live runtime"},

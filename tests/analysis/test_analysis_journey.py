@@ -1,0 +1,238 @@
+"""Unit + integration tests for cross-peer journey reconstruction."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.journey import (
+    STAGE_ORDER,
+    estimate_clock_offsets,
+    export_journeys_jsonl,
+    journey_flows,
+    journey_stats,
+    origin_id,
+    reconstruct_journeys,
+    render_journey_table,
+    render_stage_summary,
+)
+from repro.runtime.runner import measure_live
+from repro.runtime.tracing import EventType, TraceEvent, Tracer
+
+
+def ev(etype, endpoint, ts_ns, *, label="run", channel=1, seq=0, aux=-1,
+       kind="", dur_ns=0, origin=-1, origin_ts_ns=-1):
+    return TraceEvent(
+        ts_ns=ts_ns, etype=etype, label=label, endpoint=endpoint,
+        channel=channel, seq=seq, aux=aux, attempt=0, kind=kind,
+        feature=None, dur_ns=dur_ns, origin=origin,
+        origin_ts_ns=origin_ts_ns,
+    )
+
+
+def synthetic_chain(*, send=1_000, queue=100, flush=50, wire=400, decode=30,
+                    park=0, deliver=80, seq=0, label="run"):
+    """One complete src->dst DATA chain with exact stage durations."""
+    flush_end = send + queue + flush
+    arrival = flush_end + wire
+    events = [
+        ev(EventType.SEND, "src", send, label=label, seq=seq, kind="DATA"),
+        ev(EventType.FLUSH, "src", flush_end, label=label, seq=seq,
+           kind="DATA", dur_ns=flush),
+        ev(EventType.RECV, "dst", arrival, label=label, seq=seq,
+           kind="DATA", dur_ns=decode, origin=origin_id("src"),
+           origin_ts_ns=send),
+    ]
+    if park:
+        events.append(ev(EventType.PARK, "dst", arrival + decode,
+                         label=label, seq=seq))
+        events.append(ev(EventType.UNPARK, "dst", arrival + decode + park,
+                         label=label, seq=seq))
+    events.append(ev(EventType.DELIVER, "dst",
+                     arrival + decode + park + deliver,
+                     label=label, seq=seq))
+    return events
+
+
+class TestReconstruction:
+    def test_stage_decomposition_is_exact(self):
+        journeys = reconstruct_journeys(synthetic_chain(park=60))
+        (j,) = journeys
+        assert j.complete
+        assert j.context_matched
+        assert j.src == "src" and j.dst == "dst"
+        assert j.stages == {"queue": 100, "flush": 50, "wire": 400,
+                            "decode": 30, "park": 60, "deliver": 80}
+        assert j.total_ns == 100 + 50 + 400 + 30 + 60 + 80
+        assert j.stage_sum_ns == j.total_ns
+
+    def test_stage_sum_telescopes_to_end_to_end(self):
+        events = synthetic_chain(queue=7, flush=3, wire=11, decode=5,
+                                 park=13, deliver=2)
+        (j,) = reconstruct_journeys(events)
+        assert j.stage_sum_ns == j.total_ns
+
+    def test_missing_send_yields_incomplete_unmatched_journey(self):
+        events = [e for e in synthetic_chain()
+                  if e.etype is not EventType.SEND]
+        (j,) = reconstruct_journeys(events)
+        assert not j.complete
+        assert not j.context_matched
+        assert j.dst == "dst"
+
+    def test_foreign_context_does_not_match(self):
+        """A RECV whose context names a different send (ring overwrote
+        the real one) still yields a journey, flagged unmatched."""
+        events = synthetic_chain()
+        recv = [e for e in events if e.etype is EventType.RECV][0]
+        idx = events.index(recv)
+        events[idx] = ev(EventType.RECV, "dst", recv.ts_ns, seq=0,
+                         kind="DATA", dur_ns=recv.dur_ns,
+                         origin=recv.origin, origin_ts_ns=recv.origin_ts_ns - 1)
+        (j,) = reconstruct_journeys(events)
+        assert j.complete  # timeline is still whole...
+        assert not j.context_matched  # ...but the anchor is not trusted
+
+    def test_retransmit_counted(self):
+        events = synthetic_chain()
+        events.append(ev(EventType.RETRANSMIT, "src", 2_000, seq=0,
+                         kind="data"))
+        (j,) = reconstruct_journeys(events)
+        assert j.retransmits == 1
+
+    def test_duplicate_recv_keeps_first(self):
+        events = synthetic_chain()
+        events.append(ev(EventType.RECV, "dst", 99_999, seq=0, kind="DATA",
+                         dur_ns=1, origin=origin_id("src"),
+                         origin_ts_ns=1_000))
+        (j,) = reconstruct_journeys(events)
+        assert j.stages["wire"] == 400  # first arrival wins
+
+    def test_ack_return_leg(self):
+        events = synthetic_chain()  # delivers at 1660
+        events.append(ev(EventType.ACK_RX, "src", 2_160, seq=0, kind="ACK"))
+        (j,) = reconstruct_journeys(events)
+        assert j.ack_return_ns == 500
+
+    def test_cum_ack_covers_lower_seqs_only(self):
+        events = synthetic_chain(seq=3)
+        events.append(ev(EventType.ACK_RX, "src", 5_000, seq=3,
+                         kind="CUM_ACK"))  # == seq: not past it
+        events.append(ev(EventType.ACK_RX, "src", 6_000, seq=4,
+                         kind="CUM_ACK"))
+        (j,) = reconstruct_journeys(events)
+        assert j.ack_return_ns == 6_000 - j.deliver_ns
+
+    def test_journeys_sorted_by_send_time(self):
+        events = (synthetic_chain(send=5_000, seq=1)
+                  + synthetic_chain(send=1_000, seq=0))
+        seqs = [j.seq for j in reconstruct_journeys(events)]
+        assert seqs == [0, 1]
+
+
+class TestClockAlignment:
+    def test_shared_clock_offsets_are_zero(self):
+        offsets = estimate_clock_offsets(synthetic_chain())
+        assert offsets == {"dst": 0, "src": 0}
+
+    def test_symmetric_links_recover_the_skew(self):
+        """dst's clock runs 1000ns ahead; a link measured both ways at
+        equal true wire time puts the RTT midpoint at exactly 1000."""
+        skew, wire = 1_000, 200
+        events = [
+            ev(EventType.RECV, "dst", 10_000 + wire + skew, seq=0,
+               kind="DATA", origin=origin_id("src"), origin_ts_ns=10_000),
+            ev(EventType.RECV, "src", 20_000 + wire, seq=0, kind="DATA",
+               origin=origin_id("dst"), origin_ts_ns=20_000 + skew),
+            ev(EventType.SEND, "src", 10_000, seq=0, kind="DATA"),
+            ev(EventType.SEND, "dst", 20_000 + skew, seq=0, kind="DATA"),
+        ]
+        offsets = estimate_clock_offsets(events, shared_clock=False,
+                                         reference="src")
+        assert offsets["src"] == 0
+        assert offsets["dst"] == skew
+
+    def test_applied_offsets_fix_wire_stage(self):
+        skew = 1_000
+        events = synthetic_chain()
+        shifted = [
+            ev(e.etype, e.endpoint, e.ts_ns + (skew if e.endpoint == "dst"
+                                               else 0),
+               label=e.label, channel=e.channel, seq=e.seq, aux=e.aux,
+               kind=e.kind, dur_ns=e.dur_ns, origin=e.origin,
+               origin_ts_ns=e.origin_ts_ns)
+            for e in events
+        ]
+        (j,) = reconstruct_journeys(shifted,
+                                    offsets={"src": 0, "dst": skew})
+        assert j.stages["wire"] == 400
+        assert j.stage_sum_ns == j.total_ns
+
+
+class TestStatsAndRendering:
+    def test_stats_coverage_and_stage_histograms(self):
+        events = (synthetic_chain(send=1_000, seq=0)
+                  + synthetic_chain(send=10_000, seq=1, park=40))
+        stats = journey_stats(reconstruct_journeys(events))
+        assert stats.delivered == 2
+        assert stats.complete == 2
+        assert stats.coverage == 1.0
+        assert stats.worst_stage_error == 0.0
+        assert stats.stage_hists["queue"].count == 2
+        assert set(stats.stage_hists) == set(STAGE_ORDER)
+
+    def test_coverage_drops_with_incomplete_journeys(self):
+        complete = synthetic_chain(seq=0)
+        headless = [e for e in synthetic_chain(send=9_000, seq=1)
+                    if e.etype is not EventType.SEND]
+        stats = journey_stats(reconstruct_journeys(complete + headless))
+        assert stats.delivered == 2
+        assert stats.complete == 1
+        assert stats.coverage == 0.5
+
+    def test_renderings_mention_the_key_facts(self):
+        journeys = reconstruct_journeys(synthetic_chain(park=60))
+        table = render_journey_table(journeys)
+        summary = render_stage_summary(journey_stats(journeys))
+        assert "src->dst" in table
+        assert "coverage" in summary
+        assert "end-to-end" in summary
+
+    def test_flows_and_jsonl_export(self):
+        journeys = reconstruct_journeys(synthetic_chain())
+        (flow,) = journey_flows(journeys)
+        assert flow["from_track"] == "run:src"
+        assert flow["to_track"] == "run:dst"
+        assert flow["to_ts_ns"] > flow["from_ts_ns"]
+        buf = io.StringIO()
+        assert export_journeys_jsonl(journeys, buf) == 1
+        record = json.loads(buf.getvalue())
+        assert record["complete"] is True
+        assert set(record["stages"]) <= set(STAGE_ORDER)
+
+
+class TestLiveIntegration:
+    @pytest.mark.parametrize("mode", ["cm5", "cr"])
+    def test_live_loopback_reconstructs_with_tight_stage_sums(self, mode):
+        """The tentpole acceptance, in miniature: a traced live run in
+        each mode must reconstruct >= 95% of delivered messages into
+        complete journeys whose stage sum matches end-to-end within
+        10% (exactly, on the shared loopback clock)."""
+        tracer = Tracer()
+        kwargs = (dict(drop_rate=0.05, reorder_rate=0.25, seed=7)
+                  if mode == "cm5" else {})
+        result = measure_live(
+            "indefinite", mode=mode, transport="loopback",
+            message_words=256, packet_words=16, deadline=30.0,
+            tracer=tracer, **kwargs,
+        )
+        assert result.completed
+        journeys = reconstruct_journeys(tracer.events())
+        stats = journey_stats(journeys)
+        assert stats.delivered >= 16
+        assert stats.coverage >= 0.95
+        assert stats.worst_stage_error <= 0.10
+        matched = [j for j in journeys if j.complete]
+        assert all(j.context_matched for j in matched)
+        assert all(j.stages[name] >= 0 for j in matched
+                   for name in j.stages)

@@ -11,7 +11,7 @@ from repro.analysis.tracereport import (
     render_packet_table,
     render_trace_report,
 )
-from repro.runtime.tracing import EventType, TraceEvent
+from repro.runtime.tracing import EventType, TraceEvent, Tracer
 
 LABEL = "finite/cm5"
 
@@ -204,6 +204,28 @@ class TestStatsAndRendering:
     def test_render_trace_report_empty(self):
         assert render_trace_report([]) == ""
 
+    def test_ring_wrap_is_surfaced_in_stats_and_report(self):
+        # A tiny ring loses the oldest legs; the overwritten count must
+        # flow into every stats cell and the rendered report must warn.
+        tracer = Tracer(capacity=8, label=LABEL)
+        for i in range(12):
+            tracer.emit(EventType.SEND, "src", channel=1, seq=i,
+                        aux=0, kind="DATA")
+        assert tracer.overwritten == 4
+        lifecycles = reconstruct_lifecycles(tracer.events())
+        stats = lifecycle_stats(lifecycles, overwritten=tracer.overwritten)
+        assert all(cell.truncated_events == 4 for cell in stats.values())
+        assert stats[LABEL].to_dict()["truncated_events"] == 4
+        report = render_trace_report(lifecycles,
+                                     overwritten=tracer.overwritten)
+        assert "WARNING: trace ring wrapped" in report
+        assert "4 oldest event(s) overwritten" in report
+        assert "--trace-capacity" in report
+
+    def test_no_wrap_means_no_warning(self):
+        report = render_trace_report(self._lifecycles(), overwritten=0)
+        assert "WARNING" not in report
+
 
 class TestCrosscheck:
     def test_agreement_is_silent(self):
@@ -227,6 +249,16 @@ class TestCrosscheck:
         assert crosscheck_features({Feature.BASE: 920}, buckets) == []
         assert crosscheck_features({Feature.BASE: 880}, buckets,
                                    tolerance=0.10) != []
+
+    def test_exactly_at_tolerance_is_not_a_problem(self):
+        # The gate is strictly greater-than: a 10.0% error at the
+        # default 10% tolerance passes, in either direction.
+        buckets = {Feature.BASE: 1000}
+        assert crosscheck_features({Feature.BASE: 900}, buckets) == []
+        assert crosscheck_features({Feature.BASE: 1100}, buckets) == []
+        # One nanosecond past the boundary trips it.
+        assert crosscheck_features({Feature.BASE: 899}, buckets) != []
+        assert crosscheck_features({Feature.BASE: 1101}, buckets) != []
 
 
 class TestSpans:

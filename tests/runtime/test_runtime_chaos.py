@@ -141,6 +141,56 @@ class TestInjector:
             injector.spike_latency(-0.1)
 
 
+class TestFaultAnnotations:
+    def _injector_with_log(self):
+        hub = LoopbackHub.cm5(reorder_rate=0.0)
+        hub.attach("a"), hub.attach("b"), hub.attach("c")
+        injector = ChaosInjector(hub)
+        notes = []
+        injector.on_event = notes.append
+        return injector, notes
+
+    def test_fault_schedule_changes_are_narrated(self):
+        injector, notes = self._injector_with_log()
+        injector.block_link("a", "b")
+        injector.partition_link("a", "b")
+        injector.heal_link("a", "b")
+        injector.heal_all()
+        assert notes == [
+            "block a->b",
+            "partition a<->b",
+            "heal a->b",
+            "heal all",
+        ]
+
+    def test_group_partition_and_isolation_name_the_nodes(self):
+        injector, notes = self._injector_with_log()
+        injector.partition_groups(["a"], ["b", "c"])
+        injector.isolate("c")
+        injector.heal_node("c")
+        assert notes[0] == "partition groups a | b/c"
+        assert notes[1] == "isolate c"
+        assert notes[2] == "heal c"
+
+    def test_without_observer_faults_are_silent(self):
+        hub = LoopbackHub.cm5(reorder_rate=0.0)
+        hub.attach("a"), hub.attach("b")
+        injector = ChaosInjector(hub)
+        injector.partition_link("a", "b")  # must not raise
+        injector.heal_all()
+
+    def test_recorder_receives_marks_directly(self):
+        from repro.runtime.telemetry import FlightRecorder
+
+        injector, _ = self._injector_with_log()
+        recorder = FlightRecorder()
+        injector.on_event = recorder.annotate
+        injector.partition_link("a", "b")
+        injector.heal_all()
+        labels = [label for _ts, label in recorder.marks]
+        assert labels == ["partition a<->b", "heal all"]
+
+
 class TestChaosPairs:
     def test_victim_never_sources_but_always_sinks(self):
         names = [f"p{i}" for i in range(5)]

@@ -1,0 +1,205 @@
+"""Unit tests for the fabric flight recorder."""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.runtime.telemetry import FlightRecorder, TelemetrySample
+
+
+class FakeClock:
+    """Patchable perf_counter_ns so rate math is exact."""
+
+    def __init__(self, start_ns=1_000_000):
+        self.now = start_ns
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, ns):
+        self.now += ns
+
+
+@pytest.fixture
+def clock(monkeypatch):
+    fake = FakeClock()
+    monkeypatch.setattr("repro.runtime.telemetry.time.perf_counter_ns", fake)
+    return fake
+
+
+class TestSampling:
+    def test_counter_sampled_as_rate(self, clock):
+        rec = FlightRecorder(interval=0.01)
+        count = {"v": 0}
+        rec.register_counter("tx", lambda: count["v"])
+        rec.sample_once()              # baseline: no previous, rate 0
+        count["v"] = 500
+        clock.tick(1_000_000_000)      # exactly one second
+        sample = rec.sample_once()
+        assert sample.values["tx"] == pytest.approx(500.0)
+
+    def test_first_sample_reports_zero_rate(self, clock):
+        rec = FlightRecorder()
+        rec.register_counter("tx", lambda: 12345)
+        assert rec.sample_once().values["tx"] == 0.0
+
+    def test_gauge_sampled_as_read(self, clock):
+        rec = FlightRecorder()
+        rec.register_gauge("pending", lambda: 7)
+        assert rec.sample_once().values["pending"] == 7.0
+
+    def test_raising_instrument_goes_dark_not_fatal(self, clock):
+        rec = FlightRecorder()
+        rec.register_gauge("dead", lambda: 1 / 0)
+        rec.register_gauge("alive", lambda: 3)
+        sample = rec.sample_once()
+        assert "dead" not in sample.values
+        assert sample.values["alive"] == 3.0
+
+    def test_reregistering_counter_resets_delta_baseline(self, clock):
+        """Sweeps reuse peer names across cells; the new endpoint's
+        counter starts at zero and must not read as a negative rate."""
+        rec = FlightRecorder()
+        rec.register_counter("p0/tx", lambda: 10_000)
+        rec.sample_once()
+        clock.tick(1_000_000_000)
+        rec.register_counter("p0/tx", lambda: 0)  # fresh endpoint
+        sample = rec.sample_once()
+        assert sample.values["p0/tx"] == 0.0
+
+    def test_ring_wraps_and_counts_dropped(self, clock):
+        rec = FlightRecorder(capacity=3)
+        for _ in range(5):
+            clock.tick(1_000_000)
+            rec.sample_once()
+        assert len(rec.samples) == 3
+        assert rec.dropped == 2
+
+    def test_rejects_nonpositive_interval_and_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(interval=0.0)
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestMarksAndSeries:
+    def test_annotate_stamps_now(self, clock):
+        rec = FlightRecorder()
+        rec.annotate("partition start")
+        assert rec.marks == [(clock.now, "partition start")]
+
+    def test_aggregated_series_sums_by_suffix(self, clock):
+        rec = FlightRecorder()
+        rec.register_counter("p0/tx", lambda: 0)
+        rec.register_counter("p1/tx", lambda: 0)
+        rec.register_gauge("p0/pending", lambda: 2)
+        rec.register_gauge("p1/pending", lambda: 3)
+        rec.sample_once()
+        agg = rec.aggregated_series()
+        assert agg["pending"] == [(0.0, 5.0)]
+        assert agg["tx"] == [(0.0, 0.0)]
+
+    def test_series_points_are_seconds_since_start(self, clock):
+        rec = FlightRecorder()
+        rec.register_gauge("g", lambda: 1)
+        rec.sample_once()
+        clock.tick(500_000_000)
+        rec.sample_once()
+        points = rec.series()["g"]
+        assert points[0][0] == pytest.approx(0.0)
+        assert points[1][0] == pytest.approx(0.5)
+
+
+class TestExports:
+    def _loaded(self, rec):
+        buf = io.StringIO()
+        rec.export_jsonl(buf)
+        return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+    def test_jsonl_merges_samples_and_marks_in_time_order(self, clock):
+        rec = FlightRecorder()
+        rec.register_gauge("g", lambda: 1)
+        rec.sample_once()
+        clock.tick(1_000_000)
+        rec.annotate("fault injected")
+        clock.tick(1_000_000)
+        rec.sample_once()
+        records = self._loaded(rec)
+        assert [("series" in r, "mark" in r) for r in records] == [
+            (True, False), (False, True), (True, False)]
+        assert [r["ts_ns"] for r in records] == sorted(
+            r["ts_ns"] for r in records)
+        assert records[1]["mark"] == "fault injected"
+
+    def test_counter_tracks_shape(self, clock):
+        rec = FlightRecorder()
+        rec.register_gauge("p0/pending", lambda: 4)
+        rec.sample_once()
+        clock.tick(1_000_000)
+        rec.sample_once()
+        (track,) = rec.counter_tracks()
+        assert track["name"] == "p0/pending"
+        assert [v for _ts, v in track["points"]] == [4.0, 4.0]
+
+    def test_render_timeline_includes_marks_and_wrap_warning(self, clock):
+        rec = FlightRecorder(capacity=2)
+        rec.register_gauge("g", lambda: 9)
+        for _ in range(4):
+            clock.tick(10_000_000)
+            rec.sample_once()
+        rec.annotate("heal all")
+        text = rec.render_timeline()
+        assert "heal all" in text
+        assert "2 dropped" in text
+
+    def test_render_timeline_empty(self):
+        assert "no samples" in FlightRecorder().render_timeline()
+
+    def test_sample_to_dict(self):
+        sample = TelemetrySample(ts_ns=5, values={"a": 1.0})
+        assert sample.to_dict() == {"ts_ns": 5, "series": {"a": 1.0}}
+
+
+class TestAsyncLifecycle:
+    def test_start_stop_takes_final_sample(self):
+        async def scenario():
+            rec = FlightRecorder(interval=0.005)
+            rec.register_gauge("g", lambda: 1)
+            rec.start()
+            await asyncio.sleep(0.03)
+            await rec.stop()
+            return rec
+
+        rec = asyncio.run(scenario())
+        assert len(rec.samples) >= 2
+        assert rec._task is None
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            rec = FlightRecorder(interval=0.005)
+            rec.start()
+            task = rec._task
+            rec.start()
+            assert rec._task is task
+            await rec.stop()
+
+        asyncio.run(scenario())
+
+    def test_register_endpoint_wires_standard_instruments(self):
+        class FakeCounters:
+            def get(self, name, default=0):
+                return {"frames_sent": 10, "frames_received": 4}.get(
+                    name, default)
+
+        class FakeEndpoint:
+            name = "p7"
+            counters = FakeCounters()
+            pending_posts = 2
+
+        rec = FlightRecorder()
+        rec.register_endpoint(FakeEndpoint())
+        sample = rec.sample_once()
+        assert set(sample.values) == {"p7/tx", "p7/rx", "p7/pending"}
+        assert sample.values["p7/pending"] == 2.0

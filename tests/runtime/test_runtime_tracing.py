@@ -158,6 +158,43 @@ class TestLatencyHistogram:
         assert hist.mean_ns == 0.0
         assert hist.to_dict()["count"] == 0
 
+    def test_empty_percentiles_are_zero_at_every_quantile(self):
+        hist = LatencyHistogram()
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.percentile(q) == 0
+
+    def test_single_sample_is_every_percentile(self):
+        hist = LatencyHistogram()
+        hist.record(777)
+        assert hist.p50 == 777
+        assert hist.p90 == 777
+        assert hist.p99 == 777
+        assert hist.mean_ns == 777.0
+        assert hist.min_ns == hist.max_ns == 777
+
+    def test_overflow_bucket_collects_everything_past_the_top(self):
+        # Bucket index is clamped at HISTOGRAM_BUCKETS - 1, so any value
+        # with bit_length > HISTOGRAM_BUCKETS shares the last bucket.
+        hist = LatencyHistogram()
+        top = 1 << (HISTOGRAM_BUCKETS - 1)
+        for ns in (top, top * 2, top * 1000):
+            hist.record(ns)
+        assert hist._counts[-1] == 3
+        assert sum(hist._counts[:-1]) == 0
+        # Interpolation caps at the overflow bucket's upper edge, so
+        # percentiles stay bounded even when the data does not.
+        assert hist.min_ns <= hist.p50 <= hist.max_ns
+        assert hist.percentile(1.0) == 1 << HISTOGRAM_BUCKETS
+        assert hist.percentile(1.0) <= hist.max_ns
+
+    def test_percentile_rejects_out_of_range_quantiles(self):
+        hist = LatencyHistogram()
+        hist.record(10)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.01)
+        with pytest.raises(ValueError):
+            hist.percentile(1.01)
+
 
 class TestExporters:
     def _events(self):
