@@ -370,6 +370,56 @@ def check(baseline: dict, fresh: dict) -> list:
                     f"(bound: {bound:.3f}s = 2x heartbeat dead_after)"
                 )
 
+    # --- fabric collectives (ISSUE 9) ---------------------------------
+    # Absolute gates only (the sweep is seeded but timing-sensitive, so
+    # no relative drift check): every collective op completes in both
+    # substrate modes with a clean payload audit, the eager/rendezvous
+    # sweep locates a crossover with each protocol winning its home
+    # turf, and the partition-heal broadcast keeps an exactly-once
+    # ledger at every receiver.
+    coll = _dig(fresh, "coll", default={}) or {}
+    if not coll:
+        problems.append("fresh payload is missing the collective rows")
+    for op in ("broadcast", "scatter", "gather", "all_reduce"):
+        for mode in ("cm5", "cr"):
+            row = coll.get(f"coll/{op}/{mode}")
+            if row is None:
+                problems.append(f"collective row coll/{op}/{mode} is missing")
+                continue
+            if not row.get("completed", False):
+                problems.append(f"collective {op}/{mode} did not complete")
+            if not row.get("audit_clean", False):
+                problems.append(f"collective {op}/{mode} payload audit is dirty")
+    sweep = coll.get("coll/crossover")
+    if sweep is None:
+        problems.append("fresh payload is missing the collective crossover sweep")
+    else:
+        if sweep.get("crossover_words") is None:
+            problems.append(
+                "collective sweep found no eager/rendezvous crossover")
+        if not sweep.get("eager_wins_smallest"):
+            problems.append(
+                "eager no longer wins the smallest collective payload")
+        if not sweep.get("rendezvous_wins_largest"):
+            problems.append(
+                "rendezvous no longer wins the largest collective payload")
+    for mode in ("cm5", "cr"):
+        row = coll.get(f"coll/partition/{mode}")
+        if row is None:
+            problems.append(
+                f"collective partition row coll/partition/{mode} is missing")
+            continue
+        if not row.get("healed_in_flight", False):
+            problems.append(
+                f"collective partition scenario ({mode}) never cut a "
+                "broadcast mid-flight"
+            )
+        if not row.get("all_clean", False):
+            problems.append(
+                f"collective partition broadcast ({mode}) audit is dirty: "
+                f"{row.get('audits')}"
+            )
+
     # Per-protocol wire stats: no CM-5 protocol may drift to one-ack-per-
     # packet behaviour once it has coalescing in the baseline.
     for cell, record in (_dig(fresh, "protocols", default={}) or {}).items():
@@ -446,6 +496,22 @@ def main(argv: list) -> int:
             f"broken={len(record.get('broken_lanes', []))}"
             f"{detect} "
             f"ft={record.get('fault_tolerance_share', 0.0):.1%}"
+        )
+    coll = _dig(fresh, "coll", default={}) or {}
+    sweep = coll.get("coll/crossover")
+    if sweep is not None:
+        print(
+            f"  coll crossover: {sweep.get('crossover_words')} words "
+            f"(wire latency {sweep.get('wire_latency_s', 0.0) * 1e3:.2f}ms, "
+            f"sizes {sweep.get('sizes')})"
+        )
+    for cell, record in sorted(coll.items()):
+        if cell == "coll/crossover" or "/partition/" in cell:
+            continue
+        print(
+            f"  {cell}: {record.get('payload_words')}w "
+            f"modes={record.get('transfer_modes')} "
+            f"{record.get('total_ns', 0) / 1e6:.2f}ms audit-clean"
         )
     return 0
 

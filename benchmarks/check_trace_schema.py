@@ -40,6 +40,12 @@ Three artifact kinds, one per exporter:
   instrument readings) or a mark (``ts_ns`` + ``mark`` label), in
   non-decreasing time order.
 
+* ``--kind collective`` — the transfer-record JSONL ``python -m repro
+  runtime collect --export`` emits: one collective leg per line with
+  the op/root/peer identity, the eager-or-rendezvous protocol choice,
+  and the handshake/transfer/total nanosecond decomposition (eager
+  legs must carry a zero handshake — they have no GRANT round-trip).
+
 Exits 0 on a valid file, 1 listing every violation, 2 on usage errors.
 """
 
@@ -265,11 +271,79 @@ def check_timeline(text: str, min_samples: int = 1,
     return problems
 
 
+COLLECTIVE_OPS = {"broadcast", "scatter", "gather", "all_reduce"}
+COLLECTIVE_MODES = {"eager", "rendezvous"}
+
+
+def check_collectives(text: str, min_transfers: int = 1) -> list:
+    records, problems = _read_jsonl(text)
+    complete = 0
+    modes_seen = set()
+    ops_seen = set()
+    for lineno, record in records:
+        where = f"line {lineno}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, kinds in (("op", str), ("op_id", int), ("root", str),
+                           ("peer", str), ("mode", str),
+                           ("payload_words", int), ("hdr_retries", int),
+                           ("complete", bool)):
+            if not isinstance(record.get(key), kinds):
+                problems.append(f"{where}: {key!r} must be "
+                                f"{kinds.__name__}, "
+                                f"got {record.get(key)!r}")
+        op = record.get("op")
+        if isinstance(op, str) and op not in COLLECTIVE_OPS:
+            problems.append(f"{where}: unknown op {op!r}")
+        else:
+            ops_seen.add(op)
+        mode = record.get("mode")
+        if isinstance(mode, str) and mode not in COLLECTIVE_MODES:
+            problems.append(f"{where}: unknown mode {mode!r}")
+        else:
+            modes_seen.add(mode)
+        if record.get("payload_words", 0) <= 0:
+            problems.append(f"{where}: payload_words must be positive")
+        for key in ("handshake_ns", "transfer_ns", "total_ns"):
+            value = record.get(key)
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"{where}: {key!r} must be a "
+                                f"non-negative integer, got {value!r}")
+        if (mode == "eager" and record.get("handshake_ns", 0) != 0):
+            problems.append(f"{where}: eager legs have no GRANT "
+                            "round-trip, handshake_ns must be 0")
+        if (mode == "rendezvous" and record.get("complete")
+                and record.get("handshake_ns", 0) <= 0):
+            problems.append(f"{where}: complete rendezvous leg needs a "
+                            "positive handshake_ns")
+        if record.get("complete"):
+            complete += 1
+            total = record.get("total_ns", 0)
+            transfer = record.get("transfer_ns", 0)
+            handshake = record.get("handshake_ns", 0)
+            if (isinstance(total, int) and isinstance(transfer, int)
+                    and isinstance(handshake, int)
+                    and handshake + transfer > total):
+                problems.append(
+                    f"{where}: handshake {handshake} + transfer "
+                    f"{transfer} exceeds total {total}")
+    if complete < min_transfers:
+        problems.append(f"only {complete} complete transfer(s); "
+                        f"expected at least {min_transfers}")
+    if not problems:
+        print(f"collective schema ok: {len(records)} transfers "
+              f"({complete} complete, ops {sorted(ops_seen)}, "
+              f"modes {sorted(modes_seen)})")
+    return problems
+
+
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="exported artifact file")
     parser.add_argument("--kind", default="trace",
-                        choices=["trace", "journey", "timeline"],
+                        choices=["trace", "journey", "timeline",
+                                 "collective"],
                         help="artifact kind (default: chrome trace JSON)")
     parser.add_argument("--min-instants", type=int, default=1)
     parser.add_argument("--min-journeys", type=int, default=1,
@@ -280,6 +354,9 @@ def main(argv: list) -> int:
                         help="timeline kind: minimum samples")
     parser.add_argument("--min-marks", type=int, default=0,
                         help="timeline kind: minimum marks")
+    parser.add_argument("--min-transfers", type=int, default=1,
+                        help="collective kind: minimum complete "
+                             "transfer records")
     args = parser.parse_args(argv[1:])
     try:
         text = Path(args.trace).read_text()
@@ -289,6 +366,9 @@ def main(argv: list) -> int:
     if args.kind == "journey":
         problems = check_journeys(text, min_journeys=args.min_journeys,
                                   stage_tolerance=args.stage_tolerance)
+    elif args.kind == "collective":
+        problems = check_collectives(text,
+                                     min_transfers=args.min_transfers)
     elif args.kind == "timeline":
         problems = check_timeline(text, min_samples=args.min_samples,
                                   min_marks=args.min_marks)

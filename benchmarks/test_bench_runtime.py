@@ -25,7 +25,7 @@ BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 #: Accumulated across the tests in this module; the last test writes it.
 RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
            "trace": {}, "fabric": {}, "overload": {}, "chaos": {},
-           "cost": {}, "obs": {}}
+           "cost": {}, "obs": {}, "coll": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -498,6 +498,67 @@ def test_chaos_scenarios(scenario, mode):
     record = result.to_record()
     record["harness_ns"] = elapsed_ns
     RESULTS["chaos"][f"{scenario}/{mode}"] = record
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+def test_collective_ops(mode):
+    """Every collective op completes on the live fabric in both
+    substrate modes with a verified (broadcast: ledger-audited
+    exactly-once) payload; rows land at ``coll/{op}/{mode}``."""
+    import asyncio
+
+    from repro.runtime import COLLECTIVE_OPS
+    from repro.runtime.collectives import measure_collective_ops
+
+    measured = asyncio.run(asyncio.wait_for(
+        measure_collective_ops(mode=mode, peers=4, payload_words=96),
+        DEADLINE))
+    assert {row["op"] for row in measured["rows"]} == set(COLLECTIVE_OPS)
+    for row in measured["rows"]:
+        assert row["completed"], f"coll {row['op']}/{mode} incomplete"
+        assert row["audit_clean"], f"coll {row['op']}/{mode} audit dirty"
+        RESULTS["coll"][f"coll/{row['op']}/{mode}"] = row
+
+
+def test_collective_crossover():
+    """The measured eager/rendezvous crossover exists and points the
+    right way: eager wins the smallest payload, rendezvous the
+    largest."""
+    import asyncio
+
+    from repro.runtime.collectives import measure_crossover
+
+    sweep = asyncio.run(asyncio.wait_for(
+        measure_crossover(sizes=(16, 256, 1024, 4096), reps=3),
+        120.0))
+    sweep.pop("records")
+    assert sweep["eager_wins_smallest"], (
+        f"eager lost its home turf: {sweep['eager_ns']} vs "
+        f"{sweep['rendezvous_ns']}"
+    )
+    assert sweep["rendezvous_wins_largest"], (
+        f"rendezvous lost its home turf: {sweep['eager_ns']} vs "
+        f"{sweep['rendezvous_ns']}"
+    )
+    assert sweep["crossover_words"] is not None
+    RESULTS["coll"]["coll/crossover"] = sweep
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+def test_collective_partition_broadcast(mode):
+    """A broadcast driven through a partition-heal completes with a
+    clean exactly-once audit at every receiving peer."""
+    import asyncio
+
+    from repro.runtime.collectives import run_broadcast_partition
+
+    out = asyncio.run(asyncio.wait_for(run_broadcast_partition(
+        mode=mode, peers=4, rounds=3, payload_words=64,
+        heal_after=0.15), 60.0))
+    out.pop("records")
+    assert out["healed_in_flight"]
+    assert out["all_clean"], f"partition audit dirty: {out['audits']}"
+    RESULTS["coll"][f"coll/partition/{mode}"] = out
 
 
 def test_write_bench_json():

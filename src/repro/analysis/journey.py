@@ -133,6 +133,8 @@ def estimate_clock_offsets(
     events: Sequence[TraceEvent],
     shared_clock: bool = True,
     reference: Optional[str] = None,
+    roster: Optional[Sequence[str]] = None,
+    uncovered: Optional[set] = None,
 ) -> Dict[str, int]:
     """Per-endpoint clock offsets onto a reference endpoint's clock.
 
@@ -144,10 +146,19 @@ def estimate_clock_offsets(
     ``recv_arrival - origin_ts`` bounds ``wire + theta`` from below, so
     a link measured in both directions yields the RTT-midpoint estimate
     ``theta = (min_d_ab - min_d_ba) / 2``; estimates propagate
-    breadth-first from the reference endpoint, and endpoints no
-    measured link reaches keep offset zero.
+    breadth-first from the reference endpoint.
+
+    The measured link graph need not be connected.  ``roster`` names
+    every *joined* peer — including ones that have produced no traffic
+    (and hence no events) yet — so each appears in the result and a
+    silent peer can legitimately serve as ``reference``.  Endpoints the
+    breadth-first propagation cannot reach from the reference keep
+    offset zero and are reported into ``uncovered`` (a caller-supplied
+    set) rather than being silently presented as aligned; journeys
+    touching them should be treated as unaligned across clocks.
     """
-    endpoints = sorted({e.endpoint for e in events if e.endpoint})
+    endpoints = sorted({e.endpoint for e in events if e.endpoint}
+                       | set(roster or ()))
     offsets = {name: 0 for name in endpoints}
     if shared_clock or len(endpoints) < 2:
         return offsets
@@ -182,6 +193,8 @@ def estimate_clock_offsets(
                 offsets[b] = offsets[a] + int(round(t))
                 seen.add(b)
                 frontier.append(b)
+    if uncovered is not None:
+        uncovered.update(name for name in endpoints if name not in seen)
     return offsets
 
 

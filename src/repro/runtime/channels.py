@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.api.channel import ChannelReceiveBuffer
 from repro.api.framing import FrameAssembler, MAX_MESSAGE_WORDS
 from repro.protocols.base import packet_payload_sizes
+from repro.runtime.frames import MAX_PAYLOAD_WORDS, TRACE_CTX_WORDS
 from repro.runtime.endpoint import RuntimeEndpoint
 from repro.runtime.flowcontrol import BackpressureSignal, FlowControlConfig
 from repro.runtime.protocols import (
@@ -48,13 +49,27 @@ class LiveChannel:
     async def send(self, words: Sequence[int]) -> int:
         """Send an arbitrary-length word sequence; returns packets used."""
         words = list(words)
-        sizes = packet_payload_sizes(len(words), self.packet_words)
+        sizes = packet_payload_sizes(len(words), self._effective_packet_words())
         cursor = 0
         for take in sizes:
             await self._sender.send(words[cursor:cursor + take])
             cursor += take
         self.words_sent += len(words)
         return len(sizes)
+
+    def _effective_packet_words(self) -> int:
+        """Fragmentation quantum for one send.
+
+        Clamped to what a frame can physically carry — and when the
+        sending endpoint's tracer is armed, the 3-word trace-context
+        suffix rides inside the same frame, so a full-size packet must
+        leave room for it or the context is silently dropped on exactly
+        the packets a traced run cares about.
+        """
+        limit = MAX_PAYLOAD_WORDS
+        if self._sender.endpoint.tracer.enabled:
+            limit -= TRACE_CTX_WORDS
+        return min(self.packet_words, limit)
 
     async def drain(self, timeout: float = 30.0) -> None:
         """Wait for every sent packet to be acknowledged (no-op on CR)."""

@@ -646,6 +646,130 @@ def run_chaos_cmd(args) -> int:
     return 0
 
 
+def run_collect_cmd(args) -> int:
+    """The ``runtime collect`` command; returns a process exit code.
+
+    Three stages, each gated:
+
+    1. the **crossover sweep** — the same broadcast at every payload
+       size under eager and rendezvous *forced*, on a fault-free wire
+       with real per-datagram latency; passes when eager wins at the
+       smallest size, rendezvous at the largest, and a crossover size
+       exists between them;
+    2. the **op matrix** — broadcast, scatter, gather, and all-reduce
+       in auto-switch mode on both substrate modes; passes when every
+       op completes with a verified (broadcast: ledger-audited
+       exactly-once) payload;
+    3. the **partition chaos scenario** — broadcasts driven through a
+       scripted partition-heal in both modes; passes when every
+       receiving peer's independent audit is clean.
+    """
+    import asyncio
+
+    from repro.runtime.collectives import (
+        CROSSOVER_SIZES,
+        measure_collective_ops,
+        measure_crossover,
+        run_broadcast_partition,
+    )
+
+    modes = ("cm5", "cr") if args.mode == "both" else (args.mode,)
+    sizes = (tuple(args.sizes) if args.sizes
+             else ((16, 4096) if args.smoke else CROSSOVER_SIZES))
+    reps = 2 if args.smoke else args.reps
+    rounds = 2 if args.smoke else 3
+    failures = 0
+
+    print("repro collectives — eager/rendezvous switching on the "
+          "live fabric\n")
+
+    sweep = asyncio.run(measure_crossover(
+        sizes=sizes, peers=args.peers, reps=reps,
+        wire_latency=args.wire_latency))
+    records: List[Dict[str, Any]] = list(sweep.pop("records"))
+    print(f"crossover sweep ({args.peers} peers, wire latency "
+          f"{args.wire_latency * 1e3:.2f} ms, best of {reps}):")
+    print(f"  {'words':>6}  {'eager':>12}  {'rendezvous':>12}  winner")
+    for size in sizes:
+        eager_ns = sweep["eager_ns"][str(size)]
+        rdv_ns = sweep["rendezvous_ns"][str(size)]
+        winner = "eager" if eager_ns <= rdv_ns else "rendezvous"
+        print(f"  {size:>6}  {eager_ns / 1e6:>10.2f}ms  "
+              f"{rdv_ns / 1e6:>10.2f}ms  {winner}")
+    sweep_ok = (sweep["crossover_words"] is not None
+                and sweep["eager_wins_smallest"]
+                and sweep["rendezvous_wins_largest"])
+    if not sweep_ok:
+        failures += 1
+    print(f"  [{'ok' if sweep_ok else 'FAIL'}] "
+          + (f"crossover at {sweep['crossover_words']} words: eager "
+             "wins below, rendezvous above"
+             if sweep_ok else
+             f"no clean crossover (found={sweep['crossover_words']}, "
+             f"eager@min={sweep['eager_wins_smallest']}, "
+             f"rdv@max={sweep['rendezvous_wins_largest']})"))
+    print()
+
+    op_rows: List[Dict[str, Any]] = []
+    print(f"collective ops (auto switch, {args.payload_words} words):")
+    for mode in modes:
+        measured = asyncio.run(measure_collective_ops(
+            mode=mode, peers=args.peers,
+            payload_words=args.payload_words))
+        records.extend(measured["records"])
+        for row in measured["rows"]:
+            ok = row["completed"] and row["audit_clean"]
+            if not ok:
+                failures += 1
+            features = row["features"]
+            top = sorted(features.items(), key=lambda kv: -kv[1])[:3]
+            share = "  ".join(f"{name} {frac:.0%}" for name, frac in top)
+            print(f"  [{'ok' if ok else 'FAIL'}] {mode:>3} "
+                  f"{row['op']:<10} {row['payload_words']:>5}w "
+                  f"{'/'.join(row['transfer_modes']):<10} "
+                  f"{row['total_ns'] / 1e6:>7.2f}ms  "
+                  f"{'audit clean' if row['audit_clean'] else 'AUDIT DIRTY'}"
+                  f"  {share}")
+            op_rows.append(row)
+    print()
+
+    chaos_rows: List[Dict[str, Any]] = []
+    print("partition chaos (broadcast through a partition-heal):")
+    for mode in modes:
+        out = asyncio.run(run_broadcast_partition(
+            mode=mode, peers=args.peers, rounds=rounds,
+            payload_words=args.payload_words,
+            heal_after=0.15 if args.smoke else 0.25))
+        records.extend(out.pop("records"))
+        ok = out["all_clean"] and out["healed_in_flight"]
+        if not ok:
+            failures += 1
+        clean = sum(1 for a in out["audits"].values() if a["clean"])
+        print(f"  [{'ok' if ok else 'FAIL'}] {mode:>3}: {out['rounds']} "
+              f"rounds through the heal, {clean}/{len(out['audits'])} "
+              f"peer audits clean")
+        chaos_rows.append(out)
+    print()
+
+    if args.export:
+        with open(args.export, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record) + "\n")
+        print(f"wrote {len(records)} transfer records to {args.export}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"crossover": sweep, "ops": op_rows,
+                       "chaos": chaos_rows}, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} collective check(s) FAILED")
+        return 1
+    print("collective checks passed: both protocols complete every op, "
+          "the crossover is where the cost model says, and the "
+          "partition audit is clean.")
+    return 0
+
+
 def run_profile(args) -> int:
     """The ``runtime profile`` command; returns a process exit code.
 
@@ -828,6 +952,40 @@ def add_runtime_subparsers(parser) -> None:
                        help="tracer ring capacity in events (default "
                             f"{DEFAULT_CAPACITY})")
     chaos.set_defaults(func=run_chaos_cmd)
+
+    collect = sub.add_parser(
+        "collect", help="run fabric collectives (broadcast, scatter/"
+                        "gather, all-reduce) with eager/rendezvous "
+                        "switching, locate the measured protocol "
+                        "crossover, and drive a broadcast through a "
+                        "partition-heal with a per-peer delivery audit")
+    collect.add_argument("--mode", default="both",
+                         choices=["both", "cm5", "cr"],
+                         help="substrate mode(s) for the op matrix and "
+                              "the chaos scenario (default both)")
+    collect.add_argument("--peers", type=int, default=4,
+                         help="fabric size (default 4)")
+    collect.add_argument("--payload-words", type=int, default=96,
+                         help="payload for the op matrix and the chaos "
+                              "broadcasts (default 96)")
+    collect.add_argument("--sizes", type=int, nargs="+", default=None,
+                         help="crossover sweep payload sizes in words "
+                              "(default 16..4096)")
+    collect.add_argument("--reps", type=int, default=3,
+                         help="runs per sweep cell; the best is kept "
+                              "(default 3)")
+    collect.add_argument("--wire-latency", type=float, default=0.0005,
+                         help="per-datagram wire latency for the sweep "
+                              "in seconds (default 0.0005)")
+    collect.add_argument("--smoke", action="store_true",
+                         help="small fast configuration for CI")
+    collect.add_argument("--json", default=None,
+                         help="write the sweep/op/chaos summary to "
+                              "this JSON file")
+    collect.add_argument("--export", default=None, metavar="FILE",
+                         help="export every transfer record as JSONL "
+                              "(one collective leg per line)")
+    collect.set_defaults(func=run_collect_cmd)
 
     profile = sub.add_parser(
         "profile", help="micro-time every per-message critical-path term "

@@ -328,6 +328,17 @@ class Fabric:
         if self._connections.pop(conn.cid, None) is not None:
             self.connections_closed += 1
 
+    def collective(self, members: Optional[Sequence[str]] = None,
+                   config=None):
+        """A :class:`~repro.runtime.collectives.CollectiveGroup` over
+        ``members`` (every current peer when omitted): broadcast,
+        scatter/gather, and all-reduce with per-message eager vs
+        rendezvous protocol switching.  The group binds the collective
+        control channel on each member, so at most one group may cover
+        a given peer at a time."""
+        from repro.runtime.collectives import CollectiveGroup
+        return CollectiveGroup(self, members, config)
+
     # -- fabric-wide teardown & statistics ------------------------------------
 
     async def close(self, drain: bool = False, timeout: float = 30.0) -> None:

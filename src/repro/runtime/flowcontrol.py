@@ -224,6 +224,68 @@ class ReceiverWindow:
         return target_bytes - self.granted_bytes >= chunk
 
 
+class RendezvousAdmission:
+    """Receiver-side admission control for rendezvous bulk transfers.
+
+    The eager path is metered packet-by-packet by the credit window;
+    the rendezvous path moves whole payloads, so its unit of admission
+    is the *transfer*: a ``COLL_HDR`` asks for the full payload up
+    front, and the grant is withheld while the outstanding granted
+    bytes would exceed the bulk budget.  That bounds how much bulk data
+    can be in flight toward one receiver at a time — the rendezvous
+    analogue of the credit window — without per-packet accounting on
+    the (large-packet) bulk lane.
+
+    Grants are all-or-nothing: a transfer bigger than the whole budget
+    is still admitted (alone) rather than deadlocked, mirroring the
+    credit window's treatment of oversized sends.
+    """
+
+    def __init__(self, max_bulk_bytes: int) -> None:
+        if max_bulk_bytes < 1:
+            raise ValueError("bulk admission budget must be positive")
+        self.max_bulk_bytes = max_bulk_bytes
+        self.granted_bytes = 0       #: admitted but not yet released
+        self.admitted = 0            #: transfers granted immediately
+        self.deferred = 0            #: transfers that had to wait
+        self.peak_granted_bytes = 0
+        self._freed = asyncio.Event()
+        self._freed.set()
+
+    def _fits(self, nbytes: int) -> bool:
+        if self.granted_bytes == 0:
+            return True              # never deadlock an oversized transfer
+        return self.granted_bytes + nbytes <= self.max_bulk_bytes
+
+    def try_admit(self, nbytes: int) -> bool:
+        """Admit a transfer now if the budget allows; never waits."""
+        if not self._fits(nbytes):
+            return False
+        self.granted_bytes += nbytes
+        self.peak_granted_bytes = max(self.peak_granted_bytes,
+                                      self.granted_bytes)
+        self.admitted += 1
+        return True
+
+    async def admit(self, nbytes: int) -> None:
+        """Admit a transfer, waiting for budget to free up if needed."""
+        if self.try_admit(nbytes):
+            return
+        self.deferred += 1
+        while True:
+            self._freed.clear()
+            if self.try_admit(nbytes):  # a release raced the clear
+                return
+            await self._freed.wait()
+            if self.try_admit(nbytes):
+                return
+
+    def release(self, nbytes: int) -> None:
+        """Return a completed (or abandoned) transfer's budget."""
+        self.granted_bytes = max(0, self.granted_bytes - nbytes)
+        self._freed.set()
+
+
 class SenderWindow:
     """Sender-side estimate of the peer's remaining credit.
 
@@ -256,12 +318,28 @@ class SenderWindow:
         return self.available_bytes >= nbytes and self.available_msgs >= 1
 
     def signal(self, next_bytes: int = 0) -> BackpressureSignal:
-        """Advise the caller: byte and message headroom as fractions of
-        capacity, whichever is scarcer."""
+        """Advise the caller.
+
+        With ``next_bytes > 0`` the question is concrete — *would this
+        particular send block?* — so the answer is binary: HARD exactly
+        when the send does not fit (bytes short of ``next_bytes`` or no
+        message slot left), OK whenever it fits, **including an exact
+        fit** that consumes the last byte of credit.  Fractional
+        headroom never turns a send that fits into HARD.
+
+        With ``next_bytes == 0`` (no send offered) the signal is the
+        advisory headroom estimate: byte and message headroom as
+        fractions of capacity, whichever is scarcer, against the
+        configured soft/hard thresholds.
+        """
         cfg = self.config
+        if next_bytes > 0:
+            if not self.can_send(next_bytes):
+                return BackpressureSignal.HARD
+            return BackpressureSignal.OK
         frac = min(self.available_bytes / cfg.window_bytes,
                    self.available_msgs / cfg.window_msgs)
-        if frac <= cfg.hard_fraction or not self.can_send(next_bytes):
+        if frac <= cfg.hard_fraction or not self.can_send(0):
             return BackpressureSignal.HARD
         if frac <= cfg.soft_fraction:
             return BackpressureSignal.SOFT

@@ -133,6 +133,16 @@ class FrameKind(enum.IntEnum):
                         #: :mod:`repro.runtime.flowcontrol`), aux = epoch;
                         #: sender→receiver with an *empty* payload: a credit
                         #: probe asking for a fresh advertisement
+    COLL_HDR = 12    #: collective transfer announcement — seq = op id,
+                     #: aux = total payload words, payload[0] = protocol
+                     #: (0 eager / 1 rendezvous); rendezvous data waits
+                     #: for the matching COLL_GRANT before moving
+    COLL_GRANT = 13  #: rendezvous grant (receiver → sender) — seq = op id,
+                     #: aux = granted words; admission control may defer it
+                     #: until bulk-buffer budget frees up
+    COLL_DONE = 14   #: collective completion (receiver → initiator) —
+                     #: seq = op id, aux = words received; closes the
+                     #: initiator's end-to-end timing for that peer
 
 
 #: Value → member map: a dict hit is several times cheaper than the
@@ -146,7 +156,8 @@ _KIND_BY_VALUE: Dict[int, FrameKind] = {int(kind): kind for kind in FrameKind}
 #: already claimed by the sack list + optional credit suffix.
 TRACE_CTX_KINDS = frozenset({
     FrameKind.DATA, FrameKind.EPOCH_REQ, FrameKind.EPOCH_REPLY,
-    FrameKind.CREDIT_UPDATE,
+    FrameKind.CREDIT_UPDATE, FrameKind.COLL_HDR, FrameKind.COLL_GRANT,
+    FrameKind.COLL_DONE,
 })
 
 
@@ -473,6 +484,34 @@ def credit_update_frame(channel: int, credit: Sequence[int],
     """
     return Frame(kind=FrameKind.CREDIT_UPDATE, channel=channel,
                  aux=epoch, payload=tuple(credit))
+
+
+#: Collective protocol discriminators carried in ``COLL_HDR.payload[0]``.
+COLL_PROTO_EAGER = 0
+COLL_PROTO_RENDEZVOUS = 1
+
+
+def coll_hdr_frame(channel: int, op_id: int, total_words: int,
+                   protocol: int) -> Frame:
+    """A collective transfer announcement (initiator → peer).
+
+    ``protocol`` is :data:`COLL_PROTO_EAGER` (data is already on its
+    way into pre-granted credit) or :data:`COLL_PROTO_RENDEZVOUS` (data
+    waits for the peer's :func:`coll_grant_frame`)."""
+    return Frame(kind=FrameKind.COLL_HDR, channel=channel, seq=op_id,
+                 aux=total_words, payload=(protocol,))
+
+
+def coll_grant_frame(channel: int, op_id: int, granted_words: int) -> Frame:
+    """A rendezvous grant: the peer's bulk buffer can take the transfer."""
+    return Frame(kind=FrameKind.COLL_GRANT, channel=channel, seq=op_id,
+                 aux=granted_words)
+
+
+def coll_done_frame(channel: int, op_id: int, words_received: int) -> Frame:
+    """A collective completion receipt (peer → initiator)."""
+    return Frame(kind=FrameKind.COLL_DONE, channel=channel, seq=op_id,
+                 aux=words_received)
 
 
 def trace_context_words(origin_id: int, ts_ns: int) -> Tuple[int, int, int]:

@@ -497,6 +497,11 @@ class _LoadChannel:
         for _attempt in range(offered):
             if overload > 1.0:
                 signal = self.conn.channel.flow_signal(msg_bytes)
+                if signal is BackpressureSignal.OK:
+                    # The offered send fits (OK is binary admission);
+                    # pacing advice comes from the advisory headroom
+                    # estimate instead.
+                    signal = self.conn.channel.flow_signal()
                 if self.recorder is not None and signal is not self._last_signal:
                     # Mark episode *starts* only, debounced: the signal
                     # flaps at the SOFT boundary, and a mark per flap

@@ -69,6 +69,8 @@ class EventType(enum.Enum):
     CREDIT_RX = "CREDIT_RX"    #: a flow-control advertisement/probe arrived
     FLOW_BLOCK = "FLOW_BLOCK"      #: a sender stalled waiting for credit
     FLOW_UNBLOCK = "FLOW_UNBLOCK"  #: a credit-starved sender resumed
+    COLL_BEGIN = "COLL_BEGIN"  #: a collective operation started (label = op)
+    COLL_END = "COLL_END"      #: a collective operation completed everywhere
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -152,6 +152,52 @@ class TestClockAlignment:
         assert offsets["src"] == 0
         assert offsets["dst"] == skew
 
+    def test_silent_roster_peer_appears_with_zero_offset(self):
+        """A joined peer with no traffic yet (disconnected link graph)
+        must still appear in the offsets, not be dropped or raise."""
+        offsets = estimate_clock_offsets(
+            synthetic_chain(), shared_clock=False,
+            reference="src", roster=["src", "dst", "idle"])
+        assert offsets["idle"] == 0
+        assert set(offsets) == {"src", "dst", "idle"}
+
+    def test_unreachable_peers_reported_as_uncovered(self):
+        """BFS from the reference skips peers no measured link reaches
+        and reports them as uncovered instead of raising or silently
+        presenting them as aligned."""
+        skew, wire = 1_000, 200
+        events = [
+            ev(EventType.RECV, "dst", 10_000 + wire + skew, seq=0,
+               kind="DATA", origin=origin_id("src"), origin_ts_ns=10_000),
+            ev(EventType.RECV, "src", 20_000 + wire, seq=0, kind="DATA",
+               origin=origin_id("dst"), origin_ts_ns=20_000 + skew),
+        ]
+        uncovered = set()
+        offsets = estimate_clock_offsets(
+            events, shared_clock=False, reference="src",
+            roster=["src", "dst", "idle"], uncovered=uncovered)
+        assert offsets["dst"] == skew
+        assert uncovered == {"idle"}
+
+    def test_silent_reference_does_not_misroot_the_propagation(self):
+        """With the reference itself a traffic-less roster peer, the
+        measured component is unreachable from it: its members keep
+        offset zero and are reported uncovered — never mapped through
+        a root they share no link with."""
+        skew, wire = 1_000, 200
+        events = [
+            ev(EventType.RECV, "dst", 10_000 + wire + skew, seq=0,
+               kind="DATA", origin=origin_id("src"), origin_ts_ns=10_000),
+            ev(EventType.RECV, "src", 20_000 + wire, seq=0, kind="DATA",
+               origin=origin_id("dst"), origin_ts_ns=20_000 + skew),
+        ]
+        uncovered = set()
+        offsets = estimate_clock_offsets(
+            events, shared_clock=False, reference="idle",
+            roster=["idle"], uncovered=uncovered)
+        assert offsets == {"dst": 0, "idle": 0, "src": 0}
+        assert uncovered == {"src", "dst"}
+
     def test_applied_offsets_fix_wire_stage(self):
         skew = 1_000
         events = synthetic_chain()

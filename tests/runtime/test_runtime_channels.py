@@ -11,7 +11,9 @@ from repro.runtime import (
     open_live_channel,
     run_ordered_live,
 )
+from repro.runtime.frames import MAX_PAYLOAD_WORDS, TRACE_CTX_WORDS
 from repro.runtime.reliability import BackoffPolicy
+from repro.runtime.tracing import EventType, Tracer
 
 FAST = BackoffPolicy(initial=0.01, factor=1.5, ceiling=0.1, max_retries=12)
 
@@ -73,6 +75,80 @@ class TestLiveChannel:
                 with pytest.raises(ValueError):
                     open_live_channel(pair.src, pair.dst,
                                       window=512, reorder_window=128)
+            finally:
+                await pair.close()
+
+        drive(body())
+
+
+class TestChunkingBoundaries:
+    """Fragmentation at the frame-size ceiling, traced and untraced."""
+
+    def test_untraced_full_size_packet_is_one_frame(self, drive):
+        async def body():
+            pair = make_loopback_pair(mode="cr")
+            try:
+                channel = open_live_channel(
+                    pair.src, pair.dst, packet_words=MAX_PAYLOAD_WORDS)
+                words = list(range(MAX_PAYLOAD_WORDS))
+                packets = await channel.send(words)
+                await wait_until(
+                    lambda: len(channel.receive_buffer) >= len(words))
+                assert packets == 1
+                assert channel.receive_buffer.read() == words
+                await channel.close()
+            finally:
+                await pair.close()
+
+        drive(body())
+
+    def test_traced_full_size_send_reserves_the_context_suffix(self, drive):
+        """With a tracer armed, a full-size packet must leave room for
+        the 3-word trace context: fragmentation reserves the suffix, so
+        every DATA frame on the wire still carries its origin context
+        (before the fix, the context was silently dropped on exactly
+        the frames a traced run cares about)."""
+
+        async def body():
+            tracer = Tracer()
+            pair = make_loopback_pair(mode="cr", tracer=tracer)
+            try:
+                channel = open_live_channel(
+                    pair.src, pair.dst, packet_words=MAX_PAYLOAD_WORDS)
+                words = list(range(MAX_PAYLOAD_WORDS))
+                packets = await channel.send(words)
+                await wait_until(
+                    lambda: len(channel.receive_buffer) >= len(words))
+                # The suffix reservation forces a second fragment...
+                assert packets == 2
+                assert channel.receive_buffer.read() == words
+                # ...and every data arrival names its sending event.
+                recvs = [e for e in tracer.events()
+                         if e.etype is EventType.RECV and e.kind == "DATA"]
+                assert len(recvs) == packets
+                assert all(e.origin == pair.src.trace_origin for e in recvs)
+                assert all(e.origin_ts_ns >= 0 for e in recvs)
+                await channel.close()
+            finally:
+                await pair.close()
+
+        drive(body())
+
+    def test_traced_chunk_sizes_respect_the_reservation(self, drive):
+        async def body():
+            tracer = Tracer()
+            pair = make_loopback_pair(mode="cr", tracer=tracer)
+            try:
+                channel = open_live_channel(
+                    pair.src, pair.dst, packet_words=MAX_PAYLOAD_WORDS)
+                reserved = MAX_PAYLOAD_WORDS - TRACE_CTX_WORDS
+                # Exactly one reserved-size chunk: still a single frame.
+                assert await channel.send(list(range(reserved))) == 1
+                # One word past it spills into a second frame.
+                assert await channel.send(list(range(reserved + 1))) == 2
+                await wait_until(lambda: len(channel.receive_buffer)
+                                 >= 2 * reserved + 1)
+                await channel.close()
             finally:
                 await pair.close()
 

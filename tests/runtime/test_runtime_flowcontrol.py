@@ -161,6 +161,36 @@ class TestSenderWindow:
         assert flow.signal(next_bytes=400) is BackpressureSignal.OK
         assert flow.signal(next_bytes=600) is BackpressureSignal.HARD
 
+    def test_exact_fit_send_is_ok_not_hard(self):
+        """A send that exactly equals the remaining credit fits — the
+        signal must say OK even when the leftover fraction is under the
+        HARD threshold (the fraction is advice; the fit is a fact)."""
+        flow = SenderWindow(FlowControlConfig(
+            window_bytes=1000, window_msgs=1000,
+            soft_fraction=0.15, hard_fraction=0.05))
+        flow.consume(960)   # 40 bytes left: frac 0.04 <= hard_fraction
+        assert flow.signal() is BackpressureSignal.HARD  # advisory view
+        assert flow.signal(next_bytes=40) is BackpressureSignal.OK
+        assert flow.signal(next_bytes=41) is BackpressureSignal.HARD
+
+    def test_bytes_exhausted_but_messages_free_is_hard(self):
+        flow = SenderWindow(FlowControlConfig(window_bytes=100,
+                                              window_msgs=1000))
+        flow.consume(100)
+        assert flow.available_msgs > 0
+        assert flow.signal(next_bytes=4) is BackpressureSignal.HARD
+
+    def test_messages_exhausted_but_bytes_free_is_hard(self):
+        flow = SenderWindow(FlowControlConfig(window_bytes=100_000,
+                                              window_msgs=2))
+        flow.consume(4)
+        flow.consume(4)
+        assert flow.available_bytes > 0
+        assert flow.signal(next_bytes=4) is BackpressureSignal.HARD
+        # The last message slot plus fitting bytes is still a fit.
+        flow.apply(100_000, 3)
+        assert flow.signal(next_bytes=4) is BackpressureSignal.OK
+
     def test_apply_is_max_merge_idempotent(self):
         flow = SenderWindow(FlowControlConfig(window_bytes=1000,
                                               window_msgs=10))
