@@ -12,10 +12,14 @@ Two kinds of checks:
   per data datagram, every fabric load cell must deliver everything
   with the CM-5-vs-CR overhead collapse holding at every peer count,
   every chaos scenario must end with a zero-violation exactly-once
-  audit (with crash detection inside 2x the heartbeat dead_after
-  timeout), and every overload cell must finish with bounded peak
-  buffer occupancy, a clean audit, and >= 50% throughput retention at
-  10x offered load.  These hold regardless of the baseline.
+  audit (with crash detection inside the SWIM detector's configured
+  bound, and latency-spike rows refuting suspicion instead of issuing
+  false DEAD verdicts), every membership scaling row must detect its
+  crash within bound at a per-peer control-frame rate that stays flat
+  from p8 to p64, and every overload cell must finish with bounded
+  peak buffer occupancy, a clean audit, and >= 50% throughput
+  retention at 10x offered load.  These hold regardless of the
+  baseline.
 * **Relative drift** — retransmitted bytes and acks-per-data must not
   blow past the committed baseline by more than a generous slack factor.
   Fault injection is seeded, so the counts are near-deterministic; the
@@ -359,7 +363,10 @@ def check(baseline: dict, fresh: dict) -> list:
             problems.append(f"chaos {cell} errored: {record['errors']}")
         if record.get("detection_expected"):
             latency = record.get("detection_latency_s")
-            bound = 2 * (record.get("heartbeat_dead_after_s") or 0.2)
+            # SWIM rows carry their own bound; older baselines only
+            # recorded the legacy heartbeat timeout.
+            bound = (record.get("detection_bound_s")
+                     or 2 * (record.get("heartbeat_dead_after_s") or 0.2))
             if latency is None:
                 problems.append(
                     f"chaos {cell}: the failure detector missed the crash"
@@ -367,8 +374,67 @@ def check(baseline: dict, fresh: dict) -> list:
             elif latency > bound:
                 problems.append(
                     f"chaos {cell}: detection took {latency:.3f}s "
-                    f"(bound: {bound:.3f}s = 2x heartbeat dead_after)"
+                    f"(bound: {bound:.3f}s)"
                 )
+        if record.get("refutation_expected"):
+            if record.get("false_dead"):
+                problems.append(
+                    f"chaos {cell}: latency spike produced false DEAD "
+                    f"verdicts for {record['false_dead']}"
+                )
+            if not record.get("refutations"):
+                problems.append(
+                    f"chaos {cell}: suspicion was never refuted during "
+                    "the latency spike"
+                )
+
+    # --- SWIM membership scaling (ISSUE 10) ---------------------------
+    # Absolute gates, per row: the crash detected within the config's
+    # bound, zero false DEAD verdicts, and per-peer control load under
+    # its k/j constant.  Across rows: the per-peer control-frame rate
+    # must stay flat as the fabric grows (the claim that separates SWIM
+    # from O(N) pairwise heartbeating).
+    member = _dig(fresh, "member", default={}) or {}
+    if not member:
+        problems.append("fresh payload is missing the membership rows")
+    member_rates: dict = {}
+    for cell, record in sorted(member.items()):
+        latency = record.get("detection_latency_s")
+        bound = record.get("detection_bound_s") or 0.0
+        if latency is None:
+            problems.append(f"member {cell}: the detector missed the crash")
+        elif latency > bound:
+            problems.append(
+                f"member {cell}: detection took {latency:.3f}s "
+                f"(bound: {bound:.3f}s)"
+            )
+        if record.get("false_dead"):
+            problems.append(
+                f"member {cell}: false DEAD verdicts for "
+                f"{record['false_dead']}"
+            )
+        rate = record.get("control_frames_per_peer_per_period")
+        rate_bound = record.get("control_bound_per_period")
+        if rate is None or rate_bound is None:
+            problems.append(f"member {cell} carries no control-load figures")
+        elif rate > rate_bound:
+            problems.append(
+                f"member {cell}: {rate:.1f} control frames/peer/period "
+                f"crossed the {rate_bound:.1f} bound"
+            )
+        if rate is not None and "/p" in cell:
+            mode, _, count = cell.partition("/p")
+            member_rates.setdefault(mode, {})[int(count)] = rate
+    for mode, rates in sorted(member_rates.items()):
+        if len(rates) < 2:
+            continue
+        small, large = min(rates), max(rates)
+        if rates[large] > rates[small] * 1.5:
+            problems.append(
+                f"member {mode}: per-peer control rate grew from "
+                f"{rates[small]:.1f} (p{small}) to {rates[large]:.1f} "
+                f"(p{large}) frames/period — not flat in the fabric size"
+            )
 
     # --- fabric collectives (ISSUE 9) ---------------------------------
     # Absolute gates only (the sweep is seeded but timing-sensitive, so
@@ -496,6 +562,16 @@ def main(argv: list) -> int:
             f"broken={len(record.get('broken_lanes', []))}"
             f"{detect} "
             f"ft={record.get('fault_tolerance_share', 0.0):.1%}"
+        )
+    for cell, record in sorted((_dig(fresh, "member", default={}) or {}).items()):
+        latency = record.get("detection_latency_s")
+        detect = f"{latency * 1e3:.0f}ms" if latency is not None else "missed"
+        print(
+            f"  member {cell}: detect={detect}"
+            f"/{record.get('detection_bound_s', 0.0) * 1e3:.0f}ms "
+            f"ctrl={record.get('control_frames_per_peer_per_period', 0.0):.1f}"
+            f"/{record.get('control_bound_per_period', 0.0):.0f} "
+            f"frames/peer/period refutes={record.get('refutations', 0)}"
         )
     coll = _dig(fresh, "coll", default={}) or {}
     sweep = coll.get("coll/crossover")

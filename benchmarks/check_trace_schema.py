@@ -46,6 +46,15 @@ Three artifact kinds, one per exporter:
   and the handshake/transfer/total nanosecond decomposition (eager
   legs must carry a zero handshake — they have no GRANT round-trip).
 
+* ``--kind membership`` — the SWIM transition-event JSONL ``python -m
+  repro runtime member --events`` emits: one membership state
+  transition per line with the observer/subject pair, a known event
+  name (``PEER_ALIVE``/``PEER_SUSPECT``/``PEER_DEAD``/``PEER_LEFT``/
+  ``PEER_REFUTE``), a non-negative incarnation, and a non-decreasing
+  ``ts_ns``.  ``--require-event`` (repeatable) demands specific event
+  kinds appear — CI uses it to prove the graceful-leave and refutation
+  paths actually fired during the smoke.
+
 Exits 0 on a valid file, 1 listing every violation, 2 on usage errors.
 """
 
@@ -338,12 +347,64 @@ def check_collectives(text: str, min_transfers: int = 1) -> list:
     return problems
 
 
+MEMBERSHIP_EVENTS = {"PEER_ALIVE", "PEER_SUSPECT", "PEER_DEAD",
+                     "PEER_LEFT", "PEER_REFUTE"}
+
+
+def check_membership(text: str, min_events: int = 1,
+                     require_events: list = ()) -> list:
+    records, problems = _read_jsonl(text)
+    seen = set()
+    last_ts = None
+    for lineno, record in records:
+        where = f"line {lineno}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("observer", "subject"):
+            value = record.get(key)
+            if not isinstance(value, str) or not value:
+                problems.append(f"{where}: {key!r} must be a non-empty "
+                                f"string, got {value!r}")
+        event = record.get("event")
+        if event not in MEMBERSHIP_EVENTS:
+            problems.append(f"{where}: unknown event {event!r}")
+        else:
+            seen.add(event)
+        incarnation = record.get("incarnation")
+        if not isinstance(incarnation, int) or incarnation < 0:
+            problems.append(f"{where}: 'incarnation' must be a "
+                            f"non-negative integer, got {incarnation!r}")
+        ts = record.get("ts_ns")
+        if not isinstance(ts, int) or ts < 0:
+            problems.append(f"{where}: ts_ns must be a non-negative "
+                            f"integer, got {ts!r}")
+        elif last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: ts_ns went backwards "
+                            f"({ts} < {last_ts})")
+        else:
+            last_ts = ts
+    if len(records) < min_events:
+        problems.append(f"only {len(records)} membership event(s); "
+                        f"expected at least {min_events}")
+    for required in require_events:
+        if required not in MEMBERSHIP_EVENTS:
+            problems.append(f"--require-event {required!r} is not a "
+                            f"known membership event")
+        elif required not in seen:
+            problems.append(f"required event {required!r} never fired")
+    if not problems:
+        print(f"membership schema ok: {len(records)} events "
+              f"({sorted(seen)}), time-ordered")
+    return problems
+
+
 def main(argv: list) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="exported artifact file")
     parser.add_argument("--kind", default="trace",
                         choices=["trace", "journey", "timeline",
-                                 "collective"],
+                                 "collective", "membership"],
                         help="artifact kind (default: chrome trace JSON)")
     parser.add_argument("--min-instants", type=int, default=1)
     parser.add_argument("--min-journeys", type=int, default=1,
@@ -357,6 +418,12 @@ def main(argv: list) -> int:
     parser.add_argument("--min-transfers", type=int, default=1,
                         help="collective kind: minimum complete "
                              "transfer records")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="membership kind: minimum transition events")
+    parser.add_argument("--require-event", action="append", default=[],
+                        metavar="EVENT",
+                        help="membership kind: an event name that must "
+                             "appear at least once (repeatable)")
     args = parser.parse_args(argv[1:])
     try:
         text = Path(args.trace).read_text()
@@ -372,6 +439,9 @@ def main(argv: list) -> int:
     elif args.kind == "timeline":
         problems = check_timeline(text, min_samples=args.min_samples,
                                   min_marks=args.min_marks)
+    elif args.kind == "membership":
+        problems = check_membership(text, min_events=args.min_events,
+                                    require_events=args.require_event)
     else:
         try:
             payload = json.loads(text)

@@ -25,7 +25,7 @@ BENCH_JSON = Path(__file__).resolve().parent / "BENCH_runtime.json"
 #: Accumulated across the tests in this module; the last test writes it.
 RESULTS = {"rtt": {}, "protocols": {}, "collapse": {}, "reliability": {},
            "trace": {}, "fabric": {}, "overload": {}, "chaos": {},
-           "cost": {}, "obs": {}, "coll": {}}
+           "cost": {}, "obs": {}, "coll": {}, "member": {}}
 
 MESSAGE_WORDS = 512
 DEADLINE = 30.0
@@ -290,8 +290,9 @@ def test_observability_overhead(mode):
     )
 
 
-#: Peer counts for the fabric scaling rows (the ISSUE 4 acceptance set).
-FABRIC_PEERS = (2, 8, 32)
+#: Peer counts for the fabric scaling rows (the ISSUE 4 acceptance set,
+#: extended to p64 for the membership-scaling acceptance).
+FABRIC_PEERS = (2, 8, 32, 64)
 FABRIC_LOAD = dict(channels=8, messages=8, message_words=32,
                    packet_words=16, drop_rate=0.02, reorder_rate=0.1,
                    seed=0x5CA1E, deadline=DEADLINE)
@@ -452,7 +453,8 @@ def test_overload_survival(mode):
 #: live traffic.  ``overload-partition`` (ISSUE 6) drags a partition
 #: through credit-metered traffic and must recover every blocked sender.
 CHAOS_SCENARIOS = ("partition-heal", "crash-restart", "rolling-flap",
-                   "burst-loss", "overload-partition", "crash-permanent")
+                   "burst-loss", "overload-partition", "crash-permanent",
+                   "latency-spike-no-false-dead")
 
 
 def _chaos_config(mode):
@@ -468,8 +470,8 @@ def test_chaos_scenarios(scenario, mode):
 
     Every cell is gated on: zero audit violations (duplicates,
     misorders, checksum failures, or silent loss outside broken lanes),
-    and — on crash scenarios — failure-detection latency within twice
-    the heartbeat ``dead_after`` timeout.  Note there is deliberately
+    and — on crash scenarios — failure-detection latency within the
+    SWIM detector's configured bound.  Note there is deliberately
     *no* Figure 6 collapse gate on these rows: in CR mode the heartbeat
     detector and recovery machinery still run (peer death is not a
     service the lossless transport provides), so a nonzero
@@ -493,11 +495,86 @@ def test_chaos_scenarios(scenario, mode):
         assert result.detection_within_bound, (
             f"chaos {scenario}/{mode}: detected in "
             f"{result.detection_latency:.3f}s, bound is "
-            f"{2 * result.config.heartbeat.dead_after:.3f}s"
+            f"{result.detection_bound:.3f}s"
+        )
+    if SCENARIOS[scenario].expects_refutation:
+        assert result.false_dead == [], (
+            f"chaos {scenario}/{mode}: latency spike killed "
+            f"{result.false_dead}"
+        )
+        assert result.refutations >= 1, (
+            f"chaos {scenario}/{mode}: suspicion was never refuted"
         )
     record = result.to_record()
     record["harness_ns"] = elapsed_ns
     RESULTS["chaos"][f"{scenario}/{mode}"] = record
+
+
+#: Fabric sizes for the membership scaling rows.  The acceptance claim
+#: is that the per-peer control-frame rate is a constant of the probe
+#: fan-out k — flat from p8 to p64 — while detection latency stays
+#: inside the configured bound at every size.
+MEMBER_PEERS = (8, 32, 64)
+#: Bench rows run on loaded CI machines; a roomier suspicion window
+#: keeps the detection gate meaningful without flaking (the bound is
+#: still well under a second).
+MEMBER_CONFIG = dict(suspect_timeout=0.12)
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+@pytest.mark.parametrize("peers", MEMBER_PEERS)
+def test_membership_scaling(peers, mode):
+    """SWIM detection latency and control load at p8/p32/p64.
+
+    Gated in-test on: the crash detected within the configured bound,
+    zero false DEAD verdicts, and the per-peer per-period control-frame
+    rate under its k/j constant bound.
+    """
+    from repro.runtime import SwimConfig, measure_membership
+
+    start = time.perf_counter_ns()
+    record = measure_membership(peers, mode=mode,
+                                config=SwimConfig(**MEMBER_CONFIG))
+    elapsed_ns = time.perf_counter_ns() - start
+    assert record["detection_latency_s"] is not None, (
+        f"member {mode}/p{peers}: the crash was never detected"
+    )
+    assert record["detection_within_bound"], (
+        f"member {mode}/p{peers}: detected in "
+        f"{record['detection_latency_s']:.3f}s, bound is "
+        f"{record['detection_bound_s']:.3f}s"
+    )
+    assert record["false_dead"] == [], (
+        f"member {mode}/p{peers}: false DEAD verdicts for "
+        f"{record['false_dead']}"
+    )
+    assert record["control_within_bound"], (
+        f"member {mode}/p{peers}: "
+        f"{record['control_frames_per_peer_per_period']:.1f} control "
+        f"frames/peer/period, bound is "
+        f"{record['control_bound_per_period']:.1f}"
+    )
+    record["harness_ns"] = elapsed_ns
+    RESULTS["member"][f"{mode}/p{peers}"] = record
+
+
+@pytest.mark.parametrize("mode", ["cm5", "cr"])
+def test_membership_control_load_is_flat(mode):
+    """The SWIM scaling claim: growing the fabric 8x must not grow the
+    per-peer control-frame rate (pairwise heartbeating would scale it
+    linearly with the peer count)."""
+    small = RESULTS["member"].get(f"{mode}/p{MEMBER_PEERS[0]}")
+    large = RESULTS["member"].get(f"{mode}/p{MEMBER_PEERS[-1]}")
+    if small is None or large is None:
+        pytest.skip("membership scaling measurements did not run")
+    rate_small = small["control_frames_per_peer_per_period"]
+    rate_large = large["control_frames_per_peer_per_period"]
+    assert rate_small > 0
+    assert rate_large <= rate_small * 1.5, (
+        f"member {mode}: per-peer control rate grew from "
+        f"{rate_small:.1f} to {rate_large:.1f} frames/period "
+        f"between p{MEMBER_PEERS[0]} and p{MEMBER_PEERS[-1]}"
+    )
 
 
 @pytest.mark.parametrize("mode", ["cm5", "cr"])

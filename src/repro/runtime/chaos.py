@@ -57,6 +57,7 @@ from repro.runtime.fabric import Fabric, FabricConnection
 from repro.runtime.flowcontrol import FlowControlConfig
 from repro.runtime.frames import heartbeat_frame
 from repro.runtime.loadgen import AuditLedger, AuditReport
+from repro.runtime.membership import MemberState, SwimConfig, SwimDetector
 from repro.runtime.protocols import ChannelBroken, RecoveryPolicy
 from repro.runtime.reliability import BackoffPolicy
 from repro.runtime.telemetry import FlightRecorder
@@ -328,6 +329,10 @@ class FailureDetector:
             for other in self._monitored:
                 if other != name:
                     self._last_seen[(name, other)] = now
+        elif event == "leave":
+            # A *graceful* departure must not age into SUSPECT/DEAD at
+            # the observers that (correctly) stop hearing from it.
+            self.forget(name)
         if self._prev_hook is not None:
             self._prev_hook(event, name)
 
@@ -606,6 +611,12 @@ class Scenario:
     flow: Optional[FlowControlConfig] = None
     #: Gate detection latency (the scenario kills a peer outright).
     expects_detection: bool = False
+    #: Override the run's SWIM membership config (e.g. a long suspicion
+    #: window so a latency spike can be refuted instead of killing).
+    membership: Optional[SwimConfig] = None
+    #: Gate that the scenario produced >= 1 suspicion refutation and
+    #: zero DEAD verdicts (nobody actually dies in it).
+    expects_refutation: bool = False
 
 
 async def _script_partition_heal(eng: ChaosEngine) -> None:
@@ -669,9 +680,28 @@ async def _script_crash_permanent(eng: ChaosEngine) -> None:
     await eng.crash_victim()
     # Give the detector time to call it, then fail CR lanes by verdict
     # (CM-5 lanes break themselves via exhausted recovery probes).
-    await eng.sleep(2.5 * eng.config.heartbeat.dead_after)
+    await eng.sleep(1.5 * eng.config.membership.detection_bound)
     eng.break_victim_lanes(
         f"peer {eng.victim!r} declared dead by the failure detector")
+
+
+async def _script_latency_spike(eng: ChaosEngine) -> None:
+    """A fabric-wide latency spike 3x the legacy heartbeat death window.
+
+    Every probe and ack is delayed far past the probe timeouts, so
+    suspicion is guaranteed — but the SWIM suspicion window (this
+    scenario's membership override) is long enough for the accused
+    peers' incarnation-bumping refutations to land.  The pairwise
+    heartbeat detector would declare every peer DEAD under this spike;
+    the gate demands *zero* DEAD verdicts and >= 1 refutation.
+    """
+    await eng.sleep(0.12)
+    spike = 3 * eng.config.heartbeat.dead_after
+    eng.injector.spike_latency(spike)
+    await eng.sleep(0.5)
+    eng.injector.spike_latency(0.0)
+    # Let the delayed frames drain and the refutations disseminate.
+    await eng.sleep(spike + 0.5)
 
 
 SCENARIOS: Dict[str, Scenario] = {
@@ -715,6 +745,14 @@ SCENARIOS: Dict[str, Scenario] = {
                                     probe_interval=0.05),
             expects_detection=True,
         ),
+        Scenario(
+            name="latency-spike-no-false-dead",
+            summary="a 3x dead_after latency spike must end with zero "
+                    "DEAD verdicts and at least one refuted suspicion",
+            script=_script_latency_spike,
+            membership=SwimConfig(suspect_timeout=2.5),
+            expects_refutation=True,
+        ),
     )
 }
 
@@ -742,7 +780,13 @@ class ChaosConfig:
     reorder_rate: float = 0.05
     corrupt_rate: float = 0.002
     deadline: float = 30.0
+    #: Legacy pairwise-heartbeat cadence.  The SWIM detector is what
+    #: chaos runs actually use now; this stays as the reference point
+    #: the latency-spike scenario sizes its spike against (3x
+    #: ``dead_after``) and for tests driving :class:`FailureDetector`.
     heartbeat: HeartbeatConfig = field(default_factory=HeartbeatConfig)
+    #: SWIM gossip membership knobs (scenario override wins).
+    membership: SwimConfig = field(default_factory=SwimConfig)
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     backoff: BackoffPolicy = field(default_factory=lambda: CHAOS_BACKOFF)
     #: Arm lanes with credit-based flow control (scenario override wins).
@@ -777,10 +821,14 @@ class ChaosResult:
     broken_lanes: List[Tuple[int, str]]
     detection_latency: Optional[float]   #: seconds, crash scenarios only
     detection_expected: bool
+    detection_bound: float               #: configured ceiling (seconds)
     feature_ns: Dict[Feature, int]
     wire: Dict[str, int]
     detector_counts: Dict[str, int]
     recoveries: int                      #: epoch renegotiations completed
+    refutations: int = 0                 #: suspicions recanted by the accused
+    false_dead: List[str] = field(default_factory=list)
+    refutation_expected: bool = False
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -807,11 +855,11 @@ class ChaosResult:
 
     @property
     def detection_within_bound(self) -> Optional[bool]:
-        """Detection latency <= 2x the configured dead_after (None when
-        the scenario kills nobody)."""
+        """Detection latency <= the SWIM config's derived bound (None
+        when the scenario kills nobody)."""
         if self.detection_latency is None:
             return None
-        return self.detection_latency <= 2 * self.config.heartbeat.dead_after
+        return self.detection_latency <= self.detection_bound
 
     def to_record(self) -> Dict[str, Any]:
         return {
@@ -830,7 +878,11 @@ class ChaosResult:
             "detection_latency_s": self.detection_latency,
             "detection_expected": self.detection_expected,
             "heartbeat_dead_after_s": self.config.heartbeat.dead_after,
+            "detection_bound_s": self.detection_bound,
             "detection_within_bound": self.detection_within_bound,
+            "refutations": self.refutations,
+            "false_dead": list(self.false_dead),
+            "refutation_expected": self.refutation_expected,
             "recoveries": self.recoveries,
             "wire": dict(self.wire),
             "detector": dict(self.detector_counts),
@@ -880,7 +932,8 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
         **config.fault_kwargs(),
     )
     injector = ChaosInjector(fabric.hub, seed=config.seed ^ 0xFA57)
-    detector = FailureDetector(fabric, config.heartbeat)
+    membership = scen.membership or config.membership
+    detector = SwimDetector(fabric, membership)
     ledger = AuditLedger()
     errors: List[str] = []
     start = time.perf_counter_ns()
@@ -930,6 +983,9 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
         )
         broken = [(lane.cid, lane.broken) for lane in engine.lanes
                   if lane.broken is not None]
+        crashed = {victim} if engine.crash_time is not None else set()
+        false_dead = detector.false_dead(crashed)
+        refutations = detector.counters.get("refutations")
     finally:
         if recorder is not None:
             await recorder.stop()
@@ -945,10 +1001,14 @@ async def run_chaos(config: ChaosConfig, scenario: str = "partition-heal",
         broken_lanes=broken,
         detection_latency=detection,
         detection_expected=scen.expects_detection,
+        detection_bound=membership.detection_bound,
         feature_ns=feature_ns,
         wire=wire,
         detector_counts=detector.counters.to_dict(),
         recoveries=recoveries,
+        refutations=refutations,
+        false_dead=false_dead,
+        refutation_expected=scen.expects_refutation,
         errors=errors,
     )
 

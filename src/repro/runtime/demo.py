@@ -646,6 +646,88 @@ def run_chaos_cmd(args) -> int:
     return 0
 
 
+def run_member_cmd(args) -> int:
+    """The ``runtime member`` command; returns a process exit code.
+
+    Runs the SWIM membership lifecycle soak — steady state, graceful
+    leave, latency spike, crash, restart — in each requested substrate
+    mode, and (unless ``--no-scale``) the detection-latency/control-load
+    scaling measurement at each ``--scale-peers`` fabric size.  A soak
+    passes when every phase is ok: control load under its k/j bound,
+    LEFT everywhere with zero false accusations, the spike refuted with
+    zero DEAD verdicts, the crash detected within the configured bound,
+    and the restart rejoined under a bumped incarnation.
+    """
+    from repro.runtime.membership import (
+        SwimConfig,
+        measure_membership,
+        measure_membership_soak,
+    )
+
+    modes = ("cm5", "cr") if args.mode == "both" else (args.mode,)
+    peers = min(args.peers, 8) if args.smoke else args.peers
+    scale_peers = ((8, 16) if args.smoke else tuple(args.scale_peers))
+    config = SwimConfig(period=args.period, probes=args.probes,
+                        proxies=args.proxies,
+                        suspect_timeout=args.suspect_timeout)
+
+    print("repro membership soak — SWIM gossip failure detection\n")
+    failures = 0
+    records: List[Dict[str, Any]] = []
+    events: List[Dict[str, Any]] = []
+    for mode in modes:
+        soak = measure_membership_soak(peers, mode=mode, config=config)
+        records.append(soak)
+        events.extend(soak.pop("events"))
+        ok = soak["ok"]
+        if not ok:
+            failures += 1
+        print(f"  [{'ok' if ok else 'FAIL'}] member soak {mode}/p{peers}")
+        for phase, data in soak["phases"].items():
+            detail = {k: (f"{v:.3f}" if isinstance(v, float) else v)
+                      for k, v in data.items() if k != "ok"}
+            print(f"        {phase:<14} "
+                  f"{'ok' if data['ok'] else 'FAIL'}  {detail}")
+        for problem in soak["problems"]:
+            print(f"        {problem}")
+        if args.no_scale:
+            continue
+        for count in scale_peers:
+            row = measure_membership(count, mode=mode, config=config)
+            records.append(row)
+            row_ok = (row["detection_within_bound"]
+                      and row["control_within_bound"]
+                      and not row["false_dead"])
+            if not row_ok:
+                failures += 1
+            latency = row["detection_latency_s"]
+            detect = (f"detect {latency:.3f}s" if latency is not None
+                      else "crash missed")
+            print(f"  [{'ok' if row_ok else 'FAIL'}] "
+                  f"member scale {mode}/p{count}: {detect} "
+                  f"(bound {row['detection_bound_s']:.3f}s), "
+                  f"{row['control_frames_per_peer_per_period']:.1f} "
+                  f"ctrl frames/peer/period "
+                  f"(bound {row['control_bound_per_period']:.1f})")
+
+    print()
+    if args.events:
+        with open(args.events, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        print(f"wrote {len(events)} membership events to {args.events}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(records, fh, indent=2)
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} membership cell(s) FAILED")
+        return 1
+    print("membership checks passed: bounded detection, zero false "
+          "verdicts, graceful leave, refutation, and rejoin.")
+    return 0
+
+
 def run_collect_cmd(args) -> int:
     """The ``runtime collect`` command; returns a process exit code.
 
@@ -952,6 +1034,45 @@ def add_runtime_subparsers(parser) -> None:
                        help="tracer ring capacity in events (default "
                             f"{DEFAULT_CAPACITY})")
     chaos.set_defaults(func=run_chaos_cmd)
+
+    member = sub.add_parser(
+        "member", help="soak the SWIM gossip membership layer (steady "
+                       "state, graceful leave, latency-spike refutation, "
+                       "crash detection, incarnation-bumped restart) and "
+                       "measure detection latency / control load at "
+                       "growing fabric sizes")
+    member.add_argument("--mode", default="both",
+                        choices=["both", "cm5", "cr"],
+                        help="substrate mode(s) (default both)")
+    member.add_argument("--peers", type=int, default=12,
+                        help="fabric size for the lifecycle soak "
+                             "(default 12)")
+    member.add_argument("--period", type=float, default=0.025,
+                        help="SWIM protocol period in seconds "
+                             "(default 0.025)")
+    member.add_argument("--probes", type=int, default=2,
+                        help="direct probes per period, k (default 2)")
+    member.add_argument("--proxies", type=int, default=2,
+                        help="indirect probe proxies, j (default 2)")
+    member.add_argument("--suspect-timeout", type=float, default=0.5,
+                        help="suspicion window before DEAD in seconds "
+                             "(default 0.5, roomy for loaded machines)")
+    member.add_argument("--scale-peers", type=int, nargs="+",
+                        default=[8, 32, 64],
+                        help="fabric sizes for the scaling rows "
+                             "(default 8 32 64)")
+    member.add_argument("--no-scale", action="store_true",
+                        help="skip the scaling rows, soak only")
+    member.add_argument("--smoke", action="store_true",
+                        help="small fast configuration for CI")
+    member.add_argument("--json", default=None,
+                        help="write the soak/scaling records to this "
+                             "JSON file")
+    member.add_argument("--events", default=None, metavar="FILE",
+                        help="export every membership transition event "
+                             "as JSONL (validated by "
+                             "check_trace_schema.py --kind membership)")
+    member.set_defaults(func=run_member_cmd)
 
     collect = sub.add_parser(
         "collect", help="run fabric collectives (broadcast, scatter/"

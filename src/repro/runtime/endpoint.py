@@ -506,6 +506,16 @@ class RuntimeEndpoint:
         return self.sent_by_kind.get(FrameKind.CREDIT_UPDATE, 0)
 
     @property
+    def membership_frames_sent(self) -> int:
+        """SWIM membership control datagrams (probes, relays, acks)."""
+        return (
+            self.sent_by_kind.get(FrameKind.PING, 0)
+            + self.sent_by_kind.get(FrameKind.PING_REQ, 0)
+            + self.sent_by_kind.get(FrameKind.PING_ACK, 0)
+            + self.sent_by_kind.get(FrameKind.HEARTBEAT, 0)
+        )
+
+    @property
     def ack_frames_sent(self) -> int:
         """Acknowledgement datagrams of every flavour sent by this side."""
         return (

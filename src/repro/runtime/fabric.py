@@ -162,7 +162,10 @@ class Fabric:
         self._residual_ns: Dict[Feature, int] = {f: 0 for f in Feature}
         self._crashed: Set[str] = set()
         #: Optional observer called as ``hook(event, peer_name)`` with
-        #: ``event`` in {"crash", "restart"} (failure detectors, tests).
+        #: ``event`` in {"join", "leave", "crash", "restart"} (failure
+        #: detectors, membership, tests).  "leave" fires *before* the
+        #: departing peer's connections drain, so a detector can mark
+        #: the peer LEFT immediately instead of aging it into SUSPECT.
         self.on_peer_event: Optional[Callable[[str, str], None]] = None
         self.peers_joined = 0
         self.peers_left = 0
@@ -200,6 +203,8 @@ class Fabric:
         endpoint = RuntimeEndpoint(transport, name=name, tracer=self.tracer)
         self._peers[name] = endpoint
         self.peers_joined += 1
+        if self.on_peer_event is not None:
+            self.on_peer_event("join", name)
         return endpoint
 
     async def remove_peer(self, name: str, drain: bool = True,
@@ -212,6 +217,11 @@ class Fabric:
         peer are counted by the hub as ``expired``, not delivered.
         """
         endpoint = self.peer(name)
+        # Announce the departure before the drain: observers must stop
+        # expecting liveness from a peer that is *gracefully* leaving,
+        # or the drain window ages it into a false SUSPECT/DEAD.
+        if self.on_peer_event is not None:
+            self.on_peer_event("leave", name)
         for conn in self.connections_of(name):
             await conn.close(drain=drain, timeout=timeout)
         del self._peers[name]
@@ -373,13 +383,15 @@ class Fabric:
 
     def wire_totals(self) -> Dict[str, int]:
         """Datagram-level accounting summed across every peer:
-        data/ack/credit frames sent, the per-channel ``flow.*`` tallies
-        re-aggregated fabric-wide, plus the hub's delivery-policy
-        counters on loopback."""
+        data/ack/credit/membership frames sent, the per-channel
+        ``flow.*`` and per-peer ``membership.*`` tallies re-aggregated
+        fabric-wide, plus the hub's delivery-policy counters on
+        loopback."""
         totals = {
             "data_datagrams": 0,
             "ack_datagrams": 0,
             "credit_datagrams": 0,
+            "membership_datagrams": 0,
             "frames_sent": 0,
             "frames_received": 0,
             "retransmissions": 0,
@@ -389,21 +401,32 @@ class Fabric:
             totals["data_datagrams"] += endpoint.data_frames_sent
             totals["ack_datagrams"] += endpoint.ack_frames_sent
             totals["credit_datagrams"] += endpoint.credit_frames_sent
+            totals["membership_datagrams"] += endpoint.membership_frames_sent
             totals["frames_sent"] += endpoint.frames_sent
             totals["frames_received"] += endpoint.frames_received
             totals["send_errors"] += endpoint.send_errors
             for name, value in endpoint.counters.to_dict().items():
                 if name.endswith(".rtx.retransmissions"):
                     totals["retransmissions"] += value
+                    continue
+                # Per-channel flow-control tallies live under
+                # "stream_tx.flow.*"/"stream_rx.flow.*"; fold them
+                # into fabric-wide "flow.<leaf>" totals.  Per-peer
+                # membership tallies ("membership.*") fold the same
+                # way so gossip/probe load shows up in wire totals.
+                idx = name.find(".flow.")
+                if idx >= 0:
+                    leaf = name[idx + len(".flow."):]
+                    key = f"flow.{leaf}"
+                    totals[key] = totals.get(key, 0) + value
+                    continue
+                if name.startswith("membership."):
+                    key = name
+                elif ".membership." in name:
+                    key = "membership." + name.split(".membership.", 1)[1]
                 else:
-                    # Per-channel flow-control tallies live under
-                    # "stream_tx.flow.*"/"stream_rx.flow.*"; fold them
-                    # into fabric-wide "flow.<leaf>" totals.
-                    idx = name.find(".flow.")
-                    if idx >= 0:
-                        leaf = name[idx + len(".flow."):]
-                        key = f"flow.{leaf}"
-                        totals[key] = totals.get(key, 0) + value
+                    continue
+                totals[key] = totals.get(key, 0) + value
         if self.hub is not None:
             totals.update(self.hub.wire_counters())
         return totals

@@ -143,6 +143,14 @@ class FrameKind(enum.IntEnum):
     COLL_DONE = 14   #: collective completion (receiver → initiator) —
                      #: seq = op id, aux = words received; closes the
                      #: initiator's end-to-end timing for that peer
+    PING = 15        #: SWIM direct probe — seq = probe id, aux = sender's
+                     #: incarnation; payload = piggybacked gossip updates
+    PING_REQ = 16    #: SWIM indirect probe request (origin → proxy) —
+                     #: seq = origin's probe id, payload[0] = target peer
+                     #: id, rest = gossip updates
+    PING_ACK = 17    #: SWIM probe acknowledgement — seq = echoed probe
+                     #: id, aux = the acked member's incarnation,
+                     #: payload[0] = subject peer id, rest = gossip
 
 
 #: Value → member map: a dict hit is several times cheaper than the
@@ -537,6 +545,87 @@ def parse_trace_context(words: Sequence[int]) -> Tuple[int, int]:
     if len(words) != TRACE_CTX_WORDS:
         raise FrameError(f"trace context needs {TRACE_CTX_WORDS} words")
     return words[0], (words[1] << 32) | words[2]
+
+
+# ---------------------------------------------------------------------------
+# SWIM membership: probes + piggybacked gossip
+# ---------------------------------------------------------------------------
+
+#: Width of one piggybacked membership update on the wire: subject peer
+#: id (CRC-32 of the peer name, the same convention as the endpoint's
+#: ``trace_origin``), the update code, and the incarnation number.
+GOSSIP_UPDATE_WORDS = 3
+
+#: Membership update codes carried in gossip words.  ``REFUTE`` is an
+#: ALIVE assertion from the accused member itself — it outranks a
+#: SUSPECT at the *same* incarnation, which plain second-hand ALIVE
+#: does not.
+GOSSIP_JOIN = 0
+GOSSIP_ALIVE = 1
+GOSSIP_SUSPECT = 2
+GOSSIP_DEAD = 3
+GOSSIP_LEFT = 4
+GOSSIP_REFUTE = 5
+
+_GOSSIP_CODES = frozenset((
+    GOSSIP_JOIN, GOSSIP_ALIVE, GOSSIP_SUSPECT,
+    GOSSIP_DEAD, GOSSIP_LEFT, GOSSIP_REFUTE,
+))
+
+
+def encode_gossip(updates: Sequence[Tuple[int, int, int]]) -> Tuple[int, ...]:
+    """Pack ``(peer_id, code, incarnation)`` updates into payload words."""
+    words: List[int] = []
+    for peer_id, code, incarnation in updates:
+        if code not in _GOSSIP_CODES:
+            raise FrameError(f"unknown gossip code {code}")
+        words.append(peer_id & WORD_MASK)
+        words.append(code)
+        words.append(incarnation & WORD_MASK)
+    return tuple(words)
+
+
+def decode_gossip(words: Sequence[int]) -> List[Tuple[int, int, int]]:
+    """Inverse of :func:`encode_gossip`.
+
+    A ragged tail (length not a multiple of the update width) raises
+    :class:`FrameError` — the frame CRC already rules out bit damage,
+    so a ragged gossip block is a sender bug worth surfacing loudly.
+    """
+    if len(words) % GOSSIP_UPDATE_WORDS:
+        raise FrameError(
+            f"gossip block of {len(words)} words is not a multiple "
+            f"of {GOSSIP_UPDATE_WORDS}"
+        )
+    updates: List[Tuple[int, int, int]] = []
+    for index in range(0, len(words), GOSSIP_UPDATE_WORDS):
+        code = words[index + 1]
+        if code not in _GOSSIP_CODES:
+            raise FrameError(f"unknown gossip code {code}")
+        updates.append((words[index], code, words[index + 2]))
+    return updates
+
+
+def ping_frame(channel: int, probe_id: int, incarnation: int,
+               gossip: Sequence[int] = ()) -> Frame:
+    """A SWIM direct probe carrying the sender's own incarnation."""
+    return Frame(kind=FrameKind.PING, channel=channel, seq=probe_id,
+                 aux=incarnation, payload=tuple(gossip))
+
+
+def ping_req_frame(channel: int, probe_id: int, target_id: int,
+                   gossip: Sequence[int] = ()) -> Frame:
+    """An indirect probe request: "ping ``target_id`` on my behalf"."""
+    return Frame(kind=FrameKind.PING_REQ, channel=channel, seq=probe_id,
+                 payload=(target_id & WORD_MASK,) + tuple(gossip))
+
+
+def ping_ack_frame(channel: int, probe_id: int, subject_id: int,
+                   incarnation: int, gossip: Sequence[int] = ()) -> Frame:
+    """A probe acknowledgement vouching for ``subject_id``'s liveness."""
+    return Frame(kind=FrameKind.PING_ACK, channel=channel, seq=probe_id,
+                 aux=incarnation,
+                 payload=(subject_id & WORD_MASK,) + tuple(gossip))
 
 
 def credit_probe_frame(channel: int) -> Frame:

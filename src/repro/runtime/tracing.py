@@ -64,6 +64,8 @@ class EventType(enum.Enum):
     PEER_SUSPECT = "PEER_SUSPECT"  #: failure detector: heartbeats went quiet
     PEER_DEAD = "PEER_DEAD"        #: failure detector: peer declared dead
     PEER_ALIVE = "PEER_ALIVE"      #: failure detector: peer (re)confirmed alive
+    PEER_LEFT = "PEER_LEFT"        #: membership: peer departed gracefully
+    PEER_REFUTE = "PEER_REFUTE"    #: membership: accused peer refuted a suspicion
     EPOCH = "EPOCH"            #: ordered channel renegotiated its epoch
     CREDIT_TX = "CREDIT_TX"    #: a flow-control advertisement/probe was sent
     CREDIT_RX = "CREDIT_RX"    #: a flow-control advertisement/probe arrived

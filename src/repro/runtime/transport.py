@@ -154,6 +154,12 @@ class LoopbackHub:
         #: (burst loss), or ``"corrupted"`` (data comes back bit-damaged
         #: and still gets delivered).
         self.chaos = None
+        #: Per-directed-link monotonic delivery deadline for chaos
+        #: latency on a *reliable* hub: a uniform delay applied to
+        #: every datagram preserves FIFO, and clamping each delivery to
+        #: be no earlier than the previous one keeps it preserved when
+        #: the spike starts or clears mid-stream.
+        self._fifo_due: Dict[Tuple[Address, Address], float] = {}
 
     @classmethod
     def cr(cls) -> "LoopbackHub":
@@ -278,10 +284,23 @@ class LoopbackHub:
             return
         loop = asyncio.get_running_loop()
         if self.ordered and self.reliable:
-            # CR mode: lossless FIFO — call_soon preserves send order
-            # (a chaos latency spike would let later sends overtake,
-            # breaking the ordering guarantee, so it is not applied).
-            loop.call_soon(self._hand_over, target, data, src)
+            # CR mode: lossless FIFO.  A chaos latency spike *is*
+            # honored — a reliable network can be slow — but delivery
+            # times per directed link are clamped monotonic, so a spike
+            # starting or clearing mid-stream never lets later sends
+            # overtake earlier ones.  Once a link has a pending
+            # deadline it stays on the timer path (timers fire in
+            # schedule order; mixing call_soon back in could overtake).
+            key = (src, dst)
+            due = self._fifo_due.get(key)
+            if chaos_delay > 0 or due is not None:
+                # Strictly increasing: equal-deadline timers tie-break
+                # arbitrarily in the heap, which would un-FIFO the link.
+                at = max(loop.time() + chaos_delay, (due or 0.0) + 1e-9)
+                self._fifo_due[key] = at
+                loop.call_at(at, self._hand_over, target, data, src)
+            else:
+                loop.call_soon(self._hand_over, target, data, src)
             return
         faults = self.faults
         if faults.drop_rate and self._rng.random() < faults.drop_rate:
